@@ -1,0 +1,55 @@
+// Shared configuration and formatting for the benchmark harness.
+//
+// Every bench regenerates one table/figure of the paper.  Scales are reduced
+// (DESIGN.md §2): test sets of ~50 dies instead of 750, and the scaled
+// synthetic benchmark profiles.  Shapes — who wins, by roughly what factor,
+// where the crossovers fall — are the reproduction target, not absolute
+// values.
+#ifndef M3DFL_BENCH_BENCH_COMMON_H_
+#define M3DFL_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "util/table.h"
+
+namespace m3dfl::bench {
+
+// Standard experiment scale used across the table benches.
+inline ExperimentOptions standard_options(bool compacted) {
+  ExperimentOptions opt;
+  opt.compacted = compacted;
+  opt.test_samples = 50;
+  return opt;
+}
+
+inline std::string fmt1(double v) { return TablePrinter::fmt(v, 1); }
+inline std::string fmt2(double v) { return TablePrinter::fmt(v, 2); }
+inline std::string pct(double v) { return TablePrinter::pct(v, 1); }
+
+// "mean (std)" cell.
+inline std::string mean_std(const Accumulator& acc) {
+  return fmt1(acc.mean()) + " (" + fmt1(acc.stddev()) + ")";
+}
+
+// Relative improvement of `now` over the ATPG report value `base`,
+// rendered like the paper's parenthesized deltas (positive = better).
+inline std::string improvement(double base, double now) {
+  if (base <= 0.0) return "(n/a)";
+  return TablePrinter::delta_pct((base - now) / base, 1);
+}
+
+// Accuracy delta versus the ATPG report (negative = loss).
+inline std::string accuracy_delta(double base, double now) {
+  return TablePrinter::delta_pct(now - base, 1);
+}
+
+inline void print_banner(const std::string& what) {
+  std::cout << "\n==== " << what << " ====\n"
+            << "(scaled reproduction; see DESIGN.md / EXPERIMENTS.md)\n\n";
+}
+
+}  // namespace m3dfl::bench
+
+#endif  // M3DFL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,64 @@
+// Shared driver for the two big fault-localization tables (paper Tables VI
+// and VIII): per (benchmark, configuration), the baseline [11] standalone,
+// the proposed GNN framework standalone, and the combined GNN + [11] stack,
+// each with accuracy / resolution / FHI deltas against the raw ATPG report
+// and the tier-localization percentages.
+#ifndef M3DFL_BENCH_BENCH_LOCALIZATION_H_
+#define M3DFL_BENCH_BENCH_LOCALIZATION_H_
+
+#include "bench_common.h"
+
+namespace m3dfl::bench {
+
+inline void run_localization_table(bool compacted) {
+  TablePrinter table({"Design", "Config.",
+                      // Baseline [11]
+                      "[11] Acc.", "[11] resol.", "[11] FHI", "[11] Tier",
+                      // GNN standalone
+                      "GNN Acc.", "GNN resol.", "GNN FHI", "GNN Tier",
+                      // GNN + [11]
+                      "+[11] Acc.", "+[11] resol.", "+[11] FHI"});
+  const ExperimentOptions opt = standard_options(compacted);
+  for (Profile profile : all_profiles()) {
+    const ProfileExperiment experiment(profile, opt);
+    for (DesignConfig config : all_configs()) {
+      const ConfigResult r = experiment.evaluate(config);
+      const double base_acc = r.atpg.accuracy();
+      const double base_res = r.atpg.resolution.mean();
+      const double base_fhi = r.atpg.fhi.mean();
+      table.add_row({
+          r.profile,
+          r.config,
+          pct(r.baseline.stats.accuracy()) + " " +
+              accuracy_delta(base_acc, r.baseline.stats.accuracy()),
+          mean_std(r.baseline.stats.resolution) + " " +
+              improvement(base_res, r.baseline.stats.resolution.mean()),
+          mean_std(r.baseline.stats.fhi) + " " +
+              improvement(base_fhi, r.baseline.stats.fhi.mean()),
+          pct(r.baseline.tier_localization()),
+          pct(r.gnn.stats.accuracy()) + " " +
+              accuracy_delta(base_acc, r.gnn.stats.accuracy()),
+          mean_std(r.gnn.stats.resolution) + " " +
+              improvement(base_res, r.gnn.stats.resolution.mean()),
+          mean_std(r.gnn.stats.fhi) + " " +
+              improvement(base_fhi, r.gnn.stats.fhi.mean()),
+          pct(r.gnn.tier_localization()),
+          pct(r.gnn_plus.stats.accuracy()) + " " +
+              accuracy_delta(base_acc, r.gnn_plus.stats.accuracy()),
+          mean_std(r.gnn_plus.stats.resolution) + " " +
+              improvement(base_res, r.gnn_plus.stats.resolution.mean()),
+          mean_std(r.gnn_plus.stats.fhi) + " " +
+              improvement(base_fhi, r.gnn_plus.stats.fhi.mean()),
+      });
+    }
+    table.add_separator();
+  }
+  table.print();
+  std::cout << "\nDeltas are relative to the raw ATPG diagnosis reports "
+               "(Tables V/VII); 'Tier' is the tier-localization rate over "
+               "reports the ATPG run did not already confine to one tier.\n";
+}
+
+}  // namespace m3dfl::bench
+
+#endif  // M3DFL_BENCH_BENCH_LOCALIZATION_H_

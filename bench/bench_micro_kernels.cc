@@ -1,0 +1,116 @@
+// Google-benchmark microkernels for the performance-critical primitives:
+// bit-parallel good-machine simulation, event-driven fault simulation,
+// back-tracing, subgraph extraction, and GCN inference.
+#include <benchmark/benchmark.h>
+
+#include "atpg/tdf_atpg.h"
+#include "core/pipeline.h"
+#include "graph/backtrace.h"
+
+namespace m3dfl {
+namespace {
+
+// Shared fixture state, built once.
+struct BenchState {
+  std::unique_ptr<Design> design;
+  LabeledDataset data;
+  std::unique_ptr<DiagnosisFramework> framework;
+
+  BenchState() {
+    design = Design::build(Profile::kAes, DesignConfig::kSyn1);
+    DataGenOptions gen;
+    gen.num_samples = 16;
+    gen.seed = 9090;
+    data = build_dataset(*design, gen);
+    FrameworkOptions options;
+    options.training.epochs = 30;  // weights don't matter for timing
+    framework = std::make_unique<DiagnosisFramework>(options);
+    framework->train(data.graphs);
+  }
+
+  static BenchState& instance() {
+    static BenchState state;
+    return state;
+  }
+};
+
+void BM_GoodMachineSimulation(benchmark::State& state) {
+  BenchState& s = BenchState::instance();
+  LocSimulator sim(s.design->netlist());
+  for (auto _ : state) {
+    sim.run(s.design->patterns());
+    benchmark::DoNotOptimize(sim.v2(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          s.design->patterns().num_patterns *
+                          s.design->netlist().num_gates());
+}
+BENCHMARK(BM_GoodMachineSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_FaultSimulationPerFault(benchmark::State& state) {
+  BenchState& s = BenchState::instance();
+  FaultSimulator fsim(s.design->netlist(), s.design->good_sim(),
+                      &s.design->mivs());
+  PinId pin = 0;
+  for (auto _ : state) {
+    pin = (pin + 37) % s.design->netlist().num_pins();
+    benchmark::DoNotOptimize(fsim.simulate(Fault::slow_to_rise(pin)));
+  }
+}
+BENCHMARK(BM_FaultSimulationPerFault)->Unit(benchmark::kMicrosecond);
+
+void BM_Backtrace(benchmark::State& state) {
+  BenchState& s = BenchState::instance();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const FailureLog& log = s.data.samples[i++ % s.data.size()].log;
+    benchmark::DoNotOptimize(
+        backtrace_candidates(s.design->graph(), s.design->context(), log));
+  }
+}
+BENCHMARK(BM_Backtrace)->Unit(benchmark::kMicrosecond);
+
+void BM_SubgraphExtraction(benchmark::State& state) {
+  BenchState& s = BenchState::instance();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const FailureLog& log = s.data.samples[i++ % s.data.size()].log;
+    benchmark::DoNotOptimize(subgraph_for_log(*s.design, log));
+  }
+}
+BENCHMARK(BM_SubgraphExtraction)->Unit(benchmark::kMicrosecond);
+
+void BM_GnnInference(benchmark::State& state) {
+  BenchState& s = BenchState::instance();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.framework->predict(s.data.graphs[i++ % s.data.size()]));
+  }
+}
+BENCHMARK(BM_GnnInference)->Unit(benchmark::kMicrosecond);
+
+void BM_AtpgDiagnosis(benchmark::State& state) {
+  BenchState& s = BenchState::instance();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const FailureLog& log = s.data.samples[i++ % s.data.size()].log;
+    benchmark::DoNotOptimize(diagnose_atpg(s.design->context(), log));
+  }
+}
+BENCHMARK(BM_AtpgDiagnosis)->Unit(benchmark::kMillisecond);
+
+void BM_HeteroGraphConstruction(benchmark::State& state) {
+  BenchState& s = BenchState::instance();
+  for (auto _ : state) {
+    HeteroGraph graph(s.design->netlist(), s.design->tiers(),
+                      s.design->mivs());
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+}
+BENCHMARK(BM_HeteroGraphConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace m3dfl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Regenerates paper Table X: localization of multiple delay faults (2-5
+// same-tier TDFs per die, the tier-specific systematic-defect model),
+// trained on Syn-1 and tested on Syn-2.
+#include "bench_common.h"
+
+using namespace m3dfl;
+
+int main() {
+  bench::print_banner(
+      "Table X: multiple delay-fault localization (2-5 TDFs per die)");
+  TablePrinter table({"Design", "ATPG Acc.", "ATPG resol.", "ATPG FHI",
+                      "Prop. Acc.", "Prop. resol.", "Prop. FHI",
+                      "Tier local."});
+  ExperimentOptions opt = bench::standard_options(/*compacted=*/false);
+  opt.test_samples = 40;
+  for (Profile profile : all_profiles()) {
+    const MultiFaultResult r = evaluate_multifault(profile, opt);
+    table.add_row({
+        r.profile,
+        bench::pct(r.atpg.accuracy()),
+        bench::mean_std(r.atpg.resolution),
+        bench::mean_std(r.atpg.fhi),
+        bench::pct(r.refined.accuracy()) + " " +
+            bench::accuracy_delta(r.atpg.accuracy(), r.refined.accuracy()),
+        bench::mean_std(r.refined.resolution) + " " +
+            bench::improvement(r.atpg.resolution.mean(),
+                               r.refined.resolution.mean()),
+        bench::mean_std(r.refined.fhi) + " " +
+            bench::improvement(r.atpg.fhi.mean(), r.refined.fhi.mean()),
+        bench::pct(r.tier_localization),
+    });
+  }
+  table.print();
+  std::cout << "\nA report counts as accurate only when EVERY injected fault "
+               "appears among its candidates; tier localization comes from "
+               "the Tier-predictor and stays high even where report accuracy "
+               "degrades — the foundry can act on the tier verdict alone.\n";
+  return 0;
+}

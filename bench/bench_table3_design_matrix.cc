@@ -1,0 +1,36 @@
+// Regenerates paper Table III: the design matrix of the M3D benchmarks —
+// gate count, MIV count, scan chains (channels), chain length, TDF pattern
+// count, and fault coverage.
+#include "bench_common.h"
+
+#include "atpg/coverage.h"
+
+using namespace m3dfl;
+
+int main() {
+  bench::print_banner("Table III: design matrix of M3D benchmarks");
+
+  TablePrinter table({"Design", "N_g", "#MIVs", "N_sc (N_ch)", "Chain length",
+                      "#Patterns", "FC"});
+  for (Profile profile : all_profiles()) {
+    const auto design = Design::build(profile, DesignConfig::kSyn1);
+    // Fault coverage on a sampled universe (full grading is equivalent but
+    // slower; see atpg/coverage.h).
+    CoverageOptions cov;
+    cov.sample_faults = 4000;
+    const CoverageResult coverage =
+        measure_coverage(design->netlist(), design->good_sim(), cov);
+    table.add_row({
+        profile_name(profile),
+        std::to_string(design->netlist().num_logic_gates()),
+        std::to_string(design->mivs().num_mivs()),
+        std::to_string(design->scan().num_chains()) + " (" +
+            std::to_string(design->compactor().num_channels()) + ")",
+        std::to_string(design->scan().max_chain_length()),
+        std::to_string(design->patterns().num_patterns),
+        bench::pct(coverage.coverage()),
+    });
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates paper Table VIII: effectiveness of delay-fault localization
+// WITH response compaction — baseline [11], the proposed GNN framework, and
+// GNN + [11], with tier-localization rates.
+#include "bench_localization.h"
+
+int main() {
+  m3dfl::bench::print_banner(
+      "Table VIII: delay-fault localization WITH response compaction");
+  m3dfl::bench::run_localization_table(/*compacted=*/true);
+  return 0;
+}

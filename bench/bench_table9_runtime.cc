@@ -1,0 +1,33 @@
+// Regenerates paper Table IX: runtime of the proposed framework — training
+// phase (feature construction, GNN training) and deployment (T_ATPG, T_GNN,
+// T_update) over the Syn-2 test sets.
+#include "bench_common.h"
+
+using namespace m3dfl;
+
+int main() {
+  bench::print_banner("Table IX: runtime analysis (seconds)");
+  TablePrinter table({"Design", "Feature constr.", "Datagen", "GNN training",
+                      "T_ATPG", "T_GNN", "T_update"});
+  const ExperimentOptions opt = bench::standard_options(/*compacted=*/false);
+  for (Profile profile : all_profiles()) {
+    const ProfileExperiment experiment(profile, opt);
+    const ConfigResult r = experiment.evaluate(DesignConfig::kSyn2);
+    table.add_row({
+        profile_name(profile),
+        bench::fmt2(experiment.syn1().feature_construction_seconds()),
+        bench::fmt2(experiment.datagen_seconds()),
+        bench::fmt2(experiment.training_seconds()),
+        bench::fmt2(r.t_atpg),
+        bench::fmt2(r.t_gnn),
+        bench::fmt2(r.t_update),
+    });
+  }
+  table.print();
+  std::cout << "\nDeployment columns are totals over the "
+            << opt.test_samples
+            << "-die Syn-2 test set; GNN inference runs alongside ATPG "
+               "diagnosis, so the added deployment latency is T_update "
+               "only (paper Fig. 9).\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "atpg/coverage.h"
+
+#include "atpg/tdf_atpg.h"
+#include "sim/fault_sim.h"
+#include "util/rng.h"
+
+namespace m3dfl {
+
+CoverageResult measure_coverage(const Netlist& netlist,
+                                const LocSimulator& good,
+                                const CoverageOptions& options) {
+  std::vector<Fault> faults = enumerate_tdf_faults(netlist);
+  if (options.sample_faults > 0 &&
+      options.sample_faults < static_cast<std::int32_t>(faults.size())) {
+    Rng rng(options.seed);
+    rng.shuffle(faults);
+    faults.resize(static_cast<std::size_t>(options.sample_faults));
+  }
+  FaultSimulator fsim(netlist, good);
+  CoverageResult result;
+  result.num_faults = static_cast<std::int32_t>(faults.size());
+  for (const Fault& f : faults) {
+    if (fsim.detects(f)) ++result.num_detected;
+  }
+  return result;
+}
+
+}  // namespace m3dfl

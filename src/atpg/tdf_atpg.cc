@@ -1,0 +1,76 @@
+#include "atpg/tdf_atpg.h"
+
+#include "sim/fault_sim.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace m3dfl {
+
+std::vector<Fault> enumerate_tdf_faults(const Netlist& netlist) {
+  M3DFL_REQUIRE(netlist.finalized(),
+                "fault enumeration requires a finalized netlist");
+  std::vector<Fault> faults;
+  faults.reserve(static_cast<std::size_t>(netlist.num_pins()) * 2);
+  for (PinId p = 0; p < netlist.num_pins(); ++p) {
+    faults.push_back(Fault::slow_to_rise(p));
+    faults.push_back(Fault::slow_to_fall(p));
+  }
+  return faults;
+}
+
+AtpgResult generate_tdf_patterns(const Netlist& netlist,
+                                 const AtpgOptions& options) {
+  M3DFL_REQUIRE(options.max_patterns > 0, "pattern budget must be positive");
+  Rng rng(options.seed);
+
+  std::vector<Fault> remaining = enumerate_tdf_faults(netlist);
+  AtpgResult result;
+  result.num_faults = static_cast<std::int32_t>(remaining.size());
+
+  const auto num_pis =
+      static_cast<std::int32_t>(netlist.primary_inputs().size());
+  const auto num_flops = static_cast<std::int32_t>(netlist.flops().size());
+
+  LocSimulator sim(netlist);
+  std::int32_t useless_words = 0;
+  bool first = true;
+  while (result.patterns.num_patterns < options.max_patterns &&
+         !remaining.empty()) {
+    const std::int32_t count =
+        std::min<std::int32_t>(kWordBits,
+                               options.max_patterns -
+                                   result.patterns.num_patterns);
+    PatternSet word = PatternSet::random(num_pis, num_flops, count, rng);
+    sim.run(word);
+    FaultSimulator fsim(netlist, sim);
+
+    std::size_t kept = 0;
+    for (const Fault& f : remaining) {
+      if (!fsim.detects(f)) remaining[kept++] = f;
+    }
+    const auto newly =
+        static_cast<std::int32_t>(remaining.size() - kept);
+    remaining.resize(kept);
+    result.num_detected += newly;
+
+    if (newly >= options.min_new_detections) {
+      useless_words = 0;
+    } else {
+      ++useless_words;
+    }
+    // A word that detects nothing new after the first is dropped; otherwise
+    // it joins the pattern set.
+    if (first || newly > 0) {
+      if (first) {
+        result.patterns = std::move(word);
+        first = false;
+      } else {
+        result.patterns.append(word);
+      }
+    }
+    if (useless_words >= options.patience) break;
+  }
+  return result;
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,52 @@
+// Transition-delay-fault ATPG.
+//
+// The stand-in for the commercial pattern-generation step of the paper's
+// data flow (Fig. 4): launch-on-capture two-pattern tests are produced by
+// random fill with greedy fault-simulation-based selection — a pattern word
+// is kept only while it keeps detecting new TDFs, and generation stops when
+// coverage saturates or the profile's pattern budget is reached.  The
+// resulting pattern set plays the same role as a compacted commercial TDF
+// set: it defines the failure logs and the per-node transitions the
+// diagnosis graph memorizes.
+#ifndef M3DFL_ATPG_TDF_ATPG_H_
+#define M3DFL_ATPG_TDF_ATPG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/fault.h"
+#include "sim/logic.h"
+
+namespace m3dfl {
+
+struct AtpgOptions {
+  std::int32_t max_patterns = 512;        // hard pattern budget
+  std::int32_t min_new_detections = 1;    // a useful word detects >= this
+  std::int32_t patience = 2;              // useless words before stopping
+  std::uint64_t seed = 1;
+};
+
+struct AtpgResult {
+  PatternSet patterns;
+  std::int32_t num_faults = 0;      // TDF universe size (2 per pin)
+  std::int32_t num_detected = 0;
+
+  double coverage() const {
+    return num_faults == 0
+               ? 0.0
+               : static_cast<double>(num_detected) /
+                     static_cast<double>(num_faults);
+  }
+};
+
+// The complete TDF universe: slow-to-rise and slow-to-fall at every pin.
+std::vector<Fault> enumerate_tdf_faults(const Netlist& netlist);
+
+// Generates a TDF pattern set for the design.
+AtpgResult generate_tdf_patterns(const Netlist& netlist,
+                                 const AtpgOptions& options);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_ATPG_TDF_ATPG_H_

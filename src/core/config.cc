@@ -1,0 +1,142 @@
+#include "core/config.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace m3dfl {
+
+const std::vector<Profile>& all_profiles() {
+  static const std::vector<Profile> kProfiles = {
+      Profile::kAes, Profile::kTate, Profile::kNetcard, Profile::kLeon3mp};
+  return kProfiles;
+}
+
+const std::vector<DesignConfig>& all_configs() {
+  static const std::vector<DesignConfig> kConfigs = {
+      DesignConfig::kSyn1, DesignConfig::kTpi, DesignConfig::kSyn2,
+      DesignConfig::kPar};
+  return kConfigs;
+}
+
+std::string profile_name(Profile profile) {
+  switch (profile) {
+    case Profile::kAes: return "AES";
+    case Profile::kTate: return "Tate";
+    case Profile::kNetcard: return "netcard";
+    case Profile::kLeon3mp: return "leon3mp";
+  }
+  M3DFL_ASSERT(false);
+}
+
+std::string config_name(DesignConfig config) {
+  switch (config) {
+    case DesignConfig::kSyn1: return "Syn-1";
+    case DesignConfig::kTpi: return "TPI";
+    case DesignConfig::kSyn2: return "Syn-2";
+    case DesignConfig::kPar: return "Par";
+  }
+  M3DFL_ASSERT(false);
+}
+
+ProfileSpec profile_spec(Profile profile) {
+  ProfileSpec spec;
+  switch (profile) {
+    case Profile::kAes:
+      spec.name = "AES";
+      spec.gen.name = "aes";
+      spec.gen.num_gates = 1800;
+      spec.gen.num_pis = 40;
+      spec.gen.num_pos = 32;
+      spec.gen.num_flops = 160;
+      spec.gen.target_depth = 14;
+      spec.gen.seed = 0xAE5001;
+      spec.gen.max_fanout = 6;
+      spec.gen.chain_extend_prob = 0.10;
+      spec.num_chains = 16;
+      spec.atpg.max_patterns = 192;
+      spec.fail_memory_patterns = 0;  // small program: full fail logging
+      break;
+    case Profile::kTate:
+      spec.name = "Tate";
+      spec.gen.name = "tate";
+      spec.gen.num_gates = 3200;
+      spec.gen.num_pis = 48;
+      spec.gen.num_pos = 40;
+      spec.gen.num_flops = 240;
+      spec.gen.target_depth = 16;
+      spec.gen.seed = 0x7A7E01;
+      spec.gen.max_fanout = 7;
+      spec.gen.chain_extend_prob = 0.15;
+      spec.num_chains = 24;
+      spec.atpg.max_patterns = 128;
+      spec.fail_memory_patterns = 0;  // small program: full fail logging
+      break;
+    case Profile::kNetcard:
+      spec.name = "netcard";
+      spec.gen.name = "netcard";
+      spec.gen.num_gates = 3800;
+      spec.gen.num_pis = 64;
+      spec.gen.num_pos = 48;
+      spec.gen.num_flops = 320;
+      spec.gen.target_depth = 24;
+      spec.gen.seed = 0x4E7C01;
+      spec.gen.max_fanout = 12;
+      spec.gen.locality = 0.85;
+      spec.gen.mix[static_cast<std::size_t>(GateType::kBuf)] = 0.12;
+      spec.gen.mix[static_cast<std::size_t>(GateType::kInv)] = 0.18;
+      spec.gen.chain_extend_prob = 0.80;
+      spec.num_chains = 32;
+      // netcard has by far the largest pattern count in Table III; the big
+      // search space is what degrades its diagnosis quality.
+      spec.atpg.max_patterns = 448;
+      spec.atpg.patience = 4;
+      spec.fail_memory_patterns = 3;
+      break;
+    case Profile::kLeon3mp:
+      spec.name = "leon3mp";
+      spec.gen.name = "leon3mp";
+      spec.gen.num_gates = 5200;
+      spec.gen.num_pis = 64;
+      spec.gen.num_pos = 56;
+      spec.gen.num_flops = 400;
+      spec.gen.target_depth = 24;
+      spec.gen.seed = 0x1E0301;
+      spec.gen.max_fanout = 10;
+      spec.gen.mix[static_cast<std::size_t>(GateType::kBuf)] = 0.11;
+      spec.gen.mix[static_cast<std::size_t>(GateType::kInv)] = 0.16;
+      spec.gen.chain_extend_prob = 0.75;
+      spec.num_chains = 32;
+      spec.atpg.max_patterns = 320;
+      spec.atpg.patience = 3;
+      spec.fail_memory_patterns = 3;
+      break;
+  }
+  spec.chains_per_channel = 8;
+  spec.atpg.seed = spec.gen.seed ^ 0xFEED;
+  spec.tpi.fraction = 0.01;  // paper: at most 1% of the gate count
+  spec.tpi.seed = spec.gen.seed ^ 0x79;
+  return spec;
+}
+
+GeneratorConfig generator_for(const ProfileSpec& spec, DesignConfig config) {
+  GeneratorConfig gen = spec.gen;
+  if (config == DesignConfig::kSyn2) {
+    // Re-synthesis at a different clock frequency: same "RTL" (profile),
+    // different structural elaboration and deeper logic paths.
+    gen.seed ^= 0x5A5A5A;
+    gen.target_depth += 3;
+    gen.locality = std::min(0.9, gen.locality + 0.05);
+  }
+  return gen;
+}
+
+PartitionOptions partition_for(const ProfileSpec& spec, DesignConfig config) {
+  PartitionOptions opt;
+  opt.seed = spec.partition_seed;
+  opt.method = config == DesignConfig::kPar ? PartitionMethod::kLevelDriven
+                                            : PartitionMethod::kMinCut;
+  return opt;
+}
+
+}  // namespace m3dfl

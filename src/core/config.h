@@ -1,0 +1,68 @@
+// Benchmark profiles and design configurations.
+//
+// The paper evaluates four M3D benchmarks (AES, Tate, netcard, leon3mp;
+// Table III) in four design configurations each (Sec. IV):
+//   Syn-1 — the baseline synthesis + min-cut partitioning (training config);
+//   TPI   — Syn-1 with test points inserted (1% of gates);
+//   Syn-2 — re-synthesis at a different clock frequency (re-elaboration with
+//           a different seed and deeper logic);
+//   Par   — Syn-1 re-partitioned with a different M3D partitioner.
+// Random partitions of Syn-1 provide the data-augmentation netlists.
+//
+// Our profiles are scaled-down synthetic stand-ins (DESIGN.md §2): gate
+// counts ~1/40th of the paper's so that every experiment reproduces on one
+// CPU core, with per-profile ratios (scan width, channel count, pattern
+// budget) mirroring Table III — e.g. netcard keeps the largest pattern count,
+// leon3mp the largest gate count.
+#ifndef M3DFL_CORE_CONFIG_H_
+#define M3DFL_CORE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "atpg/tdf_atpg.h"
+#include "dft/test_points.h"
+#include "m3d/partition.h"
+#include "netlist/generator.h"
+
+namespace m3dfl {
+
+enum class Profile { kAes, kTate, kNetcard, kLeon3mp };
+enum class DesignConfig { kSyn1, kTpi, kSyn2, kPar };
+
+// All four benchmark profiles in paper order.
+const std::vector<Profile>& all_profiles();
+// All four design configurations in paper order.
+const std::vector<DesignConfig>& all_configs();
+
+std::string profile_name(Profile profile);
+std::string config_name(DesignConfig config);
+
+// Build parameters for one benchmark profile.
+struct ProfileSpec {
+  std::string name;
+  GeneratorConfig gen;             // Syn-1 elaboration parameters
+  std::int32_t num_chains = 8;
+  std::int32_t chains_per_channel = 4;  // compaction ratio
+  AtpgOptions atpg;
+  // Tester fail-memory depth for this profile's production test program, in
+  // failing patterns per die.  Programs with huge pattern sets (netcard)
+  // configure shallower fail logging to bound test time, which is a large
+  // part of why their diagnosis reports are so much coarser (Table V).
+  std::int32_t fail_memory_patterns = 10;
+  TestPointOptions tpi;            // for the TPI configuration
+  std::uint64_t partition_seed = 11;
+  std::uint64_t scan_seed = 5;
+};
+
+ProfileSpec profile_spec(Profile profile);
+
+// Applies a design configuration to the Syn-1 spec: Syn-2 re-elaborates with
+// a different seed and deeper logic; TPI/Par reuse the Syn-1 netlist and are
+// handled at build time.
+GeneratorConfig generator_for(const ProfileSpec& spec, DesignConfig config);
+PartitionOptions partition_for(const ProfileSpec& spec, DesignConfig config);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_CORE_CONFIG_H_

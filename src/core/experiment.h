@@ -1,0 +1,145 @@
+// Shared evaluation harness behind the benchmark binaries.
+//
+// ProfileExperiment owns, for one benchmark profile and one acquisition mode
+// (with/without response compaction):
+//   * the Syn-1 design and the transferable training set (Syn-1 + two
+//     random partitions),
+//   * the trained DiagnosisFramework,
+//   * per-configuration evaluation producing the rows of paper Tables V-IX
+//     and the series of Figs. 9-10,
+// plus the multi-fault study (Table X), the standalone-model ablation
+// (Table XI), and the dedicated-vs-transferred comparison (Fig. 6).
+#ifndef M3DFL_CORE_EXPERIMENT_H_
+#define M3DFL_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/pipeline.h"
+#include "diag/metrics.h"
+#include "diag/padre.h"
+
+namespace m3dfl {
+
+struct ExperimentOptions {
+  bool compacted = false;
+  std::int32_t test_samples = 60;
+  TransferTrainOptions train;
+  FrameworkOptions framework;
+  DiagnosisOptions diagnosis;
+  double test_miv_prob = 0.0;
+  std::uint64_t test_seed = 777;
+};
+
+// Aggregates for one diagnosis method over a test set.
+struct MethodQuality {
+  QualityStats stats;
+  // Tier localization per the paper's Table VI definition: among reports the
+  // raw ATPG diagnosis did NOT already confine to a single tier, the
+  // fraction the method localizes to the faulty tier.
+  std::int32_t localized = 0;
+  std::int32_t eligible = 0;
+
+  double tier_localization() const {
+    return eligible == 0 ? 0.0
+                         : static_cast<double>(localized) /
+                               static_cast<double>(eligible);
+  }
+};
+
+// One (profile, configuration) evaluation: the row content of Tables V-VIII.
+struct ConfigResult {
+  std::string profile;
+  std::string config;
+  QualityStats atpg;        // raw ATPG diagnosis reports (Tables V / VII)
+  MethodQuality baseline;   // [11] first level, standalone
+  MethodQuality gnn;        // proposed framework, standalone
+  MethodQuality gnn_plus;   // proposed framework + [11]
+  std::size_t backup_bytes = 0;  // backup-dictionary footprint
+
+  // Deployment runtimes over the test set, seconds (Table IX / Fig. 9).
+  double t_atpg = 0.0;    // ATPG diagnosis
+  double t_gnn = 0.0;     // back-trace + feature extraction + GNN inference
+  double t_update = 0.0;  // candidate pruning & reordering (+ [11] stacking)
+
+  // Per-sample FHI pairs for the PFA time model (Fig. 10).
+  std::vector<std::int32_t> fhi_atpg;
+  std::vector<std::int32_t> fhi_updated;
+};
+
+class ProfileExperiment {
+ public:
+  ProfileExperiment(Profile profile, const ExperimentOptions& options);
+
+  const Design& syn1() const { return *syn1_; }
+  const DiagnosisFramework& framework() const { return framework_; }
+  const LabeledDataset& training_set() const { return training_set_; }
+
+  double training_seconds() const { return training_seconds_; }
+  double datagen_seconds() const { return datagen_seconds_; }
+
+  // Evaluates one design configuration with the (transferred) framework.
+  ConfigResult evaluate(DesignConfig config) const;
+  // Same, but on an externally built design/test set (used by ablations).
+  ConfigResult evaluate_on(const Design& design,
+                           const LabeledDataset& test) const;
+
+ private:
+  Profile profile_;
+  ExperimentOptions options_;
+  std::unique_ptr<Design> syn1_;
+  LabeledDataset training_set_;
+  DiagnosisFramework framework_;
+  double training_seconds_ = 0.0;
+  double datagen_seconds_ = 0.0;
+};
+
+// Builds a test set for a configuration of a profile.
+LabeledDataset build_test_set(const Design& design,
+                              const ExperimentOptions& options);
+
+// ---- Fig. 6: dedicated vs transferred models -------------------------------
+
+struct TransferabilityRow {
+  std::string config;
+  double dedicated_tier_acc = 0.0;
+  double transferred_tier_acc = 0.0;
+  double dedicated_miv_acc = 0.0;
+  double transferred_miv_acc = 0.0;
+};
+
+std::vector<TransferabilityRow> evaluate_transferability(
+    Profile profile, const ExperimentOptions& options);
+
+// ---- Table X: multi-fault localization --------------------------------------
+
+struct MultiFaultResult {
+  std::string profile;
+  QualityStats atpg;
+  QualityStats refined;
+  double tier_localization = 0.0;  // Tier-predictor correctness
+};
+
+// Trains on Syn-1 multi-fault samples (2-5 same-tier TDFs), tests on Syn-2.
+MultiFaultResult evaluate_multifault(Profile profile,
+                                     const ExperimentOptions& options);
+
+// ---- Table XI: standalone-model ablation ------------------------------------
+
+struct AblationResult {
+  QualityStats atpg;
+  QualityStats tier_only;   // Tier-predictor standalone
+  QualityStats miv_only;    // MIV-pinpointer standalone
+  QualityStats combined;    // both models (full policy)
+};
+
+// AES/Syn-1 with the test set augmented by 10% MIV-fault samples (paper
+// Sec. VII-B).
+AblationResult evaluate_individual_models(Profile profile,
+                                          const ExperimentOptions& options);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_CORE_EXPERIMENT_H_

@@ -1,0 +1,223 @@
+#include "core/framework.h"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <ostream>
+
+#include "dft/test_points.h"
+#include "gnn/oversample.h"
+#include "gnn/serialize.h"
+
+namespace m3dfl {
+
+// ---- Design -----------------------------------------------------------------
+
+std::unique_ptr<Design> Design::build(Profile profile, DesignConfig config) {
+  return build_impl(profile, config, /*random_partition=*/false, 0);
+}
+
+std::unique_ptr<Design> Design::build_random_partition(
+    Profile profile, std::uint64_t partition_seed) {
+  return build_impl(profile, DesignConfig::kSyn1, /*random_partition=*/true,
+                    partition_seed);
+}
+
+std::unique_ptr<Design> Design::build_impl(Profile profile,
+                                           DesignConfig config,
+                                           bool random_partition,
+                                           std::uint64_t partition_seed) {
+  const ProfileSpec spec = profile_spec(profile);
+  auto design = std::unique_ptr<Design>(new Design());
+  design->name_ =
+      spec.name + "/" +
+      (random_partition ? "Rand-" + std::to_string(partition_seed)
+                        : config_name(config));
+
+  design->netlist_ = generate_netlist(generator_for(spec, config));
+  if (config == DesignConfig::kTpi) {
+    insert_test_points(design->netlist_, spec.tpi);
+  }
+
+  PartitionOptions part = partition_for(spec, config);
+  if (random_partition) {
+    part.method = PartitionMethod::kRandom;
+    part.seed = partition_seed;
+  }
+  design->tiers_ = partition_tiers(design->netlist_, part);
+  design->mivs_ = MivMap(design->netlist_, design->tiers_);
+  design->scan_ = ScanChains(design->netlist_, spec.num_chains, spec.scan_seed);
+  design->compactor_ = XorCompactor(design->scan_, spec.chains_per_channel);
+
+  design->fail_memory_patterns_ = spec.fail_memory_patterns;
+  design->atpg_ = generate_tdf_patterns(design->netlist_, spec.atpg);
+  design->good_ = std::make_unique<LocSimulator>(design->netlist_);
+  design->good_->run(design->atpg_.patterns);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  design->graph_ = HeteroGraph(design->netlist_, design->tiers_, design->mivs_);
+  design->feature_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return design;
+}
+
+DesignContext Design::context() const {
+  DesignContext ctx;
+  ctx.netlist = &netlist_;
+  ctx.tiers = &tiers_;
+  ctx.mivs = &mivs_;
+  ctx.scan = &scan_;
+  ctx.compactor = &compactor_;
+  ctx.patterns = &atpg_.patterns;
+  ctx.good = good_.get();
+  ctx.fail_memory_patterns = fail_memory_patterns_;
+  return ctx;
+}
+
+// ---- DiagnosisFramework ------------------------------------------------------
+
+DiagnosisFramework::DiagnosisFramework(const FrameworkOptions& options)
+    : options_(options),
+      tier_predictor_(std::make_unique<TierPredictor>(options.model)),
+      miv_pinpointer_(std::make_unique<MivPinpointer>(options.model)) {}
+
+void DiagnosisFramework::train(std::span<const Subgraph> graphs) {
+  M3DFL_REQUIRE(!graphs.empty(), "cannot train on an empty dataset");
+  train_tier_predictor(*tier_predictor_, graphs, options_.training);
+  train_miv_pinpointer(*miv_pinpointer_, graphs, options_.training);
+
+  // PR curve over the training set -> T_P (paper Sec. V-B).
+  std::vector<PrSample> pr_samples;
+  for (const Subgraph& g : graphs) {
+    if (g.empty() || (g.tier_label != 0 && g.tier_label != 1)) continue;
+    double confidence = 0.0;
+    const int tier = tier_predictor_->predicted_tier(g, &confidence);
+    pr_samples.push_back(PrSample{confidence, tier == g.tier_label});
+  }
+  tp_threshold_ =
+      select_threshold(pr_curve(pr_samples), options_.pr_min_precision);
+
+  // Classifier training set: Predicted Positive samples, labeled by whether
+  // the tier prediction was correct (true positive -> prune is safe).
+  std::vector<Subgraph> cls_graphs;
+  std::vector<int> cls_labels;
+  for (const Subgraph& g : graphs) {
+    if (g.empty() || (g.tier_label != 0 && g.tier_label != 1)) continue;
+    double confidence = 0.0;
+    const int tier = tier_predictor_->predicted_tier(g, &confidence);
+    if (confidence < tp_threshold_) continue;
+    cls_graphs.push_back(g);
+    cls_labels.push_back(tier == g.tier_label ? 1 : 0);
+  }
+  classifier_ =
+      std::make_unique<PruneClassifier>(*tier_predictor_, options_.model);
+  if (!cls_graphs.empty()) {
+    Rng rng(options_.training.seed ^ 0xB0FFE2);
+    balance_with_buffers(cls_graphs, cls_labels, rng);
+    train_prune_classifier(*classifier_, cls_graphs, cls_labels,
+                           options_.training);
+  }
+  trained_ = true;
+}
+
+FrameworkPrediction DiagnosisFramework::predict(const Subgraph& sg) const {
+  M3DFL_REQUIRE(trained_, "framework must be trained before prediction");
+  FrameworkPrediction p;
+  p.tier = tier_predictor_->predicted_tier(sg, &p.confidence);
+  p.high_confidence = p.confidence >= tp_threshold_;
+  p.faulty_mivs = miv_pinpointer_->predict_faulty(sg, options_.miv_threshold);
+  if (p.high_confidence) {
+    p.prune_prob = classifier_->predict_prune_prob(sg);
+  }
+  return p;
+}
+
+std::vector<Candidate> DiagnosisFramework::refine_report(
+    const DesignContext& design, const FrameworkPrediction& prediction,
+    DiagnosisReport& report) const {
+  std::vector<Candidate> pruned;
+  if (report.candidates.empty()) return pruned;
+
+  // Candidates equivalent to a predicted-faulty MIV are protected and will
+  // be placed on top last (so they end up first).
+  const auto matches_faulty_miv = [&](const Candidate& c) {
+    for (MivId miv : prediction.faulty_mivs) {
+      if (c.fault.is_miv() && c.fault.miv == miv) return true;
+      if (!c.fault.is_miv() &&
+          design.netlist->pin_net(c.fault.pin) == design.mivs->miv(miv).net) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const bool do_prune =
+      prediction.high_confidence && prediction.prune_prob >= 0.5;
+  if (do_prune) {
+    // Remove candidates in the tier predicted fault-free; MIV candidates
+    // belong to no tier and survive, as do MIV-pinpointer hits.
+    const int fault_free = 1 - prediction.tier;
+    pruned = prune_candidates(report, [&](const Candidate& c) {
+      if (matches_faulty_miv(c)) return false;
+      return candidate_tier(design, c) == fault_free;
+    });
+    // Pruning everything would leave PFA with nothing; restore in that case
+    // (the backup dictionary would be consulted immediately anyway).
+    if (report.candidates.empty()) {
+      report.candidates = pruned;
+      pruned.clear();
+    }
+  } else {
+    // Low confidence (or classifier says reorder): predicted-faulty tier to
+    // the top.
+    move_to_top(report, [&](const Candidate& c) {
+      return candidate_tier(design, c) == prediction.tier;
+    });
+  }
+  // MIV-pinpointer hits always end up first (paper Fig. 8: prioritize MIV
+  // faults for PFA).
+  move_to_top(report, matches_faulty_miv);
+  return pruned;
+}
+
+void DiagnosisFramework::save(std::ostream& os) const {
+  M3DFL_REQUIRE(trained_, "cannot save an untrained framework");
+  os << "m3dfl-framework 1\n";
+  os << "tp_threshold " << std::hexfloat << tp_threshold_
+     << std::defaultfloat << "\n";
+  save_model(os, *tier_predictor_);
+  save_model(os, *miv_pinpointer_);
+  save_model(os, *classifier_);
+}
+
+void DiagnosisFramework::load(std::istream& is) {
+  std::string token;
+  is >> token;
+  M3DFL_REQUIRE(token == "m3dfl-framework", "not a framework stream");
+  is >> token;
+  M3DFL_REQUIRE(token == "1", "unsupported framework version");
+  is >> token;
+  M3DFL_REQUIRE(token == "tp_threshold", "framework stream: missing T_P");
+  is >> token;
+  tp_threshold_ = std::strtod(token.c_str(), nullptr);
+  tier_predictor_ =
+      std::make_unique<TierPredictor>(load_tier_predictor(is));
+  miv_pinpointer_ =
+      std::make_unique<MivPinpointer>(load_miv_pinpointer(is));
+  classifier_ = std::make_unique<PruneClassifier>(
+      load_prune_classifier(is, *tier_predictor_));
+  trained_ = true;
+}
+
+std::vector<Candidate> DiagnosisFramework::diagnose(
+    const DesignContext& design, const Subgraph& subgraph,
+    DiagnosisReport& report, FrameworkPrediction* prediction_out) const {
+  FrameworkPrediction prediction = predict(subgraph);
+  std::vector<Candidate> pruned = refine_report(design, prediction, report);
+  prediction.pruned = !pruned.empty();
+  if (prediction_out != nullptr) *prediction_out = prediction;
+  return pruned;
+}
+
+}  // namespace m3dfl

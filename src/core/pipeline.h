@@ -1,0 +1,46 @@
+// Dataset construction: fault injection -> failure log -> back-trace ->
+// labeled subgraph (the per-sample path of paper Fig. 1, left branch).
+#ifndef M3DFL_CORE_PIPELINE_H_
+#define M3DFL_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "core/framework.h"
+#include "diag/datagen.h"
+#include "graph/subgraph.h"
+
+namespace m3dfl {
+
+// Samples and their back-traced, labeled subgraphs (parallel vectors).
+struct LabeledDataset {
+  std::vector<Sample> samples;
+  std::vector<Subgraph> graphs;
+
+  std::size_t size() const { return samples.size(); }
+  void append(LabeledDataset&& other);
+};
+
+// Generates `options.num_samples` labeled samples on one design.
+LabeledDataset build_dataset(const Design& design,
+                             const DataGenOptions& options);
+
+// Back-traces one failure log into a subgraph (unlabeled).
+Subgraph subgraph_for_log(const Design& design, const FailureLog& log);
+
+// The paper's transferable training set: Syn-1 plus two randomly partitioned
+// netlists of the same profile (data augmentation, Sec. IV).
+struct TransferTrainOptions {
+  std::int32_t samples_syn1 = 280;
+  std::int32_t samples_per_random = 140;
+  double miv_fault_prob = 0.2;
+  bool compacted = false;
+  std::uint64_t seed = 2024;
+};
+
+LabeledDataset build_transfer_training_set(Profile profile,
+                                           const Design& syn1,
+                                           const TransferTrainOptions& options);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_CORE_PIPELINE_H_

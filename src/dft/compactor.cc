@@ -1,0 +1,32 @@
+#include "dft/compactor.h"
+
+namespace m3dfl {
+
+XorCompactor::XorCompactor(const ScanChains& chains,
+                           std::int32_t chains_per_channel) {
+  M3DFL_REQUIRE(chains_per_channel > 0, "compaction ratio must be positive");
+  ratio_ = chains_per_channel;
+  const std::int32_t n = chains.num_chains();
+  chain_to_channel_.assign(static_cast<std::size_t>(n), -1);
+  for (std::int32_t c = 0; c < n; ++c) {
+    const std::int32_t ch = c / chains_per_channel;
+    if (ch == static_cast<std::int32_t>(channels_.size())) {
+      channels_.emplace_back();
+    }
+    channels_[static_cast<std::size_t>(ch)].push_back(c);
+    chain_to_channel_[static_cast<std::size_t>(c)] = ch;
+  }
+}
+
+std::vector<std::int32_t> XorCompactor::cells_at(const ScanChains& chains,
+                                                 std::int32_t channel,
+                                                 std::int32_t position) const {
+  std::vector<std::int32_t> cells;
+  for (std::int32_t chain : channel_chains(channel)) {
+    const std::int32_t flop = chains.flop_at(chain, position);
+    if (flop >= 0) cells.push_back(flop);
+  }
+  return cells;
+}
+
+}  // namespace m3dfl

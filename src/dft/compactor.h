@@ -1,0 +1,62 @@
+// XOR space compactor.
+//
+// Test compression reduces tester data volume by XOR-ing several scan chains
+// into one output channel per shift cycle.  A failing tester bit then only
+// identifies a (pattern, channel, shift-position) triple: any cell of any
+// chain feeding that channel at that position may be the failing one.  This
+// ambiguity is exactly why compaction degrades diagnostic resolution (paper
+// Tables VII/VIII) — back-tracing must union the fan-in cones of all aliased
+// cells.
+//
+// The compactor is combinational XOR (what the paper's framework is declared
+// compatible with); designs also carry a bypass mode that scans raw
+// responses out, modelled by simply not compacting.
+#ifndef M3DFL_DFT_COMPACTOR_H_
+#define M3DFL_DFT_COMPACTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dft/scan.h"
+
+namespace m3dfl {
+
+// Groups scan chains into XOR output channels.
+class XorCompactor {
+ public:
+  XorCompactor() = default;
+  // Channels cover `chains_per_channel` consecutive chains each; the last
+  // channel may be narrower.  chains_per_channel is the compaction ratio.
+  XorCompactor(const ScanChains& chains, std::int32_t chains_per_channel);
+
+  std::int32_t num_channels() const {
+    return static_cast<std::int32_t>(channels_.size());
+  }
+  std::int32_t chains_per_channel() const { return ratio_; }
+  // Chain indices XOR-ed into channel `ch`.
+  const std::vector<std::int32_t>& channel_chains(std::int32_t ch) const {
+    M3DFL_ASSERT(ch >= 0 && ch < num_channels());
+    return channels_[static_cast<std::size_t>(ch)];
+  }
+  std::int32_t channel_of_chain(std::int32_t chain) const {
+    M3DFL_ASSERT(chain >= 0 &&
+                 chain < static_cast<std::int32_t>(chain_to_channel_.size()));
+    return chain_to_channel_[static_cast<std::size_t>(chain)];
+  }
+
+  // Flop indices observable at (channel, position): the cells of every chain
+  // in the channel at that shift position.  This is the aliasing set used by
+  // back-tracing in compacted mode.
+  std::vector<std::int32_t> cells_at(const ScanChains& chains,
+                                     std::int32_t channel,
+                                     std::int32_t position) const;
+
+ private:
+  std::vector<std::vector<std::int32_t>> channels_;
+  std::vector<std::int32_t> chain_to_channel_;
+  std::int32_t ratio_ = 1;
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_DFT_COMPACTOR_H_

@@ -1,0 +1,50 @@
+#include "dft/scan.h"
+
+#include "util/rng.h"
+
+namespace m3dfl {
+
+ScanChains::ScanChains(const Netlist& netlist, std::int32_t num_chains,
+                       std::uint64_t seed) {
+  M3DFL_REQUIRE(netlist.finalized(), "scan stitching requires a finalized netlist");
+  M3DFL_REQUIRE(num_chains > 0, "need at least one scan chain");
+  num_flops_ = static_cast<std::int32_t>(netlist.flops().size());
+  M3DFL_REQUIRE(num_flops_ > 0, "design has no flops to stitch");
+  if (num_chains > num_flops_) num_chains = num_flops_;
+
+  // Pseudo-physical stitching order: a seeded shuffle stands in for the
+  // place-and-route-driven chain ordering of a physical design.
+  std::vector<std::int32_t> order(static_cast<std::size_t>(num_flops_));
+  for (std::int32_t i = 0; i < num_flops_; ++i) {
+    order[static_cast<std::size_t>(i)] = i;
+  }
+  Rng rng(seed);
+  rng.shuffle(order);
+
+  chains_.resize(static_cast<std::size_t>(num_chains));
+  chain_of_.assign(static_cast<std::size_t>(num_flops_), -1);
+  position_of_.assign(static_cast<std::size_t>(num_flops_), -1);
+  for (std::int32_t i = 0; i < num_flops_; ++i) {
+    const std::int32_t c = i % num_chains;
+    const std::int32_t flop = order[static_cast<std::size_t>(i)];
+    chain_of_[static_cast<std::size_t>(flop)] = c;
+    position_of_[static_cast<std::size_t>(flop)] =
+        static_cast<std::int32_t>(chains_[static_cast<std::size_t>(c)].size());
+    chains_[static_cast<std::size_t>(c)].push_back(flop);
+  }
+  max_length_ = 0;
+  for (const auto& c : chains_) {
+    max_length_ = std::max(max_length_, static_cast<std::int32_t>(c.size()));
+  }
+}
+
+std::int32_t ScanChains::flop_at(std::int32_t c, std::int32_t position) const {
+  M3DFL_ASSERT(c >= 0 && c < num_chains());
+  const auto& chain = chains_[static_cast<std::size_t>(c)];
+  if (position < 0 || position >= static_cast<std::int32_t>(chain.size())) {
+    return -1;
+  }
+  return chain[static_cast<std::size_t>(position)];
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,66 @@
+// Scan architecture.
+//
+// The designs are full-scan: every flop is a scan flop, stitched into one of
+// N scan chains.  During LOC (launch-on-capture) transition-delay testing,
+// the chains load the launch state, the capture clock stores the response,
+// and the chains shift the response out — either directly (bypass mode) or
+// through a space compactor (see dft/compactor.h).
+//
+// Flops are addressed here by *flop index*: the dense position of the flop in
+// Netlist::flops().  This is the index space used by the simulator's state
+// arrays and by failure logs.
+#ifndef M3DFL_DFT_SCAN_H_
+#define M3DFL_DFT_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace m3dfl {
+
+// Scan-chain stitching of all flops in a netlist.
+class ScanChains {
+ public:
+  ScanChains() = default;
+  // Stitches the netlist's flops into `num_chains` chains of (nearly) equal
+  // length in a seeded pseudo-physical order.  Chain position 0 is the cell
+  // nearest the scan output (unloaded first).
+  ScanChains(const Netlist& netlist, std::int32_t num_chains,
+             std::uint64_t seed);
+
+  std::int32_t num_chains() const {
+    return static_cast<std::int32_t>(chains_.size());
+  }
+  std::int32_t num_flops() const { return num_flops_; }
+  // Longest chain length; shorter chains are conceptually padded at the tail.
+  std::int32_t max_chain_length() const { return max_length_; }
+
+  // Flop indices along chain `c`, position 0 first.
+  const std::vector<std::int32_t>& chain(std::int32_t c) const {
+    M3DFL_ASSERT(c >= 0 && c < num_chains());
+    return chains_[static_cast<std::size_t>(c)];
+  }
+
+  std::int32_t chain_of_flop(std::int32_t flop_index) const {
+    M3DFL_ASSERT(flop_index >= 0 && flop_index < num_flops_);
+    return chain_of_[static_cast<std::size_t>(flop_index)];
+  }
+  std::int32_t position_of_flop(std::int32_t flop_index) const {
+    M3DFL_ASSERT(flop_index >= 0 && flop_index < num_flops_);
+    return position_of_[static_cast<std::size_t>(flop_index)];
+  }
+  // Flop index at (chain, position), or -1 past the chain's end.
+  std::int32_t flop_at(std::int32_t c, std::int32_t position) const;
+
+ private:
+  std::vector<std::vector<std::int32_t>> chains_;
+  std::vector<std::int32_t> chain_of_;
+  std::vector<std::int32_t> position_of_;
+  std::int32_t num_flops_ = 0;
+  std::int32_t max_length_ = 0;
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_DFT_SCAN_H_

@@ -1,0 +1,259 @@
+#include "dft/test_points.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace m3dfl {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Forward controllability propagation for one gate; fanin nets are ready.
+void gate_controllability(const Netlist& nl, GateId g, Scoap& s) {
+  const Gate& gate = nl.gate(g);
+  if (gate.fanout == kNullNet) return;
+  const auto out = static_cast<std::size_t>(gate.fanout);
+  const auto c0 = [&](std::size_t i) {
+    return s.cc0[static_cast<std::size_t>(gate.fanin[i])];
+  };
+  const auto c1 = [&](std::size_t i) {
+    return s.cc1[static_cast<std::size_t>(gate.fanin[i])];
+  };
+  const std::size_t k = gate.fanin.size();
+  double sum0 = 0.0;
+  double sum1 = 0.0;
+  double min0 = kInf;
+  double min1 = kInf;
+  for (std::size_t i = 0; i < k; ++i) {
+    sum0 += c0(i);
+    sum1 += c1(i);
+    min0 = std::min(min0, c0(i));
+    min1 = std::min(min1, c1(i));
+  }
+  switch (gate.type) {
+    case GateType::kBuf:
+      s.cc0[out] = c0(0) + 1;
+      s.cc1[out] = c1(0) + 1;
+      break;
+    case GateType::kInv:
+      s.cc0[out] = c1(0) + 1;
+      s.cc1[out] = c0(0) + 1;
+      break;
+    case GateType::kAnd:
+      s.cc1[out] = sum1 + 1;
+      s.cc0[out] = min0 + 1;
+      break;
+    case GateType::kNand:
+      s.cc0[out] = sum1 + 1;
+      s.cc1[out] = min0 + 1;
+      break;
+    case GateType::kOr:
+      s.cc0[out] = sum0 + 1;
+      s.cc1[out] = min1 + 1;
+      break;
+    case GateType::kNor:
+      s.cc1[out] = sum0 + 1;
+      s.cc0[out] = min1 + 1;
+      break;
+    case GateType::kXor:
+      s.cc1[out] = std::min(c0(0) + c1(1), c1(0) + c0(1)) + 1;
+      s.cc0[out] = std::min(c0(0) + c0(1), c1(0) + c1(1)) + 1;
+      break;
+    case GateType::kXnor:
+      s.cc0[out] = std::min(c0(0) + c1(1), c1(0) + c0(1)) + 1;
+      s.cc1[out] = std::min(c0(0) + c0(1), c1(0) + c1(1)) + 1;
+      break;
+    case GateType::kMux:
+      // inputs: [sel, a, b]
+      s.cc1[out] = std::min(c0(0) + c1(1), c1(0) + c1(2)) + 1;
+      s.cc0[out] = std::min(c0(0) + c0(1), c1(0) + c0(2)) + 1;
+      break;
+    default:
+      M3DFL_ASSERT(false);
+  }
+}
+
+// Backward observability for one gate: given CO of the output net, derive CO
+// contributions for each input pin and fold them into the input nets.
+void gate_observability(const Netlist& nl, GateId g, Scoap& s) {
+  const Gate& gate = nl.gate(g);
+  if (gate.fanout == kNullNet) return;
+  const double out_co = s.co[static_cast<std::size_t>(gate.fanout)];
+  const std::size_t k = gate.fanin.size();
+  const auto c0 = [&](std::size_t i) {
+    return s.cc0[static_cast<std::size_t>(gate.fanin[i])];
+  };
+  const auto c1 = [&](std::size_t i) {
+    return s.cc1[static_cast<std::size_t>(gate.fanin[i])];
+  };
+  const auto fold = [&](std::size_t i, double co) {
+    double& slot = s.co[static_cast<std::size_t>(gate.fanin[i])];
+    slot = std::min(slot, co);
+  };
+  switch (gate.type) {
+    case GateType::kBuf:
+    case GateType::kInv:
+      fold(0, out_co + 1);
+      break;
+    case GateType::kAnd:
+    case GateType::kNand:
+      for (std::size_t i = 0; i < k; ++i) {
+        double side = 0.0;
+        for (std::size_t j = 0; j < k; ++j) {
+          if (j != i) side += c1(j);
+        }
+        fold(i, out_co + side + 1);
+      }
+      break;
+    case GateType::kOr:
+    case GateType::kNor:
+      for (std::size_t i = 0; i < k; ++i) {
+        double side = 0.0;
+        for (std::size_t j = 0; j < k; ++j) {
+          if (j != i) side += c0(j);
+        }
+        fold(i, out_co + side + 1);
+      }
+      break;
+    case GateType::kXor:
+    case GateType::kXnor:
+      fold(0, out_co + std::min(c0(1), c1(1)) + 1);
+      fold(1, out_co + std::min(c0(0), c1(0)) + 1);
+      break;
+    case GateType::kMux:
+      // Observing sel requires the two data inputs to differ.
+      fold(0, out_co + std::min(c0(1) + c1(2), c1(1) + c0(2)) + 1);
+      fold(1, out_co + c0(0) + 1);  // a observed when sel=0
+      fold(2, out_co + c1(0) + 1);  // b observed when sel=1
+      break;
+    default:
+      M3DFL_ASSERT(false);
+  }
+}
+
+}  // namespace
+
+Scoap compute_scoap(const Netlist& netlist) {
+  M3DFL_REQUIRE(netlist.finalized(), "SCOAP requires a finalized netlist");
+  Scoap s;
+  const auto n = static_cast<std::size_t>(netlist.num_nets());
+  s.cc0.assign(n, kInf);
+  s.cc1.assign(n, kInf);
+  s.co.assign(n, kInf);
+
+  // Sources are directly controllable: PIs from the tester, flop Qs by scan.
+  for (GateId g : netlist.primary_inputs()) {
+    s.cc0[static_cast<std::size_t>(netlist.gate(g).fanout)] = 1.0;
+    s.cc1[static_cast<std::size_t>(netlist.gate(g).fanout)] = 1.0;
+  }
+  for (GateId g : netlist.flops()) {
+    s.cc0[static_cast<std::size_t>(netlist.gate(g).fanout)] = 1.0;
+    s.cc1[static_cast<std::size_t>(netlist.gate(g).fanout)] = 1.0;
+  }
+  for (GateId g : netlist.topo_order()) gate_controllability(netlist, g, s);
+
+  // Sinks are directly observable: POs on the tester, flop Ds by scan.
+  for (GateId g : netlist.primary_outputs()) {
+    s.co[static_cast<std::size_t>(netlist.gate(g).fanin[0])] = 0.0;
+  }
+  for (GateId g : netlist.flops()) {
+    s.co[static_cast<std::size_t>(netlist.gate(g).fanin[0])] = 0.0;
+  }
+  const auto& topo = netlist.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    gate_observability(netlist, *it, s);
+  }
+  return s;
+}
+
+TestPointSummary insert_test_points(Netlist& netlist,
+                                    const TestPointOptions& options) {
+  M3DFL_REQUIRE(netlist.finalized(), "TPI requires a finalized netlist");
+  M3DFL_REQUIRE(options.fraction >= 0.0 && options.fraction <= 0.2,
+                "test-point fraction out of range");
+  const Scoap scoap = compute_scoap(netlist);
+  const auto budget = static_cast<std::int32_t>(
+      options.fraction * static_cast<double>(netlist.num_logic_gates()));
+  TestPointSummary summary;
+  if (budget == 0) return summary;
+
+  auto n_obs = static_cast<std::int32_t>(
+      std::round(options.observe_share * static_cast<double>(budget)));
+  n_obs = std::clamp(n_obs, 0, budget);
+  const std::int32_t n_ctl = budget - n_obs;
+
+  // Rank nets by the testability cost each point kind addresses.  Infinite
+  // scores (structurally dead logic) are ranked first — exactly the nets a
+  // TP rescues.
+  std::vector<NetId> by_observability;
+  std::vector<NetId> by_controllability;
+  for (NetId net = 0; net < netlist.num_nets(); ++net) {
+    by_observability.push_back(net);
+    by_controllability.push_back(net);
+  }
+  const auto co_key = [&](NetId net) {
+    return scoap.co[static_cast<std::size_t>(net)];
+  };
+  const auto cc_key = [&](NetId net) {
+    return std::max(scoap.cc0[static_cast<std::size_t>(net)],
+                    scoap.cc1[static_cast<std::size_t>(net)]);
+  };
+  std::stable_sort(by_observability.begin(), by_observability.end(),
+                   [&](NetId a, NetId b) { return co_key(a) > co_key(b); });
+  std::stable_sort(by_controllability.begin(), by_controllability.end(),
+                   [&](NetId a, NetId b) { return cc_key(a) > cc_key(b); });
+
+  Rng rng(options.seed);
+  netlist.definalize();
+
+  // Observation points: a new scan flop whose D pin senses the net.
+  for (std::int32_t i = 0; i < n_obs && i < netlist.num_nets(); ++i) {
+    const NetId target = by_observability[static_cast<std::size_t>(i)];
+    const GateId ff = netlist.add_gate(
+        GateType::kScanFlop, "tpobs" + std::to_string(summary.num_observe));
+    const NetId q = netlist.add_net();
+    netlist.set_output(ff, q);
+    netlist.connect_input(ff, target);
+    ++summary.num_observe;
+  }
+
+  // Control points: splice the net through an AND (force-0) or OR (force-1)
+  // gate whose second input is a fresh test PI.  Random pattern fill then
+  // drives the control input, improving downstream controllability.
+  for (std::int32_t i = 0; i < n_ctl && i < netlist.num_nets(); ++i) {
+    const NetId target = by_controllability[static_cast<std::size_t>(i)];
+    // Redirect all sinks of `target` to a new net fed by the control gate.
+    // Sink lists were dropped by definalize(); rediscover from gate fanins.
+    const bool force0 = rng.next_bool();
+    const GateId pi = netlist.add_gate(
+        GateType::kPrimaryInput, "tpctl_in" + std::to_string(summary.num_control));
+    const NetId pin = netlist.add_net();
+    netlist.set_output(pi, pin);
+    const GateId ctl = netlist.add_gate(
+        force0 ? GateType::kAnd : GateType::kOr,
+        "tpctl" + std::to_string(summary.num_control));
+    const NetId out = netlist.add_net();
+    netlist.set_output(ctl, out);
+
+    for (GateId g = 0; g < netlist.num_gates(); ++g) {
+      if (g == ctl) continue;
+      const Gate& gate = netlist.gate(g);
+      for (std::size_t p = 0; p < gate.fanin.size(); ++p) {
+        if (gate.fanin[p] == target) {
+          netlist.reconnect_input(g, static_cast<std::int32_t>(p), out);
+        }
+      }
+    }
+    netlist.connect_input(ctl, target);
+    netlist.connect_input(ctl, pin);
+    ++summary.num_control;
+  }
+
+  netlist.finalize();
+  return summary;
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,56 @@
+// SCOAP testability analysis and test-point insertion (TPI).
+//
+// Test points are the DfT structures behind the paper's "TPI" design
+// configuration.  We compute SCOAP-style controllability/observability
+// estimates and insert:
+//  * observation points — a new scan flop sensing a hard-to-observe net,
+//    which directly adds diagnosis observation points; and
+//  * control points    — an AND/OR gate spliced into a hard-to-control net,
+//    driven by a new test-input PI, improving downstream controllability.
+//
+// The paper caps test points at 1% of the gate count and lets the ATPG tool
+// choose locations; we reproduce that contract with the SCOAP ranking.
+#ifndef M3DFL_DFT_TEST_POINTS_H_
+#define M3DFL_DFT_TEST_POINTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace m3dfl {
+
+// SCOAP combinational testability measures per net.
+struct Scoap {
+  std::vector<double> cc0;  // controllability to 0
+  std::vector<double> cc1;  // controllability to 1
+  std::vector<double> co;   // observability (min over sink pins)
+};
+
+// Computes SCOAP measures for a finalized full-scan netlist.  Flop outputs
+// are scan-controllable (CC=1); flop D inputs and POs are scan-observable
+// (CO=0).
+Scoap compute_scoap(const Netlist& netlist);
+
+struct TestPointOptions {
+  // Total test points as a fraction of the logic gate count (paper: 1%).
+  double fraction = 0.01;
+  // Split between observation and control points.
+  double observe_share = 0.6;
+  std::uint64_t seed = 1;
+};
+
+struct TestPointSummary {
+  std::int32_t num_observe = 0;
+  std::int32_t num_control = 0;
+};
+
+// Inserts test points into `netlist` (which is definalized, modified, and
+// re-finalized).  New observation flops are appended to the flop list, so
+// scan chains must be (re)built afterwards.
+TestPointSummary insert_test_points(Netlist& netlist,
+                                    const TestPointOptions& options);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_DFT_TEST_POINTS_H_

@@ -1,0 +1,443 @@
+#include "diag/atpg_diagnosis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "sim/fault_sim.h"
+
+namespace m3dfl {
+namespace {
+
+// Failure-log entries encoded as sortable 64-bit keys (bit granularity).
+std::vector<std::uint64_t> bit_signature(const FailureLog& log) {
+  std::vector<std::uint64_t> sig;
+  sig.reserve(static_cast<std::size_t>(log.num_failing_bits()));
+  for (const Observation& o : log.scan_fails) {
+    sig.push_back((0ULL << 62) | (static_cast<std::uint64_t>(o.pattern) << 24) |
+                  static_cast<std::uint64_t>(o.index));
+  }
+  for (const ChannelFail& c : log.channel_fails) {
+    sig.push_back((2ULL << 62) | (static_cast<std::uint64_t>(c.pattern) << 32) |
+                  (static_cast<std::uint64_t>(c.channel) << 16) |
+                  static_cast<std::uint64_t>(c.position));
+  }
+  for (const Observation& o : log.po_fails) {
+    sig.push_back((1ULL << 62) | (static_cast<std::uint64_t>(o.pattern) << 24) |
+                  static_cast<std::uint64_t>(o.index));
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+// Distinct failing patterns of a log, sorted (the scoring granularity).
+std::vector<std::int32_t> pattern_signature(const FailureLog& log) {
+  std::vector<std::int32_t> sig;
+  for (const Observation& o : log.scan_fails) sig.push_back(o.pattern);
+  for (const ChannelFail& c : log.channel_fails) sig.push_back(c.pattern);
+  for (const Observation& o : log.po_fails) sig.push_back(o.pattern);
+  std::sort(sig.begin(), sig.end());
+  sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+  return sig;
+}
+
+// |a ∩ b| for sorted vectors.
+template <typename T>
+std::int32_t sorted_overlap(const std::vector<T>& a, const std::vector<T>& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::int32_t overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+// One erroneous tester response to back-trace: the failing pattern plus the
+// observation-anchor nets (several when compaction aliases chains).
+struct Response {
+  std::int32_t pattern = 0;
+  std::vector<NetId> anchors;
+};
+
+std::vector<Response> collect_responses(const DesignContext& design,
+                                        const FailureLog& log) {
+  const Netlist& nl = *design.netlist;
+  std::vector<Response> responses;
+  for (const Observation& o : log.scan_fails) {
+    responses.push_back(Response{
+        o.pattern,
+        {nl.gate(nl.flops()[static_cast<std::size_t>(o.index)]).fanin[0]}});
+  }
+  for (const ChannelFail& c : log.channel_fails) {
+    Response r;
+    r.pattern = c.pattern;
+    for (std::int32_t flop :
+         design.compactor->cells_at(*design.scan, c.channel, c.position)) {
+      r.anchors.push_back(
+          nl.gate(nl.flops()[static_cast<std::size_t>(flop)]).fanin[0]);
+    }
+    responses.push_back(std::move(r));
+  }
+  for (const Observation& o : log.po_fails) {
+    responses.push_back(Response{
+        o.pattern,
+        {nl.gate(nl.primary_outputs()[static_cast<std::size_t>(o.index)])
+             .fanin[0]}});
+  }
+  return responses;
+}
+
+// Back-cone suspect extraction.  For each response, the suspect set is the
+// union over anchors of the nets in the anchor's combinational back-cone
+// that transition under the failing pattern.  Returns, per net, in how many
+// responses it was suspect.  Static (stuck-at) defects are activated by a
+// wrong *level* rather than a missed transition, so when the flow also hunts
+// static candidates the transition requirement is dropped.
+std::vector<std::int32_t> count_suspects(const DesignContext& design,
+                                         const std::vector<Response>& traced,
+                                         bool require_transition) {
+  const Netlist& nl = *design.netlist;
+  const LocSimulator& good = *design.good;
+  std::vector<std::int32_t> count(static_cast<std::size_t>(nl.num_nets()), 0);
+  std::vector<std::uint32_t> seen(static_cast<std::size_t>(nl.num_nets()), 0);
+  std::uint32_t stamp = 0;
+  std::vector<NetId> stack;
+
+  for (const Response& r : traced) {
+    ++stamp;
+    for (NetId anchor : r.anchors) {
+      if (seen[static_cast<std::size_t>(anchor)] != stamp) {
+        seen[static_cast<std::size_t>(anchor)] = stamp;
+        stack.push_back(anchor);
+      }
+    }
+    while (!stack.empty()) {
+      const NetId n = stack.back();
+      stack.pop_back();
+      if (!require_transition || good.has_transition(n, r.pattern)) {
+        ++count[static_cast<std::size_t>(n)];
+      }
+      const GateId driver = nl.net(n).driver;
+      const Gate& dg = nl.gate(driver);
+      if (!is_combinational(dg.type)) continue;
+      for (NetId in : dg.fanin) {
+        if (seen[static_cast<std::size_t>(in)] != stamp) {
+          seen[static_cast<std::size_t>(in)] = stamp;
+          stack.push_back(in);
+        }
+      }
+    }
+  }
+  return count;
+}
+
+// Candidate faults on a suspect net (stem + branch pins, both directions,
+// optional static candidates, plus the MIV if the net crosses tiers).
+std::vector<Fault> enumerate_candidates(const DesignContext& design,
+                                        const std::vector<NetId>& suspects,
+                                        const DiagnosisOptions& options) {
+  const Netlist& nl = *design.netlist;
+  std::vector<Fault> candidates;
+  for (NetId n : suspects) {
+    const Net& net = nl.net(n);
+    const PinId stem = nl.output_pin(net.driver);
+    const auto add_pin = [&](PinId pin) {
+      candidates.push_back(Fault::slow_to_rise(pin));
+      candidates.push_back(Fault::slow_to_fall(pin));
+      if (options.include_stuck_at_candidates) {
+        candidates.push_back(Fault::stuck_at(pin, false));
+        candidates.push_back(Fault::stuck_at(pin, true));
+      }
+    };
+    add_pin(stem);
+    for (const PinRef& sink : net.sinks) add_pin(nl.pin_id(sink));
+    const MivId miv = design.mivs->miv_of_net(n);
+    if (miv != kNullMiv) candidates.push_back(Fault::miv_delay(miv));
+  }
+  return candidates;
+}
+
+// Iterative-cover ("multiplet") diagnosis for multi-fault dies.  Each round
+// anchors on the earliest still-unexplained failing pattern: the responsible
+// fault must transition there and reach that pattern's failing observation
+// points, so the strict per-anchor suspect intersection contains its site.
+// The anchor-consistent candidates are ranked by how many of the remaining
+// failing patterns they explain (no penalty for leaving patterns to the
+// other faults), the best explanation's patterns are subtracted, and the
+// loop continues until every response is accounted for.
+DiagnosisReport diagnose_cover(const DesignContext& design,
+                               const FailureLog& log,
+                               const DiagnosisOptions& options,
+                               const std::vector<Response>& responses) {
+  const Netlist& nl = *design.netlist;
+  FaultSimulator fsim(nl, *design.good, design.mivs);
+  const XorCompactor* compactor = log.compacted ? design.compactor : nullptr;
+
+  DiagnosisReport report;
+  std::vector<Response> remaining = responses;
+  for (int round = 0; round < 24 && !remaining.empty(); ++round) {
+    // Anchor on ONE response (earliest pattern): whatever else is failing,
+    // the culprit of this response transitions at its pattern and lies in
+    // its cone, so the single-response suspect set must contain its site.
+    // (Anchoring on whole patterns breaks when two faults fail the same
+    // pattern at different observation points: the cone intersection then
+    // contains neither site.)
+    std::size_t anchor_idx = 0;
+    for (std::size_t i = 1; i < remaining.size(); ++i) {
+      if (remaining[i].pattern < remaining[anchor_idx].pattern) {
+        anchor_idx = i;
+      }
+    }
+    const std::int32_t anchor = remaining[anchor_idx].pattern;
+    const std::vector<Response> cluster = {remaining[anchor_idx]};
+
+    const std::vector<std::int32_t> count = count_suspects(
+        design, cluster, !options.include_stuck_at_candidates);
+    std::vector<NetId> suspects;
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+      if (count[static_cast<std::size_t>(n)] > 0) suspects.push_back(n);
+    }
+
+    std::vector<std::int32_t> observed;
+    for (const Response& r : remaining) observed.push_back(r.pattern);
+    std::sort(observed.begin(), observed.end());
+    observed.erase(std::unique(observed.begin(), observed.end()),
+                   observed.end());
+
+    // Score the anchor-consistent candidates by how many remaining failing
+    // patterns they explain.
+    struct Scored {
+      Candidate candidate;
+      std::vector<std::int32_t> predicted;
+    };
+    std::vector<Scored> scored;
+    for (const Fault& f : enumerate_candidates(design, suspects, options)) {
+      const std::vector<Observation> raw = fsim.simulate(f);
+      if (raw.empty()) continue;
+      const FailureLog predicted_log = truncate_failure_log(
+          make_failure_log(raw, *design.scan, compactor), log.pattern_limit);
+      std::vector<std::int32_t> predicted = pattern_signature(predicted_log);
+      Candidate c;
+      c.fault = f;
+      c.tfsf = sorted_overlap(observed, predicted);
+      c.tfsp = static_cast<std::int32_t>(observed.size()) - c.tfsf;
+      c.tpsf = static_cast<std::int32_t>(predicted.size()) - c.tfsf;
+      // Fault interaction can mask a culprit's solo behaviour at the anchor
+      // itself, so anchor-explanation is a bonus rather than a filter.
+      c.score = c.tfsf +
+                (std::binary_search(predicted.begin(), predicted.end(),
+                                    anchor)
+                     ? 2.0
+                     : 0.0);
+      if (c.tfsf > 0) scored.push_back(Scored{c, std::move(predicted)});
+    }
+
+    if (!scored.empty()) {
+      std::sort(scored.begin(), scored.end(),
+                [](const Scored& a, const Scored& b) {
+                  if (a.candidate.score != b.candidate.score) {
+                    return a.candidate.score > b.candidate.score;
+                  }
+                  if (a.candidate.fault.is_miv() !=
+                      b.candidate.fault.is_miv()) {
+                    return a.candidate.fault.is_miv();
+                  }
+                  if (a.candidate.fault.pin != b.candidate.fault.pin) {
+                    return a.candidate.fault.pin < b.candidate.fault.pin;
+                  }
+                  return a.candidate.fault.type < b.candidate.fault.type;
+                });
+      // Keep the cluster's plausible explanations: all anchor-consistent
+      // candidates within a generous score band (the true fault explains
+      // only its own share of a multi-fault log).
+      const double floor_score =
+          scored.front().candidate.score * 0.5 * options.keep_ratio;
+      std::int32_t kept = 0;
+      for (const Scored& sc : scored) {
+        if (sc.candidate.score < floor_score || kept >= 6) break;
+        const bool duplicate = std::any_of(
+            report.candidates.begin(), report.candidates.end(),
+            [&](const Candidate& c) {
+              return c.fault == sc.candidate.fault;
+            });
+        if (!duplicate) {
+          report.candidates.push_back(sc.candidate);
+          ++kept;
+        }
+        if (report.resolution() >= options.max_candidates) return report;
+      }
+    }
+
+    // Subtract the anchored response (guaranteed progress) plus every
+    // response whose pattern the round's best explanation covers.
+    std::vector<std::int32_t> explained;
+    if (!scored.empty()) explained = scored.front().predicted;
+    std::vector<Response> next;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (i == anchor_idx) continue;
+      if (!std::binary_search(explained.begin(), explained.end(),
+                              remaining[i].pattern)) {
+        next.push_back(std::move(remaining[i]));
+      }
+    }
+    remaining = std::move(next);
+  }
+  return report;
+}
+
+}  // namespace
+
+DiagnosisReport diagnose_atpg(const DesignContext& design,
+                              const FailureLog& log,
+                              const DiagnosisOptions& options) {
+  M3DFL_REQUIRE(design.netlist != nullptr && design.good != nullptr &&
+                    design.mivs != nullptr && design.scan != nullptr,
+                "incomplete design context");
+  M3DFL_REQUIRE(!log.compacted || design.compactor != nullptr,
+                "compacted log requires a compactor in the context");
+  DiagnosisReport report;
+  if (log.empty()) return report;
+  const Netlist& nl = *design.netlist;
+
+  // ---- Effect-cause: suspect nets -----------------------------------------
+  std::vector<Response> responses = collect_responses(design, log);
+  const std::size_t total = responses.size();
+  if (total > static_cast<std::size_t>(options.max_traced_responses)) {
+    // Deterministic thinning: keep a uniform stride so early and late
+    // patterns both contribute.
+    std::vector<Response> thinned;
+    const double stride = static_cast<double>(total) /
+                          static_cast<double>(options.max_traced_responses);
+    for (std::int32_t i = 0; i < options.max_traced_responses; ++i) {
+      thinned.push_back(
+          responses[static_cast<std::size_t>(std::floor(i * stride))]);
+    }
+    responses = std::move(thinned);
+  }
+  const auto n_traced = static_cast<std::int32_t>(responses.size());
+  const std::vector<std::int32_t> count = count_suspects(
+      design, responses, !options.include_stuck_at_candidates);
+
+  std::vector<NetId> suspects;
+  const auto near_threshold = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(
+             std::ceil(options.near_fraction * n_traced)));
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (count[static_cast<std::size_t>(n)] >= near_threshold) {
+      suspects.push_back(n);
+    }
+  }
+  if (suspects.empty()) {
+    // Multi-fault dies rarely share a common cone across all responses; the
+    // standard remedy is iterative covering: diagnose the strongest
+    // remaining fault, subtract the responses it explains, repeat.
+    return diagnose_cover(design, log, options, responses);
+  }
+
+  // ---- Cause-effect: candidate enumeration and simulation -----------------
+  const std::vector<Fault> candidates =
+      enumerate_candidates(design, suspects, options);
+
+  const std::vector<std::int32_t> observed = pattern_signature(log);
+  const std::vector<std::uint64_t> observed_bits = bit_signature(log);
+  FaultSimulator fsim(nl, *design.good, design.mivs);
+  const XorCompactor* compactor = log.compacted ? design.compactor : nullptr;
+
+  std::vector<Candidate> scored;
+  for (const Fault& f : candidates) {
+    const std::vector<Observation> raw = fsim.simulate(f);
+    if (raw.empty()) continue;
+    // Candidate predictions see the same tester fail-memory truncation as
+    // the observed log, so the comparison stays apples-to-apples.
+    const FailureLog predicted_log = truncate_failure_log(
+        make_failure_log(raw, *design.scan, compactor), log.pattern_limit);
+    const std::vector<std::int32_t> predicted =
+        pattern_signature(predicted_log);
+
+    Candidate c;
+    c.fault = f;
+    c.tfsf = sorted_overlap(observed, predicted);
+    c.tfsp = static_cast<std::int32_t>(observed.size()) - c.tfsf;
+    c.tpsf = static_cast<std::int32_t>(predicted.size()) - c.tfsf;
+    c.bit_tfsp = static_cast<std::int32_t>(observed_bits.size()) -
+                 sorted_overlap(observed_bits, bit_signature(predicted_log));
+    c.score = static_cast<double>(c.tfsf) - options.w_tfsp * c.tfsp -
+              options.w_tpsf * c.tpsf - options.w_bit_tfsp * c.bit_tfsp;
+    if (c.score <= 0.0) continue;
+    scored.push_back(c);
+  }
+  // No credible explanation from the one-shot intersection: static faults
+  // corrupt the launch state, so some responses arise outside their
+  // capture-cycle back-cones and poison the intersection.  The iterative
+  // cover handles those response-by-response.
+  bool have_perfect = false;
+  for (const Candidate& c : scored) have_perfect |= c.perfect();
+  if (scored.empty() ||
+      (options.include_stuck_at_candidates && !have_perfect)) {
+    return diagnose_cover(design, log, options, responses);
+  }
+
+  // Rank by pattern-level score; within a tie the candidates are behaviour-
+  // equivalent as far as the tester evidence goes, so the order falls back
+  // to a structural enumeration (stem first, then branches) — the ground
+  // truth lands somewhere inside its equivalence class, which is what gives
+  // diagnosis reports a non-trivial first-hit index.
+  std::vector<std::size_t> order(scored.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    const Candidate& a = scored[x];
+    const Candidate& b = scored[y];
+    if (a.score != b.score) return a.score > b.score;
+    if (a.fault.is_miv() != b.fault.is_miv()) return a.fault.is_miv();
+    if (a.fault.pin != b.fault.pin) return a.fault.pin < b.fault.pin;
+    return a.fault.type < b.fault.type;
+  });
+  std::vector<Candidate> ranked;
+  ranked.reserve(scored.size());
+  for (std::size_t i : order) ranked.push_back(scored[i]);
+  scored = std::move(ranked);
+
+  const double floor_score = scored.front().score * options.keep_ratio;
+  for (const Candidate& c : scored) {
+    if (c.score < floor_score) break;
+    report.candidates.push_back(c);
+    if (report.resolution() >= options.max_candidates) break;
+  }
+  return report;
+}
+
+bool candidate_matches_fault(const DesignContext& design,
+                             const Candidate& candidate, const Fault& truth) {
+  if (truth.type == FaultType::kMivDelay) {
+    if (candidate.fault.is_miv()) return candidate.fault.miv == truth.miv;
+    const Miv& miv = design.mivs->miv(truth.miv);
+    return design.netlist->pin_net(candidate.fault.pin) == miv.net;
+  }
+  if (candidate.fault.is_miv()) {
+    const Miv& miv = design.mivs->miv(candidate.fault.miv);
+    return design.netlist->pin_net(truth.pin) == miv.net;
+  }
+  return candidate.fault.pin == truth.pin;
+}
+
+int candidate_tier(const DesignContext& design, const Candidate& candidate) {
+  if (candidate.fault.is_miv()) return kMivTier;
+  return pin_tier(design, candidate.fault.pin);
+}
+
+bool candidate_on_miv(const DesignContext& design, const Candidate& candidate) {
+  if (candidate.fault.is_miv()) return true;
+  const NetId net = design.netlist->pin_net(candidate.fault.pin);
+  return design.mivs->miv_of_net(net) != kNullMiv;
+}
+
+}  // namespace m3dfl

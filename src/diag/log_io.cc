@@ -1,0 +1,98 @@
+#include "diag/log_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace m3dfl {
+
+void write_failure_log(const FailureLog& log, std::ostream& os) {
+  os << "m3dfl-faillog 1\n";
+  os << "mode " << (log.compacted ? "compacted" : "bypass") << "\n";
+  os << "limit " << log.pattern_limit << "\n";
+  for (const Observation& o : log.scan_fails) {
+    os << "scan " << o.pattern << " " << o.index << "\n";
+  }
+  for (const ChannelFail& c : log.channel_fails) {
+    os << "chan " << c.pattern << " " << c.channel << " " << c.position
+       << "\n";
+  }
+  for (const Observation& o : log.po_fails) {
+    os << "po " << o.pattern << " " << o.index << "\n";
+  }
+  os << "end\n";
+}
+
+std::string failure_log_to_string(const FailureLog& log) {
+  std::ostringstream os;
+  write_failure_log(log, os);
+  return os.str();
+}
+
+FailureLog read_failure_log(std::istream& is) {
+  std::string line;
+  M3DFL_REQUIRE(std::getline(is, line) && line == "m3dfl-faillog 1",
+                "failure log: missing 'm3dfl-faillog 1' header");
+  FailureLog log;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;
+    if (kind == "end") {
+      saw_end = true;
+      break;
+    }
+    if (kind == "mode") {
+      std::string mode;
+      ls >> mode;
+      M3DFL_REQUIRE(mode == "bypass" || mode == "compacted",
+                    "failure log: bad mode '" + mode + "'");
+      log.compacted = mode == "compacted";
+      continue;
+    }
+    if (kind == "limit") {
+      ls >> log.pattern_limit;
+      M3DFL_REQUIRE(!ls.fail(), "failure log: bad limit");
+      continue;
+    }
+    if (kind == "scan") {
+      Observation o;
+      ls >> o.pattern >> o.index;
+      M3DFL_REQUIRE(!ls.fail(), "failure log: bad scan record");
+      log.scan_fails.push_back(o);
+      continue;
+    }
+    if (kind == "chan") {
+      ChannelFail c;
+      ls >> c.pattern >> c.channel >> c.position;
+      M3DFL_REQUIRE(!ls.fail(), "failure log: bad chan record");
+      log.channel_fails.push_back(c);
+      continue;
+    }
+    if (kind == "po") {
+      Observation o;
+      o.at_po = true;
+      ls >> o.pattern >> o.index;
+      M3DFL_REQUIRE(!ls.fail(), "failure log: bad po record");
+      log.po_fails.push_back(o);
+      continue;
+    }
+    throw Error("failure log: unknown record '" + kind + "'");
+  }
+  M3DFL_REQUIRE(saw_end, "failure log: missing 'end'");
+  M3DFL_REQUIRE(!log.compacted || log.scan_fails.empty(),
+                "failure log: scan records in compacted mode");
+  return log;
+}
+
+FailureLog failure_log_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_failure_log(is);
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,34 @@
+// Tester failure-log text format.
+//
+// A minimal STDF-like datalog so failure logs can move between the tester,
+// this library, and archival storage:
+//
+//   m3dfl-faillog 1
+//   mode bypass|compacted
+//   limit <pattern_limit>
+//   scan <pattern> <flop_index>
+//   chan <pattern> <channel> <position>
+//   po <pattern> <po_index>
+//   end
+//
+// Line order within a record kind is preserved; '#' starts a comment.
+#ifndef M3DFL_DIAG_LOG_IO_H_
+#define M3DFL_DIAG_LOG_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "diag/failure_log.h"
+
+namespace m3dfl {
+
+void write_failure_log(const FailureLog& log, std::ostream& os);
+std::string failure_log_to_string(const FailureLog& log);
+
+// Throws m3dfl::Error on malformed input.
+FailureLog read_failure_log(std::istream& is);
+FailureLog failure_log_from_string(const std::string& text);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_DIAG_LOG_IO_H_

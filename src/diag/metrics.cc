@@ -1,0 +1,67 @@
+#include "diag/metrics.h"
+
+namespace m3dfl {
+
+SampleEvaluation evaluate_report(const DesignContext& design,
+                                 const DiagnosisReport& report,
+                                 const Sample& sample) {
+  SampleEvaluation eval;
+  eval.resolution = report.resolution();
+  if (report.candidates.empty()) {
+    eval.fhi = 0;
+    return eval;
+  }
+
+  // Accuracy: every injected fault is named by some candidate.
+  eval.accurate = true;
+  for (const Fault& truth : sample.faults) {
+    bool found = false;
+    for (const Candidate& c : report.candidates) {
+      if (candidate_matches_fault(design, c, truth)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      eval.accurate = false;
+      break;
+    }
+  }
+
+  // FHI: rank of the first candidate matching any injected fault.
+  eval.fhi = eval.resolution;  // charged in full on a miss
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    bool hit = false;
+    for (const Fault& truth : sample.faults) {
+      if (candidate_matches_fault(design, report.candidates[i], truth)) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      eval.fhi = static_cast<std::int32_t>(i) + 1;
+      break;
+    }
+  }
+
+  // Tier analysis of the candidate list.  MIV candidates belong to no tier
+  // and do not break single-tier-ness.
+  int tier_seen = kMivTier;
+  bool multi = false;
+  for (const Candidate& c : report.candidates) {
+    const int t = candidate_tier(design, c);
+    if (t == kMivTier) continue;
+    if (tier_seen == kMivTier) {
+      tier_seen = t;
+    } else if (tier_seen != t) {
+      multi = true;
+      break;
+    }
+  }
+  eval.single_tier = !multi;
+  eval.tier_localized =
+      !multi && tier_seen != kMivTier && tier_seen == sample.fault_tier;
+  return eval;
+}
+
+}  // namespace m3dfl

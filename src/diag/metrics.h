@@ -1,0 +1,63 @@
+// Diagnosis quality metrics.
+//
+// The three measures of paper Sec. II-B, plus tier-level localization:
+//  * diagnostic resolution — candidate count of the report (ideal: 1);
+//  * accuracy             — every injected defect location appears among the
+//                           candidates (single-fault: the one defect);
+//  * first-hit index (FHI) — 1-based rank of the first candidate that is a
+//                           ground-truth location; when the report misses,
+//                           FHI is charged the full resolution (the PFA
+//                           engineer walks the whole list fruitlessly).
+//  * candidate-based tier localization — all candidates in one tier, and it
+//                           is the faulty tier (how a tier-blind flow can
+//                           still "localize", paper Table VI).
+#ifndef M3DFL_DIAG_METRICS_H_
+#define M3DFL_DIAG_METRICS_H_
+
+#include <cstdint>
+
+#include "diag/atpg_diagnosis.h"
+#include "diag/datagen.h"
+#include "util/stats.h"
+
+namespace m3dfl {
+
+// Quality of one report against one sample's ground truth.
+struct SampleEvaluation {
+  std::int32_t resolution = 0;
+  bool accurate = false;
+  std::int32_t fhi = 0;
+  // All candidates sit in a single tier == the faulty tier.
+  bool tier_localized = false;
+  // All candidates sit in a single tier (whichever it is): such reports are
+  // excluded from the paper's tier-localization percentages because the ATPG
+  // report alone already localized them.
+  bool single_tier = false;
+};
+
+SampleEvaluation evaluate_report(const DesignContext& design,
+                                 const DiagnosisReport& report,
+                                 const Sample& sample);
+
+// Aggregate over a test set.
+struct QualityStats {
+  Accumulator resolution;
+  Accumulator fhi;
+  std::int32_t hits = 0;
+  std::int32_t total = 0;
+
+  void add(const SampleEvaluation& e) {
+    resolution.add(static_cast<double>(e.resolution));
+    fhi.add(static_cast<double>(e.fhi));
+    if (e.accurate) ++hits;
+    ++total;
+  }
+  double accuracy() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_DIAG_METRICS_H_

@@ -1,0 +1,44 @@
+#include "diag/padre.h"
+
+#include <algorithm>
+
+namespace m3dfl {
+namespace {
+
+// c1 dominates c2 when c1 explains at least as much of the tester evidence
+// (tfsf) and leaves no more of it unexplained (tfsp), with one strict
+// inequality.  tpsf does not participate: over-prediction is untrusted for
+// delay faults (path slack), so a candidate cannot be eliminated for it.
+// Dominated candidates can never be the best explanation of the evidence,
+// so eliminating them cannot remove the ground truth ahead of an
+// equally-good candidate — the "no accuracy loss" contract of the
+// baseline's first level.
+bool dominates(const Candidate& c1, const Candidate& c2) {
+  if (c1.tfsf < c2.tfsf || c1.tfsp > c2.tfsp || c1.bit_tfsp > c2.bit_tfsp) {
+    return false;
+  }
+  return c1.tfsf > c2.tfsf || c1.tfsp < c2.tfsp || c1.bit_tfsp < c2.bit_tfsp;
+}
+
+}  // namespace
+
+DiagnosisReport padre_first_level(const DiagnosisReport& report,
+                                  const PadreOptions& options) {
+  (void)options;
+  DiagnosisReport out;
+  if (report.candidates.empty()) return out;
+
+  // Keep the Pareto front of (tfsf, -tfsp, -tpsf).  Candidates that tie on
+  // every match statistic are mutually non-dominated and all survive —
+  // which is why the method loses its bite on large, ambiguous designs
+  // whose reports are full of behaviourally equivalent candidates.
+  for (const Candidate& c : report.candidates) {
+    const bool dominated =
+        std::any_of(report.candidates.begin(), report.candidates.end(),
+                    [&](const Candidate& other) { return dominates(other, c); });
+    if (!dominated) out.candidates.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,36 @@
+// PADRE-style baseline: physically-aware diagnostic resolution enhancement.
+//
+// The paper's baseline [Xue et al., ITC 2013] post-processes a diagnosis
+// report one candidate at a time, eliminating candidates whose predicted
+// behaviour is inconsistent with the tester evidence.  Only the *first-level*
+// classifier is used (as in the paper's comparison), because it improves
+// resolution without sacrificing accuracy.
+//
+// Our substitute applies the same contract to our reports, without any
+// further fault simulation (PADRE itself is simulation-free): a candidate is
+// eliminated iff another candidate *Pareto-dominates* its match statistics
+// (explains at least as many failing patterns, mispredicts no more, with one
+// strict inequality).  The ground truth is never dominated — it explains
+// everything — so accuracy is preserved; but candidates that tie on every
+// statistic all survive, which is why the method loses effectiveness on
+// large ambiguous designs (netcard) and cannot deliver tier-level
+// localization on M3D designs (paper Table VI, "Tier local." column).
+#ifndef M3DFL_DIAG_PADRE_H_
+#define M3DFL_DIAG_PADRE_H_
+
+#include "diag/atpg_diagnosis.h"
+
+namespace m3dfl {
+
+struct PadreOptions {
+  // Reserved for future elimination-rule tuning; the first level itself is
+  // parameter-free (pure dominance).
+};
+
+// First-level candidate elimination; returns the refined report.
+DiagnosisReport padre_first_level(const DiagnosisReport& report,
+                                  const PadreOptions& options = {});
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_DIAG_PADRE_H_

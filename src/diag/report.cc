@@ -1,0 +1,72 @@
+#include "diag/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace m3dfl {
+
+void move_to_top(DiagnosisReport& report, const CandidatePredicate& pred) {
+  std::stable_partition(report.candidates.begin(), report.candidates.end(),
+                        pred);
+}
+
+std::vector<Candidate> prune_candidates(DiagnosisReport& report,
+                                        const CandidatePredicate& pred) {
+  std::vector<Candidate> removed;
+  std::vector<Candidate> kept;
+  kept.reserve(report.candidates.size());
+  for (const Candidate& c : report.candidates) {
+    (pred(c) ? removed : kept).push_back(c);
+  }
+  report.candidates = std::move(kept);
+  return removed;
+}
+
+void BackupDictionary::record(std::int32_t sample_id,
+                              std::vector<Candidate> pruned) {
+  if (pruned.empty()) return;
+  entries_.emplace_back(sample_id, std::move(pruned));
+}
+
+const std::vector<Candidate>& BackupDictionary::lookup(
+    std::int32_t sample_id) const {
+  static const std::vector<Candidate> kEmpty;
+  for (const auto& [id, pruned] : entries_) {
+    if (id == sample_id) return pruned;
+  }
+  return kEmpty;
+}
+
+std::int32_t BackupDictionary::num_candidates() const {
+  std::int32_t n = 0;
+  for (const auto& [id, pruned] : entries_) {
+    (void)id;
+    n += static_cast<std::int32_t>(pruned.size());
+  }
+  return n;
+}
+
+std::size_t BackupDictionary::size_bytes() const {
+  // One record per entry plus one Candidate per pruned item.
+  return entries_.size() * sizeof(std::int32_t) +
+         static_cast<std::size_t>(num_candidates()) * sizeof(Candidate);
+}
+
+std::string report_to_string(const Netlist& netlist,
+                             const DiagnosisReport& report,
+                             std::size_t max_lines) {
+  std::ostringstream os;
+  os << "diagnosis report: " << report.candidates.size() << " candidate(s)\n";
+  for (std::size_t i = 0; i < report.candidates.size() && i < max_lines; ++i) {
+    const Candidate& c = report.candidates[i];
+    os << "  #" << (i + 1) << " " << fault_to_string(netlist, c.fault)
+       << " score=" << c.score << " tfsf=" << c.tfsf << " tfsp=" << c.tfsp
+       << " tpsf=" << c.tpsf << "\n";
+  }
+  if (report.candidates.size() > max_lines) {
+    os << "  ... (" << (report.candidates.size() - max_lines) << " more)\n";
+  }
+  return os.str();
+}
+
+}  // namespace m3dfl

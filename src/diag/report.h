@@ -1,0 +1,51 @@
+// Report manipulation primitives used by the candidate pruning & reordering
+// policy (paper Sec. V-D) and the backup dictionary (Sec. VI-A).
+#ifndef M3DFL_DIAG_REPORT_H_
+#define M3DFL_DIAG_REPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "diag/atpg_diagnosis.h"
+
+namespace m3dfl {
+
+using CandidatePredicate = std::function<bool(const Candidate&)>;
+
+// Stably moves candidates satisfying `pred` to the head of the report.
+void move_to_top(DiagnosisReport& report, const CandidatePredicate& pred);
+
+// Removes candidates satisfying `pred`; returns them (for the backup
+// dictionary) in their original order.
+std::vector<Candidate> prune_candidates(DiagnosisReport& report,
+                                        const CandidatePredicate& pred);
+
+// Backup dictionary: per failing die, the candidates removed by pruning.
+// Whenever PFA cannot confirm any candidate of a pruned report, the engineer
+// consults the dictionary, restoring full ATPG accuracy (paper Sec. VI-A).
+class BackupDictionary {
+ public:
+  void record(std::int32_t sample_id, std::vector<Candidate> pruned);
+  // Pruned candidates for a die; empty if nothing was pruned.
+  const std::vector<Candidate>& lookup(std::int32_t sample_id) const;
+  std::int32_t num_entries() const {
+    return static_cast<std::int32_t>(entries_.size());
+  }
+  std::int32_t num_candidates() const;
+  // Approximate serialized size, for the paper's memory-overhead argument.
+  std::size_t size_bytes() const;
+
+ private:
+  std::vector<std::pair<std::int32_t, std::vector<Candidate>>> entries_;
+};
+
+// Renders a report as text (one candidate per line) for examples/logs.
+std::string report_to_string(const Netlist& netlist,
+                             const DiagnosisReport& report,
+                             std::size_t max_lines = 16);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_DIAG_REPORT_H_

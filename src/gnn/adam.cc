@@ -1,0 +1,43 @@
+#include "gnn/adam.h"
+
+#include <cmath>
+
+namespace m3dfl {
+
+void Adam::register_param(Matrix* value, Matrix* grad) {
+  M3DFL_REQUIRE(value != nullptr && grad != nullptr,
+                "null parameter registered with Adam");
+  M3DFL_REQUIRE(value->rows() == grad->rows() && value->cols() == grad->cols(),
+                "parameter/gradient shape mismatch");
+  Slot slot{value, grad, Matrix(value->rows(), value->cols()),
+            Matrix(value->rows(), value->cols())};
+  slots_.push_back(std::move(slot));
+}
+
+void Adam::step(std::int32_t batch_size) {
+  M3DFL_ASSERT(batch_size > 0);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  const float inv_batch = 1.0f / static_cast<float>(batch_size);
+  for (Slot& s : slots_) {
+    auto value = s.value->data();
+    auto grad = s.grad->data();
+    auto m = s.m.data();
+    auto v = s.v.data();
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      const double g = static_cast<double>(grad[i] * inv_batch);
+      m[i] = static_cast<float>(options_.beta1 * m[i] +
+                                (1.0 - options_.beta1) * g);
+      v[i] = static_cast<float>(options_.beta2 * v[i] +
+                                (1.0 - options_.beta2) * g * g);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      value[i] -= static_cast<float>(options_.lr * mhat /
+                                     (std::sqrt(vhat) + options_.eps));
+      grad[i] = 0.0f;
+    }
+  }
+}
+
+}  // namespace m3dfl

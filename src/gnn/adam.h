@@ -1,0 +1,45 @@
+// Adam optimizer over registered (parameter, gradient) tensor pairs.
+#ifndef M3DFL_GNN_ADAM_H_
+#define M3DFL_GNN_ADAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/matrix.h"
+
+namespace m3dfl {
+
+struct AdamOptions {
+  double lr = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+class Adam {
+ public:
+  explicit Adam(const AdamOptions& options = {}) : options_(options) {}
+
+  // Registers a parameter tensor and its gradient accumulator.  Pointers
+  // must outlive the optimizer.
+  void register_param(Matrix* value, Matrix* grad);
+
+  // Applies one update from the accumulated gradients (scaled by
+  // 1/batch_size) and zeroes them.
+  void step(std::int32_t batch_size = 1);
+
+ private:
+  struct Slot {
+    Matrix* value;
+    Matrix* grad;
+    Matrix m;
+    Matrix v;
+  };
+  AdamOptions options_;
+  std::vector<Slot> slots_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GNN_ADAM_H_

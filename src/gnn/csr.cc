@@ -1,0 +1,70 @@
+#include "gnn/csr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m3dfl {
+
+NormalizedAdjacency::NormalizedAdjacency(
+    std::int32_t num_nodes, const std::vector<std::int32_t>& edge_u,
+    const std::vector<std::int32_t>& edge_v)
+    : num_nodes_(num_nodes) {
+  M3DFL_REQUIRE(edge_u.size() == edge_v.size(),
+                "edge list endpoint arrays must match");
+  const auto n = static_cast<std::size_t>(num_nodes);
+
+  // Collect symmetric neighbor lists with self loops, deduplicated.
+  std::vector<std::vector<std::int32_t>> nbr(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nbr[i].push_back(static_cast<std::int32_t>(i));  // self loop
+  }
+  for (std::size_t e = 0; e < edge_u.size(); ++e) {
+    const std::int32_t u = edge_u[e];
+    const std::int32_t v = edge_v[e];
+    M3DFL_ASSERT(u >= 0 && u < num_nodes && v >= 0 && v < num_nodes);
+    if (u == v) continue;  // self loops already present
+    nbr[static_cast<std::size_t>(u)].push_back(v);
+    nbr[static_cast<std::size_t>(v)].push_back(u);
+  }
+  std::vector<std::int32_t> degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& list = nbr[i];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    degree[i] = static_cast<std::int32_t>(list.size());
+  }
+
+  row_offset_.resize(n + 1);
+  row_offset_[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    row_offset_[i + 1] = row_offset_[i] + degree[i];
+  }
+  col_.reserve(static_cast<std::size_t>(row_offset_[n]));
+  coeff_.reserve(col_.capacity());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double di = static_cast<double>(degree[i]);
+    for (std::int32_t j : nbr[i]) {
+      const double dj = static_cast<double>(degree[static_cast<std::size_t>(j)]);
+      col_.push_back(j);
+      coeff_.push_back(static_cast<float>(1.0 / std::sqrt(di * dj)));
+    }
+  }
+}
+
+Matrix NormalizedAdjacency::propagate(const Matrix& x) const {
+  M3DFL_ASSERT(x.rows() == num_nodes_);
+  Matrix y(x.rows(), x.cols());
+  for (std::int32_t i = 0; i < num_nodes_; ++i) {
+    auto out = y.row(i);
+    for (std::int32_t k = row_offset_[static_cast<std::size_t>(i)];
+         k < row_offset_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const std::int32_t j = col_[static_cast<std::size_t>(k)];
+      const float w = coeff_[static_cast<std::size_t>(k)];
+      const auto in = x.row(j);
+      for (std::size_t c = 0; c < in.size(); ++c) out[c] += w * in[c];
+    }
+  }
+  return y;
+}
+
+}  // namespace m3dfl

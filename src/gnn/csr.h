@@ -1,0 +1,45 @@
+// Normalized sparse adjacency in CSR form for GCN propagation.
+//
+// Implements the symmetric normalization of the paper's Eq. (1) with self
+// loops added (Kipf & Welling's renormalization trick): coefficient for edge
+// (i, j) is 1 / sqrt(deg(i) * deg(j)) where degrees count the self loop.
+// The matrix is symmetric, so the same structure serves forward propagation
+// and back-propagation.
+#ifndef M3DFL_GNN_CSR_H_
+#define M3DFL_GNN_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/matrix.h"
+
+namespace m3dfl {
+
+class NormalizedAdjacency {
+ public:
+  NormalizedAdjacency() = default;
+  // Builds from an undirected edge list over `num_nodes` nodes (each pair
+  // appears once; self loops are added automatically; duplicate edges are
+  // tolerated and folded).
+  NormalizedAdjacency(std::int32_t num_nodes,
+                      const std::vector<std::int32_t>& edge_u,
+                      const std::vector<std::int32_t>& edge_v);
+
+  std::int32_t num_nodes() const { return num_nodes_; }
+  std::int32_t num_entries() const {
+    return static_cast<std::int32_t>(col_.size());
+  }
+
+  // Y = A_hat * X   (A_hat symmetric, [n x n]; X [n x f]).
+  Matrix propagate(const Matrix& x) const;
+
+ private:
+  std::int32_t num_nodes_ = 0;
+  std::vector<std::int32_t> row_offset_;
+  std::vector<std::int32_t> col_;
+  std::vector<float> coeff_;
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GNN_CSR_H_

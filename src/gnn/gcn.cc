@@ -1,0 +1,93 @@
+#include "gnn/gcn.h"
+
+namespace m3dfl {
+namespace {
+
+void add_bias_rows(Matrix& x, const Matrix& bias) {
+  M3DFL_ASSERT(bias.rows() == 1 && bias.cols() == x.cols());
+  for (std::int32_t i = 0; i < x.rows(); ++i) {
+    auto row = x.row(i);
+    const auto b = bias.row(0);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] += b[j];
+  }
+}
+
+Matrix column_sum(const Matrix& x) {
+  Matrix out(1, x.cols());
+  for (std::int32_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    auto acc = out.row(0);
+    for (std::size_t j = 0; j < row.size(); ++j) acc[j] += row[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+GcnLayer::GcnLayer(std::int32_t in_dim, std::int32_t out_dim, bool use_relu,
+                   Rng& rng)
+    : use_relu_(use_relu),
+      weight_(in_dim, out_dim),
+      bias_(1, out_dim),
+      weight_grad_(in_dim, out_dim),
+      bias_grad_(1, out_dim) {
+  weight_.init_glorot(rng);
+}
+
+Matrix GcnLayer::forward(const NormalizedAdjacency& adj, const Matrix& x,
+                         GcnCache& cache) const {
+  cache.propagated = adj.propagate(x);
+  Matrix pre = matmul(cache.propagated, weight_);
+  add_bias_rows(pre, bias_);
+  cache.activated = use_relu_ ? relu(pre) : std::move(pre);
+  return cache.activated;
+}
+
+Matrix GcnLayer::backward(const NormalizedAdjacency& adj,
+                          const GcnCache& cache, const Matrix& dy) {
+  const Matrix dpre =
+      use_relu_ ? relu_backward(dy, cache.activated) : dy;
+  add_inplace(weight_grad_, matmul_tn(cache.propagated, dpre));
+  add_inplace(bias_grad_, column_sum(dpre));
+  const Matrix dprop = matmul_nt(dpre, weight_);
+  // A_hat is symmetric, so the adjoint of propagate is propagate itself.
+  return adj.propagate(dprop);
+}
+
+void GcnLayer::zero_grad() {
+  weight_grad_.fill(0.0f);
+  bias_grad_.fill(0.0f);
+}
+
+DenseLayer::DenseLayer(std::int32_t in_dim, std::int32_t out_dim,
+                       bool use_relu, Rng& rng)
+    : use_relu_(use_relu),
+      weight_(in_dim, out_dim),
+      bias_(1, out_dim),
+      weight_grad_(in_dim, out_dim),
+      bias_grad_(1, out_dim) {
+  weight_.init_glorot(rng);
+}
+
+Matrix DenseLayer::forward(const Matrix& x, DenseCache& cache) const {
+  cache.input = x;
+  Matrix pre = matmul(x, weight_);
+  add_bias_rows(pre, bias_);
+  cache.activated = use_relu_ ? relu(pre) : std::move(pre);
+  return cache.activated;
+}
+
+Matrix DenseLayer::backward(const DenseCache& cache, const Matrix& dy) {
+  const Matrix dpre =
+      use_relu_ ? relu_backward(dy, cache.activated) : dy;
+  add_inplace(weight_grad_, matmul_tn(cache.input, dpre));
+  add_inplace(bias_grad_, column_sum(dpre));
+  return matmul_nt(dpre, weight_);
+}
+
+void DenseLayer::zero_grad() {
+  weight_grad_.fill(0.0f);
+  bias_grad_.fill(0.0f);
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,95 @@
+// Graph-convolution and dense layers with manual reverse-mode gradients.
+//
+// GcnLayer implements the paper's Eq. (1): h' = act(A_hat h W + b) with the
+// symmetric normalization baked into NormalizedAdjacency.  Each forward pass
+// records its intermediates into a caller-owned cache so several graphs can
+// be processed between optimizer steps (gradient accumulation).
+#ifndef M3DFL_GNN_GCN_H_
+#define M3DFL_GNN_GCN_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "gnn/csr.h"
+#include "gnn/matrix.h"
+#include "util/rng.h"
+
+namespace m3dfl {
+
+// Forward-pass intermediates needed by backward().
+struct GcnCache {
+  Matrix propagated;  // A_hat X
+  Matrix activated;   // layer output
+};
+
+class GcnLayer {
+ public:
+  GcnLayer(std::int32_t in_dim, std::int32_t out_dim, bool use_relu, Rng& rng);
+
+  std::int32_t in_dim() const { return weight_.rows(); }
+  std::int32_t out_dim() const { return weight_.cols(); }
+
+  // Returns act(A_hat x W + b); fills `cache`.
+  Matrix forward(const NormalizedAdjacency& adj, const Matrix& x,
+                 GcnCache& cache) const;
+  // Accumulates dW/db; returns dX.
+  Matrix backward(const NormalizedAdjacency& adj, const GcnCache& cache,
+                  const Matrix& dy);
+
+  void zero_grad();
+  Matrix& weight() { return weight_; }
+  Matrix& bias() { return bias_; }
+  Matrix& weight_grad() { return weight_grad_; }
+  Matrix& bias_grad() { return bias_grad_; }
+  const Matrix& weight() const { return weight_; }
+  const Matrix& bias() const { return bias_; }
+
+  // Parameter serialization (see gnn/serialize.h for the model-level API).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  bool use_relu_;
+  Matrix weight_;       // [in x out]
+  Matrix bias_;         // [1 x out]
+  Matrix weight_grad_;
+  Matrix bias_grad_;
+};
+
+// Fully connected layer y = act(x W + b) with the same cache/grad pattern.
+struct DenseCache {
+  Matrix input;
+  Matrix activated;
+};
+
+class DenseLayer {
+ public:
+  DenseLayer(std::int32_t in_dim, std::int32_t out_dim, bool use_relu,
+             Rng& rng);
+
+  Matrix forward(const Matrix& x, DenseCache& cache) const;
+  Matrix backward(const DenseCache& cache, const Matrix& dy);
+
+  void zero_grad();
+  Matrix& weight() { return weight_; }
+  Matrix& bias() { return bias_; }
+  Matrix& weight_grad() { return weight_grad_; }
+  Matrix& bias_grad() { return bias_grad_; }
+  const Matrix& weight() const { return weight_; }
+  const Matrix& bias() const { return bias_; }
+
+  // Parameter serialization (see gnn/serialize.h for the model-level API).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  bool use_relu_;
+  Matrix weight_;
+  Matrix bias_;
+  Matrix weight_grad_;
+  Matrix bias_grad_;
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GNN_GCN_H_

@@ -1,0 +1,120 @@
+#include "gnn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m3dfl {
+
+void Matrix::init_glorot(Rng& rng) {
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(std::max(1, rows_ + cols_)));
+  for (float& x : data_) {
+    x = static_cast<float>(rng.next_double(-bound, bound));
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  M3DFL_ASSERT(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::int32_t i = 0; i < a.rows(); ++i) {
+    for (std::int32_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      for (std::int32_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  M3DFL_ASSERT(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::int32_t k = 0; k < a.rows(); ++k) {
+    for (std::int32_t i = 0; i < a.cols(); ++i) {
+      const float aki = a.at(k, i);
+      if (aki == 0.0f) continue;
+      for (std::int32_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aki * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  M3DFL_ASSERT(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::int32_t i = 0; i < a.rows(); ++i) {
+    for (std::int32_t j = 0; j < b.rows(); ++j) {
+      float sum = 0.0f;
+      for (std::int32_t k = 0; k < a.cols(); ++k) {
+        sum += a.at(i, k) * b.at(j, k);
+      }
+      c.at(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+void add_inplace(Matrix& a, const Matrix& b) { axpy_inplace(a, 1.0f, b); }
+
+void axpy_inplace(Matrix& a, float scale, const Matrix& b) {
+  M3DFL_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) da[i] += scale * db[i];
+}
+
+void scale_inplace(Matrix& a, float scale) {
+  for (float& x : a.data()) x *= scale;
+}
+
+Matrix relu(const Matrix& a) {
+  Matrix out = a;
+  for (float& x : out.data()) x = std::max(0.0f, x);
+  return out;
+}
+
+Matrix relu_backward(const Matrix& grad, const Matrix& activated) {
+  M3DFL_ASSERT(grad.rows() == activated.rows() &&
+               grad.cols() == activated.cols());
+  Matrix out = grad;
+  auto dg = out.data();
+  auto act = activated.data();
+  for (std::size_t i = 0; i < dg.size(); ++i) {
+    if (act[i] <= 0.0f) dg[i] = 0.0f;
+  }
+  return out;
+}
+
+Matrix softmax_rows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (std::int32_t i = 0; i < a.rows(); ++i) {
+    float mx = a.at(i, 0);
+    for (std::int32_t j = 1; j < a.cols(); ++j) mx = std::max(mx, a.at(i, j));
+    float sum = 0.0f;
+    for (std::int32_t j = 0; j < a.cols(); ++j) {
+      const float e = std::exp(a.at(i, j) - mx);
+      out.at(i, j) = e;
+      sum += e;
+    }
+    for (std::int32_t j = 0; j < a.cols(); ++j) out.at(i, j) /= sum;
+  }
+  return out;
+}
+
+Matrix column_mean(const Matrix& a) {
+  Matrix out(1, a.cols());
+  if (a.rows() == 0) return out;
+  for (std::int32_t i = 0; i < a.rows(); ++i) {
+    for (std::int32_t j = 0; j < a.cols(); ++j) {
+      out.at(0, j) += a.at(i, j);
+    }
+  }
+  scale_inplace(out, 1.0f / static_cast<float>(a.rows()));
+  return out;
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,93 @@
+// Dense row-major float matrix with the operations needed by the GCN stack.
+//
+// Shapes here are tiny (subgraphs of tens-to-hundreds of nodes, feature
+// widths <= 64), so a straightforward dense implementation is both simple
+// and fast; no external BLAS is used (the library is dependency-free by
+// design).
+#ifndef M3DFL_GNN_MATRIX_H_
+#define M3DFL_GNN_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace m3dfl {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::int32_t rows, std::int32_t cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              0.0f) {
+    M3DFL_ASSERT(rows >= 0 && cols >= 0);
+  }
+
+  std::int32_t rows() const { return rows_; }
+  std::int32_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float at(std::int32_t r, std::int32_t c) const { return data_[index(r, c)]; }
+  float& at(std::int32_t r, std::int32_t c) { return data_[index(r, c)]; }
+
+  std::span<const float> row(std::int32_t r) const {
+    return std::span<const float>(&data_[index(r, 0)],
+                                  static_cast<std::size_t>(cols_));
+  }
+  std::span<float> row(std::int32_t r) {
+    return std::span<float>(&data_[index(r, 0)],
+                            static_cast<std::size_t>(cols_));
+  }
+
+  std::span<const float> data() const { return data_; }
+  std::span<float> data() { return data_; }
+
+  void fill(float value) {
+    for (float& x : data_) x = value;
+  }
+  // Glorot-style initialization for learnable weights.
+  void init_glorot(Rng& rng);
+
+ private:
+  std::size_t index(std::int32_t r, std::int32_t c) const {
+    M3DFL_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(c);
+  }
+
+  std::int32_t rows_ = 0;
+  std::int32_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+// C = A^T * B.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+// C = A * B^T.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+// a += b (same shape).
+void add_inplace(Matrix& a, const Matrix& b);
+// a += scale * b.
+void axpy_inplace(Matrix& a, float scale, const Matrix& b);
+void scale_inplace(Matrix& a, float scale);
+
+// Elementwise ReLU; relu_backward zeroes gradient where the forward
+// activation was non-positive.
+Matrix relu(const Matrix& a);
+Matrix relu_backward(const Matrix& grad, const Matrix& activated);
+
+// Row-wise softmax.
+Matrix softmax_rows(const Matrix& a);
+
+// Column means of a matrix as a 1 x cols matrix.
+Matrix column_mean(const Matrix& a);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GNN_MATRIX_H_

@@ -1,0 +1,83 @@
+#include "gnn/oversample.h"
+
+#include <algorithm>
+
+namespace m3dfl {
+
+Subgraph insert_dummy_buffers(const Subgraph& sg, std::int32_t target,
+                              std::int32_t count) {
+  M3DFL_REQUIRE(!sg.empty(), "cannot oversample an empty subgraph");
+  M3DFL_REQUIRE(target >= 0 && target < sg.num_nodes(),
+                "buffer target out of range");
+  M3DFL_REQUIRE(count >= 1, "buffer count must be positive");
+
+  Subgraph out = sg;
+  const std::int32_t base = sg.num_nodes();
+  Matrix features(base + count, kNumNodeFeatures);
+  for (std::int32_t i = 0; i < base; ++i) {
+    for (std::int32_t j = 0; j < kNumNodeFeatures; ++j) {
+      features.at(i, j) = sg.features.at(i, j);
+    }
+  }
+  // Synthetic node ids continue past the heterogeneous graph's id space;
+  // they are only ever used inside this training sample.
+  std::int32_t prev = target;
+  for (std::int32_t k = 0; k < count; ++k) {
+    const std::int32_t node = base + k;
+    // A buffer inherits its driver's observation-path profile...
+    for (std::int32_t j = 0; j < kNumNodeFeatures; ++j) {
+      features.at(node, j) = sg.features.at(target, j);
+    }
+    // ...with buffer-local structure: one fan-in, one fan-out, an output
+    // pin, one level deeper.
+    const float one = 1.0f / (1.0f + 4.0f);
+    features.at(node, 0) = one;   // circuit fan-in
+    features.at(node, 1) = one;   // circuit fan-out
+    features.at(node, 5) = 1.0f;  // gate output
+    features.at(node, 7) = one;   // subgraph fan-in
+    features.at(node, 8) = one;   // subgraph fan-out
+    out.edge_u.push_back(prev);
+    out.edge_v.push_back(node);
+    out.nodes.push_back(out.nodes.empty() ? node
+                                          : out.nodes.back() + 1);
+    prev = node;
+  }
+  out.features = std::move(features);
+  return out;
+}
+
+void balance_with_buffers(std::vector<Subgraph>& graphs,
+                          std::vector<int>& labels, Rng& rng) {
+  M3DFL_REQUIRE(graphs.size() == labels.size(),
+                "labels must match graphs");
+  std::vector<std::size_t> minority;
+  std::vector<std::size_t> majority;
+  std::size_t positives = 0;
+  for (int l : labels) positives += l == 1 ? 1 : 0;
+  const int minority_label =
+      positives * 2 <= labels.size() ? 1 : 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    (labels[i] == minority_label ? minority : majority).push_back(i);
+  }
+  if (minority.empty() || minority.size() >= majority.size()) return;
+
+  // Cycle through the minority samples; each synthetic copy appends a buffer
+  // chain at a random node, with the chain growing one buffer longer every
+  // full cycle ("consecutive buffers", paper Sec. V-C).
+  std::size_t cursor = 0;
+  std::int32_t chain = 1;
+  while (minority.size() < majority.size()) {
+    const Subgraph& src = graphs[minority[cursor]];
+    if (!src.empty()) {
+      const auto target = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(src.num_nodes())));
+      graphs.push_back(insert_dummy_buffers(src, target, chain));
+      labels.push_back(minority_label);
+      minority.push_back(graphs.size() - 1);
+    }
+    if (++cursor >= minority.size()) cursor = 0;
+    if (cursor == 0) ++chain;
+  }
+}
+
+}  // namespace m3dfl

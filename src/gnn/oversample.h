@@ -1,0 +1,36 @@
+// Graph-native oversampling for the prune/reorder classifier (paper
+// Sec. V-C).
+//
+// The classifier's training set is extremely imbalanced (true-positive tier
+// predictions outnumber false positives ~90:1 for Tate).  Euclidean
+// oversamplers (SMOTE etc.) need a lossy graph-to-vector conversion, so the
+// paper instead synthesizes minority samples directly on the graph: dummy
+// buffers are appended at node outputs — a transformation that preserves
+// circuit functionality — until the classes balance.
+#ifndef M3DFL_GNN_OVERSAMPLE_H_
+#define M3DFL_GNN_OVERSAMPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "util/rng.h"
+
+namespace m3dfl {
+
+// Returns a copy of `sg` with a chain of `count` dummy buffer nodes appended
+// at the output of local node `target`.  Buffer nodes inherit the target's
+// top-level aggregates (a buffer sits on the same observation paths) with
+// single-fan-in/single-fan-out local structure.
+Subgraph insert_dummy_buffers(const Subgraph& sg, std::int32_t target,
+                              std::int32_t count = 1);
+
+// Balances a labeled dataset in place: synthesizes minority-class samples by
+// dummy-buffer insertion (cycling through source samples and target nodes,
+// growing buffer chains as needed) until the class counts match.
+void balance_with_buffers(std::vector<Subgraph>& graphs,
+                          std::vector<int>& labels, Rng& rng);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GNN_OVERSAMPLE_H_

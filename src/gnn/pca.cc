@@ -1,0 +1,178 @@
+#include "gnn/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace m3dfl {
+
+void jacobi_eigen(std::vector<std::vector<double>> a,
+                  std::vector<double>& eigenvalues,
+                  std::vector<std::vector<double>>& eigenvectors) {
+  const std::size_t n = a.size();
+  for (const auto& row : a) {
+    M3DFL_REQUIRE(row.size() == n, "jacobi_eigen requires a square matrix");
+  }
+  // V starts as identity; columns accumulate the rotations.
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < 1e-18) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a[p][q]) < 1e-15) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p];
+          const double vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return a[x][x] > a[y][y];
+  });
+  eigenvalues.resize(n);
+  eigenvectors.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    eigenvalues[i] = a[order[i]][order[i]];
+    for (std::size_t k = 0; k < n; ++k) {
+      eigenvectors[i][k] = v[k][order[i]];
+    }
+  }
+}
+
+PcaResult fit_pca(const std::vector<std::vector<double>>& samples,
+                  std::int32_t k) {
+  M3DFL_REQUIRE(!samples.empty(), "PCA needs at least one sample");
+  const std::size_t d = samples.front().size();
+  for (const auto& s : samples) {
+    M3DFL_REQUIRE(s.size() == d, "inconsistent PCA sample width");
+  }
+  M3DFL_REQUIRE(k >= 1 && static_cast<std::size_t>(k) <= d,
+                "invalid PCA component count");
+
+  PcaResult result;
+  result.mean.assign(d, 0.0);
+  for (const auto& s : samples) {
+    for (std::size_t j = 0; j < d; ++j) result.mean[j] += s[j];
+  }
+  for (double& m : result.mean) m /= static_cast<double>(samples.size());
+
+  std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+  for (const auto& s : samples) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = s[i] - result.mean[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov[i][j] += di * (s[j] - result.mean[j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov[i][j] /= static_cast<double>(samples.size());
+      cov[j][i] = cov[i][j];
+    }
+  }
+
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+  jacobi_eigen(cov, eigenvalues, eigenvectors);
+  for (std::int32_t c = 0; c < k; ++c) {
+    result.components.push_back(eigenvectors[static_cast<std::size_t>(c)]);
+    result.explained_variance.push_back(
+        std::max(0.0, eigenvalues[static_cast<std::size_t>(c)]));
+  }
+  return result;
+}
+
+std::vector<double> pca_project(const PcaResult& pca,
+                                const std::vector<double>& sample) {
+  M3DFL_REQUIRE(sample.size() == pca.mean.size(),
+                "sample width does not match fitted PCA");
+  std::vector<double> out(pca.components.size(), 0.0);
+  for (std::size_t c = 0; c < pca.components.size(); ++c) {
+    for (std::size_t j = 0; j < sample.size(); ++j) {
+      out[c] += (sample[j] - pca.mean[j]) * pca.components[c][j];
+    }
+  }
+  return out;
+}
+
+double cloud_overlap(const std::vector<std::array<double, 2>>& a,
+                     const std::vector<std::array<double, 2>>& b) {
+  M3DFL_REQUIRE(a.size() >= 2 && b.size() >= 2,
+                "cloud_overlap needs at least two points per cloud");
+  const auto fit = [](const std::vector<std::array<double, 2>>& pts,
+                      double mean[2], double cov[3]) {
+    mean[0] = mean[1] = 0.0;
+    for (const auto& p : pts) {
+      mean[0] += p[0];
+      mean[1] += p[1];
+    }
+    mean[0] /= static_cast<double>(pts.size());
+    mean[1] /= static_cast<double>(pts.size());
+    cov[0] = cov[1] = cov[2] = 0.0;  // xx, xy, yy
+    for (const auto& p : pts) {
+      const double dx = p[0] - mean[0];
+      const double dy = p[1] - mean[1];
+      cov[0] += dx * dx;
+      cov[1] += dx * dy;
+      cov[2] += dy * dy;
+    }
+    const double n = static_cast<double>(pts.size());
+    cov[0] = cov[0] / n + 1e-9;  // regularized
+    cov[1] = cov[1] / n;
+    cov[2] = cov[2] / n + 1e-9;
+  };
+  double ma[2], mb[2], ca[3], cb[3];
+  fit(a, ma, ca);
+  fit(b, mb, cb);
+
+  // Bhattacharyya distance between Gaussians, coefficient = exp(-distance).
+  const double sxx = 0.5 * (ca[0] + cb[0]);
+  const double sxy = 0.5 * (ca[1] + cb[1]);
+  const double syy = 0.5 * (ca[2] + cb[2]);
+  const double det_s = sxx * syy - sxy * sxy;
+  const double det_a = ca[0] * ca[2] - ca[1] * ca[1];
+  const double det_b = cb[0] * cb[2] - cb[1] * cb[1];
+  const double dx = ma[0] - mb[0];
+  const double dy = ma[1] - mb[1];
+  // (dx, dy) Sigma^-1 (dx, dy)^T
+  const double quad =
+      (dx * (syy * dx - sxy * dy) + dy * (sxx * dy - sxy * dx)) / det_s;
+  const double distance =
+      0.125 * quad +
+      0.5 * std::log(det_s / std::sqrt(std::max(det_a * det_b, 1e-30)));
+  return std::exp(-std::max(0.0, distance));
+}
+
+}  // namespace m3dfl

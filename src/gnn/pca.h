@@ -1,0 +1,47 @@
+// Principal component analysis for the transferability study (paper Fig. 5).
+//
+// The paper projects each sample's subgraph feature vector to 2-D with PCA
+// and shows that samples from different design configurations of the same
+// benchmark overlap heavily.  We reproduce the projection from scratch
+// (covariance + cyclic Jacobi eigensolver) and, since a terminal bench
+// cannot render a scatter plot, quantify the overlap with the Bhattacharyya
+// coefficient of Gaussians fitted to each configuration's projected cloud
+// (1 = identical distributions).
+#ifndef M3DFL_GNN_PCA_H_
+#define M3DFL_GNN_PCA_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace m3dfl {
+
+struct PcaResult {
+  std::vector<double> mean;                    // feature means
+  std::vector<std::vector<double>> components; // top-k eigenvectors
+  std::vector<double> explained_variance;      // matching eigenvalues
+};
+
+// Fits a k-component PCA on row-major samples (all rows same width).
+PcaResult fit_pca(const std::vector<std::vector<double>>& samples,
+                  std::int32_t k = 2);
+
+// Projects one sample with a fitted PCA.
+std::vector<double> pca_project(const PcaResult& pca,
+                                const std::vector<double>& sample);
+
+// Bhattacharyya coefficient (in [0, 1]) between 2-D Gaussians fitted to two
+// projected clouds; ~1 means the clouds overlap almost completely.
+double cloud_overlap(const std::vector<std::array<double, 2>>& a,
+                     const std::vector<std::array<double, 2>>& b);
+
+// Symmetric eigen-decomposition by cyclic Jacobi rotations; returns
+// (eigenvalues, eigenvectors as rows), sorted by descending eigenvalue.
+// Exposed for tests.
+void jacobi_eigen(std::vector<std::vector<double>> matrix,
+                  std::vector<double>& eigenvalues,
+                  std::vector<std::vector<double>>& eigenvectors);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GNN_PCA_H_

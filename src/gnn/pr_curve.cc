@@ -1,0 +1,124 @@
+#include "gnn/pr_curve.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace m3dfl {
+
+std::vector<PrPoint> pr_curve(const std::vector<PrSample>& samples) {
+  std::vector<PrPoint> curve;
+  if (samples.empty()) return curve;
+
+  std::vector<PrSample> sorted = samples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PrSample& a, const PrSample& b) {
+              return a.confidence < b.confidence;
+            });
+  const auto n = sorted.size();
+  std::size_t total_positive = 0;
+  for (const PrSample& s : sorted) total_positive += s.correct ? 1 : 0;
+
+  // Sweep thresholds at each distinct confidence: predicted positive =
+  // suffix of the sorted array (confidence >= threshold).
+  std::size_t suffix_tp = total_positive;
+  std::size_t suffix_n = n;
+  std::size_t i = 0;
+  while (i < n) {
+    const double threshold = sorted[i].confidence;
+    PrPoint point;
+    point.threshold = threshold;
+    point.precision = suffix_n == 0 ? 1.0
+                                    : static_cast<double>(suffix_tp) /
+                                          static_cast<double>(suffix_n);
+    point.recall = total_positive == 0
+                       ? 0.0
+                       : static_cast<double>(suffix_tp) /
+                             static_cast<double>(total_positive);
+    curve.push_back(point);
+    // Remove all samples at this confidence from the suffix.
+    while (i < n && sorted[i].confidence == threshold) {
+      suffix_tp -= sorted[i].correct ? 1 : 0;
+      --suffix_n;
+      ++i;
+    }
+  }
+  return curve;
+}
+
+std::vector<RocPoint> roc_curve(const std::vector<PrSample>& samples) {
+  std::vector<RocPoint> curve;
+  if (samples.empty()) return curve;
+
+  std::vector<PrSample> sorted = samples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PrSample& a, const PrSample& b) {
+              return a.confidence < b.confidence;
+            });
+  std::size_t total_positive = 0;
+  for (const PrSample& s : sorted) total_positive += s.correct ? 1 : 0;
+  const std::size_t total_negative = sorted.size() - total_positive;
+
+  std::size_t suffix_tp = total_positive;
+  std::size_t suffix_fp = total_negative;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const double threshold = sorted[i].confidence;
+    RocPoint point;
+    point.threshold = threshold;
+    point.true_positive_rate =
+        total_positive == 0 ? 0.0
+                            : static_cast<double>(suffix_tp) /
+                                  static_cast<double>(total_positive);
+    point.false_positive_rate =
+        total_negative == 0 ? 0.0
+                            : static_cast<double>(suffix_fp) /
+                                  static_cast<double>(total_negative);
+    curve.push_back(point);
+    while (i < sorted.size() && sorted[i].confidence == threshold) {
+      suffix_tp -= sorted[i].correct ? 1 : 0;
+      suffix_fp -= sorted[i].correct ? 0 : 1;
+      ++i;
+    }
+  }
+  return curve;
+}
+
+double roc_auc(const std::vector<PrSample>& samples) {
+  const std::vector<RocPoint> curve = roc_curve(samples);
+  if (curve.empty()) return 0.5;
+  std::size_t positives = 0;
+  for (const PrSample& s : samples) positives += s.correct ? 1 : 0;
+  if (positives == 0 || positives == samples.size()) return 0.5;
+
+  // Integrate TPR over FPR.  The curve above runs from (1,1) (lowest
+  // threshold: everything predicted positive) toward the origin; append the
+  // (0,0) endpoint for the highest threshold.
+  double auc = 0.0;
+  double prev_fpr = 0.0;
+  double prev_tpr = 0.0;
+  for (auto it = curve.rbegin(); it != curve.rend(); ++it) {
+    auc += (it->false_positive_rate - prev_fpr) *
+           (it->true_positive_rate + prev_tpr) / 2.0;
+    prev_fpr = it->false_positive_rate;
+    prev_tpr = it->true_positive_rate;
+  }
+  auc += (1.0 - prev_fpr) * (1.0 + prev_tpr) / 2.0;
+  return auc;
+}
+
+double select_threshold(const std::vector<PrPoint>& curve,
+                        double min_precision) {
+  for (const PrPoint& p : curve) {
+    if (p.precision >= min_precision) return p.threshold;
+  }
+  // Unattainable precision: return a threshold above every confidence so
+  // the policy falls back to reordering only.
+  double max_threshold = 1.0;
+  for (const PrPoint& p : curve) {
+    max_threshold = std::max(max_threshold, p.threshold);
+  }
+  return max_threshold + 1e-9;
+}
+
+}  // namespace m3dfl

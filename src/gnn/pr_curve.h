@@ -1,0 +1,56 @@
+// Precision-recall analysis for the candidate pruning policy (paper
+// Sec. V-B, Table IV).
+//
+// Per sample: Actual Positive iff the tier prediction is correct; Predicted
+// Positive iff the prediction confidence clears the classification
+// threshold.  Sweeping the threshold yields the PR curve; the policy's T_P
+// is the smallest threshold whose precision reaches the target (paper: 99%),
+// keeping the expected accuracy loss from pruning below 1%.
+#ifndef M3DFL_GNN_PR_CURVE_H_
+#define M3DFL_GNN_PR_CURVE_H_
+
+#include <vector>
+
+namespace m3dfl {
+
+// One evaluated sample: prediction confidence + whether it was correct.
+struct PrSample {
+  double confidence = 0.0;
+  bool correct = false;
+};
+
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+// PR curve over all distinct confidence thresholds (ascending threshold).
+std::vector<PrPoint> pr_curve(const std::vector<PrSample>& samples);
+
+// Smallest threshold with precision >= min_precision; falls back to the
+// most conservative threshold (prune almost nothing) when unattainable.
+double select_threshold(const std::vector<PrPoint>& curve,
+                        double min_precision = 0.99);
+
+// ROC analysis (paper Sec. V-B discusses why PR is preferred for the
+// Tier-predictor's skewed class balance; the ROC machinery is provided for
+// the comparison and for balanced diagnostics).
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;   // recall over actual positives
+  double false_positive_rate = 0.0;  // fall-out over actual negatives
+};
+
+// ROC curve over all distinct confidence thresholds (ascending threshold,
+// i.e. from the all-positive corner toward the origin).
+std::vector<RocPoint> roc_curve(const std::vector<PrSample>& samples);
+
+// Area under the ROC curve by trapezoidal integration; 0.5 for a random
+// classifier, 1.0 for a perfect one.  Returns 0.5 for degenerate inputs
+// (a single class).
+double roc_auc(const std::vector<PrSample>& samples);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GNN_PR_CURVE_H_

@@ -1,0 +1,42 @@
+// Model persistence.
+//
+// A trained framework is the asset the paper's flow reuses across netlists
+// ("reusing pretrained models on new netlists significantly reduces the
+// runtime for diagnosis"), so it must survive a process restart.  The format
+// is a line-oriented text container ("m3dfl-model 1") with hex-float
+// parameter payloads, giving byte-exact round trips without binary
+// portability concerns.
+#ifndef M3DFL_GNN_SERIALIZE_H_
+#define M3DFL_GNN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "gnn/matrix.h"
+#include "gnn/model.h"
+
+namespace m3dfl {
+
+// Matrix payloads (shape header + hex-float values).
+void save_matrix(std::ostream& os, const Matrix& m);
+Matrix load_matrix(std::istream& is);
+
+// Model containers with a type tag; load_* throws m3dfl::Error on a tag or
+// shape mismatch.
+void save_model(std::ostream& os, const TierPredictor& model);
+void save_model(std::ostream& os, const MivPinpointer& model);
+void save_model(std::ostream& os, const PruneClassifier& model);
+TierPredictor load_tier_predictor(std::istream& is);
+MivPinpointer load_miv_pinpointer(std::istream& is);
+// The classifier embeds its own frozen encoder copy, so loading does not
+// need the original TierPredictor weights — only a shape-compatible host.
+PruneClassifier load_prune_classifier(std::istream& is,
+                                      const TierPredictor& host);
+
+// Convenience string round trips (used by tests and the examples).
+std::string tier_predictor_to_string(const TierPredictor& model);
+TierPredictor tier_predictor_from_string(const std::string& text);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GNN_SERIALIZE_H_

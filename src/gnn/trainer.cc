@@ -1,0 +1,177 @@
+#include "gnn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "diag/datagen.h"  // kMivTier
+
+namespace m3dfl {
+namespace {
+
+// Generic accumulate-and-step loop shared by the three models.  `step_fn`
+// runs one forward/backward pass for dataset index i and returns its loss.
+template <typename StepFn>
+double run_epochs(std::size_t dataset_size, const TrainOptions& options,
+                  Adam& adam, StepFn&& step_fn) {
+  if (dataset_size == 0) return 0.0;
+  Rng rng(options.seed);
+  std::vector<std::size_t> order(dataset_size);
+  for (std::size_t i = 0; i < dataset_size; ++i) order[i] = i;
+
+  double best_loss = 1e30;
+  std::int32_t stale = 0;
+  double epoch_loss = 0.0;
+  for (std::int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    epoch_loss = 0.0;
+    std::int32_t in_batch = 0;
+    for (std::size_t idx : order) {
+      epoch_loss += step_fn(idx);
+      if (++in_batch >= options.batch_size) {
+        adam.step(in_batch);
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.step(in_batch);
+    epoch_loss /= static_cast<double>(dataset_size);
+
+    if (epoch_loss < best_loss - options.min_improvement) {
+      best_loss = epoch_loss;
+      stale = 0;
+    } else if (++stale >= options.patience) {
+      break;
+    }
+  }
+  return epoch_loss;
+}
+
+}  // namespace
+
+double train_tier_predictor(TierPredictor& model,
+                            std::span<const Subgraph> graphs,
+                            const TrainOptions& options) {
+  // Usable samples: tier-labeled, non-empty.
+  std::vector<const Subgraph*> data;
+  for (const Subgraph& g : graphs) {
+    if (!g.empty() && (g.tier_label == 0 || g.tier_label == 1)) {
+      data.push_back(&g);
+    }
+  }
+  std::vector<NormalizedAdjacency> adj;
+  adj.reserve(data.size());
+  for (const Subgraph* g : data) adj.push_back(subgraph_adjacency(*g));
+
+  Adam adam(AdamOptions{.lr = options.lr});
+  model.register_params(adam);
+  return run_epochs(data.size(), options, adam, [&](std::size_t i) {
+    return model.train_step(*data[i], adj[i], data[i]->tier_label);
+  });
+}
+
+double train_miv_pinpointer(MivPinpointer& model,
+                            std::span<const Subgraph> graphs,
+                            const TrainOptions& options) {
+  std::vector<const Subgraph*> data;
+  for (const Subgraph& g : graphs) {
+    if (!g.empty() && !g.miv_local.empty()) data.push_back(&g);
+  }
+  std::vector<NormalizedAdjacency> adj;
+  adj.reserve(data.size());
+  for (const Subgraph* g : data) adj.push_back(subgraph_adjacency(*g));
+
+  Adam adam(AdamOptions{.lr = options.lr});
+  model.register_params(adam);
+  return run_epochs(data.size(), options, adam, [&](std::size_t i) {
+    return model.train_step(*data[i], adj[i]);
+  });
+}
+
+double train_prune_classifier(PruneClassifier& model,
+                              std::span<const Subgraph> graphs,
+                              std::span<const int> labels,
+                              const TrainOptions& options) {
+  M3DFL_REQUIRE(graphs.size() == labels.size(),
+                "classifier labels must match graphs");
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    if (!graphs[i].empty()) keep.push_back(i);
+  }
+  std::vector<NormalizedAdjacency> adj;
+  adj.reserve(keep.size());
+  for (std::size_t i : keep) adj.push_back(subgraph_adjacency(graphs[i]));
+
+  Adam adam(AdamOptions{.lr = options.lr});
+  model.register_params(adam);
+  return run_epochs(keep.size(), options, adam, [&](std::size_t i) {
+    return model.train_step(graphs[keep[i]], adj[i],
+                            labels[keep[i]]);
+  });
+}
+
+double tier_accuracy(const TierPredictor& model,
+                     std::span<const Subgraph> graphs) {
+  std::int32_t total = 0;
+  std::int32_t correct = 0;
+  for (const Subgraph& g : graphs) {
+    if (g.empty() || (g.tier_label != 0 && g.tier_label != 1)) continue;
+    ++total;
+    if (model.predicted_tier(g) == g.tier_label) ++correct;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+double miv_accuracy(const MivPinpointer& model,
+                    std::span<const Subgraph> graphs) {
+  std::int32_t total = 0;
+  std::int32_t correct = 0;
+  for (const Subgraph& g : graphs) {
+    if (g.empty() || g.miv_local.empty()) continue;
+    ++total;
+    const std::vector<double> probs = model.predict(g);
+    bool ok = true;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      const bool predicted = probs[i] >= 0.5;
+      if (predicted != (g.miv_label[i] != 0)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++correct;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+std::vector<double> feature_significance(const TierPredictor& model,
+                                         std::span<const Subgraph> graphs,
+                                         std::uint64_t seed) {
+  const double base = tier_accuracy(model, graphs);
+  std::vector<double> significance(kNumNodeFeatures, 0.5);
+  Rng rng(seed);
+  for (std::int32_t f = 0; f < kNumNodeFeatures; ++f) {
+    // Shuffle feature f across all nodes of all graphs.
+    std::vector<Subgraph> permuted(graphs.begin(), graphs.end());
+    std::vector<float> pool;
+    for (const Subgraph& g : permuted) {
+      for (std::int32_t i = 0; i < g.num_nodes(); ++i) {
+        pool.push_back(g.features.at(i, f));
+      }
+    }
+    rng.shuffle(pool);
+    std::size_t k = 0;
+    for (Subgraph& g : permuted) {
+      for (std::int32_t i = 0; i < g.num_nodes(); ++i) {
+        g.features.at(i, f) = pool[k++];
+      }
+    }
+    const double drop = base - tier_accuracy(model, permuted);
+    significance[static_cast<std::size_t>(f)] =
+        std::clamp(0.5 + drop, 0.0, 1.0);
+  }
+  return significance;
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,61 @@
+// Training loops, evaluation helpers, and feature-significance analysis.
+#ifndef M3DFL_GNN_TRAINER_H_
+#define M3DFL_GNN_TRAINER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gnn/model.h"
+
+namespace m3dfl {
+
+struct TrainOptions {
+  std::int32_t epochs = 200;
+  std::int32_t batch_size = 8;
+  double lr = 0.01;
+  std::uint64_t seed = 123;
+  // Stop early when the epoch loss improves less than this for `patience`
+  // consecutive epochs.
+  double min_improvement = 1e-4;
+  std::int32_t patience = 25;
+};
+
+// Trains the tier predictor on labeled subgraphs (tier_label 0/1; samples
+// labeled kMivTier are skipped).  Returns the final mean epoch loss.
+double train_tier_predictor(TierPredictor& model,
+                            std::span<const Subgraph> graphs,
+                            const TrainOptions& options = {});
+
+// Trains the MIV pinpointer; uses each subgraph's miv_label vector.
+double train_miv_pinpointer(MivPinpointer& model,
+                            std::span<const Subgraph> graphs,
+                            const TrainOptions& options = {});
+
+// Trains the prune/reorder classifier on (subgraph, label) pairs
+// (1 = prune is safe).
+double train_prune_classifier(PruneClassifier& model,
+                              std::span<const Subgraph> graphs,
+                              std::span<const int> labels,
+                              const TrainOptions& options = {});
+
+// Fraction of tier-labeled subgraphs classified correctly.
+double tier_accuracy(const TierPredictor& model,
+                     std::span<const Subgraph> graphs);
+
+// MIV-pinpointer sample accuracy: a sample counts as correct when the set of
+// MIVs predicted faulty (threshold 0.5) equals the labeled set.
+double miv_accuracy(const MivPinpointer& model,
+                    std::span<const Subgraph> graphs);
+
+// Permutation feature importance on the trained tier predictor: accuracy
+// drop when feature j is shuffled across the evaluation set.  Returned as
+// the paper-style significance score 0.5 + drop (clamped to [0, 1]): 0.5 is
+// neutral, 1 maximally important — our GNNExplainer substitute (Table II).
+std::vector<double> feature_significance(const TierPredictor& model,
+                                         std::span<const Subgraph> graphs,
+                                         std::uint64_t seed = 99);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GNN_TRAINER_H_

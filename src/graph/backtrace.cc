@@ -1,0 +1,118 @@
+#include "graph/backtrace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace m3dfl {
+namespace {
+
+struct TopResponse {
+  std::int32_t pattern = 0;
+  std::vector<NodeId> topnodes;
+};
+
+std::vector<TopResponse> collect(const HeteroGraph& graph,
+                                 const DesignContext& design,
+                                 const FailureLog& log) {
+  std::vector<TopResponse> responses;
+  for (const Observation& o : log.scan_fails) {
+    responses.push_back(
+        TopResponse{o.pattern, {graph.topnode_of_flop(o.index)}});
+  }
+  for (const ChannelFail& c : log.channel_fails) {
+    TopResponse r;
+    r.pattern = c.pattern;
+    for (std::int32_t flop :
+         design.compactor->cells_at(*design.scan, c.channel, c.position)) {
+      r.topnodes.push_back(graph.topnode_of_flop(flop));
+    }
+    responses.push_back(std::move(r));
+  }
+  for (const Observation& o : log.po_fails) {
+    responses.push_back(TopResponse{o.pattern, {graph.topnode_of_po(o.index)}});
+  }
+  return responses;
+}
+
+}  // namespace
+
+std::vector<NodeId> backtrace_candidates(const HeteroGraph& graph,
+                                         const DesignContext& design,
+                                         const FailureLog& log,
+                                         const BacktraceOptions& options) {
+  M3DFL_REQUIRE(design.good != nullptr, "design context missing simulation");
+  M3DFL_REQUIRE(!log.compacted || design.compactor != nullptr,
+                "compacted log requires a compactor");
+  std::vector<NodeId> out;
+  if (log.empty()) return out;
+
+  std::vector<TopResponse> responses = collect(graph, design, log);
+  if (static_cast<std::int32_t>(responses.size()) >
+      options.max_traced_responses) {
+    std::vector<TopResponse> thinned;
+    const double stride = static_cast<double>(responses.size()) /
+                          static_cast<double>(options.max_traced_responses);
+    for (std::int32_t i = 0; i < options.max_traced_responses; ++i) {
+      thinned.push_back(
+          responses[static_cast<std::size_t>(std::floor(i * stride))]);
+    }
+    responses = std::move(thinned);
+  }
+
+  const LocSimulator& good = *design.good;
+  const auto n_nodes = static_cast<std::size_t>(graph.num_nodes());
+  std::vector<std::int32_t> count(n_nodes, 0);
+  std::vector<std::uint32_t> seen(n_nodes, 0);
+  std::uint32_t stamp = 0;
+  std::vector<NodeId> stack;
+
+  // Lines 2-12 of the paper's pseudocode: per response, union over the
+  // failing Topnodes of the transitioning fan-in-cone nodes; counted here so
+  // the intersection (and its relaxation) falls out of the counts.
+  for (const TopResponse& r : responses) {
+    ++stamp;
+    for (NodeId t : r.topnodes) {
+      if (seen[static_cast<std::size_t>(t)] != stamp) {
+        seen[static_cast<std::size_t>(t)] = stamp;
+        stack.push_back(t);
+      }
+    }
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      const NetId net = graph.node_net(u);
+      if (net != kNullNet && good.has_transition(net, r.pattern)) {
+        ++count[static_cast<std::size_t>(u)];
+      }
+      for (NodeId v : graph.predecessors(u)) {
+        if (seen[static_cast<std::size_t>(v)] != stamp) {
+          seen[static_cast<std::size_t>(v)] = stamp;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+
+  const auto n_responses = static_cast<std::int32_t>(responses.size());
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (count[static_cast<std::size_t>(n)] == n_responses) out.push_back(n);
+  }
+  if (out.empty()) {
+    const auto threshold = static_cast<std::int32_t>(
+        std::ceil(options.relaxed_fraction * n_responses));
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      if (count[static_cast<std::size_t>(n)] >= threshold) out.push_back(n);
+    }
+  }
+  if (out.empty()) {
+    std::int32_t best = 0;
+    for (std::int32_t c : count) best = std::max(best, c);
+    if (best == 0) return out;
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      if (count[static_cast<std::size_t>(n)] == best) out.push_back(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace m3dfl

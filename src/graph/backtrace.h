@@ -1,0 +1,41 @@
+// Back-tracing (paper Fig. 3).
+//
+// For every erroneous tester response, the fan-in cone of the failing
+// Topnode(s) is traversed and nodes that transition under the failing
+// pattern form the response's suspect set; the intersection across all
+// responses is the candidate list handed to the GNN models as a subgraph.
+//
+// Compacted logs yield several Topnodes per response (the aliased cells of
+// the XOR channel), whose suspect sets are unioned — the paper's
+// FailedTopnode(r) set.  When the strict intersection is empty (multi-fault
+// dies), a majority relaxation keeps the best-supported nodes so diagnosis
+// can still proceed.
+#ifndef M3DFL_GRAPH_BACKTRACE_H_
+#define M3DFL_GRAPH_BACKTRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diag/datagen.h"
+#include "diag/failure_log.h"
+#include "graph/hetero_graph.h"
+
+namespace m3dfl {
+
+struct BacktraceOptions {
+  // Majority fraction used when the strict intersection is empty.
+  double relaxed_fraction = 0.75;
+  // Responses beyond this cap are thinned with a uniform stride (the
+  // intersection converges after a handful of responses).
+  std::int32_t max_traced_responses = 60;
+};
+
+// Candidate heterogeneous-graph nodes for one failure log, sorted ascending.
+std::vector<NodeId> backtrace_candidates(const HeteroGraph& graph,
+                                         const DesignContext& design,
+                                         const FailureLog& log,
+                                         const BacktraceOptions& options = {});
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GRAPH_BACKTRACE_H_

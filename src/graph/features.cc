@@ -1,0 +1,58 @@
+#include "graph/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/subgraph.h"
+
+namespace m3dfl {
+
+const char* const kFeatureNames[] = {
+    "circuit fan-in",        "circuit fan-out",
+    "Topedges connected",    "tier-level location",
+    "topological level",     "is gate output",
+    "connects to MIV",       "subgraph fan-in",
+    "subgraph fan-out",      "Topedge length mean",
+    "Topedge length std",    "Topedge MIV-count mean",
+    "Topedge MIV-count std",
+};
+
+namespace {
+
+// Squashes an unbounded non-negative count/distance to [0, 1).
+float squash(double x, double scale) {
+  return static_cast<float>(x / (x + scale));
+}
+
+}  // namespace
+
+void compute_node_features(const HeteroGraph& graph,
+                           const std::vector<NodeId>& nodes,
+                           const std::vector<std::int32_t>& sub_fanin,
+                           const std::vector<std::int32_t>& sub_fanout,
+                           Matrix& features) {
+  M3DFL_ASSERT(features.rows() == static_cast<std::int32_t>(nodes.size()) &&
+               features.cols() == kNumNodeFeatures);
+  M3DFL_ASSERT(sub_fanin.size() == nodes.size() &&
+               sub_fanout.size() == nodes.size());
+  const float max_level = static_cast<float>(graph.max_level());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId n = nodes[i];
+    auto row = features.row(static_cast<std::int32_t>(i));
+    row[0] = squash(graph.fanin_degree(n), 4.0);
+    row[1] = squash(graph.fanout_degree(n), 4.0);
+    row[2] = squash(graph.n_top(n), 64.0);
+    row[3] = graph.loc(n);
+    row[4] = static_cast<float>(graph.level(n)) / max_level;
+    row[5] = graph.is_output_pin(n) ? 1.0f : 0.0f;
+    row[6] = graph.near_miv(n) ? 1.0f : 0.0f;
+    row[7] = squash(sub_fanin[i], 4.0);
+    row[8] = squash(sub_fanout[i], 4.0);
+    row[9] = squash(graph.dist_mean(n), 24.0);
+    row[10] = squash(graph.dist_std(n), 12.0);
+    row[11] = squash(graph.miv_mean(n), 3.0);
+    row[12] = squash(graph.miv_std(n), 2.0);
+  }
+}
+
+}  // namespace m3dfl

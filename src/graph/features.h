@@ -1,0 +1,44 @@
+// Node feature computation (paper Tables I and II).
+//
+// Thirteen features per subgraph node, in the paper's Table II order:
+//   0  number of fan-in edges in the circuit
+//   1  number of fan-out edges in the circuit
+//   2  number of Topedges connected (N_top)
+//   3  tier-level location (0 bottom / 1 top / 0.5 MIV)
+//   4  level in topological order
+//   5  whether it is a gate output
+//   6  whether it connects to an MIV
+//   7  number of fan-in edges in the subgraph
+//   8  number of fan-out edges in the subgraph
+//   9  mean length of Topedges connected
+//  10  std-dev of length of Topedges connected
+//  11  mean number of MIVs passed through by Topedges connected
+//  12  std-dev of number of MIVs passed through by Topedges connected
+//
+// Counts and distances are squashed to O(1) ranges with fixed scales (not
+// per-dataset statistics) so that a model trained on one design
+// configuration transfers to another without renormalization.
+#ifndef M3DFL_GRAPH_FEATURES_H_
+#define M3DFL_GRAPH_FEATURES_H_
+
+#include <string>
+
+#include "gnn/matrix.h"
+#include "graph/hetero_graph.h"
+
+namespace m3dfl {
+
+// Human-readable feature names, Table II order.
+extern const char* const kFeatureNames[];
+
+// Fills `features` (pre-sized [n x kNumNodeFeatures]) for the given nodes;
+// sub_fanin/sub_fanout are the induced-subgraph degrees per local index.
+void compute_node_features(const HeteroGraph& graph,
+                           const std::vector<NodeId>& nodes,
+                           const std::vector<std::int32_t>& sub_fanin,
+                           const std::vector<std::int32_t>& sub_fanout,
+                           Matrix& features);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GRAPH_FEATURES_H_

@@ -1,0 +1,71 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "graph/features.h"
+
+namespace m3dfl {
+
+Subgraph extract_subgraph(const HeteroGraph& graph,
+                          const std::vector<NodeId>& nodes) {
+  M3DFL_ASSERT(std::is_sorted(nodes.begin(), nodes.end()));
+  Subgraph sg;
+  sg.nodes = nodes;
+  const auto n = static_cast<std::int32_t>(nodes.size());
+
+  // Global-to-local index map restricted to the member set.
+  std::vector<std::int32_t> local(static_cast<std::size_t>(graph.num_nodes()),
+                                  -1);
+  for (std::int32_t i = 0; i < n; ++i) {
+    local[static_cast<std::size_t>(nodes[static_cast<std::size_t>(i)])] = i;
+  }
+
+  std::vector<std::int32_t> sub_fanin(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> sub_fanout(static_cast<std::size_t>(n), 0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    const NodeId u = nodes[static_cast<std::size_t>(i)];
+    for (NodeId v : graph.successors(u)) {
+      const std::int32_t j = local[static_cast<std::size_t>(v)];
+      if (j < 0) continue;
+      sg.edge_u.push_back(i);
+      sg.edge_v.push_back(j);
+      ++sub_fanout[static_cast<std::size_t>(i)];
+      ++sub_fanin[static_cast<std::size_t>(j)];
+    }
+  }
+
+  sg.features = Matrix(n, kNumNodeFeatures);
+  compute_node_features(graph, sg.nodes, sub_fanin, sub_fanout, sg.features);
+
+  for (std::int32_t i = 0; i < n; ++i) {
+    const NodeId u = nodes[static_cast<std::size_t>(i)];
+    if (graph.is_miv_node(u)) {
+      sg.miv_local.push_back(i);
+      sg.miv_ids.push_back(graph.miv_of_node(u));
+    }
+  }
+  sg.miv_label.assign(sg.miv_local.size(), 0);
+  return sg;
+}
+
+void label_subgraph(Subgraph& subgraph, const Sample& sample) {
+  subgraph.tier_label = sample.fault_tier;
+  for (std::size_t i = 0; i < subgraph.miv_ids.size(); ++i) {
+    const bool faulty =
+        std::find(sample.faulty_mivs.begin(), sample.faulty_mivs.end(),
+                  subgraph.miv_ids[i]) != sample.faulty_mivs.end();
+    subgraph.miv_label[i] = faulty ? 1 : 0;
+  }
+}
+
+std::vector<double> graph_feature_vector(const Subgraph& subgraph) {
+  std::vector<double> v(kNumNodeFeatures, 0.0);
+  if (subgraph.empty()) return v;
+  const Matrix mean = column_mean(subgraph.features);
+  for (std::int32_t j = 0; j < kNumNodeFeatures; ++j) {
+    v[static_cast<std::size_t>(j)] = mean.at(0, j);
+  }
+  return v;
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,58 @@
+// Candidate subgraph extraction (paper Sec. III-B, line 13).
+//
+// After back-tracing, the candidate nodes are extracted into a homogeneous
+// subgraph for the GNN models: the node-induced subgraph of the circuit
+// level, with the top level encoded purely as node features (paper: "the
+// topological dependency at the top level is encoded as numerical features
+// of the extracted subgraph").
+#ifndef M3DFL_GRAPH_SUBGRAPH_H_
+#define M3DFL_GRAPH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diag/datagen.h"
+#include "gnn/matrix.h"
+#include "graph/hetero_graph.h"
+
+namespace m3dfl {
+
+// Number of node features (paper Table II).
+inline constexpr std::int32_t kNumNodeFeatures = 13;
+
+struct Subgraph {
+  // Heterogeneous-graph ids of the member nodes (ascending).
+  std::vector<NodeId> nodes;
+  // Induced undirected edges as local-index pairs.
+  std::vector<std::int32_t> edge_u;
+  std::vector<std::int32_t> edge_v;
+  // [num_nodes x kNumNodeFeatures] feature matrix (see graph/features.h).
+  Matrix features;
+
+  // Labels (filled by label_subgraph for training samples).
+  int tier_label = -1;                   // faulty tier, or kMivTier
+  std::vector<std::int32_t> miv_local;   // local indices of MIV nodes
+  std::vector<MivId> miv_ids;            // their MIV ids
+  std::vector<std::int8_t> miv_label;    // 1 = defective MIV
+
+  std::int32_t num_nodes() const {
+    return static_cast<std::int32_t>(nodes.size());
+  }
+  bool empty() const { return nodes.empty(); }
+};
+
+// Builds the induced subgraph over `nodes` (must be sorted ascending) and
+// fills its features.
+Subgraph extract_subgraph(const HeteroGraph& graph,
+                          const std::vector<NodeId>& nodes);
+
+// Attaches ground-truth labels from a generated sample.
+void label_subgraph(Subgraph& subgraph, const Sample& sample);
+
+// Per-sample 13-dim summary vector (column means of the node features);
+// the representation visualized by the paper's PCA study (Fig. 5).
+std::vector<double> graph_feature_vector(const Subgraph& subgraph);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,22 @@
+#include "m3d/miv.h"
+
+namespace m3dfl {
+
+MivMap::MivMap(const Netlist& netlist, const TierAssignment& tiers) {
+  M3DFL_REQUIRE(netlist.finalized(), "MIV extraction requires a finalized netlist");
+  net_to_miv_.assign(static_cast<std::size_t>(netlist.num_nets()), kNullMiv);
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    const int driver_tier = tiers.tier_of(net.driver);
+    std::vector<PinRef> far;
+    for (const PinRef& sink : net.sinks) {
+      if (tiers.tier_of(sink.gate) != driver_tier) far.push_back(sink);
+    }
+    if (far.empty()) continue;
+    net_to_miv_[static_cast<std::size_t>(n)] =
+        static_cast<MivId>(mivs_.size());
+    mivs_.push_back(Miv{n, driver_tier, std::move(far)});
+  }
+}
+
+}  // namespace m3dfl

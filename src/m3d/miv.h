@@ -1,0 +1,58 @@
+// Monolithic inter-tier via (MIV) extraction.
+//
+// Given a tier assignment, every net whose pins span both tiers is routed
+// through one MIV.  MIVs are first-class diagnosis objects in the paper: they
+// are prone to delay defects (voids from inter-layer-dielectric roughness)
+// and each MIV becomes a node of the heterogeneous diagnosis graph so it can
+// be pinpointed directly.
+#ifndef M3DFL_M3D_MIV_H_
+#define M3DFL_M3D_MIV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "m3d/partition.h"
+#include "netlist/netlist.h"
+
+namespace m3dfl {
+
+using MivId = std::int32_t;
+inline constexpr MivId kNullMiv = -1;
+
+// One monolithic inter-tier via.
+struct Miv {
+  NetId net = kNullNet;     // net routed through this via
+  int driver_tier = 0;      // tier of the net's driver
+  // Sink pins on the tier opposite to the driver; a delay defect in the via
+  // delays exactly these branches.
+  std::vector<PinRef> far_sinks;
+};
+
+// MIV inventory for a (netlist, tier assignment) pair.
+class MivMap {
+ public:
+  MivMap() = default;
+  MivMap(const Netlist& netlist, const TierAssignment& tiers);
+
+  std::int32_t num_mivs() const { return static_cast<std::int32_t>(mivs_.size()); }
+  const Miv& miv(MivId id) const {
+    M3DFL_ASSERT(id >= 0 && id < num_mivs());
+    return mivs_[static_cast<std::size_t>(id)];
+  }
+  const std::vector<Miv>& mivs() const { return mivs_; }
+
+  // MIV on a net, or kNullMiv if the net does not cross tiers.
+  MivId miv_of_net(NetId net) const {
+    M3DFL_ASSERT(net >= 0 &&
+                 net < static_cast<NetId>(net_to_miv_.size()));
+    return net_to_miv_[static_cast<std::size_t>(net)];
+  }
+
+ private:
+  std::vector<Miv> mivs_;
+  std::vector<MivId> net_to_miv_;
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_M3D_MIV_H_

@@ -1,0 +1,179 @@
+#include "m3d/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace m3dfl {
+namespace {
+
+bool is_partitionable(GateType type) {
+  return type != GateType::kPrimaryInput && type != GateType::kPrimaryOutput;
+}
+
+// Balanced random assignment of the partitionable gates.
+void assign_random(const Netlist& nl, TierAssignment& ta, Rng& rng) {
+  std::vector<GateId> logic;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (is_partitionable(nl.gate(g).type)) logic.push_back(g);
+  }
+  rng.shuffle(logic);
+  for (std::size_t i = 0; i < logic.size(); ++i) {
+    ta.set_tier(logic[i], i < logic.size() / 2 ? kBottomTier : kTopTier);
+  }
+}
+
+// Tiers by topological depth: shallow logic on the bottom tier, deep logic
+// on top, with the threshold chosen for gate-count balance.  Flops inherit
+// the tier of their first fan-out sink so launch paths stay tier-local.
+void assign_level_driven(const Netlist& nl, TierAssignment& ta) {
+  std::vector<std::int32_t> level_histogram(
+      static_cast<std::size_t>(nl.max_level()) + 2, 0);
+  std::int32_t num_logic = 0;
+  for (GateId g : nl.topo_order()) {
+    ++level_histogram[static_cast<std::size_t>(nl.level(g))];
+    ++num_logic;
+  }
+  std::int32_t threshold = 0;
+  std::int32_t below = 0;
+  while (threshold < static_cast<std::int32_t>(level_histogram.size()) &&
+         below < num_logic / 2) {
+    below += level_histogram[static_cast<std::size_t>(threshold)];
+    ++threshold;
+  }
+  for (GateId g : nl.topo_order()) {
+    ta.set_tier(g, nl.level(g) < threshold ? kBottomTier : kTopTier);
+  }
+  for (GateId ff : nl.flops()) {
+    const Net& qnet = nl.net(nl.gate(ff).fanout);
+    int tier = kBottomTier;
+    if (!qnet.sinks.empty()) tier = ta.tier_of(qnet.sinks.front().gate);
+    ta.set_tier(ff, tier);
+  }
+}
+
+// One greedy refinement pass: move gates whose move reduces the number of
+// cut nets, respecting the balance constraint.  Returns the number of moves.
+std::int32_t refine_pass(const Netlist& nl, TierAssignment& ta,
+                         std::vector<GateId>& order, Rng& rng,
+                         double balance_tolerance) {
+  rng.shuffle(order);
+
+  auto counts = ta.tier_gate_counts(nl);
+  const std::int32_t total = counts[0] + counts[1];
+  const auto max_skew = static_cast<std::int32_t>(
+      balance_tolerance * static_cast<double>(total));
+
+  // Gain of moving gate g to the opposite tier: for each incident net,
+  // +1 if the net stops being cut, -1 if it becomes cut.
+  const auto net_tiers = [&](NetId n, GateId exclude) {
+    // Returns a pair (has_bottom, has_top) over the net's pins minus one gate.
+    bool has[2] = {false, false};
+    const Net& net = nl.net(n);
+    const auto mark = [&](GateId g) {
+      if (g == exclude) return;
+      // Ports are pinned to the bottom tier.
+      has[is_partitionable(nl.gate(g).type) ? ta.tier_of(g) : kBottomTier] =
+          true;
+    };
+    mark(net.driver);
+    for (const PinRef& s : net.sinks) mark(s.gate);
+    return std::make_pair(has[0], has[1]);
+  };
+
+  std::int32_t moves = 0;
+  for (GateId g : order) {
+    const Gate& gate = nl.gate(g);
+    const int from = ta.tier_of(g);
+    const int to = 1 - from;
+    // Balance check: a move from the larger side is always fine; from the
+    // smaller side only while within tolerance.
+    if (counts[from] - 1 < counts[to] + 1 - max_skew) continue;
+
+    std::int32_t gain = 0;
+    const auto consider = [&](NetId n) {
+      const auto [has_bottom, has_top] = net_tiers(n, g);
+      const bool others_on[2] = {has_bottom, has_top};
+      // With g on `from`, the net is cut iff another pin sits on `to`; after
+      // moving g to `to`, it is cut iff a pin remains on `from`.
+      const bool was_cut = others_on[to];
+      const bool now_cut = others_on[from];
+      if (was_cut && !now_cut) ++gain;
+      if (!was_cut && now_cut) --gain;
+    };
+    if (gate.fanout != kNullNet) consider(gate.fanout);
+    for (NetId n : gate.fanin) consider(n);
+
+    if (gain > 0) {
+      ta.set_tier(g, to);
+      --counts[from];
+      ++counts[to];
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> TierAssignment::tier_gate_counts(
+    const Netlist& netlist) const {
+  std::vector<std::int32_t> counts(kNumTiers, 0);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    if (is_partitionable(netlist.gate(g).type)) ++counts[tier_of(g)];
+  }
+  return counts;
+}
+
+std::int32_t TierAssignment::cut_size(const Netlist& netlist) const {
+  // Ports sit on the bottom tier (package connectivity), so a net between
+  // top-tier logic and a primary port crosses tiers too — consistent with
+  // MivMap, which gives every such net an MIV.
+  std::int32_t cut = 0;
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    bool has[2] = {false, false};
+    has[tier_of(net.driver)] = true;
+    for (const PinRef& s : net.sinks) has[tier_of(s.gate)] = true;
+    if (has[0] && has[1]) ++cut;
+  }
+  return cut;
+}
+
+TierAssignment partition_tiers(const Netlist& netlist,
+                               const PartitionOptions& options) {
+  M3DFL_REQUIRE(netlist.finalized(), "partitioning requires a finalized netlist");
+  TierAssignment ta(std::vector<std::int8_t>(
+      static_cast<std::size_t>(netlist.num_gates()), kBottomTier));
+  Rng rng(options.seed);
+
+  switch (options.method) {
+    case PartitionMethod::kRandom:
+      assign_random(netlist, ta, rng);
+      break;
+    case PartitionMethod::kLevelDriven:
+      assign_level_driven(netlist, ta);
+      break;
+    case PartitionMethod::kMinCut: {
+      assign_random(netlist, ta, rng);
+      std::vector<GateId> order;
+      for (GateId g = 0; g < netlist.num_gates(); ++g) {
+        if (is_partitionable(netlist.gate(g).type)) order.push_back(g);
+      }
+      for (int pass = 0; pass < options.max_passes; ++pass) {
+        if (refine_pass(netlist, ta, order, rng, options.balance_tolerance) ==
+            0) {
+          break;
+        }
+      }
+      break;
+    }
+  }
+  // Ports stay on the bottom tier.
+  for (GateId g : netlist.primary_inputs()) ta.set_tier(g, kBottomTier);
+  for (GateId g : netlist.primary_outputs()) ta.set_tier(g, kBottomTier);
+  return ta;
+}
+
+}  // namespace m3dfl

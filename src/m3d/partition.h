@@ -1,0 +1,81 @@
+// Tier partitioning for monolithic 3-D designs.
+//
+// An M3D design places standard cells on two (or more) device tiers; nets
+// that cross tiers are routed through monolithic inter-tier vias (MIVs).
+// This module assigns every gate to a tier.  Three methods model the
+// partitioning tools referenced by the paper:
+//
+//  * kMinCut       — area-balanced iterative min-cut refinement, the stand-in
+//                    for the placement-driven partitioner of Panth et al.
+//                    (paper ref. [34]); default for Syn-1 style flows.
+//  * kLevelDriven  — assigns tiers by topological depth, a structurally
+//                    different assignment standing in for the alternative
+//                    TP-GNN partitioner (paper ref. [27]); the "Par" config.
+//  * kRandom       — balanced random assignment; used for the paper's
+//                    data-augmentation scheme (Sec. IV), which trains on
+//                    randomly partitioned netlists to diversify the dataset.
+//
+// Primary inputs/outputs are always kept on the bottom tier (package
+// connectivity); only logic gates and flops are partitioned.
+#ifndef M3DFL_M3D_PARTITION_H_
+#define M3DFL_M3D_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace m3dfl {
+
+// Two-tier M3D: tier 0 = bottom, tier 1 = top.
+inline constexpr int kBottomTier = 0;
+inline constexpr int kTopTier = 1;
+inline constexpr int kNumTiers = 2;
+
+// Per-gate tier assignment.
+class TierAssignment {
+ public:
+  TierAssignment() = default;
+  explicit TierAssignment(std::vector<std::int8_t> tiers)
+      : tiers_(std::move(tiers)) {}
+
+  int tier_of(GateId gate) const {
+    M3DFL_ASSERT(gate >= 0 &&
+                 gate < static_cast<GateId>(tiers_.size()));
+    return tiers_[static_cast<std::size_t>(gate)];
+  }
+  void set_tier(GateId gate, int tier) {
+    M3DFL_ASSERT(gate >= 0 &&
+                 gate < static_cast<GateId>(tiers_.size()));
+    M3DFL_ASSERT(tier == kBottomTier || tier == kTopTier);
+    tiers_[static_cast<std::size_t>(gate)] = static_cast<std::int8_t>(tier);
+  }
+  std::size_t size() const { return tiers_.size(); }
+
+  // Logic-gate count per tier (PIs/POs excluded).
+  std::vector<std::int32_t> tier_gate_counts(const Netlist& netlist) const;
+  // Number of nets whose pins span both tiers (== MIV count).
+  std::int32_t cut_size(const Netlist& netlist) const;
+
+ private:
+  std::vector<std::int8_t> tiers_;
+};
+
+enum class PartitionMethod { kMinCut, kLevelDriven, kRandom };
+
+struct PartitionOptions {
+  PartitionMethod method = PartitionMethod::kMinCut;
+  std::uint64_t seed = 1;
+  // Max allowed imbalance as a fraction of the logic gate count.
+  double balance_tolerance = 0.05;
+  // Refinement passes for kMinCut.
+  int max_passes = 12;
+};
+
+// Partitions a finalized netlist into two tiers.
+TierAssignment partition_tiers(const Netlist& netlist,
+                               const PartitionOptions& options);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_M3D_PARTITION_H_

@@ -1,0 +1,64 @@
+// Synthetic benchmark generator.
+//
+// The paper evaluates on four licensed RTL designs (AES, Tate, netcard,
+// leon3mp) synthesized with a commercial tool — neither the RTL nor the tool
+// is available here.  This generator is the documented substitution
+// (DESIGN.md §2): it elaborates deterministic, scan-ready gate-level
+// netlists with realistic structural properties — mixed cell types and
+// fan-in widths, bounded fan-out, locality-biased connections with
+// long-range reconvergent fan-out, and a controllable logic depth.
+//
+// Diagnosis quality is a function of circuit *topology* (cone sizes,
+// reconvergence, observation-point density), not of functional semantics, so
+// a topology-realistic synthetic netlist exercises the same code paths as a
+// synthesized design.  "Synthesis configurations" are modelled by
+// re-elaborating the same profile with a different elaboration seed and
+// depth/mix perturbation (Syn-2), mirroring how re-synthesis at a different
+// clock frequency restructures logic without changing function.
+#ifndef M3DFL_NETLIST_GENERATOR_H_
+#define M3DFL_NETLIST_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace m3dfl {
+
+// Parameters controlling circuit elaboration.
+struct GeneratorConfig {
+  std::string name = "synth";
+  std::int32_t num_gates = 1000;  // combinational gate target (pre-collapse)
+  std::int32_t num_pis = 32;
+  std::int32_t num_pos = 32;
+  std::int32_t num_flops = 128;
+  std::int32_t target_depth = 18;   // logic depth saturation point
+  double locality = 0.75;           // P(draw fan-in from the recent frontier)
+  std::int32_t frontier_window = 48;  // size of the recent-output window
+  std::int32_t max_fanout = 8;      // soft fan-out cap per net
+  // After emitting a buffer/inverter, probability that the next gate extends
+  // it into a fan-out-free chain.  Long chains are the textbook source of
+  // indistinguishable (equivalent) delay faults; profiles with large chain
+  // bias (netcard, leon3mp) produce the coarse diagnosis reports the paper
+  // observes on their namesakes.
+  double chain_extend_prob = 0.0;
+  std::uint64_t seed = 1;
+
+  // Relative cell-mix weights indexed by GateType; defaults approximate a
+  // mapped standard-cell distribution.
+  std::array<double, kNumGateTypes> mix = default_mix();
+
+  static std::array<double, kNumGateTypes> default_mix();
+};
+
+// Elaborates a finalized netlist from the configuration.  Deterministic in
+// `config` (including seed).  All nets are driven; dangling logic outputs
+// are collapsed into XOR trees feeding primary outputs so that (almost) all
+// faults are structurally observable.
+Netlist generate_netlist(const GeneratorConfig& config);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_NETLIST_GENERATOR_H_

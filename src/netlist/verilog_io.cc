@@ -1,0 +1,215 @@
+#include "netlist/verilog_io.h"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace m3dfl {
+
+// MNL grammar (one record per line, '#' comments):
+//   mnl 1
+//   design <name>
+//   gate <id> <TYPE> <name> out=<net|-> in=<net,net,...|->
+//   end
+void write_mnl(const Netlist& netlist, std::ostream& os) {
+  M3DFL_REQUIRE(netlist.finalized(), "write_mnl requires a finalized netlist");
+  os << "mnl 1\n";
+  os << "design " << (netlist.name().empty() ? "top" : netlist.name()) << "\n";
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Gate& gate = netlist.gate(g);
+    os << "gate " << g << " " << gate_type_name(gate.type) << " "
+       << (gate.name.empty() ? "g" + std::to_string(g) : gate.name) << " out=";
+    if (gate.fanout == kNullNet) {
+      os << "-";
+    } else {
+      os << gate.fanout;
+    }
+    os << " in=";
+    if (gate.fanin.empty()) {
+      os << "-";
+    } else {
+      for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+        os << (i ? "," : "") << gate.fanin[i];
+      }
+    }
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+std::string to_mnl(const Netlist& netlist) {
+  std::ostringstream os;
+  write_mnl(netlist, os);
+  return os.str();
+}
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+std::int32_t parse_i32(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return static_cast<std::int32_t>(v);
+  } catch (const std::exception&) {
+    throw Error(std::string("MNL parse error: bad ") + what + ": " + s);
+  }
+}
+
+}  // namespace
+
+Netlist read_mnl(std::istream& is) {
+  std::string line;
+  // Header.
+  M3DFL_REQUIRE(std::getline(is, line) && split_ws(line) ==
+                    std::vector<std::string>({"mnl", "1"}),
+                "MNL parse error: missing 'mnl 1' header");
+
+  Netlist nl;
+  // Deferred connections: gate id -> (fanout net, fanin nets).  Net ids in
+  // the file are dense indices; we materialize nets on first mention.
+  std::int32_t max_net = -1;
+  struct GateRec {
+    GateType type;
+    std::string name;
+    NetId out;
+    std::vector<NetId> in;
+  };
+  std::vector<GateRec> recs;
+
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto toks = split_ws(line);
+    if (toks.empty()) continue;
+    if (toks[0] == "design") {
+      M3DFL_REQUIRE(toks.size() == 2, "MNL parse error: bad design line");
+      nl.set_name(toks[1]);
+      continue;
+    }
+    if (toks[0] == "end") {
+      saw_end = true;
+      break;
+    }
+    M3DFL_REQUIRE(toks[0] == "gate" && toks.size() == 6,
+                  "MNL parse error: expected 'gate' record, got: " + line);
+    const std::int32_t id = parse_i32(toks[1], "gate id");
+    M3DFL_REQUIRE(id == static_cast<std::int32_t>(recs.size()),
+                  "MNL parse error: gate ids must be dense and in order");
+    GateRec rec;
+    rec.type = parse_gate_type(toks[2]);
+    rec.name = toks[3];
+    M3DFL_REQUIRE(toks[4].rfind("out=", 0) == 0 && toks[5].rfind("in=", 0) == 0,
+                  "MNL parse error: bad out=/in= fields");
+    const std::string out_s = toks[4].substr(4);
+    rec.out = out_s == "-" ? kNullNet : parse_i32(out_s, "net id");
+    if (rec.out != kNullNet) max_net = std::max(max_net, rec.out);
+    const std::string in_s = toks[5].substr(3);
+    if (in_s != "-") {
+      std::istringstream iss(in_s);
+      std::string item;
+      while (std::getline(iss, item, ',')) {
+        const NetId n = parse_i32(item, "net id");
+        rec.in.push_back(n);
+        max_net = std::max(max_net, n);
+      }
+    }
+    recs.push_back(std::move(rec));
+  }
+  M3DFL_REQUIRE(saw_end, "MNL parse error: missing 'end'");
+
+  for (std::int32_t n = 0; n <= max_net; ++n) nl.add_net();
+  for (const GateRec& rec : recs) {
+    const GateId g = nl.add_gate(rec.type, rec.name);
+    if (rec.out != kNullNet) nl.set_output(g, rec.out);
+    for (NetId n : rec.in) nl.connect_input(g, n);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist from_mnl(const std::string& text) {
+  std::istringstream is(text);
+  return read_mnl(is);
+}
+
+void write_verilog(const Netlist& netlist, std::ostream& os) {
+  M3DFL_REQUIRE(netlist.finalized(),
+                "write_verilog requires a finalized netlist");
+  const auto net_name = [&](NetId n) {
+    const std::string& s = netlist.net(n).name;
+    return s.empty() ? "n" + std::to_string(n) : s;
+  };
+  const auto gate_name = [&](GateId g) {
+    const std::string& s = netlist.gate(g).name;
+    return s.empty() ? "g" + std::to_string(g) : s;
+  };
+
+  os << "module " << (netlist.name().empty() ? "top" : netlist.name()) << " (";
+  bool first = true;
+  for (GateId g : netlist.primary_inputs()) {
+    os << (first ? "" : ", ") << gate_name(g);
+    first = false;
+  }
+  for (GateId g : netlist.primary_outputs()) {
+    os << (first ? "" : ", ") << gate_name(g);
+    first = false;
+  }
+  os << ");\n";
+  for (GateId g : netlist.primary_inputs()) {
+    os << "  input " << gate_name(g) << ";\n";
+  }
+  for (GateId g : netlist.primary_outputs()) {
+    os << "  output " << gate_name(g) << ";\n";
+  }
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    os << "  wire " << net_name(n) << ";\n";
+  }
+  // Port aliases.
+  for (GateId g : netlist.primary_inputs()) {
+    os << "  assign " << net_name(netlist.gate(g).fanout) << " = "
+       << gate_name(g) << ";\n";
+  }
+  for (GateId g : netlist.primary_outputs()) {
+    os << "  assign " << gate_name(g) << " = "
+       << net_name(netlist.gate(g).fanin[0]) << ";\n";
+  }
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Gate& gate = netlist.gate(g);
+    if (gate.type == GateType::kPrimaryInput ||
+        gate.type == GateType::kPrimaryOutput) {
+      continue;
+    }
+    if (gate.type == GateType::kScanFlop) {
+      os << "  SDFF " << gate_name(g) << " (.D(" << net_name(gate.fanin[0])
+         << "), .Q(" << net_name(gate.fanout) << "));\n";
+      continue;
+    }
+    os << "  " << gate_type_name(gate.type) << gate.fanin.size() << " "
+       << gate_name(g) << " (.Y(" << net_name(gate.fanout) << ")";
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      os << ", .A" << i << "(" << net_name(gate.fanin[i]) << ")";
+    }
+    os << ");\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string to_verilog(const Netlist& netlist) {
+  std::ostringstream os;
+  write_verilog(netlist, os);
+  return os.str();
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,34 @@
+// Netlist serialization.
+//
+// Two formats:
+//  * MNL ("m3dfl netlist") — a line-oriented structural format with a full
+//    round-trip (write_mnl / read_mnl); used for persisting generated
+//    benchmarks and in tests.
+//  * Structural Verilog — write-only export so generated designs can be
+//    inspected with standard EDA viewers.
+#ifndef M3DFL_NETLIST_VERILOG_IO_H_
+#define M3DFL_NETLIST_VERILOG_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace m3dfl {
+
+// Serializes a finalized netlist in MNL format.
+void write_mnl(const Netlist& netlist, std::ostream& os);
+std::string to_mnl(const Netlist& netlist);
+
+// Parses MNL text back into a finalized netlist; throws m3dfl::Error on
+// malformed input.
+Netlist read_mnl(std::istream& is);
+Netlist from_mnl(const std::string& text);
+
+// Exports a finalized netlist as structural Verilog.
+void write_verilog(const Netlist& netlist, std::ostream& os);
+std::string to_verilog(const Netlist& netlist);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_NETLIST_VERILOG_IO_H_

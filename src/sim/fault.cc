@@ -1,0 +1,42 @@
+#include "sim/fault.h"
+
+namespace m3dfl {
+
+std::string fault_to_string(const Netlist& netlist, const Fault& fault) {
+  switch (fault.type) {
+    case FaultType::kSlowToRise:
+      return "STR@" + netlist.pin_name(fault.pin);
+    case FaultType::kSlowToFall:
+      return "STF@" + netlist.pin_name(fault.pin);
+    case FaultType::kMivDelay:
+      return "MIV#" + std::to_string(fault.miv);
+    case FaultType::kStuckAt0:
+      return "SA0@" + netlist.pin_name(fault.pin);
+    case FaultType::kStuckAt1:
+      return "SA1@" + netlist.pin_name(fault.pin);
+  }
+  M3DFL_ASSERT(false);
+}
+
+std::uint64_t faulty_value(FaultType type, std::uint64_t v1,
+                           std::uint64_t current) {
+  switch (type) {
+    case FaultType::kSlowToRise: {
+      const std::uint64_t held = (v1 ^ current) & ~v1;  // rising 0 -> 1
+      return current ^ held;
+    }
+    case FaultType::kSlowToFall: {
+      const std::uint64_t held = (v1 ^ current) & v1;   // falling 1 -> 0
+      return current ^ held;
+    }
+    case FaultType::kMivDelay:
+      return v1;  // both directions delayed: changed bits revert to launch
+    case FaultType::kStuckAt0:
+      return 0;
+    case FaultType::kStuckAt1:
+      return ~0ULL;
+  }
+  M3DFL_ASSERT(false);
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,81 @@
+// Fault models.
+//
+// Faults follow the paper's M3D defect taxonomy, plus a static extension:
+//  * Transition delay faults (TDFs) at gate pins — slow-to-rise or
+//    slow-to-fall, the standard gross-delay model: an activated fault holds
+//    its launch (V1) value through the capture edge.
+//  * MIV delay faults — a resistive/voided inter-tier via delays *both*
+//    transition directions, but only on the net segment crossing to the far
+//    tier: sinks on the driver's own tier see the timely value.
+//  * Stuck-at faults (extension) — classic static defects that pin a site to
+//    a constant in *both* capture cycles; supported so the same simulator
+//    and diagnosis flow can also serve static-defect debug.  Note that a
+//    stuck site corrupts the launch state too (the flops capture the faulty
+//    V1), which the fault simulator models exactly.
+//
+// A fault's diagnosis "location" is a pin (for TDFs/SAFs) or an MIV id; tier
+// labels come from the faulty pin's gate (MIVs belong to no tier, paper
+// Sec. VII-B).
+#ifndef M3DFL_SIM_FAULT_H_
+#define M3DFL_SIM_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "m3d/miv.h"
+#include "netlist/netlist.h"
+
+namespace m3dfl {
+
+enum class FaultType : std::uint8_t {
+  kSlowToRise,
+  kSlowToFall,
+  kMivDelay,
+  kStuckAt0,
+  kStuckAt1,
+};
+
+// True for static fault types, which corrupt both capture cycles.
+constexpr bool is_static_fault(FaultType type) {
+  return type == FaultType::kStuckAt0 || type == FaultType::kStuckAt1;
+}
+
+struct Fault {
+  FaultType type = FaultType::kSlowToRise;
+  PinId pin = kNullPin;  // fault site for pin faults
+  MivId miv = kNullMiv;  // fault site for MIV faults
+
+  bool is_miv() const { return type == FaultType::kMivDelay; }
+  bool is_static() const { return is_static_fault(type); }
+
+  static Fault slow_to_rise(PinId pin) {
+    return Fault{FaultType::kSlowToRise, pin, kNullMiv};
+  }
+  static Fault slow_to_fall(PinId pin) {
+    return Fault{FaultType::kSlowToFall, pin, kNullMiv};
+  }
+  static Fault miv_delay(MivId miv) {
+    return Fault{FaultType::kMivDelay, kNullPin, miv};
+  }
+  static Fault stuck_at(PinId pin, bool value) {
+    return Fault{value ? FaultType::kStuckAt1 : FaultType::kStuckAt0, pin,
+                 kNullMiv};
+  }
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+// Human-readable fault description for reports.
+std::string fault_to_string(const Netlist& netlist, const Fault& fault);
+
+// Applies the fault behaviour to a word of capture-cycle signal values given
+// the launch-cycle values `v1`:
+//  * delay types hold the delayed transitions at their launch value
+//    (kSlowToRise rising bits, kSlowToFall falling bits, kMivDelay both);
+//  * stuck-at types force the constant regardless of v1.
+std::uint64_t faulty_value(FaultType type, std::uint64_t v1,
+                           std::uint64_t current);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_SIM_FAULT_H_

@@ -1,0 +1,124 @@
+// Event-driven fault simulator.
+//
+// Re-evaluates only the fan-out cone of the injected fault(s) on top of the
+// good-machine results of a LocSimulator run, word-parallel over 64
+// patterns.  Versioned scratch arrays make repeated fault injections
+// allocation-free, which matters because ATPG coverage and per-candidate
+// diagnosis both simulate thousands of faults per design.
+//
+// Delay faults (the paper's model) corrupt only the at-speed capture cycle,
+// so one cone over the V2 evaluation suffices.  Static stuck-at faults (the
+// library's extension) corrupt the launch cycle too: the simulator then also
+// re-evaluates the V1 cone, re-launches the affected flops, and extends the
+// capture-cycle cone through their Q fan-out — exact two-cycle semantics.
+//
+// Multi-fault injection (paper Sec. VII-A: 2-5 TDFs in one tier) is
+// supported by merging cones; each fault's behaviour is applied to the value
+// actually arriving at its site, so upstream fault effects compose
+// correctly.
+#ifndef M3DFL_SIM_FAULT_SIM_H_
+#define M3DFL_SIM_FAULT_SIM_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "m3d/miv.h"
+#include "netlist/netlist.h"
+#include "sim/fault.h"
+#include "sim/simulator.h"
+
+namespace m3dfl {
+
+// One failing tester observation: pattern index plus the observation point
+// (a scan cell by flop index, or a primary output by PO index).
+struct Observation {
+  std::int32_t pattern = 0;
+  bool at_po = false;
+  std::int32_t index = 0;  // flop index or PO index
+
+  friend bool operator==(const Observation&, const Observation&) = default;
+  friend auto operator<=>(const Observation&, const Observation&) = default;
+};
+
+class FaultSimulator {
+ public:
+  // `mivs` may be null if no MIV faults will be simulated.
+  FaultSimulator(const Netlist& netlist, const LocSimulator& good,
+                 const MivMap* mivs = nullptr);
+
+  // All failing observations of the fault (set) across all patterns, sorted
+  // by (pattern, po-flag, index).
+  std::vector<Observation> simulate(const Fault& fault);
+  std::vector<Observation> simulate(std::span<const Fault> faults);
+
+  // True iff any pattern detects the fault; early-exits on first detection.
+  bool detects(const Fault& fault);
+
+ private:
+  struct Cone {
+    bool has_static = false;
+    // Capture-cycle evaluation schedule (topo-sorted).  For static faults
+    // this includes the launch-affected flops' Q fan-out.
+    std::vector<GateId> gates;
+    // Launch-cycle schedule (only populated for static faults).
+    std::vector<GateId> gates_v1;
+    std::vector<std::int32_t> flops;       // terminal flop indices
+    std::vector<std::int32_t> pos;         // terminal PO indices
+    // Flops whose launch capture may change (static faults): re-launched
+    // from the faulty V1 before the capture-cycle evaluation.
+    std::vector<std::int32_t> launch_flops;
+    // Stem overrides by net; applied after the driver's evaluation, or as a
+    // seed when the driver is outside the cone.
+    std::unordered_map<NetId, FaultType> stems;
+    std::vector<NetId> seed_stems;         // capture-cycle seeds
+    std::vector<NetId> seed_stems_v1;      // launch-cycle seeds (static only)
+    // Branch overrides keyed by global input-pin id.
+    std::unordered_map<PinId, FaultType> branches;
+  };
+
+  Cone build_cone(std::span<const Fault> faults) const;
+  // Simulates one pattern word; appends failing observations.  Returns true
+  // if any failure was found (for detects()).
+  bool simulate_word(const Cone& cone, std::int32_t w,
+                     std::vector<Observation>* out);
+
+  // Launch-cycle faulty value of a net (falls back to the good V1).
+  std::uint64_t value_v1(NetId net, std::int32_t w) const {
+    return stamp1_[static_cast<std::size_t>(net)] == version_
+               ? val1_[static_cast<std::size_t>(net)]
+               : good_->v1(net, w);
+  }
+  void set_value_v1(NetId net, std::uint64_t v) {
+    stamp1_[static_cast<std::size_t>(net)] = version_;
+    val1_[static_cast<std::size_t>(net)] = v;
+  }
+  // Capture-cycle faulty value of a net (falls back to the good V2).
+  std::uint64_t value(NetId net, std::int32_t w) const {
+    return stamp_[static_cast<std::size_t>(net)] == version_
+               ? val_[static_cast<std::size_t>(net)]
+               : good_->v2(net, w);
+  }
+  void set_value(NetId net, std::uint64_t v) {
+    stamp_[static_cast<std::size_t>(net)] = version_;
+    val_[static_cast<std::size_t>(net)] = v;
+  }
+
+  const Netlist* netlist_;
+  const LocSimulator* good_;
+  const MivMap* mivs_;
+  std::vector<std::int32_t> topo_pos_;     // gate -> topo index (-1 non-comb)
+  std::vector<std::int32_t> flop_index_;   // gate -> flop index (-1 otherwise)
+  std::vector<std::int32_t> po_index_;     // gate -> PO index (-1 otherwise)
+  // Versioned scratch values for the faulty machine (V2 and V1 planes).
+  std::vector<std::uint64_t> val_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<std::uint64_t> val1_;
+  std::vector<std::uint64_t> stamp1_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_SIM_FAULT_SIM_H_

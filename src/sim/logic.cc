@@ -1,0 +1,47 @@
+#include "sim/logic.h"
+
+namespace m3dfl {
+
+std::uint64_t valid_mask(std::int32_t num_patterns, std::int32_t w) {
+  M3DFL_ASSERT(w >= 0 && w < words_for(num_patterns));
+  const std::int32_t remaining = num_patterns - w * kWordBits;
+  if (remaining >= kWordBits) return ~0ULL;
+  return (1ULL << remaining) - 1;
+}
+
+PatternSet PatternSet::random(std::int32_t num_pis, std::int32_t num_flops,
+                              std::int32_t num_patterns, Rng& rng) {
+  M3DFL_REQUIRE(num_patterns > 0, "pattern count must be positive");
+  PatternSet p;
+  p.num_patterns = num_patterns;
+  p.pi = BitMatrix(num_pis, num_patterns);
+  p.scan = BitMatrix(num_flops, num_patterns);
+  p.pi.randomize(rng);
+  p.scan.randomize(rng);
+  return p;
+}
+
+void PatternSet::append(const PatternSet& other) {
+  M3DFL_REQUIRE(pi.rows() == other.pi.rows() &&
+                    scan.rows() == other.scan.rows(),
+                "appending patterns for a different design");
+  BitMatrix new_pi(pi.rows(), num_patterns + other.num_patterns);
+  BitMatrix new_scan(scan.rows(), num_patterns + other.num_patterns);
+  const auto copy = [&](const BitMatrix& src, BitMatrix& dst,
+                        std::int32_t offset) {
+    for (std::int32_t r = 0; r < src.rows(); ++r) {
+      for (std::int32_t b = 0; b < src.num_bits(); ++b) {
+        dst.set_bit(r, offset + b, src.bit(r, b));
+      }
+    }
+  };
+  copy(pi, new_pi, 0);
+  copy(other.pi, new_pi, num_patterns);
+  copy(scan, new_scan, 0);
+  copy(other.scan, new_scan, num_patterns);
+  pi = std::move(new_pi);
+  scan = std::move(new_scan);
+  num_patterns += other.num_patterns;
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,110 @@
+// Bit-parallel signal storage and test-pattern containers.
+//
+// The simulator packs 64 test patterns into each std::uint64_t word, so one
+// gate evaluation advances 64 patterns at once.  BitMatrix is the shared
+// [signal x pattern-word] storage used for pattern stimuli and simulated net
+// values.
+#ifndef M3DFL_SIM_LOGIC_H_
+#define M3DFL_SIM_LOGIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace m3dfl {
+
+// Number of patterns per machine word.
+inline constexpr std::int32_t kWordBits = 64;
+
+// Number of 64-bit words needed for `bits` patterns.
+constexpr std::int32_t words_for(std::int32_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+
+// Dense bit matrix: `rows` signals x `num_bits` patterns, packed row-major
+// into 64-bit words.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::int32_t rows, std::int32_t num_bits)
+      : rows_(rows),
+        num_bits_(num_bits),
+        words_per_row_(words_for(num_bits)),
+        data_(static_cast<std::size_t>(rows) *
+              static_cast<std::size_t>(words_per_row_)) {
+    M3DFL_ASSERT(rows >= 0 && num_bits >= 0);
+  }
+
+  std::int32_t rows() const { return rows_; }
+  std::int32_t num_bits() const { return num_bits_; }
+  std::int32_t words_per_row() const { return words_per_row_; }
+
+  std::uint64_t word(std::int32_t row, std::int32_t w) const {
+    return data_[index(row, w)];
+  }
+  std::uint64_t& word(std::int32_t row, std::int32_t w) {
+    return data_[index(row, w)];
+  }
+
+  bool bit(std::int32_t row, std::int32_t b) const {
+    M3DFL_ASSERT(b >= 0 && b < num_bits_);
+    return (word(row, b / kWordBits) >> (b % kWordBits)) & 1ULL;
+  }
+  void set_bit(std::int32_t row, std::int32_t b, bool value) {
+    M3DFL_ASSERT(b >= 0 && b < num_bits_);
+    std::uint64_t& w = word(row, b / kWordBits);
+    const std::uint64_t mask = 1ULL << (b % kWordBits);
+    if (value) {
+      w |= mask;
+    } else {
+      w &= ~mask;
+    }
+  }
+
+  // Fills every row with uniform random bits; bits beyond num_bits in the
+  // last word are left random too (callers must mask by pattern count when
+  // iterating bits, which pattern-indexed accessors do).
+  void randomize(Rng& rng) {
+    for (std::uint64_t& w : data_) w = rng.next_u64();
+  }
+
+ private:
+  std::size_t index(std::int32_t row, std::int32_t w) const {
+    M3DFL_ASSERT(row >= 0 && row < rows_ && w >= 0 && w < words_per_row_);
+    return static_cast<std::size_t>(row) *
+               static_cast<std::size_t>(words_per_row_) +
+           static_cast<std::size_t>(w);
+  }
+
+  std::int32_t rows_ = 0;
+  std::int32_t num_bits_ = 0;
+  std::int32_t words_per_row_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+// Mask selecting the valid pattern bits of word `w` when `num_patterns`
+// patterns are in use (all-ones except possibly the last word).
+std::uint64_t valid_mask(std::int32_t num_patterns, std::int32_t w);
+
+// A set of two-pattern LOC test stimuli: per pattern, the primary-input
+// values and the scan-load (launch) state.  PI values are held constant
+// across the launch and capture cycles.
+struct PatternSet {
+  std::int32_t num_patterns = 0;
+  BitMatrix pi;    // [num_pis x num_patterns]
+  BitMatrix scan;  // [num_flops x num_patterns]
+
+  std::int32_t num_words() const { return words_for(num_patterns); }
+
+  // Uniform random stimuli (the "random fill" of TDF ATPG).
+  static PatternSet random(std::int32_t num_pis, std::int32_t num_flops,
+                           std::int32_t num_patterns, Rng& rng);
+  // Extends this set with the patterns of `other` (same PI/flop counts).
+  void append(const PatternSet& other);
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_SIM_LOGIC_H_

@@ -1,0 +1,73 @@
+// Good-machine launch-on-capture (LOC) simulator.
+//
+// LOC transition testing applies a two-pattern test through the functional
+// path: the scan chains load the launch state V1, a launch clock pulse moves
+// the flops to S2 = D@V1, the combinational logic settles to V2 during the
+// at-speed cycle, and the capture pulse stores R = D@V2 (POs are observed at
+// V2 as well).  Only the V2 evaluation runs at speed, so only it can be
+// corrupted by a delay fault — the fault simulator re-evaluates V2 cones on
+// top of the good-machine results stored here.
+//
+// A node "has a transition with pattern p" iff its V1 and V2 values differ;
+// this is the transition memorization (paper Table I, T_pat) consumed by
+// back-tracing.
+#ifndef M3DFL_SIM_SIMULATOR_H_
+#define M3DFL_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "sim/logic.h"
+
+namespace m3dfl {
+
+class LocSimulator {
+ public:
+  explicit LocSimulator(const Netlist& netlist);
+
+  // Simulates all patterns; results replace any previous run.
+  void run(const PatternSet& patterns);
+
+  const Netlist& netlist() const { return *netlist_; }
+  std::int32_t num_patterns() const { return num_patterns_; }
+  std::int32_t num_words() const { return words_for(num_patterns_); }
+
+  // Net values in the launch cycle (V1) and the at-speed cycle (V2).
+  std::uint64_t v1(NetId net, std::int32_t w) const { return v1_.word(net, w); }
+  std::uint64_t v2(NetId net, std::int32_t w) const { return v2_.word(net, w); }
+  // Transition word: bit p set iff the net switches between V1 and V2.
+  std::uint64_t transition(NetId net, std::int32_t w) const {
+    return v1_.word(net, w) ^ v2_.word(net, w);
+  }
+  bool has_transition(NetId net, std::int32_t pattern) const {
+    return ((transition(net, pattern / kWordBits) >>
+             (pattern % kWordBits)) &
+            1ULL) != 0;
+  }
+
+  // Captured good-machine responses: flop D values at V2 (by flop index) and
+  // PO values at V2 (by PO index).
+  std::uint64_t captured(std::int32_t flop_index, std::int32_t w) const {
+    return v2_.word(flop_d_net(flop_index), w);
+  }
+  std::uint64_t po_value(std::int32_t po_index, std::int32_t w) const {
+    return v2_.word(po_net(po_index), w);
+  }
+
+  NetId flop_d_net(std::int32_t flop_index) const;
+  NetId po_net(std::int32_t po_index) const;
+
+ private:
+  // Evaluates the combinational logic into `values` given source values
+  // already written to PI and flop-Q net rows.
+  void evaluate(BitMatrix& values, std::int32_t w) const;
+
+  const Netlist* netlist_;
+  std::int32_t num_patterns_ = 0;
+  BitMatrix v1_;  // [net x pattern]
+  BitMatrix v2_;
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_SIM_SIMULATOR_H_

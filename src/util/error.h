@@ -1,0 +1,54 @@
+// Error handling primitives for the m3dfl library.
+//
+// Library-level contract violations (bad user input, malformed netlists,
+// inconsistent configurations) throw m3dfl::Error.  Internal invariants are
+// checked with M3DFL_ASSERT, which is active in all build types: diagnosis
+// results are only meaningful if the underlying circuit model is sound, so we
+// prefer a loud failure over a silently wrong fault ranking.
+#ifndef M3DFL_UTIL_ERROR_H_
+#define M3DFL_UTIL_ERROR_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace m3dfl {
+
+// Exception thrown for all recoverable library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::ostringstream os;
+  os << "m3dfl internal invariant violated: (" << expr << ") at " << file
+     << ":" << line;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace m3dfl
+
+// Internal invariant check.  Throws m3dfl::Error on failure so tests can
+// observe violations; never compiled out.
+#define M3DFL_ASSERT(expr)                                        \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::m3dfl::detail::assert_fail(#expr, __FILE__, __LINE__);    \
+    }                                                             \
+  } while (false)
+
+// Precondition check on public API boundaries with a caller-facing message.
+#define M3DFL_REQUIRE(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      throw ::m3dfl::Error(std::string("m3dfl: ") + (msg));       \
+    }                                                             \
+  } while (false)
+
+#endif  // M3DFL_UTIL_ERROR_H_

@@ -1,0 +1,121 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic steps in the library (benchmark generation, partitioning,
+// pattern fill, fault sampling, GNN weight init) draw from Rng so that every
+// experiment is exactly reproducible from a single seed.  The generator is
+// xoshiro256** — fast, high quality, and identical on every platform, unlike
+// std::mt19937 + distribution objects whose output is not specified across
+// standard library implementations.
+#ifndef M3DFL_UTIL_RNG_H_
+#define M3DFL_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace m3dfl {
+
+// Deterministic, seedable random number generator (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  // Re-initializes the state from a 64-bit seed via splitmix64 expansion.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Next raw 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    M3DFL_ASSERT(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    M3DFL_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Bernoulli trial with success probability p.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  // Standard normal variate (Box–Muller; one value per call for simplicity).
+  double next_gaussian() {
+    double u1 = next_double();
+    // Guard against log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.141592653589793 * u2);
+  }
+
+  // In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = next_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    M3DFL_ASSERT(!v.empty());
+    return v[next_below(v.size())];
+  }
+
+  // Derives an independent child generator; used to give each pipeline stage
+  // its own stream so that adding draws in one stage does not perturb others.
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_UTIL_RNG_H_

@@ -1,0 +1,77 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace m3dfl {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) *
+             static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  n_ += other.n_;
+}
+
+double mean_of(const std::vector<double>& v) {
+  Accumulator acc;
+  for (double x : v) acc.add(x);
+  return acc.mean();
+}
+
+double stddev_of(const std::vector<double>& v) {
+  Accumulator acc;
+  for (double x : v) acc.add(x);
+  return acc.stddev();
+}
+
+double correlation(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  M3DFL_ASSERT(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  const double ma = mean_of(a);
+  const double mb = mean_of(b);
+  double num = 0.0;
+  double da = 0.0;
+  double db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace m3dfl

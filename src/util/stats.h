@@ -1,0 +1,54 @@
+// Streaming statistics accumulators used throughout the evaluation harness.
+//
+// Every paper table reports mean/standard-deviation pairs (diagnostic
+// resolution, first-hit index, Topedge lengths, ...).  Accumulator implements
+// Welford's numerically stable online algorithm so metrics modules never need
+// to retain raw sample vectors.
+#ifndef M3DFL_UTIL_STATS_H_
+#define M3DFL_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace m3dfl {
+
+// Online mean/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  // Mean of the samples seen so far; 0 when empty.
+  double mean() const { return mean_; }
+  // Population variance; 0 when fewer than two samples.
+  double variance() const;
+  // Population standard deviation.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  // Merges another accumulator into this one (parallel Welford).
+  void merge(const Accumulator& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Mean of a vector; 0 for an empty vector.
+double mean_of(const std::vector<double>& v);
+
+// Population standard deviation of a vector; 0 for fewer than two samples.
+double stddev_of(const std::vector<double>& v);
+
+// Pearson correlation of two equal-length vectors; 0 if degenerate.
+double correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_UTIL_STATS_H_

@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace m3dfl {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  M3DFL_REQUIRE(!header_.empty(), "table header must not be empty");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  M3DFL_REQUIRE(row.size() == header_.size(),
+                "table row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+
+  const auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = hline() + render_row(header_) + hline();
+  for (const auto& row : rows_) {
+    out += row.empty() ? hline() : render_row(row);
+  }
+  out += hline();
+  return out;
+}
+
+void TablePrinter::print() const { std::cout << to_string(); }
+
+std::string TablePrinter::fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TablePrinter::pct(double ratio, int decimals) {
+  return fmt(ratio * 100.0, decimals) + "%";
+}
+
+std::string TablePrinter::delta_pct(double ratio, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%+.*f%%)", decimals, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace m3dfl

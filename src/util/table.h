@@ -1,0 +1,43 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary regenerates one paper table/figure as an aligned ASCII
+// table on stdout; TablePrinter centralizes column sizing so all benches
+// share one look.
+#ifndef M3DFL_UTIL_TABLE_H_
+#define M3DFL_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace m3dfl {
+
+// Column-aligned ASCII table with a header row and optional separators.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+  // Appends a horizontal separator at the current position.
+  void add_separator();
+
+  // Renders the full table.
+  std::string to_string() const;
+  // Renders to stdout.
+  void print() const;
+
+  // Formats a double with the given number of decimals.
+  static std::string fmt(double value, int decimals = 1);
+  // Formats a ratio as a percentage string, e.g. "98.3%".
+  static std::string pct(double ratio, int decimals = 1);
+  // Formats a signed percentage delta, e.g. "(+32.9%)".
+  static std::string delta_pct(double ratio, int decimals = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_UTIL_TABLE_H_

@@ -1,0 +1,81 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gnn/adam.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  Matrix w(1, 1);
+  w.at(0, 0) = 1.0f;
+  Matrix g(1, 1);
+  g.at(0, 0) = 123.0f;  // any gradient: bias correction normalizes step 1
+  AdamOptions opt;
+  opt.lr = 0.05;
+  Adam adam(opt);
+  adam.register_param(&w, &g);
+  adam.step();
+  EXPECT_NEAR(w.at(0, 0), 1.0f - 0.05f, 1e-4);
+  // Gradient cleared after the step.
+  EXPECT_FLOAT_EQ(g.at(0, 0), 0.0f);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // f(w) = (w - 3)^2, grad = 2(w - 3).
+  Matrix w(1, 1);
+  Matrix g(1, 1);
+  AdamOptions opt;
+  opt.lr = 0.1;
+  Adam adam(opt);
+  adam.register_param(&w, &g);
+  for (int step = 0; step < 400; ++step) {
+    g.at(0, 0) = 2.0f * (w.at(0, 0) - 3.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(w.at(0, 0), 3.0f, 0.05f);
+}
+
+TEST(AdamTest, BatchScalingDividesGradient) {
+  Matrix w1(1, 1);
+  Matrix g1(1, 1);
+  Matrix w2(1, 1);
+  Matrix g2(1, 1);
+  Adam a;
+  a.register_param(&w1, &g1);
+  Adam b;
+  b.register_param(&w2, &g2);
+  g1.at(0, 0) = 4.0f;
+  a.step(4);
+  g2.at(0, 0) = 1.0f;
+  b.step(1);
+  EXPECT_NEAR(w1.at(0, 0), w2.at(0, 0), 1e-6);
+}
+
+TEST(AdamTest, MultipleParamsUpdatedIndependently) {
+  Matrix w1(2, 2);
+  Matrix g1(2, 2);
+  Matrix w2(1, 3);
+  Matrix g2(1, 3);
+  Adam adam;
+  adam.register_param(&w1, &g1);
+  adam.register_param(&w2, &g2);
+  g1.at(0, 0) = 1.0f;
+  g2.at(0, 2) = -1.0f;
+  adam.step();
+  EXPECT_LT(w1.at(0, 0), 0.0f);
+  EXPECT_GT(w2.at(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(w1.at(1, 1), 0.0f);  // untouched entries stay put
+}
+
+TEST(AdamTest, RejectsShapeMismatch) {
+  Matrix w(2, 2);
+  Matrix g(2, 3);
+  Adam adam;
+  EXPECT_THROW(adam.register_param(&w, &g), Error);
+  EXPECT_THROW(adam.register_param(nullptr, &g), Error);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "atpg/coverage.h"
+#include "atpg/tdf_atpg.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(AtpgTest, EnumeratesTwoFaultsPerPin) {
+  const Netlist nl = testing::small_netlist(2);
+  const std::vector<Fault> faults = enumerate_tdf_faults(nl);
+  EXPECT_EQ(static_cast<PinId>(faults.size()), 2 * nl.num_pins());
+  // Alternating directions at each pin.
+  for (PinId p = 0; p < nl.num_pins(); ++p) {
+    EXPECT_EQ(faults[static_cast<std::size_t>(2 * p)],
+              Fault::slow_to_rise(p));
+    EXPECT_EQ(faults[static_cast<std::size_t>(2 * p + 1)],
+              Fault::slow_to_fall(p));
+  }
+}
+
+TEST(AtpgTest, GeneratesPatternsWithReasonableCoverage) {
+  const Netlist nl = testing::small_netlist(3);
+  AtpgOptions opt;
+  opt.max_patterns = 128;
+  const AtpgResult result = generate_tdf_patterns(nl, opt);
+  EXPECT_GT(result.patterns.num_patterns, 0);
+  EXPECT_LE(result.patterns.num_patterns, 128);
+  EXPECT_EQ(result.num_faults, 2 * nl.num_pins());
+  EXPECT_GT(result.coverage(), 0.6);
+  EXPECT_LE(result.coverage(), 1.0);
+}
+
+TEST(AtpgTest, MorePatternsNeverLowerCoverage) {
+  const Netlist nl = testing::small_netlist(3);
+  AtpgOptions small;
+  small.max_patterns = 64;
+  small.patience = 100;  // don't stop early
+  AtpgOptions large = small;
+  large.max_patterns = 256;
+  EXPECT_LE(generate_tdf_patterns(nl, small).num_detected,
+            generate_tdf_patterns(nl, large).num_detected);
+}
+
+TEST(AtpgTest, Deterministic) {
+  const Netlist nl = testing::small_netlist(3);
+  AtpgOptions opt;
+  opt.max_patterns = 64;
+  const AtpgResult a = generate_tdf_patterns(nl, opt);
+  const AtpgResult b = generate_tdf_patterns(nl, opt);
+  EXPECT_EQ(a.patterns.num_patterns, b.patterns.num_patterns);
+  EXPECT_EQ(a.num_detected, b.num_detected);
+}
+
+TEST(CoverageTest, MatchesAtpgDetectionCount) {
+  const Netlist nl = testing::small_netlist(4);
+  AtpgOptions opt;
+  opt.max_patterns = 96;
+  const AtpgResult atpg = generate_tdf_patterns(nl, opt);
+
+  LocSimulator sim(nl);
+  sim.run(atpg.patterns);
+  const CoverageResult full = measure_coverage(nl, sim, {});
+  EXPECT_EQ(full.num_faults, atpg.num_faults);
+  EXPECT_EQ(full.num_detected, atpg.num_detected);
+}
+
+TEST(CoverageTest, SamplingApproximatesFullGrade) {
+  const Netlist nl = testing::small_netlist(4);
+  AtpgOptions opt;
+  opt.max_patterns = 96;
+  const AtpgResult atpg = generate_tdf_patterns(nl, opt);
+  LocSimulator sim(nl);
+  sim.run(atpg.patterns);
+  const CoverageResult full = measure_coverage(nl, sim, {});
+  CoverageOptions sampled;
+  sampled.sample_faults = 400;
+  const CoverageResult sample = measure_coverage(nl, sim, sampled);
+  EXPECT_EQ(sample.num_faults, 400);
+  EXPECT_NEAR(sample.coverage(), full.coverage(), 0.08);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,126 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/backtrace.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+struct BacktraceSetup {
+  testing::SmallDesign d;
+  HeteroGraph graph;
+
+  explicit BacktraceSetup(std::uint64_t seed = 5)
+      : d(seed), graph(d.netlist, d.tiers, d.mivs) {}
+};
+
+class BacktraceModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BacktraceModes, FaultSiteAlwaysAmongCandidates) {
+  BacktraceSetup s;
+  DataGenOptions opt;
+  opt.num_samples = 25;
+  opt.compacted = GetParam();
+  opt.max_failing_patterns = 0;
+  opt.seed = 31;
+  const auto samples = generate_samples(s.d.context(), opt);
+  for (const Sample& sample : samples) {
+    const std::vector<NodeId> nodes =
+        backtrace_candidates(s.graph, s.d.context(), sample.log);
+    ASSERT_FALSE(nodes.empty());
+    // The injected pin is a node id itself (pin nodes == pin ids).
+    const NodeId site = sample.faults[0].pin;
+    EXPECT_TRUE(std::binary_search(nodes.begin(), nodes.end(), site))
+        << fault_to_string(s.d.netlist, sample.faults[0]);
+  }
+}
+
+TEST_P(BacktraceModes, MivFaultYieldsMivNodeCandidate) {
+  BacktraceSetup s;
+  DataGenOptions opt;
+  opt.num_samples = 10;
+  opt.compacted = GetParam();
+  opt.miv_fault_prob = 1.0;
+  opt.max_failing_patterns = 0;
+  opt.seed = 33;
+  const auto samples = generate_samples(s.d.context(), opt);
+  for (const Sample& sample : samples) {
+    const std::vector<NodeId> nodes =
+        backtrace_candidates(s.graph, s.d.context(), sample.log);
+    const NodeId miv_node = s.graph.miv_node(sample.faulty_mivs[0]);
+    EXPECT_TRUE(std::binary_search(nodes.begin(), nodes.end(), miv_node));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BypassAndCompacted, BacktraceModes,
+                         ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "compacted" : "bypass";
+                         });
+
+TEST(BacktraceTest, CandidatesTransitionInEveryFailingPattern) {
+  BacktraceSetup s;
+  DataGenOptions opt;
+  opt.num_samples = 10;
+  opt.max_failing_patterns = 0;
+  opt.seed = 35;
+  const auto samples = generate_samples(s.d.context(), opt);
+  for (const Sample& sample : samples) {
+    const std::vector<NodeId> nodes =
+        backtrace_candidates(s.graph, s.d.context(), sample.log);
+    for (const Observation& o : sample.log.scan_fails) {
+      for (NodeId n : nodes) {
+        EXPECT_TRUE(
+            s.d.sim.has_transition(s.graph.node_net(n), o.pattern));
+      }
+    }
+  }
+}
+
+TEST(BacktraceTest, CompactionCoarsensCandidates) {
+  BacktraceSetup s;
+  DataGenOptions opt;
+  opt.num_samples = 20;
+  opt.max_failing_patterns = 3;  // low-evidence regime
+  opt.seed = 37;
+  const auto bypass = generate_samples(s.d.context(), opt);
+  opt.compacted = true;
+  const auto compacted = generate_samples(s.d.context(), opt);
+  // Same injected faults (same seed), different acquisition.
+  std::size_t bypass_total = 0;
+  std::size_t compact_total = 0;
+  for (std::size_t i = 0; i < bypass.size(); ++i) {
+    bypass_total +=
+        backtrace_candidates(s.graph, s.d.context(), bypass[i].log).size();
+    compact_total +=
+        backtrace_candidates(s.graph, s.d.context(), compacted[i].log).size();
+  }
+  EXPECT_GE(compact_total, bypass_total);
+}
+
+TEST(BacktraceTest, EmptyLogYieldsNoCandidates) {
+  BacktraceSetup s;
+  EXPECT_TRUE(
+      backtrace_candidates(s.graph, s.d.context(), FailureLog{}).empty());
+}
+
+TEST(BacktraceTest, OutputSortedAndUnique) {
+  BacktraceSetup s;
+  DataGenOptions opt;
+  opt.num_samples = 5;
+  opt.max_failing_patterns = 0;
+  opt.seed = 39;
+  const auto samples = generate_samples(s.d.context(), opt);
+  for (const Sample& sample : samples) {
+    const std::vector<NodeId> nodes =
+        backtrace_candidates(s.graph, s.d.context(), sample.log);
+    EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+    EXPECT_TRUE(std::adjacent_find(nodes.begin(), nodes.end()) ==
+                nodes.end());
+  }
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,130 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netlist/cell.h"
+#include "util/error.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(CellTest, NameRoundTrip) {
+  for (int t = 0; t < kNumGateTypes; ++t) {
+    const auto type = static_cast<GateType>(t);
+    EXPECT_EQ(parse_gate_type(gate_type_name(type)), type);
+  }
+}
+
+TEST(CellTest, ParseStripsFaninSuffix) {
+  EXPECT_EQ(parse_gate_type("NAND3"), GateType::kNand);
+  EXPECT_EQ(parse_gate_type("AND2"), GateType::kAnd);
+  EXPECT_EQ(parse_gate_type("XOR2"), GateType::kXor);
+}
+
+TEST(CellTest, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_gate_type("FOO"), Error);
+  EXPECT_THROW(parse_gate_type(""), Error);
+}
+
+TEST(CellTest, FaninBounds) {
+  EXPECT_EQ(min_fanin(GateType::kPrimaryInput), 0);
+  EXPECT_EQ(max_fanin(GateType::kPrimaryInput), 0);
+  EXPECT_EQ(min_fanin(GateType::kInv), 1);
+  EXPECT_EQ(max_fanin(GateType::kInv), 1);
+  EXPECT_EQ(min_fanin(GateType::kNand), 2);
+  EXPECT_EQ(max_fanin(GateType::kNand), 4);
+  EXPECT_EQ(min_fanin(GateType::kXor), 2);
+  EXPECT_EQ(max_fanin(GateType::kXor), 2);
+  EXPECT_EQ(min_fanin(GateType::kMux), 3);
+  EXPECT_EQ(min_fanin(GateType::kScanFlop), 1);
+}
+
+TEST(CellTest, OutputAndCombinationalClassification) {
+  EXPECT_TRUE(has_output(GateType::kPrimaryInput));
+  EXPECT_FALSE(has_output(GateType::kPrimaryOutput));
+  EXPECT_TRUE(has_output(GateType::kScanFlop));
+  EXPECT_FALSE(is_combinational(GateType::kPrimaryInput));
+  EXPECT_FALSE(is_combinational(GateType::kScanFlop));
+  EXPECT_FALSE(is_combinational(GateType::kPrimaryOutput));
+  EXPECT_TRUE(is_combinational(GateType::kNand));
+  EXPECT_TRUE(is_combinational(GateType::kBuf));
+}
+
+// Exhaustive 2-input truth tables via the scalar wrapper.
+struct TruthCase {
+  GateType type;
+  // Expected output for inputs (00, 01, 10, 11) where the first bit is
+  // input[0].
+  bool expect[4];
+};
+
+class TwoInputTruth : public ::testing::TestWithParam<TruthCase> {};
+
+TEST_P(TwoInputTruth, MatchesTruthTable) {
+  const TruthCase& c = GetParam();
+  int idx = 0;
+  for (bool a : {false, true}) {
+    for (bool b : {false, true}) {
+      const bool in[] = {a, b};
+      EXPECT_EQ(eval_gate_scalar(c.type, in), c.expect[idx])
+          << gate_type_name(c.type) << "(" << a << "," << b << ")";
+      ++idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTwoInputGates, TwoInputTruth,
+    ::testing::Values(
+        TruthCase{GateType::kAnd, {false, false, false, true}},
+        TruthCase{GateType::kNand, {true, true, true, false}},
+        TruthCase{GateType::kOr, {false, true, true, true}},
+        TruthCase{GateType::kNor, {true, false, false, false}},
+        TruthCase{GateType::kXor, {false, true, true, false}},
+        TruthCase{GateType::kXnor, {true, false, false, true}}));
+
+TEST(CellTest, BufAndInv) {
+  for (bool a : {false, true}) {
+    const bool in[] = {a};
+    EXPECT_EQ(eval_gate_scalar(GateType::kBuf, in), a);
+    EXPECT_EQ(eval_gate_scalar(GateType::kInv, in), !a);
+  }
+}
+
+TEST(CellTest, MuxSelectsBySel) {
+  for (bool sel : {false, true}) {
+    for (bool a : {false, true}) {
+      for (bool b : {false, true}) {
+        const bool in[] = {sel, a, b};
+        EXPECT_EQ(eval_gate_scalar(GateType::kMux, in), sel ? b : a);
+      }
+    }
+  }
+}
+
+TEST(CellTest, WideGatesFoldAllInputs) {
+  const bool in3[] = {true, true, false};
+  EXPECT_FALSE(eval_gate_scalar(GateType::kAnd, in3));
+  EXPECT_TRUE(eval_gate_scalar(GateType::kNand, in3));
+  EXPECT_TRUE(eval_gate_scalar(GateType::kOr, in3));
+  const bool in4[] = {false, false, false, false};
+  EXPECT_TRUE(eval_gate_scalar(GateType::kNor, in4));
+}
+
+TEST(CellTest, WordParallelMatchesScalarPerBit) {
+  // Each bit position of the words is an independent evaluation.
+  const std::uint64_t a = 0xF0F0F0F0F0F0F0F0ULL;
+  const std::uint64_t b = 0xCCCCCCCCCCCCCCCCULL;
+  const std::uint64_t in[] = {a, b};
+  const std::uint64_t out =
+      eval_gate(GateType::kNand, std::span<const std::uint64_t>(in, 2));
+  for (int bit = 0; bit < 64; ++bit) {
+    const bool ba = (a >> bit) & 1;
+    const bool bb = (b >> bit) & 1;
+    const bool expected = !(ba && bb);
+    EXPECT_EQ(((out >> bit) & 1) != 0, expected) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace m3dfl

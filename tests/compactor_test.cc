@@ -1,0 +1,63 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dft/compactor.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(CompactorTest, ChannelsCoverAllChains) {
+  const Netlist nl = testing::small_netlist(2);
+  const ScanChains chains(nl, 7, 1);
+  const XorCompactor compactor(chains, 3);
+  EXPECT_EQ(compactor.num_channels(), 3);  // ceil(7 / 3)
+  std::set<std::int32_t> covered;
+  for (std::int32_t ch = 0; ch < compactor.num_channels(); ++ch) {
+    for (std::int32_t c : compactor.channel_chains(ch)) {
+      EXPECT_EQ(compactor.channel_of_chain(c), ch);
+      covered.insert(c);
+    }
+  }
+  EXPECT_EQ(covered.size(), 7u);
+}
+
+TEST(CompactorTest, RatioRespected) {
+  const Netlist nl = testing::small_netlist(2);
+  const ScanChains chains(nl, 8, 1);
+  const XorCompactor compactor(chains, 4);
+  EXPECT_EQ(compactor.num_channels(), 2);
+  EXPECT_EQ(compactor.channel_chains(0).size(), 4u);
+  EXPECT_EQ(compactor.chains_per_channel(), 4);
+}
+
+TEST(CompactorTest, CellsAtGathersAliasedFlops) {
+  const Netlist nl = testing::small_netlist(2);
+  const ScanChains chains(nl, 4, 1);
+  const XorCompactor compactor(chains, 2);
+  const auto cells = compactor.cells_at(chains, 0, 0);
+  // Position 0 exists in both chains of channel 0.
+  EXPECT_EQ(cells.size(), 2u);
+  for (std::int32_t f : cells) {
+    EXPECT_EQ(compactor.channel_of_chain(chains.chain_of_flop(f)), 0);
+    EXPECT_EQ(chains.position_of_flop(f), 0);
+  }
+}
+
+TEST(CompactorTest, CellsAtPastChainEndShrinks) {
+  testing::TinyCircuit c;
+  const ScanChains chains(c.netlist, 1, 1);
+  const XorCompactor compactor(chains, 4);
+  EXPECT_EQ(compactor.cells_at(chains, 0, 0).size(), 1u);
+  EXPECT_TRUE(compactor.cells_at(chains, 0, 5).empty());
+}
+
+TEST(CompactorTest, RejectsNonPositiveRatio) {
+  const Netlist nl = testing::small_netlist(2);
+  const ScanChains chains(nl, 4, 1);
+  EXPECT_THROW(XorCompactor(chains, 0), Error);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,72 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(ConfigTest, FourProfilesFourConfigs) {
+  EXPECT_EQ(all_profiles().size(), 4u);
+  EXPECT_EQ(all_configs().size(), 4u);
+  std::set<std::string> names;
+  for (Profile p : all_profiles()) names.insert(profile_name(p));
+  EXPECT_EQ(names.size(), 4u);
+  std::set<std::string> configs;
+  for (DesignConfig c : all_configs()) configs.insert(config_name(c));
+  EXPECT_EQ(configs.size(), 4u);
+}
+
+TEST(ConfigTest, ProfileSizesOrderedLikeThePaper) {
+  // Table III ordering: AES < Tate < netcard < leon3mp by gate count;
+  // netcard has the largest pattern budget.
+  const ProfileSpec aes = profile_spec(Profile::kAes);
+  const ProfileSpec tate = profile_spec(Profile::kTate);
+  const ProfileSpec netcard = profile_spec(Profile::kNetcard);
+  const ProfileSpec leon = profile_spec(Profile::kLeon3mp);
+  EXPECT_LT(aes.gen.num_gates, tate.gen.num_gates);
+  EXPECT_LT(tate.gen.num_gates, netcard.gen.num_gates);
+  EXPECT_LT(netcard.gen.num_gates, leon.gen.num_gates);
+  EXPECT_GT(netcard.atpg.max_patterns, aes.atpg.max_patterns);
+  EXPECT_GT(netcard.atpg.max_patterns, leon.atpg.max_patterns);
+}
+
+TEST(ConfigTest, Syn2ReelaboratesDifferently) {
+  const ProfileSpec spec = profile_spec(Profile::kAes);
+  const GeneratorConfig syn1 = generator_for(spec, DesignConfig::kSyn1);
+  const GeneratorConfig syn2 = generator_for(spec, DesignConfig::kSyn2);
+  EXPECT_NE(syn1.seed, syn2.seed);
+  EXPECT_GT(syn2.target_depth, syn1.target_depth);
+  // TPI and Par reuse the Syn-1 elaboration.
+  EXPECT_EQ(generator_for(spec, DesignConfig::kTpi).seed, syn1.seed);
+  EXPECT_EQ(generator_for(spec, DesignConfig::kPar).seed, syn1.seed);
+}
+
+TEST(ConfigTest, ParUsesDifferentPartitioner) {
+  const ProfileSpec spec = profile_spec(Profile::kTate);
+  EXPECT_EQ(partition_for(spec, DesignConfig::kSyn1).method,
+            PartitionMethod::kMinCut);
+  EXPECT_EQ(partition_for(spec, DesignConfig::kPar).method,
+            PartitionMethod::kLevelDriven);
+}
+
+TEST(ConfigTest, TpiBudgetIsOnePercent) {
+  for (Profile p : all_profiles()) {
+    EXPECT_DOUBLE_EQ(profile_spec(p).tpi.fraction, 0.01);
+  }
+}
+
+TEST(ConfigTest, LargeProgramsHaveShallowFailMemory) {
+  // The netcard/leon3mp production programs bound fail logging (DESIGN.md);
+  // the small programs log everything.
+  EXPECT_EQ(profile_spec(Profile::kAes).fail_memory_patterns, 0);
+  EXPECT_EQ(profile_spec(Profile::kTate).fail_memory_patterns, 0);
+  EXPECT_GT(profile_spec(Profile::kNetcard).fail_memory_patterns, 0);
+  EXPECT_GT(profile_spec(Profile::kLeon3mp).fail_memory_patterns, 0);
+  EXPECT_LE(profile_spec(Profile::kNetcard).fail_memory_patterns,
+            profile_spec(Profile::kLeon3mp).fail_memory_patterns);
+}
+
+}  // namespace
+}  // namespace m3dfl

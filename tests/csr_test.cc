@@ -1,0 +1,88 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gnn/csr.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(CsrTest, PathGraphNormalization) {
+  // 0 - 1 - 2 (path).  With self loops: deg(0)=2, deg(1)=3, deg(2)=2.
+  const NormalizedAdjacency adj(3, {0, 1}, {1, 2});
+  EXPECT_EQ(adj.num_nodes(), 3);
+  EXPECT_EQ(adj.num_entries(), 3 + 2 * 2);  // self loops + both directions
+
+  // Propagate a one-hot feature and check coefficients.
+  Matrix x(3, 1);
+  x.at(1, 0) = 1.0f;
+  const Matrix y = adj.propagate(x);
+  // y0 = 1/sqrt(2*3), y1 = 1/3, y2 = 1/sqrt(2*3).
+  EXPECT_NEAR(y.at(0, 0), 1.0 / std::sqrt(6.0), 1e-6);
+  EXPECT_NEAR(y.at(1, 0), 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(y.at(2, 0), 1.0 / std::sqrt(6.0), 1e-6);
+}
+
+TEST(CsrTest, IsolatedNodeKeepsItsFeature) {
+  const NormalizedAdjacency adj(2, {}, {});
+  Matrix x(2, 2);
+  x.at(0, 0) = 3.0f;
+  x.at(1, 1) = -2.0f;
+  const Matrix y = adj.propagate(x);
+  // Only the self loop with coefficient 1/sqrt(1*1) = 1.
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), -2.0f);
+}
+
+TEST(CsrTest, DuplicateEdgesFolded) {
+  const NormalizedAdjacency once(2, {0}, {1});
+  const NormalizedAdjacency twice(2, {0, 0, 1}, {1, 1, 0});
+  EXPECT_EQ(once.num_entries(), twice.num_entries());
+  Matrix x(2, 1);
+  x.at(0, 0) = 1.0f;
+  const Matrix a = once.propagate(x);
+  const Matrix b = twice.propagate(x);
+  EXPECT_FLOAT_EQ(a.at(1, 0), b.at(1, 0));
+}
+
+TEST(CsrTest, SelfLoopInputTolerated) {
+  const NormalizedAdjacency adj(2, {0, 0}, {0, 1});
+  Matrix x(2, 1);
+  x.at(0, 0) = 1.0f;
+  EXPECT_NO_THROW(adj.propagate(x));
+}
+
+TEST(CsrTest, PropagationIsSymmetric) {
+  // <A x, y> == <x, A y> for symmetric A.
+  const NormalizedAdjacency adj(4, {0, 1, 2, 0}, {1, 2, 3, 3});
+  Rng rng(5);
+  Matrix x(4, 1);
+  Matrix y(4, 1);
+  for (std::int32_t i = 0; i < 4; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.next_gaussian());
+    y.at(i, 0) = static_cast<float>(rng.next_gaussian());
+  }
+  const Matrix ax = adj.propagate(x);
+  const Matrix ay = adj.propagate(y);
+  double lhs = 0;
+  double rhs = 0;
+  for (std::int32_t i = 0; i < 4; ++i) {
+    lhs += ax.at(i, 0) * y.at(i, 0);
+    rhs += x.at(i, 0) * ay.at(i, 0);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-5);
+}
+
+TEST(CsrTest, RowsAreConvexCombinationScale) {
+  // For a regular graph (cycle), a constant feature stays constant.
+  const NormalizedAdjacency adj(4, {0, 1, 2, 3}, {1, 2, 3, 0});
+  Matrix x(4, 1);
+  for (std::int32_t i = 0; i < 4; ++i) x.at(i, 0) = 1.0f;
+  const Matrix y = adj.propagate(x);
+  for (std::int32_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(y.at(i, 0), 1.0f, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace m3dfl

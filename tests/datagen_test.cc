@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "diag/datagen.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+using testing::SmallDesign;
+
+TEST(DataGenTest, ProducesRequestedSampleCount) {
+  SmallDesign d(3);
+  DataGenOptions opt;
+  opt.num_samples = 20;
+  opt.max_failing_patterns = 0;
+  const std::vector<Sample> samples = generate_samples(d.context(), opt);
+  EXPECT_EQ(samples.size(), 20u);
+  for (const Sample& s : samples) {
+    EXPECT_FALSE(s.log.empty());
+    EXPECT_EQ(s.faults.size(), 1u);
+    EXPECT_TRUE(s.fault_tier == 0 || s.fault_tier == 1);
+    EXPECT_FALSE(s.log.compacted);
+  }
+}
+
+TEST(DataGenTest, Deterministic) {
+  SmallDesign d(3);
+  DataGenOptions opt;
+  opt.num_samples = 10;
+  opt.max_failing_patterns = 0;
+  const auto a = generate_samples(d.context(), opt);
+  const auto b = generate_samples(d.context(), opt);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].faults, b[i].faults);
+    EXPECT_EQ(a[i].log.scan_fails, b[i].log.scan_fails);
+  }
+}
+
+TEST(DataGenTest, FaultTierMatchesInjectedPin) {
+  SmallDesign d(3);
+  DataGenOptions opt;
+  opt.num_samples = 25;
+  opt.max_failing_patterns = 0;
+  const auto samples = generate_samples(d.context(), opt);
+  for (const Sample& s : samples) {
+    EXPECT_EQ(pin_tier(d.context(), s.faults[0].pin), s.fault_tier);
+  }
+}
+
+TEST(DataGenTest, MivSamplesWhenRequested) {
+  SmallDesign d(3);
+  DataGenOptions opt;
+  opt.num_samples = 40;
+  opt.miv_fault_prob = 0.5;
+  opt.max_failing_patterns = 0;
+  const auto samples = generate_samples(d.context(), opt);
+  std::int32_t miv_samples = 0;
+  for (const Sample& s : samples) {
+    if (!s.faulty_mivs.empty()) {
+      ++miv_samples;
+      EXPECT_EQ(s.fault_tier, kMivTier);
+      EXPECT_TRUE(s.faults[0].is_miv());
+      EXPECT_EQ(s.faults[0].miv, s.faulty_mivs[0]);
+    }
+  }
+  EXPECT_GT(miv_samples, 8);
+  EXPECT_LT(miv_samples, 32);
+}
+
+TEST(DataGenTest, MultiFaultSamplesShareOneTier) {
+  SmallDesign d(3);
+  DataGenOptions opt;
+  opt.num_samples = 12;
+  opt.min_faults = 2;
+  opt.max_faults = 5;
+  opt.max_failing_patterns = 0;
+  const auto samples = generate_samples(d.context(), opt);
+  for (const Sample& s : samples) {
+    EXPECT_GE(s.faults.size(), 2u);
+    EXPECT_LE(s.faults.size(), 5u);
+    for (const Fault& f : s.faults) {
+      EXPECT_EQ(pin_tier(d.context(), f.pin), s.fault_tier);
+    }
+    // Pins are distinct.
+    for (std::size_t i = 0; i < s.faults.size(); ++i) {
+      for (std::size_t j = i + 1; j < s.faults.size(); ++j) {
+        EXPECT_NE(s.faults[i].pin, s.faults[j].pin);
+      }
+    }
+  }
+}
+
+TEST(DataGenTest, CompactedModeYieldsChannelFails) {
+  SmallDesign d(3);
+  DataGenOptions opt;
+  opt.num_samples = 10;
+  opt.compacted = true;
+  opt.max_failing_patterns = 0;
+  const auto samples = generate_samples(d.context(), opt);
+  bool any_channel = false;
+  for (const Sample& s : samples) {
+    EXPECT_TRUE(s.log.compacted);
+    EXPECT_TRUE(s.log.scan_fails.empty());
+    any_channel = any_channel || !s.log.channel_fails.empty();
+  }
+  EXPECT_TRUE(any_channel);
+}
+
+TEST(DataGenTest, FailMemoryLimitsPatterns) {
+  SmallDesign d(3);
+  DataGenOptions opt;
+  opt.num_samples = 15;
+  opt.max_failing_patterns = 4;
+  const auto samples = generate_samples(d.context(), opt);
+  for (const Sample& s : samples) {
+    EXPECT_LE(s.log.num_failing_patterns(), 4);
+    EXPECT_EQ(s.log.pattern_limit, 4);
+  }
+}
+
+TEST(DataGenTest, UsesContextFailMemoryWhenDelegated) {
+  SmallDesign d(3);
+  DesignContext ctx = d.context();
+  ctx.fail_memory_patterns = 2;
+  DataGenOptions opt;
+  opt.num_samples = 8;
+  opt.max_failing_patterns = -1;  // delegate to the context
+  const auto samples = generate_samples(ctx, opt);
+  for (const Sample& s : samples) {
+    EXPECT_LE(s.log.num_failing_patterns(), 2);
+  }
+}
+
+TEST(DataGenTest, RejectsBadFaultRange) {
+  SmallDesign d(3);
+  DataGenOptions opt;
+  opt.min_faults = 3;
+  opt.max_faults = 2;
+  EXPECT_THROW(generate_samples(d.context(), opt), Error);
+}
+
+}  // namespace
+}  // namespace m3dfl

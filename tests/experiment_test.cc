@@ -1,0 +1,61 @@
+// Tests for the experiment harness functions behind the bench binaries
+// (multi-fault study, standalone-model ablation, transferability study),
+// at reduced scale.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace m3dfl {
+namespace {
+
+ExperimentOptions tiny_options() {
+  ExperimentOptions opt;
+  opt.test_samples = 16;
+  opt.train.samples_syn1 = 50;
+  opt.train.samples_per_random = 25;
+  opt.framework.training.epochs = 40;
+  return opt;
+}
+
+TEST(ExperimentTest, MultiFaultStudyProducesCoherentResults) {
+  const MultiFaultResult r =
+      evaluate_multifault(Profile::kAes, tiny_options());
+  EXPECT_EQ(r.profile, "AES");
+  EXPECT_EQ(r.atpg.total, 16);
+  EXPECT_EQ(r.refined.total, 16);
+  // Refinement never inflates the report.
+  EXPECT_LE(r.refined.resolution.mean(), r.atpg.resolution.mean() + 1e-9);
+  EXPECT_LE(r.refined.fhi.mean(), r.atpg.fhi.mean() + 1e-9);
+  EXPECT_GE(r.tier_localization, 0.0);
+  EXPECT_LE(r.tier_localization, 1.0);
+}
+
+TEST(ExperimentTest, IndividualModelAblationOrdering) {
+  const AblationResult r =
+      evaluate_individual_models(Profile::kAes, tiny_options());
+  EXPECT_EQ(r.atpg.total, 16);
+  // MIV-only prioritization never changes resolution or accuracy.
+  EXPECT_DOUBLE_EQ(r.miv_only.resolution.mean(), r.atpg.resolution.mean());
+  EXPECT_DOUBLE_EQ(r.miv_only.accuracy(), r.atpg.accuracy());
+  // The combined policy is at least as sharp as the raw reports.
+  EXPECT_LE(r.combined.resolution.mean(), r.atpg.resolution.mean() + 1e-9);
+  // Tier-only pruning may lose accuracy; the combination never does worse
+  // than tier-only (MIV protection can only help).
+  EXPECT_GE(r.combined.accuracy() + 1e-9, r.tier_only.accuracy());
+}
+
+TEST(ExperimentTest, TransferabilityRowsCoverAllConfigs) {
+  ExperimentOptions opt = tiny_options();
+  const std::vector<TransferabilityRow> rows =
+      evaluate_transferability(Profile::kAes, opt);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const TransferabilityRow& r : rows) {
+    EXPECT_GE(r.dedicated_tier_acc, 0.0);
+    EXPECT_LE(r.dedicated_tier_acc, 1.0);
+    EXPECT_GE(r.transferred_tier_acc, 0.4);  // far above chance floor 0
+    EXPECT_LE(r.transferred_tier_acc, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace m3dfl

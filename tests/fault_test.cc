@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "sim/fault.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(FaultTest, ApplyDelaySlowToRiseHoldsRisingBits) {
+  // Bit layout: v1 = 0b0011, cur = 0b0101.
+  //   bit0: 1->1 stays; bit1: 1->0 falls; bit2: 0->1 rises; bit3: 0->0.
+  const std::uint64_t v1 = 0b0011;
+  const std::uint64_t cur = 0b0101;
+  // STR holds the rising bit 2 at its launch value 0.
+  EXPECT_EQ(faulty_value(FaultType::kSlowToRise, v1, cur), 0b0001ULL);
+  // STF holds the falling bit 1 at its launch value 1.
+  EXPECT_EQ(faulty_value(FaultType::kSlowToFall, v1, cur), 0b0111ULL);
+  // MIV delay holds both: result equals v1 on all changed bits.
+  EXPECT_EQ(faulty_value(FaultType::kMivDelay, v1, cur), v1);
+}
+
+TEST(FaultTest, ApplyDelayNoTransitionIsIdentity) {
+  const std::uint64_t v = 0xDEADBEEFCAFEF00DULL;
+  EXPECT_EQ(faulty_value(FaultType::kSlowToRise, v, v), v);
+  EXPECT_EQ(faulty_value(FaultType::kSlowToFall, v, v), v);
+  EXPECT_EQ(faulty_value(FaultType::kMivDelay, v, v), v);
+}
+
+TEST(FaultTest, StuckAtForcesConstants) {
+  const std::uint64_t v1 = 0x00FF00FF00FF00FFULL;
+  const std::uint64_t cur = 0x0F0F0F0F0F0F0F0FULL;
+  EXPECT_EQ(faulty_value(FaultType::kStuckAt0, v1, cur), 0u);
+  EXPECT_EQ(faulty_value(FaultType::kStuckAt1, v1, cur), ~0ULL);
+  EXPECT_TRUE(is_static_fault(FaultType::kStuckAt0));
+  EXPECT_FALSE(is_static_fault(FaultType::kSlowToRise));
+  const Fault sa = Fault::stuck_at(9, true);
+  EXPECT_EQ(sa.type, FaultType::kStuckAt1);
+  EXPECT_TRUE(sa.is_static());
+  EXPECT_FALSE(sa.is_miv());
+}
+
+TEST(FaultTest, ApplyDelayIsIdempotent) {
+  const std::uint64_t v1 = 0xAAAA5555AAAA5555ULL;
+  const std::uint64_t cur = 0x0F0F0F0F0F0F0F0FULL;
+  for (FaultType t : {FaultType::kSlowToRise, FaultType::kSlowToFall,
+                      FaultType::kMivDelay}) {
+    const std::uint64_t once = faulty_value(t, v1, cur);
+    EXPECT_EQ(faulty_value(t, v1, once), once);
+  }
+}
+
+TEST(FaultTest, FactoriesAndEquality) {
+  const Fault a = Fault::slow_to_rise(5);
+  const Fault b = Fault::slow_to_fall(5);
+  const Fault m = Fault::miv_delay(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Fault::slow_to_rise(5));
+  EXPECT_FALSE(a.is_miv());
+  EXPECT_TRUE(m.is_miv());
+  EXPECT_EQ(m.miv, 2);
+  EXPECT_EQ(a.pin, 5);
+}
+
+TEST(FaultTest, ToString) {
+  testing::TinyCircuit c;
+  const PinId stem = c.netlist.output_pin(c.u0);
+  EXPECT_EQ(fault_to_string(c.netlist, Fault::slow_to_rise(stem)), "STR@u0.Y");
+  EXPECT_EQ(fault_to_string(c.netlist, Fault::slow_to_fall(
+                                           c.netlist.input_pin(c.u2, 1))),
+            "STF@u2.A1");
+  EXPECT_EQ(fault_to_string(c.netlist, Fault::miv_delay(3)), "MIV#3");
+  EXPECT_EQ(fault_to_string(c.netlist, Fault::stuck_at(stem, false)),
+            "SA0@u0.Y");
+  EXPECT_EQ(fault_to_string(c.netlist, Fault::stuck_at(stem, true)),
+            "SA1@u0.Y");
+}
+
+}  // namespace
+}  // namespace m3dfl

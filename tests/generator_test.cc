@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generator.h"
+#include "netlist/verilog_io.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSameConfig) {
+  const Netlist a = generate_netlist(testing::small_config(5));
+  const Netlist b = generate_netlist(testing::small_config(5));
+  EXPECT_EQ(to_mnl(a), to_mnl(b));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const Netlist a = generate_netlist(testing::small_config(5));
+  const Netlist b = generate_netlist(testing::small_config(6));
+  EXPECT_NE(to_mnl(a), to_mnl(b));
+}
+
+TEST(GeneratorTest, HonorsPortAndFlopCounts) {
+  const GeneratorConfig config = testing::small_config(7);
+  const Netlist nl = generate_netlist(config);
+  EXPECT_EQ(static_cast<std::int32_t>(nl.primary_inputs().size()),
+            config.num_pis);
+  EXPECT_EQ(static_cast<std::int32_t>(nl.primary_outputs().size()),
+            config.num_pos);
+  EXPECT_EQ(static_cast<std::int32_t>(nl.flops().size()), config.num_flops);
+  // Gate target plus the XOR collapse trees, within a modest overshoot.
+  EXPECT_GE(nl.num_logic_gates(), config.num_gates);
+  EXPECT_LE(nl.num_logic_gates(), config.num_gates + config.num_gates / 2);
+}
+
+TEST(GeneratorTest, DepthIsBounded) {
+  GeneratorConfig config = testing::small_config(8);
+  config.target_depth = 9;
+  const Netlist nl = generate_netlist(config);
+  // The elaborated logic respects the depth target exactly; only the XOR
+  // collapse trees (named "xcoll*") may extend past it.
+  for (GateId g : nl.topo_order()) {
+    if (nl.gate(g).name.rfind("xcoll", 0) == 0) continue;
+    EXPECT_LE(nl.level(g), config.target_depth) << nl.gate(g).name;
+  }
+}
+
+TEST(GeneratorTest, EveryNetHasSinkOrFeedsState) {
+  // The collapse step should leave (almost) no dangling logic: only flop Q
+  // nets may be sink-less (observed by scan anyway).
+  const Netlist nl = testing::small_netlist(11);
+  std::int32_t dangling_logic = 0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    if (net.sinks.empty() &&
+        nl.gate(net.driver).type != GateType::kScanFlop) {
+      ++dangling_logic;
+    }
+  }
+  EXPECT_EQ(dangling_logic, 0);
+}
+
+TEST(GeneratorTest, ChainBiasCreatesLongerChains) {
+  GeneratorConfig plain = testing::small_config(13);
+  GeneratorConfig chained = plain;
+  chained.chain_extend_prob = 0.8;
+  chained.mix[static_cast<std::size_t>(GateType::kBuf)] = 0.15;
+  chained.mix[static_cast<std::size_t>(GateType::kInv)] = 0.2;
+
+  const auto longest_chain = [](const Netlist& nl) {
+    // Longest run of single-input single-sink buffers/inverters.
+    std::int32_t best = 0;
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      std::int32_t len = 0;
+      GateId cur = g;
+      while (true) {
+        const Gate& gate = nl.gate(cur);
+        if (gate.type != GateType::kBuf && gate.type != GateType::kInv) break;
+        ++len;
+        const Net& out = nl.net(gate.fanout);
+        if (out.sinks.size() != 1) break;
+        cur = out.sinks[0].gate;
+      }
+      best = std::max(best, len);
+    }
+    return best;
+  };
+  EXPECT_GT(longest_chain(generate_netlist(chained)),
+            longest_chain(generate_netlist(plain)));
+}
+
+TEST(GeneratorTest, RejectsInvalidConfigs) {
+  GeneratorConfig config = testing::small_config(1);
+  config.num_pis = 0;
+  EXPECT_THROW(generate_netlist(config), Error);
+  config = testing::small_config(1);
+  config.target_depth = 1;
+  EXPECT_THROW(generate_netlist(config), Error);
+  config = testing::small_config(1);
+  config.num_gates = 0;
+  EXPECT_THROW(generate_netlist(config), Error);
+}
+
+class GeneratorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSweep, ProducesFinalizableScanDesign) {
+  const Netlist nl = testing::small_netlist(GetParam());
+  EXPECT_TRUE(nl.finalized());
+  // Every flop has a D connection; every PO reads something.
+  for (GateId ff : nl.flops()) {
+    EXPECT_EQ(nl.gate(ff).fanin.size(), 1u);
+  }
+  for (GateId po : nl.primary_outputs()) {
+    EXPECT_EQ(nl.gate(po).fanin.size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 21, 42, 1234));
+
+}  // namespace
+}  // namespace m3dfl

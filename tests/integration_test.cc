@@ -1,0 +1,119 @@
+// Cross-module integration tests: the complete paper pipeline on one small
+// benchmark, asserting the qualitative properties the evaluation section
+// depends on.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace m3dfl {
+namespace {
+
+ExperimentOptions small_options() {
+  ExperimentOptions opt;
+  opt.test_samples = 30;
+  opt.train.samples_syn1 = 80;
+  opt.train.samples_per_random = 40;
+  opt.framework.training.epochs = 80;
+  return opt;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    experiment_ = new ProfileExperiment(Profile::kAes, small_options());
+    result_ = new ConfigResult(experiment_->evaluate(DesignConfig::kSyn1));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete experiment_;
+    result_ = nullptr;
+    experiment_ = nullptr;
+  }
+  static ProfileExperiment* experiment_;
+  static ConfigResult* result_;
+};
+
+ProfileExperiment* IntegrationTest::experiment_ = nullptr;
+ConfigResult* IntegrationTest::result_ = nullptr;
+
+TEST_F(IntegrationTest, AtpgReportsAreAccurate) {
+  // Single-TDF dies with full fail logging: the diagnosis engine must name
+  // the defect in (almost) every report.
+  EXPECT_GE(result_->atpg.accuracy(), 0.95);
+  EXPECT_GT(result_->atpg.resolution.mean(), 1.0);
+}
+
+TEST_F(IntegrationTest, RefinementImprovesOrMaintainsResolution) {
+  EXPECT_LE(result_->gnn.stats.resolution.mean(),
+            result_->atpg.resolution.mean());
+  EXPECT_LE(result_->gnn_plus.stats.resolution.mean(),
+            result_->gnn.stats.resolution.mean() + 1e-9);
+  EXPECT_LE(result_->baseline.stats.resolution.mean(),
+            result_->atpg.resolution.mean());
+}
+
+TEST_F(IntegrationTest, AccuracyLossStaysSmall) {
+  // Paper contract: pruning costs at most a few percent accuracy.
+  EXPECT_GE(result_->gnn.stats.accuracy(),
+            result_->atpg.accuracy() - 0.10);
+  // The baseline never loses accuracy (first level).
+  EXPECT_GE(result_->baseline.stats.accuracy() + 1e-9,
+            result_->atpg.accuracy());
+}
+
+TEST_F(IntegrationTest, GnnDeliversTierLocalization) {
+  // The headline claim: the GNN localizes the faulty tier for reports the
+  // ATPG run could not confine, far better than the tier-blind baseline.
+  if (result_->gnn.eligible > 5) {
+    EXPECT_GT(result_->gnn.tier_localization(),
+              result_->baseline.tier_localization());
+    EXPECT_GT(result_->gnn.tier_localization(), 0.5);
+  }
+}
+
+TEST_F(IntegrationTest, FhiNeverWorseThanResolution) {
+  EXPECT_LE(result_->gnn.stats.fhi.mean(),
+            result_->gnn.stats.resolution.mean() + 1e-9);
+  EXPECT_LE(result_->atpg.fhi.mean(), result_->atpg.resolution.mean() + 1e-9);
+}
+
+TEST_F(IntegrationTest, RuntimesArePopulated) {
+  EXPECT_GT(result_->t_atpg, 0.0);
+  EXPECT_GT(result_->t_gnn, 0.0);
+  EXPECT_GE(result_->t_update, 0.0);
+  // The GNN branch must be far cheaper than ATPG diagnosis (paper Fig. 9).
+  EXPECT_LT(result_->t_gnn, result_->t_atpg);
+  EXPECT_LT(result_->t_update, result_->t_atpg);
+  EXPECT_EQ(result_->fhi_atpg.size(),
+            static_cast<std::size_t>(result_->atpg.total));
+  EXPECT_EQ(result_->fhi_updated.size(), result_->fhi_atpg.size());
+}
+
+TEST_F(IntegrationTest, TransfersToOtherConfigurations) {
+  // The Syn-1-trained framework must work on the TPI netlist without
+  // retraining (the paper's transferability claim).
+  const ConfigResult tpi = experiment_->evaluate(DesignConfig::kTpi);
+  EXPECT_GE(tpi.atpg.accuracy(), 0.9);
+  EXPECT_GE(tpi.gnn.stats.accuracy(), tpi.atpg.accuracy() - 0.12);
+  EXPECT_LE(tpi.gnn.stats.resolution.mean(),
+            tpi.atpg.resolution.mean() + 1e-9);
+}
+
+TEST_F(IntegrationTest, CompactedModeEndToEnd) {
+  ExperimentOptions opt = small_options();
+  opt.compacted = true;
+  opt.test_samples = 20;
+  ProfileExperiment experiment(Profile::kAes, opt);
+  const ConfigResult r = experiment.evaluate(DesignConfig::kSyn1);
+  EXPECT_GE(r.atpg.accuracy(), 0.9);
+  EXPECT_LE(r.gnn.stats.resolution.mean(), r.atpg.resolution.mean());
+}
+
+TEST_F(IntegrationTest, BackupDictionaryBounded) {
+  // Memory overhead argument (paper Sec. VI-A): the dictionary stores only
+  // pruned candidates.
+  EXPECT_LT(result_->backup_bytes, 1u << 20);
+}
+
+}  // namespace
+}  // namespace m3dfl

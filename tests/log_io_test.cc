@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "diag/log_io.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(LogIoTest, BypassRoundTrip) {
+  FailureLog log;
+  log.scan_fails = {{0, false, 3}, {7, false, 12}};
+  log.po_fails = {{7, true, 1}};
+  log.pattern_limit = 5;
+  const FailureLog back = failure_log_from_string(failure_log_to_string(log));
+  EXPECT_FALSE(back.compacted);
+  EXPECT_EQ(back.scan_fails, log.scan_fails);
+  EXPECT_EQ(back.po_fails, log.po_fails);
+  EXPECT_EQ(back.pattern_limit, 5);
+}
+
+TEST(LogIoTest, CompactedRoundTrip) {
+  FailureLog log;
+  log.compacted = true;
+  log.channel_fails = {{1, 0, 4}, {9, 2, 0}};
+  log.po_fails = {{1, true, 0}};
+  const FailureLog back = failure_log_from_string(failure_log_to_string(log));
+  EXPECT_TRUE(back.compacted);
+  EXPECT_EQ(back.channel_fails, log.channel_fails);
+  EXPECT_EQ(back.po_fails, log.po_fails);
+}
+
+TEST(LogIoTest, RealLogsRoundTripThroughText) {
+  testing::SmallDesign d(9);
+  DataGenOptions opt;
+  opt.num_samples = 8;
+  opt.compacted = true;
+  opt.max_failing_patterns = 0;
+  const auto samples = generate_samples(d.context(), opt);
+  for (const Sample& s : samples) {
+    const FailureLog back =
+        failure_log_from_string(failure_log_to_string(s.log));
+    EXPECT_EQ(back.channel_fails, s.log.channel_fails);
+    EXPECT_EQ(back.po_fails, s.log.po_fails);
+    EXPECT_EQ(back.compacted, s.log.compacted);
+  }
+}
+
+TEST(LogIoTest, CommentsAndBlankLinesIgnored) {
+  const FailureLog log = failure_log_from_string(
+      "m3dfl-faillog 1\n"
+      "# a tester annotation\n"
+      "mode bypass\n"
+      "\n"
+      "scan 3 1  # trailing comment\n"
+      "end\n");
+  ASSERT_EQ(log.scan_fails.size(), 1u);
+  EXPECT_EQ(log.scan_fails[0].pattern, 3);
+}
+
+TEST(LogIoTest, RejectsMalformedInput) {
+  EXPECT_THROW(failure_log_from_string("nope"), Error);
+  EXPECT_THROW(failure_log_from_string("m3dfl-faillog 1\nscan 1 2\n"), Error);
+  EXPECT_THROW(
+      failure_log_from_string("m3dfl-faillog 1\nmode sideways\nend\n"),
+      Error);
+  EXPECT_THROW(
+      failure_log_from_string("m3dfl-faillog 1\nwidget 1 2\nend\n"), Error);
+  EXPECT_THROW(failure_log_from_string("m3dfl-faillog 1\nscan 1\nend\n"),
+               Error);
+  // Scan records are illegal in compacted mode.
+  EXPECT_THROW(failure_log_from_string(
+                   "m3dfl-faillog 1\nmode compacted\nscan 1 2\nend\n"),
+               Error);
+}
+
+TEST(LogIoTest, EmptyLogRoundTrip) {
+  const FailureLog back =
+      failure_log_from_string(failure_log_to_string(FailureLog{}));
+  EXPECT_TRUE(back.empty());
+}
+
+}  // namespace
+}  // namespace m3dfl

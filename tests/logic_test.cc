@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "sim/logic.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(BitMatrixTest, SetGetRoundTrip) {
+  BitMatrix m(3, 130);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.num_bits(), 130);
+  EXPECT_EQ(m.words_per_row(), 3);
+  m.set_bit(0, 0, true);
+  m.set_bit(1, 64, true);
+  m.set_bit(2, 129, true);
+  EXPECT_TRUE(m.bit(0, 0));
+  EXPECT_FALSE(m.bit(0, 1));
+  EXPECT_TRUE(m.bit(1, 64));
+  EXPECT_FALSE(m.bit(1, 63));
+  EXPECT_TRUE(m.bit(2, 129));
+  m.set_bit(1, 64, false);
+  EXPECT_FALSE(m.bit(1, 64));
+}
+
+TEST(BitMatrixTest, WordViewMatchesBits) {
+  BitMatrix m(1, 64);
+  m.set_bit(0, 3, true);
+  m.set_bit(0, 63, true);
+  EXPECT_EQ(m.word(0, 0), (1ULL << 3) | (1ULL << 63));
+}
+
+TEST(BitMatrixTest, ZeroInitialized) {
+  const BitMatrix m(4, 100);
+  for (std::int32_t r = 0; r < 4; ++r) {
+    for (std::int32_t w = 0; w < m.words_per_row(); ++w) {
+      EXPECT_EQ(m.word(r, w), 0u);
+    }
+  }
+}
+
+TEST(LogicTest, WordsFor) {
+  EXPECT_EQ(words_for(0), 0);
+  EXPECT_EQ(words_for(1), 1);
+  EXPECT_EQ(words_for(64), 1);
+  EXPECT_EQ(words_for(65), 2);
+  EXPECT_EQ(words_for(128), 2);
+}
+
+TEST(LogicTest, ValidMask) {
+  EXPECT_EQ(valid_mask(64, 0), ~0ULL);
+  EXPECT_EQ(valid_mask(1, 0), 1ULL);
+  EXPECT_EQ(valid_mask(65, 1), 1ULL);
+  EXPECT_EQ(valid_mask(70, 1), (1ULL << 6) - 1);
+}
+
+TEST(PatternSetTest, RandomIsDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  const PatternSet p = PatternSet::random(4, 8, 100, a);
+  const PatternSet q = PatternSet::random(4, 8, 100, b);
+  EXPECT_EQ(p.num_patterns, 100);
+  for (std::int32_t r = 0; r < 4; ++r) {
+    for (std::int32_t w = 0; w < p.pi.words_per_row(); ++w) {
+      EXPECT_EQ(p.pi.word(r, w), q.pi.word(r, w));
+    }
+  }
+}
+
+TEST(PatternSetTest, AppendConcatenates) {
+  Rng rng(6);
+  PatternSet a = PatternSet::random(3, 5, 70, rng);
+  const PatternSet b = PatternSet::random(3, 5, 40, rng);
+  const PatternSet a_copy = a;
+  a.append(b);
+  EXPECT_EQ(a.num_patterns, 110);
+  for (std::int32_t r = 0; r < 3; ++r) {
+    for (std::int32_t bit = 0; bit < 70; ++bit) {
+      EXPECT_EQ(a.pi.bit(r, bit), a_copy.pi.bit(r, bit));
+    }
+    for (std::int32_t bit = 0; bit < 40; ++bit) {
+      EXPECT_EQ(a.pi.bit(r, 70 + bit), b.pi.bit(r, bit));
+    }
+  }
+  for (std::int32_t r = 0; r < 5; ++r) {
+    for (std::int32_t bit = 0; bit < 40; ++bit) {
+      EXPECT_EQ(a.scan.bit(r, 70 + bit), b.scan.bit(r, bit));
+    }
+  }
+}
+
+TEST(PatternSetTest, AppendRejectsMismatchedShape) {
+  Rng rng(7);
+  PatternSet a = PatternSet::random(3, 5, 10, rng);
+  const PatternSet b = PatternSet::random(4, 5, 10, rng);
+  EXPECT_THROW(a.append(b), Error);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,140 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gnn/matrix.h"
+
+namespace m3dfl {
+namespace {
+
+Matrix from_values(std::int32_t r, std::int32_t c,
+                   std::initializer_list<float> values) {
+  Matrix m(r, c);
+  auto it = values.begin();
+  for (std::int32_t i = 0; i < r; ++i) {
+    for (std::int32_t j = 0; j < c; ++j) m.at(i, j) = *it++;
+  }
+  return m;
+}
+
+TEST(MatrixTest, MatmulHandChecked) {
+  const Matrix a = from_values(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b = from_values(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = matmul(a, b);
+  ASSERT_EQ(c.rows(), 2);
+  ASSERT_EQ(c.cols(), 2);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  Matrix a(4, 3);
+  Matrix b(4, 5);
+  for (float& x : a.data()) x = static_cast<float>(rng.next_gaussian());
+  for (float& x : b.data()) x = static_cast<float>(rng.next_gaussian());
+
+  Matrix at(3, 4);
+  for (std::int32_t i = 0; i < 4; ++i) {
+    for (std::int32_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Matrix expect = matmul(at, b);
+  const Matrix got = matmul_tn(a, b);
+  ASSERT_EQ(got.rows(), 3);
+  ASSERT_EQ(got.cols(), 5);
+  for (std::int32_t i = 0; i < 3; ++i) {
+    for (std::int32_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(got.at(i, j), expect.at(i, j), 1e-5);
+    }
+  }
+
+  // A (4x3) * B'(3x?)  via matmul_nt: use c (5x3).
+  Matrix c(5, 3);
+  for (float& x : c.data()) x = static_cast<float>(rng.next_gaussian());
+  Matrix ct(3, 5);
+  for (std::int32_t i = 0; i < 5; ++i) {
+    for (std::int32_t j = 0; j < 3; ++j) ct.at(j, i) = c.at(i, j);
+  }
+  const Matrix expect2 = matmul(a, ct);
+  const Matrix got2 = matmul_nt(a, c);
+  for (std::int32_t i = 0; i < 4; ++i) {
+    for (std::int32_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(got2.at(i, j), expect2.at(i, j), 1e-5);
+    }
+  }
+}
+
+TEST(MatrixTest, InplaceOps) {
+  Matrix a = from_values(1, 3, {1, 2, 3});
+  const Matrix b = from_values(1, 3, {10, 20, 30});
+  add_inplace(a, b);
+  EXPECT_FLOAT_EQ(a.at(0, 2), 33);
+  axpy_inplace(a, -0.5f, b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 6);
+  scale_inplace(a, 2.0f);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 24);
+}
+
+TEST(MatrixTest, ReluAndBackward) {
+  const Matrix x = from_values(1, 4, {-1, 0, 2, -3});
+  const Matrix y = relu(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 2);
+  const Matrix grad = from_values(1, 4, {5, 5, 5, 5});
+  const Matrix dx = relu_backward(grad, y);
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0);  // blocked where activation <= 0
+  EXPECT_FLOAT_EQ(dx.at(0, 2), 5);
+}
+
+TEST(MatrixTest, SoftmaxRowsSumToOne) {
+  const Matrix x = from_values(2, 3, {1, 2, 3, -10, 0, 10});
+  const Matrix p = softmax_rows(x);
+  for (std::int32_t i = 0; i < 2; ++i) {
+    float sum = 0;
+    for (std::int32_t j = 0; j < 3; ++j) {
+      EXPECT_GT(p.at(i, j), 0.0f);
+      sum += p.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+  // Monotone in the logits.
+  EXPECT_LT(p.at(0, 0), p.at(0, 2));
+}
+
+TEST(MatrixTest, SoftmaxStableForLargeLogits) {
+  const Matrix x = from_values(1, 2, {1000.0f, 999.0f});
+  const Matrix p = softmax_rows(x);
+  EXPECT_FALSE(std::isnan(p.at(0, 0)));
+  EXPECT_GT(p.at(0, 0), p.at(0, 1));
+}
+
+TEST(MatrixTest, ColumnMean) {
+  const Matrix x = from_values(2, 2, {1, 10, 3, 30});
+  const Matrix m = column_mean(x);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 2);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 20);
+}
+
+TEST(MatrixTest, GlorotInitBounded) {
+  Rng rng(4);
+  Matrix w(20, 30);
+  w.init_glorot(rng);
+  const double bound = std::sqrt(6.0 / 50.0);
+  bool any_nonzero = false;
+  for (float x : w.data()) {
+    EXPECT_LE(std::abs(x), bound + 1e-6);
+    any_nonzero = any_nonzero || x != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(MatrixTest, ShapeMismatchCaught) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "diag/metrics.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+using testing::SmallDesign;
+
+// Builds a synthetic single-TDF sample and a report over explicit pins.
+Sample tdf_sample(const SmallDesign& d, PinId pin) {
+  Sample s;
+  s.faults = {Fault::slow_to_rise(pin)};
+  s.fault_tier = pin_tier(d.context(), pin);
+  return s;
+}
+
+Candidate pin_candidate(PinId pin) {
+  Candidate c;
+  c.fault = Fault::slow_to_rise(pin);
+  return c;
+}
+
+// Finds a logic pin on the requested tier.
+PinId pin_on_tier(const SmallDesign& d, int tier) {
+  for (PinId p = 0; p < d.netlist.num_pins(); ++p) {
+    const GateType type = d.netlist.gate(d.netlist.pin_gate(p)).type;
+    if (type == GateType::kPrimaryInput || type == GateType::kPrimaryOutput) {
+      continue;
+    }
+    if (pin_tier(d.context(), p) == tier) return p;
+  }
+  return kNullPin;
+}
+
+TEST(MetricsTest, HitAtRankTwo) {
+  SmallDesign d(6);
+  const PinId truth = pin_on_tier(d, kBottomTier);
+  const PinId other = pin_on_tier(d, kTopTier);
+  ASSERT_NE(truth, kNullPin);
+  ASSERT_NE(other, kNullPin);
+
+  DiagnosisReport report;
+  report.candidates = {pin_candidate(other), pin_candidate(truth),
+                       pin_candidate(other)};
+  const Sample s = tdf_sample(d, truth);
+  const SampleEvaluation eval = evaluate_report(d.context(), report, s);
+  EXPECT_EQ(eval.resolution, 3);
+  EXPECT_TRUE(eval.accurate);
+  EXPECT_EQ(eval.fhi, 2);
+  EXPECT_FALSE(eval.single_tier);
+  EXPECT_FALSE(eval.tier_localized);
+}
+
+TEST(MetricsTest, MissChargesFullResolution) {
+  SmallDesign d(6);
+  const PinId truth = pin_on_tier(d, kBottomTier);
+  const PinId other = pin_on_tier(d, kTopTier);
+  DiagnosisReport report;
+  report.candidates = {pin_candidate(other), pin_candidate(other)};
+  const SampleEvaluation eval =
+      evaluate_report(d.context(), report, tdf_sample(d, truth));
+  EXPECT_FALSE(eval.accurate);
+  EXPECT_EQ(eval.fhi, 2);  // full resolution
+}
+
+TEST(MetricsTest, TierLocalizedWhenSingleCorrectTier) {
+  SmallDesign d(6);
+  const PinId truth = pin_on_tier(d, kTopTier);
+  DiagnosisReport report;
+  report.candidates = {pin_candidate(truth), pin_candidate(truth)};
+  const SampleEvaluation eval =
+      evaluate_report(d.context(), report, tdf_sample(d, truth));
+  EXPECT_TRUE(eval.single_tier);
+  EXPECT_TRUE(eval.tier_localized);
+}
+
+TEST(MetricsTest, SingleWrongTierIsNotLocalized) {
+  SmallDesign d(6);
+  const PinId truth = pin_on_tier(d, kTopTier);
+  const PinId other = pin_on_tier(d, kBottomTier);
+  DiagnosisReport report;
+  report.candidates = {pin_candidate(other)};
+  const SampleEvaluation eval =
+      evaluate_report(d.context(), report, tdf_sample(d, truth));
+  EXPECT_TRUE(eval.single_tier);
+  EXPECT_FALSE(eval.tier_localized);
+}
+
+TEST(MetricsTest, MivCandidatesDoNotBreakSingleTier) {
+  SmallDesign d(6);
+  ASSERT_GT(d.mivs.num_mivs(), 0);
+  const PinId truth = pin_on_tier(d, kTopTier);
+  Candidate miv;
+  miv.fault = Fault::miv_delay(0);
+  DiagnosisReport report;
+  report.candidates = {miv, pin_candidate(truth)};
+  const SampleEvaluation eval =
+      evaluate_report(d.context(), report, tdf_sample(d, truth));
+  EXPECT_TRUE(eval.single_tier);
+  EXPECT_TRUE(eval.tier_localized);
+}
+
+TEST(MetricsTest, MultiFaultAccuracyNeedsAllFaults) {
+  SmallDesign d(6);
+  const PinId a = pin_on_tier(d, kBottomTier);
+  PinId b = kNullPin;
+  for (PinId p = a + 1; p < d.netlist.num_pins(); ++p) {
+    const GateType type = d.netlist.gate(d.netlist.pin_gate(p)).type;
+    if (type != GateType::kPrimaryInput && type != GateType::kPrimaryOutput &&
+        pin_tier(d.context(), p) == kBottomTier) {
+      b = p;
+      break;
+    }
+  }
+  ASSERT_NE(b, kNullPin);
+  Sample s;
+  s.faults = {Fault::slow_to_rise(a), Fault::slow_to_fall(b)};
+  s.fault_tier = kBottomTier;
+
+  DiagnosisReport only_a;
+  only_a.candidates = {pin_candidate(a)};
+  EXPECT_FALSE(evaluate_report(d.context(), only_a, s).accurate);
+
+  DiagnosisReport both;
+  both.candidates = {pin_candidate(a), pin_candidate(b)};
+  const SampleEvaluation eval = evaluate_report(d.context(), both, s);
+  EXPECT_TRUE(eval.accurate);
+  EXPECT_EQ(eval.fhi, 1);  // first candidate matching any injected fault
+}
+
+TEST(MetricsTest, QualityStatsAggregates) {
+  QualityStats stats;
+  SampleEvaluation e1;
+  e1.resolution = 4;
+  e1.accurate = true;
+  e1.fhi = 2;
+  SampleEvaluation e2;
+  e2.resolution = 8;
+  e2.accurate = false;
+  e2.fhi = 8;
+  stats.add(e1);
+  stats.add(e2);
+  EXPECT_EQ(stats.total, 2);
+  EXPECT_DOUBLE_EQ(stats.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.resolution.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(stats.fhi.mean(), 5.0);
+}
+
+TEST(MetricsTest, EmptyReport) {
+  SmallDesign d(6);
+  const PinId truth = pin_on_tier(d, kBottomTier);
+  const SampleEvaluation eval =
+      evaluate_report(d.context(), DiagnosisReport{}, tdf_sample(d, truth));
+  EXPECT_EQ(eval.resolution, 0);
+  EXPECT_FALSE(eval.accurate);
+  EXPECT_EQ(eval.fhi, 0);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "m3d/miv.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(MivTest, OneMivPerCutNet) {
+  const Netlist nl = testing::small_netlist(6);
+  PartitionOptions opt;
+  opt.method = PartitionMethod::kMinCut;
+  const TierAssignment ta = partition_tiers(nl, opt);
+  const MivMap mivs(nl, ta);
+  EXPECT_EQ(mivs.num_mivs(), ta.cut_size(nl));
+}
+
+TEST(MivTest, NetToMivIsInverse) {
+  const Netlist nl = testing::small_netlist(6);
+  const TierAssignment ta = partition_tiers(nl, {});
+  const MivMap mivs(nl, ta);
+  for (MivId m = 0; m < mivs.num_mivs(); ++m) {
+    EXPECT_EQ(mivs.miv_of_net(mivs.miv(m).net), m);
+  }
+  // Non-cut nets map to kNullMiv.
+  std::int32_t null_count = 0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (mivs.miv_of_net(n) == kNullMiv) ++null_count;
+  }
+  EXPECT_EQ(null_count + mivs.num_mivs(), nl.num_nets());
+}
+
+TEST(MivTest, FarSinksAreOppositeTier) {
+  const Netlist nl = testing::small_netlist(6);
+  const TierAssignment ta = partition_tiers(nl, {});
+  const MivMap mivs(nl, ta);
+  ASSERT_GT(mivs.num_mivs(), 0);
+  for (const Miv& miv : mivs.mivs()) {
+    EXPECT_EQ(ta.tier_of(nl.net(miv.net).driver), miv.driver_tier);
+    EXPECT_FALSE(miv.far_sinks.empty());
+    for (const PinRef& sink : miv.far_sinks) {
+      EXPECT_NE(ta.tier_of(sink.gate), miv.driver_tier);
+    }
+  }
+}
+
+TEST(MivTest, HandBuiltCutNet) {
+  testing::TinyCircuit c;
+  TierAssignment ta(std::vector<std::int8_t>(
+      static_cast<std::size_t>(c.netlist.num_gates()), kBottomTier));
+  ta.set_tier(c.u2, kTopTier);  // n4 (u0 -> u1/u2) and n_q cross tiers
+  const MivMap mivs(c.netlist, ta);
+  // Cut nets: n4 (sink u2 on top), n_q (ff0 bottom -> u2 top),
+  // n6 (u2 top -> po bottom, but POs are excluded from partitioning...).
+  const MivId m4 = mivs.miv_of_net(c.n4);
+  ASSERT_NE(m4, kNullMiv);
+  ASSERT_EQ(mivs.miv(m4).far_sinks.size(), 1u);
+  EXPECT_EQ(mivs.miv(m4).far_sinks[0].gate, c.u2);
+  EXPECT_EQ(mivs.miv(m4).driver_tier, kBottomTier);
+  EXPECT_NE(mivs.miv_of_net(c.n_q), kNullMiv);
+  // n5 stays within the bottom tier.
+  EXPECT_EQ(mivs.miv_of_net(c.n5), kNullMiv);
+}
+
+TEST(MivTest, NoMivsWhenSingleTier) {
+  testing::TinyCircuit c;
+  const TierAssignment ta(std::vector<std::int8_t>(
+      static_cast<std::size_t>(c.netlist.num_gates()), kBottomTier));
+  const MivMap mivs(c.netlist, ta);
+  EXPECT_EQ(mivs.num_mivs(), 0);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,125 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gnn/oversample.h"
+
+namespace m3dfl {
+namespace {
+
+Subgraph base_graph(std::int32_t n = 4) {
+  Subgraph sg;
+  sg.features = Matrix(n, kNumNodeFeatures);
+  for (std::int32_t i = 0; i < n; ++i) {
+    sg.nodes.push_back(i * 10);  // arbitrary hetero ids
+    for (std::int32_t j = 0; j < kNumNodeFeatures; ++j) {
+      sg.features.at(i, j) = 0.25f;
+    }
+    if (i > 0) {
+      sg.edge_u.push_back(i - 1);
+      sg.edge_v.push_back(i);
+    }
+  }
+  sg.tier_label = 1;
+  return sg;
+}
+
+TEST(OversampleTest, BufferInsertionShape) {
+  const Subgraph sg = base_graph();
+  const Subgraph out = insert_dummy_buffers(sg, 2, 3);
+  EXPECT_EQ(out.num_nodes(), sg.num_nodes() + 3);
+  EXPECT_EQ(out.features.rows(), out.num_nodes());
+  EXPECT_EQ(out.edge_u.size(), sg.edge_u.size() + 3);
+  EXPECT_EQ(out.tier_label, sg.tier_label);
+  // Original features untouched.
+  for (std::int32_t i = 0; i < sg.num_nodes(); ++i) {
+    for (std::int32_t j = 0; j < kNumNodeFeatures; ++j) {
+      EXPECT_FLOAT_EQ(out.features.at(i, j), sg.features.at(i, j));
+    }
+  }
+}
+
+TEST(OversampleTest, BufferChainTopology) {
+  const Subgraph sg = base_graph();
+  const Subgraph out = insert_dummy_buffers(sg, 1, 2);
+  const std::int32_t base = sg.num_nodes();
+  // target -> buf0 -> buf1.
+  const std::size_t e = sg.edge_u.size();
+  EXPECT_EQ(out.edge_u[e], 1);
+  EXPECT_EQ(out.edge_v[e], base);
+  EXPECT_EQ(out.edge_u[e + 1], base);
+  EXPECT_EQ(out.edge_v[e + 1], base + 1);
+}
+
+TEST(OversampleTest, BufferFeaturesAreBufferLike) {
+  const Subgraph sg = base_graph();
+  const Subgraph out = insert_dummy_buffers(sg, 0, 1);
+  const std::int32_t buf = sg.num_nodes();
+  EXPECT_FLOAT_EQ(out.features.at(buf, 5), 1.0f);  // gate output
+  EXPECT_FLOAT_EQ(out.features.at(buf, 0), 1.0f / 5.0f);  // fan-in 1
+  // Inherits the target's observation profile (e.g. Topedge stats col 9).
+  EXPECT_FLOAT_EQ(out.features.at(buf, 9), sg.features.at(0, 9));
+}
+
+TEST(OversampleTest, NodeIdsStayUnique) {
+  const Subgraph sg = base_graph();
+  const Subgraph out = insert_dummy_buffers(sg, 0, 4);
+  std::set<NodeId> ids(out.nodes.begin(), out.nodes.end());
+  EXPECT_EQ(ids.size(), out.nodes.size());
+}
+
+TEST(OversampleTest, RejectsBadArguments) {
+  const Subgraph sg = base_graph();
+  EXPECT_THROW(insert_dummy_buffers(sg, -1, 1), Error);
+  EXPECT_THROW(insert_dummy_buffers(sg, sg.num_nodes(), 1), Error);
+  EXPECT_THROW(insert_dummy_buffers(sg, 0, 0), Error);
+  EXPECT_THROW(insert_dummy_buffers(Subgraph{}, 0, 1), Error);
+}
+
+TEST(OversampleTest, BalanceEqualizesClasses) {
+  Rng rng(3);
+  std::vector<Subgraph> graphs;
+  std::vector<int> labels;
+  for (int i = 0; i < 18; ++i) {
+    graphs.push_back(base_graph());
+    labels.push_back(1);
+  }
+  for (int i = 0; i < 2; ++i) {
+    graphs.push_back(base_graph());
+    labels.push_back(0);
+  }
+  balance_with_buffers(graphs, labels, rng);
+  std::size_t positives = 0;
+  for (int l : labels) positives += l == 1 ? 1 : 0;
+  EXPECT_EQ(positives, labels.size() - positives);
+  EXPECT_EQ(graphs.size(), labels.size());
+  // Synthetic graphs are strictly larger than their sources.
+  EXPECT_GT(graphs.back().num_nodes(), base_graph().num_nodes());
+}
+
+TEST(OversampleTest, BalancedInputUntouched) {
+  Rng rng(4);
+  std::vector<Subgraph> graphs = {base_graph(), base_graph()};
+  std::vector<int> labels = {0, 1};
+  balance_with_buffers(graphs, labels, rng);
+  EXPECT_EQ(graphs.size(), 2u);
+}
+
+TEST(OversampleTest, MinorityCanBeThePositiveClass) {
+  Rng rng(5);
+  std::vector<Subgraph> graphs;
+  std::vector<int> labels;
+  for (int i = 0; i < 10; ++i) {
+    graphs.push_back(base_graph());
+    labels.push_back(0);
+  }
+  graphs.push_back(base_graph());
+  labels.push_back(1);
+  balance_with_buffers(graphs, labels, rng);
+  std::size_t positives = 0;
+  for (int l : labels) positives += l == 1 ? 1 : 0;
+  EXPECT_EQ(positives, labels.size() - positives);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "diag/metrics.h"
+#include "diag/padre.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+Candidate make_candidate(PinId pin, std::int32_t tfsf, std::int32_t tfsp,
+                         std::int32_t bit_tfsp) {
+  Candidate c;
+  c.fault = Fault::slow_to_rise(pin);
+  c.tfsf = tfsf;
+  c.tfsp = tfsp;
+  c.bit_tfsp = bit_tfsp;
+  c.score = tfsf - tfsp;
+  return c;
+}
+
+TEST(PadreTest, EliminatesDominatedCandidates) {
+  DiagnosisReport report;
+  report.candidates = {
+      make_candidate(0, 10, 0, 0),  // dominates everything below
+      make_candidate(1, 8, 2, 3),
+      make_candidate(2, 10, 0, 1),  // dominated by #0 on bit_tfsp
+      make_candidate(3, 10, 0, 0),  // ties with #0 -> survives
+  };
+  const DiagnosisReport out = padre_first_level(report);
+  ASSERT_EQ(out.resolution(), 2);
+  EXPECT_EQ(out.candidates[0].fault.pin, 0);
+  EXPECT_EQ(out.candidates[1].fault.pin, 3);
+}
+
+TEST(PadreTest, KeepsMutuallyNonDominated) {
+  DiagnosisReport report;
+  report.candidates = {
+      make_candidate(0, 10, 2, 0),  // more explained, more unexplained
+      make_candidate(1, 9, 1, 0),
+  };
+  const DiagnosisReport out = padre_first_level(report);
+  EXPECT_EQ(out.resolution(), 2);
+}
+
+TEST(PadreTest, PreservesOrder) {
+  DiagnosisReport report;
+  report.candidates = {
+      make_candidate(5, 10, 0, 0),
+      make_candidate(2, 10, 0, 0),
+      make_candidate(9, 10, 0, 0),
+  };
+  const DiagnosisReport out = padre_first_level(report);
+  ASSERT_EQ(out.resolution(), 3);
+  EXPECT_EQ(out.candidates[0].fault.pin, 5);
+  EXPECT_EQ(out.candidates[1].fault.pin, 2);
+  EXPECT_EQ(out.candidates[2].fault.pin, 9);
+}
+
+TEST(PadreTest, EmptyReportStaysEmpty) {
+  EXPECT_EQ(padre_first_level(DiagnosisReport{}).resolution(), 0);
+}
+
+TEST(PadreTest, Idempotent) {
+  DiagnosisReport report;
+  report.candidates = {
+      make_candidate(0, 10, 0, 0),
+      make_candidate(1, 9, 0, 2),
+      make_candidate(2, 10, 1, 0),
+  };
+  const DiagnosisReport once = padre_first_level(report);
+  const DiagnosisReport twice = padre_first_level(once);
+  EXPECT_EQ(once.resolution(), twice.resolution());
+}
+
+// The paper's contract: the first level never loses accuracy.
+TEST(PadreTest, NoAccuracyLossOnRealReports) {
+  testing::SmallDesign d(5);
+  DataGenOptions opt;
+  opt.num_samples = 25;
+  opt.max_failing_patterns = 3;  // coarse logs -> fat reports
+  opt.seed = 4;
+  const auto samples = generate_samples(d.context(), opt);
+  for (const Sample& s : samples) {
+    const DiagnosisReport report = diagnose_atpg(d.context(), s.log);
+    const DiagnosisReport refined = padre_first_level(report);
+    const SampleEvaluation before = evaluate_report(d.context(), report, s);
+    const SampleEvaluation after = evaluate_report(d.context(), refined, s);
+    EXPECT_EQ(after.accurate, before.accurate);
+    EXPECT_LE(after.resolution, before.resolution);
+  }
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,119 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "m3d/partition.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+struct MethodCase {
+  PartitionMethod method;
+  const char* name;
+};
+
+class PartitionMethods : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(PartitionMethods, BalancedWithinTolerance) {
+  const Netlist nl = testing::small_netlist(4);
+  PartitionOptions opt;
+  opt.method = GetParam().method;
+  opt.balance_tolerance = 0.10;
+  const TierAssignment ta = partition_tiers(nl, opt);
+  const auto counts = ta.tier_gate_counts(nl);
+  const std::int32_t total = counts[0] + counts[1];
+  EXPECT_EQ(total, nl.num_logic_gates());
+  // Both tiers populated and within a generous balance envelope.
+  EXPECT_GT(counts[0], total / 4);
+  EXPECT_GT(counts[1], total / 4);
+}
+
+TEST_P(PartitionMethods, PortsStayOnBottomTier) {
+  const Netlist nl = testing::small_netlist(4);
+  PartitionOptions opt;
+  opt.method = GetParam().method;
+  const TierAssignment ta = partition_tiers(nl, opt);
+  for (GateId g : nl.primary_inputs()) {
+    EXPECT_EQ(ta.tier_of(g), kBottomTier);
+  }
+  for (GateId g : nl.primary_outputs()) {
+    EXPECT_EQ(ta.tier_of(g), kBottomTier);
+  }
+}
+
+TEST_P(PartitionMethods, Deterministic) {
+  const Netlist nl = testing::small_netlist(4);
+  PartitionOptions opt;
+  opt.method = GetParam().method;
+  opt.seed = 77;
+  const TierAssignment a = partition_tiers(nl, opt);
+  const TierAssignment b = partition_tiers(nl, opt);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_EQ(a.tier_of(g), b.tier_of(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, PartitionMethods,
+    ::testing::Values(MethodCase{PartitionMethod::kMinCut, "mincut"},
+                      MethodCase{PartitionMethod::kLevelDriven, "level"},
+                      MethodCase{PartitionMethod::kRandom, "random"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(PartitionTest, MinCutBeatsRandomCut) {
+  const Netlist nl = testing::small_netlist(9);
+  PartitionOptions rnd;
+  rnd.method = PartitionMethod::kRandom;
+  PartitionOptions mc;
+  mc.method = PartitionMethod::kMinCut;
+  const std::int32_t random_cut = partition_tiers(nl, rnd).cut_size(nl);
+  const std::int32_t mincut_cut = partition_tiers(nl, mc).cut_size(nl);
+  EXPECT_LT(mincut_cut, random_cut);
+}
+
+TEST(PartitionTest, LevelDrivenSeparatesByDepth) {
+  const Netlist nl = testing::small_netlist(9);
+  PartitionOptions opt;
+  opt.method = PartitionMethod::kLevelDriven;
+  const TierAssignment ta = partition_tiers(nl, opt);
+  // Within the combinational gates, the bottom tier's mean level must be
+  // below the top tier's.
+  double sum[2] = {0, 0};
+  int n[2] = {0, 0};
+  for (GateId g : nl.topo_order()) {
+    sum[ta.tier_of(g)] += nl.level(g);
+    ++n[ta.tier_of(g)];
+  }
+  ASSERT_GT(n[0], 0);
+  ASSERT_GT(n[1], 0);
+  EXPECT_LT(sum[0] / n[0], sum[1] / n[1]);
+}
+
+TEST(PartitionTest, CutSizeCountsSpanningNets) {
+  testing::TinyCircuit c;
+  TierAssignment ta(std::vector<std::int8_t>(
+      static_cast<std::size_t>(c.netlist.num_gates()), kBottomTier));
+  EXPECT_EQ(ta.cut_size(c.netlist), 0);
+  // Move u1 to the top tier: nets n4 (u0->u1) and n5 (u1->ff0) become cut.
+  ta.set_tier(c.u1, kTopTier);
+  EXPECT_EQ(ta.cut_size(c.netlist), 2);
+}
+
+TEST(PartitionTest, DifferentMethodsProduceDifferentAssignments) {
+  const Netlist nl = testing::small_netlist(10);
+  PartitionOptions a;
+  a.method = PartitionMethod::kMinCut;
+  PartitionOptions b;
+  b.method = PartitionMethod::kLevelDriven;
+  const TierAssignment ta = partition_tiers(nl, a);
+  const TierAssignment tb = partition_tiers(nl, b);
+  int differing = 0;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (ta.tier_of(g) != tb.tier_of(g)) ++differing;
+  }
+  EXPECT_GT(differing, nl.num_gates() / 10);
+}
+
+}  // namespace
+}  // namespace m3dfl

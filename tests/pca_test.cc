@@ -1,0 +1,121 @@
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gnn/pca.h"
+#include "util/rng.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(JacobiTest, DiagonalMatrixIsItsOwnEigensystem) {
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  jacobi_eigen({{3, 0}, {0, 1}}, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(vectors[0][0]), 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(vectors[1][1]), 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1) and (1,-1).
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  jacobi_eigen({{2, 1}, {1, 2}}, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(vectors[0][0]), std::abs(vectors[0][1]), 1e-8);
+}
+
+TEST(JacobiTest, EigenvectorsSatisfyDefinition) {
+  const std::vector<std::vector<double>> m = {
+      {4, 1, 0.5}, {1, 3, 0.2}, {0.5, 0.2, 2}};
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  jacobi_eigen(m, values, vectors);
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      double mv = 0;
+      for (std::size_t j = 0; j < 3; ++j) mv += m[i][j] * vectors[k][j];
+      EXPECT_NEAR(mv, values[k] * vectors[k][i], 1e-8);
+    }
+  }
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points spread along (1, 1)/sqrt(2) with small orthogonal noise.
+  Rng rng(5);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 400; ++i) {
+    const double t = rng.next_gaussian() * 5.0;
+    const double n = rng.next_gaussian() * 0.1;
+    samples.push_back({t + n, t - n});
+  }
+  const PcaResult pca = fit_pca(samples, 2);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(pca.components[0][0]), inv_sqrt2, 0.02);
+  EXPECT_NEAR(std::abs(pca.components[0][1]), inv_sqrt2, 0.02);
+  EXPECT_GT(pca.explained_variance[0], 10 * pca.explained_variance[1]);
+}
+
+TEST(PcaTest, ProjectionCentersData) {
+  const std::vector<std::vector<double>> samples = {
+      {1, 2}, {3, 4}, {5, 6}};
+  const PcaResult pca = fit_pca(samples, 1);
+  double sum = 0;
+  for (const auto& s : samples) sum += pca_project(pca, s)[0];
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(PcaTest, RejectsInconsistentWidths) {
+  EXPECT_THROW(fit_pca({{1, 2}, {1}}, 1), Error);
+  EXPECT_THROW(fit_pca({}, 1), Error);
+  EXPECT_THROW(fit_pca({{1, 2}}, 3), Error);
+}
+
+TEST(CloudOverlapTest, IdenticalCloudsOverlapFully) {
+  Rng rng(6);
+  std::vector<std::array<double, 2>> a;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back({rng.next_gaussian(), rng.next_gaussian()});
+  }
+  EXPECT_GT(cloud_overlap(a, a), 0.999);
+}
+
+TEST(CloudOverlapTest, DistantCloudsBarelyOverlap) {
+  Rng rng(7);
+  std::vector<std::array<double, 2>> a;
+  std::vector<std::array<double, 2>> b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back({rng.next_gaussian(), rng.next_gaussian()});
+    b.push_back({rng.next_gaussian() + 20.0, rng.next_gaussian()});
+  }
+  EXPECT_LT(cloud_overlap(a, b), 0.01);
+}
+
+TEST(CloudOverlapTest, SimilarCloudsOverlapHighly) {
+  Rng rng(8);
+  std::vector<std::array<double, 2>> a;
+  std::vector<std::array<double, 2>> b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back({rng.next_gaussian(), rng.next_gaussian()});
+    b.push_back({rng.next_gaussian() + 0.1, rng.next_gaussian()});
+  }
+  EXPECT_GT(cloud_overlap(a, b), 0.9);
+}
+
+TEST(CloudOverlapTest, SymmetricInArguments) {
+  Rng rng(9);
+  std::vector<std::array<double, 2>> a;
+  std::vector<std::array<double, 2>> b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back({rng.next_gaussian(), rng.next_gaussian() * 2});
+    b.push_back({rng.next_gaussian() + 1, rng.next_gaussian()});
+  }
+  EXPECT_NEAR(cloud_overlap(a, b), cloud_overlap(b, a), 1e-9);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "gnn/pr_curve.h"
+#include "util/rng.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(PrCurveTest, HandComputedCurve) {
+  // confidences: 0.9 correct, 0.8 wrong, 0.7 correct, 0.6 correct.
+  const std::vector<PrSample> samples = {
+      {0.9, true}, {0.8, false}, {0.7, true}, {0.6, true}};
+  const auto curve = pr_curve(samples);
+  ASSERT_EQ(curve.size(), 4u);
+  // Threshold 0.6: all predicted positive -> precision 3/4, recall 1.
+  EXPECT_DOUBLE_EQ(curve[0].threshold, 0.6);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 0.75);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+  // Threshold 0.8: {0.9 correct, 0.8 wrong} -> precision 1/2, recall 1/3.
+  EXPECT_DOUBLE_EQ(curve[2].threshold, 0.8);
+  EXPECT_DOUBLE_EQ(curve[2].precision, 0.5);
+  EXPECT_NEAR(curve[2].recall, 1.0 / 3.0, 1e-12);
+  // Threshold 0.9: only the correct one left -> precision 1, recall 1/3.
+  EXPECT_DOUBLE_EQ(curve[3].precision, 1.0);
+}
+
+TEST(PrCurveTest, SelectSmallestThresholdMeetingPrecision) {
+  const std::vector<PrSample> samples = {
+      {0.9, true}, {0.8, false}, {0.7, true}, {0.6, true}};
+  const auto curve = pr_curve(samples);
+  EXPECT_DOUBLE_EQ(select_threshold(curve, 0.99), 0.9);
+  EXPECT_DOUBLE_EQ(select_threshold(curve, 0.7), 0.6);
+}
+
+TEST(PrCurveTest, UnattainablePrecisionDisablesPruning) {
+  // Every prediction wrong: no threshold achieves precision 0.99.
+  const std::vector<PrSample> samples = {{0.9, false}, {0.5, false}};
+  const auto curve = pr_curve(samples);
+  const double t = select_threshold(curve, 0.99);
+  for (const PrSample& s : samples) {
+    EXPECT_LT(s.confidence, t);
+  }
+}
+
+TEST(PrCurveTest, AllCorrectGivesLowestThreshold) {
+  const std::vector<PrSample> samples = {{0.9, true}, {0.5, true}};
+  const auto curve = pr_curve(samples);
+  EXPECT_DOUBLE_EQ(select_threshold(curve, 0.99), 0.5);
+}
+
+TEST(PrCurveTest, TiedConfidencesGrouped) {
+  const std::vector<PrSample> samples = {
+      {0.7, true}, {0.7, false}, {0.7, true}};
+  const auto curve = pr_curve(samples);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_NEAR(curve[0].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+}
+
+TEST(PrCurveTest, PrecisionMonotoneTendencyOnSeparableData) {
+  // Correct samples get higher confidence: precision rises with threshold.
+  std::vector<PrSample> samples;
+  for (int i = 0; i < 50; ++i) samples.push_back({0.5 + i * 0.01, true});
+  for (int i = 0; i < 50; ++i) samples.push_back({0.1 + i * 0.005, false});
+  const auto curve = pr_curve(samples);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].precision, curve[i - 1].precision - 1e-12);
+  }
+}
+
+TEST(PrCurveTest, EmptyInput) {
+  EXPECT_TRUE(pr_curve({}).empty());
+  EXPECT_GT(select_threshold({}, 0.99), 0.0);
+}
+
+TEST(RocCurveTest, HandComputedPoints) {
+  const std::vector<PrSample> samples = {
+      {0.9, true}, {0.8, false}, {0.7, true}, {0.6, true}};
+  const auto curve = roc_curve(samples);
+  ASSERT_EQ(curve.size(), 4u);
+  // Threshold 0.6: everything positive -> TPR 1, FPR 1.
+  EXPECT_DOUBLE_EQ(curve[0].true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].false_positive_rate, 1.0);
+  // Threshold 0.9: one true positive kept, no false positives.
+  EXPECT_NEAR(curve[3].true_positive_rate, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[3].false_positive_rate, 0.0);
+}
+
+TEST(RocCurveTest, PerfectSeparationGivesUnitAuc) {
+  std::vector<PrSample> samples;
+  for (int i = 0; i < 20; ++i) samples.push_back({0.8 + i * 0.005, true});
+  for (int i = 0; i < 20; ++i) samples.push_back({0.2 + i * 0.005, false});
+  EXPECT_NEAR(roc_auc(samples), 1.0, 1e-9);
+}
+
+TEST(RocCurveTest, RandomScoresGiveHalfAuc) {
+  Rng rng(11);
+  std::vector<PrSample> samples;
+  for (int i = 0; i < 4000; ++i) {
+    samples.push_back({rng.next_double(), rng.next_bool()});
+  }
+  EXPECT_NEAR(roc_auc(samples), 0.5, 0.03);
+}
+
+TEST(RocCurveTest, InvertedScoresGiveZeroAuc) {
+  std::vector<PrSample> samples;
+  for (int i = 0; i < 20; ++i) samples.push_back({0.2 + i * 0.005, true});
+  for (int i = 0; i < 20; ++i) samples.push_back({0.8 + i * 0.005, false});
+  EXPECT_NEAR(roc_auc(samples), 0.0, 1e-9);
+}
+
+TEST(RocCurveTest, DegenerateClassesGiveHalf) {
+  EXPECT_DOUBLE_EQ(roc_auc({{0.5, true}, {0.7, true}}), 0.5);
+  EXPECT_DOUBLE_EQ(roc_auc({{0.5, false}}), 0.5);
+  EXPECT_DOUBLE_EQ(roc_auc({}), 0.5);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "diag/report.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+Candidate cand(PinId pin, double score = 0.0) {
+  Candidate c;
+  c.fault = Fault::slow_to_rise(pin);
+  c.score = score;
+  return c;
+}
+
+TEST(ReportTest, MoveToTopIsStable) {
+  DiagnosisReport r;
+  r.candidates = {cand(1), cand(2), cand(3), cand(4), cand(5)};
+  move_to_top(r, [](const Candidate& c) { return c.fault.pin % 2 == 0; });
+  ASSERT_EQ(r.resolution(), 5);
+  EXPECT_EQ(r.candidates[0].fault.pin, 2);
+  EXPECT_EQ(r.candidates[1].fault.pin, 4);
+  EXPECT_EQ(r.candidates[2].fault.pin, 1);
+  EXPECT_EQ(r.candidates[3].fault.pin, 3);
+  EXPECT_EQ(r.candidates[4].fault.pin, 5);
+}
+
+TEST(ReportTest, PruneReturnsRemovedInOrder) {
+  DiagnosisReport r;
+  r.candidates = {cand(1), cand(2), cand(3), cand(4)};
+  const auto removed =
+      prune_candidates(r, [](const Candidate& c) { return c.fault.pin > 2; });
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0].fault.pin, 3);
+  EXPECT_EQ(removed[1].fault.pin, 4);
+  ASSERT_EQ(r.resolution(), 2);
+  EXPECT_EQ(r.candidates[0].fault.pin, 1);
+}
+
+TEST(BackupDictionaryTest, RecordsAndRestores) {
+  BackupDictionary dict;
+  dict.record(7, {cand(1), cand(2)});
+  dict.record(9, {cand(3)});
+  dict.record(11, {});  // empty prunes are not stored
+  EXPECT_EQ(dict.num_entries(), 2);
+  EXPECT_EQ(dict.num_candidates(), 3);
+  EXPECT_EQ(dict.lookup(7).size(), 2u);
+  EXPECT_EQ(dict.lookup(9)[0].fault.pin, 3);
+  EXPECT_TRUE(dict.lookup(11).empty());
+  EXPECT_TRUE(dict.lookup(12345).empty());
+  EXPECT_GT(dict.size_bytes(), 0u);
+}
+
+TEST(BackupDictionaryTest, RestorationRecoversAccuracy) {
+  // Prune the truth out of a report, then verify the dictionary contains it.
+  DiagnosisReport r;
+  r.candidates = {cand(1), cand(2), cand(3)};
+  BackupDictionary dict;
+  dict.record(0, prune_candidates(r, [](const Candidate& c) {
+                return c.fault.pin == 2;
+              }));
+  bool truth_in_report = false;
+  for (const Candidate& c : r.candidates) {
+    truth_in_report = truth_in_report || c.fault.pin == 2;
+  }
+  EXPECT_FALSE(truth_in_report);
+  bool truth_in_backup = false;
+  for (const Candidate& c : dict.lookup(0)) {
+    truth_in_backup = truth_in_backup || c.fault.pin == 2;
+  }
+  EXPECT_TRUE(truth_in_backup);
+}
+
+TEST(ReportTest, ToStringListsCandidates) {
+  testing::TinyCircuit tc;
+  DiagnosisReport r;
+  r.candidates = {cand(tc.netlist.output_pin(tc.u0), 5.0)};
+  const std::string s = report_to_string(tc.netlist, r);
+  EXPECT_NE(s.find("1 candidate"), std::string::npos);
+  EXPECT_NE(s.find("STR@u0.Y"), std::string::npos);
+}
+
+TEST(ReportTest, ToStringTruncatesLongReports) {
+  testing::TinyCircuit tc;
+  DiagnosisReport r;
+  for (int i = 0; i < 10; ++i) {
+    r.candidates.push_back(cand(tc.netlist.output_pin(tc.u0)));
+  }
+  const std::string s = report_to_string(tc.netlist, r, 4);
+  EXPECT_NE(s.find("(6 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace m3dfl

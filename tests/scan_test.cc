@@ -1,0 +1,75 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dft/scan.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(ScanTest, EveryFlopStitchedExactlyOnce) {
+  const Netlist nl = testing::small_netlist(2);
+  const ScanChains chains(nl, 4, 1);
+  std::set<std::int32_t> seen;
+  std::int32_t total = 0;
+  for (std::int32_t c = 0; c < chains.num_chains(); ++c) {
+    for (std::int32_t f : chains.chain(c)) {
+      seen.insert(f);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, chains.num_flops());
+  EXPECT_EQ(static_cast<std::int32_t>(seen.size()), chains.num_flops());
+  EXPECT_EQ(chains.num_flops(),
+            static_cast<std::int32_t>(nl.flops().size()));
+}
+
+TEST(ScanTest, ChainPositionInverse) {
+  const Netlist nl = testing::small_netlist(2);
+  const ScanChains chains(nl, 5, 9);
+  for (std::int32_t f = 0; f < chains.num_flops(); ++f) {
+    EXPECT_EQ(chains.flop_at(chains.chain_of_flop(f),
+                             chains.position_of_flop(f)),
+              f);
+  }
+}
+
+TEST(ScanTest, BalancedLengths) {
+  const Netlist nl = testing::small_netlist(2);  // 32 flops
+  const ScanChains chains(nl, 5, 3);
+  for (std::int32_t c = 0; c < chains.num_chains(); ++c) {
+    const auto len = static_cast<std::int32_t>(chains.chain(c).size());
+    EXPECT_GE(len, chains.max_chain_length() - 1);
+    EXPECT_LE(len, chains.max_chain_length());
+  }
+}
+
+TEST(ScanTest, FlopAtPastEndIsNull) {
+  const Netlist nl = testing::small_netlist(2);
+  const ScanChains chains(nl, 4, 1);
+  EXPECT_EQ(chains.flop_at(0, chains.max_chain_length()), -1);
+}
+
+TEST(ScanTest, MoreChainsThanFlopsClamps) {
+  testing::TinyCircuit c;  // one flop
+  const ScanChains chains(c.netlist, 8, 1);
+  EXPECT_EQ(chains.num_chains(), 1);
+  EXPECT_EQ(chains.chain(0).size(), 1u);
+}
+
+TEST(ScanTest, StitchingIsSeedDependentButDeterministic) {
+  const Netlist nl = testing::small_netlist(2);
+  const ScanChains a(nl, 4, 1);
+  const ScanChains b(nl, 4, 1);
+  const ScanChains c(nl, 4, 2);
+  EXPECT_EQ(a.chain(0), b.chain(0));
+  bool any_diff = false;
+  for (std::int32_t ch = 0; ch < 4 && !any_diff; ++ch) {
+    any_diff = a.chain(ch) != c.chain(ch);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace m3dfl

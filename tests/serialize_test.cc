@@ -1,0 +1,174 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "gnn/serialize.h"
+#include "gnn/trainer.h"
+
+namespace m3dfl {
+namespace {
+
+Subgraph toy_graph(Rng& rng, int label) {
+  Subgraph sg;
+  const std::int32_t n = 5;
+  sg.features = Matrix(n, kNumNodeFeatures);
+  for (std::int32_t i = 0; i < n; ++i) {
+    sg.nodes.push_back(i);
+    for (std::int32_t j = 0; j < kNumNodeFeatures; ++j) {
+      sg.features.at(i, j) = static_cast<float>(rng.next_double());
+    }
+    sg.features.at(i, 3) = label == 1 ? 0.9f : 0.1f;
+    if (i > 0) {
+      sg.edge_u.push_back(i - 1);
+      sg.edge_v.push_back(i);
+    }
+  }
+  sg.tier_label = label;
+  if (n > 2) {
+    sg.miv_local = {2};
+    sg.miv_ids = {0};
+    sg.miv_label = {static_cast<std::int8_t>(label)};
+  }
+  return sg;
+}
+
+GcnModelConfig small_config() {
+  GcnModelConfig config;
+  config.hidden = 8;
+  config.num_layers = 2;
+  return config;
+}
+
+TEST(SerializeTest, MatrixRoundTripIsExact) {
+  Rng rng(3);
+  Matrix m(4, 7);
+  for (float& x : m.data()) x = static_cast<float>(rng.next_gaussian());
+  std::stringstream ss;
+  save_matrix(ss, m);
+  const Matrix back = load_matrix(ss);
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  for (std::int32_t i = 0; i < m.rows(); ++i) {
+    for (std::int32_t j = 0; j < m.cols(); ++j) {
+      EXPECT_EQ(back.at(i, j), m.at(i, j));  // bit-exact via hexfloat
+    }
+  }
+}
+
+TEST(SerializeTest, TierPredictorRoundTripPreservesPredictions) {
+  Rng rng(5);
+  std::vector<Subgraph> train;
+  for (int i = 0; i < 20; ++i) train.push_back(toy_graph(rng, i % 2));
+  TierPredictor model(small_config());
+  TrainOptions opt;
+  opt.epochs = 30;
+  train_tier_predictor(model, train, opt);
+
+  const TierPredictor restored =
+      tier_predictor_from_string(tier_predictor_to_string(model));
+  for (const Subgraph& g : train) {
+    const auto a = model.predict(g);
+    const auto b = restored.predict(g);
+    EXPECT_DOUBLE_EQ(a[0], b[0]);
+    EXPECT_DOUBLE_EQ(a[1], b[1]);
+  }
+}
+
+TEST(SerializeTest, MivPinpointerRoundTrip) {
+  Rng rng(6);
+  std::vector<Subgraph> train;
+  for (int i = 0; i < 20; ++i) train.push_back(toy_graph(rng, i % 2));
+  MivPinpointer model(small_config());
+  TrainOptions opt;
+  opt.epochs = 30;
+  train_miv_pinpointer(model, train, opt);
+
+  std::stringstream ss;
+  save_model(ss, model);
+  const MivPinpointer restored = load_miv_pinpointer(ss);
+  for (const Subgraph& g : train) {
+    const auto a = model.predict(g);
+    const auto b = restored.predict(g);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(SerializeTest, PruneClassifierRoundTrip) {
+  Rng rng(7);
+  std::vector<Subgraph> graphs;
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    graphs.push_back(toy_graph(rng, i % 2));
+    labels.push_back(i % 2);
+  }
+  TierPredictor pretrained(small_config());
+  TrainOptions opt;
+  opt.epochs = 20;
+  train_tier_predictor(pretrained, graphs, opt);
+  PruneClassifier classifier(pretrained, small_config());
+  train_prune_classifier(classifier, graphs, labels, opt);
+
+  std::stringstream ss;
+  save_model(ss, classifier);
+  const PruneClassifier restored = load_prune_classifier(ss, pretrained);
+  for (const Subgraph& g : graphs) {
+    EXPECT_DOUBLE_EQ(classifier.predict_prune_prob(g),
+                     restored.predict_prune_prob(g));
+  }
+}
+
+TEST(SerializeTest, FrameworkRoundTripPreservesBehaviour) {
+  Rng rng(9);
+  std::vector<Subgraph> train;
+  for (int i = 0; i < 30; ++i) train.push_back(toy_graph(rng, i % 2));
+  FrameworkOptions options;
+  options.model = small_config();
+  options.training.epochs = 30;
+  DiagnosisFramework framework(options);
+  framework.train(train);
+
+  std::stringstream ss;
+  framework.save(ss);
+  DiagnosisFramework restored(options);
+  restored.load(ss);
+  EXPECT_TRUE(restored.trained());
+  EXPECT_DOUBLE_EQ(restored.tp_threshold(), framework.tp_threshold());
+  for (const Subgraph& g : train) {
+    const FrameworkPrediction a = framework.predict(g);
+    const FrameworkPrediction b = restored.predict(g);
+    EXPECT_EQ(a.tier, b.tier);
+    EXPECT_DOUBLE_EQ(a.confidence, b.confidence);
+    EXPECT_EQ(a.high_confidence, b.high_confidence);
+    EXPECT_EQ(a.faulty_mivs, b.faulty_mivs);
+  }
+}
+
+TEST(SerializeTest, UntrainedFrameworkRefusesToSave) {
+  DiagnosisFramework framework;
+  std::stringstream ss;
+  EXPECT_THROW(framework.save(ss), Error);
+}
+
+TEST(SerializeTest, RejectsWrongModelType) {
+  Rng rng(8);
+  TierPredictor model(small_config());
+  std::stringstream ss;
+  save_model(ss, model);
+  EXPECT_THROW(load_miv_pinpointer(ss), Error);
+}
+
+TEST(SerializeTest, RejectsTruncatedStream) {
+  TierPredictor model(small_config());
+  std::string text = tier_predictor_to_string(model);
+  text.resize(text.size() / 2);
+  EXPECT_THROW(tier_predictor_from_string(text), Error);
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  EXPECT_THROW(tier_predictor_from_string("not a model"), Error);
+}
+
+}  // namespace
+}  // namespace m3dfl

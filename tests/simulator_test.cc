@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+// Hand-checked LOC semantics on the tiny circuit.
+//
+// V1: u0 = pi0 & pi1; u1 = !u0; u2 = u0 ^ q.
+// Launch: ff0 <- u1@V1; V2 re-evaluates with the new q and the held PIs.
+TEST(SimulatorTest, TinyCircuitLocByHand) {
+  testing::TinyCircuit c;
+  PatternSet p;
+  p.num_patterns = 2;
+  p.pi = BitMatrix(2, 2);
+  p.scan = BitMatrix(1, 2);
+  // Pattern 0: pi0=1, pi1=1, q=0.    Pattern 1: pi0=1, pi1=0, q=1.
+  p.pi.set_bit(0, 0, true);
+  p.pi.set_bit(1, 0, true);
+  p.scan.set_bit(0, 0, false);
+  p.pi.set_bit(0, 1, true);
+  p.pi.set_bit(1, 1, false);
+  p.scan.set_bit(0, 1, true);
+
+  LocSimulator sim(c.netlist);
+  sim.run(p);
+
+  // Pattern 0 V1: n4=1, n5=0, n6=1^0=1.
+  EXPECT_EQ(sim.v1(c.n4, 0) & 1, 1u);
+  EXPECT_EQ(sim.v1(c.n5, 0) & 1, 0u);
+  EXPECT_EQ(sim.v1(c.n6, 0) & 1, 1u);
+  // Launch: q <- n5@V1 = 0; V2: n4=1, n5=0, n6=1.
+  EXPECT_EQ(sim.v2(c.n4, 0) & 1, 1u);
+  EXPECT_EQ(sim.v2(c.n6, 0) & 1, 1u);
+  // Captured response: ff0 captures n5@V2 = 0; po0 = n6@V2 = 1.
+  EXPECT_EQ(sim.captured(0, 0) & 1, 0u);
+  EXPECT_EQ(sim.po_value(0, 0) & 1, 1u);
+
+  // Pattern 1 V1: n4 = 1&0 = 0, n5 = 1, n6 = 0^1 = 1.
+  EXPECT_EQ((sim.v1(c.n4, 0) >> 1) & 1, 0u);
+  EXPECT_EQ((sim.v1(c.n5, 0) >> 1) & 1, 1u);
+  EXPECT_EQ((sim.v1(c.n6, 0) >> 1) & 1, 1u);
+  // Launch: q <- 1; V2: n4=0, n5=1, n6 = 0^1 = 1.
+  EXPECT_EQ((sim.v2(c.n6, 0) >> 1) & 1, 1u);
+  // Transition check: q switches 1->1? q stays 1, n6 stays 1 => no
+  // transition; n4/n5 also hold.
+  EXPECT_FALSE(sim.has_transition(c.n6, 1));
+  EXPECT_FALSE(sim.has_transition(c.n4, 1));
+}
+
+TEST(SimulatorTest, TransitionWordIsV1XorV2) {
+  const Netlist nl = testing::small_netlist(3);
+  Rng rng(4);
+  const PatternSet p = PatternSet::random(
+      static_cast<std::int32_t>(nl.primary_inputs().size()),
+      static_cast<std::int32_t>(nl.flops().size()), 96, rng);
+  LocSimulator sim(nl);
+  sim.run(p);
+  for (NetId n = 0; n < nl.num_nets(); n += 17) {
+    for (std::int32_t w = 0; w < sim.num_words(); ++w) {
+      EXPECT_EQ(sim.transition(n, w), sim.v1(n, w) ^ sim.v2(n, w));
+    }
+  }
+}
+
+// Cross-check the word-parallel evaluation against per-pattern scalar
+// evaluation on a generated circuit.
+TEST(SimulatorTest, WordParallelMatchesScalarReference) {
+  const Netlist nl = testing::small_netlist(5);
+  Rng rng(9);
+  const auto num_pis = static_cast<std::int32_t>(nl.primary_inputs().size());
+  const auto num_flops = static_cast<std::int32_t>(nl.flops().size());
+  const PatternSet p = PatternSet::random(num_pis, num_flops, 70, rng);
+  LocSimulator sim(nl);
+  sim.run(p);
+
+  for (std::int32_t pattern : {0, 1, 63, 64, 69}) {
+    // Scalar V1 evaluation.
+    std::vector<char> value(static_cast<std::size_t>(nl.num_nets()), 0);
+    for (std::int32_t i = 0; i < num_pis; ++i) {
+      value[static_cast<std::size_t>(
+          nl.gate(nl.primary_inputs()[static_cast<std::size_t>(i)]).fanout)] =
+          p.pi.bit(i, pattern) ? 1 : 0;
+    }
+    for (std::int32_t i = 0; i < num_flops; ++i) {
+      value[static_cast<std::size_t>(
+          nl.gate(nl.flops()[static_cast<std::size_t>(i)]).fanout)] =
+          p.scan.bit(i, pattern) ? 1 : 0;
+    }
+    for (GateId g : nl.topo_order()) {
+      const Gate& gate = nl.gate(g);
+      bool ins[8];
+      std::size_t k = 0;
+      for (NetId in : gate.fanin) {
+        ins[k++] = value[static_cast<std::size_t>(in)] != 0;
+      }
+      value[static_cast<std::size_t>(gate.fanout)] =
+          eval_gate_scalar(gate.type, std::span<const bool>(ins, k)) ? 1 : 0;
+    }
+    for (NetId n = 0; n < nl.num_nets(); n += 13) {
+      EXPECT_EQ((sim.v1(n, pattern / 64) >> (pattern % 64)) & 1,
+                value[static_cast<std::size_t>(n)] != 0 ? 1u : 0u)
+          << "net " << n << " pattern " << pattern;
+    }
+  }
+}
+
+TEST(SimulatorTest, RejectsMismatchedPatterns) {
+  const Netlist nl = testing::small_netlist(5);
+  Rng rng(1);
+  const PatternSet p = PatternSet::random(3, 3, 10, rng);
+  LocSimulator sim(nl);
+  EXPECT_THROW(sim.run(p), Error);
+}
+
+}  // namespace
+}  // namespace m3dfl

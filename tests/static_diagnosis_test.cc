@@ -1,0 +1,112 @@
+// End-to-end tests for the static (stuck-at) diagnosis extension: the same
+// pattern set, simulator, back-trace, and diagnosis engine serve
+// static-defect dies when stuck-at candidates are enabled.
+#include <gtest/gtest.h>
+
+#include "diag/atpg_diagnosis.h"
+#include "diag/metrics.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+using testing::SmallDesign;
+
+std::vector<Sample> stuck_at_samples(const SmallDesign& d, std::int32_t n) {
+  DataGenOptions opt;
+  opt.num_samples = n;
+  opt.stuck_at_prob = 1.0;
+  opt.max_failing_patterns = 0;
+  opt.seed = 71;
+  return generate_samples(d.context(), opt);
+}
+
+TEST(StaticDiagnosisTest, DataGenInjectsStuckAtFaults) {
+  SmallDesign d(8);
+  const auto samples = stuck_at_samples(d, 15);
+  for (const Sample& s : samples) {
+    ASSERT_EQ(s.faults.size(), 1u);
+    EXPECT_TRUE(s.faults[0].is_static());
+    EXPECT_FALSE(s.log.empty());
+  }
+}
+
+TEST(StaticDiagnosisTest, StuckAtDiesDiagnosedWithStuckAtCandidates) {
+  SmallDesign d(8);
+  const auto samples = stuck_at_samples(d, 15);
+  DiagnosisOptions opt;
+  opt.include_stuck_at_candidates = true;
+  std::int32_t hits = 0;
+  std::int32_t nonempty = 0;
+  for (const Sample& s : samples) {
+    const DiagnosisReport report = diagnose_atpg(d.context(), s.log, opt);
+    const SampleEvaluation eval = evaluate_report(d.context(), report, s);
+    hits += eval.accurate ? 1 : 0;
+    nonempty += report.resolution() > 0 ? 1 : 0;
+  }
+  // Static defects corrupt the *launch* state of LOC tests, so part of each
+  // failure log arises outside the capture-cycle back-cones that effect-
+  // cause tracing (ours and the paper's) assumes — which is why production
+  // flows diagnose static defects from dedicated single-cycle stuck-at
+  // patterns instead.  From LOC logs alone, the iterative cover still
+  // resolves a substantial fraction of static dies and always produces a
+  // non-empty report.
+  EXPECT_GE(hits, 5);
+  EXPECT_EQ(nonempty, 15);
+}
+
+TEST(StaticDiagnosisTest, StuckAtCandidateIsPerfect) {
+  SmallDesign d(8);
+  const auto samples = stuck_at_samples(d, 8);
+  DiagnosisOptions opt;
+  opt.include_stuck_at_candidates = true;
+  for (const Sample& s : samples) {
+    const DiagnosisReport report = diagnose_atpg(d.context(), s.log, opt);
+    for (const Candidate& c : report.candidates) {
+      if (c.fault == s.faults[0]) {
+        EXPECT_TRUE(c.perfect());
+      }
+    }
+  }
+}
+
+TEST(StaticDiagnosisTest, TdfOnlyFlowIsUnchangedByTheExtension) {
+  // With stuck_at options off, reports contain no static candidates.
+  SmallDesign d(8);
+  DataGenOptions gen;
+  gen.num_samples = 8;
+  gen.max_failing_patterns = 0;
+  gen.seed = 72;
+  const auto samples = generate_samples(d.context(), gen);
+  for (const Sample& s : samples) {
+    EXPECT_FALSE(s.faults[0].is_static());
+    const DiagnosisReport report = diagnose_atpg(d.context(), s.log);
+    for (const Candidate& c : report.candidates) {
+      EXPECT_FALSE(c.fault.is_static());
+    }
+  }
+}
+
+TEST(StaticDiagnosisTest, MixedPopulationResolvesByFaultClass) {
+  SmallDesign d(8);
+  DataGenOptions gen;
+  gen.num_samples = 20;
+  gen.stuck_at_prob = 0.5;
+  gen.max_failing_patterns = 0;
+  gen.seed = 73;
+  const auto samples = generate_samples(d.context(), gen);
+  std::int32_t static_dies = 0;
+  DiagnosisOptions opt;
+  opt.include_stuck_at_candidates = true;
+  for (const Sample& s : samples) {
+    static_dies += s.faults[0].is_static() ? 1 : 0;
+    const DiagnosisReport report = diagnose_atpg(d.context(), s.log, opt);
+    const SampleEvaluation eval = evaluate_report(d.context(), report, s);
+    EXPECT_GT(eval.resolution, 0);
+  }
+  EXPECT_GT(static_dies, 4);
+  EXPECT_LT(static_dies, 16);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "dft/test_points.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(ScoapTest, TinyCircuitHandValues) {
+  testing::TinyCircuit c;
+  const Scoap s = compute_scoap(c.netlist);
+  // Sources: PIs and flop Q are 1/1.
+  EXPECT_EQ(s.cc0[static_cast<std::size_t>(c.n_pi0)], 1.0);
+  EXPECT_EQ(s.cc1[static_cast<std::size_t>(c.n_pi0)], 1.0);
+  EXPECT_EQ(s.cc0[static_cast<std::size_t>(c.n_q)], 1.0);
+  // n4 = AND(pi0, pi1): CC1 = 1+1+1 = 3; CC0 = min(1,1)+1 = 2.
+  EXPECT_EQ(s.cc1[static_cast<std::size_t>(c.n4)], 3.0);
+  EXPECT_EQ(s.cc0[static_cast<std::size_t>(c.n4)], 2.0);
+  // n5 = INV(n4): CC0 = CC1(n4)+1 = 4; CC1 = CC0(n4)+1 = 3.
+  EXPECT_EQ(s.cc0[static_cast<std::size_t>(c.n5)], 4.0);
+  EXPECT_EQ(s.cc1[static_cast<std::size_t>(c.n5)], 3.0);
+  // n6 = XOR(n4, q): CC1 = min(CC0(n4)+CC1(q), CC1(n4)+CC0(q)) + 1 = 4.
+  EXPECT_EQ(s.cc1[static_cast<std::size_t>(c.n6)], 4.0);
+
+  // Observability: n5 feeds a flop D directly, n6 a PO.
+  EXPECT_EQ(s.co[static_cast<std::size_t>(c.n5)], 0.0);
+  EXPECT_EQ(s.co[static_cast<std::size_t>(c.n6)], 0.0);
+  // n4 observed through INV (0+1=1) or through XOR (0+min(1,1)+1=2): min 1.
+  EXPECT_EQ(s.co[static_cast<std::size_t>(c.n4)], 1.0);
+  // pi0 observed through the AND with pi1=1: CO(n4)+CC1(pi1)+1 = 3.
+  EXPECT_EQ(s.co[static_cast<std::size_t>(c.n_pi0)], 3.0);
+}
+
+TEST(ScoapTest, DeeperLogicIsHarder) {
+  const Netlist nl = testing::small_netlist(3);
+  const Scoap s = compute_scoap(nl);
+  // Average controllability cost must grow with level.
+  double shallow = 0;
+  double deep = 0;
+  int ns = 0;
+  int nd = 0;
+  for (GateId g : nl.topo_order()) {
+    const auto out = static_cast<std::size_t>(nl.gate(g).fanout);
+    const double cc = s.cc0[out] + s.cc1[out];
+    if (nl.level(g) <= 2) {
+      shallow += cc;
+      ++ns;
+    } else if (nl.level(g) >= 6) {
+      deep += cc;
+      ++nd;
+    }
+  }
+  ASSERT_GT(ns, 0);
+  ASSERT_GT(nd, 0);
+  EXPECT_LT(shallow / ns, deep / nd);
+}
+
+TEST(TpiTest, RespectsBudgetAndKeepsNetlistValid) {
+  Netlist nl = testing::small_netlist(5);
+  const std::int32_t gates_before = nl.num_logic_gates();
+  const auto flops_before = static_cast<std::int32_t>(nl.flops().size());
+  const auto pis_before = static_cast<std::int32_t>(nl.primary_inputs().size());
+
+  TestPointOptions opt;
+  opt.fraction = 0.05;
+  const TestPointSummary summary = insert_test_points(nl, opt);
+  EXPECT_TRUE(nl.finalized());
+
+  const auto budget =
+      static_cast<std::int32_t>(0.05 * static_cast<double>(gates_before));
+  EXPECT_EQ(summary.num_observe + summary.num_control, budget);
+  EXPECT_GT(summary.num_observe, 0);
+  EXPECT_GT(summary.num_control, 0);
+  // Observation points add scan flops; control points add PIs and gates.
+  EXPECT_EQ(static_cast<std::int32_t>(nl.flops().size()),
+            flops_before + summary.num_observe);
+  EXPECT_EQ(static_cast<std::int32_t>(nl.primary_inputs().size()),
+            pis_before + summary.num_control);
+}
+
+TEST(TpiTest, ZeroFractionIsNoOp) {
+  Netlist nl = testing::small_netlist(5);
+  const std::string before = nl.name();
+  TestPointOptions opt;
+  opt.fraction = 0.0;
+  const TestPointSummary summary = insert_test_points(nl, opt);
+  EXPECT_EQ(summary.num_observe, 0);
+  EXPECT_EQ(summary.num_control, 0);
+  EXPECT_EQ(nl.name(), before);
+}
+
+TEST(TpiTest, RejectsAbsurdFraction) {
+  Netlist nl = testing::small_netlist(5);
+  TestPointOptions opt;
+  opt.fraction = 0.5;
+  EXPECT_THROW(insert_test_points(nl, opt), Error);
+}
+
+TEST(TpiTest, ObservationPointsTargetWorstObservability) {
+  Netlist nl = testing::small_netlist(8);
+  const Scoap before = compute_scoap(nl);
+  // The worst-observability net must be sensed by the first TP flop.
+  NetId worst = 0;
+  for (NetId n = 1; n < nl.num_nets(); ++n) {
+    if (before.co[static_cast<std::size_t>(n)] >
+        before.co[static_cast<std::size_t>(worst)]) {
+      worst = n;
+    }
+  }
+  TestPointOptions opt;
+  opt.fraction = 0.02;
+  opt.observe_share = 1.0;
+  insert_test_points(nl, opt);
+  bool sensed = false;
+  for (GateId ff : nl.flops()) {
+    if (nl.gate(ff).name.rfind("tpobs", 0) == 0 &&
+        nl.gate(ff).fanin[0] == worst) {
+      sensed = true;
+    }
+  }
+  EXPECT_TRUE(sensed);
+}
+
+}  // namespace
+}  // namespace m3dfl

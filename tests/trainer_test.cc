@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "gnn/trainer.h"
+#include "diag/datagen.h"  // kMivTier
+
+namespace m3dfl {
+namespace {
+
+Subgraph labeled_graph(Rng& rng, int label, float signal = 1.0f) {
+  Subgraph sg;
+  const std::int32_t n = 5;
+  sg.features = Matrix(n, kNumNodeFeatures);
+  for (std::int32_t i = 0; i < n; ++i) {
+    sg.nodes.push_back(i);
+    for (std::int32_t j = 0; j < kNumNodeFeatures; ++j) {
+      sg.features.at(i, j) = static_cast<float>(rng.next_double());
+    }
+    // Feature 3 carries the label with the given signal strength.
+    sg.features.at(i, 3) =
+        signal * (label == 1 ? 0.9f : 0.1f) +
+        (1 - signal) * static_cast<float>(rng.next_double());
+    if (i > 0) {
+      sg.edge_u.push_back(i - 1);
+      sg.edge_v.push_back(i);
+    }
+  }
+  sg.tier_label = label;
+  return sg;
+}
+
+TEST(TrainerTest, SkipsUnlabeledAndEmptyGraphs) {
+  Rng rng(3);
+  std::vector<Subgraph> graphs;
+  graphs.push_back(Subgraph{});  // empty
+  Subgraph miv = labeled_graph(rng, 0);
+  miv.tier_label = kMivTier;  // not tier-labeled
+  graphs.push_back(std::move(miv));
+  for (int i = 0; i < 20; ++i) graphs.push_back(labeled_graph(rng, i % 2));
+
+  GcnModelConfig config;
+  config.hidden = 8;
+  config.num_layers = 2;
+  TierPredictor model(config);
+  TrainOptions opt;
+  opt.epochs = 40;
+  EXPECT_NO_THROW(train_tier_predictor(model, graphs, opt));
+  EXPECT_GT(tier_accuracy(model, graphs), 0.8);
+}
+
+TEST(TrainerTest, TierAccuracyCountsOnlyLabeled) {
+  Rng rng(4);
+  std::vector<Subgraph> graphs;
+  graphs.push_back(Subgraph{});
+  graphs.push_back(labeled_graph(rng, 0));
+  // With no training the prediction is arbitrary, but accuracy must be a
+  // valid fraction over exactly the one labeled sample.
+  GcnModelConfig config;
+  config.hidden = 8;
+  config.num_layers = 2;
+  const TierPredictor model(config);
+  const double acc = tier_accuracy(model, graphs);
+  EXPECT_TRUE(acc == 0.0 || acc == 1.0);
+}
+
+TEST(TrainerTest, EarlyStoppingTerminates) {
+  Rng rng(5);
+  std::vector<Subgraph> graphs;
+  for (int i = 0; i < 10; ++i) graphs.push_back(labeled_graph(rng, i % 2));
+  GcnModelConfig config;
+  config.hidden = 8;
+  config.num_layers = 2;
+  TierPredictor model(config);
+  TrainOptions opt;
+  opt.epochs = 100000;  // must stop on plateau long before this
+  opt.patience = 3;
+  EXPECT_NO_THROW(train_tier_predictor(model, graphs, opt));
+}
+
+TEST(TrainerTest, FeatureSignificanceHighlightsInformativeFeature) {
+  Rng rng(6);
+  std::vector<Subgraph> graphs;
+  for (int i = 0; i < 60; ++i) graphs.push_back(labeled_graph(rng, i % 2));
+  GcnModelConfig config;
+  config.hidden = 12;
+  config.num_layers = 2;
+  TierPredictor model(config);
+  TrainOptions opt;
+  opt.epochs = 60;
+  opt.patience = 60;
+  train_tier_predictor(model, graphs, opt);
+  ASSERT_GT(tier_accuracy(model, graphs), 0.9);
+
+  const std::vector<double> sig = feature_significance(model, graphs);
+  ASSERT_EQ(sig.size(), static_cast<std::size_t>(kNumNodeFeatures));
+  // Feature 3 carries all the signal: its significance must dominate.
+  for (std::int32_t j = 0; j < kNumNodeFeatures; ++j) {
+    EXPECT_GE(sig[static_cast<std::size_t>(j)], 0.0);
+    EXPECT_LE(sig[static_cast<std::size_t>(j)], 1.0);
+    if (j != 3) {
+      EXPECT_LE(sig[static_cast<std::size_t>(j)],
+                sig[3] + 1e-9);
+    }
+  }
+  EXPECT_GT(sig[3], 0.6);
+}
+
+TEST(TrainerTest, TrainingLossDecreases) {
+  Rng rng(7);
+  std::vector<Subgraph> graphs;
+  for (int i = 0; i < 30; ++i) graphs.push_back(labeled_graph(rng, i % 2));
+  GcnModelConfig config;
+  config.hidden = 8;
+  config.num_layers = 2;
+  TierPredictor model(config);
+  TrainOptions one_epoch;
+  one_epoch.epochs = 1;
+  const double early = train_tier_predictor(model, graphs, one_epoch);
+  TrainOptions more;
+  more.epochs = 60;
+  more.patience = 60;
+  const double late = train_tier_predictor(model, graphs, more);
+  EXPECT_LT(late, early);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "netlist/verilog_io.h"
+#include "test_helpers.h"
+
+namespace m3dfl {
+namespace {
+
+TEST(MnlTest, RoundTripTiny) {
+  testing::TinyCircuit c;
+  const std::string text = to_mnl(c.netlist);
+  const Netlist parsed = from_mnl(text);
+  EXPECT_EQ(to_mnl(parsed), text);
+  EXPECT_EQ(parsed.num_gates(), c.netlist.num_gates());
+  EXPECT_EQ(parsed.num_nets(), c.netlist.num_nets());
+  EXPECT_EQ(parsed.flops().size(), c.netlist.flops().size());
+}
+
+TEST(MnlTest, RoundTripGenerated) {
+  const Netlist nl = testing::small_netlist(3);
+  const Netlist parsed = from_mnl(to_mnl(nl));
+  EXPECT_EQ(to_mnl(parsed), to_mnl(nl));
+  EXPECT_EQ(parsed.max_level(), nl.max_level());
+}
+
+TEST(MnlTest, PreservesDesignName) {
+  testing::TinyCircuit c;
+  c.netlist.set_name("tiny");
+  EXPECT_EQ(from_mnl(to_mnl(c.netlist)).name(), "tiny");
+}
+
+TEST(MnlTest, ParsesComments) {
+  testing::TinyCircuit c;
+  std::string text = to_mnl(c.netlist);
+  text.insert(text.find('\n') + 1, "# a comment line\n");
+  EXPECT_NO_THROW(from_mnl(text));
+}
+
+TEST(MnlTest, RejectsMissingHeader) {
+  EXPECT_THROW(from_mnl("design x\nend\n"), Error);
+}
+
+TEST(MnlTest, RejectsMissingEnd) {
+  EXPECT_THROW(from_mnl("mnl 1\ndesign x\n"), Error);
+}
+
+TEST(MnlTest, RejectsOutOfOrderGateIds) {
+  EXPECT_THROW(
+      from_mnl("mnl 1\ngate 1 PI pi0 out=0 in=-\nend\n"), Error);
+}
+
+TEST(MnlTest, RejectsGarbageNetIds) {
+  EXPECT_THROW(
+      from_mnl("mnl 1\ngate 0 PI pi0 out=xyz in=-\nend\n"), Error);
+}
+
+TEST(MnlTest, RejectsUnknownCell) {
+  EXPECT_THROW(
+      from_mnl("mnl 1\ngate 0 WIDGET w out=0 in=-\nend\n"), Error);
+}
+
+TEST(VerilogTest, EmitsStructuralModule) {
+  testing::TinyCircuit c;
+  c.netlist.set_name("tiny");
+  const std::string v = to_verilog(c.netlist);
+  EXPECT_NE(v.find("module tiny ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("AND2 u0"), std::string::npos);
+  EXPECT_NE(v.find("INV1 u1"), std::string::npos);
+  EXPECT_NE(v.find("SDFF ff0"), std::string::npos);
+  EXPECT_NE(v.find("input pi0;"), std::string::npos);
+  EXPECT_NE(v.find("output po0;"), std::string::npos);
+}
+
+TEST(VerilogTest, RequiresFinalizedNetlist) {
+  Netlist nl;
+  nl.add_gate(GateType::kPrimaryInput);
+  EXPECT_THROW(to_verilog(nl), Error);
+  EXPECT_THROW(to_mnl(nl), Error);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,200 @@
+// m3dfl command-line tool.
+//
+//   m3dfl_tool generate  <profile> <out.mnl>        elaborate a benchmark netlist
+//   m3dfl_tool verilog   <profile> <out.v>          export structural Verilog
+//   m3dfl_tool stats     <profile> [config]         design/M3D/DfT statistics
+//   m3dfl_tool train     <profile> <model.m3dfl>    train + persist a framework
+//   m3dfl_tool diagnose  <profile> <model.m3dfl> <die.flog> [config]
+//                                                   diagnose one failure log
+//   m3dfl_tool inject    <profile> <out.flog>       make a demo failure log
+//
+// Profiles: aes | tate | netcard | leon3mp.  Configs: syn1|tpi|syn2|par.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "diag/log_io.h"
+#include "netlist/verilog_io.h"
+#include "util/table.h"
+
+using namespace m3dfl;
+
+namespace {
+
+Profile parse_profile(const std::string& name) {
+  for (Profile p : all_profiles()) {
+    std::string lower = profile_name(p);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == name) return p;
+  }
+  throw Error("unknown profile '" + name + "' (aes|tate|netcard|leon3mp)");
+}
+
+DesignConfig parse_config(const std::string& name) {
+  if (name == "syn1") return DesignConfig::kSyn1;
+  if (name == "tpi") return DesignConfig::kTpi;
+  if (name == "syn2") return DesignConfig::kSyn2;
+  if (name == "par") return DesignConfig::kPar;
+  throw Error("unknown config '" + name + "' (syn1|tpi|syn2|par)");
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path);
+  M3DFL_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path);
+  M3DFL_REQUIRE(is.good(), "cannot open '" + path + "' for reading");
+  return is;
+}
+
+int cmd_generate(const std::string& profile, const std::string& path) {
+  const auto design = Design::build(parse_profile(profile),
+                                    DesignConfig::kSyn1);
+  auto os = open_out(path);
+  write_mnl(design->netlist(), os);
+  std::cout << "wrote " << design->netlist().num_gates() << " gates to "
+            << path << "\n";
+  return 0;
+}
+
+int cmd_verilog(const std::string& profile, const std::string& path) {
+  const auto design = Design::build(parse_profile(profile),
+                                    DesignConfig::kSyn1);
+  auto os = open_out(path);
+  write_verilog(design->netlist(), os);
+  std::cout << "wrote structural Verilog to " << path << "\n";
+  return 0;
+}
+
+int cmd_stats(const std::string& profile, const std::string& config) {
+  const auto design =
+      Design::build(parse_profile(profile), parse_config(config));
+  TablePrinter table({"metric", "value"});
+  table.add_row({"design", design->name()});
+  table.add_row({"logic gates",
+                 std::to_string(design->netlist().num_logic_gates())});
+  table.add_row({"fault sites (pins)",
+                 std::to_string(design->netlist().num_pins())});
+  table.add_row({"MIVs", std::to_string(design->mivs().num_mivs())});
+  const auto counts = design->tiers().tier_gate_counts(design->netlist());
+  table.add_row({"tier balance (bottom/top)", std::to_string(counts[0]) +
+                                                  " / " +
+                                                  std::to_string(counts[1])});
+  table.add_row({"scan chains",
+                 std::to_string(design->scan().num_chains())});
+  table.add_row({"compactor channels",
+                 std::to_string(design->compactor().num_channels())});
+  table.add_row({"TDF patterns",
+                 std::to_string(design->patterns().num_patterns)});
+  table.add_row({"TDF coverage (generation)",
+                 TablePrinter::pct(design->atpg().coverage())});
+  table.add_row({"graph nodes", std::to_string(design->graph().num_nodes())});
+  table.add_row({"graph edges", std::to_string(design->graph().num_edges())});
+  table.add_row({"Topnodes", std::to_string(design->graph().num_topnodes())});
+  table.print();
+  return 0;
+}
+
+int cmd_train(const std::string& profile, const std::string& path) {
+  const Profile p = parse_profile(profile);
+  const auto design = Design::build(p, DesignConfig::kSyn1);
+  std::cout << "generating training data (Syn-1 + 2 random partitions)...\n";
+  const LabeledDataset train =
+      build_transfer_training_set(p, *design, TransferTrainOptions{});
+  std::cout << "training on " << train.size() << " failure logs...\n";
+  DiagnosisFramework framework;
+  framework.train(train.graphs);
+  auto os = open_out(path);
+  framework.save(os);
+  std::cout << "saved trained framework (T_P = " << framework.tp_threshold()
+            << ") to " << path << "\n";
+  return 0;
+}
+
+int cmd_inject(const std::string& profile, const std::string& path) {
+  const auto design = Design::build(parse_profile(profile),
+                                    DesignConfig::kSyn1);
+  DataGenOptions gen;
+  gen.num_samples = 1;
+  gen.seed = 0xD1E;
+  const LabeledDataset one = build_dataset(*design, gen);
+  auto os = open_out(path);
+  write_failure_log(one.samples[0].log, os);
+  std::cout << "injected " << fault_to_string(design->netlist(),
+                                              one.samples[0].faults[0])
+            << " (tier " << one.samples[0].fault_tier << "); wrote "
+            << one.samples[0].log.num_failing_bits() << " failing bits to "
+            << path << "\n";
+  return 0;
+}
+
+int cmd_diagnose(const std::string& profile, const std::string& model_path,
+                 const std::string& log_path, const std::string& config) {
+  const auto design =
+      Design::build(parse_profile(profile), parse_config(config));
+  DiagnosisFramework framework;
+  {
+    auto is = open_in(model_path);
+    framework.load(is);
+  }
+  FailureLog log;
+  {
+    auto is = open_in(log_path);
+    log = read_failure_log(is);
+  }
+
+  const DesignContext ctx = design->context();
+  DiagnosisReport report = diagnose_atpg(ctx, log);
+  std::cout << "ATPG " << report_to_string(design->netlist(), report);
+
+  const Subgraph sg = subgraph_for_log(*design, log);
+  FrameworkPrediction prediction;
+  framework.diagnose(ctx, sg, report, &prediction);
+  std::cout << "\nGNN verdict: tier " << prediction.tier << " (confidence "
+            << prediction.confidence << ", "
+            << (prediction.high_confidence ? "high" : "low")
+            << "), MIVs flagged: " << prediction.faulty_mivs.size() << ", "
+            << (prediction.pruned ? "pruned" : "reordered") << "\n\n";
+  std::cout << "refined " << report_to_string(design->netlist(), report);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  m3dfl_tool generate <profile> <out.mnl>\n"
+               "  m3dfl_tool verilog  <profile> <out.v>\n"
+               "  m3dfl_tool stats    <profile> [config]\n"
+               "  m3dfl_tool train    <profile> <model.m3dfl>\n"
+               "  m3dfl_tool inject   <profile> <out.flog>\n"
+               "  m3dfl_tool diagnose <profile> <model.m3dfl> <die.flog> "
+               "[config]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "generate" && argc == 4) return cmd_generate(argv[2], argv[3]);
+    if (cmd == "verilog" && argc == 4) return cmd_verilog(argv[2], argv[3]);
+    if (cmd == "stats" && (argc == 3 || argc == 4)) {
+      return cmd_stats(argv[2], argc == 4 ? argv[3] : "syn1");
+    }
+    if (cmd == "train" && argc == 4) return cmd_train(argv[2], argv[3]);
+    if (cmd == "inject" && argc == 4) return cmd_inject(argv[2], argv[3]);
+    if (cmd == "diagnose" && (argc == 5 || argc == 6)) {
+      return cmd_diagnose(argv[2], argv[3], argv[4],
+                          argc == 6 ? argv[5] : "syn1");
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "m3dfl_tool: " << e.what() << "\n";
+    return 1;
+  }
+}
