@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_augmentation.dir/bench_ablation_augmentation.cc.o"
+  "CMakeFiles/bench_ablation_augmentation.dir/bench_ablation_augmentation.cc.o.d"
+  "bench_ablation_augmentation"
+  "bench_ablation_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

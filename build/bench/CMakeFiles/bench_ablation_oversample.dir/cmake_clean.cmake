@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_oversample.dir/bench_ablation_oversample.cc.o"
+  "CMakeFiles/bench_ablation_oversample.dir/bench_ablation_oversample.cc.o.d"
+  "bench_ablation_oversample"
+  "bench_ablation_oversample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_oversample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_pca_overlap.dir/bench_fig5_pca_overlap.cc.o"
+  "CMakeFiles/bench_fig5_pca_overlap.dir/bench_fig5_pca_overlap.cc.o.d"
+  "bench_fig5_pca_overlap"
+  "bench_fig5_pca_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_pca_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_transferability.dir/bench_fig6_transferability.cc.o"
+  "CMakeFiles/bench_fig6_transferability.dir/bench_fig6_transferability.cc.o.d"
+  "bench_fig6_transferability"
+  "bench_fig6_transferability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_transferability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_deployment_runtime.dir/bench_fig9_deployment_runtime.cc.o"
+  "CMakeFiles/bench_fig9_deployment_runtime.dir/bench_fig9_deployment_runtime.cc.o.d"
+  "bench_fig9_deployment_runtime"
+  "bench_fig9_deployment_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_deployment_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_multifault.dir/bench_table10_multifault.cc.o"
+  "CMakeFiles/bench_table10_multifault.dir/bench_table10_multifault.cc.o.d"
+  "bench_table10_multifault"
+  "bench_table10_multifault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_multifault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

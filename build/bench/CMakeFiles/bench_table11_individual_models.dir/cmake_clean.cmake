@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_individual_models.dir/bench_table11_individual_models.cc.o"
+  "CMakeFiles/bench_table11_individual_models.dir/bench_table11_individual_models.cc.o.d"
+  "bench_table11_individual_models"
+  "bench_table11_individual_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_individual_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_feature_significance.dir/bench_table2_feature_significance.cc.o"
+  "CMakeFiles/bench_table2_feature_significance.dir/bench_table2_feature_significance.cc.o.d"
+  "bench_table2_feature_significance"
+  "bench_table2_feature_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_feature_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

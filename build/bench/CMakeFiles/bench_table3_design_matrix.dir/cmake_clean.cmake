@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_design_matrix.dir/bench_table3_design_matrix.cc.o"
+  "CMakeFiles/bench_table3_design_matrix.dir/bench_table3_design_matrix.cc.o.d"
+  "bench_table3_design_matrix"
+  "bench_table3_design_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_design_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

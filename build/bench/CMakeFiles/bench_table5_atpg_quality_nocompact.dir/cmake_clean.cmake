@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_atpg_quality_nocompact.dir/bench_table5_atpg_quality_nocompact.cc.o"
+  "CMakeFiles/bench_table5_atpg_quality_nocompact.dir/bench_table5_atpg_quality_nocompact.cc.o.d"
+  "bench_table5_atpg_quality_nocompact"
+  "bench_table5_atpg_quality_nocompact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_atpg_quality_nocompact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_localization_nocompact.dir/bench_table6_localization_nocompact.cc.o"
+  "CMakeFiles/bench_table6_localization_nocompact.dir/bench_table6_localization_nocompact.cc.o.d"
+  "bench_table6_localization_nocompact"
+  "bench_table6_localization_nocompact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_localization_nocompact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

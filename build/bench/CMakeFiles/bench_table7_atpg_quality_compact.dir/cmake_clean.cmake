@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_atpg_quality_compact.dir/bench_table7_atpg_quality_compact.cc.o"
+  "CMakeFiles/bench_table7_atpg_quality_compact.dir/bench_table7_atpg_quality_compact.cc.o.d"
+  "bench_table7_atpg_quality_compact"
+  "bench_table7_atpg_quality_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_atpg_quality_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7_atpg_quality_compact.
+# This may be replaced when dependencies are built.

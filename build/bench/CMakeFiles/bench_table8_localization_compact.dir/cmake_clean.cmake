@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_localization_compact.dir/bench_table8_localization_compact.cc.o"
+  "CMakeFiles/bench_table8_localization_compact.dir/bench_table8_localization_compact.cc.o.d"
+  "bench_table8_localization_compact"
+  "bench_table8_localization_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_localization_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

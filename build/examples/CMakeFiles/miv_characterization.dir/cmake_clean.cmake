@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miv_characterization.dir/miv_characterization.cpp.o"
+  "CMakeFiles/miv_characterization.dir/miv_characterization.cpp.o.d"
+  "miv_characterization"
+  "miv_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miv_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_yield_learning.dir/tier_yield_learning.cpp.o"
+  "CMakeFiles/tier_yield_learning.dir/tier_yield_learning.cpp.o.d"
+  "tier_yield_learning"
+  "tier_yield_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_yield_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

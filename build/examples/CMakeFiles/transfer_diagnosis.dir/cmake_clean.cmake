@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_diagnosis.dir/transfer_diagnosis.cpp.o"
+  "CMakeFiles/transfer_diagnosis.dir/transfer_diagnosis.cpp.o.d"
+  "transfer_diagnosis"
+  "transfer_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

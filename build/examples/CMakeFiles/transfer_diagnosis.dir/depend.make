@@ -1,0 +1,2 @@
+# Empty dependencies file for transfer_diagnosis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/coverage.cc" "src/CMakeFiles/m3dfl.dir/atpg/coverage.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/atpg/coverage.cc.o.d"
+  "/root/repo/src/atpg/tdf_atpg.cc" "src/CMakeFiles/m3dfl.dir/atpg/tdf_atpg.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/atpg/tdf_atpg.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/m3dfl.dir/core/config.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/core/config.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/m3dfl.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/CMakeFiles/m3dfl.dir/core/framework.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/core/framework.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/m3dfl.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/dft/compactor.cc" "src/CMakeFiles/m3dfl.dir/dft/compactor.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/dft/compactor.cc.o.d"
+  "/root/repo/src/dft/scan.cc" "src/CMakeFiles/m3dfl.dir/dft/scan.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/dft/scan.cc.o.d"
+  "/root/repo/src/dft/test_points.cc" "src/CMakeFiles/m3dfl.dir/dft/test_points.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/dft/test_points.cc.o.d"
+  "/root/repo/src/diag/atpg_diagnosis.cc" "src/CMakeFiles/m3dfl.dir/diag/atpg_diagnosis.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/diag/atpg_diagnosis.cc.o.d"
+  "/root/repo/src/diag/datagen.cc" "src/CMakeFiles/m3dfl.dir/diag/datagen.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/diag/datagen.cc.o.d"
+  "/root/repo/src/diag/failure_log.cc" "src/CMakeFiles/m3dfl.dir/diag/failure_log.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/diag/failure_log.cc.o.d"
+  "/root/repo/src/diag/log_io.cc" "src/CMakeFiles/m3dfl.dir/diag/log_io.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/diag/log_io.cc.o.d"
+  "/root/repo/src/diag/metrics.cc" "src/CMakeFiles/m3dfl.dir/diag/metrics.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/diag/metrics.cc.o.d"
+  "/root/repo/src/diag/padre.cc" "src/CMakeFiles/m3dfl.dir/diag/padre.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/diag/padre.cc.o.d"
+  "/root/repo/src/diag/report.cc" "src/CMakeFiles/m3dfl.dir/diag/report.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/diag/report.cc.o.d"
+  "/root/repo/src/gnn/adam.cc" "src/CMakeFiles/m3dfl.dir/gnn/adam.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/gnn/adam.cc.o.d"
+  "/root/repo/src/gnn/csr.cc" "src/CMakeFiles/m3dfl.dir/gnn/csr.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/gnn/csr.cc.o.d"
+  "/root/repo/src/gnn/gcn.cc" "src/CMakeFiles/m3dfl.dir/gnn/gcn.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/gnn/gcn.cc.o.d"
+  "/root/repo/src/gnn/matrix.cc" "src/CMakeFiles/m3dfl.dir/gnn/matrix.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/gnn/matrix.cc.o.d"
+  "/root/repo/src/gnn/model.cc" "src/CMakeFiles/m3dfl.dir/gnn/model.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/gnn/model.cc.o.d"
+  "/root/repo/src/gnn/oversample.cc" "src/CMakeFiles/m3dfl.dir/gnn/oversample.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/gnn/oversample.cc.o.d"
+  "/root/repo/src/gnn/pca.cc" "src/CMakeFiles/m3dfl.dir/gnn/pca.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/gnn/pca.cc.o.d"
+  "/root/repo/src/gnn/pr_curve.cc" "src/CMakeFiles/m3dfl.dir/gnn/pr_curve.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/gnn/pr_curve.cc.o.d"
+  "/root/repo/src/gnn/serialize.cc" "src/CMakeFiles/m3dfl.dir/gnn/serialize.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/gnn/serialize.cc.o.d"
+  "/root/repo/src/gnn/trainer.cc" "src/CMakeFiles/m3dfl.dir/gnn/trainer.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/gnn/trainer.cc.o.d"
+  "/root/repo/src/graph/backtrace.cc" "src/CMakeFiles/m3dfl.dir/graph/backtrace.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/graph/backtrace.cc.o.d"
+  "/root/repo/src/graph/features.cc" "src/CMakeFiles/m3dfl.dir/graph/features.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/graph/features.cc.o.d"
+  "/root/repo/src/graph/hetero_graph.cc" "src/CMakeFiles/m3dfl.dir/graph/hetero_graph.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/graph/hetero_graph.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/CMakeFiles/m3dfl.dir/graph/subgraph.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/graph/subgraph.cc.o.d"
+  "/root/repo/src/m3d/miv.cc" "src/CMakeFiles/m3dfl.dir/m3d/miv.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/m3d/miv.cc.o.d"
+  "/root/repo/src/m3d/partition.cc" "src/CMakeFiles/m3dfl.dir/m3d/partition.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/m3d/partition.cc.o.d"
+  "/root/repo/src/netlist/cell.cc" "src/CMakeFiles/m3dfl.dir/netlist/cell.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/netlist/cell.cc.o.d"
+  "/root/repo/src/netlist/generator.cc" "src/CMakeFiles/m3dfl.dir/netlist/generator.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/netlist/generator.cc.o.d"
+  "/root/repo/src/netlist/netlist.cc" "src/CMakeFiles/m3dfl.dir/netlist/netlist.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/netlist/netlist.cc.o.d"
+  "/root/repo/src/netlist/verilog_io.cc" "src/CMakeFiles/m3dfl.dir/netlist/verilog_io.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/netlist/verilog_io.cc.o.d"
+  "/root/repo/src/sim/fault.cc" "src/CMakeFiles/m3dfl.dir/sim/fault.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/sim/fault.cc.o.d"
+  "/root/repo/src/sim/fault_sim.cc" "src/CMakeFiles/m3dfl.dir/sim/fault_sim.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/sim/fault_sim.cc.o.d"
+  "/root/repo/src/sim/logic.cc" "src/CMakeFiles/m3dfl.dir/sim/logic.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/sim/logic.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/m3dfl.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/m3dfl.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/m3dfl.dir/util/table.cc.o" "gcc" "src/CMakeFiles/m3dfl.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adam_test.dir/adam_test.cc.o"
+  "CMakeFiles/adam_test.dir/adam_test.cc.o.d"
+  "adam_test"
+  "adam_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

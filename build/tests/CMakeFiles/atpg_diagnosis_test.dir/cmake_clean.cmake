@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_diagnosis_test.dir/atpg_diagnosis_test.cc.o"
+  "CMakeFiles/atpg_diagnosis_test.dir/atpg_diagnosis_test.cc.o.d"
+  "atpg_diagnosis_test"
+  "atpg_diagnosis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_diagnosis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_test.dir/atpg_test.cc.o"
+  "CMakeFiles/atpg_test.dir/atpg_test.cc.o.d"
+  "atpg_test"
+  "atpg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtrace_test.dir/backtrace_test.cc.o"
+  "CMakeFiles/backtrace_test.dir/backtrace_test.cc.o.d"
+  "backtrace_test"
+  "backtrace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

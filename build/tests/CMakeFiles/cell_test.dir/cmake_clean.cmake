@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_test.dir/cell_test.cc.o"
+  "CMakeFiles/cell_test.dir/cell_test.cc.o.d"
+  "cell_test"
+  "cell_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compactor_test.dir/compactor_test.cc.o"
+  "CMakeFiles/compactor_test.dir/compactor_test.cc.o.d"
+  "compactor_test"
+  "compactor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_test.dir/config_test.cc.o"
+  "CMakeFiles/config_test.dir/config_test.cc.o.d"
+  "config_test"
+  "config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

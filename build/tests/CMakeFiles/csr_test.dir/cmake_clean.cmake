@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csr_test.dir/csr_test.cc.o"
+  "CMakeFiles/csr_test.dir/csr_test.cc.o.d"
+  "csr_test"
+  "csr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

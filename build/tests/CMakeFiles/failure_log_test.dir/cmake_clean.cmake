@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_log_test.dir/failure_log_test.cc.o"
+  "CMakeFiles/failure_log_test.dir/failure_log_test.cc.o.d"
+  "failure_log_test"
+  "failure_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_sim_test.dir/fault_sim_test.cc.o"
+  "CMakeFiles/fault_sim_test.dir/fault_sim_test.cc.o.d"
+  "fault_sim_test"
+  "fault_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

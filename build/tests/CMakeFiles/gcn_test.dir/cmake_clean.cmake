@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcn_test.dir/gcn_test.cc.o"
+  "CMakeFiles/gcn_test.dir/gcn_test.cc.o.d"
+  "gcn_test"
+  "gcn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_test.dir/generator_test.cc.o"
+  "CMakeFiles/generator_test.dir/generator_test.cc.o.d"
+  "generator_test"
+  "generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_graph_test.dir/hetero_graph_test.cc.o"
+  "CMakeFiles/hetero_graph_test.dir/hetero_graph_test.cc.o.d"
+  "hetero_graph_test"
+  "hetero_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_test.dir/logic_test.cc.o"
+  "CMakeFiles/logic_test.dir/logic_test.cc.o.d"
+  "logic_test"
+  "logic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miv_test.dir/miv_test.cc.o"
+  "CMakeFiles/miv_test.dir/miv_test.cc.o.d"
+  "miv_test"
+  "miv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

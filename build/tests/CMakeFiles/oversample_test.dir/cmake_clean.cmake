@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversample_test.dir/oversample_test.cc.o"
+  "CMakeFiles/oversample_test.dir/oversample_test.cc.o.d"
+  "oversample_test"
+  "oversample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

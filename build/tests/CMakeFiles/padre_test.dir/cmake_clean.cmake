@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padre_test.dir/padre_test.cc.o"
+  "CMakeFiles/padre_test.dir/padre_test.cc.o.d"
+  "padre_test"
+  "padre_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pr_curve_test.dir/pr_curve_test.cc.o"
+  "CMakeFiles/pr_curve_test.dir/pr_curve_test.cc.o.d"
+  "pr_curve_test"
+  "pr_curve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pr_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

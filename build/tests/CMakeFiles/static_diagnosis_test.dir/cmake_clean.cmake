@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_diagnosis_test.dir/static_diagnosis_test.cc.o"
+  "CMakeFiles/static_diagnosis_test.dir/static_diagnosis_test.cc.o.d"
+  "static_diagnosis_test"
+  "static_diagnosis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_diagnosis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_points_test.dir/test_points_test.cc.o"
+  "CMakeFiles/test_points_test.dir/test_points_test.cc.o.d"
+  "test_points_test"
+  "test_points_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_points_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_io_test.dir/verilog_io_test.cc.o"
+  "CMakeFiles/verilog_io_test.dir/verilog_io_test.cc.o.d"
+  "verilog_io_test"
+  "verilog_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

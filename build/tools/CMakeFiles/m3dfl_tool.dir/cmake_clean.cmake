@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3dfl_tool.dir/m3dfl_tool.cpp.o"
+  "CMakeFiles/m3dfl_tool.dir/m3dfl_tool.cpp.o.d"
+  "m3dfl_tool"
+  "m3dfl_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3dfl_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

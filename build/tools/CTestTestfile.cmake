@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_stats "/root/repo/build/tools/m3dfl_tool" "stats" "aes" "syn1")
+set_tests_properties(tool_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_generate "/root/repo/build/tools/m3dfl_tool" "generate" "aes" "/root/repo/build/tools/aes.mnl")
+set_tests_properties(tool_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_inject "/root/repo/build/tools/m3dfl_tool" "inject" "aes" "/root/repo/build/tools/die.flog")
+set_tests_properties(tool_inject PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_usage "/root/repo/build/tools/m3dfl_tool")
+set_tests_properties(tool_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_bad_profile "/root/repo/build/tools/m3dfl_tool" "stats" "nonsense")
+set_tests_properties(tool_bad_profile PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
