@@ -1,0 +1,146 @@
+// Serving-runtime throughput: logs/sec through serve::DiagnosisService at
+// 1/2/4/8 worker threads versus the pre-service serial baseline (the raw
+// one-log-at-a-time path of `m3dfl_tool diagnose`).
+//
+// The workload models production diagnosis traffic: a stream of failure
+// logs in which signatures repeat (retested dies and systematic defects
+// produce identical logs), here 3 submissions per unique log in shuffled
+// order.  The service wins on two axes — worker parallelism on multi-core
+// hosts, and the LRU cache that collapses repeated signatures to a single
+// back-trace + ATPG pass.  On a single-core host (CI containers) the cache
+// alone carries the >= 2x target; every added core multiplies further.
+#include <chrono>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "diag/atpg_diagnosis.h"
+#include "serve/service.h"
+#include "util/rng.h"
+
+using namespace m3dfl;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::int32_t kUniqueLogs = 24;
+constexpr std::int32_t kRepeatsPerLog = 3;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// The pre-service path: fresh back-trace, adjacency, ATPG diagnosis, and
+// inference per log; nothing shared, nothing cached.
+double run_serial_baseline(const Design& design,
+                           const DiagnosisFramework& framework,
+                           const std::vector<FailureLog>& requests) {
+  const DesignContext ctx = design.context();
+  const Clock::time_point t0 = Clock::now();
+  for (const FailureLog& log : requests) {
+    DiagnosisReport report = diagnose_atpg(ctx, log);
+    const Subgraph sg = subgraph_for_log(design, log);
+    framework.diagnose(ctx, sg, report);
+  }
+  return seconds_since(t0);
+}
+
+struct ServiceRun {
+  double seconds = 0.0;
+  double hit_rate = 0.0;
+  double mean_batch = 0.0;
+};
+
+ServiceRun run_service(const std::shared_ptr<const Design>& design,
+                       const DiagnosisFramework& framework,
+                       const std::vector<FailureLog>& requests,
+                       std::int32_t num_threads) {
+  serve::ServiceOptions options;
+  options.num_threads = num_threads;
+  // Each run gets its own framework instance (and cold cache) through the
+  // service's model-stream load path — the deployment scenario.
+  std::stringstream model;
+  framework.save(model);
+  serve::DiagnosisService service(model, options);
+  const std::int32_t design_id = service.register_design(design);
+
+  std::vector<std::future<serve::DiagnosisResult>> futures;
+  futures.reserve(requests.size());
+  const Clock::time_point t0 = Clock::now();
+  for (const FailureLog& log : requests) {
+    futures.push_back(service.submit(design_id, log));
+  }
+  for (auto& f : futures) f.get();
+  ServiceRun run;
+  run.seconds = seconds_since(t0);
+  run.hit_rate = service.metrics().cache_hit_rate();
+  run.mean_batch = service.metrics().mean_batch_size();
+  service.shutdown();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Serving throughput: concurrent DiagnosisService vs serial baseline");
+
+  std::shared_ptr<const Design> design =
+      Design::build(Profile::kAes, DesignConfig::kSyn1);
+
+  TransferTrainOptions train;
+  train.samples_syn1 = 60;
+  train.samples_per_random = 30;
+  const LabeledDataset data =
+      build_transfer_training_set(Profile::kAes, *design, train);
+  FrameworkOptions fw_options;
+  fw_options.training.epochs = 60;
+  DiagnosisFramework framework(fw_options);
+  framework.train(data.graphs);
+
+  // Workload: kUniqueLogs unique failure signatures, each submitted
+  // kRepeatsPerLog times, in a deterministic shuffled order.
+  DataGenOptions gen;
+  gen.num_samples = kUniqueLogs;
+  gen.miv_fault_prob = 0.2;
+  gen.seed = 0x5E12;
+  const std::vector<Sample> samples =
+      generate_samples(design->context(), gen);
+  std::vector<FailureLog> requests;
+  requests.reserve(samples.size() * kRepeatsPerLog);
+  for (std::int32_t r = 0; r < kRepeatsPerLog; ++r) {
+    for (const Sample& s : samples) requests.push_back(s.log);
+  }
+  Rng rng(0xB47C);
+  rng.shuffle(requests);
+  const double num_logs = static_cast<double>(requests.size());
+
+  std::cout << requests.size() << " requests (" << kUniqueLogs
+            << " unique signatures x " << kRepeatsPerLog << "), design "
+            << design->name() << "\n\n";
+
+  TablePrinter table({"mode", "wall (s)", "logs/sec", "speedup",
+                      "cache hit rate", "mean batch"});
+  const double serial_s = run_serial_baseline(*design, framework, requests);
+  table.add_row({"serial baseline", bench::fmt2(serial_s),
+                 bench::fmt2(num_logs / serial_s), "1.00", "-", "-"});
+  table.add_separator();
+  for (const std::int32_t threads : {1, 2, 4, 8}) {
+    const ServiceRun run = run_service(design, framework, requests, threads);
+    table.add_row({"service, " + std::to_string(threads) + " thread(s)",
+                   bench::fmt2(run.seconds),
+                   bench::fmt2(num_logs / run.seconds),
+                   bench::fmt2(serial_s / run.seconds), bench::pct(run.hit_rate),
+                   bench::fmt2(run.mean_batch)});
+  }
+  table.print();
+
+  std::cout << "\nRepeated failure signatures resolve from the LRU cache "
+               "(back-trace + ATPG base report amortized away); worker "
+               "threads scale the unique-signature work across cores.\n";
+  return 0;
+}

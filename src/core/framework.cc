@@ -122,13 +122,19 @@ void DiagnosisFramework::train(std::span<const Subgraph> graphs) {
 }
 
 FrameworkPrediction DiagnosisFramework::predict(const Subgraph& sg) const {
+  return predict(sg, subgraph_adjacency(sg));
+}
+
+FrameworkPrediction DiagnosisFramework::predict(
+    const Subgraph& sg, const NormalizedAdjacency& adj) const {
   M3DFL_REQUIRE(trained_, "framework must be trained before prediction");
   FrameworkPrediction p;
-  p.tier = tier_predictor_->predicted_tier(sg, &p.confidence);
+  p.tier = tier_predictor_->predicted_tier(sg, adj, &p.confidence);
   p.high_confidence = p.confidence >= tp_threshold_;
-  p.faulty_mivs = miv_pinpointer_->predict_faulty(sg, options_.miv_threshold);
+  p.faulty_mivs =
+      miv_pinpointer_->predict_faulty(sg, adj, options_.miv_threshold);
   if (p.high_confidence) {
-    p.prune_prob = classifier_->predict_prune_prob(sg);
+    p.prune_prob = classifier_->predict_prune_prob(sg, adj);
   }
   return p;
 }
@@ -189,6 +195,10 @@ void DiagnosisFramework::save(std::ostream& os) const {
   save_model(os, *tier_predictor_);
   save_model(os, *miv_pinpointer_);
   save_model(os, *classifier_);
+  // Trailer: lets load() distinguish a complete stream from one truncated
+  // inside the final parameter payload (a partial hex-float token would
+  // otherwise still parse).
+  os << "m3dfl-framework-end\n";
 }
 
 void DiagnosisFramework::load(std::istream& is) {
@@ -207,13 +217,24 @@ void DiagnosisFramework::load(std::istream& is) {
       std::make_unique<MivPinpointer>(load_miv_pinpointer(is));
   classifier_ = std::make_unique<PruneClassifier>(
       load_prune_classifier(is, *tier_predictor_));
+  is >> token;
+  M3DFL_REQUIRE(token == "m3dfl-framework-end",
+                "framework stream: truncated (missing end trailer)");
   trained_ = true;
 }
 
 std::vector<Candidate> DiagnosisFramework::diagnose(
     const DesignContext& design, const Subgraph& subgraph,
     DiagnosisReport& report, FrameworkPrediction* prediction_out) const {
-  FrameworkPrediction prediction = predict(subgraph);
+  return diagnose(design, subgraph, subgraph_adjacency(subgraph), report,
+                  prediction_out);
+}
+
+std::vector<Candidate> DiagnosisFramework::diagnose(
+    const DesignContext& design, const Subgraph& subgraph,
+    const NormalizedAdjacency& adjacency, DiagnosisReport& report,
+    FrameworkPrediction* prediction_out) const {
+  FrameworkPrediction prediction = predict(subgraph, adjacency);
   std::vector<Candidate> pruned = refine_report(design, prediction, report);
   prediction.pruned = !pruned.empty();
   if (prediction_out != nullptr) *prediction_out = prediction;

@@ -117,6 +117,10 @@ class DiagnosisFramework {
 
   // GNN predictions for one back-traced subgraph.
   FrameworkPrediction predict(const Subgraph& subgraph) const;
+  // Same, reusing a caller-provided normalized adjacency of `subgraph`
+  // (served inference caches adjacencies; results are identical).
+  FrameworkPrediction predict(const Subgraph& subgraph,
+                              const NormalizedAdjacency& adjacency) const;
 
   // The candidate pruning & reordering policy (paper Fig. 7/8): refines the
   // ATPG report in place using `prediction`; pruned candidates are returned
@@ -128,6 +132,12 @@ class DiagnosisFramework {
   // Convenience: predict + refine.
   std::vector<Candidate> diagnose(const DesignContext& design,
                                   const Subgraph& subgraph,
+                                  DiagnosisReport& report,
+                                  FrameworkPrediction* prediction_out =
+                                      nullptr) const;
+  std::vector<Candidate> diagnose(const DesignContext& design,
+                                  const Subgraph& subgraph,
+                                  const NormalizedAdjacency& adjacency,
                                   DiagnosisReport& report,
                                   FrameworkPrediction* prediction_out =
                                       nullptr) const;

@@ -128,7 +128,12 @@ TierPredictor::TierPredictor(const GcnModelConfig& config)
 
 std::array<double, 2> TierPredictor::predict(const Subgraph& sg) const {
   if (sg.empty()) return {0.5, 0.5};
-  const NormalizedAdjacency adj = subgraph_adjacency(sg);
+  return predict(sg, subgraph_adjacency(sg));
+}
+
+std::array<double, 2> TierPredictor::predict(
+    const Subgraph& sg, const NormalizedAdjacency& adj) const {
+  if (sg.empty()) return {0.5, 0.5};
   std::vector<GcnCache> caches;
   const Matrix h = encoder_.encode(adj, sg.features, caches);
   PoolCache pc;
@@ -142,6 +147,17 @@ std::array<double, 2> TierPredictor::predict(const Subgraph& sg) const {
 int TierPredictor::predicted_tier(const Subgraph& sg,
                                   double* confidence) const {
   const auto p = predict(sg);
+  const int tier = p[1] > p[0] ? 1 : 0;
+  if (confidence != nullptr) {
+    *confidence = std::max(p[0], p[1]);
+  }
+  return tier;
+}
+
+int TierPredictor::predicted_tier(const Subgraph& sg,
+                                  const NormalizedAdjacency& adj,
+                                  double* confidence) const {
+  const auto p = predict(sg, adj);
   const int tier = p[1] > p[0] ? 1 : 0;
   if (confidence != nullptr) {
     *confidence = std::max(p[0], p[1]);
@@ -190,9 +206,16 @@ MivPinpointer::MivPinpointer(const GcnModelConfig& config)
       }()) {}
 
 std::vector<double> MivPinpointer::predict(const Subgraph& sg) const {
+  if (sg.empty() || sg.miv_local.empty()) {
+    return std::vector<double>(sg.miv_local.size(), 0.0);
+  }
+  return predict(sg, subgraph_adjacency(sg));
+}
+
+std::vector<double> MivPinpointer::predict(
+    const Subgraph& sg, const NormalizedAdjacency& adj) const {
   std::vector<double> out(sg.miv_local.size(), 0.0);
   if (sg.empty() || sg.miv_local.empty()) return out;
-  const NormalizedAdjacency adj = subgraph_adjacency(sg);
   std::vector<GcnCache> caches;
   const Matrix h = encoder_.encode(adj, sg.features, caches);
   DenseCache dc;
@@ -206,6 +229,17 @@ std::vector<double> MivPinpointer::predict(const Subgraph& sg) const {
 std::vector<MivId> MivPinpointer::predict_faulty(const Subgraph& sg,
                                                  double threshold) const {
   const std::vector<double> probs = predict(sg);
+  std::vector<MivId> faulty;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    if (probs[i] >= threshold) faulty.push_back(sg.miv_ids[i]);
+  }
+  return faulty;
+}
+
+std::vector<MivId> MivPinpointer::predict_faulty(const Subgraph& sg,
+                                                 const NormalizedAdjacency& adj,
+                                                 double threshold) const {
+  const std::vector<double> probs = predict(sg, adj);
   std::vector<MivId> faulty;
   for (std::size_t i = 0; i < probs.size(); ++i) {
     if (probs[i] >= threshold) faulty.push_back(sg.miv_ids[i]);
@@ -279,7 +313,12 @@ PruneClassifier::PruneClassifier(const TierPredictor& pretrained,
 
 double PruneClassifier::predict_prune_prob(const Subgraph& sg) const {
   if (sg.empty()) return 0.5;
-  const NormalizedAdjacency adj = subgraph_adjacency(sg);
+  return predict_prune_prob(sg, subgraph_adjacency(sg));
+}
+
+double PruneClassifier::predict_prune_prob(
+    const Subgraph& sg, const NormalizedAdjacency& adj) const {
+  if (sg.empty()) return 0.5;
   std::vector<GcnCache> caches;
   const Matrix h = encoder_.encode(adj, sg.features, caches);
   PoolCache pc;

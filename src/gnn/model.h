@@ -69,8 +69,14 @@ class TierPredictor {
 
   // [P(bottom), P(top)]; uniform for empty subgraphs.
   std::array<double, 2> predict(const Subgraph& sg) const;
+  // Same, reusing a caller-provided normalized adjacency of `sg` (the
+  // serving layer caches adjacencies across the three models).
+  std::array<double, 2> predict(const Subgraph& sg,
+                                const NormalizedAdjacency& adj) const;
   // Predicted tier and its probability (the paper's confidence score).
   int predicted_tier(const Subgraph& sg, double* confidence = nullptr) const;
+  int predicted_tier(const Subgraph& sg, const NormalizedAdjacency& adj,
+                     double* confidence) const;
 
   // One forward/backward pass on a labeled subgraph (label: tier 0/1);
   // returns the cross-entropy loss.  Pass a prebuilt adjacency when looping
@@ -98,9 +104,14 @@ class MivPinpointer {
 
   // P(defective) for each MIV node of the subgraph (sg.miv_local order).
   std::vector<double> predict(const Subgraph& sg) const;
+  std::vector<double> predict(const Subgraph& sg,
+                              const NormalizedAdjacency& adj) const;
   // MIVs whose defect probability exceeds `threshold`.
   std::vector<MivId> predict_faulty(const Subgraph& sg,
                                     double threshold = 0.5) const;
+  std::vector<MivId> predict_faulty(const Subgraph& sg,
+                                    const NormalizedAdjacency& adj,
+                                    double threshold) const;
 
   // One pass over a subgraph with MIV labels; returns the mean CE loss over
   // MIV nodes (0 when the subgraph has none; no gradients accumulate then).
@@ -125,6 +136,8 @@ class PruneClassifier {
 
   // P(prune is safe), i.e. P(the tier prediction is a true positive).
   double predict_prune_prob(const Subgraph& sg) const;
+  double predict_prune_prob(const Subgraph& sg,
+                            const NormalizedAdjacency& adj) const;
 
   // label: 1 = prune (true positive), 0 = reorder (false positive).
   double train_step(const Subgraph& sg, const NormalizedAdjacency& adj,

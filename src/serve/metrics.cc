@@ -1,0 +1,126 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/table.h"
+
+namespace m3dfl::serve {
+namespace {
+
+constexpr double kNanosPerSecond = 1e9;
+
+// Bucket b holds latencies in (2^(b-1), 2^b] microseconds (bucket 0: <= 1us).
+std::int32_t bucket_for_nanos(std::int64_t nanos) {
+  const std::int64_t micros = std::max<std::int64_t>(1, nanos / 1000);
+  const std::int32_t b = std::bit_width(static_cast<std::uint64_t>(micros)) - 1;
+  return std::min(b, 31);
+}
+
+double bucket_upper_seconds(std::int32_t bucket) {
+  return std::ldexp(1e-6, bucket);  // 2^bucket microseconds
+}
+
+std::string fmt_seconds(double s) {
+  if (s <= 0.0) return "0";
+  if (s < 1e-3) return m3dfl::TablePrinter::fmt(s * 1e6, 1) + " us";
+  if (s < 1.0) return m3dfl::TablePrinter::fmt(s * 1e3, 2) + " ms";
+  return m3dfl::TablePrinter::fmt(s, 2) + " s";
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double seconds) {
+  const std::int64_t nanos =
+      seconds <= 0.0 ? 0
+                     : static_cast<std::int64_t>(seconds * kNanosPerSecond);
+  buckets_[static_cast<std::size_t>(bucket_for_nanos(nanos))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  std::int64_t prev = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > prev &&
+         !max_nanos_.compare_exchange_weak(prev, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::total_seconds() const {
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+         kNanosPerSecond;
+}
+
+double LatencyHistogram::mean_seconds() const {
+  const std::int64_t n = count();
+  return n == 0 ? 0.0 : total_seconds() / static_cast<double>(n);
+}
+
+double LatencyHistogram::max_seconds() const {
+  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) /
+         kNanosPerSecond;
+}
+
+double LatencyHistogram::quantile_seconds(double q) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0.0;
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n))));
+  std::int64_t seen = 0;
+  for (std::int32_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+    if (seen >= rank) return bucket_upper_seconds(b);
+  }
+  return max_seconds();
+}
+
+double Metrics::cache_hit_rate() const {
+  const std::int64_t hits = cache_hits.load(std::memory_order_relaxed);
+  const std::int64_t total =
+      hits + cache_misses.load(std::memory_order_relaxed);
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double Metrics::mean_batch_size() const {
+  const std::int64_t b = batches.load(std::memory_order_relaxed);
+  return b == 0 ? 0.0
+               : static_cast<double>(
+                     batched_requests.load(std::memory_order_relaxed)) /
+                     static_cast<double>(b);
+}
+
+std::string Metrics::report() const {
+  TablePrinter counters({"counter", "value"});
+  counters.add_row({"requests submitted",
+                    std::to_string(requests_submitted.load())});
+  counters.add_row({"requests completed",
+                    std::to_string(requests_completed.load())});
+  counters.add_row({"requests failed", std::to_string(requests_failed.load())});
+  counters.add_row({"batches", std::to_string(batches.load())});
+  counters.add_row({"mean batch size", TablePrinter::fmt(mean_batch_size(), 2)});
+  counters.add_row({"cache hits", std::to_string(cache_hits.load())});
+  counters.add_row({"cache misses", std::to_string(cache_misses.load())});
+  counters.add_row({"cache evictions", std::to_string(cache_evictions.load())});
+  counters.add_row({"cache coalesced", std::to_string(cache_coalesced.load())});
+  counters.add_row({"cache hit rate", TablePrinter::pct(cache_hit_rate())});
+
+  TablePrinter lat({"stage", "count", "mean", "p50", "p95", "max"});
+  const auto add = [&lat](const std::string& name,
+                          const LatencyHistogram& h) {
+    lat.add_row({name, std::to_string(h.count()), fmt_seconds(h.mean_seconds()),
+                 fmt_seconds(h.quantile_seconds(0.50)),
+                 fmt_seconds(h.quantile_seconds(0.95)),
+                 fmt_seconds(h.max_seconds())});
+  };
+  add("queue wait", queue_wait);
+  add("backtrace", backtrace);
+  add("atpg diagnosis", atpg);
+  add("gnn inference", inference);
+  add("end to end", end_to_end);
+
+  return counters.to_string() + "\n" + lat.to_string();
+}
+
+}  // namespace m3dfl::serve

@@ -1,0 +1,68 @@
+// Serving metrics: lock-free counters and latency histograms.
+//
+// Workers record into atomic counters and fixed power-of-two-bucket latency
+// histograms, so instrumentation never serializes the request path.  The
+// tracked stages mirror the deployment decomposition of paper Fig. 9: queue
+// wait, back-trace (graph work), ATPG base diagnosis, GNN inference +
+// report update, and end-to-end latency.  `Metrics::report()` renders
+// everything as an aligned text table (util/table.h).
+#ifndef M3DFL_SERVE_METRICS_H_
+#define M3DFL_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace m3dfl::serve {
+
+// Latency histogram over power-of-two microsecond buckets (1 us .. ~1 h).
+// record() is wait-free; readers see a consistent-enough snapshot for
+// reporting (exact once the workers are quiesced).
+class LatencyHistogram {
+ public:
+  void record(double seconds);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_seconds() const;
+  double mean_seconds() const;
+  double max_seconds() const;
+  // Upper bound of the bucket holding quantile `q` in (0, 1]; 0 when empty.
+  double quantile_seconds(double q) const;
+
+ private:
+  static constexpr std::int32_t kNumBuckets = 32;
+  std::array<std::atomic<std::int64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> total_nanos_{0};
+  std::atomic<std::int64_t> max_nanos_{0};
+};
+
+// One Metrics instance per DiagnosisService; shared by all its workers.
+struct Metrics {
+  std::atomic<std::int64_t> requests_submitted{0};
+  std::atomic<std::int64_t> requests_completed{0};
+  std::atomic<std::int64_t> requests_failed{0};
+  std::atomic<std::int64_t> batches{0};
+  std::atomic<std::int64_t> batched_requests{0};
+  std::atomic<std::int64_t> cache_hits{0};
+  std::atomic<std::int64_t> cache_misses{0};
+  std::atomic<std::int64_t> cache_evictions{0};
+  // Requests that missed the cache but waited for a concurrent worker
+  // already computing the same key (single-flight) instead of recomputing.
+  std::atomic<std::int64_t> cache_coalesced{0};
+
+  LatencyHistogram queue_wait;   // submit -> worker pickup
+  LatencyHistogram backtrace;    // back-trace + subgraph + adjacency
+  LatencyHistogram atpg;         // ATPG base diagnosis (cache misses only)
+  LatencyHistogram inference;    // three-model forward + report update
+  LatencyHistogram end_to_end;   // submit -> result ready
+
+  double cache_hit_rate() const;
+  double mean_batch_size() const;
+  std::string report() const;
+};
+
+}  // namespace m3dfl::serve
+
+#endif  // M3DFL_SERVE_METRICS_H_

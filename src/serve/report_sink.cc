@@ -1,0 +1,40 @@
+#include "serve/report_sink.h"
+
+#include <ostream>
+
+#include "util/error.h"
+
+namespace m3dfl::serve {
+
+void OrderedReportSink::deliver(std::uint64_t sequence, std::string text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  M3DFL_REQUIRE(sequence >= ordered_.size() &&
+                    pending_.find(sequence) == pending_.end(),
+                "duplicate report sequence delivered to sink");
+  ++delivered_;
+  pending_.emplace(sequence, std::move(text));
+  // Release the contiguous prefix.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == ordered_.size();
+       it = pending_.erase(it)) {
+    if (os_ != nullptr) *os_ << it->second;
+    ordered_.push_back(std::move(it->second));
+  }
+}
+
+std::vector<std::string> OrderedReportSink::take_ordered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ordered_;
+}
+
+std::uint64_t OrderedReportSink::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+std::uint64_t OrderedReportSink::flushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ordered_.size();
+}
+
+}  // namespace m3dfl::serve

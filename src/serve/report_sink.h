@@ -1,0 +1,48 @@
+// Orders concurrently produced per-request reports back into submission
+// order.
+//
+// Workers finish requests out of order; engineers read failure reports in
+// the order the dies were submitted.  The sink buffers out-of-order
+// deliveries and releases the contiguous prefix — streaming it to an
+// optional ostream as soon as it forms, and retaining it for take_ordered()
+// (the batch-driver and test path).  Sequences start at 0 and must be dense:
+// the service assigns them from its submission counter.
+#ifndef M3DFL_SERVE_REPORT_SINK_H_
+#define M3DFL_SERVE_REPORT_SINK_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace m3dfl::serve {
+
+class OrderedReportSink {
+ public:
+  // When `os` is non-null, each report is written to it (in sequence order)
+  // as soon as all earlier sequences have been delivered.
+  explicit OrderedReportSink(std::ostream* os = nullptr) : os_(os) {}
+
+  // Delivers the report for `sequence`; thread-safe, any order.
+  void deliver(std::uint64_t sequence, std::string text);
+
+  // Reports delivered so far, in sequence order, up to the first gap.
+  std::vector<std::string> take_ordered() const;
+
+  std::uint64_t delivered() const;
+  // Length of the contiguous released prefix.
+  std::uint64_t flushed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::ostream* const os_;
+  std::map<std::uint64_t, std::string> pending_;  // gap-delayed deliveries
+  std::vector<std::string> ordered_;              // contiguous prefix
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace m3dfl::serve
+
+#endif  // M3DFL_SERVE_REPORT_SINK_H_

@@ -1,0 +1,106 @@
+// Bounded MPMC request queue with per-key micro-batch draining.
+//
+// Producers block while the queue is full (natural backpressure: a flooded
+// service slows its callers instead of growing without bound).  Consumers
+// drain micro-batches: pop_batch() takes the oldest request plus up to
+// max_batch-1 younger requests sharing its key (the design id), so one
+// worker handles a run of same-design logs back to back — design lookup and
+// cache locality amortize while per-design FIFO order is preserved.
+//
+// close() wakes everyone: pending push() calls fail, consumers drain what is
+// left and then observe the closed state.
+#ifndef M3DFL_SERVE_REQUEST_QUEUE_H_
+#define M3DFL_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace m3dfl::serve {
+
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {
+    M3DFL_REQUIRE(capacity > 0, "request queue capacity must be positive");
+  }
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  // Blocks while full.  Returns false (dropping `item`) once closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Pops the front request plus up to max_batch-1 queued requests with the
+  // same key (per key_fn).  Blocks while empty; returns an empty vector only
+  // when the queue is closed and fully drained.
+  template <typename KeyFn>
+  std::vector<T> pop_batch(std::size_t max_batch, KeyFn key_fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    std::vector<T> batch;
+    if (items_.empty()) return batch;  // closed and drained
+    batch.push_back(std::move(items_.front()));
+    items_.pop_front();
+    const auto key = key_fn(batch.front());
+    for (auto it = items_.begin();
+         it != items_.end() && batch.size() < max_batch;) {
+      if (key_fn(*it) == key) {
+        batch.push_back(std::move(*it));
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    return batch;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace m3dfl::serve
+
+#endif  // M3DFL_SERVE_REQUEST_QUEUE_H_

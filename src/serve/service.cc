@@ -1,0 +1,264 @@
+#include "serve/service.h"
+
+#include <istream>
+#include <sstream>
+#include <utility>
+
+#include "core/pipeline.h"
+#include "diag/report.h"
+#include "graph/backtrace.h"
+
+namespace m3dfl::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+DiagnosisFramework load_framework(std::istream& is) {
+  DiagnosisFramework framework;
+  framework.load(is);
+  return framework;
+}
+
+}  // namespace
+
+DiagnosisService::DiagnosisService(DiagnosisFramework framework,
+                                   const ServiceOptions& options)
+    : options_(options),
+      framework_(std::move(framework)),
+      cache_(options.cache_capacity, &metrics_),
+      queue_(options.queue_capacity) {
+  M3DFL_REQUIRE(framework_.trained(),
+                "diagnosis service needs a trained framework");
+  M3DFL_REQUIRE(options_.num_threads > 0,
+                "diagnosis service needs at least one worker thread");
+  M3DFL_REQUIRE(options_.max_batch > 0, "max_batch must be positive");
+  start_workers();
+}
+
+DiagnosisService::DiagnosisService(std::istream& model_stream,
+                                   const ServiceOptions& options)
+    : DiagnosisService(load_framework(model_stream), options) {}
+
+DiagnosisService::~DiagnosisService() { shutdown(); }
+
+void DiagnosisService::start_workers() {
+  pool_.start(static_cast<std::size_t>(options_.num_threads),
+              [this](std::size_t) { worker_loop(); });
+}
+
+std::int32_t DiagnosisService::register_design(
+    std::shared_ptr<const Design> design) {
+  M3DFL_REQUIRE(design != nullptr, "cannot register a null design");
+  std::lock_guard<std::mutex> lock(designs_mu_);
+  designs_.push_back(std::move(design));
+  return static_cast<std::int32_t>(designs_.size()) - 1;
+}
+
+std::int32_t DiagnosisService::num_designs() const {
+  std::lock_guard<std::mutex> lock(designs_mu_);
+  return static_cast<std::int32_t>(designs_.size());
+}
+
+const Design& DiagnosisService::design(std::int32_t design_id) const {
+  return *design_ref(design_id);
+}
+
+std::shared_ptr<const Design> DiagnosisService::design_ref(
+    std::int32_t design_id) const {
+  std::lock_guard<std::mutex> lock(designs_mu_);
+  M3DFL_REQUIRE(design_id >= 0 &&
+                    design_id < static_cast<std::int32_t>(designs_.size()),
+                "unknown design id " + std::to_string(design_id));
+  return designs_[static_cast<std::size_t>(design_id)];
+}
+
+std::future<DiagnosisResult> DiagnosisService::submit(std::int32_t design_id,
+                                                      FailureLog log) {
+  design_ref(design_id);  // validate before enqueueing
+  Request request;
+  request.design_id = design_id;
+  request.log = std::move(log);
+  request.enqueued = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    M3DFL_REQUIRE(!shut_down_, "diagnosis service is shut down");
+    request.sequence = submitted_++;
+  }
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  std::future<DiagnosisResult> future = request.promise.get_future();
+  if (!queue_.push(std::move(request))) {
+    // Shutdown raced with this submit; account the request as finished so
+    // drain() cannot hang, then report the condition to the caller.
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      ++finished_;
+    }
+    drain_cv_.notify_all();
+    throw Error("m3dfl: diagnosis service is shut down");
+  }
+  return future;
+}
+
+DiagnosisResult DiagnosisService::diagnose(std::int32_t design_id,
+                                           FailureLog log) {
+  return submit(design_id, std::move(log)).get();
+}
+
+void DiagnosisService::drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [this] { return finished_ == submitted_; });
+}
+
+void DiagnosisService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    shut_down_ = true;
+  }
+  drain();
+  queue_.close();
+  pool_.join();
+}
+
+void DiagnosisService::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch = queue_.pop_batch(
+        options_.max_batch,
+        [](const Request& r) { return r.design_id; });
+    if (batch.empty()) return;  // queue closed and drained
+    metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+    metrics_.batched_requests.fetch_add(
+        static_cast<std::int64_t>(batch.size()), std::memory_order_relaxed);
+    for (Request& request : batch) {
+      process(request);
+    }
+    // Drain accounting once per micro-batch keeps the lock off the
+    // per-request path.
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      finished_ += batch.size();
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void DiagnosisService::process(Request& request) {
+  const Clock::time_point picked_up = Clock::now();
+  try {
+    const std::shared_ptr<const Design> design =
+        design_ref(request.design_id);
+    const DesignContext ctx = design->context();
+
+    DiagnosisResult result;
+    result.sequence = request.sequence;
+    result.design = design->name();
+    result.queue_seconds = std::chrono::duration<double>(
+                               picked_up - request.enqueued)
+                               .count();
+    metrics_.queue_wait.record(result.queue_seconds);
+
+    // Cached deterministic prefix: back-trace -> subgraph -> features ->
+    // normalized adjacency -> ATPG base report.
+    const std::string key =
+        DiagnosisCache::make_key(request.design_id, request.log);
+    std::shared_ptr<const CachedDiagnosis> entry = cache_.lookup(key);
+    result.cache_hit = entry != nullptr;
+    if (entry == nullptr) {
+      // Single-flight: either become the leader for this key or wait on a
+      // worker that is already computing it.
+      std::promise<std::shared_ptr<const CachedDiagnosis>> flight;
+      std::shared_future<std::shared_ptr<const CachedDiagnosis>> follow;
+      bool leader = false;
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        const auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+          follow = it->second;
+        } else {
+          // A leader may have finished (insert + inflight erase) between the
+          // counted lookup above and this lock; re-check without accounting.
+          entry = cache_.peek(key);
+          if (entry == nullptr) {
+            leader = true;
+            inflight_.emplace(key, flight.get_future().share());
+          }
+        }
+      }
+      if (leader) {
+        try {
+          auto fresh = std::make_shared<CachedDiagnosis>();
+          const Clock::time_point t_bt = Clock::now();
+          const std::vector<NodeId> nodes =
+              backtrace_candidates(design->graph(), ctx, request.log);
+          fresh->subgraph = extract_subgraph(design->graph(), nodes);
+          fresh->adjacency = subgraph_adjacency(fresh->subgraph);
+          result.backtrace_seconds = seconds_since(t_bt);
+          metrics_.backtrace.record(result.backtrace_seconds);
+
+          const Clock::time_point t_atpg = Clock::now();
+          fresh->base_report =
+              diagnose_atpg(ctx, request.log, options_.diagnosis);
+          result.atpg_seconds = seconds_since(t_atpg);
+          metrics_.atpg.record(result.atpg_seconds);
+
+          entry = fresh;
+          cache_.insert(key, entry);
+          flight.set_value(entry);
+        } catch (...) {
+          flight.set_exception(std::current_exception());
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          inflight_.erase(key);
+          throw;
+        }
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.erase(key);
+      } else if (follow.valid()) {
+        // Coalesced: the leader's exception (if any) rethrows here, which is
+        // deterministic — the recomputation would fail identically.
+        metrics_.cache_coalesced.fetch_add(1, std::memory_order_relaxed);
+        entry = follow.get();
+        result.cache_hit = true;
+      } else {
+        result.cache_hit = true;  // entry landed during the re-check
+      }
+    }
+
+    // Per-request scratch only from here on: the report is a copy of the
+    // cached base report, the models are shared read-only.
+    const Clock::time_point t_inf = Clock::now();
+    result.report = entry->base_report;
+    result.pruned = framework_.diagnose(ctx, entry->subgraph, entry->adjacency,
+                                        result.report, &result.prediction);
+    result.inference_seconds = seconds_since(t_inf);
+    metrics_.inference.record(result.inference_seconds);
+
+    result.total_seconds = std::chrono::duration<double>(
+                               Clock::now() - request.enqueued)
+                               .count();
+    metrics_.end_to_end.record(result.total_seconds);
+    metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+    request.promise.set_value(std::move(result));
+  } catch (...) {
+    metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+    request.promise.set_exception(std::current_exception());
+  }
+}
+
+std::string result_to_string(const Netlist& netlist,
+                             const DiagnosisResult& result) {
+  std::ostringstream os;
+  os << "design " << result.design << "\n";
+  os << "GNN verdict: tier " << result.prediction.tier << " (confidence "
+     << result.prediction.confidence << ", "
+     << (result.prediction.high_confidence ? "high" : "low")
+     << "), MIVs flagged: " << result.prediction.faulty_mivs.size() << ", "
+     << (result.prediction.pruned ? "pruned" : "reordered") << "\n";
+  os << report_to_string(netlist, result.report);
+  return os.str();
+}
+
+}  // namespace m3dfl::serve

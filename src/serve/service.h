@@ -1,0 +1,161 @@
+// Concurrent diagnosis serving runtime (paper Sec. V-G / Fig. 9).
+//
+// The pretrained DiagnosisFramework is the reusable asset of the paper's
+// deployment story: diagnosing a new failing die costs only back-trace +
+// inference, never retraining.  DiagnosisService turns that observation into
+// a long-lived engine: it loads a serialized framework once, registers any
+// number of prepared designs, and answers diagnose(failure_log) requests
+// end-to-end —
+//
+//   submit -> bounded MPMC queue -> micro-batcher -> worker pool
+//          -> [LRU cache: back-trace -> subgraph -> features -> normalized
+//              adjacency -> ATPG base report]
+//          -> three-model GNN inference -> pruning & reordering -> result
+//
+// Concurrency model: the framework and the registered designs are shared
+// read-only; every request uses only per-request scratch state, so
+// concurrent results are bitwise identical to the single-threaded path
+// (tests/serve_test.cc asserts this).  The cache memoizes the deterministic
+// per-log prefix, so repeated failure signatures (retests, systematic
+// defects) cost only inference.  Concurrent requests for the same signature
+// are coalesced (single-flight): one worker computes, the rest wait on its
+// result, so a retest storm never multiplies back-trace/ATPG work across
+// the pool.
+#ifndef M3DFL_SERVE_SERVICE_H_
+#define M3DFL_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/framework.h"
+#include "serve/cache.h"
+#include "serve/metrics.h"
+#include "serve/request_queue.h"
+#include "serve/thread_pool.h"
+
+namespace m3dfl::serve {
+
+struct ServiceOptions {
+  std::int32_t num_threads = 4;
+  std::size_t queue_capacity = 256;
+  // Micro-batch bound: a worker drains up to this many queued same-design
+  // requests at once (design lookup and cache locality amortize).
+  std::size_t max_batch = 8;
+  // LRU entries across all designs; 0 disables caching.
+  std::size_t cache_capacity = 128;
+  // Options for the ATPG base diagnosis the GNN verdict refines.
+  DiagnosisOptions diagnosis;
+};
+
+// Everything the service produces for one failure log.
+struct DiagnosisResult {
+  std::uint64_t sequence = 0;        // submission order, from 0
+  std::string design;                // registered design name
+  FrameworkPrediction prediction;
+  DiagnosisReport report;            // refined (pruned/reordered) report
+  std::vector<Candidate> pruned;     // for the backup dictionary
+  bool cache_hit = false;
+  // Per-request stage timings (seconds); informational, not deterministic.
+  double queue_seconds = 0.0;
+  double backtrace_seconds = 0.0;
+  double atpg_seconds = 0.0;
+  double inference_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+class DiagnosisService {
+ public:
+  // Takes ownership of an already trained framework.
+  explicit DiagnosisService(DiagnosisFramework framework,
+                            const ServiceOptions& options = {});
+  // Loads the framework from a serialized model stream (the asset written
+  // by DiagnosisFramework::save / `m3dfl_tool train`).  Throws m3dfl::Error
+  // on a malformed stream.
+  explicit DiagnosisService(std::istream& model_stream,
+                            const ServiceOptions& options = {});
+  ~DiagnosisService();
+
+  DiagnosisService(const DiagnosisService&) = delete;
+  DiagnosisService& operator=(const DiagnosisService&) = delete;
+
+  // Registers a design for serving; returns its design id.  The service
+  // shares ownership, so the caller may drop its reference.
+  std::int32_t register_design(std::shared_ptr<const Design> design);
+  std::int32_t num_designs() const;
+  const Design& design(std::int32_t design_id) const;
+
+  // Enqueues one failure log; the future resolves when a worker finishes.
+  // Blocks while the queue is full; throws m3dfl::Error after shutdown().
+  std::future<DiagnosisResult> submit(std::int32_t design_id, FailureLog log);
+
+  // Convenience: submit + wait.
+  DiagnosisResult diagnose(std::int32_t design_id, FailureLog log);
+
+  // Blocks until every submitted request has completed or failed.
+  void drain();
+  // Drains, closes the queue, and joins the workers; idempotent.  Further
+  // submit() calls throw.
+  void shutdown();
+
+  const Metrics& metrics() const { return metrics_; }
+  const DiagnosisCache& cache() const { return cache_; }
+  const DiagnosisFramework& framework() const { return framework_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    std::uint64_t sequence = 0;
+    std::int32_t design_id = 0;
+    FailureLog log;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<DiagnosisResult> promise;
+  };
+
+  void start_workers();
+  void worker_loop();
+  void process(Request& request);
+  std::shared_ptr<const Design> design_ref(std::int32_t design_id) const;
+
+  const ServiceOptions options_;
+  DiagnosisFramework framework_;
+  Metrics metrics_;
+  DiagnosisCache cache_;
+  RequestQueue<Request> queue_;
+  WorkerPool pool_;
+
+  mutable std::mutex designs_mu_;
+  std::vector<std::shared_ptr<const Design>> designs_;
+
+  // Single-flight: keys a worker is currently computing.  A concurrent miss
+  // on the same key waits on the leader's future instead of recomputing.
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const CachedDiagnosis>>>
+      inflight_;
+
+  // drain() bookkeeping: submitted vs finished (completed or failed).
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t finished_ = 0;
+  bool shut_down_ = false;
+};
+
+// Renders a result the way `m3dfl_tool diagnose` prints one: the GNN
+// verdict line plus the refined candidate report.  Deterministic (timings
+// and cache state are excluded), so byte-comparing rendered results is how
+// the tests pin concurrent == serial behaviour.
+std::string result_to_string(const Netlist& netlist,
+                             const DiagnosisResult& result);
+
+}  // namespace m3dfl::serve
+
+#endif  // M3DFL_SERVE_SERVICE_H_

@@ -1,0 +1,24 @@
+#include "serve/thread_pool.h"
+
+#include "util/error.h"
+
+namespace m3dfl::serve {
+
+void WorkerPool::start(std::size_t num_threads,
+                       const std::function<void(std::size_t)>& body) {
+  M3DFL_REQUIRE(threads_.empty(), "worker pool already started");
+  M3DFL_REQUIRE(num_threads > 0, "worker pool needs at least one thread");
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([body, i] { body(i); });
+  }
+}
+
+void WorkerPool::join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace m3dfl::serve

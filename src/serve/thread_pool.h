@@ -1,0 +1,41 @@
+// Fixed-size worker pool.
+//
+// Deliberately minimal: the pool owns the threads, the service owns the work
+// loop (each thread runs the same body until the request queue closes).
+// Join is idempotent and runs from the destructor, so a service that throws
+// during setup still tears down its threads.
+#ifndef M3DFL_SERVE_THREAD_POOL_H_
+#define M3DFL_SERVE_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace m3dfl::serve {
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool() { join(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Spawns `num_threads` threads, each running body(thread_index).  The body
+  // must return once the service's queue is closed and drained.
+  void start(std::size_t num_threads,
+             const std::function<void(std::size_t)>& body);
+
+  // Waits for every worker to finish; safe to call repeatedly.
+  void join();
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace m3dfl::serve
+
+#endif  // M3DFL_SERVE_THREAD_POOL_H_

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "diag/atpg_diagnosis.h"
+#include "serve/cache.h"
+#include "serve/report_sink.h"
+#include "serve/request_queue.h"
+#include "serve/service.h"
+
+namespace m3dfl {
+namespace {
+
+// One shared design + trained framework + request set for the whole file
+// (expensive to build, read-only afterwards).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = std::shared_ptr<const Design>(
+        Design::build(Profile::kAes, DesignConfig::kSyn1));
+    TransferTrainOptions train;
+    train.samples_syn1 = 40;
+    train.samples_per_random = 20;
+    const LabeledDataset data =
+        build_transfer_training_set(Profile::kAes, *design_, train);
+    FrameworkOptions options;
+    options.training.epochs = 40;
+    framework_ = new DiagnosisFramework(options);
+    framework_->train(data.graphs);
+
+    DataGenOptions gen;
+    gen.num_samples = 8;
+    gen.miv_fault_prob = 0.25;
+    gen.seed = 0xFEED;
+    logs_ = new std::vector<FailureLog>();
+    for (const Sample& s : generate_samples(design_->context(), gen)) {
+      logs_->push_back(s.log);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete logs_;
+    delete framework_;
+    logs_ = nullptr;
+    framework_ = nullptr;
+    design_.reset();
+  }
+
+  // A fresh service around a serialization round-tripped framework copy.
+  static serve::DiagnosisService make_service(
+      const serve::ServiceOptions& options) {
+    std::stringstream model;
+    framework_->save(model);
+    return serve::DiagnosisService(model, options);
+  }
+
+  // The request stream used by the determinism/cache tests: every log
+  // twice, interleaved.
+  static std::vector<FailureLog> request_stream() {
+    std::vector<FailureLog> requests;
+    for (int rep = 0; rep < 2; ++rep) {
+      for (const FailureLog& log : *logs_) requests.push_back(log);
+    }
+    return requests;
+  }
+
+  static std::shared_ptr<const Design> design_;
+  static DiagnosisFramework* framework_;
+  static std::vector<FailureLog>* logs_;
+};
+
+std::shared_ptr<const Design> ServeTest::design_;
+DiagnosisFramework* ServeTest::framework_ = nullptr;
+std::vector<FailureLog>* ServeTest::logs_ = nullptr;
+
+// ---- component tests --------------------------------------------------------
+
+TEST(RequestQueueTest, BatchesGroupByKeyAndPreserveFifoPerKey) {
+  struct Item {
+    int key;
+    int seq;
+  };
+  serve::RequestQueue<Item> queue(16);
+  queue.push({1, 0});
+  queue.push({2, 1});
+  queue.push({1, 2});
+  queue.push({1, 3});
+  const auto batch =
+      queue.pop_batch(8, [](const Item& item) { return item.key; });
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].seq, 0);
+  EXPECT_EQ(batch[1].seq, 2);
+  EXPECT_EQ(batch[2].seq, 3);
+  EXPECT_EQ(queue.size(), 1u);  // key 2 still queued
+
+  queue.close();
+  const auto rest =
+      queue.pop_batch(8, [](const Item& item) { return item.key; });
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].seq, 1);
+  EXPECT_TRUE(
+      queue.pop_batch(8, [](const Item& item) { return item.key; }).empty());
+  EXPECT_FALSE(queue.push({3, 4}));  // closed
+}
+
+TEST(RequestQueueTest, BatchBoundIsRespected) {
+  serve::RequestQueue<int> queue(16);
+  for (int i = 0; i < 6; ++i) queue.push(i);
+  const auto batch = queue.pop_batch(4, [](int) { return 0; });
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(OrderedReportSinkTest, ReleasesContiguousPrefixInOrder) {
+  std::ostringstream os;
+  serve::OrderedReportSink sink(&os);
+  sink.deliver(2, "c");
+  sink.deliver(0, "a");
+  EXPECT_EQ(os.str(), "a");  // 1 missing: 2 held back
+  EXPECT_EQ(sink.flushed(), 1u);
+  sink.deliver(1, "b");
+  EXPECT_EQ(os.str(), "abc");
+  EXPECT_EQ(sink.delivered(), 3u);
+  const auto ordered = sink.take_ordered();
+  ASSERT_EQ(ordered.size(), 3u);
+  EXPECT_EQ(ordered[1], "b");
+}
+
+TEST(DiagnosisCacheTest, LruEvictionAndCounters) {
+  serve::DiagnosisCache cache(2);
+  const auto entry = std::make_shared<serve::CachedDiagnosis>();
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  cache.insert("a", entry);
+  cache.insert("b", entry);
+  EXPECT_NE(cache.lookup("a"), nullptr);  // refreshes a
+  cache.insert("c", entry);               // evicts b (LRU)
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(DiagnosisCacheTest, KeyIsExactOverDesignAndLog) {
+  FailureLog log;
+  log.po_fails.push_back(Observation{});
+  FailureLog other = log;
+  other.po_fails[0].pattern = 7;
+  EXPECT_NE(serve::DiagnosisCache::make_key(0, log),
+            serve::DiagnosisCache::make_key(1, log));
+  EXPECT_NE(serve::DiagnosisCache::make_key(0, log),
+            serve::DiagnosisCache::make_key(0, other));
+}
+
+// ---- service tests ----------------------------------------------------------
+
+TEST_F(ServeTest, SmokeEndToEnd) {
+  serve::ServiceOptions options;
+  options.num_threads = 2;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+  EXPECT_EQ(service.num_designs(), 1);
+
+  const serve::DiagnosisResult result =
+      service.diagnose(design_id, logs_->front());
+  EXPECT_EQ(result.design, design_->name());
+  EXPECT_TRUE(result.prediction.tier == 0 || result.prediction.tier == 1);
+  EXPECT_GE(result.prediction.confidence, 0.5);
+  EXPECT_GT(result.report.resolution(), 0);
+  EXPECT_FALSE(result.cache_hit);
+  EXPECT_GE(result.total_seconds, 0.0);
+
+  service.shutdown();
+  EXPECT_EQ(service.metrics().requests_completed.load(), 1);
+  EXPECT_EQ(service.metrics().requests_failed.load(), 0);
+  EXPECT_EQ(service.metrics().end_to_end.count(), 1);
+  EXPECT_THROW(service.submit(design_id, logs_->front()), Error);
+  const std::string report = service.metrics().report();
+  EXPECT_NE(report.find("cache hit rate"), std::string::npos);
+  EXPECT_NE(report.find("end to end"), std::string::npos);
+}
+
+TEST_F(ServeTest, RejectsUnknownDesignAndNullDesign) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  serve::DiagnosisService service = make_service(options);
+  EXPECT_THROW(service.submit(0, logs_->front()), Error);
+  EXPECT_THROW(service.register_design(nullptr), Error);
+}
+
+TEST_F(ServeTest, RequiresTrainedFramework) {
+  EXPECT_THROW(serve::DiagnosisService{DiagnosisFramework()}, Error);
+}
+
+// The tentpole guarantee: 8-thread concurrent diagnosis produces
+// byte-identical reports to the single-threaded path, which in turn matches
+// the raw serial (pre-service) path.
+TEST_F(ServeTest, ConcurrentMatchesSerialByteForByte) {
+  const std::vector<FailureLog> requests = request_stream();
+
+  // Raw serial path, no service, no cache.
+  const DesignContext ctx = design_->context();
+  std::vector<std::string> serial_texts;
+  for (const FailureLog& log : requests) {
+    serve::DiagnosisResult r;
+    r.design = design_->name();
+    r.report = diagnose_atpg(ctx, log);
+    const Subgraph sg = subgraph_for_log(*design_, log);
+    r.pruned = framework_->diagnose(ctx, sg, r.report, &r.prediction);
+    serial_texts.push_back(
+        serve::result_to_string(design_->netlist(), r));
+  }
+
+  const auto run = [&](std::int32_t threads) {
+    serve::ServiceOptions options;
+    options.num_threads = threads;
+    serve::DiagnosisService service = make_service(options);
+    const std::int32_t design_id = service.register_design(design_);
+    std::vector<std::future<serve::DiagnosisResult>> futures;
+    for (const FailureLog& log : requests) {
+      futures.push_back(service.submit(design_id, log));
+    }
+    serve::OrderedReportSink sink;
+    for (auto& f : futures) {
+      const serve::DiagnosisResult r = f.get();
+      sink.deliver(r.sequence,
+                   serve::result_to_string(design_->netlist(), r));
+    }
+    service.shutdown();
+    return sink.take_ordered();
+  };
+
+  const std::vector<std::string> one_thread = run(1);
+  const std::vector<std::string> eight_threads = run(8);
+  ASSERT_EQ(one_thread.size(), requests.size());
+  ASSERT_EQ(eight_threads.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(one_thread[i], serial_texts[i]) << "request " << i;
+    EXPECT_EQ(eight_threads[i], serial_texts[i]) << "request " << i;
+  }
+}
+
+TEST_F(ServeTest, CacheCountersMatchRepeatedTraffic) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;  // single worker: deterministic hit/miss split
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  const std::vector<FailureLog> requests = request_stream();
+  std::vector<std::future<serve::DiagnosisResult>> futures;
+  for (const FailureLog& log : requests) {
+    futures.push_back(service.submit(design_id, log));
+  }
+  std::int32_t hits = 0;
+  for (auto& f : futures) hits += f.get().cache_hit ? 1 : 0;
+  service.drain();
+
+  // Every unique log misses once and hits on its repeat.
+  const auto unique = static_cast<std::int64_t>(logs_->size());
+  EXPECT_EQ(service.cache().misses(), unique);
+  EXPECT_EQ(service.cache().hits(), unique);
+  EXPECT_EQ(hits, static_cast<std::int32_t>(unique));
+  EXPECT_EQ(service.metrics().cache_hits.load(), unique);
+  EXPECT_EQ(service.metrics().cache_misses.load(), unique);
+  EXPECT_DOUBLE_EQ(service.metrics().cache_hit_rate(), 0.5);
+  EXPECT_EQ(service.cache().size(), static_cast<std::size_t>(unique));
+  service.shutdown();
+}
+
+TEST_F(ServeTest, CacheCapacityZeroDisablesCaching) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 0;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+  const serve::DiagnosisResult first =
+      service.diagnose(design_id, logs_->front());
+  const serve::DiagnosisResult second =
+      service.diagnose(design_id, logs_->front());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(service.cache().hits(), 0);
+  service.shutdown();
+}
+
+// ---- serialize robustness through the service load path --------------------
+
+TEST_F(ServeTest, FrameworkRoundTripsThroughServiceLoadPath) {
+  std::stringstream model;
+  framework_->save(model);
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  serve::DiagnosisService service(model, options);
+  EXPECT_EQ(service.framework().tp_threshold(), framework_->tp_threshold());
+  const std::int32_t design_id = service.register_design(design_);
+
+  // Loaded framework behaves identically to the in-memory original.
+  const DesignContext ctx = design_->context();
+  for (const FailureLog& log : *logs_) {
+    serve::DiagnosisResult expected;
+    expected.design = design_->name();
+    expected.report = diagnose_atpg(ctx, log);
+    const Subgraph sg = subgraph_for_log(*design_, log);
+    expected.pruned =
+        framework_->diagnose(ctx, sg, expected.report, &expected.prediction);
+    const serve::DiagnosisResult got = service.diagnose(design_id, log);
+    EXPECT_EQ(serve::result_to_string(design_->netlist(), got),
+              serve::result_to_string(design_->netlist(), expected));
+  }
+  service.shutdown();
+}
+
+TEST_F(ServeTest, TruncatedModelStreamThrowsError) {
+  std::stringstream model;
+  framework_->save(model);
+  const std::string full = model.str();
+  // Truncation at several depths: inside the header, inside a model tag,
+  // inside a parameter payload.
+  for (const std::size_t keep :
+       {std::size_t{5}, full.size() / 4, full.size() / 2, full.size() - 9}) {
+    std::stringstream truncated(full.substr(0, keep));
+    EXPECT_THROW(serve::DiagnosisService service(truncated), Error)
+        << "kept " << keep << " of " << full.size() << " bytes";
+  }
+}
+
+TEST_F(ServeTest, CorruptedModelTagThrowsError) {
+  std::stringstream model;
+  framework_->save(model);
+  std::string text = model.str();
+
+  // Corrupt the framework magic.
+  std::string bad_magic = text;
+  bad_magic.replace(0, 5, "bogus");
+  std::stringstream bad_magic_is(bad_magic);
+  EXPECT_THROW(serve::DiagnosisService service(bad_magic_is), Error);
+
+  // Corrupt an inner model tag.
+  const std::size_t tag = text.find("tier-predictor");
+  ASSERT_NE(tag, std::string::npos);
+  text.replace(tag, 4, "XXXX");
+  std::stringstream bad_tag_is(text);
+  EXPECT_THROW(serve::DiagnosisService service(bad_tag_is), Error);
+}
+
+}  // namespace
+}  // namespace m3dfl

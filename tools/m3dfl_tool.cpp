@@ -7,15 +7,25 @@
 //   m3dfl_tool diagnose  <profile> <model.m3dfl> <die.flog> [config]
 //                                                   diagnose one failure log
 //   m3dfl_tool inject    <profile> <out.flog>       make a demo failure log
+//   m3dfl_tool serve     <profile> <model.m3dfl> <logs> [config] [threads]
+//                                                   batch-diagnose a directory
+//                                                   (or manifest) of logs
+//                                                   through the concurrent
+//                                                   serving runtime
 //
 // Profiles: aes | tate | netcard | leon3mp.  Configs: syn1|tpi|syn2|par.
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/experiment.h"
 #include "diag/log_io.h"
 #include "netlist/verilog_io.h"
+#include "serve/service.h"
 #include "util/table.h"
 
 using namespace m3dfl;
@@ -163,6 +173,72 @@ int cmd_diagnose(const std::string& profile, const std::string& model_path,
   return 0;
 }
 
+// Failure-log inputs for `serve`: a directory (all *.flog files, sorted) or
+// a manifest text file with one log path per line ('#' comments allowed).
+std::vector<std::filesystem::path> collect_log_paths(const std::string& arg) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> paths;
+  if (fs::is_directory(arg)) {
+    for (const auto& entry : fs::directory_iterator(arg)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".flog") {
+        paths.push_back(entry.path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+  } else {
+    auto is = open_in(arg);
+    const fs::path base = fs::path(arg).parent_path();
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      fs::path p(line);
+      paths.push_back(p.is_absolute() ? p : base / p);
+    }
+  }
+  M3DFL_REQUIRE(!paths.empty(),
+                "no failure logs found in '" + arg +
+                    "' (directory of *.flog files or manifest)");
+  return paths;
+}
+
+int cmd_serve(const std::string& profile, const std::string& model_path,
+              const std::string& logs_arg, const std::string& config,
+              const std::string& threads_str) {
+  serve::ServiceOptions options;
+  try {
+    options.num_threads = std::stoi(threads_str);
+  } catch (const std::exception&) {
+    throw Error("m3dfl: invalid thread count '" + threads_str + "'");
+  }
+
+  std::shared_ptr<const Design> design =
+      Design::build(parse_profile(profile), parse_config(config));
+  auto model_is = open_in(model_path);
+  serve::DiagnosisService service(model_is, options);
+  const std::int32_t design_id = service.register_design(design);
+
+  const auto paths = collect_log_paths(logs_arg);
+  std::cerr << "serving " << paths.size() << " failure logs on "
+            << design->name() << " with " << options.num_threads
+            << " worker thread(s)...\n";
+
+  std::vector<std::future<serve::DiagnosisResult>> futures;
+  futures.reserve(paths.size());
+  for (const auto& path : paths) {
+    auto is = open_in(path.string());
+    futures.push_back(service.submit(design_id, read_failure_log(is)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::DiagnosisResult result = futures[i].get();
+    std::cout << "==== " << paths[i].filename().string()
+              << (result.cache_hit ? " (cache hit)" : "") << "\n"
+              << result_to_string(design->netlist(), result) << "\n";
+  }
+  service.shutdown();
+  std::cout << "==== serving metrics ====\n" << service.metrics().report();
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  m3dfl_tool generate <profile> <out.mnl>\n"
@@ -171,7 +247,9 @@ int usage() {
                "  m3dfl_tool train    <profile> <model.m3dfl>\n"
                "  m3dfl_tool inject   <profile> <out.flog>\n"
                "  m3dfl_tool diagnose <profile> <model.m3dfl> <die.flog> "
-               "[config]\n";
+               "[config]\n"
+               "  m3dfl_tool serve    <profile> <model.m3dfl> "
+               "<logdir|manifest> [config] [threads]\n";
   return 2;
 }
 
@@ -191,6 +269,11 @@ int main(int argc, char** argv) {
     if (cmd == "diagnose" && (argc == 5 || argc == 6)) {
       return cmd_diagnose(argv[2], argv[3], argv[4],
                           argc == 6 ? argv[5] : "syn1");
+    }
+    if (cmd == "serve" && argc >= 5 && argc <= 7) {
+      return cmd_serve(argv[2], argv[3], argv[4],
+                       argc >= 6 ? argv[5] : "syn1",
+                       argc == 7 ? argv[6] : "4");
     }
     return usage();
   } catch (const std::exception& e) {
