@@ -53,6 +53,8 @@ struct ServiceRun {
   double seconds = 0.0;
   double hit_rate = 0.0;
   double mean_batch = 0.0;
+  std::int64_t num_ok = 0;
+  std::int64_t num_failed = 0;
 };
 
 ServiceRun run_service(const std::shared_ptr<const Design>& design,
@@ -79,6 +81,10 @@ ServiceRun run_service(const std::shared_ptr<const Design>& design,
   run.seconds = seconds_since(t0);
   run.hit_rate = service.metrics().cache_hit_rate();
   run.mean_batch = service.metrics().mean_batch_size();
+  // Throughput of a run that shed or failed requests is not comparable to
+  // the baseline, so the table carries the status split alongside.
+  run.num_ok = service.metrics().status_count(serve::StatusCode::kOk);
+  run.num_failed = service.metrics().requests_failed.load();
   service.shutdown();
   return run;
 }
@@ -124,10 +130,10 @@ int main() {
             << design->name() << "\n\n";
 
   TablePrinter table({"mode", "wall (s)", "logs/sec", "speedup",
-                      "cache hit rate", "mean batch"});
+                      "cache hit rate", "mean batch", "ok/failed"});
   const double serial_s = run_serial_baseline(*design, framework, requests);
   table.add_row({"serial baseline", bench::fmt2(serial_s),
-                 bench::fmt2(num_logs / serial_s), "1.00", "-", "-"});
+                 bench::fmt2(num_logs / serial_s), "1.00", "-", "-", "-"});
   table.add_separator();
   for (const std::int32_t threads : {1, 2, 4, 8}) {
     const ServiceRun run = run_service(design, framework, requests, threads);
@@ -135,7 +141,9 @@ int main() {
                    bench::fmt2(run.seconds),
                    bench::fmt2(num_logs / run.seconds),
                    bench::fmt2(serial_s / run.seconds), bench::pct(run.hit_rate),
-                   bench::fmt2(run.mean_batch)});
+                   bench::fmt2(run.mean_batch),
+                   std::to_string(run.num_ok) + "/" +
+                       std::to_string(run.num_failed)});
   }
   table.print();
 

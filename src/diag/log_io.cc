@@ -2,7 +2,9 @@
 
 #include <istream>
 #include <ostream>
+#include <set>
 #include <sstream>
+#include <tuple>
 
 #include "util/error.h"
 
@@ -31,13 +33,57 @@ std::string failure_log_to_string(const FailureLog& log) {
   return os.str();
 }
 
+namespace {
+
+// All parse diagnostics cite the 1-based line, so a malformed multi-
+// megabyte tester log is debuggable from the message alone.
+[[noreturn]] void parse_fail(int line_no, const std::string& what) {
+  throw Error("failure log line " + std::to_string(line_no) + ": " + what);
+}
+
+// Reads the record's numeric fields and rejects truncated records (too few
+// fields), non-numeric garbage, and trailing junk after the last field.
+void read_fields(std::istringstream& ls, int line_no, const char* kind,
+                 std::initializer_list<std::int32_t*> fields) {
+  for (std::int32_t* field : fields) {
+    if (!(ls >> *field)) {
+      parse_fail(line_no, std::string("truncated or non-numeric '") + kind +
+                              "' record (expected " +
+                              std::to_string(fields.size()) +
+                              " integer fields)");
+    }
+  }
+  std::string extra;
+  if (ls >> extra) {
+    parse_fail(line_no, std::string("trailing garbage '") + extra +
+                            "' after '" + kind + "' record");
+  }
+}
+
+void require_nonnegative(int line_no, const char* what, std::int32_t value) {
+  if (value < 0) {
+    parse_fail(line_no, std::string("out-of-range ") + what + " " +
+                            std::to_string(value) + " (must be >= 0)");
+  }
+}
+
+}  // namespace
+
 FailureLog read_failure_log(std::istream& is) {
   std::string line;
+  int line_no = 1;
   M3DFL_REQUIRE(std::getline(is, line) && line == "m3dfl-faillog 1",
-                "failure log: missing 'm3dfl-faillog 1' header");
+                "failure log line 1: missing 'm3dfl-faillog 1' header");
   FailureLog log;
   bool saw_end = false;
+  // Duplicate observations would double-count tester evidence in the
+  // candidate match scores downstream, so they are rejected here rather
+  // than silently skewing the diagnosis.
+  std::set<std::pair<std::int32_t, std::int32_t>> seen_scan;
+  std::set<std::tuple<std::int32_t, std::int32_t, std::int32_t>> seen_chan;
+  std::set<std::pair<std::int32_t, std::int32_t>> seen_po;
   while (std::getline(is, line)) {
+    ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream ls(line);
@@ -50,41 +96,64 @@ FailureLog read_failure_log(std::istream& is) {
     if (kind == "mode") {
       std::string mode;
       ls >> mode;
-      M3DFL_REQUIRE(mode == "bypass" || mode == "compacted",
-                    "failure log: bad mode '" + mode + "'");
+      if (mode != "bypass" && mode != "compacted") {
+        parse_fail(line_no, "bad mode '" + mode + "'");
+      }
       log.compacted = mode == "compacted";
       continue;
     }
     if (kind == "limit") {
-      ls >> log.pattern_limit;
-      M3DFL_REQUIRE(!ls.fail(), "failure log: bad limit");
+      read_fields(ls, line_no, "limit", {&log.pattern_limit});
+      require_nonnegative(line_no, "pattern limit", log.pattern_limit);
       continue;
     }
     if (kind == "scan") {
       Observation o;
-      ls >> o.pattern >> o.index;
-      M3DFL_REQUIRE(!ls.fail(), "failure log: bad scan record");
+      read_fields(ls, line_no, "scan", {&o.pattern, &o.index});
+      require_nonnegative(line_no, "scan pattern", o.pattern);
+      require_nonnegative(line_no, "scan flop index", o.index);
+      if (!seen_scan.emplace(o.pattern, o.index).second) {
+        parse_fail(line_no, "duplicate scan observation (pattern " +
+                                std::to_string(o.pattern) + ", flop " +
+                                std::to_string(o.index) + ")");
+      }
       log.scan_fails.push_back(o);
       continue;
     }
     if (kind == "chan") {
       ChannelFail c;
-      ls >> c.pattern >> c.channel >> c.position;
-      M3DFL_REQUIRE(!ls.fail(), "failure log: bad chan record");
+      read_fields(ls, line_no, "chan", {&c.pattern, &c.channel, &c.position});
+      require_nonnegative(line_no, "chan pattern", c.pattern);
+      require_nonnegative(line_no, "chan channel", c.channel);
+      require_nonnegative(line_no, "chan position", c.position);
+      if (!seen_chan.emplace(c.pattern, c.channel, c.position).second) {
+        parse_fail(line_no, "duplicate chan observation (pattern " +
+                                std::to_string(c.pattern) + ", channel " +
+                                std::to_string(c.channel) + ", position " +
+                                std::to_string(c.position) + ")");
+      }
       log.channel_fails.push_back(c);
       continue;
     }
     if (kind == "po") {
       Observation o;
       o.at_po = true;
-      ls >> o.pattern >> o.index;
-      M3DFL_REQUIRE(!ls.fail(), "failure log: bad po record");
+      read_fields(ls, line_no, "po", {&o.pattern, &o.index});
+      require_nonnegative(line_no, "po pattern", o.pattern);
+      require_nonnegative(line_no, "po output index", o.index);
+      if (!seen_po.emplace(o.pattern, o.index).second) {
+        parse_fail(line_no, "duplicate po observation (pattern " +
+                                std::to_string(o.pattern) + ", output " +
+                                std::to_string(o.index) + ")");
+      }
       log.po_fails.push_back(o);
       continue;
     }
-    throw Error("failure log: unknown record '" + kind + "'");
+    parse_fail(line_no, "unknown record '" + kind + "'");
   }
-  M3DFL_REQUIRE(saw_end, "failure log: missing 'end'");
+  M3DFL_REQUIRE(saw_end,
+                "failure log: truncated (missing 'end' after line " +
+                    std::to_string(line_no) + ")");
   M3DFL_REQUIRE(!log.compacted || log.scan_fails.empty(),
                 "failure log: scan records in compacted mode");
   return log;

@@ -12,6 +12,12 @@
 //   end
 //
 // Line order within a record kind is preserved; '#' starts a comment.
+//
+// The reader is strict: truncated or non-numeric records, trailing garbage,
+// negative pattern/flop/channel indices, and duplicate observations are all
+// rejected with an m3dfl::Error citing the offending line — a malformed log
+// fails loudly at the boundary instead of propagating garbage into
+// back-trace (the serving layer maps these to kInvalidInput).
 #ifndef M3DFL_DIAG_LOG_IO_H_
 #define M3DFL_DIAG_LOG_IO_H_
 

@@ -1,0 +1,105 @@
+// Per-design circuit breaker.
+//
+// A design whose requests keep failing (corrupt pattern data, a pathological
+// log family, resource exhaustion in its cone sizes) should not be allowed
+// to soak the worker pool: after `failure_threshold` *consecutive* failures
+// the breaker opens and the service fails that design's submissions fast
+// with kOverloaded, protecting every other design's latency.  After
+// `cooldown_ms` the breaker half-opens and admits exactly one probe request;
+// the probe's outcome closes the breaker (success) or re-opens it for
+// another cooldown (failure).
+//
+// `failure_threshold == 0` disables the breaker (every admit() allows).
+#ifndef M3DFL_SERVE_BREAKER_H_
+#define M3DFL_SERVE_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace m3dfl::serve {
+
+struct BreakerOptions {
+  std::int32_t failure_threshold = 0;  // consecutive failures; 0 = disabled
+  double cooldown_ms = 100.0;          // open -> half-open delay
+};
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+  enum class Decision { kAllow, kReject, kProbe };
+
+  explicit CircuitBreaker(const BreakerOptions& options) : options_(options) {}
+
+  // Admission decision for one request at time `now`.  kProbe is an allow
+  // that also transitions open -> half-open; while a probe is outstanding
+  // all other requests are rejected.
+  Decision admit(Clock::time_point now) {
+    if (options_.failure_threshold <= 0) return Decision::kAllow;
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case State::kClosed:
+        return Decision::kAllow;
+      case State::kOpen:
+        if (now < open_until_) return Decision::kReject;
+        state_ = State::kHalfOpen;
+        return Decision::kProbe;
+      case State::kHalfOpen:
+        return Decision::kReject;  // one probe at a time
+    }
+    return Decision::kAllow;
+  }
+
+  // Reports the outcome of an admitted request.
+  void on_success() {
+    if (options_.failure_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutive_failures_ = 0;
+    state_ = State::kClosed;
+  }
+
+  void on_failure(Clock::time_point now) {
+    if (options_.failure_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ == State::kHalfOpen) {
+      // Failed probe: back to open for another cooldown.
+      trip(now);
+      return;
+    }
+    if (++consecutive_failures_ >= options_.failure_threshold) trip(now);
+  }
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  std::int64_t trips() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trips_;
+  }
+
+ private:
+  void trip(Clock::time_point now) {
+    state_ = State::kOpen;
+    consecutive_failures_ = 0;
+    ++trips_;
+    open_until_ =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      options_.cooldown_ms));
+  }
+
+  const BreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  std::int32_t consecutive_failures_ = 0;
+  std::int64_t trips_ = 0;
+  Clock::time_point open_until_{};
+};
+
+}  // namespace m3dfl::serve
+
+#endif  // M3DFL_SERVE_BREAKER_H_

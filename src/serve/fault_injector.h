@@ -1,0 +1,96 @@
+// Deterministic fault injection for the serving layer.
+//
+// Resilience is only a property you have if you can test it.  The injector
+// is threaded through the service's failure seams — cache lookup/insert,
+// queue admission, model predict, framework load — and decides, per call,
+// whether that seam should fail.  Two trigger modes:
+//
+//   * probabilistic: arm(seam, p) — each call fails with probability p,
+//     drawn from a per-seam xoshiro stream seeded from the injector seed.
+//     The i-th call to a seam always sees the i-th draw, so the *number* of
+//     triggers over N calls is a pure function of (seed, p, N) no matter how
+//     worker threads interleave — which is what lets the chaos test assert
+//     exact status accounting.
+//   * scripted: arm_nth(seam, {3, 7}) — exactly the 3rd and 7th call fail.
+//     Used to pin one specific failure (e.g. "first predict fails, retry
+//     succeeds") in unit tests.
+//
+// A seam's FaultKind selects which typed error maybe_throw() raises, which
+// in turn selects the service's response (retry vs degrade).  The injector
+// counts calls and triggers per seam; tests reconcile those counts against
+// serve::Metrics.  A null injector (the production configuration) costs one
+// pointer test per seam.
+#ifndef M3DFL_SERVE_FAULT_INJECTOR_H_
+#define M3DFL_SERVE_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/status.h"
+#include "util/rng.h"
+
+namespace m3dfl::serve {
+
+// The failure seams the service exposes to injection.
+enum class Seam : int {
+  kQueueAdmit = 0,    // submit-side admission (simulates a flooded queue)
+  kCacheLookup = 1,   // cache read on the worker path
+  kCacheInsert = 2,   // cache fill after the leader computes
+  kModelPredict = 3,  // GNN inference
+  kFrameworkLoad = 4, // deserializing the model at construction
+};
+
+inline constexpr int kNumSeams = 5;
+
+const char* seam_name(Seam seam);
+
+// Which typed error a triggered seam raises.
+enum class FaultKind {
+  kTransient,         // serve::TransientError  -> retry path
+  kModelUnavailable,  // serve::ModelUnavailableError -> degrade path
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0xC4A05u);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Arms a seam to fail each call with probability `probability`.
+  void arm(Seam seam, double probability,
+           FaultKind kind = FaultKind::kTransient);
+  // Arms a seam to fail exactly on the given 1-based call numbers.
+  void arm_nth(Seam seam, std::vector<std::uint64_t> calls,
+               FaultKind kind = FaultKind::kTransient);
+
+  // Counts one call to `seam` and reports whether it should fail.
+  bool should_fail(Seam seam);
+  // should_fail() + throws the seam's typed error when triggered.
+  void maybe_throw(Seam seam, const std::string& what);
+
+  std::int64_t calls(Seam seam) const;
+  std::int64_t triggered(Seam seam) const;
+  std::int64_t total_triggered() const;
+
+ private:
+  struct SeamState {
+    double probability = 0.0;
+    std::set<std::uint64_t> nth;  // 1-based scripted trigger calls
+    FaultKind kind = FaultKind::kTransient;
+    std::uint64_t num_calls = 0;
+    std::uint64_t num_triggered = 0;
+    Rng rng;
+  };
+
+  mutable std::mutex mu_;
+  std::array<SeamState, kNumSeams> seams_;
+};
+
+}  // namespace m3dfl::serve
+
+#endif  // M3DFL_SERVE_FAULT_INJECTOR_H_

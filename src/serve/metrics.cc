@@ -75,6 +75,24 @@ double LatencyHistogram::quantile_seconds(double q) const {
   return max_seconds();
 }
 
+void Metrics::record_status(StatusCode code) {
+  status_counts[static_cast<std::size_t>(code)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (code == StatusCode::kOk) {
+    requests_completed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    requests_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (code == StatusCode::kDeadlineExceeded) {
+    deadline_expirations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t Metrics::status_count(StatusCode code) const {
+  return status_counts[static_cast<std::size_t>(code)].load(
+      std::memory_order_relaxed);
+}
+
 double Metrics::cache_hit_rate() const {
   const std::int64_t hits = cache_hits.load(std::memory_order_relaxed);
   const std::int64_t total =
@@ -105,6 +123,20 @@ std::string Metrics::report() const {
   counters.add_row({"cache evictions", std::to_string(cache_evictions.load())});
   counters.add_row({"cache coalesced", std::to_string(cache_coalesced.load())});
   counters.add_row({"cache hit rate", TablePrinter::pct(cache_hit_rate())});
+  counters.add_row({"retries", std::to_string(retries.load())});
+  counters.add_row({"degraded results", std::to_string(degraded_results.load())});
+  counters.add_row({"load shed", std::to_string(load_shed.load())});
+  counters.add_row({"breaker rejections",
+                    std::to_string(breaker_rejections.load())});
+  counters.add_row({"aborted requests",
+                    std::to_string(aborted_requests.load())});
+
+  TablePrinter statuses({"status", "count"});
+  for (int code = 0; code < kNumStatusCodes; ++code) {
+    statuses.add_row({status_name(static_cast<StatusCode>(code)),
+                      std::to_string(status_count(
+                          static_cast<StatusCode>(code)))});
+  }
 
   TablePrinter lat({"stage", "count", "mean", "p50", "p95", "max"});
   const auto add = [&lat](const std::string& name,
@@ -120,7 +152,8 @@ std::string Metrics::report() const {
   add("gnn inference", inference);
   add("end to end", end_to_end);
 
-  return counters.to_string() + "\n" + lat.to_string();
+  return counters.to_string() + "\n" + statuses.to_string() + "\n" +
+         lat.to_string();
 }
 
 }  // namespace m3dfl::serve

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/status.h"
+
 namespace m3dfl::serve {
 
 // Latency histogram over power-of-two microsecond buckets (1 us .. ~1 h).
@@ -52,11 +54,27 @@ struct Metrics {
   // already computing the same key (single-flight) instead of recomputing.
   std::atomic<std::int64_t> cache_coalesced{0};
 
+  // Fault-tolerance accounting.  Every request's terminal status is counted
+  // exactly once in status_counts (kOk requests also count in
+  // requests_completed, everything else in requests_failed); the chaos test
+  // reconciles these against the fault injector's trigger counts.
+  std::array<std::atomic<std::int64_t>, kNumStatusCodes> status_counts{};
+  std::atomic<std::int64_t> retries{0};             // backoff retry attempts
+  std::atomic<std::int64_t> degraded_results{0};    // ATPG-only fallbacks
+  std::atomic<std::int64_t> load_shed{0};           // admission-control sheds
+  std::atomic<std::int64_t> breaker_rejections{0};  // open-breaker fast fails
+  std::atomic<std::int64_t> deadline_expirations{0};
+  std::atomic<std::int64_t> aborted_requests{0};    // failed by abort-shutdown
+
   LatencyHistogram queue_wait;   // submit -> worker pickup
   LatencyHistogram backtrace;    // back-trace + subgraph + adjacency
   LatencyHistogram atpg;         // ATPG base diagnosis (cache misses only)
   LatencyHistogram inference;    // three-model forward + report update
   LatencyHistogram end_to_end;   // submit -> result ready
+
+  // Counts one request's terminal status (and the completed/failed split).
+  void record_status(StatusCode code);
+  std::int64_t status_count(StatusCode code) const;
 
   double cache_hit_rate() const;
   double mean_batch_size() const;

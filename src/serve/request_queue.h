@@ -45,6 +45,21 @@ class RequestQueue {
     return true;
   }
 
+  // Non-blocking admission for load-shedding callers: enqueues `item` only
+  // when the queue is open and below capacity.  On kFull/kClosed the item is
+  // left intact so the caller can fail it with a status instead.
+  enum class TryPush { kAccepted, kFull, kClosed };
+  TryPush try_push(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return TryPush::kClosed;
+      if (items_.size() >= capacity_) return TryPush::kFull;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return TryPush::kAccepted;
+  }
+
   // Pops the front request plus up to max_batch-1 queued requests with the
   // same key (per key_fn).  Blocks while empty; returns an empty vector only
   // when the queue is closed and fully drained.

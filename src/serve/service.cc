@@ -1,7 +1,9 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <istream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "core/pipeline.h"
@@ -18,31 +20,111 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-DiagnosisFramework load_framework(std::istream& is) {
-  DiagnosisFramework framework;
-  framework.load(is);
-  return framework;
+bool deadline_passed(Clock::time_point deadline) {
+  return deadline != Clock::time_point::max() && Clock::now() > deadline;
 }
 
 }  // namespace
 
+double next_backoff_ms(Rng& rng, double base_ms, double cap_ms,
+                       double prev_ms) {
+  const double hi = std::max(base_ms, 3.0 * prev_ms);
+  return std::min(cap_ms, rng.next_double(base_ms, hi));
+}
+
+std::string validate_failure_log(const Design& design, const FailureLog& log) {
+  const auto fmt = [](const char* what, std::int32_t got, std::int32_t bound) {
+    return std::string(what) + " " + std::to_string(got) +
+           " out of range [0, " + std::to_string(bound) + ")";
+  };
+  if (log.empty()) return "empty failure log (no failing bits)";
+  if (log.pattern_limit < 0) {
+    return "negative pattern limit " + std::to_string(log.pattern_limit);
+  }
+  if (log.compacted && !log.scan_fails.empty()) {
+    return "scan records present in compacted mode";
+  }
+  const std::int32_t num_patterns = design.patterns().num_patterns;
+  const std::int32_t num_flops = design.scan().num_flops();
+  const std::int32_t num_channels = design.compactor().num_channels();
+  const std::int32_t max_position = design.scan().max_chain_length();
+  const std::int32_t num_pos =
+      static_cast<std::int32_t>(design.netlist().primary_outputs().size());
+  for (const Observation& o : log.scan_fails) {
+    if (o.pattern < 0 || o.pattern >= num_patterns) {
+      return fmt("scan record pattern", o.pattern, num_patterns);
+    }
+    if (o.index < 0 || o.index >= num_flops) {
+      return fmt("scan record flop index", o.index, num_flops);
+    }
+  }
+  for (const ChannelFail& c : log.channel_fails) {
+    if (c.pattern < 0 || c.pattern >= num_patterns) {
+      return fmt("chan record pattern", c.pattern, num_patterns);
+    }
+    if (c.channel < 0 || c.channel >= num_channels) {
+      return fmt("chan record channel", c.channel, num_channels);
+    }
+    if (c.position < 0 || c.position >= max_position) {
+      return fmt("chan record position", c.position, max_position);
+    }
+  }
+  for (const Observation& o : log.po_fails) {
+    if (o.pattern < 0 || o.pattern >= num_patterns) {
+      return fmt("po record pattern", o.pattern, num_patterns);
+    }
+    if (o.index < 0 || o.index >= num_pos) {
+      return fmt("po record output index", o.index, num_pos);
+    }
+  }
+  return std::string();
+}
+
+DiagnosisService::LoadedFramework DiagnosisService::load_framework(
+    std::istream& is, const ServiceOptions& options) {
+  LoadedFramework loaded;
+  try {
+    if (options.fault_injector != nullptr) {
+      options.fault_injector->maybe_throw(Seam::kFrameworkLoad,
+                                          "injected framework-load fault");
+    }
+    loaded.framework.load(is);
+  } catch (const std::exception& e) {
+    if (!options.degraded_fallback) throw;
+    loaded.degraded = true;
+    loaded.why = e.what();
+    loaded.framework = DiagnosisFramework();
+  }
+  return loaded;
+}
+
 DiagnosisService::DiagnosisService(DiagnosisFramework framework,
                                    const ServiceOptions& options)
+    : DiagnosisService(LoadedFramework{std::move(framework), false, {}},
+                       options) {}
+
+DiagnosisService::DiagnosisService(std::istream& model_stream,
+                                   const ServiceOptions& options)
+    : DiagnosisService(load_framework(model_stream, options), options) {}
+
+DiagnosisService::DiagnosisService(LoadedFramework loaded,
+                                   const ServiceOptions& options)
     : options_(options),
-      framework_(std::move(framework)),
+      framework_(std::move(loaded.framework)),
+      degraded_(loaded.degraded),
       cache_(options.cache_capacity, &metrics_),
-      queue_(options.queue_capacity) {
-  M3DFL_REQUIRE(framework_.trained(),
+      queue_(options.queue_capacity),
+      paused_(options.start_paused) {
+  M3DFL_REQUIRE(degraded_ || framework_.trained(),
                 "diagnosis service needs a trained framework");
   M3DFL_REQUIRE(options_.num_threads > 0,
                 "diagnosis service needs at least one worker thread");
   M3DFL_REQUIRE(options_.max_batch > 0, "max_batch must be positive");
+  M3DFL_REQUIRE(options_.max_retries >= 0, "max_retries must be >= 0");
+  M3DFL_REQUIRE(options_.shed_watermark <= options_.queue_capacity,
+                "shed_watermark cannot exceed queue_capacity");
   start_workers();
 }
-
-DiagnosisService::DiagnosisService(std::istream& model_stream,
-                                   const ServiceOptions& options)
-    : DiagnosisService(load_framework(model_stream), options) {}
 
 DiagnosisService::~DiagnosisService() { shutdown(); }
 
@@ -51,11 +133,20 @@ void DiagnosisService::start_workers() {
               [this](std::size_t) { worker_loop(); });
 }
 
+void DiagnosisService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
 std::int32_t DiagnosisService::register_design(
     std::shared_ptr<const Design> design) {
   M3DFL_REQUIRE(design != nullptr, "cannot register a null design");
   std::lock_guard<std::mutex> lock(designs_mu_);
   designs_.push_back(std::move(design));
+  breakers_.push_back(std::make_unique<CircuitBreaker>(options_.breaker));
   return static_cast<std::int32_t>(designs_.size()) - 1;
 }
 
@@ -77,13 +168,51 @@ std::shared_ptr<const Design> DiagnosisService::design_ref(
   return designs_[static_cast<std::size_t>(design_id)];
 }
 
-std::future<DiagnosisResult> DiagnosisService::submit(std::int32_t design_id,
-                                                      FailureLog log) {
-  design_ref(design_id);  // validate before enqueueing
+CircuitBreaker* DiagnosisService::breaker_for(std::int32_t design_id) const {
+  std::lock_guard<std::mutex> lock(designs_mu_);
+  M3DFL_REQUIRE(design_id >= 0 &&
+                    design_id < static_cast<std::int32_t>(breakers_.size()),
+                "unknown design id " + std::to_string(design_id));
+  return breakers_[static_cast<std::size_t>(design_id)].get();
+}
+
+CircuitBreaker::State DiagnosisService::breaker_state(
+    std::int32_t design_id) const {
+  return breaker_for(design_id)->state();
+}
+
+std::future<DiagnosisResult> DiagnosisService::reject(
+    Request&& request, std::future<DiagnosisResult> future,
+    const Design& design, StatusCode status, std::string message) {
+  DiagnosisResult result;
+  result.sequence = request.sequence;
+  result.design = design.name();
+  complete(request, std::move(result), status, std::move(message));
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++finished_;
+  }
+  drain_cv_.notify_all();
+  return future;
+}
+
+std::future<DiagnosisResult> DiagnosisService::submit(
+    std::int32_t design_id, FailureLog log,
+    const SubmitOptions& submit_options) {
+  const std::shared_ptr<const Design> design = design_ref(design_id);
   Request request;
   request.design_id = design_id;
   request.log = std::move(log);
   request.enqueued = Clock::now();
+  const double deadline_ms = submit_options.deadline_ms > 0.0
+                                 ? submit_options.deadline_ms
+                                 : options_.default_deadline_ms;
+  if (deadline_ms > 0.0) {
+    request.deadline =
+        request.enqueued +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(deadline_ms));
+  }
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
     M3DFL_REQUIRE(!shut_down_, "diagnosis service is shut down");
@@ -91,22 +220,65 @@ std::future<DiagnosisResult> DiagnosisService::submit(std::int32_t design_id,
   }
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
   std::future<DiagnosisResult> future = request.promise.get_future();
-  if (!queue_.push(std::move(request))) {
-    // Shutdown raced with this submit; account the request as finished so
-    // drain() cannot hang, then report the condition to the caller.
-    {
-      std::lock_guard<std::mutex> lock(drain_mu_);
-      ++finished_;
-    }
-    drain_cv_.notify_all();
-    throw Error("m3dfl: diagnosis service is shut down");
+
+  // Admission control.  Everything rejected here resolves immediately with
+  // a status — the caller's future never blocks on a request the service
+  // has already decided not to run.
+  const std::string invalid = validate_failure_log(*design, request.log);
+  if (!invalid.empty()) {
+    return reject(std::move(request), std::move(future), *design,
+                  StatusCode::kInvalidInput, invalid);
   }
-  return future;
+  CircuitBreaker* breaker = breaker_for(design_id);
+  if (breaker->admit(request.enqueued) == CircuitBreaker::Decision::kReject) {
+    metrics_.breaker_rejections.fetch_add(1, std::memory_order_relaxed);
+    return reject(std::move(request), std::move(future), *design,
+                  StatusCode::kOverloaded,
+                  "circuit breaker open for design '" + design->name() + "'");
+  }
+  FaultInjector* injector = options_.fault_injector.get();
+  if (injector != nullptr && injector->should_fail(Seam::kQueueAdmit)) {
+    metrics_.load_shed.fetch_add(1, std::memory_order_relaxed);
+    return reject(std::move(request), std::move(future), *design,
+                  StatusCode::kOverloaded, "injected queue admission fault");
+  }
+  if (options_.shed_watermark > 0) {
+    // Load shedding: a queue at the high-watermark means the service is
+    // already saturated; failing fast beats stalling the caller.
+    if (queue_.size() >= options_.shed_watermark) {
+      metrics_.load_shed.fetch_add(1, std::memory_order_relaxed);
+      return reject(std::move(request), std::move(future), *design,
+                    StatusCode::kOverloaded,
+                    "request queue above shed watermark (" +
+                        std::to_string(options_.shed_watermark) + ")");
+    }
+    switch (queue_.try_push(request)) {
+      case RequestQueue<Request>::TryPush::kAccepted:
+        return future;
+      case RequestQueue<Request>::TryPush::kFull:
+        metrics_.load_shed.fetch_add(1, std::memory_order_relaxed);
+        return reject(std::move(request), std::move(future), *design,
+                      StatusCode::kOverloaded, "request queue full");
+      case RequestQueue<Request>::TryPush::kClosed:
+        break;  // fall through to the shutdown-race path below
+    }
+  } else if (queue_.push(std::move(request))) {
+    return future;
+  }
+  // Shutdown raced with this submit; account the request as finished so
+  // drain() cannot hang, then report the condition to the caller.
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++finished_;
+  }
+  drain_cv_.notify_all();
+  throw Error("m3dfl: diagnosis service is shut down");
 }
 
-DiagnosisResult DiagnosisService::diagnose(std::int32_t design_id,
-                                           FailureLog log) {
-  return submit(design_id, std::move(log)).get();
+DiagnosisResult DiagnosisService::diagnose(
+    std::int32_t design_id, FailureLog log,
+    const SubmitOptions& submit_options) {
+  return submit(design_id, std::move(log), submit_options).get();
 }
 
 void DiagnosisService::drain() {
@@ -114,17 +286,29 @@ void DiagnosisService::drain() {
   drain_cv_.wait(lock, [this] { return finished_ == submitted_; });
 }
 
-void DiagnosisService::shutdown() {
+void DiagnosisService::shutdown(ShutdownMode mode) {
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
     shut_down_ = true;
   }
+  if (mode == ShutdownMode::kAbort) {
+    abort_.store(true, std::memory_order_relaxed);
+    // Close first: workers drain the remaining queue, failing every request
+    // with kShuttingDown (the abort_ check in worker_loop/process), so
+    // drain() below terminates without running them.
+    queue_.close();
+  }
+  resume();  // a paused service must still be able to quiesce
   drain();
   queue_.close();
   pool_.join();
 }
 
 void DiagnosisService::worker_loop() {
+  {
+    std::unique_lock<std::mutex> lock(pause_mu_);
+    pause_cv_.wait(lock, [this] { return !paused_; });
+  }
   for (;;) {
     std::vector<Request> batch = queue_.pop_batch(
         options_.max_batch,
@@ -146,26 +330,101 @@ void DiagnosisService::worker_loop() {
   }
 }
 
+void DiagnosisService::complete(Request& request, DiagnosisResult&& result,
+                                StatusCode status, std::string message) {
+  result.status = status;
+  result.status_message = std::move(message);
+  if (status == StatusCode::kOk && result.degraded) {
+    metrics_.degraded_results.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (status == StatusCode::kShuttingDown) {
+    metrics_.aborted_requests.fetch_add(1, std::memory_order_relaxed);
+  }
+  metrics_.record_status(status);
+  request.promise.set_value(std::move(result));
+}
+
 void DiagnosisService::process(Request& request) {
   const Clock::time_point picked_up = Clock::now();
-  try {
-    const std::shared_ptr<const Design> design =
-        design_ref(request.design_id);
-    const DesignContext ctx = design->context();
+  const std::shared_ptr<const Design> design = design_ref(request.design_id);
+  const DesignContext ctx = design->context();
 
-    DiagnosisResult result;
-    result.sequence = request.sequence;
-    result.design = design->name();
-    result.queue_seconds = std::chrono::duration<double>(
-                               picked_up - request.enqueued)
+  DiagnosisResult result;
+  result.sequence = request.sequence;
+  result.design = design->name();
+  result.queue_seconds = std::chrono::duration<double>(
+                             picked_up - request.enqueued)
+                             .count();
+  metrics_.queue_wait.record(result.queue_seconds);
+
+  // Retry loop: only kTransient outcomes re-run, with decorrelated-jitter
+  // backoff whose stream is a pure function of (retry_seed, sequence) —
+  // retry timing is bit-reproducible under test.
+  Rng backoff_rng(options_.retry_seed ^
+                  (request.sequence * 0x9E3779B97F4A7C15ULL));
+  double sleep_ms = options_.backoff_base_ms;
+  StatusCode status = StatusCode::kInternal;
+  std::string message;
+  for (std::int32_t attempt = 0;; ++attempt) {
+    result.attempts = attempt + 1;
+    status = attempt_once(request, *design, ctx, result, message);
+    if (status != StatusCode::kTransient || attempt >= options_.max_retries) {
+      break;
+    }
+    metrics_.retries.fetch_add(1, std::memory_order_relaxed);
+    sleep_ms = next_backoff_ms(backoff_rng, options_.backoff_base_ms,
+                               options_.backoff_cap_ms, sleep_ms);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+
+  if (status == StatusCode::kOk) {
+    result.total_seconds = std::chrono::duration<double>(
+                               Clock::now() - request.enqueued)
                                .count();
-    metrics_.queue_wait.record(result.queue_seconds);
+    metrics_.end_to_end.record(result.total_seconds);
+  }
+  CircuitBreaker* breaker = breaker_for(request.design_id);
+  if (status == StatusCode::kOk) {
+    breaker->on_success();
+  } else if (status == StatusCode::kTransient ||
+             status == StatusCode::kInternal ||
+             status == StatusCode::kModelUnavailable) {
+    breaker->on_failure(Clock::now());
+  }
+  complete(request, std::move(result), status, std::move(message));
+}
+
+StatusCode DiagnosisService::attempt_once(Request& request,
+                                          const Design& design,
+                                          const DesignContext& ctx,
+                                          DiagnosisResult& result,
+                                          std::string& message) {
+  FaultInjector* injector = options_.fault_injector.get();
+  std::shared_ptr<const CachedDiagnosis> entry;
+  // A retry starts from a clean slate: the previous attempt may have left a
+  // partially refined report or a half-filled prediction behind.
+  result.degraded = false;
+  result.pruned.clear();
+  result.prediction = FrameworkPrediction{};
+  try {
+    if (abort_.load(std::memory_order_relaxed)) {
+      message = "service shutting down";
+      return StatusCode::kShuttingDown;
+    }
+    if (deadline_passed(request.deadline)) {
+      message = "deadline exceeded before diagnosis started";
+      return StatusCode::kDeadlineExceeded;
+    }
 
     // Cached deterministic prefix: back-trace -> subgraph -> features ->
     // normalized adjacency -> ATPG base report.
     const std::string key =
         DiagnosisCache::make_key(request.design_id, request.log);
-    std::shared_ptr<const CachedDiagnosis> entry = cache_.lookup(key);
+    if (injector != nullptr) {
+      injector->maybe_throw(Seam::kCacheLookup, "injected cache lookup fault");
+    }
+    entry = cache_.lookup(key);
     result.cache_hit = entry != nullptr;
     if (entry == nullptr) {
       // Single-flight: either become the leader for this key or wait on a
@@ -189,62 +448,125 @@ void DiagnosisService::process(Request& request) {
         }
       }
       if (leader) {
+        // The flight is completed (value or exception) exactly once and
+        // retired from the in-flight map no matter how the computation
+        // ends, so followers can never wait forever on an abandoned
+        // promise.
+        std::exception_ptr flight_error;
         try {
           auto fresh = std::make_shared<CachedDiagnosis>();
-          const Clock::time_point t_bt = Clock::now();
-          const std::vector<NodeId> nodes =
-              backtrace_candidates(design->graph(), ctx, request.log);
-          fresh->subgraph = extract_subgraph(design->graph(), nodes);
-          fresh->adjacency = subgraph_adjacency(fresh->subgraph);
-          result.backtrace_seconds = seconds_since(t_bt);
-          metrics_.backtrace.record(result.backtrace_seconds);
+          if (!degraded_) {
+            if (deadline_passed(request.deadline)) {
+              throw DeadlineError("deadline exceeded before back-trace");
+            }
+            const Clock::time_point t_bt = Clock::now();
+            const std::vector<NodeId> nodes =
+                backtrace_candidates(design.graph(), ctx, request.log);
+            fresh->subgraph = extract_subgraph(design.graph(), nodes);
+            fresh->adjacency = subgraph_adjacency(fresh->subgraph);
+            result.backtrace_seconds = seconds_since(t_bt);
+            metrics_.backtrace.record(result.backtrace_seconds);
+          }
 
+          if (deadline_passed(request.deadline)) {
+            throw DeadlineError("deadline exceeded before ATPG diagnosis");
+          }
           const Clock::time_point t_atpg = Clock::now();
           fresh->base_report =
               diagnose_atpg(ctx, request.log, options_.diagnosis);
           result.atpg_seconds = seconds_since(t_atpg);
           metrics_.atpg.record(result.atpg_seconds);
 
+          if (injector != nullptr) {
+            injector->maybe_throw(Seam::kCacheInsert,
+                                  "injected cache insert fault");
+          }
           entry = fresh;
           cache_.insert(key, entry);
-          flight.set_value(entry);
         } catch (...) {
-          flight.set_exception(std::current_exception());
+          flight_error = std::current_exception();
+        }
+        if (flight_error != nullptr) {
+          flight.set_exception(flight_error);
+        } else {
+          flight.set_value(entry);
+        }
+        {
           std::lock_guard<std::mutex> lock(inflight_mu_);
           inflight_.erase(key);
-          throw;
         }
-        std::lock_guard<std::mutex> lock(inflight_mu_);
-        inflight_.erase(key);
+        if (flight_error != nullptr) std::rethrow_exception(flight_error);
       } else if (follow.valid()) {
-        // Coalesced: the leader's exception (if any) rethrows here, which is
-        // deterministic — the recomputation would fail identically.
+        // Coalesced: a leader failure surfaces here as kTransient — this
+        // request's retry recomputes independently (and may become the
+        // leader itself), so one poisoned flight never condemns followers.
         metrics_.cache_coalesced.fetch_add(1, std::memory_order_relaxed);
-        entry = follow.get();
+        try {
+          entry = follow.get();
+        } catch (const std::exception& e) {
+          throw TransientError(std::string("coalesced leader failed: ") +
+                               e.what());
+        }
         result.cache_hit = true;
       } else {
         result.cache_hit = true;  // entry landed during the re-check
       }
     }
 
+    M3DFL_ASSERT(entry != nullptr);
+    if (degraded_) {
+      // Service-wide degraded mode: no usable GNN model, serve the
+      // unpruned ATPG ranking.
+      result.report = entry->base_report;
+      result.degraded = true;
+      return StatusCode::kOk;
+    }
+
+    if (abort_.load(std::memory_order_relaxed)) {
+      message = "service shutting down";
+      return StatusCode::kShuttingDown;
+    }
+    if (deadline_passed(request.deadline)) {
+      message = "deadline exceeded before GNN inference";
+      return StatusCode::kDeadlineExceeded;
+    }
+
     // Per-request scratch only from here on: the report is a copy of the
     // cached base report, the models are shared read-only.
     const Clock::time_point t_inf = Clock::now();
+    if (injector != nullptr) {
+      injector->maybe_throw(Seam::kModelPredict, "injected model fault");
+    }
     result.report = entry->base_report;
     result.pruned = framework_.diagnose(ctx, entry->subgraph, entry->adjacency,
                                         result.report, &result.prediction);
     result.inference_seconds = seconds_since(t_inf);
     metrics_.inference.record(result.inference_seconds);
-
-    result.total_seconds = std::chrono::duration<double>(
-                               Clock::now() - request.enqueued)
-                               .count();
-    metrics_.end_to_end.record(result.total_seconds);
-    metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-    request.promise.set_value(std::move(result));
-  } catch (...) {
-    metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
-    request.promise.set_exception(std::current_exception());
+    return StatusCode::kOk;
+  } catch (const ModelUnavailableError& e) {
+    if (options_.degraded_fallback && entry != nullptr) {
+      // The deterministic prefix survived; only the GNN verdict is lost.
+      // Serve the unpruned ATPG ranking instead of failing the request.
+      result.report = entry->base_report;
+      result.pruned.clear();
+      result.prediction = FrameworkPrediction{};
+      result.degraded = true;
+      return StatusCode::kOk;
+    }
+    message = e.what();
+    return StatusCode::kModelUnavailable;
+  } catch (const DeadlineError& e) {
+    message = e.what();
+    return StatusCode::kDeadlineExceeded;
+  } catch (const TransientError& e) {
+    message = e.what();
+    return StatusCode::kTransient;
+  } catch (const std::bad_alloc&) {
+    message = "allocation failure";
+    return StatusCode::kTransient;
+  } catch (const std::exception& e) {
+    message = e.what();
+    return StatusCode::kInternal;
   }
 }
 
@@ -252,11 +574,20 @@ std::string result_to_string(const Netlist& netlist,
                              const DiagnosisResult& result) {
   std::ostringstream os;
   os << "design " << result.design << "\n";
-  os << "GNN verdict: tier " << result.prediction.tier << " (confidence "
-     << result.prediction.confidence << ", "
-     << (result.prediction.high_confidence ? "high" : "low")
-     << "), MIVs flagged: " << result.prediction.faulty_mivs.size() << ", "
-     << (result.prediction.pruned ? "pruned" : "reordered") << "\n";
+  if (result.status != StatusCode::kOk) {
+    os << "status: " << status_name(result.status) << " ("
+       << result.status_message << ")\n";
+    return os.str();
+  }
+  if (result.degraded) {
+    os << "GNN verdict: unavailable (degraded: unpruned ATPG-only ranking)\n";
+  } else {
+    os << "GNN verdict: tier " << result.prediction.tier << " (confidence "
+       << result.prediction.confidence << ", "
+       << (result.prediction.high_confidence ? "high" : "low")
+       << "), MIVs flagged: " << result.prediction.faulty_mivs.size() << ", "
+       << (result.prediction.pruned ? "pruned" : "reordered") << "\n";
+  }
   os << report_to_string(netlist, result.report);
   return os.str();
 }

@@ -7,7 +7,8 @@
 // number of prepared designs, and answers diagnose(failure_log) requests
 // end-to-end —
 //
-//   submit -> bounded MPMC queue -> micro-batcher -> worker pool
+//   submit -> admission control (validation, breaker, load shedding)
+//          -> bounded MPMC queue -> micro-batcher -> worker pool
 //          -> [LRU cache: back-trace -> subgraph -> features -> normalized
 //              adjacency -> ATPG base report]
 //          -> three-model GNN inference -> pruning & reordering -> result
@@ -21,9 +22,22 @@
 // are coalesced (single-flight): one worker computes, the rest wait on its
 // result, so a retest storm never multiplies back-trace/ATPG work across
 // the pool.
+//
+// Fault tolerance: worker exceptions never cross the service boundary.
+// Every request resolves to a DiagnosisResult carrying a serve::StatusCode
+// (see serve/status.h).  Per-request deadlines are checked cooperatively at
+// stage boundaries; kTransient failures retry with decorrelated-jitter
+// exponential backoff (deterministic per request: the jitter stream is
+// seeded from retry_seed ^ sequence); a per-design circuit breaker fails
+// submissions fast while a design keeps failing; and when the GNN model is
+// unavailable — corrupt stream at load, or a predict-time failure — the
+// service can fall back to unpruned ATPG-only ranking, marking the result
+// degraded instead of failing it.  serve/fault_injector.h threads
+// deterministic chaos through every one of these seams under test.
 #ifndef M3DFL_SERVE_SERVICE_H_
 #define M3DFL_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -36,9 +50,12 @@
 #include <vector>
 
 #include "core/framework.h"
+#include "serve/breaker.h"
 #include "serve/cache.h"
+#include "serve/fault_injector.h"
 #include "serve/metrics.h"
 #include "serve/request_queue.h"
+#include "serve/status.h"
 #include "serve/thread_pool.h"
 
 namespace m3dfl::serve {
@@ -53,22 +70,75 @@ struct ServiceOptions {
   std::size_t cache_capacity = 128;
   // Options for the ATPG base diagnosis the GNN verdict refines.
   DiagnosisOptions diagnosis;
+
+  // ---- fault-tolerance knobs ----
+  // Default per-request deadline in milliseconds; 0 = no deadline.  A
+  // request whose deadline passes fails with kDeadlineExceeded at the next
+  // stage boundary instead of occupying a worker to completion.
+  double default_deadline_ms = 0.0;
+  // Retry budget for kTransient failures (0 = fail on first attempt).
+  std::int32_t max_retries = 2;
+  // Decorrelated-jitter exponential backoff between retries:
+  //   sleep_{i+1} = min(cap, uniform(base, 3 * sleep_i)).
+  double backoff_base_ms = 1.0;
+  double backoff_cap_ms = 100.0;
+  // Seed for the per-request jitter streams (stream i = seed ^ sequence),
+  // so retry timing is reproducible under test.
+  std::uint64_t retry_seed = 0x5EEDu;
+  // Admission control: when > 0, submit() sheds load with kOverloaded once
+  // the queue holds >= shed_watermark requests (or is full), instead of
+  // blocking the caller.  0 keeps the legacy blocking backpressure.
+  std::size_t shed_watermark = 0;
+  // Per-design circuit breaker (see serve/breaker.h); threshold 0 disables.
+  BreakerOptions breaker;
+  // When true: a framework stream that is missing/corrupt at construction,
+  // or a model failure at predict time, degrades the affected requests to
+  // unpruned ATPG-only candidate ranking (result.degraded = true) instead
+  // of failing them.
+  bool degraded_fallback = false;
+  // When true, workers idle until resume(); lets tests stage a queue
+  // deterministically (admission control, abort-shutdown).
+  bool start_paused = false;
+  // Deterministic chaos for tests; null (production) costs one pointer
+  // check per seam.
+  std::shared_ptr<FaultInjector> fault_injector;
+};
+
+// Per-submit overrides.
+struct SubmitOptions {
+  // Milliseconds from submission; 0 = use ServiceOptions::default_deadline_ms.
+  double deadline_ms = 0.0;
 };
 
 // Everything the service produces for one failure log.
 struct DiagnosisResult {
   std::uint64_t sequence = 0;        // submission order, from 0
   std::string design;                // registered design name
+  StatusCode status = StatusCode::kOk;
+  std::string status_message;        // empty on kOk
+  bool degraded = false;             // ATPG-only fallback (status == kOk)
+  std::int32_t attempts = 1;         // attempts consumed (retries + 1)
   FrameworkPrediction prediction;
   DiagnosisReport report;            // refined (pruned/reordered) report
   std::vector<Candidate> pruned;     // for the backup dictionary
   bool cache_hit = false;
+  bool ok() const { return status == StatusCode::kOk; }
   // Per-request stage timings (seconds); informational, not deterministic.
   double queue_seconds = 0.0;
   double backtrace_seconds = 0.0;
   double atpg_seconds = 0.0;
   double inference_seconds = 0.0;
   double total_seconds = 0.0;
+};
+
+// Next decorrelated-jitter backoff: min(cap, uniform(base, 3 * prev)), all
+// in milliseconds.  Exposed for tests; deterministic per Rng stream.
+double next_backoff_ms(Rng& rng, double base_ms, double cap_ms,
+                       double prev_ms);
+
+enum class ShutdownMode {
+  kDrain,  // finish everything already submitted, then stop
+  kAbort,  // fail queued (unstarted) requests with kShuttingDown, then stop
 };
 
 class DiagnosisService {
@@ -78,7 +148,8 @@ class DiagnosisService {
                             const ServiceOptions& options = {});
   // Loads the framework from a serialized model stream (the asset written
   // by DiagnosisFramework::save / `m3dfl_tool train`).  Throws m3dfl::Error
-  // on a malformed stream.
+  // on a malformed stream — unless options.degraded_fallback is set, in
+  // which case the service starts in degraded ATPG-only mode instead.
   explicit DiagnosisService(std::istream& model_stream,
                             const ServiceOptions& options = {});
   ~DiagnosisService();
@@ -92,40 +163,86 @@ class DiagnosisService {
   std::int32_t num_designs() const;
   const Design& design(std::int32_t design_id) const;
 
-  // Enqueues one failure log; the future resolves when a worker finishes.
-  // Blocks while the queue is full; throws m3dfl::Error after shutdown().
-  std::future<DiagnosisResult> submit(std::int32_t design_id, FailureLog log);
+  // Enqueues one failure log; the future resolves when a worker finishes
+  // (or immediately, for requests rejected at admission: invalid input,
+  // open breaker, shed load).  The future never carries an exception — all
+  // failures surface as DiagnosisResult::status.  Throws m3dfl::Error only
+  // for an unknown design id or submission after shutdown().
+  std::future<DiagnosisResult> submit(std::int32_t design_id, FailureLog log,
+                                      const SubmitOptions& submit_options = {});
 
   // Convenience: submit + wait.
-  DiagnosisResult diagnose(std::int32_t design_id, FailureLog log);
+  DiagnosisResult diagnose(std::int32_t design_id, FailureLog log,
+                           const SubmitOptions& submit_options = {});
+
+  // Releases workers started with options.start_paused; idempotent.
+  void resume();
 
   // Blocks until every submitted request has completed or failed.
   void drain();
-  // Drains, closes the queue, and joins the workers; idempotent.  Further
-  // submit() calls throw.
-  void shutdown();
+  // kDrain: drains, closes the queue, joins the workers.  kAbort: fails
+  // every queued-but-unstarted request with kShuttingDown deterministically,
+  // then closes and joins.  Idempotent; further submit() calls throw.
+  void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  // True when the service runs without a usable GNN model (construction
+  // fell back under degraded_fallback); every result is ATPG-only.
+  bool degraded() const { return degraded_; }
 
   const Metrics& metrics() const { return metrics_; }
   const DiagnosisCache& cache() const { return cache_; }
   const DiagnosisFramework& framework() const { return framework_; }
   const ServiceOptions& options() const { return options_; }
+  // Breaker state for a registered design (for tests/introspection).
+  CircuitBreaker::State breaker_state(std::int32_t design_id) const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Request {
     std::uint64_t sequence = 0;
     std::int32_t design_id = 0;
     FailureLog log;
-    std::chrono::steady_clock::time_point enqueued;
+    Clock::time_point enqueued;
+    Clock::time_point deadline = Clock::time_point::max();
     std::promise<DiagnosisResult> promise;
   };
+
+  struct LoadedFramework {
+    DiagnosisFramework framework;
+    bool degraded = false;
+    std::string why;  // what went wrong when degraded
+  };
+
+  DiagnosisService(LoadedFramework loaded, const ServiceOptions& options);
+  // Loads from a stream, degrading instead of throwing when
+  // options.degraded_fallback is set.
+  static LoadedFramework load_framework(std::istream& is,
+                                        const ServiceOptions& options);
 
   void start_workers();
   void worker_loop();
   void process(Request& request);
+  // One diagnosis attempt; classifies every failure into a StatusCode.
+  StatusCode attempt_once(Request& request, const Design& design,
+                          const DesignContext& ctx, DiagnosisResult& result,
+                          std::string& message);
+  // Fulfills the promise with a terminal status and records metrics.  Does
+  // NOT touch drain accounting — the caller owns that.
+  void complete(Request& request, DiagnosisResult&& result, StatusCode status,
+                std::string message);
+  // Admission-path rejection: completes the request immediately and counts
+  // it as finished for drain().
+  std::future<DiagnosisResult> reject(Request&& request,
+                                      std::future<DiagnosisResult> future,
+                                      const Design& design, StatusCode status,
+                                      std::string message);
   std::shared_ptr<const Design> design_ref(std::int32_t design_id) const;
+  CircuitBreaker* breaker_for(std::int32_t design_id) const;
 
   const ServiceOptions options_;
   DiagnosisFramework framework_;
+  bool degraded_ = false;
   Metrics metrics_;
   DiagnosisCache cache_;
   RequestQueue<Request> queue_;
@@ -133,6 +250,7 @@ class DiagnosisService {
 
   mutable std::mutex designs_mu_;
   std::vector<std::shared_ptr<const Design>> designs_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
 
   // Single-flight: keys a worker is currently computing.  A concurrent miss
   // on the same key waits on the leader's future instead of recomputing.
@@ -140,6 +258,14 @@ class DiagnosisService {
   std::unordered_map<std::string,
                      std::shared_future<std::shared_ptr<const CachedDiagnosis>>>
       inflight_;
+
+  // start_paused gate.
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  // Abort-shutdown flag: workers fail (rather than process) queued requests.
+  std::atomic<bool> abort_{false};
 
   // drain() bookkeeping: submitted vs finished (completed or failed).
   std::mutex drain_mu_;
@@ -149,10 +275,17 @@ class DiagnosisService {
   bool shut_down_ = false;
 };
 
+// Boundary validation: checks every observation in `log` against the
+// design's pattern count, scan architecture, compactor, and primary
+// outputs.  Returns an empty string when valid, else a caller-facing
+// message (the service maps it to kInvalidInput).
+std::string validate_failure_log(const Design& design, const FailureLog& log);
+
 // Renders a result the way `m3dfl_tool diagnose` prints one: the GNN
-// verdict line plus the refined candidate report.  Deterministic (timings
-// and cache state are excluded), so byte-comparing rendered results is how
-// the tests pin concurrent == serial behaviour.
+// verdict line plus the refined candidate report; failed requests render
+// their status instead, degraded requests an ATPG-only marker.
+// Deterministic (timings and cache state are excluded), so byte-comparing
+// rendered results is how the tests pin concurrent == serial behaviour.
 std::string result_to_string(const Netlist& netlist,
                              const DiagnosisResult& result);
 

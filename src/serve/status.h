@@ -1,0 +1,78 @@
+// Structured failure taxonomy for the serving layer.
+//
+// Worker threads never let exceptions cross the service boundary: every
+// request resolves to a DiagnosisResult carrying a StatusCode, so callers
+// (the CLI batch driver, the ordered report sink, the metrics tables) can
+// account for partial failure instead of unwinding.  The taxonomy separates
+// the four operational responses a serving stack needs:
+//
+//   kInvalidInput      reject   — the request can never succeed; fix the log
+//   kDeadlineExceeded  give up  — the answer is no longer wanted
+//   kOverloaded        shed     — retry later against a less loaded service
+//   kTransient         retry    — same request may succeed immediately
+//   kModelUnavailable  degrade  — fall back to ATPG-only ranking
+//   kShuttingDown      fail     — the service is going away
+//   kInternal          page     — a bug; nothing the caller can do
+//
+// The typed exceptions below are how stages *inside* a worker signal a
+// classified failure to the retry/degrade machinery in service.cc; they are
+// caught before the promise is fulfilled and never escape the worker.
+#ifndef M3DFL_SERVE_STATUS_H_
+#define M3DFL_SERVE_STATUS_H_
+
+#include <string>
+
+#include "util/error.h"
+
+namespace m3dfl::serve {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidInput = 1,
+  kDeadlineExceeded = 2,
+  kOverloaded = 3,
+  kTransient = 4,
+  kModelUnavailable = 5,
+  kShuttingDown = 6,
+  kInternal = 7,
+};
+
+inline constexpr int kNumStatusCodes = 8;
+
+inline const char* status_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidInput: return "INVALID_INPUT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kTransient: return "TRANSIENT";
+    case StatusCode::kModelUnavailable: return "MODEL_UNAVAILABLE";
+    case StatusCode::kShuttingDown: return "SHUTTING_DOWN";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// A failure that is expected to clear on its own (allocation pressure,
+// injected chaos, a coalesced leader that died): safe to retry.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+// The GNN model cannot serve this request (missing, failed to load, corrupt
+// stream, injected model fault): degrade to ATPG-only ranking if allowed.
+class ModelUnavailableError : public Error {
+ public:
+  explicit ModelUnavailableError(const std::string& what) : Error(what) {}
+};
+
+// Raised at a stage boundary once a request's deadline has passed.
+class DeadlineError : public Error {
+ public:
+  explicit DeadlineError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace m3dfl::serve
+
+#endif  // M3DFL_SERVE_STATUS_H_

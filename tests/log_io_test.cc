@@ -73,6 +73,71 @@ TEST(LogIoTest, RejectsMalformedInput) {
                Error);
 }
 
+// Hardened-parser regression corpus: every malformed shape a tester datalog
+// pipeline has produced in anger, with the expected diagnostic fragment.
+TEST(LogIoTest, MalformedCorpusRejectedWithLineNumbers) {
+  const struct {
+    const char* name;
+    const char* text;
+    const char* expect;  // substring of the diagnostic
+  } corpus[] = {
+      {"truncated scan record",
+       "m3dfl-faillog 1\nscan 1\nend\n", "line 2: truncated"},
+      {"truncated chan record",
+       "m3dfl-faillog 1\nmode compacted\nchan 1 2\nend\n",
+       "line 3: truncated"},
+      {"truncated po record",
+       "m3dfl-faillog 1\npo 4\nend\n", "line 2: truncated"},
+      {"non-numeric field",
+       "m3dfl-faillog 1\nscan one 2\nend\n", "line 2: truncated or non-numeric"},
+      {"partially numeric field",
+       "m3dfl-faillog 1\nscan 1 2x\nend\n", "line 2:"},
+      {"trailing garbage",
+       "m3dfl-faillog 1\nscan 1 2 3\nend\n", "line 2: trailing garbage '3'"},
+      {"negative pattern",
+       "m3dfl-faillog 1\nscan -1 2\nend\n", "line 2: out-of-range"},
+      {"negative flop index",
+       "m3dfl-faillog 1\nscan 1 -2\nend\n", "line 2: out-of-range"},
+      {"negative channel",
+       "m3dfl-faillog 1\nmode compacted\nchan 1 -1 0\nend\n",
+       "line 3: out-of-range"},
+      {"negative limit",
+       "m3dfl-faillog 1\nlimit -5\nend\n", "line 2: out-of-range"},
+      {"duplicate scan observation",
+       "m3dfl-faillog 1\nscan 1 2\nscan 1 2\nend\n",
+       "line 3: duplicate scan"},
+      {"duplicate chan observation",
+       "m3dfl-faillog 1\nmode compacted\nchan 1 0 4\nchan 1 0 4\nend\n",
+       "line 4: duplicate chan"},
+      {"duplicate po observation",
+       "m3dfl-faillog 1\npo 3 0\npo 3 0\nend\n", "line 3: duplicate po"},
+      {"missing end trailer",
+       "m3dfl-faillog 1\nscan 1 2\n", "truncated (missing 'end'"},
+      {"unknown record",
+       "m3dfl-faillog 1\nwidget 1 2\nend\n", "line 2: unknown record"},
+      {"bad mode",
+       "m3dfl-faillog 1\nmode sideways\nend\n", "line 2: bad mode"},
+  };
+  for (const auto& bad : corpus) {
+    try {
+      failure_log_from_string(bad.text);
+      FAIL() << bad.name << ": expected m3dfl::Error";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(bad.expect), std::string::npos)
+          << bad.name << ": diagnostic was '" << e.what() << "'";
+    }
+  }
+}
+
+TEST(LogIoTest, DuplicatesAcrossKindsAreAllowed) {
+  // A po and a scan fail may legitimately share (pattern, index) — they are
+  // different observation points.
+  const FailureLog log = failure_log_from_string(
+      "m3dfl-faillog 1\nscan 3 1\npo 3 1\nend\n");
+  EXPECT_EQ(log.scan_fails.size(), 1u);
+  EXPECT_EQ(log.po_fails.size(), 1u);
+}
+
 TEST(LogIoTest, EmptyLogRoundTrip) {
   const FailureLog back =
       failure_log_from_string(failure_log_to_string(FailureLog{}));

@@ -1,15 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "diag/atpg_diagnosis.h"
+#include "serve/breaker.h"
 #include "serve/cache.h"
+#include "serve/fault_injector.h"
 #include "serve/report_sink.h"
 #include "serve/request_queue.h"
 #include "serve/service.h"
+#include "serve/status.h"
 
 namespace m3dfl {
 namespace {
@@ -345,6 +350,463 @@ TEST_F(ServeTest, CorruptedModelTagThrowsError) {
   text.replace(tag, 4, "XXXX");
   std::stringstream bad_tag_is(text);
   EXPECT_THROW(serve::DiagnosisService service(bad_tag_is), Error);
+}
+
+// ---- fault-tolerance component tests ---------------------------------------
+
+TEST(StatusTest, NamesCoverEveryCode) {
+  for (int code = 0; code < serve::kNumStatusCodes; ++code) {
+    EXPECT_STRNE(serve::status_name(static_cast<serve::StatusCode>(code)),
+                 "UNKNOWN");
+  }
+}
+
+TEST(MetricsTest, StatusCountersTally) {
+  serve::Metrics metrics;
+  metrics.record_status(serve::StatusCode::kOk);
+  metrics.record_status(serve::StatusCode::kOk);
+  metrics.record_status(serve::StatusCode::kTransient);
+  metrics.record_status(serve::StatusCode::kOverloaded);
+  metrics.record_status(serve::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(metrics.status_count(serve::StatusCode::kOk), 2);
+  EXPECT_EQ(metrics.status_count(serve::StatusCode::kTransient), 1);
+  EXPECT_EQ(metrics.status_count(serve::StatusCode::kOverloaded), 1);
+  EXPECT_EQ(metrics.status_count(serve::StatusCode::kDeadlineExceeded), 1);
+  EXPECT_EQ(metrics.status_count(serve::StatusCode::kInternal), 0);
+  EXPECT_EQ(metrics.requests_completed.load(), 2);
+  EXPECT_EQ(metrics.requests_failed.load(), 3);
+  EXPECT_EQ(metrics.deadline_expirations.load(), 1);
+  const std::string report = metrics.report();
+  EXPECT_NE(report.find("DEADLINE_EXCEEDED"), std::string::npos);
+  EXPECT_NE(report.find("TRANSIENT"), std::string::npos);
+  EXPECT_NE(report.find("load shed"), std::string::npos);
+}
+
+TEST(BackoffTest, DecorrelatedJitterIsDeterministicAndBounded) {
+  Rng a(42), b(42);
+  double prev_a = 1.0, prev_b = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    const double next_a = serve::next_backoff_ms(a, 1.0, 64.0, prev_a);
+    const double next_b = serve::next_backoff_ms(b, 1.0, 64.0, prev_b);
+    EXPECT_DOUBLE_EQ(next_a, next_b);  // same stream, same schedule
+    EXPECT_GE(next_a, 1.0);
+    EXPECT_LE(next_a, 64.0);
+    EXPECT_LE(next_a, std::max(3.0 * prev_a, 1.0));
+    prev_a = next_a;
+    prev_b = next_b;
+  }
+}
+
+TEST(FaultInjectorTest, ScriptedAndProbabilisticTriggersAreDeterministic) {
+  serve::FaultInjector injector(7);
+  injector.arm_nth(serve::Seam::kModelPredict, {2, 4});
+  EXPECT_FALSE(injector.should_fail(serve::Seam::kModelPredict));
+  EXPECT_TRUE(injector.should_fail(serve::Seam::kModelPredict));
+  EXPECT_FALSE(injector.should_fail(serve::Seam::kModelPredict));
+  EXPECT_TRUE(injector.should_fail(serve::Seam::kModelPredict));
+  EXPECT_EQ(injector.calls(serve::Seam::kModelPredict), 4);
+  EXPECT_EQ(injector.triggered(serve::Seam::kModelPredict), 2);
+
+  // Two injectors with the same seed trigger identically.
+  serve::FaultInjector x(99), y(99);
+  x.arm(serve::Seam::kCacheLookup, 0.3);
+  y.arm(serve::Seam::kCacheLookup, 0.3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(x.should_fail(serve::Seam::kCacheLookup),
+              y.should_fail(serve::Seam::kCacheLookup));
+  }
+  EXPECT_GT(x.triggered(serve::Seam::kCacheLookup), 0);
+  EXPECT_LT(x.triggered(serve::Seam::kCacheLookup), 200);
+  EXPECT_EQ(x.total_triggered(), x.triggered(serve::Seam::kCacheLookup));
+
+  // At p=0.3 a trigger arrives within a handful of calls and surfaces as
+  // the armed exception type.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) {
+          x.maybe_throw(serve::Seam::kCacheLookup, "boom");
+        }
+      },
+      serve::TransientError);
+}
+
+TEST(BreakerTest, TripsAfterConsecutiveFailuresAndHalfOpensOnProbe) {
+  using Clock = serve::CircuitBreaker::Clock;
+  serve::BreakerOptions options;
+  options.failure_threshold = 2;
+  options.cooldown_ms = 50.0;
+  serve::CircuitBreaker breaker(options);
+  const Clock::time_point t0 = Clock::now();
+
+  EXPECT_EQ(breaker.admit(t0), serve::CircuitBreaker::Decision::kAllow);
+  breaker.on_failure(t0);
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kClosed);
+  breaker.on_failure(t0);  // second consecutive failure: trip
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_EQ(breaker.admit(t0), serve::CircuitBreaker::Decision::kReject);
+
+  // After the cooldown, exactly one probe goes through.
+  const Clock::time_point later = t0 + std::chrono::milliseconds(60);
+  EXPECT_EQ(breaker.admit(later), serve::CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(breaker.admit(later), serve::CircuitBreaker::Decision::kReject);
+  // Failed probe re-opens; successful probe closes.
+  breaker.on_failure(later);
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  const Clock::time_point after = later + std::chrono::milliseconds(60);
+  EXPECT_EQ(breaker.admit(after), serve::CircuitBreaker::Decision::kProbe);
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.admit(after), serve::CircuitBreaker::Decision::kAllow);
+}
+
+TEST(BreakerTest, ThresholdZeroDisables) {
+  serve::CircuitBreaker breaker(serve::BreakerOptions{});
+  const auto now = serve::CircuitBreaker::Clock::now();
+  for (int i = 0; i < 10; ++i) breaker.on_failure(now);
+  EXPECT_EQ(breaker.admit(now), serve::CircuitBreaker::Decision::kAllow);
+}
+
+TEST(RequestQueueTest, TryPushShedsInsteadOfBlocking) {
+  serve::RequestQueue<int> queue(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_EQ(queue.try_push(a), serve::RequestQueue<int>::TryPush::kAccepted);
+  EXPECT_EQ(queue.try_push(b), serve::RequestQueue<int>::TryPush::kAccepted);
+  EXPECT_EQ(queue.try_push(c), serve::RequestQueue<int>::TryPush::kFull);
+  EXPECT_EQ(c, 3);  // left intact for the caller to fail with a status
+  queue.close();
+  EXPECT_EQ(queue.try_push(c), serve::RequestQueue<int>::TryPush::kClosed);
+}
+
+// Failed requests must not stall the ordered flush of later successes: the
+// sink only needs *a* delivery per sequence, and failures render a status
+// line just like successes render a report.
+TEST(OrderedReportSinkTest, FailureDeliveriesDoNotStallTheFlush) {
+  std::ostringstream os;
+  serve::OrderedReportSink sink(&os);
+  sink.deliver(1, "ok-1\n");
+  sink.deliver(2, "ok-2\n");
+  EXPECT_EQ(sink.flushed(), 0u);  // sequence 0 still outstanding
+  sink.deliver(0, "status: TRANSIENT (injected cache lookup fault)\n");
+  EXPECT_EQ(sink.flushed(), 3u);
+  EXPECT_EQ(os.str(),
+            "status: TRANSIENT (injected cache lookup fault)\nok-1\nok-2\n");
+}
+
+// ---- fault-tolerance service tests ------------------------------------------
+
+TEST_F(ServeTest, InvalidLogRejectedAtTheServiceBoundary) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  FailureLog out_of_range = logs_->front();
+  out_of_range.scan_fails.push_back(
+      Observation{/*pattern=*/1 << 20, /*at_po=*/false, /*index=*/0});
+  const serve::DiagnosisResult bad =
+      service.diagnose(design_id, out_of_range);
+  EXPECT_EQ(bad.status, serve::StatusCode::kInvalidInput);
+  EXPECT_NE(bad.status_message.find("out of range"), std::string::npos);
+
+  const serve::DiagnosisResult empty =
+      service.diagnose(design_id, FailureLog{});
+  EXPECT_EQ(empty.status, serve::StatusCode::kInvalidInput);
+
+  // Rejected requests never reach a worker, and good traffic still flows.
+  const serve::DiagnosisResult good =
+      service.diagnose(design_id, logs_->front());
+  EXPECT_EQ(good.status, serve::StatusCode::kOk);
+  service.shutdown();
+  EXPECT_EQ(service.metrics().status_count(serve::StatusCode::kInvalidInput),
+            2);
+  EXPECT_EQ(service.metrics().requests_failed.load(), 2);
+  EXPECT_EQ(service.metrics().requests_completed.load(), 1);
+}
+
+TEST_F(ServeTest, DeadlineExceededSurfacesAsStatus) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  serve::SubmitOptions expired;
+  expired.deadline_ms = 1e-6;  // already passed by worker pickup
+  const serve::DiagnosisResult result =
+      service.diagnose(design_id, logs_->front(), expired);
+  EXPECT_EQ(result.status, serve::StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(service.metrics().deadline_expirations.load(), 1);
+
+  // No deadline (the default) still completes.
+  EXPECT_TRUE(service.diagnose(design_id, logs_->front()).ok());
+  service.shutdown();
+}
+
+TEST_F(ServeTest, WatermarkShedsLoadWithOverloaded) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 8;
+  options.shed_watermark = 2;
+  options.start_paused = true;  // stage the queue deterministically
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  std::vector<std::future<serve::DiagnosisResult>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(service.submit(design_id, logs_->front()));
+  }
+  // The first two filled the queue to the watermark; the rest shed
+  // immediately (their futures are already resolved while workers sleep).
+  for (int i = 2; i < 5; ++i) {
+    const serve::DiagnosisResult shed = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(shed.status, serve::StatusCode::kOverloaded) << "request " << i;
+    EXPECT_NE(shed.status_message.find("watermark"), std::string::npos);
+  }
+  service.resume();
+  EXPECT_TRUE(futures[0].get().ok());
+  EXPECT_TRUE(futures[1].get().ok());
+  service.shutdown();
+  EXPECT_EQ(service.metrics().load_shed.load(), 3);
+  EXPECT_EQ(service.metrics().status_count(serve::StatusCode::kOverloaded), 3);
+}
+
+TEST_F(ServeTest, AbortShutdownFailsQueuedRequestsDeterministically) {
+  serve::ServiceOptions options;
+  options.num_threads = 2;
+  options.start_paused = true;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  std::vector<std::future<serve::DiagnosisResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service.submit(design_id, logs_->front()));
+  }
+  service.shutdown(serve::ShutdownMode::kAbort);
+  for (auto& f : futures) {
+    const serve::DiagnosisResult result = f.get();
+    EXPECT_EQ(result.status, serve::StatusCode::kShuttingDown);
+  }
+  EXPECT_EQ(service.metrics().aborted_requests.load(), 4);
+  EXPECT_EQ(service.metrics().status_count(serve::StatusCode::kShuttingDown),
+            4);
+  EXPECT_THROW(service.submit(design_id, logs_->front()), Error);
+}
+
+TEST_F(ServeTest, TransientFaultRetriesWithBackoffAndSucceeds) {
+  auto injector = std::make_shared<serve::FaultInjector>(3);
+  injector->arm_nth(serve::Seam::kModelPredict, {1});  // first attempt only
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.max_retries = 2;
+  options.backoff_base_ms = 0.01;  // keep the test fast
+  options.backoff_cap_ms = 0.1;
+  options.fault_injector = injector;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  const serve::DiagnosisResult result =
+      service.diagnose(design_id, logs_->front());
+  EXPECT_EQ(result.status, serve::StatusCode::kOk);
+  EXPECT_EQ(result.attempts, 2);  // one failure, one successful retry
+  EXPECT_EQ(service.metrics().retries.load(), 1);
+  EXPECT_EQ(injector->triggered(serve::Seam::kModelPredict), 1);
+
+  // The retried result is byte-identical to an undisturbed run.
+  serve::ServiceOptions clean;
+  clean.num_threads = 1;
+  serve::DiagnosisService reference = make_service(clean);
+  const std::int32_t ref_id = reference.register_design(design_);
+  EXPECT_EQ(serve::result_to_string(design_->netlist(), result),
+            serve::result_to_string(
+                design_->netlist(), reference.diagnose(ref_id, logs_->front())));
+  service.shutdown();
+  reference.shutdown();
+}
+
+TEST_F(ServeTest, ExhaustedRetriesSurfaceTransientStatus) {
+  auto injector = std::make_shared<serve::FaultInjector>(3);
+  injector->arm(serve::Seam::kModelPredict, 1.0);
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.max_retries = 1;
+  options.backoff_base_ms = 0.01;
+  options.backoff_cap_ms = 0.1;
+  options.fault_injector = injector;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  const serve::DiagnosisResult result =
+      service.diagnose(design_id, logs_->front());
+  EXPECT_EQ(result.status, serve::StatusCode::kTransient);
+  EXPECT_EQ(result.attempts, 2);
+  EXPECT_EQ(service.metrics().retries.load(), 1);
+  EXPECT_EQ(injector->triggered(serve::Seam::kModelPredict), 2);
+  service.shutdown();
+}
+
+TEST_F(ServeTest, BreakerTripsFailsFastAndRecoversViaProbe) {
+  auto injector = std::make_shared<serve::FaultInjector>(11);
+  injector->arm(serve::Seam::kModelPredict, 1.0);
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.max_retries = 0;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown_ms = 20.0;
+  options.fault_injector = injector;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  // Two consecutive failures trip the breaker...
+  EXPECT_EQ(service.diagnose(design_id, logs_->front()).status,
+            serve::StatusCode::kTransient);
+  EXPECT_EQ(service.diagnose(design_id, logs_->front()).status,
+            serve::StatusCode::kTransient);
+  EXPECT_EQ(service.breaker_state(design_id),
+            serve::CircuitBreaker::State::kOpen);
+  // ...after which submissions fail fast without touching a worker.
+  const serve::DiagnosisResult rejected =
+      service.diagnose(design_id, logs_->front());
+  EXPECT_EQ(rejected.status, serve::StatusCode::kOverloaded);
+  EXPECT_NE(rejected.status_message.find("circuit breaker"),
+            std::string::npos);
+  EXPECT_EQ(service.metrics().breaker_rejections.load(), 1);
+
+  // Once the fault clears and the cooldown elapses, the half-open probe
+  // succeeds and closes the breaker.
+  injector->arm(serve::Seam::kModelPredict, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(service.diagnose(design_id, logs_->front()).ok());
+  EXPECT_EQ(service.breaker_state(design_id),
+            serve::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(service.diagnose(design_id, logs_->front()).ok());
+  service.shutdown();
+}
+
+// ---- degraded-mode tests ----------------------------------------------------
+
+TEST_F(ServeTest, CorruptModelStreamDegradesToAtpgOnlyWhenAllowed) {
+  std::stringstream model;
+  framework_->save(model);
+  std::stringstream corrupt(model.str().substr(0, model.str().size() / 2));
+
+  serve::ServiceOptions options;
+  options.num_threads = 2;
+  options.degraded_fallback = true;
+  serve::DiagnosisService service(corrupt, options);
+  EXPECT_TRUE(service.degraded());
+  const std::int32_t design_id = service.register_design(design_);
+
+  const DesignContext ctx = design_->context();
+  for (const FailureLog& log : *logs_) {
+    const serve::DiagnosisResult result = service.diagnose(design_id, log);
+    EXPECT_EQ(result.status, serve::StatusCode::kOk);
+    EXPECT_TRUE(result.degraded);
+    // The degraded answer is exactly the unpruned ATPG base report.
+    serve::DiagnosisResult expected;
+    expected.design = design_->name();
+    expected.degraded = true;
+    expected.report = diagnose_atpg(ctx, log);
+    EXPECT_EQ(serve::result_to_string(design_->netlist(), result),
+              serve::result_to_string(design_->netlist(), expected));
+  }
+  service.shutdown();
+  EXPECT_EQ(service.metrics().degraded_results.load(),
+            static_cast<std::int64_t>(logs_->size()));
+}
+
+TEST_F(ServeTest, InjectedFrameworkLoadFaultDegradesService) {
+  auto injector = std::make_shared<serve::FaultInjector>(5);
+  injector->arm(serve::Seam::kFrameworkLoad, 1.0);
+  std::stringstream model;
+  framework_->save(model);
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.degraded_fallback = true;
+  options.fault_injector = injector;
+  serve::DiagnosisService service(model, options);
+  EXPECT_TRUE(service.degraded());
+  EXPECT_EQ(injector->triggered(serve::Seam::kFrameworkLoad), 1);
+  const std::int32_t design_id = service.register_design(design_);
+  const serve::DiagnosisResult result =
+      service.diagnose(design_id, logs_->front());
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.degraded);
+  service.shutdown();
+}
+
+TEST_F(ServeTest, ModelFaultAtPredictTimeDegradesThatRequestOnly) {
+  auto injector = std::make_shared<serve::FaultInjector>(5);
+  injector->arm_nth(serve::Seam::kModelPredict, {1},
+                    serve::FaultKind::kModelUnavailable);
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.degraded_fallback = true;
+  options.fault_injector = injector;
+  serve::DiagnosisService service = make_service(options);
+  EXPECT_FALSE(service.degraded());  // the model loaded fine
+  const std::int32_t design_id = service.register_design(design_);
+
+  const serve::DiagnosisResult degraded =
+      service.diagnose(design_id, logs_->front());
+  EXPECT_EQ(degraded.status, serve::StatusCode::kOk);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.report.resolution(),
+            diagnose_atpg(design_->context(), logs_->front()).resolution());
+
+  // The next request gets the full GNN verdict again.
+  const serve::DiagnosisResult full =
+      service.diagnose(design_id, logs_->back());
+  EXPECT_TRUE(full.ok());
+  EXPECT_FALSE(full.degraded);
+  service.shutdown();
+  EXPECT_EQ(service.metrics().degraded_results.load(), 1);
+}
+
+TEST_F(ServeTest, ModelFaultWithoutFallbackFailsTheRequest) {
+  auto injector = std::make_shared<serve::FaultInjector>(5);
+  injector->arm(serve::Seam::kModelPredict, 1.0,
+                serve::FaultKind::kModelUnavailable);
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.fault_injector = injector;  // degraded_fallback stays false
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+  const serve::DiagnosisResult result =
+      service.diagnose(design_id, logs_->front());
+  EXPECT_EQ(result.status, serve::StatusCode::kModelUnavailable);
+  EXPECT_FALSE(result.degraded);
+  service.shutdown();
+}
+
+// Failed requests flow through the ordered sink without stalling later
+// successes (service-level companion to the sink unit test above).
+TEST_F(ServeTest, FailedRequestsDoNotStallOrderedReporting) {
+  auto injector = std::make_shared<serve::FaultInjector>(13);
+  injector->arm_nth(serve::Seam::kCacheLookup, {1});  // request 0 fails
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.max_retries = 0;
+  options.fault_injector = injector;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  std::vector<std::future<serve::DiagnosisResult>> futures;
+  for (std::size_t i = 0; i < 3; ++i) {
+    futures.push_back(service.submit(design_id, (*logs_)[i]));
+  }
+  serve::OrderedReportSink sink;
+  for (auto& f : futures) {
+    const serve::DiagnosisResult r = f.get();
+    sink.deliver(r.sequence, serve::result_to_string(design_->netlist(), r));
+  }
+  service.shutdown();
+  const auto ordered = sink.take_ordered();
+  ASSERT_EQ(ordered.size(), 3u);  // the failure did not hold back the flush
+  EXPECT_NE(ordered[0].find("status: TRANSIENT"), std::string::npos);
+  EXPECT_NE(ordered[1].find("GNN verdict"), std::string::npos);
+  EXPECT_NE(ordered[2].find("GNN verdict"), std::string::npos);
 }
 
 }  // namespace

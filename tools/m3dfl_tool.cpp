@@ -8,12 +8,18 @@
 //                                                   diagnose one failure log
 //   m3dfl_tool inject    <profile> <out.flog>       make a demo failure log
 //   m3dfl_tool serve     <profile> <model.m3dfl> <logs> [config] [threads]
+//                        [--deadline-ms=N] [--max-retries=N] [--no-degraded]
 //                                                   batch-diagnose a directory
 //                                                   (or manifest) of logs
 //                                                   through the concurrent
 //                                                   serving runtime
 //
 // Profiles: aes | tate | netcard | leon3mp.  Configs: syn1|tpi|syn2|par.
+//
+// serve failure semantics: every request resolves with a serve::StatusCode
+// (printed per report and totalled at the end); a missing/corrupt model
+// stream degrades the whole run to ATPG-only ranking (reports marked
+// degraded) instead of aborting.  Exit 0 iff every request ended kOk.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -201,20 +207,60 @@ std::vector<std::filesystem::path> collect_log_paths(const std::string& arg) {
   return paths;
 }
 
+// Flags accepted by `serve` (may appear anywhere after the command).
+struct ServeFlags {
+  double deadline_ms = 0.0;
+  std::int32_t max_retries = 2;
+  bool degraded_fallback = true;
+};
+
+ServeFlags parse_serve_flags(const std::vector<std::string>& flags) {
+  ServeFlags parsed;
+  for (const std::string& flag : flags) {
+    const auto eq = flag.find('=');
+    const std::string key = flag.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : flag.substr(eq + 1);
+    try {
+      if (key == "--deadline-ms") {
+        parsed.deadline_ms = std::stod(value);
+      } else if (key == "--max-retries") {
+        parsed.max_retries = std::stoi(value);
+      } else if (key == "--no-degraded") {
+        parsed.degraded_fallback = false;
+      } else {
+        throw Error("unknown serve flag '" + flag + "'");
+      }
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      throw Error("bad value in serve flag '" + flag + "'");
+    }
+  }
+  return parsed;
+}
+
 int cmd_serve(const std::string& profile, const std::string& model_path,
               const std::string& logs_arg, const std::string& config,
-              const std::string& threads_str) {
+              const std::string& threads_str, const ServeFlags& flags) {
   serve::ServiceOptions options;
   try {
     options.num_threads = std::stoi(threads_str);
   } catch (const std::exception&) {
     throw Error("m3dfl: invalid thread count '" + threads_str + "'");
   }
+  options.default_deadline_ms = flags.deadline_ms;
+  options.max_retries = flags.max_retries;
+  options.degraded_fallback = flags.degraded_fallback;
 
   std::shared_ptr<const Design> design =
       Design::build(parse_profile(profile), parse_config(config));
   auto model_is = open_in(model_path);
   serve::DiagnosisService service(model_is, options);
+  if (service.degraded()) {
+    std::cerr << "warning: model unusable; serving in degraded ATPG-only "
+                 "mode (reports carry no GNN verdict)\n";
+  }
   const std::int32_t design_id = service.register_design(design);
 
   const auto paths = collect_log_paths(logs_arg);
@@ -222,21 +268,54 @@ int cmd_serve(const std::string& profile, const std::string& model_path,
             << design->name() << " with " << options.num_threads
             << " worker thread(s)...\n";
 
+  // A log that fails to open or parse becomes an immediate kInvalidInput
+  // slot rather than aborting the batch: the tester keeps getting answers
+  // for the dies whose logs are fine.
   std::vector<std::future<serve::DiagnosisResult>> futures;
+  std::vector<std::string> parse_failures(paths.size());
   futures.reserve(paths.size());
   for (const auto& path : paths) {
-    auto is = open_in(path.string());
-    futures.push_back(service.submit(design_id, read_failure_log(is)));
+    try {
+      auto is = open_in(path.string());
+      futures.push_back(service.submit(design_id, read_failure_log(is)));
+    } catch (const Error& e) {
+      parse_failures[futures.size()] = e.what();
+      futures.emplace_back();  // invalid slot, reported below
+    }
   }
+
+  std::size_t num_ok = 0;
+  std::size_t num_degraded = 0;
+  std::size_t num_failed = 0;
   for (std::size_t i = 0; i < futures.size(); ++i) {
+    std::cout << "==== " << paths[i].filename().string();
+    if (!futures[i].valid()) {
+      ++num_failed;
+      std::cout << "\nstatus: " << serve::status_name(
+                       serve::StatusCode::kInvalidInput)
+                << " (" << parse_failures[i] << ")\n\n";
+      continue;
+    }
     const serve::DiagnosisResult result = futures[i].get();
-    std::cout << "==== " << paths[i].filename().string()
-              << (result.cache_hit ? " (cache hit)" : "") << "\n"
-              << result_to_string(design->netlist(), result) << "\n";
+    if (result.ok()) {
+      ++num_ok;
+      num_degraded += result.degraded ? 1 : 0;
+    } else {
+      ++num_failed;
+    }
+    if (result.cache_hit) std::cout << " (cache hit)";
+    if (result.degraded) std::cout << " (degraded)";
+    if (!result.ok()) {
+      std::cout << " [" << serve::status_name(result.status) << "]";
+    }
+    std::cout << "\n" << result_to_string(design->netlist(), result) << "\n";
   }
   service.shutdown();
   std::cout << "==== serving metrics ====\n" << service.metrics().report();
-  return 0;
+  std::cout << "==== " << num_ok << " ok (" << num_degraded << " degraded), "
+            << num_failed << " failed of " << futures.size()
+            << " requests ====\n";
+  return num_failed == 0 ? 0 : 1;
 }
 
 int usage() {
@@ -249,7 +328,9 @@ int usage() {
                "  m3dfl_tool diagnose <profile> <model.m3dfl> <die.flog> "
                "[config]\n"
                "  m3dfl_tool serve    <profile> <model.m3dfl> "
-               "<logdir|manifest> [config] [threads]\n";
+               "<logdir|manifest> [config] [threads]\n"
+               "                      [--deadline-ms=N] [--max-retries=N] "
+               "[--no-degraded]\n";
   return 2;
 }
 
@@ -257,23 +338,42 @@ int usage() {
 
 int main(int argc, char** argv) {
   try {
-    if (argc < 3) return usage();
-    const std::string cmd = argv[1];
-    if (cmd == "generate" && argc == 4) return cmd_generate(argv[2], argv[3]);
-    if (cmd == "verilog" && argc == 4) return cmd_verilog(argv[2], argv[3]);
-    if (cmd == "stats" && (argc == 3 || argc == 4)) {
-      return cmd_stats(argv[2], argc == 4 ? argv[3] : "syn1");
+    // Split "--flag[=value]" arguments (serve only) from positionals so
+    // flags may appear anywhere on the command line.
+    std::vector<std::string> positional;
+    std::vector<std::string> flags;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      (arg.rfind("--", 0) == 0 ? flags : positional).push_back(arg);
     }
-    if (cmd == "train" && argc == 4) return cmd_train(argv[2], argv[3]);
-    if (cmd == "inject" && argc == 4) return cmd_inject(argv[2], argv[3]);
-    if (cmd == "diagnose" && (argc == 5 || argc == 6)) {
-      return cmd_diagnose(argv[2], argv[3], argv[4],
-                          argc == 6 ? argv[5] : "syn1");
+    if (positional.size() < 2) return usage();
+    const std::string cmd = positional[0];
+    if (cmd == "serve" && positional.size() >= 4 && positional.size() <= 6) {
+      return cmd_serve(positional[1], positional[2], positional[3],
+                       positional.size() >= 5 ? positional[4] : "syn1",
+                       positional.size() == 6 ? positional[5] : "4",
+                       parse_serve_flags(flags));
     }
-    if (cmd == "serve" && argc >= 5 && argc <= 7) {
-      return cmd_serve(argv[2], argv[3], argv[4],
-                       argc >= 6 ? argv[5] : "syn1",
-                       argc == 7 ? argv[6] : "4");
+    if (!flags.empty()) {
+      throw Error("flags are only accepted by the 'serve' command");
+    }
+    const std::size_t n = positional.size();
+    if (cmd == "generate" && n == 3) {
+      return cmd_generate(positional[1], positional[2]);
+    }
+    if (cmd == "verilog" && n == 3) {
+      return cmd_verilog(positional[1], positional[2]);
+    }
+    if (cmd == "stats" && (n == 2 || n == 3)) {
+      return cmd_stats(positional[1], n == 3 ? positional[2] : "syn1");
+    }
+    if (cmd == "train" && n == 3) return cmd_train(positional[1], positional[2]);
+    if (cmd == "inject" && n == 3) {
+      return cmd_inject(positional[1], positional[2]);
+    }
+    if (cmd == "diagnose" && (n == 4 || n == 5)) {
+      return cmd_diagnose(positional[1], positional[2], positional[3],
+                          n == 5 ? positional[4] : "syn1");
     }
     return usage();
   } catch (const std::exception& e) {
