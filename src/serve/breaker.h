@@ -7,7 +7,11 @@
 // with kOverloaded, protecting every other design's latency.  After
 // `cooldown_ms` the breaker half-opens and admits exactly one probe request;
 // the probe's outcome closes the breaker (success) or re-opens it for
-// another cooldown (failure).
+// another cooldown (failure).  A probe whose outcome is never reported —
+// rejected later in admission, or resolved without a success/failure verdict
+// — must be returned via abandon_probe(); as a backstop, a probe outstanding
+// longer than `cooldown_ms` expires and admit() re-issues one, so a lost
+// probe can never wedge the breaker half-open forever.
 //
 // `failure_threshold == 0` disables the breaker (every admit() allows).
 #ifndef M3DFL_SERVE_BREAKER_H_
@@ -45,9 +49,14 @@ class CircuitBreaker {
       case State::kOpen:
         if (now < open_until_) return Decision::kReject;
         state_ = State::kHalfOpen;
+        probe_expires_ = now + cooldown();
         return Decision::kProbe;
       case State::kHalfOpen:
-        return Decision::kReject;  // one probe at a time
+        // One probe at a time — but an expired probe (lost without a
+        // verdict) is replaced rather than awaited forever.
+        if (now < probe_expires_) return Decision::kReject;
+        probe_expires_ = now + cooldown();
+        return Decision::kProbe;
     }
     return Decision::kAllow;
   }
@@ -71,6 +80,18 @@ class CircuitBreaker {
     if (++consecutive_failures_ >= options_.failure_threshold) trip(now);
   }
 
+  // Returns an admitted probe whose outcome says nothing about the design
+  // (shed at a later admission step, deadline passed, shutdown, coalesced
+  // leader failure): back to open for another cooldown — without counting a
+  // trip — so the design is probed again instead of staying half-open.
+  void abandon_probe(Clock::time_point now) {
+    if (options_.failure_threshold <= 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kHalfOpen) return;
+    state_ = State::kOpen;
+    open_until_ = now + cooldown();
+  }
+
   State state() const {
     std::lock_guard<std::mutex> lock(mu_);
     return state_;
@@ -82,14 +103,16 @@ class CircuitBreaker {
   }
 
  private:
+  Clock::duration cooldown() const {
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(options_.cooldown_ms));
+  }
+
   void trip(Clock::time_point now) {
     state_ = State::kOpen;
     consecutive_failures_ = 0;
     ++trips_;
-    open_until_ =
-        now + std::chrono::duration_cast<Clock::duration>(
-                  std::chrono::duration<double, std::milli>(
-                      options_.cooldown_ms));
+    open_until_ = now + cooldown();
   }
 
   const BreakerOptions options_;
@@ -98,6 +121,7 @@ class CircuitBreaker {
   std::int32_t consecutive_failures_ = 0;
   std::int64_t trips_ = 0;
   Clock::time_point open_until_{};
+  Clock::time_point probe_expires_{};
 };
 
 }  // namespace m3dfl::serve

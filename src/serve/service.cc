@@ -230,41 +230,53 @@ std::future<DiagnosisResult> DiagnosisService::submit(
                   StatusCode::kInvalidInput, invalid);
   }
   CircuitBreaker* breaker = breaker_for(design_id);
-  if (breaker->admit(request.enqueued) == CircuitBreaker::Decision::kReject) {
-    metrics_.breaker_rejections.fetch_add(1, std::memory_order_relaxed);
-    return reject(std::move(request), std::move(future), *design,
-                  StatusCode::kOverloaded,
-                  "circuit breaker open for design '" + design->name() + "'");
+  switch (breaker->admit(request.enqueued)) {
+    case CircuitBreaker::Decision::kReject:
+      metrics_.breaker_rejections.fetch_add(1, std::memory_order_relaxed);
+      return reject(std::move(request), std::move(future), *design,
+                    StatusCode::kOverloaded,
+                    "circuit breaker open for design '" + design->name() +
+                        "'");
+    case CircuitBreaker::Decision::kProbe:
+      // This request now owns the half-open probe: every exit from here on
+      // — including the load-shedding rejections below — must resolve it,
+      // or the breaker would reject this design's submissions until the
+      // probe expires.
+      request.probe = true;
+      break;
+    case CircuitBreaker::Decision::kAllow:
+      break;
   }
+  const auto shed = [&](std::string message) {
+    metrics_.load_shed.fetch_add(1, std::memory_order_relaxed);
+    if (request.probe) breaker->abandon_probe(Clock::now());
+    return reject(std::move(request), std::move(future), *design,
+                  StatusCode::kOverloaded, std::move(message));
+  };
   FaultInjector* injector = options_.fault_injector.get();
   if (injector != nullptr && injector->should_fail(Seam::kQueueAdmit)) {
-    metrics_.load_shed.fetch_add(1, std::memory_order_relaxed);
-    return reject(std::move(request), std::move(future), *design,
-                  StatusCode::kOverloaded, "injected queue admission fault");
+    return shed("injected queue admission fault");
   }
+  const bool probe = request.probe;  // `request` may be moved-from below
   if (options_.shed_watermark > 0) {
     // Load shedding: a queue at the high-watermark means the service is
     // already saturated; failing fast beats stalling the caller.
     if (queue_.size() >= options_.shed_watermark) {
-      metrics_.load_shed.fetch_add(1, std::memory_order_relaxed);
-      return reject(std::move(request), std::move(future), *design,
-                    StatusCode::kOverloaded,
-                    "request queue above shed watermark (" +
-                        std::to_string(options_.shed_watermark) + ")");
+      return shed("request queue above shed watermark (" +
+                  std::to_string(options_.shed_watermark) + ")");
     }
     switch (queue_.try_push(request)) {
       case RequestQueue<Request>::TryPush::kAccepted:
         return future;
       case RequestQueue<Request>::TryPush::kFull:
-        metrics_.load_shed.fetch_add(1, std::memory_order_relaxed);
-        return reject(std::move(request), std::move(future), *design,
-                      StatusCode::kOverloaded, "request queue full");
+        return shed("request queue full");
       case RequestQueue<Request>::TryPush::kClosed:
         break;  // fall through to the shutdown-race path below
     }
   } else if (queue_.push(std::move(request))) {
     return future;
   }
+  if (probe) breaker->abandon_probe(Clock::now());
   // Shutdown raced with this submit; account the request as finished so
   // drain() cannot hang, then report the condition to the caller.
   {
@@ -365,17 +377,35 @@ void DiagnosisService::process(Request& request) {
   double sleep_ms = options_.backoff_base_ms;
   StatusCode status = StatusCode::kInternal;
   std::string message;
+  bool breaker_exempt = false;
   for (std::int32_t attempt = 0;; ++attempt) {
     result.attempts = attempt + 1;
-    status = attempt_once(request, *design, ctx, result, message);
+    status = attempt_once(request, *design, ctx, result, message,
+                          breaker_exempt);
     if (status != StatusCode::kTransient || attempt >= options_.max_retries) {
       break;
     }
-    metrics_.retries.fetch_add(1, std::memory_order_relaxed);
     sleep_ms = next_backoff_ms(backoff_rng, options_.backoff_base_ms,
                                options_.backoff_cap_ms, sleep_ms);
+    // Never sleep past the request's deadline: a backoff that cannot end
+    // before the deadline would occupy a worker only to fail the next
+    // attempt's first check anyway.
+    double nap_ms = sleep_ms;
+    if (request.deadline != Clock::time_point::max()) {
+      const double remaining_ms =
+          std::chrono::duration<double, std::milli>(request.deadline -
+                                                    Clock::now())
+              .count();
+      if (remaining_ms <= 0.0) {
+        status = StatusCode::kDeadlineExceeded;
+        message = "deadline exceeded during retry backoff";
+        break;
+      }
+      nap_ms = std::min(nap_ms, remaining_ms);
+    }
+    metrics_.retries.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(sleep_ms));
+        std::chrono::duration<double, std::milli>(nap_ms));
   }
 
   if (status == StatusCode::kOk) {
@@ -385,12 +415,18 @@ void DiagnosisService::process(Request& request) {
     metrics_.end_to_end.record(result.total_seconds);
   }
   CircuitBreaker* breaker = breaker_for(request.design_id);
+  const bool failure_class = status == StatusCode::kTransient ||
+                             status == StatusCode::kInternal ||
+                             status == StatusCode::kModelUnavailable;
   if (status == StatusCode::kOk) {
     breaker->on_success();
-  } else if (status == StatusCode::kTransient ||
-             status == StatusCode::kInternal ||
-             status == StatusCode::kModelUnavailable) {
+  } else if (failure_class && !breaker_exempt) {
     breaker->on_failure(Clock::now());
+  } else if (request.probe) {
+    // Statuses that say nothing about the design's health (deadline,
+    // shutdown, a coalesced leader's failure) still must resolve the
+    // half-open probe, or the breaker would stay probe-less until expiry.
+    breaker->abandon_probe(Clock::now());
   }
   complete(request, std::move(result), status, std::move(message));
 }
@@ -399,7 +435,8 @@ StatusCode DiagnosisService::attempt_once(Request& request,
                                           const Design& design,
                                           const DesignContext& ctx,
                                           DiagnosisResult& result,
-                                          std::string& message) {
+                                          std::string& message,
+                                          bool& breaker_exempt) {
   FaultInjector* injector = options_.fault_injector.get();
   std::shared_ptr<const CachedDiagnosis> entry;
   // A retry starts from a clean slate: the previous attempt may have left a
@@ -407,6 +444,7 @@ StatusCode DiagnosisService::attempt_once(Request& request,
   result.degraded = false;
   result.pruned.clear();
   result.prediction = FrameworkPrediction{};
+  breaker_exempt = false;
   try {
     if (abort_.load(std::memory_order_relaxed)) {
       message = "service shutting down";
@@ -500,12 +538,19 @@ StatusCode DiagnosisService::attempt_once(Request& request,
         // Coalesced: a leader failure surfaces here as kTransient — this
         // request's retry recomputes independently (and may become the
         // leader itself), so one poisoned flight never condemns followers.
+        // The failure is the leader's, already fed to the breaker by the
+        // leader's own request; N coalesced waiters must not multiply one
+        // fault into N consecutive-failure increments.
         metrics_.cache_coalesced.fetch_add(1, std::memory_order_relaxed);
         try {
           entry = follow.get();
         } catch (const std::exception& e) {
+          breaker_exempt = true;
           throw TransientError(std::string("coalesced leader failed: ") +
                                e.what());
+        } catch (...) {
+          breaker_exempt = true;
+          throw TransientError("coalesced leader failed: unknown exception");
         }
         result.cache_hit = true;
       } else {
@@ -566,6 +611,13 @@ StatusCode DiagnosisService::attempt_once(Request& request,
     return StatusCode::kTransient;
   } catch (const std::exception& e) {
     message = e.what();
+    return StatusCode::kInternal;
+  } catch (...) {
+    // The single-flight leader path rethrows whatever the computation threw
+    // — including non-std::exception types from backtrace/ATPG/framework
+    // code.  Nothing may escape the worker, so the chain ends broader than
+    // std::exception.
+    message = "unknown exception";
     return StatusCode::kInternal;
   }
 }

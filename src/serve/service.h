@@ -205,6 +205,9 @@ class DiagnosisService {
     FailureLog log;
     Clock::time_point enqueued;
     Clock::time_point deadline = Clock::time_point::max();
+    // This request is the circuit breaker's half-open probe: its terminal
+    // status must always resolve the probe (success/failure/abandon).
+    bool probe = false;
     std::promise<DiagnosisResult> promise;
   };
 
@@ -224,9 +227,12 @@ class DiagnosisService {
   void worker_loop();
   void process(Request& request);
   // One diagnosis attempt; classifies every failure into a StatusCode.
+  // Sets `breaker_exempt` when a failure says nothing about this design's
+  // health (a coalesced leader's failure, already counted — or retried —
+  // by the leader's own request) and must not feed the circuit breaker.
   StatusCode attempt_once(Request& request, const Design& design,
                           const DesignContext& ctx, DiagnosisResult& result,
-                          std::string& message);
+                          std::string& message, bool& breaker_exempt);
   // Fulfills the promise with a terminal status and records metrics.  Does
   // NOT touch drain accounting — the caller owns that.
   void complete(Request& request, DiagnosisResult&& result, StatusCode status,

@@ -461,6 +461,37 @@ TEST(BreakerTest, TripsAfterConsecutiveFailuresAndHalfOpensOnProbe) {
   EXPECT_EQ(breaker.admit(after), serve::CircuitBreaker::Decision::kAllow);
 }
 
+TEST(BreakerTest, AbandonedOrExpiredProbeNeverWedgesHalfOpen) {
+  using Clock = serve::CircuitBreaker::Clock;
+  serve::BreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_ms = 50.0;
+  serve::CircuitBreaker breaker(options);
+  const Clock::time_point t0 = Clock::now();
+  breaker.on_failure(t0);
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kOpen);
+
+  // A probe whose outcome is never a health verdict (shed at admission,
+  // deadline, shutdown) is abandoned: back to open — no trip counted — and
+  // a fresh probe goes out after another cooldown.
+  const Clock::time_point t1 = t0 + std::chrono::milliseconds(60);
+  EXPECT_EQ(breaker.admit(t1), serve::CircuitBreaker::Decision::kProbe);
+  breaker.abandon_probe(t1);
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_EQ(breaker.admit(t1), serve::CircuitBreaker::Decision::kReject);
+
+  // A probe that is simply lost (no verdict ever reported) expires after
+  // the cooldown and admit() re-issues one instead of rejecting forever.
+  const Clock::time_point t2 = t1 + std::chrono::milliseconds(60);
+  EXPECT_EQ(breaker.admit(t2), serve::CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(breaker.admit(t2), serve::CircuitBreaker::Decision::kReject);
+  const Clock::time_point t3 = t2 + std::chrono::milliseconds(60);
+  EXPECT_EQ(breaker.admit(t3), serve::CircuitBreaker::Decision::kProbe);
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), serve::CircuitBreaker::State::kClosed);
+}
+
 TEST(BreakerTest, ThresholdZeroDisables) {
   serve::CircuitBreaker breaker(serve::BreakerOptions{});
   const auto now = serve::CircuitBreaker::Clock::now();
@@ -681,6 +712,49 @@ TEST_F(ServeTest, BreakerTripsFailsFastAndRecoversViaProbe) {
   EXPECT_EQ(service.breaker_state(design_id),
             serve::CircuitBreaker::State::kClosed);
   EXPECT_TRUE(service.diagnose(design_id, logs_->front()).ok());
+  service.shutdown();
+}
+
+TEST_F(ServeTest, ProbeWithoutHealthVerdictDoesNotWedgeBreaker) {
+  auto injector = std::make_shared<serve::FaultInjector>(13);
+  injector->arm(serve::Seam::kModelPredict, 1.0);
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.max_retries = 0;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown_ms = 20.0;
+  options.fault_injector = injector;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  // Trip the breaker, then clear the fault.
+  EXPECT_EQ(service.diagnose(design_id, logs_->front()).status,
+            serve::StatusCode::kTransient);
+  EXPECT_EQ(service.diagnose(design_id, logs_->front()).status,
+            serve::StatusCode::kTransient);
+  EXPECT_EQ(service.breaker_state(design_id),
+            serve::CircuitBreaker::State::kOpen);
+  injector->arm(serve::Seam::kModelPredict, 0.0);
+
+  // After the cooldown the next submission is admitted as the half-open
+  // probe, but its deadline has already passed, so it resolves with
+  // kDeadlineExceeded — a status that says nothing about the design.  The
+  // probe must be returned (breaker back to open), not leaked: a leaked
+  // probe would reject this design's submissions forever.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  serve::SubmitOptions expired;
+  expired.deadline_ms = 1e-6;
+  const serve::DiagnosisResult probe =
+      service.diagnose(design_id, logs_->front(), expired);
+  EXPECT_EQ(probe.status, serve::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.breaker_state(design_id),
+            serve::CircuitBreaker::State::kOpen);
+
+  // The design recovers: another cooldown, a healthy probe, breaker closed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(service.diagnose(design_id, logs_->front()).ok());
+  EXPECT_EQ(service.breaker_state(design_id),
+            serve::CircuitBreaker::State::kClosed);
   service.shutdown();
 }
 
