@@ -1,6 +1,10 @@
 #include "core/config.h"
 
 #include <algorithm>
+#include <cctype>
+#include <istream>
+#include <set>
+#include <sstream>
 
 #include "util/error.h"
 
@@ -37,6 +41,107 @@ std::string config_name(DesignConfig config) {
     case DesignConfig::kPar: return "Par";
   }
   M3DFL_ASSERT(false);
+}
+
+Profile parse_profile(const std::string& name) {
+  for (Profile p : all_profiles()) {
+    std::string lower = profile_name(p);
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == name) return p;
+  }
+  throw Error("unknown profile '" + name + "' (aes|tate|netcard|leon3mp)");
+}
+
+DesignConfig parse_config(const std::string& name) {
+  if (name == "syn1") return DesignConfig::kSyn1;
+  if (name == "tpi") return DesignConfig::kTpi;
+  if (name == "syn2") return DesignConfig::kSyn2;
+  if (name == "par") return DesignConfig::kPar;
+  throw Error("unknown config '" + name + "' (syn1|tpi|syn2|par)");
+}
+
+namespace {
+
+[[noreturn]] void cfg_fail(const std::string& source, int line_no,
+                           const std::string& what) {
+  throw Error(source + " line " + std::to_string(line_no) + ": " + what);
+}
+
+}  // namespace
+
+TrainOptions read_train_options(std::istream& is, const TrainOptions& defaults,
+                                const std::string& source) {
+  TrainOptions out = defaults;
+  std::set<std::string> seen;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    std::string value;
+    if (!(ls >> value)) {
+      cfg_fail(source, line_no, "missing value for key '" + key + "'");
+    }
+    std::string extra;
+    if (ls >> extra) {
+      cfg_fail(source, line_no,
+               "trailing garbage '" + extra + "' after key '" + key + "'");
+    }
+    if (!seen.insert(key).second) {
+      cfg_fail(source, line_no, "duplicate key '" + key + "'");
+    }
+
+    std::size_t pos = 0;
+    try {
+      if (key == "epochs") {
+        out.epochs = std::stoi(value, &pos);
+      } else if (key == "batch_size") {
+        out.batch_size = std::stoi(value, &pos);
+      } else if (key == "lr") {
+        out.lr = std::stod(value, &pos);
+      } else if (key == "seed") {
+        out.seed = std::stoull(value, &pos);
+      } else if (key == "min_improvement") {
+        out.min_improvement = std::stod(value, &pos);
+      } else if (key == "patience") {
+        out.patience = std::stoi(value, &pos);
+      } else {
+        cfg_fail(source, line_no,
+                 "unknown key '" + key +
+                     "' (epochs|batch_size|lr|seed|min_improvement|"
+                     "patience)");
+      }
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      cfg_fail(source, line_no,
+               "non-numeric value '" + value + "' for key '" + key + "'");
+    }
+    if (pos != value.size()) {
+      cfg_fail(source, line_no,
+               "non-numeric value '" + value + "' for key '" + key + "'");
+    }
+    if (key == "epochs" && out.epochs < 1) {
+      cfg_fail(source, line_no, "epochs must be >= 1");
+    }
+    if (key == "batch_size" && out.batch_size < 1) {
+      cfg_fail(source, line_no, "batch_size must be >= 1");
+    }
+    if (key == "lr" && !(out.lr > 0.0)) {
+      cfg_fail(source, line_no, "lr must be > 0");
+    }
+    if (key == "min_improvement" && out.min_improvement < 0.0) {
+      cfg_fail(source, line_no, "min_improvement must be >= 0");
+    }
+    if (key == "patience" && out.patience < 1) {
+      cfg_fail(source, line_no, "patience must be >= 1");
+    }
+  }
+  return out;
 }
 
 ProfileSpec profile_spec(Profile profile) {

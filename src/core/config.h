@@ -17,11 +17,13 @@
 #ifndef M3DFL_CORE_CONFIG_H_
 #define M3DFL_CORE_CONFIG_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "atpg/tdf_atpg.h"
 #include "dft/test_points.h"
+#include "gnn/trainer.h"
 #include "m3d/partition.h"
 #include "netlist/generator.h"
 
@@ -37,6 +39,29 @@ const std::vector<DesignConfig>& all_configs();
 
 std::string profile_name(Profile profile);
 std::string config_name(DesignConfig config);
+
+// Inverse of the names above (lowercase), used by the CLI and config files.
+// Throws m3dfl::Error naming the accepted values on an unknown name.
+Profile parse_profile(const std::string& name);
+DesignConfig parse_config(const std::string& name);
+
+// Reads training options from a line-oriented key-value stream:
+//
+//   # comment
+//   epochs 200
+//   batch_size 8
+//   lr 0.01
+//   seed 123
+//   min_improvement 1e-4
+//   patience 25
+//
+// Unlisted keys keep the values of `defaults`.  Unknown keys, duplicate
+// keys, missing/non-numeric values, trailing garbage, and out-of-range
+// values are rejected with an m3dfl::Error citing `source` and the 1-based
+// line (same hardening contract as diag/log_io).
+TrainOptions read_train_options(std::istream& is,
+                                const TrainOptions& defaults = {},
+                                const std::string& source = "<stream>");
 
 // Build parameters for one benchmark profile.
 struct ProfileSpec {

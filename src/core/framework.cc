@@ -4,10 +4,12 @@
 #include <chrono>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "core/checkpoint.h"
 #include "dft/test_points.h"
-#include "gnn/oversample.h"
 #include "gnn/serialize.h"
+#include "util/artifact.h"
 
 namespace m3dfl {
 
@@ -83,42 +85,8 @@ DiagnosisFramework::DiagnosisFramework(const FrameworkOptions& options)
       miv_pinpointer_(std::make_unique<MivPinpointer>(options.model)) {}
 
 void DiagnosisFramework::train(std::span<const Subgraph> graphs) {
-  M3DFL_REQUIRE(!graphs.empty(), "cannot train on an empty dataset");
-  train_tier_predictor(*tier_predictor_, graphs, options_.training);
-  train_miv_pinpointer(*miv_pinpointer_, graphs, options_.training);
-
-  // PR curve over the training set -> T_P (paper Sec. V-B).
-  std::vector<PrSample> pr_samples;
-  for (const Subgraph& g : graphs) {
-    if (g.empty() || (g.tier_label != 0 && g.tier_label != 1)) continue;
-    double confidence = 0.0;
-    const int tier = tier_predictor_->predicted_tier(g, &confidence);
-    pr_samples.push_back(PrSample{confidence, tier == g.tier_label});
-  }
-  tp_threshold_ =
-      select_threshold(pr_curve(pr_samples), options_.pr_min_precision);
-
-  // Classifier training set: Predicted Positive samples, labeled by whether
-  // the tier prediction was correct (true positive -> prune is safe).
-  std::vector<Subgraph> cls_graphs;
-  std::vector<int> cls_labels;
-  for (const Subgraph& g : graphs) {
-    if (g.empty() || (g.tier_label != 0 && g.tier_label != 1)) continue;
-    double confidence = 0.0;
-    const int tier = tier_predictor_->predicted_tier(g, &confidence);
-    if (confidence < tp_threshold_) continue;
-    cls_graphs.push_back(g);
-    cls_labels.push_back(tier == g.tier_label ? 1 : 0);
-  }
-  classifier_ =
-      std::make_unique<PruneClassifier>(*tier_predictor_, options_.model);
-  if (!cls_graphs.empty()) {
-    Rng rng(options_.training.seed ^ 0xB0FFE2);
-    balance_with_buffers(cls_graphs, cls_labels, rng);
-    train_prune_classifier(*classifier_, cls_graphs, cls_labels,
-                           options_.training);
-  }
-  trained_ = true;
+  Trainer trainer(*this);
+  trainer.train(graphs);
 }
 
 FrameworkPrediction DiagnosisFramework::predict(const Subgraph& sg) const {
@@ -189,37 +157,54 @@ std::vector<Candidate> DiagnosisFramework::refine_report(
 
 void DiagnosisFramework::save(std::ostream& os) const {
   M3DFL_REQUIRE(trained_, "cannot save an untrained framework");
-  os << "m3dfl-framework 1\n";
-  os << "tp_threshold " << std::hexfloat << tp_threshold_
-     << std::defaultfloat << "\n";
-  save_model(os, *tier_predictor_);
-  save_model(os, *miv_pinpointer_);
-  save_model(os, *classifier_);
-  // Trailer: lets load() distinguish a complete stream from one truncated
-  // inside the final parameter payload (a partial hex-float token would
-  // otherwise still parse).
-  os << "m3dfl-framework-end\n";
+  // The container payload is exactly the legacy version-1 framework stream
+  // (bare model sections, no nested containers), so the same inner parser
+  // serves both the envelope and pre-container files.
+  std::ostringstream payload;
+  payload << "m3dfl-framework 1\n";
+  payload << "tp_threshold " << std::hexfloat << tp_threshold_
+          << std::defaultfloat << "\n";
+  tier_predictor_->save(payload);
+  miv_pinpointer_->save(payload);
+  classifier_->save(payload);
+  // Trailer: lets the inner parser distinguish a complete stream from one
+  // truncated inside the final parameter payload (a partial hex-float token
+  // would otherwise still parse).
+  payload << "m3dfl-framework-end\n";
+  write_artifact(os, kFrameworkKind, payload.str());
 }
 
-void DiagnosisFramework::load(std::istream& is) {
+void DiagnosisFramework::load(std::istream& is, const std::string& source) {
+  const std::string text = slurp_stream(is);
+  // Container form when wrapped; bare legacy "m3dfl-framework 1" streams
+  // (the pre-container era) pass through unchanged — the migration shim.
+  std::istringstream inner(
+      is_artifact(text) ? read_artifact(text, kFrameworkKind, source) : text);
+
   std::string token;
-  is >> token;
-  M3DFL_REQUIRE(token == "m3dfl-framework", "not a framework stream");
-  is >> token;
-  M3DFL_REQUIRE(token == "1", "unsupported framework version");
-  is >> token;
-  M3DFL_REQUIRE(token == "tp_threshold", "framework stream: missing T_P");
-  is >> token;
+  inner >> token;
+  M3DFL_REQUIRE(token == "m3dfl-framework",
+                source + ": not a framework stream: expected "
+                         "'m3dfl-framework', found '" + token + "'");
+  inner >> token;
+  M3DFL_REQUIRE(token == "1",
+                source + ": unsupported framework version: expected 1, "
+                         "found '" + token + "'");
+  inner >> token;
+  M3DFL_REQUIRE(token == "tp_threshold",
+                source + ": framework stream: missing T_P");
+  inner >> token;
   tp_threshold_ = std::strtod(token.c_str(), nullptr);
-  tier_predictor_ =
-      std::make_unique<TierPredictor>(load_tier_predictor(is));
-  miv_pinpointer_ =
-      std::make_unique<MivPinpointer>(load_miv_pinpointer(is));
+  tier_predictor_ = std::make_unique<TierPredictor>(
+      read_tier_predictor_payload(inner, source));
+  miv_pinpointer_ = std::make_unique<MivPinpointer>(
+      read_miv_pinpointer_payload(inner, source));
   classifier_ = std::make_unique<PruneClassifier>(
-      load_prune_classifier(is, *tier_predictor_));
-  is >> token;
+      read_prune_classifier_payload(inner, *tier_predictor_, source));
+  inner >> token;
   M3DFL_REQUIRE(token == "m3dfl-framework-end",
-                "framework stream: truncated (missing end trailer)");
+                source + ": framework stream: truncated (missing end "
+                         "trailer)");
   trained_ = true;
 }
 

@@ -16,6 +16,7 @@
 #include <iosfwd>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -29,6 +30,11 @@
 #include "graph/hetero_graph.h"
 
 namespace m3dfl {
+
+class Trainer;
+
+// Artifact kind of a persisted framework container.
+inline constexpr const char* kFrameworkKind = "framework";
 
 // A fully prepared circuit-under-diagnosis.  Immovable: all members hold
 // cross-references (build through the unique_ptr factories).
@@ -108,6 +114,9 @@ class DiagnosisFramework {
   // Trains Tier-predictor and MIV-pinpointer on labeled subgraphs, selects
   // T_P from the training PR curve, and trains the transfer-learned
   // Classifier on the Predicted-Positive subset (dummy-buffer balanced).
+  // Delegates to the checkpointing Trainer (core/checkpoint.h) with
+  // checkpointing disabled, so plain and crash-safe training are the same
+  // computation.
   void train(std::span<const Subgraph> graphs);
   bool trained() const { return trained_; }
 
@@ -143,12 +152,20 @@ class DiagnosisFramework {
                                       nullptr) const;
 
   // Persists / restores the trained framework (all three models plus T_P);
-  // the pretrained asset the paper reuses across netlists.  load() throws
-  // m3dfl::Error on format or shape mismatch.
+  // the pretrained asset the paper reuses across netlists.  save() wraps the
+  // stream in the checksummed artifact container (util/artifact.h); load()
+  // accepts both the container and bare legacy "m3dfl-framework 1" streams
+  // and throws m3dfl::Error — citing `source` — on truncation, corruption,
+  // or a format/shape mismatch.  Pass the file path as `source` when loading
+  // from a file.
   void save(std::ostream& os) const;
-  void load(std::istream& is);
+  void load(std::istream& is, const std::string& source = "<stream>");
 
  private:
+  // The crash-safe trainer drives the training phases against the private
+  // model state directly (core/checkpoint.h).
+  friend class Trainer;
+
   FrameworkOptions options_;
   std::unique_ptr<TierPredictor> tier_predictor_;
   std::unique_ptr<MivPinpointer> miv_pinpointer_;

@@ -1,6 +1,10 @@
 #include "gnn/adam.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "gnn/serialize.h"
 
 namespace m3dfl {
 
@@ -37,6 +41,45 @@ void Adam::step(std::int32_t batch_size) {
                                      (std::sqrt(vhat) + options_.eps));
       grad[i] = 0.0f;
     }
+  }
+}
+
+bool Adam::all_finite() const {
+  for (const Slot& s : slots_) {
+    for (const float x : s.value->data()) {
+      if (!std::isfinite(x)) return false;
+    }
+  }
+  return true;
+}
+
+void Adam::save(std::ostream& os) const {
+  os << "adam " << slots_.size() << " " << t_ << "\n";
+  for (const Slot& s : slots_) {
+    save_matrix(os, s.m);
+    save_matrix(os, s.v);
+  }
+}
+
+void Adam::load(std::istream& is) {
+  std::string token;
+  is >> token;
+  M3DFL_REQUIRE(token == "adam",
+                "optimizer stream: expected 'adam', got '" + token + "'");
+  std::size_t count = 0;
+  is >> count >> t_;
+  M3DFL_REQUIRE(is.good() && count == slots_.size(),
+                "optimizer stream: slot count mismatch: expected " +
+                    std::to_string(slots_.size()) + ", found " +
+                    std::to_string(count));
+  for (Slot& s : slots_) {
+    const Matrix m = load_matrix(is);
+    const Matrix v = load_matrix(is);
+    M3DFL_REQUIRE(m.rows() == s.m.rows() && m.cols() == s.m.cols() &&
+                      v.rows() == s.v.rows() && v.cols() == s.v.cols(),
+                  "optimizer stream: moment shape mismatch");
+    s.m = m;
+    s.v = v;
   }
 }
 

@@ -3,6 +3,7 @@
 #define M3DFL_GNN_ADAM_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "gnn/matrix.h"
@@ -27,6 +28,22 @@ class Adam {
   // Applies one update from the accumulated gradients (scaled by
   // 1/batch_size) and zeroes them.
   void step(std::int32_t batch_size = 1);
+
+  // The divergence guard rail rescales the learning rate after a rollback.
+  double lr() const { return options_.lr; }
+  void set_lr(double lr) { options_.lr = lr; }
+
+  // True when every registered parameter value is finite.  Cheap enough to
+  // run per epoch; a single inf/NaN weight poisons every later prediction,
+  // so the trainer checks this alongside the epoch loss.
+  bool all_finite() const;
+
+  // Optimizer-state persistence for training checkpoints: step count plus
+  // first/second moments per slot.  load() requires the same parameters to
+  // have been registered in the same order as at save time and throws
+  // m3dfl::Error on a slot-count or shape mismatch.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   struct Slot {

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/artifact.h"
 #include "util/error.h"
 
 namespace m3dfl {
@@ -156,43 +157,92 @@ void PruneClassifier::load(std::istream& is) {
 
 namespace {
 
-GcnModelConfig read_header(std::istream& is, const std::string& type) {
-  expect_token(is, "m3dfl-model");
-  expect_token(is, "1");
-  expect_token(is, type);
+GcnModelConfig read_header(std::istream& is, const std::string& type,
+                           const std::string& source) {
+  std::string token;
+  is >> token;
+  M3DFL_REQUIRE(token == "m3dfl-model",
+                source + ": not a model stream: expected 'm3dfl-model', "
+                         "found '" + token + "'");
+  is >> token;
+  M3DFL_REQUIRE(token == "1",
+                source + ": unsupported model format version: expected 1, "
+                         "found '" + token + "'");
+  is >> token;
+  M3DFL_REQUIRE(token == type, source + ": model kind mismatch: expected '" +
+                                   type + "', found '" + token + "'");
   return load_config(is);
+}
+
+// Slurps the stream and unwraps the checksummed container when present; a
+// bare "m3dfl-model 1" stream (the pre-container format) passes through
+// unchanged — the migration shim.
+std::string unwrap_model(std::istream& is, const std::string& kind,
+                         const std::string& source) {
+  const std::string text = slurp_stream(is);
+  if (is_artifact(text)) return read_artifact(text, kind, source);
+  return text;
 }
 
 }  // namespace
 
-void save_model(std::ostream& os, const TierPredictor& model) {
-  model.save(os);
-}
-void save_model(std::ostream& os, const MivPinpointer& model) {
-  model.save(os);
-}
-void save_model(std::ostream& os, const PruneClassifier& model) {
-  model.save(os);
-}
-
-TierPredictor load_tier_predictor(std::istream& is) {
-  TierPredictor model(read_header(is, "tier-predictor"));
+TierPredictor read_tier_predictor_payload(std::istream& is,
+                                          const std::string& source) {
+  TierPredictor model(read_header(is, kTierPredictorKind, source));
   model.load(is);
   return model;
 }
 
-MivPinpointer load_miv_pinpointer(std::istream& is) {
-  MivPinpointer model(read_header(is, "miv-pinpointer"));
+MivPinpointer read_miv_pinpointer_payload(std::istream& is,
+                                          const std::string& source) {
+  MivPinpointer model(read_header(is, kMivPinpointerKind, source));
   model.load(is);
   return model;
 }
 
-PruneClassifier load_prune_classifier(std::istream& is,
-                                      const TierPredictor& host) {
-  const GcnModelConfig config = read_header(is, "prune-classifier");
+PruneClassifier read_prune_classifier_payload(std::istream& is,
+                                              const TierPredictor& host,
+                                              const std::string& source) {
+  const GcnModelConfig config =
+      read_header(is, kPruneClassifierKind, source);
   PruneClassifier model(host, config);
   model.load(is);
   return model;
+}
+
+void save_model(std::ostream& os, const TierPredictor& model) {
+  std::ostringstream payload;
+  model.save(payload);
+  write_artifact(os, kTierPredictorKind, payload.str());
+}
+void save_model(std::ostream& os, const MivPinpointer& model) {
+  std::ostringstream payload;
+  model.save(payload);
+  write_artifact(os, kMivPinpointerKind, payload.str());
+}
+void save_model(std::ostream& os, const PruneClassifier& model) {
+  std::ostringstream payload;
+  model.save(payload);
+  write_artifact(os, kPruneClassifierKind, payload.str());
+}
+
+TierPredictor load_tier_predictor(std::istream& is,
+                                  const std::string& source) {
+  std::istringstream payload(unwrap_model(is, kTierPredictorKind, source));
+  return read_tier_predictor_payload(payload, source);
+}
+
+MivPinpointer load_miv_pinpointer(std::istream& is,
+                                  const std::string& source) {
+  std::istringstream payload(unwrap_model(is, kMivPinpointerKind, source));
+  return read_miv_pinpointer_payload(payload, source);
+}
+
+PruneClassifier load_prune_classifier(std::istream& is,
+                                      const TierPredictor& host,
+                                      const std::string& source) {
+  std::istringstream payload(unwrap_model(is, kPruneClassifierKind, source));
+  return read_prune_classifier_payload(payload, host, source);
 }
 
 std::string tier_predictor_to_string(const TierPredictor& model) {

@@ -6,27 +6,26 @@
 #include "diag/datagen.h"  // kMivTier
 
 namespace m3dfl {
-namespace {
 
-// Generic accumulate-and-step loop shared by the three models.  `step_fn`
-// runs one forward/backward pass for dataset index i and returns its loss.
-template <typename StepFn>
-double run_epochs(std::size_t dataset_size, const TrainOptions& options,
-                  Adam& adam, StepFn&& step_fn) {
-  if (dataset_size == 0) return 0.0;
-  Rng rng(options.seed);
+double run_epoch_loop(std::size_t dataset_size, const TrainOptions& options,
+                      Adam& adam, EpochLoopState& state,
+                      const TrainStepFn& step, const EpochHook& hook) {
+  if (dataset_size == 0) {
+    state.done = true;
+    return 0.0;
+  }
   std::vector<std::size_t> order(dataset_size);
-  for (std::size_t i = 0; i < dataset_size; ++i) order[i] = i;
+  while (!state.done && state.next_epoch < options.epochs) {
+    // Reset to the identity before shuffling: the epoch's visit order is
+    // then a pure function of the rng state, so a state restored from a
+    // checkpoint replays exactly the epochs the interrupted run would have.
+    for (std::size_t i = 0; i < dataset_size; ++i) order[i] = i;
+    state.rng.shuffle(order);
 
-  double best_loss = 1e30;
-  std::int32_t stale = 0;
-  double epoch_loss = 0.0;
-  for (std::int32_t epoch = 0; epoch < options.epochs; ++epoch) {
-    rng.shuffle(order);
-    epoch_loss = 0.0;
+    double epoch_loss = 0.0;
     std::int32_t in_batch = 0;
     for (std::size_t idx : order) {
-      epoch_loss += step_fn(idx);
+      epoch_loss += step(idx);
       if (++in_batch >= options.batch_size) {
         adam.step(in_batch);
         in_batch = 0;
@@ -35,54 +34,87 @@ double run_epochs(std::size_t dataset_size, const TrainOptions& options,
     if (in_batch > 0) adam.step(in_batch);
     epoch_loss /= static_cast<double>(dataset_size);
 
-    if (epoch_loss < best_loss - options.min_improvement) {
-      best_loss = epoch_loss;
-      stale = 0;
-    } else if (++stale >= options.patience) {
-      break;
+    state.last_loss = epoch_loss;
+    ++state.next_epoch;
+    if (epoch_loss < state.best_loss - options.min_improvement) {
+      state.best_loss = epoch_loss;
+      state.stale = 0;
+    } else if (++state.stale >= options.patience) {
+      state.done = true;
     }
+    if (state.next_epoch >= options.epochs) state.done = true;
+    if (hook && !hook(state)) break;  // paused (or rolled back and paused)
   }
-  return epoch_loss;
+  return state.last_loss;
 }
 
-}  // namespace
+// ---- Dataset selection ------------------------------------------------------
+
+TrainSet select_tier_samples(std::span<const Subgraph> graphs) {
+  TrainSet set;
+  // Usable samples: tier-labeled, non-empty.
+  for (const Subgraph& g : graphs) {
+    if (!g.empty() && (g.tier_label == 0 || g.tier_label == 1)) {
+      set.data.push_back(&g);
+    }
+  }
+  set.adj.reserve(set.data.size());
+  for (const Subgraph* g : set.data) set.adj.push_back(subgraph_adjacency(*g));
+  return set;
+}
+
+TrainSet select_miv_samples(std::span<const Subgraph> graphs) {
+  TrainSet set;
+  for (const Subgraph& g : graphs) {
+    if (!g.empty() && !g.miv_local.empty()) set.data.push_back(&g);
+  }
+  set.adj.reserve(set.data.size());
+  for (const Subgraph* g : set.data) set.adj.push_back(subgraph_adjacency(*g));
+  return set;
+}
+
+LabeledTrainSet select_classifier_samples(std::span<const Subgraph> graphs,
+                                          std::span<const int> labels) {
+  M3DFL_REQUIRE(graphs.size() == labels.size(),
+                "classifier labels must match graphs");
+  LabeledTrainSet out;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    if (graphs[i].empty()) continue;
+    out.set.data.push_back(&graphs[i]);
+    out.labels.push_back(labels[i]);
+  }
+  out.set.adj.reserve(out.set.data.size());
+  for (const Subgraph* g : out.set.data) {
+    out.set.adj.push_back(subgraph_adjacency(*g));
+  }
+  return out;
+}
+
+// ---- One-shot training ------------------------------------------------------
 
 double train_tier_predictor(TierPredictor& model,
                             std::span<const Subgraph> graphs,
                             const TrainOptions& options) {
-  // Usable samples: tier-labeled, non-empty.
-  std::vector<const Subgraph*> data;
-  for (const Subgraph& g : graphs) {
-    if (!g.empty() && (g.tier_label == 0 || g.tier_label == 1)) {
-      data.push_back(&g);
-    }
-  }
-  std::vector<NormalizedAdjacency> adj;
-  adj.reserve(data.size());
-  for (const Subgraph* g : data) adj.push_back(subgraph_adjacency(*g));
-
+  const TrainSet set = select_tier_samples(graphs);
   Adam adam(AdamOptions{.lr = options.lr});
   model.register_params(adam);
-  return run_epochs(data.size(), options, adam, [&](std::size_t i) {
-    return model.train_step(*data[i], adj[i], data[i]->tier_label);
+  EpochLoopState state;
+  state.rng.reseed(options.seed);
+  return run_epoch_loop(set.size(), options, adam, state, [&](std::size_t i) {
+    return model.train_step(*set.data[i], set.adj[i], set.data[i]->tier_label);
   });
 }
 
 double train_miv_pinpointer(MivPinpointer& model,
                             std::span<const Subgraph> graphs,
                             const TrainOptions& options) {
-  std::vector<const Subgraph*> data;
-  for (const Subgraph& g : graphs) {
-    if (!g.empty() && !g.miv_local.empty()) data.push_back(&g);
-  }
-  std::vector<NormalizedAdjacency> adj;
-  adj.reserve(data.size());
-  for (const Subgraph* g : data) adj.push_back(subgraph_adjacency(*g));
-
+  const TrainSet set = select_miv_samples(graphs);
   Adam adam(AdamOptions{.lr = options.lr});
   model.register_params(adam);
-  return run_epochs(data.size(), options, adam, [&](std::size_t i) {
-    return model.train_step(*data[i], adj[i]);
+  EpochLoopState state;
+  state.rng.reseed(options.seed);
+  return run_epoch_loop(set.size(), options, adam, state, [&](std::size_t i) {
+    return model.train_step(*set.data[i], set.adj[i]);
   });
 }
 
@@ -90,22 +122,17 @@ double train_prune_classifier(PruneClassifier& model,
                               std::span<const Subgraph> graphs,
                               std::span<const int> labels,
                               const TrainOptions& options) {
-  M3DFL_REQUIRE(graphs.size() == labels.size(),
-                "classifier labels must match graphs");
-  std::vector<std::size_t> keep;
-  for (std::size_t i = 0; i < graphs.size(); ++i) {
-    if (!graphs[i].empty()) keep.push_back(i);
-  }
-  std::vector<NormalizedAdjacency> adj;
-  adj.reserve(keep.size());
-  for (std::size_t i : keep) adj.push_back(subgraph_adjacency(graphs[i]));
-
+  const LabeledTrainSet set = select_classifier_samples(graphs, labels);
   Adam adam(AdamOptions{.lr = options.lr});
   model.register_params(adam);
-  return run_epochs(keep.size(), options, adam, [&](std::size_t i) {
-    return model.train_step(graphs[keep[i]], adj[i],
-                            labels[keep[i]]);
-  });
+  EpochLoopState state;
+  state.rng.reseed(options.seed);
+  return run_epoch_loop(set.set.size(), options, adam, state,
+                        [&](std::size_t i) {
+                          return model.train_step(*set.set.data[i],
+                                                  set.set.adj[i],
+                                                  set.labels[i]);
+                        });
 }
 
 double tier_accuracy(const TierPredictor& model,

@@ -1,8 +1,17 @@
 // Training loops, evaluation helpers, and feature-significance analysis.
+//
+// The epoch loop is factored around an explicit, serializable
+// EpochLoopState so the crash-recovery layer (core/checkpoint.h) can pause
+// training at any epoch boundary, persist (state, optimizer, weights), and
+// later resume the exact variate-for-variate sequence an uninterrupted run
+// would have produced.  The train_* convenience functions below drive the
+// same loop with a fresh state, so checkpointed and plain training are the
+// same computation.
 #ifndef M3DFL_GNN_TRAINER_H_
 #define M3DFL_GNN_TRAINER_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -20,6 +29,59 @@ struct TrainOptions {
   double min_improvement = 1e-4;
   std::int32_t patience = 25;
 };
+
+// Mid-training state of one model's epoch loop.  Everything needed to
+// continue the loop deterministically lives here (plus the Adam moments and
+// the model weights, which their owners serialize separately).
+struct EpochLoopState {
+  std::int32_t next_epoch = 0;   // first epoch still to run
+  double best_loss = 1e30;       // early-stopping reference
+  std::int32_t stale = 0;        // epochs without sufficient improvement
+  double last_loss = 0.0;        // mean loss of the last completed epoch
+  bool done = false;             // early-stopped or epoch budget exhausted
+  Rng rng{0};                    // per-epoch shuffle stream
+};
+
+// One forward/backward pass for dataset index i; returns its loss.
+using TrainStepFn = std::function<double(std::size_t)>;
+// Called after every completed epoch, with the loss already folded into
+// `state`.  Return false to pause the loop (it can be re-entered later with
+// the same state); the hook may also mutate state/adam/weights to implement
+// divergence rollback.
+using EpochHook = std::function<bool(EpochLoopState&)>;
+
+// Runs epochs from state.next_epoch until the budget in `options` is
+// exhausted, early stopping triggers, or the hook pauses.  Each epoch visits
+// the dataset in a fresh shuffle drawn from state.rng (the permutation is a
+// pure function of the rng state, so a restored state replays identical
+// epochs).  Returns state.last_loss.
+double run_epoch_loop(std::size_t dataset_size, const TrainOptions& options,
+                      Adam& adam, EpochLoopState& state,
+                      const TrainStepFn& step, const EpochHook& hook = {});
+
+// ---- Dataset selection ------------------------------------------------------
+// Shared between the one-shot train_* functions and the checkpointing
+// trainer so both see byte-identical sample sets.
+
+struct TrainSet {
+  std::vector<const Subgraph*> data;
+  std::vector<NormalizedAdjacency> adj;
+  std::size_t size() const { return data.size(); }
+};
+
+// Tier-labeled, non-empty subgraphs (samples labeled kMivTier are skipped).
+TrainSet select_tier_samples(std::span<const Subgraph> graphs);
+// Non-empty subgraphs that contain at least one MIV node.
+TrainSet select_miv_samples(std::span<const Subgraph> graphs);
+// Non-empty subgraphs with their labels aligned.
+struct LabeledTrainSet {
+  TrainSet set;
+  std::vector<int> labels;
+};
+LabeledTrainSet select_classifier_samples(std::span<const Subgraph> graphs,
+                                          std::span<const int> labels);
+
+// ---- One-shot training ------------------------------------------------------
 
 // Trains the tier predictor on labeled subgraphs (tier_label 0/1; samples
 // labeled kMivTier are skipped).  Returns the final mean epoch loss.

@@ -55,14 +55,20 @@ std::vector<std::string> split_ws(const std::string& line) {
   return out;
 }
 
-std::int32_t parse_i32(const std::string& s, const char* what) {
+// All parse diagnostics cite the 1-based line, so a malformed netlist file
+// is debuggable from the message alone (same contract as diag/log_io).
+[[noreturn]] void parse_fail(int line_no, const std::string& what) {
+  throw Error("MNL line " + std::to_string(line_no) + ": " + what);
+}
+
+std::int32_t parse_i32(const std::string& s, int line_no, const char* what) {
   try {
     std::size_t pos = 0;
     const long v = std::stol(s, &pos);
     if (pos != s.size()) throw std::invalid_argument(s);
     return static_cast<std::int32_t>(v);
   } catch (const std::exception&) {
-    throw Error(std::string("MNL parse error: bad ") + what + ": " + s);
+    parse_fail(line_no, std::string("bad ") + what + " '" + s + "'");
   }
 }
 
@@ -70,10 +76,22 @@ std::int32_t parse_i32(const std::string& s, const char* what) {
 
 Netlist read_mnl(std::istream& is) {
   std::string line;
-  // Header.
-  M3DFL_REQUIRE(std::getline(is, line) && split_ws(line) ==
-                    std::vector<std::string>({"mnl", "1"}),
-                "MNL parse error: missing 'mnl 1' header");
+  int line_no = 1;
+  // Header, with expected-vs-found so a file of the wrong kind (or a future
+  // format version) is reported as such instead of as a generic failure.
+  M3DFL_REQUIRE(std::getline(is, line),
+                "MNL line 1: empty input (expected 'mnl 1' header)");
+  {
+    const auto toks = split_ws(line);
+    if (toks.empty() || toks[0] != "mnl") {
+      parse_fail(1, "not an MNL stream: expected 'mnl 1' header, found '" +
+                        line + "'");
+    }
+    if (toks.size() != 2 || toks[1] != "1") {
+      parse_fail(1, "unsupported MNL version: expected 1, found '" +
+                        (toks.size() > 1 ? toks[1] : "") + "'");
+    }
+  }
 
   Netlist nl;
   // Deferred connections: gate id -> (fanout net, fanin nets).  Net ids in
@@ -86,15 +104,24 @@ Netlist read_mnl(std::istream& is) {
     std::vector<NetId> in;
   };
   std::vector<GateRec> recs;
+  // net -> line of the gate already driving it: two drivers on one net is a
+  // short, not a netlist, so it is rejected at parse time.
+  std::vector<int> driver_line;
+  bool saw_design = false;
 
   bool saw_end = false;
   while (std::getline(is, line)) {
+    ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     const auto toks = split_ws(line);
     if (toks.empty()) continue;
     if (toks[0] == "design") {
-      M3DFL_REQUIRE(toks.size() == 2, "MNL parse error: bad design line");
+      if (toks.size() != 2) {
+        parse_fail(line_no, "bad design record (expected 'design <name>')");
+      }
+      if (saw_design) parse_fail(line_no, "duplicate design record");
+      saw_design = true;
       nl.set_name(toks[1]);
       continue;
     }
@@ -102,32 +129,64 @@ Netlist read_mnl(std::istream& is) {
       saw_end = true;
       break;
     }
-    M3DFL_REQUIRE(toks[0] == "gate" && toks.size() == 6,
-                  "MNL parse error: expected 'gate' record, got: " + line);
-    const std::int32_t id = parse_i32(toks[1], "gate id");
-    M3DFL_REQUIRE(id == static_cast<std::int32_t>(recs.size()),
-                  "MNL parse error: gate ids must be dense and in order");
+    if (toks[0] != "gate") {
+      parse_fail(line_no, "unknown record '" + toks[0] + "'");
+    }
+    if (toks.size() != 6) {
+      parse_fail(line_no, "truncated 'gate' record (expected 6 fields, got " +
+                              std::to_string(toks.size()) + ")");
+    }
+    const std::int32_t id = parse_i32(toks[1], line_no, "gate id");
+    if (id != static_cast<std::int32_t>(recs.size())) {
+      parse_fail(line_no, "gate ids must be dense and in order: expected " +
+                              std::to_string(recs.size()) + ", found " +
+                              std::to_string(id));
+    }
     GateRec rec;
-    rec.type = parse_gate_type(toks[2]);
+    try {
+      rec.type = parse_gate_type(toks[2]);
+    } catch (const Error&) {
+      parse_fail(line_no, std::string("bad gate type '") + toks[2] + "'");
+    }
     rec.name = toks[3];
-    M3DFL_REQUIRE(toks[4].rfind("out=", 0) == 0 && toks[5].rfind("in=", 0) == 0,
-                  "MNL parse error: bad out=/in= fields");
+    if (toks[4].rfind("out=", 0) != 0 || toks[5].rfind("in=", 0) != 0) {
+      parse_fail(line_no, "bad out=/in= fields");
+    }
     const std::string out_s = toks[4].substr(4);
-    rec.out = out_s == "-" ? kNullNet : parse_i32(out_s, "net id");
-    if (rec.out != kNullNet) max_net = std::max(max_net, rec.out);
+    rec.out = out_s == "-" ? kNullNet : parse_i32(out_s, line_no, "net id");
+    if (rec.out != kNullNet) {
+      if (rec.out < 0) {
+        parse_fail(line_no, "out-of-range net id " + std::to_string(rec.out));
+      }
+      max_net = std::max(max_net, rec.out);
+      if (static_cast<std::size_t>(rec.out) >= driver_line.size()) {
+        driver_line.resize(static_cast<std::size_t>(rec.out) + 1, 0);
+      }
+      int& owner = driver_line[static_cast<std::size_t>(rec.out)];
+      if (owner != 0) {
+        parse_fail(line_no, "net " + std::to_string(rec.out) +
+                                " already driven by the gate on line " +
+                                std::to_string(owner));
+      }
+      owner = line_no;
+    }
     const std::string in_s = toks[5].substr(3);
     if (in_s != "-") {
       std::istringstream iss(in_s);
       std::string item;
       while (std::getline(iss, item, ',')) {
-        const NetId n = parse_i32(item, "net id");
+        const NetId n = parse_i32(item, line_no, "net id");
+        if (n < 0) {
+          parse_fail(line_no, "out-of-range net id " + std::to_string(n));
+        }
         rec.in.push_back(n);
         max_net = std::max(max_net, n);
       }
     }
     recs.push_back(std::move(rec));
   }
-  M3DFL_REQUIRE(saw_end, "MNL parse error: missing 'end'");
+  M3DFL_REQUIRE(saw_end, "MNL: truncated (missing 'end' after line " +
+                             std::to_string(line_no) + ")");
 
   for (std::int32_t n = 0; n <= max_net; ++n) nl.add_net();
   for (const GateRec& rec : recs) {

@@ -1,7 +1,5 @@
 #include "serve/fault_injector.h"
 
-#include <utility>
-
 namespace m3dfl::serve {
 
 const char* seam_name(Seam seam) {
@@ -13,79 +11,6 @@ const char* seam_name(Seam seam) {
     case Seam::kFrameworkLoad: return "framework-load";
   }
   return "unknown";
-}
-
-FaultInjector::FaultInjector(std::uint64_t seed) {
-  // Each seam draws from its own stream, so arming or exercising one seam
-  // never perturbs another's trigger sequence.
-  for (int s = 0; s < kNumSeams; ++s) {
-    seams_[static_cast<std::size_t>(s)].rng.reseed(
-        seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(s + 1)));
-  }
-}
-
-void FaultInjector::arm(Seam seam, double probability, FaultKind kind) {
-  M3DFL_REQUIRE(probability >= 0.0 && probability <= 1.0,
-                "fault probability must be in [0, 1]");
-  std::lock_guard<std::mutex> lock(mu_);
-  SeamState& state = seams_[static_cast<std::size_t>(seam)];
-  state.probability = probability;
-  state.kind = kind;
-}
-
-void FaultInjector::arm_nth(Seam seam, std::vector<std::uint64_t> calls,
-                            FaultKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
-  SeamState& state = seams_[static_cast<std::size_t>(seam)];
-  state.nth = std::set<std::uint64_t>(calls.begin(), calls.end());
-  M3DFL_REQUIRE(state.nth.count(0) == 0, "scripted trigger calls are 1-based");
-  state.kind = kind;
-}
-
-bool FaultInjector::should_fail(Seam seam) {
-  std::lock_guard<std::mutex> lock(mu_);
-  SeamState& state = seams_[static_cast<std::size_t>(seam)];
-  ++state.num_calls;
-  bool fail = state.nth.count(state.num_calls) > 0;
-  if (!fail && state.probability > 0.0) {
-    // One draw per call: the i-th call always sees the i-th variate, so the
-    // trigger count over N calls is interleaving-independent.
-    fail = state.rng.next_double() < state.probability;
-  }
-  if (fail) ++state.num_triggered;
-  return fail;
-}
-
-void FaultInjector::maybe_throw(Seam seam, const std::string& what) {
-  FaultKind kind;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    kind = seams_[static_cast<std::size_t>(seam)].kind;
-  }
-  if (!should_fail(seam)) return;
-  if (kind == FaultKind::kModelUnavailable) throw ModelUnavailableError(what);
-  throw TransientError(what);
-}
-
-std::int64_t FaultInjector::calls(Seam seam) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<std::int64_t>(
-      seams_[static_cast<std::size_t>(seam)].num_calls);
-}
-
-std::int64_t FaultInjector::triggered(Seam seam) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<std::int64_t>(
-      seams_[static_cast<std::size_t>(seam)].num_triggered);
-}
-
-std::int64_t FaultInjector::total_triggered() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::int64_t total = 0;
-  for (const SeamState& state : seams_) {
-    total += static_cast<std::int64_t>(state.num_triggered);
-  }
-  return total;
 }
 
 }  // namespace m3dfl::serve

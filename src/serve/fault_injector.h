@@ -1,37 +1,22 @@
-// Deterministic fault injection for the serving layer.
+// Typed fault-injection wrapper for the serving layer.
 //
-// Resilience is only a property you have if you can test it.  The injector
-// is threaded through the service's failure seams — cache lookup/insert,
-// queue admission, model predict, framework load — and decides, per call,
-// whether that seam should fail.  Two trigger modes:
-//
-//   * probabilistic: arm(seam, p) — each call fails with probability p,
-//     drawn from a per-seam xoshiro stream seeded from the injector seed.
-//     The i-th call to a seam always sees the i-th draw, so the *number* of
-//     triggers over N calls is a pure function of (seed, p, N) no matter how
-//     worker threads interleave — which is what lets the chaos test assert
-//     exact status accounting.
-//   * scripted: arm_nth(seam, {3, 7}) — exactly the 3rd and 7th call fail.
-//     Used to pin one specific failure (e.g. "first predict fails, retry
-//     succeeds") in unit tests.
-//
-// A seam's FaultKind selects which typed error maybe_throw() raises, which
-// in turn selects the service's response (retry vs degrade).  The injector
-// counts calls and triggers per seam; tests reconcile those counts against
-// serve::Metrics.  A null injector (the production configuration) costs one
-// pointer test per seam.
+// The deterministic trigger machinery (per-seam xoshiro streams, scripted
+// nth-call triggers, exact accounting) lives in util/fault_injector.h since
+// PR 3 so the training kill–resume harness shares it; this header keeps the
+// serving-specific surface: the Seam enum naming the service's failure
+// seams, the FaultKind that selects which typed error maybe_throw() raises
+// (which in turn selects the service's response — retry vs degrade), and
+// enum-typed forwarders, so existing serve code and tests compile
+// unchanged.
 #ifndef M3DFL_SERVE_FAULT_INJECTOR_H_
 #define M3DFL_SERVE_FAULT_INJECTOR_H_
 
-#include <array>
 #include <cstdint>
-#include <mutex>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "serve/status.h"
-#include "util/rng.h"
+#include "util/fault_injector.h"
 
 namespace m3dfl::serve {
 
@@ -54,41 +39,43 @@ enum class FaultKind {
   kModelUnavailable,  // serve::ModelUnavailableError -> degrade path
 };
 
-class FaultInjector {
+class FaultInjector : public ::m3dfl::FaultInjector {
  public:
-  explicit FaultInjector(std::uint64_t seed = 0xC4A05u);
+  explicit FaultInjector(std::uint64_t seed = 0xC4A05u)
+      : ::m3dfl::FaultInjector(kNumSeams, seed) {}
 
-  FaultInjector(const FaultInjector&) = delete;
-  FaultInjector& operator=(const FaultInjector&) = delete;
-
-  // Arms a seam to fail each call with probability `probability`.
   void arm(Seam seam, double probability,
-           FaultKind kind = FaultKind::kTransient);
-  // Arms a seam to fail exactly on the given 1-based call numbers.
+           FaultKind kind = FaultKind::kTransient) {
+    ::m3dfl::FaultInjector::arm(static_cast<int>(seam), probability,
+                                static_cast<int>(kind));
+  }
   void arm_nth(Seam seam, std::vector<std::uint64_t> calls,
-               FaultKind kind = FaultKind::kTransient);
+               FaultKind kind = FaultKind::kTransient) {
+    ::m3dfl::FaultInjector::arm_nth(static_cast<int>(seam), std::move(calls),
+                                    static_cast<int>(kind));
+  }
 
-  // Counts one call to `seam` and reports whether it should fail.
-  bool should_fail(Seam seam);
+  bool should_fail(Seam seam) {
+    return ::m3dfl::FaultInjector::should_fail(static_cast<int>(seam));
+  }
   // should_fail() + throws the seam's typed error when triggered.
-  void maybe_throw(Seam seam, const std::string& what);
+  void maybe_throw(Seam seam, const std::string& what) {
+    const FaultKind kind =
+        static_cast<FaultKind>(::m3dfl::FaultInjector::kind(
+            static_cast<int>(seam)));
+    if (!should_fail(seam)) return;
+    if (kind == FaultKind::kModelUnavailable) {
+      throw ModelUnavailableError(what);
+    }
+    throw TransientError(what);
+  }
 
-  std::int64_t calls(Seam seam) const;
-  std::int64_t triggered(Seam seam) const;
-  std::int64_t total_triggered() const;
-
- private:
-  struct SeamState {
-    double probability = 0.0;
-    std::set<std::uint64_t> nth;  // 1-based scripted trigger calls
-    FaultKind kind = FaultKind::kTransient;
-    std::uint64_t num_calls = 0;
-    std::uint64_t num_triggered = 0;
-    Rng rng;
-  };
-
-  mutable std::mutex mu_;
-  std::array<SeamState, kNumSeams> seams_;
+  std::int64_t calls(Seam seam) const {
+    return ::m3dfl::FaultInjector::calls(static_cast<int>(seam));
+  }
+  std::int64_t triggered(Seam seam) const {
+    return ::m3dfl::FaultInjector::triggered(static_cast<int>(seam));
+  }
 };
 
 }  // namespace m3dfl::serve

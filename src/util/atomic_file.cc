@@ -1,0 +1,78 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/error.h"
+
+namespace m3dfl {
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& step) {
+  throw Error("atomic write of '" + path + "' failed at " + step + ": " +
+              std::strerror(errno));
+}
+
+// RAII fd that unlinks the temporary on early exit.
+struct TempFile {
+  int fd = -1;
+  std::string path;
+  bool committed = false;
+
+  ~TempFile() {
+    if (fd >= 0) ::close(fd);
+    if (!committed && !path.empty()) ::unlink(path.c_str());
+  }
+};
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  const fs::path dir =
+      target.parent_path().empty() ? fs::path(".") : target.parent_path();
+
+  TempFile tmp;
+  tmp.path = (dir / (target.filename().string() + ".tmp." +
+                     std::to_string(::getpid())))
+                 .string();
+  tmp.fd = ::open(tmp.path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp.fd < 0) fail(path, "open(temp)");
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ::ssize_t n =
+        ::write(tmp.fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(path, "write");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // Durability before visibility: the payload must be on disk before the
+  // rename publishes the name, or a power cut can leave a named empty file.
+  if (::fsync(tmp.fd) != 0) fail(path, "fsync");
+  if (::close(tmp.fd) != 0) {
+    tmp.fd = -1;
+    fail(path, "close");
+  }
+  tmp.fd = -1;
+  if (::rename(tmp.path.c_str(), path.c_str()) != 0) fail(path, "rename");
+  tmp.committed = true;
+
+  // Persist the directory entry too; failure here is not fatal to the
+  // caller's view (the rename already happened) but is still reported.
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+}  // namespace m3dfl

@@ -1,0 +1,27 @@
+// Crash-safe file replacement.
+//
+// A plain ofstream write dies half-done when the process is killed, leaving
+// a torn artifact that a later reader mistakes for the real thing.  Atomic
+// replacement closes that window: the content is written to a temporary file
+// in the *same directory* (rename is only atomic within a filesystem),
+// flushed and fsync'd so the bytes are durable before the name changes, and
+// then renamed over the destination.  Readers therefore observe either the
+// complete old file or the complete new file — never a prefix.  The parent
+// directory is fsync'd as well so the rename itself survives a power cut.
+#ifndef M3DFL_UTIL_ATOMIC_FILE_H_
+#define M3DFL_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+namespace m3dfl {
+
+// Atomically replaces (or creates) `path` with `content`.  Throws
+// m3dfl::Error, citing the path and the failing step, if any filesystem
+// operation fails; on failure the destination is left untouched and the
+// temporary is removed.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_UTIL_ATOMIC_FILE_H_

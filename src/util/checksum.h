@@ -1,0 +1,23 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) for artifact integrity.
+//
+// Every on-disk artifact (models, frameworks, checkpoints) carries a CRC32
+// trailer over its payload; CRC32 detects all single-byte corruptions and
+// all burst errors up to 32 bits, which is exactly the failure class a torn
+// or bit-rotted write produces.  The implementation is the standard
+// table-driven byte-at-a-time loop — integrity checking is not on the
+// serving hot path, so simplicity beats throughput here.
+#ifndef M3DFL_UTIL_CHECKSUM_H_
+#define M3DFL_UTIL_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace m3dfl {
+
+// CRC32 of `data`, optionally continuing from a previous value (chain calls
+// with the running crc to checksum a stream in pieces).
+std::uint32_t crc32(std::string_view data, std::uint32_t crc = 0);
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_UTIL_CHECKSUM_H_

@@ -1,0 +1,79 @@
+// Deterministic fault injection, shared by the serving and training chaos
+// harnesses.
+//
+// Resilience is only a property you have if you can test it.  The injector
+// is threaded through a subsystem's failure seams and decides, per call,
+// whether that seam should fail.  Seams are dense integer ids; each consumer
+// defines its own enum over them (serve::Seam for the serving runtime,
+// TrainSeam for the training chaos harness) and interprets the armed `kind`
+// however it likes (the serving wrapper maps it to which typed error to
+// throw).  Two trigger modes:
+//
+//   * probabilistic: arm(seam, p) — each call fails with probability p,
+//     drawn from a per-seam xoshiro stream seeded from the injector seed.
+//     The i-th call to a seam always sees the i-th draw, so the *number* of
+//     triggers over N calls is a pure function of (seed, p, N) no matter how
+//     threads interleave — which is what lets the chaos tests assert exact
+//     accounting.
+//   * scripted: arm_nth(seam, {3, 7}) — exactly the 3rd and 7th call fail.
+//     Used to pin one specific failure ("kill training at epoch 3",
+//     "first predict fails, retry succeeds") in unit tests.
+//
+// This generic core lived in src/serve/ through PR 2; it moved here so the
+// training kill–resume harness and the serving chaos test share one
+// implementation.  serve::FaultInjector remains as a thin typed wrapper.
+#ifndef M3DFL_UTIL_FAULT_INJECTOR_H_
+#define M3DFL_UTIL_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace m3dfl {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(int num_seams, std::uint64_t seed = 0xC4A05u);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  int num_seams() const { return static_cast<int>(seams_.size()); }
+
+  // Arms a seam to fail each call with probability `probability`.  `kind` is
+  // an opaque consumer-defined tag reported back by kind().
+  void arm(int seam, double probability, int kind = 0);
+  // Arms a seam to fail exactly on the given 1-based call numbers.
+  void arm_nth(int seam, std::vector<std::uint64_t> calls, int kind = 0);
+
+  // Counts one call to `seam` and reports whether it should fail.
+  bool should_fail(int seam);
+
+  int kind(int seam) const;
+  std::int64_t calls(int seam) const;
+  std::int64_t triggered(int seam) const;
+  std::int64_t total_triggered() const;
+
+ private:
+  struct SeamState {
+    double probability = 0.0;
+    std::set<std::uint64_t> nth;  // 1-based scripted trigger calls
+    int kind = 0;
+    std::uint64_t num_calls = 0;
+    std::uint64_t num_triggered = 0;
+    Rng rng;
+  };
+
+  SeamState& seam_at(int seam);
+  const SeamState& seam_at(int seam) const;
+
+  mutable std::mutex mu_;
+  std::vector<SeamState> seams_;
+};
+
+}  // namespace m3dfl
+
+#endif  // M3DFL_UTIL_FAULT_INJECTOR_H_

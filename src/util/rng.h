@@ -9,6 +9,7 @@
 #ifndef M3DFL_UTIL_RNG_H_
 #define M3DFL_UTIL_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -107,6 +108,16 @@ class Rng {
   // Derives an independent child generator; used to give each pipeline stage
   // its own stream so that adding draws in one stage does not perturb others.
   Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+  // Raw state capture/restore, used by training checkpoints: a resumed run
+  // must continue the exact variate sequence the interrupted run would have
+  // drawn, or the two diverge at the first post-resume shuffle.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

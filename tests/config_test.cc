@@ -1,8 +1,11 @@
 #include <set>
+#include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "core/config.h"
+#include "util/error.h"
 
 namespace m3dfl {
 namespace {
@@ -66,6 +69,127 @@ TEST(ConfigTest, LargeProgramsHaveShallowFailMemory) {
   EXPECT_GT(profile_spec(Profile::kLeon3mp).fail_memory_patterns, 0);
   EXPECT_LE(profile_spec(Profile::kNetcard).fail_memory_patterns,
             profile_spec(Profile::kLeon3mp).fail_memory_patterns);
+}
+
+TEST(ConfigTest, ParseProfileAcceptsLowercaseNames) {
+  EXPECT_EQ(parse_profile("aes"), Profile::kAes);
+  EXPECT_EQ(parse_profile("tate"), Profile::kTate);
+  EXPECT_EQ(parse_profile("netcard"), Profile::kNetcard);
+  EXPECT_EQ(parse_profile("leon3mp"), Profile::kLeon3mp);
+  try {
+    parse_profile("aes2");
+    FAIL() << "unknown profile accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("aes2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("leon3mp"), std::string::npos);
+  }
+}
+
+TEST(ConfigTest, ParseConfigNamesAllFour) {
+  EXPECT_EQ(parse_config("syn1"), DesignConfig::kSyn1);
+  EXPECT_EQ(parse_config("tpi"), DesignConfig::kTpi);
+  EXPECT_EQ(parse_config("syn2"), DesignConfig::kSyn2);
+  EXPECT_EQ(parse_config("par"), DesignConfig::kPar);
+  EXPECT_THROW(parse_config("Syn-1"), Error);
+}
+
+// ---- read_train_options: happy path ----------------------------------------
+
+TrainOptions read_opts(const std::string& text) {
+  std::istringstream is(text);
+  return read_train_options(is, {}, "train.cfg");
+}
+
+TEST(ConfigTest, TrainOptionsReadsAllKeys) {
+  const TrainOptions out = read_opts(
+      "# training config\n"
+      "epochs 42\n"
+      "batch_size 4\n"
+      "lr 0.25\n"
+      "seed 99\n"
+      "min_improvement 0.001\n"
+      "patience 7\n");
+  EXPECT_EQ(out.epochs, 42);
+  EXPECT_EQ(out.batch_size, 4);
+  EXPECT_DOUBLE_EQ(out.lr, 0.25);
+  EXPECT_EQ(out.seed, 99u);
+  EXPECT_DOUBLE_EQ(out.min_improvement, 0.001);
+  EXPECT_EQ(out.patience, 7);
+}
+
+TEST(ConfigTest, TrainOptionsUnlistedKeysKeepDefaults) {
+  TrainOptions defaults;
+  defaults.epochs = 123;
+  std::istringstream is("lr 0.5\n");
+  const TrainOptions out = read_train_options(is, defaults, "train.cfg");
+  EXPECT_EQ(out.epochs, 123);
+  EXPECT_DOUBLE_EQ(out.lr, 0.5);
+}
+
+TEST(ConfigTest, TrainOptionsEmptyAndCommentOnlyStreamsAreFine) {
+  EXPECT_EQ(read_opts("").epochs, TrainOptions{}.epochs);
+  EXPECT_EQ(read_opts("# just a comment\n\n   \n").epochs,
+            TrainOptions{}.epochs);
+}
+
+// ---- read_train_options: malformed-input corpus -----------------------------
+
+std::string opts_error(const std::string& text) {
+  try {
+    read_opts(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "malformed train config accepted:\n" << text;
+  return {};
+}
+
+TEST(ConfigTest, TrainOptionsRejectsUnknownKey) {
+  const std::string msg = opts_error("learning_rate 0.1\n");
+  EXPECT_NE(msg.find("train.cfg line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown key 'learning_rate'"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("epochs"), std::string::npos) << msg;  // lists options
+}
+
+TEST(ConfigTest, TrainOptionsRejectsDuplicateKey) {
+  const std::string msg = opts_error("epochs 5\nepochs 6\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate key 'epochs'"), std::string::npos) << msg;
+}
+
+TEST(ConfigTest, TrainOptionsRejectsMissingValue) {
+  const std::string msg = opts_error("epochs\n");
+  EXPECT_NE(msg.find("missing value"), std::string::npos) << msg;
+}
+
+TEST(ConfigTest, TrainOptionsRejectsTrailingGarbage) {
+  const std::string msg = opts_error("epochs 5 6\n");
+  EXPECT_NE(msg.find("trailing garbage '6'"), std::string::npos) << msg;
+}
+
+TEST(ConfigTest, TrainOptionsRejectsNonNumericValues) {
+  EXPECT_NE(opts_error("epochs ten\n").find("non-numeric"),
+            std::string::npos);
+  EXPECT_NE(opts_error("lr fast\n").find("non-numeric"), std::string::npos);
+  EXPECT_NE(opts_error("epochs 5x\n").find("non-numeric"),
+            std::string::npos);
+  EXPECT_NE(opts_error("seed 0x10\n").find("non-numeric"),
+            std::string::npos);
+}
+
+TEST(ConfigTest, TrainOptionsRejectsOutOfRangeValues) {
+  EXPECT_NE(opts_error("epochs 0\n").find("epochs must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(opts_error("batch_size 0\n").find("batch_size must be >= 1"),
+            std::string::npos);
+  EXPECT_NE(opts_error("lr 0\n").find("lr must be > 0"), std::string::npos);
+  EXPECT_NE(opts_error("lr -1\n").find("lr must be > 0"), std::string::npos);
+  EXPECT_NE(
+      opts_error("min_improvement -0.5\n").find("min_improvement must be"),
+      std::string::npos);
+  EXPECT_NE(opts_error("patience 0\n").find("patience must be >= 1"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "core/framework.h"
 #include "gnn/serialize.h"
 #include "gnn/trainer.h"
+#include "util/artifact.h"
 
 namespace m3dfl {
 namespace {
@@ -168,6 +170,167 @@ TEST(SerializeTest, RejectsTruncatedStream) {
 
 TEST(SerializeTest, RejectsGarbage) {
   EXPECT_THROW(tier_predictor_from_string("not a model"), Error);
+}
+
+// ---- Container property tests -----------------------------------------------
+
+template <typename SaveFn>
+std::string saved_string(const SaveFn& save) {
+  std::ostringstream os;
+  save(os);
+  return os.str();
+}
+
+// save -> load -> save must be byte-identical: the artifact *is* the model,
+// so any drift through a round trip would silently fork the two.
+TEST(SerializeTest, TierPredictorSaveLoadSaveIsByteIdentical) {
+  TierPredictor model(small_config());
+  const std::string first = tier_predictor_to_string(model);
+  const std::string second =
+      tier_predictor_to_string(tier_predictor_from_string(first));
+  EXPECT_EQ(first, second);
+}
+
+TEST(SerializeTest, MivPinpointerSaveLoadSaveIsByteIdentical) {
+  MivPinpointer model(small_config());
+  const std::string first =
+      saved_string([&](std::ostream& os) { save_model(os, model); });
+  std::istringstream is(first);
+  const MivPinpointer restored = load_miv_pinpointer(is);
+  const std::string second =
+      saved_string([&](std::ostream& os) { save_model(os, restored); });
+  EXPECT_EQ(first, second);
+}
+
+TEST(SerializeTest, PruneClassifierSaveLoadSaveIsByteIdentical) {
+  TierPredictor host(small_config());
+  PruneClassifier model(host, small_config());
+  const std::string first =
+      saved_string([&](std::ostream& os) { save_model(os, model); });
+  std::istringstream is(first);
+  const PruneClassifier restored = load_prune_classifier(is, host);
+  const std::string second =
+      saved_string([&](std::ostream& os) { save_model(os, restored); });
+  EXPECT_EQ(first, second);
+}
+
+// Every single-byte corruption of a saved artifact must be rejected:
+// exhaustively over every byte offset (header and trailer bytes fail
+// structurally, payload bytes fail the CRC), and with several corruption
+// values per offset sampled deterministically.
+TEST(SerializeTest, EverySingleByteCorruptionIsDetected) {
+  TierPredictor model(small_config());
+  const std::string good = tier_predictor_to_string(model);
+  ASSERT_TRUE(is_artifact(good));
+  Rng rng(0xC0DE);
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    // A flip to an arbitrary different value plus the classic single-bit
+    // flip at this offset.
+    const char flip = static_cast<char>(
+        static_cast<unsigned char>(bad[i]) ^
+        static_cast<unsigned char>(1 + rng.next_below(255)));
+    bad[i] = flip;
+    EXPECT_THROW(tier_predictor_from_string(bad), Error)
+        << "corruption at byte " << i << " was not detected";
+    std::string bit = good;
+    bit[i] = static_cast<char>(static_cast<unsigned char>(bit[i]) ^ 0x01);
+    EXPECT_THROW(tier_predictor_from_string(bit), Error)
+        << "bit flip at byte " << i << " was not detected";
+  }
+}
+
+// Every proper prefix of an artifact is a truncation and must be rejected —
+// including dropping only the final newline.
+TEST(SerializeTest, EveryTruncationIsDetected) {
+  TierPredictor model(small_config());
+  const std::string good = tier_predictor_to_string(model);
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(tier_predictor_from_string(good.substr(0, len)), Error)
+        << "truncation to " << len << " bytes was not detected";
+  }
+}
+
+TEST(SerializeTest, RejectsTrailingGarbageAfterTrailer) {
+  TierPredictor model(small_config());
+  const std::string good = tier_predictor_to_string(model);
+  EXPECT_THROW(tier_predictor_from_string(good + "x"), Error);
+  EXPECT_THROW(tier_predictor_from_string(good + "\n"), Error);
+}
+
+// The migration shim: a bare pre-container stream (exactly the payload the
+// container wraps) still loads.
+TEST(SerializeTest, LegacyBareStreamStillLoads) {
+  TierPredictor model(small_config());
+  const std::string wrapped = tier_predictor_to_string(model);
+  const std::string legacy =
+      read_artifact(wrapped, kTierPredictorKind, "<test>");
+  ASSERT_FALSE(is_artifact(legacy));
+  ASSERT_EQ(legacy.rfind("m3dfl-model 1 tier-predictor", 0), 0u);
+  const TierPredictor restored = tier_predictor_from_string(legacy);
+  EXPECT_EQ(tier_predictor_to_string(restored), wrapped);
+}
+
+TEST(SerializeTest, LegacyFrameworkStreamStillLoads) {
+  Rng rng(11);
+  std::vector<Subgraph> train;
+  for (int i = 0; i < 20; ++i) train.push_back(toy_graph(rng, i % 2));
+  FrameworkOptions options;
+  options.model = small_config();
+  options.training.epochs = 10;
+  DiagnosisFramework framework(options);
+  framework.train(train);
+
+  std::ostringstream os;
+  framework.save(os);
+  const std::string legacy =
+      read_artifact(os.str(), kFrameworkKind, "<test>");
+  ASSERT_EQ(legacy.rfind("m3dfl-framework 1", 0), 0u);
+  std::istringstream is(legacy);
+  DiagnosisFramework restored(options);
+  restored.load(is);
+  EXPECT_TRUE(restored.trained());
+  EXPECT_DOUBLE_EQ(restored.tp_threshold(), framework.tp_threshold());
+}
+
+TEST(SerializeTest, FrameworkSaveLoadSaveIsByteIdentical) {
+  Rng rng(12);
+  std::vector<Subgraph> train;
+  for (int i = 0; i < 20; ++i) train.push_back(toy_graph(rng, i % 2));
+  FrameworkOptions options;
+  options.model = small_config();
+  options.training.epochs = 10;
+  DiagnosisFramework framework(options);
+  framework.train(train);
+
+  std::ostringstream first;
+  framework.save(first);
+  std::istringstream is(first.str());
+  DiagnosisFramework restored(options);
+  restored.load(is);
+  std::ostringstream second;
+  restored.save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+// Error messages must identify the source and what went wrong, so a bad
+// artifact in production names itself.
+TEST(SerializeTest, ErrorsCiteSourceAndVersions) {
+  TierPredictor model(small_config());
+  std::string text = tier_predictor_to_string(model);
+  const auto pos = text.find(" 2 ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 1] = '7';  // future format version
+  std::istringstream is(text);
+  try {
+    load_tier_predictor(is, "model.m3dfl");
+    FAIL() << "future version accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("model.m3dfl"), std::string::npos) << what;
+    EXPECT_NE(what.find("2"), std::string::npos) << what;
+    EXPECT_NE(what.find("7"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -59,6 +59,101 @@ TEST(MnlTest, RejectsUnknownCell) {
       from_mnl("mnl 1\ngate 0 WIDGET w out=0 in=-\nend\n"), Error);
 }
 
+// Malformed-input corpus: every rejection must cite the offending line and
+// say what was expected versus what was found (same contract as the failure
+// log and artifact readers).
+std::string mnl_error(const std::string& text) {
+  try {
+    from_mnl(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "malformed MNL accepted:\n" << text;
+  return {};
+}
+
+TEST(MnlTest, HeaderErrorCitesExpectedAndFound) {
+  const std::string msg = mnl_error("bogus stream\n");
+  EXPECT_NE(msg.find("MNL line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expected 'mnl 1'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+}
+
+TEST(MnlTest, FutureVersionCitesExpectedAndFound) {
+  const std::string msg = mnl_error("mnl 7\nend\n");
+  EXPECT_NE(msg.find("expected 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'7'"), std::string::npos) << msg;
+}
+
+TEST(MnlTest, RejectsEmptyInput) {
+  EXPECT_NE(mnl_error("").find("empty input"), std::string::npos);
+}
+
+TEST(MnlTest, RejectsDuplicateDesignRecord) {
+  const std::string msg =
+      mnl_error("mnl 1\ndesign a\ndesign b\nend\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate design"), std::string::npos) << msg;
+}
+
+TEST(MnlTest, RejectsUnknownRecord) {
+  const std::string msg = mnl_error("mnl 1\nwire 0 1\nend\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown record 'wire'"), std::string::npos) << msg;
+}
+
+TEST(MnlTest, RejectsTruncatedGateRecord) {
+  const std::string msg = mnl_error("mnl 1\ngate 0 PI pi0\nend\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expected 6 fields"), std::string::npos) << msg;
+}
+
+TEST(MnlTest, NonDenseIdErrorSaysWhichIdWasExpected) {
+  const std::string msg =
+      mnl_error("mnl 1\ngate 0 PI pi0 out=0 in=-\n"
+                "gate 5 PI pi1 out=1 in=-\nend\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("expected 1"), std::string::npos) << msg;
+}
+
+TEST(MnlTest, RejectsNegativeNetIds) {
+  const std::string msg =
+      mnl_error("mnl 1\ngate 0 PI pi0 out=-3 in=-\nend\n");
+  EXPECT_NE(msg.find("out-of-range net id -3"), std::string::npos) << msg;
+}
+
+TEST(MnlTest, DuplicateDriverCitesBothLines) {
+  const std::string msg =
+      mnl_error("mnl 1\ngate 0 PI pi0 out=0 in=-\n"
+                "gate 1 PI pi1 out=0 in=-\nend\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("already driven by the gate on line 2"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(MnlTest, MissingEndCitesLastLine) {
+  const std::string msg = mnl_error("mnl 1\ngate 0 PI pi0 out=0 in=-\n");
+  EXPECT_NE(msg.find("missing 'end'"), std::string::npos) << msg;
+}
+
+TEST(MnlTest, CorruptedRoundTripNeverLoadsSilently) {
+  // Flip one byte at a stride across a real serialized netlist: every
+  // mutation either fails to parse or still round-trips to a well-formed
+  // netlist — never a half-parsed one that crashes later.
+  const std::string good = to_mnl(testing::small_netlist(7));
+  for (std::size_t i = 0; i < good.size(); i += 11) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(static_cast<unsigned char>(bad[i]) ^ 0x02);
+    try {
+      const Netlist parsed = from_mnl(bad);
+      EXPECT_TRUE(parsed.finalized());
+    } catch (const Error&) {
+      // Detected: fine.
+    }
+  }
+}
+
 TEST(VerilogTest, EmitsStructuralModule) {
   testing::TinyCircuit c;
   c.netlist.set_name("tiny");

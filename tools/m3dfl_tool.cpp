@@ -4,6 +4,8 @@
 //   m3dfl_tool verilog   <profile> <out.v>          export structural Verilog
 //   m3dfl_tool stats     <profile> [config]         design/M3D/DfT statistics
 //   m3dfl_tool train     <profile> <model.m3dfl>    train + persist a framework
+//                        [--checkpoint-dir=D] [--checkpoint-interval=N]
+//                        [--resume] [--train-config=F]
 //   m3dfl_tool diagnose  <profile> <model.m3dfl> <die.flog> [config]
 //                                                   diagnose one failure log
 //   m3dfl_tool inject    <profile> <out.flog>       make a demo failure log
@@ -16,6 +18,11 @@
 //
 // Profiles: aes | tate | netcard | leon3mp.  Configs: syn1|tpi|syn2|par.
 //
+// Every artifact this tool writes (netlists, failure logs, trained models)
+// goes through an atomic temp-file + rename, so a killed run never leaves a
+// torn file behind; trained models are additionally wrapped in the
+// checksummed artifact container (docs/ARTIFACTS.md).
+//
 // serve failure semantics: every request resolves with a serve::StatusCode
 // (printed per report and totalled at the end); a missing/corrupt model
 // stream degrades the whole run to ATPG-only ranking (reports marked
@@ -25,41 +32,21 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "diag/log_io.h"
 #include "netlist/verilog_io.h"
 #include "serve/service.h"
+#include "util/atomic_file.h"
 #include "util/table.h"
 
 using namespace m3dfl;
 
 namespace {
-
-Profile parse_profile(const std::string& name) {
-  for (Profile p : all_profiles()) {
-    std::string lower = profile_name(p);
-    for (char& c : lower) c = static_cast<char>(std::tolower(c));
-    if (lower == name) return p;
-  }
-  throw Error("unknown profile '" + name + "' (aes|tate|netcard|leon3mp)");
-}
-
-DesignConfig parse_config(const std::string& name) {
-  if (name == "syn1") return DesignConfig::kSyn1;
-  if (name == "tpi") return DesignConfig::kTpi;
-  if (name == "syn2") return DesignConfig::kSyn2;
-  if (name == "par") return DesignConfig::kPar;
-  throw Error("unknown config '" + name + "' (syn1|tpi|syn2|par)");
-}
-
-std::ofstream open_out(const std::string& path) {
-  std::ofstream os(path);
-  M3DFL_REQUIRE(os.good(), "cannot open '" + path + "' for writing");
-  return os;
-}
 
 std::ifstream open_in(const std::string& path) {
   std::ifstream is(path);
@@ -70,8 +57,7 @@ std::ifstream open_in(const std::string& path) {
 int cmd_generate(const std::string& profile, const std::string& path) {
   const auto design = Design::build(parse_profile(profile),
                                     DesignConfig::kSyn1);
-  auto os = open_out(path);
-  write_mnl(design->netlist(), os);
+  write_file_atomic(path, to_mnl(design->netlist()));
   std::cout << "wrote " << design->netlist().num_gates() << " gates to "
             << path << "\n";
   return 0;
@@ -80,8 +66,7 @@ int cmd_generate(const std::string& profile, const std::string& path) {
 int cmd_verilog(const std::string& profile, const std::string& path) {
   const auto design = Design::build(parse_profile(profile),
                                     DesignConfig::kSyn1);
-  auto os = open_out(path);
-  write_verilog(design->netlist(), os);
+  write_file_atomic(path, to_verilog(design->netlist()));
   std::cout << "wrote structural Verilog to " << path << "\n";
   return 0;
 }
@@ -115,17 +100,81 @@ int cmd_stats(const std::string& profile, const std::string& config) {
   return 0;
 }
 
-int cmd_train(const std::string& profile, const std::string& path) {
+// Flags accepted by `train`.
+struct TrainFlags {
+  std::string checkpoint_dir;
+  std::int32_t checkpoint_interval = 1;
+  bool resume = false;
+  std::string train_config;  // key-value TrainOptions file
+};
+
+TrainFlags parse_train_flags(const std::vector<std::string>& flags) {
+  TrainFlags parsed;
+  for (const std::string& flag : flags) {
+    const auto eq = flag.find('=');
+    const std::string key = flag.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : flag.substr(eq + 1);
+    try {
+      if (key == "--checkpoint-dir") {
+        parsed.checkpoint_dir = value;
+      } else if (key == "--checkpoint-interval") {
+        parsed.checkpoint_interval = std::stoi(value);
+      } else if (key == "--resume") {
+        parsed.resume = true;
+      } else if (key == "--train-config") {
+        parsed.train_config = value;
+      } else {
+        throw Error("unknown train flag '" + flag + "'");
+      }
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      throw Error("bad value in train flag '" + flag + "'");
+    }
+  }
+  if (parsed.resume && parsed.checkpoint_dir.empty()) {
+    throw Error("--resume requires --checkpoint-dir");
+  }
+  return parsed;
+}
+
+int cmd_train(const std::string& profile, const std::string& path,
+              const TrainFlags& flags) {
   const Profile p = parse_profile(profile);
+  // Validate the training config before the (expensive) dataset build so a
+  // typo is reported in milliseconds, not minutes.
+  FrameworkOptions options;
+  if (!flags.train_config.empty()) {
+    auto is = open_in(flags.train_config);
+    options.training =
+        read_train_options(is, options.training, flags.train_config);
+  }
   const auto design = Design::build(p, DesignConfig::kSyn1);
   std::cout << "generating training data (Syn-1 + 2 random partitions)...\n";
   const LabeledDataset train =
       build_transfer_training_set(p, *design, TransferTrainOptions{});
   std::cout << "training on " << train.size() << " failure logs...\n";
-  DiagnosisFramework framework;
-  framework.train(train.graphs);
-  auto os = open_out(path);
+
+  DiagnosisFramework framework(options);
+  TrainerOptions trainer_options;
+  trainer_options.checkpoint_dir = flags.checkpoint_dir;
+  trainer_options.checkpoint_interval = flags.checkpoint_interval;
+  Trainer trainer(framework, trainer_options);
+  if (flags.resume) {
+    if (trainer.resume()) {
+      std::cout << "resumed from " << trainer.checkpoint_path() << " (phase "
+                << trainer.phase() << ")\n";
+    } else {
+      std::cout << "no checkpoint in '" << flags.checkpoint_dir
+                << "'; training from scratch\n";
+    }
+  }
+  trainer.train(train.graphs);
+
+  std::ostringstream os;
   framework.save(os);
+  write_file_atomic(path, os.str());
   std::cout << "saved trained framework (T_P = " << framework.tp_threshold()
             << ") to " << path << "\n";
   return 0;
@@ -138,8 +187,7 @@ int cmd_inject(const std::string& profile, const std::string& path) {
   gen.num_samples = 1;
   gen.seed = 0xD1E;
   const LabeledDataset one = build_dataset(*design, gen);
-  auto os = open_out(path);
-  write_failure_log(one.samples[0].log, os);
+  write_file_atomic(path, failure_log_to_string(one.samples[0].log));
   std::cout << "injected " << fault_to_string(design->netlist(),
                                               one.samples[0].faults[0])
             << " (tier " << one.samples[0].fault_tier << "); wrote "
@@ -155,7 +203,7 @@ int cmd_diagnose(const std::string& profile, const std::string& model_path,
   DiagnosisFramework framework;
   {
     auto is = open_in(model_path);
-    framework.load(is);
+    framework.load(is, model_path);
   }
   FailureLog log;
   {
@@ -324,6 +372,9 @@ int usage() {
                "  m3dfl_tool verilog  <profile> <out.v>\n"
                "  m3dfl_tool stats    <profile> [config]\n"
                "  m3dfl_tool train    <profile> <model.m3dfl>\n"
+               "                      [--checkpoint-dir=D] "
+               "[--checkpoint-interval=N]\n"
+               "                      [--resume] [--train-config=F]\n"
                "  m3dfl_tool inject   <profile> <out.flog>\n"
                "  m3dfl_tool diagnose <profile> <model.m3dfl> <die.flog> "
                "[config]\n"
@@ -354,8 +405,13 @@ int main(int argc, char** argv) {
                        positional.size() == 6 ? positional[5] : "4",
                        parse_serve_flags(flags));
     }
+    if (cmd == "train" && positional.size() == 3) {
+      return cmd_train(positional[1], positional[2],
+                       parse_train_flags(flags));
+    }
     if (!flags.empty()) {
-      throw Error("flags are only accepted by the 'serve' command");
+      throw Error("flags are only accepted by the 'serve' and 'train' "
+                  "commands");
     }
     const std::size_t n = positional.size();
     if (cmd == "generate" && n == 3) {
@@ -367,7 +423,6 @@ int main(int argc, char** argv) {
     if (cmd == "stats" && (n == 2 || n == 3)) {
       return cmd_stats(positional[1], n == 3 ? positional[2] : "syn1");
     }
-    if (cmd == "train" && n == 3) return cmd_train(positional[1], positional[2]);
     if (cmd == "inject" && n == 3) {
       return cmd_inject(positional[1], positional[2]);
     }
