@@ -10,6 +10,7 @@
 
 #include "gnn/oversample.h"
 #include "gnn/serialize.h"
+#include "lint/lint.h"
 #include "util/artifact.h"
 #include "util/atomic_file.h"
 
@@ -274,6 +275,13 @@ bool Trainer::resume() {
 
 void Trainer::train(std::span<const Subgraph> graphs) {
   M3DFL_REQUIRE(!graphs.empty(), "cannot train on an empty dataset");
+  if (options_.preflight && phase_ == 0) {
+    const lint::Report report = lint::lint_training_set(graphs);
+    if (report.has_errors()) {
+      throw Error("training preflight failed: " + report.summary() +
+                  "; first: " + report.diagnostics().front().to_string());
+    }
+  }
   while (phase_ < kDonePhase) {
     switch (phase_) {
       case 0:

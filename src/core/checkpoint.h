@@ -69,6 +69,11 @@ struct TrainerOptions {
   std::int32_t checkpoint_interval = 1;
   // Divergence rollbacks tolerated before training gives up.
   std::int32_t max_rollbacks = 4;
+  // Lint preflight: reject datasets with malformed feature matrices (wrong
+  // width, non-finite values, out-of-range codes) before any epoch runs.
+  // The check is one pass over the features — far cheaper than discovering
+  // a poisoned sample as NaN weights after hours of training.
+  bool preflight = true;
 };
 
 // Drives DiagnosisFramework training with checkpoint/resume and guard

@@ -38,6 +38,30 @@ ScanChains::ScanChains(const Netlist& netlist, std::int32_t num_chains,
   }
 }
 
+ScanChains::ScanChains(std::vector<std::vector<std::int32_t>> chains,
+                       std::int32_t num_flops)
+    : chains_(std::move(chains)), num_flops_(num_flops) {
+  M3DFL_REQUIRE(num_flops_ >= 0, "negative flop count");
+  // Imported stitchings are taken verbatim; the reverse maps keep the first
+  // occurrence of each flop and ignore out-of-range entries so the accessors
+  // stay well-defined even for orders lint would reject.
+  chain_of_.assign(static_cast<std::size_t>(num_flops_), -1);
+  position_of_.assign(static_cast<std::size_t>(num_flops_), -1);
+  max_length_ = 0;
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    const auto& chain = chains_[c];
+    max_length_ = std::max(max_length_, static_cast<std::int32_t>(chain.size()));
+    for (std::size_t p = 0; p < chain.size(); ++p) {
+      const std::int32_t flop = chain[p];
+      if (flop < 0 || flop >= num_flops_) continue;
+      if (chain_of_[static_cast<std::size_t>(flop)] != -1) continue;
+      chain_of_[static_cast<std::size_t>(flop)] = static_cast<std::int32_t>(c);
+      position_of_[static_cast<std::size_t>(flop)] =
+          static_cast<std::int32_t>(p);
+    }
+  }
+}
+
 std::int32_t ScanChains::flop_at(std::int32_t c, std::int32_t position) const {
   M3DFL_ASSERT(c >= 0 && c < num_chains());
   const auto& chain = chains_[static_cast<std::size_t>(c)];

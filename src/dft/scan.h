@@ -28,6 +28,13 @@ class ScanChains {
   // nearest the scan output (unloaded first).
   ScanChains(const Netlist& netlist, std::int32_t num_chains,
              std::uint64_t seed);
+  // Wraps an externally provided stitching (e.g. a scan order read from a
+  // file) verbatim, without validating it against the design: chains may
+  // reference unknown flops, skip flops, or repeat them.  m3dfl::lint's
+  // scan pass (scan-off-chain / scan-duplicate-cell) is the checker for
+  // such imported orders.
+  ScanChains(std::vector<std::vector<std::int32_t>> chains,
+             std::int32_t num_flops);
 
   std::int32_t num_chains() const {
     return static_cast<std::int32_t>(chains_.size());

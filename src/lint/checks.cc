@@ -1,0 +1,236 @@
+#include "lint/checks.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace m3dfl::lint {
+
+namespace {
+
+// The check catalog, in pass order.  Ids are stable API: tests, CI
+// annotations, and suppression lists key on them, so renaming one is a
+// breaking change (docs/LINT.md).
+constexpr std::array<CheckInfo, 32> kCatalog = {{
+    // -- netlist pass --------------------------------------------------------
+    {"mnl-syntax", ArtifactKind::kNetlist, Severity::kError,
+     "MNL record is unreadable (bad tokens, unknown type, non-dense id)",
+     "fix the cited line; see the MNL grammar in netlist/verilog_io.cc"},
+    {"net-arity", ArtifactKind::kNetlist, Severity::kError,
+     "gate fan-in count outside the cell library's bounds for its type",
+     "connect the missing inputs or switch to a wider/narrower cell"},
+    {"net-floating-pin", ArtifactKind::kNetlist, Severity::kError,
+     "gate that must drive a net declares no output net (floating pin)",
+     "declare 'out=<net>' for the gate or remove the dead cell"},
+    {"net-undriven", ArtifactKind::kNetlist, Severity::kError,
+     "net is read by at least one gate but has no driver",
+     "drive the net or tie it off; undriven nets simulate as X"},
+    {"net-multi-driver", ArtifactKind::kNetlist, Severity::kError,
+     "net has more than one driver (a short in silicon)",
+     "keep one driver and re-route the rest through new nets"},
+    {"net-comb-loop", ArtifactKind::kNetlist, Severity::kError,
+     "combinational cycle (no flop on the path)",
+     "break the loop with a flop or re-synthesize the cone"},
+    {"net-unreachable", ArtifactKind::kNetlist, Severity::kWarn,
+     "combinational gate unreachable from any primary input or flop output",
+     "remove the dead logic or connect its cone to a source"},
+
+    // -- M3D pass ------------------------------------------------------------
+    {"tier-unassigned", ArtifactKind::kM3d, Severity::kError,
+     "tier assignment does not cover every gate",
+     "re-run partitioning after netlist edits; stale assignments mislabel "
+     "every downstream feature"},
+    {"tier-invalid", ArtifactKind::kM3d, Severity::kError,
+     "tier value is not a valid tier (0 = bottom, 1 = top)",
+     "clamp tiers to {0, 1}; two-tier M3D has no other planes"},
+    {"miv-same-tier", ArtifactKind::kM3d, Severity::kError,
+     "MIV endpoint tiers are not distinct (far sink on the driver's tier)",
+     "rebuild the MIV map from the current tier assignment"},
+    {"miv-count-mismatch", ArtifactKind::kM3d, Severity::kError,
+     "MIV count disagrees with the partition cut size",
+     "rebuild the MIV map; every tier-crossing net needs exactly one MIV"},
+    {"miv-orphan", ArtifactKind::kM3d, Severity::kError,
+     "MIV references a missing net/sink or crosses no tier boundary",
+     "rebuild the MIV map from the current netlist and tiers"},
+
+    // -- scan/DfT pass -------------------------------------------------------
+    {"scan-off-chain", ArtifactKind::kScan, Severity::kError,
+     "flop is not stitched into any scan chain (or chains cite unknown "
+     "flops)",
+     "re-stitch the scan chains after netlist/test-point changes"},
+    {"scan-duplicate-cell", ArtifactKind::kScan, Severity::kError,
+     "flop appears at more than one scan-chain position",
+     "re-stitch the scan chains; duplicated cells corrupt shift-out maps"},
+    {"dft-obs-unmapped", ArtifactKind::kScan, Severity::kError,
+     "graph observation point does not map to a scan-flop D input or PO pin",
+     "rebuild the heterogeneous graph after scan/netlist changes"},
+    {"dft-compactor-fanin", ArtifactKind::kScan, Severity::kError,
+     "compactor channel fan-in is inconsistent with the scan chains",
+     "rebuild the compactor after re-stitching the scan chains"},
+
+    // -- graph pass ----------------------------------------------------------
+    {"graph-node-count", ArtifactKind::kGraph, Severity::kError,
+     "graph node/edge counts disagree with netlist + MIV construction",
+     "rebuild the heterogeneous graph from the current design artifacts"},
+    {"graph-dangling-ref", ArtifactKind::kGraph, Severity::kError,
+     "graph node references a net or node id outside the design",
+     "rebuild the heterogeneous graph from the current design artifacts"},
+    {"graph-edge-mismatch", ArtifactKind::kGraph, Severity::kError,
+     "graph adjacency differs from reconstruction (stale wiring)",
+     "rebuild the heterogeneous graph from the current design artifacts"},
+    {"graph-top-stale", ArtifactKind::kGraph, Severity::kError,
+     "Topedge BFS aggregates differ from recomputation (stale top level)",
+     "rebuild the heterogeneous graph; stale Topedge features poison "
+     "training labels"},
+
+    // -- feature pass --------------------------------------------------------
+    {"feat-width", ArtifactKind::kFeatures, Severity::kError,
+     "feature matrix shape is not [num_nodes x 13] (paper Table II)",
+     "recompute features with compute_node_features"},
+    {"feat-nonfinite", ArtifactKind::kFeatures, Severity::kError,
+     "feature value is NaN or infinite",
+     "recompute features; non-finite inputs destroy GNN training"},
+    {"feat-range", ArtifactKind::kFeatures, Severity::kError,
+     "feature value outside the squashed [0, 1] range",
+     "recompute features with the fixed Table II scales"},
+    {"feat-onehot", ArtifactKind::kFeatures, Severity::kError,
+     "exclusive-coded column holds a value outside its code set",
+     "tier-level location must be 0/0.5/1 and binary flags 0/1"},
+
+    // -- failure-log pass ----------------------------------------------------
+    {"log-empty", ArtifactKind::kFailureLog, Severity::kError,
+     "failure log carries no failing bits",
+     "a passing die has nothing to diagnose; drop the request"},
+    {"log-limit", ArtifactKind::kFailureLog, Severity::kError,
+     "negative tester fail-memory pattern limit",
+     "pattern_limit must be >= 0 (0 = unlimited)"},
+    {"log-mode-mismatch", ArtifactKind::kFailureLog, Severity::kError,
+     "raw scan-cell records present in a compacted-mode log",
+     "re-acquire the log in one mode; mixed modes alias observation points"},
+    {"log-range", ArtifactKind::kFailureLog, Severity::kError,
+     "log record indexes a pattern/flop/channel/position/PO out of range",
+     "check the log against the design's test program and scan architecture"},
+    {"log-obs-missing", ArtifactKind::kFailureLog, Severity::kError,
+     "log record cites an observation point absent from the design",
+     "the (channel, position) bit aliases no scan cell; regenerate the log "
+     "against the right design"},
+    {"log-duplicate", ArtifactKind::kFailureLog, Severity::kWarn,
+     "duplicate failing-bit records",
+     "deduplicate the log; repeated bits skew match statistics"},
+
+    // -- model pass ----------------------------------------------------------
+    {"model-untrained", ArtifactKind::kModel, Severity::kError,
+     "framework has not been trained",
+     "train the framework (m3dfl_tool train) before serving it"},
+    {"model-feat-width", ArtifactKind::kModel, Severity::kError,
+     "model input width differs from the 13 Table II features",
+     "retrain with in_dim == 13; the feature contract is fixed"},
+}};
+
+// Checks that did not fit in the primary table (std::array needs the exact
+// count; keeping two tables avoids miscounting churn as the catalog grows).
+constexpr std::array<CheckInfo, 2> kCatalogTail = {{
+    {"model-layer-dims", ArtifactKind::kModel, Severity::kError,
+     "model layer dimensions are inconsistent (classes/hidden/layers)",
+     "tier and prune heads need 2 classes; transfer requires matching "
+     "hidden widths"},
+    {"model-miv-head", ArtifactKind::kModel, Severity::kWarn,
+     "design has no MIVs for the MIV-pinpointer head to classify",
+     "check the tier assignment; an M3D design without MIVs defeats the "
+     "MIV diagnosis path"},
+}};
+
+}  // namespace
+
+std::span<const CheckInfo> check_catalog() {
+  // Materialized once: primary table + tail, contiguous for callers.
+  static const std::vector<CheckInfo> all = [] {
+    std::vector<CheckInfo> v(kCatalog.begin(), kCatalog.end());
+    v.insert(v.end(), kCatalogTail.begin(), kCatalogTail.end());
+    return v;
+  }();
+  return all;
+}
+
+const CheckInfo& check_info(std::string_view id) {
+  for (const CheckInfo& info : check_catalog()) {
+    if (id == info.id) return info;
+  }
+  throw Error("unknown lint check id '" + std::string(id) + "'");
+}
+
+Emitter::~Emitter() {
+  // Summarize what the cap suppressed so totals stay honest.
+  for (const Tally& t : tallies_) {
+    if (t.count <= cap_) continue;
+    const CheckInfo& info = check_info(t.id);
+    Diagnostic d;
+    d.check_id = t.id;
+    d.severity = Severity::kNote;
+    d.artifact = info.artifact;
+    d.message = "output capped: " + std::to_string(t.count - cap_) +
+                " further finding(s) of this check suppressed";
+    report_.add(std::move(d));
+  }
+}
+
+bool Emitter::emit(std::string_view check_id, std::string location,
+                   std::string message) {
+  Tally* tally = nullptr;
+  for (Tally& t : tallies_) {
+    if (t.id == check_id) {
+      tally = &t;
+      break;
+    }
+  }
+  if (tally == nullptr) {
+    tallies_.push_back(Tally{std::string(check_id), 0});
+    tally = &tallies_.back();
+  }
+  ++tally->count;
+  if (tally->count > cap_) return false;
+  const CheckInfo& info = check_info(check_id);
+  Diagnostic d;
+  d.check_id = std::string(check_id);
+  d.severity = info.severity;
+  d.artifact = info.artifact;
+  d.location = std::move(location);
+  d.message = std::move(message);
+  d.hint = info.hint;
+  report_.add(std::move(d));
+  return true;
+}
+
+Report run_checks(const Subject& subject) {
+  Report report;
+  run_netlist_checks(subject, report);
+  const bool netlist_clean = !report.has_errors();
+
+  // Deeper structural passes dereference netlist invariants (pin ids, net
+  // sinks, topological order), so they require a finalized netlist and a
+  // clean netlist pass.
+  const bool deep = subject.netlist != nullptr &&
+                    subject.netlist->finalized() && netlist_clean;
+  if (deep) {
+    const std::size_t before = report.size();
+    run_m3d_checks(subject, report);
+    bool m3d_clean = true;
+    for (std::size_t i = before; i < report.diagnostics().size(); ++i) {
+      if (report.diagnostics()[i].severity == Severity::kError) {
+        m3d_clean = false;
+        break;
+      }
+    }
+    run_scan_checks(subject, report);
+    // The graph cross-check rebuilds a reference graph, which needs a sound
+    // (netlist, tiers, MIVs) triple — skip it when the M3D pass failed.
+    if (m3d_clean) run_graph_checks(subject, report);
+  }
+
+  run_feature_checks(subject, report);
+  if (deep) run_failure_log_checks(subject, report);
+  run_model_checks(subject, report);
+  return report;
+}
+
+}  // namespace m3dfl::lint

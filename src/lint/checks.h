@@ -1,0 +1,138 @@
+// The lint checker registry and engine.
+//
+// A Subject bundles (const pointers to) whatever pipeline artifacts the
+// caller has; run_checks() runs every registered check whose inputs are
+// present, in pipeline order (netlist -> M3D -> scan/DfT -> graph ->
+// features -> failure log -> model).  Passes are *gated*: once a pass finds
+// errors in an artifact, downstream passes that would dereference that
+// artifact's invariants (e.g. the graph cross-check calling
+// TierAssignment::tier_of) are skipped, so the engine itself never trips
+// over the defects it is reporting.
+//
+// The check catalog (ids, severities, summaries, remediation hints) is a
+// static table — the single source of truth rendered into docs/LINT.md and
+// consulted by the Emitter so every diagnostic of one check id carries the
+// same severity and hint.
+#ifndef M3DFL_LINT_CHECKS_H_
+#define M3DFL_LINT_CHECKS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "dft/compactor.h"
+#include "dft/scan.h"
+#include "diag/failure_log.h"
+#include "graph/hetero_graph.h"
+#include "graph/subgraph.h"
+#include "lint/diagnostic.h"
+#include "lint/netlist_facts.h"
+#include "m3d/miv.h"
+#include "m3d/partition.h"
+#include "netlist/netlist.h"
+
+namespace m3dfl {
+class DiagnosisFramework;  // core/framework.h; full type needed only in .cc
+}
+
+namespace m3dfl::lint {
+
+// Static metadata of one check.
+struct CheckInfo {
+  const char* id;            // stable, kebab-case
+  ArtifactKind artifact;
+  Severity severity;
+  const char* summary;       // one line, for the catalog / docs
+  const char* hint;          // one-line remediation
+};
+
+// Every registered check, in pass order.
+std::span<const CheckInfo> check_catalog();
+// Metadata for one id; throws m3dfl::Error for an unknown id (a typo in a
+// checker is a bug, not a diagnostic).
+const CheckInfo& check_info(std::string_view id);
+
+// Everything the engine can look at.  All pointers optional; checks run
+// only when their inputs are present.  Pointers must stay valid for the
+// duration of run_checks().
+struct Subject {
+  // Netlist structure: either a Netlist (finalized or mid-construction) or
+  // pre-extracted NetlistFacts (e.g. from a leniently parsed MNL file).
+  // When both are set, `facts` wins for the netlist pass; the deeper passes
+  // always use `netlist` and require it finalized.
+  const Netlist* netlist = nullptr;
+  const NetlistFacts* facts = nullptr;
+
+  // M3D partition artifacts.
+  const TierAssignment* tiers = nullptr;
+  const MivMap* mivs = nullptr;
+
+  // Scan/DfT artifacts.
+  const ScanChains* scan = nullptr;
+  const XorCompactor* compactor = nullptr;
+
+  // Heterogeneous diagnosis graph.
+  const HeteroGraph* graph = nullptr;
+
+  // One back-traced subgraph whose feature matrix should be checked.
+  const Subgraph* subgraph = nullptr;
+  // Location prefix for feature diagnostics (e.g. "sample 12, "); lets the
+  // training preflight cite which dataset element is poisoned.
+  std::string feature_scope;
+
+  // Failure log, checked against the design artifacts above.
+  const FailureLog* log = nullptr;
+  // Test-program pattern count the log's pattern indices must respect
+  // (negative = unknown, skip pattern-range checks).
+  std::int32_t num_patterns = -1;
+
+  // Trained model, checked for internal consistency and (when the design
+  // artifacts are present) design compatibility.
+  const DiagnosisFramework* model = nullptr;
+};
+
+// Emits diagnostics with catalog-backed severity/artifact/hint, capping the
+// output per check id so one systemic defect (e.g. a wholesale tier
+// mismatch) cannot drown the report in thousands of identical lines.
+class Emitter {
+ public:
+  explicit Emitter(Report& report, std::int32_t per_check_cap = 16)
+      : report_(report), cap_(per_check_cap) {}
+  ~Emitter();
+
+  Emitter(const Emitter&) = delete;
+  Emitter& operator=(const Emitter&) = delete;
+
+  // Adds a diagnostic for `check_id`; severity/artifact/hint come from the
+  // catalog.  Returns false once the cap for this id is reached (the
+  // checker may stop scanning early).
+  bool emit(std::string_view check_id, std::string location,
+            std::string message);
+
+ private:
+  struct Tally {
+    std::string id;
+    std::int32_t count = 0;
+  };
+  Report& report_;
+  std::int32_t cap_;
+  std::vector<Tally> tallies_;
+};
+
+// ---- Individual passes ------------------------------------------------------
+// Exposed for tests; run_checks() is the production entry point.
+
+void run_netlist_checks(const Subject& subject, Report& report);
+void run_m3d_checks(const Subject& subject, Report& report);
+void run_scan_checks(const Subject& subject, Report& report);
+void run_graph_checks(const Subject& subject, Report& report);
+void run_feature_checks(const Subject& subject, Report& report);
+void run_failure_log_checks(const Subject& subject, Report& report);
+void run_model_checks(const Subject& subject, Report& report);
+
+// Runs every applicable pass in pipeline order with inter-pass gating.
+Report run_checks(const Subject& subject);
+
+}  // namespace m3dfl::lint
+
+#endif  // M3DFL_LINT_CHECKS_H_

@@ -1,0 +1,263 @@
+// Data-artifact checks (lint passes 5-7): feature matrices, failure logs,
+// and model/design compatibility.
+#include <cmath>
+#include <set>
+
+#include "core/framework.h"
+#include "graph/features.h"
+#include "lint/checks.h"
+
+namespace m3dfl::lint {
+
+namespace {
+
+constexpr float kRangeEps = 1e-4f;
+
+bool is_code(float v, float code) { return std::fabs(v - code) <= kRangeEps; }
+
+std::string cell_loc(const std::string& scope, std::int32_t row,
+                     std::int32_t col) {
+  return scope + "node " + std::to_string(row) + ", feature " +
+         std::to_string(col) + " (" + kFeatureNames[col] + ")";
+}
+
+}  // namespace
+
+void run_feature_checks(const Subject& subject, Report& report) {
+  if (subject.subgraph == nullptr) return;
+  const Subgraph& sg = *subject.subgraph;
+  const Matrix& x = sg.features;
+  Emitter emit(report);
+  if (x.rows() != sg.num_nodes() || x.cols() != kNumNodeFeatures) {
+    emit.emit("feat-width", subject.feature_scope + "feature matrix",
+              "shape [" + std::to_string(x.rows()) + " x " +
+                  std::to_string(x.cols()) + "], expected [" +
+                  std::to_string(sg.num_nodes()) + " x " +
+                  std::to_string(kNumNodeFeatures) + "]");
+    return;  // per-cell checks would misindex
+  }
+  for (std::int32_t r = 0; r < x.rows(); ++r) {
+    for (std::int32_t c = 0; c < x.cols(); ++c) {
+      const float v = x.at(r, c);
+      const std::string loc = cell_loc(subject.feature_scope, r, c);
+      if (!std::isfinite(v)) {
+        emit.emit("feat-nonfinite", loc,
+                  std::isnan(v) ? "value is NaN" : "value is infinite");
+        continue;
+      }
+      if (v < -kRangeEps || v > 1.0f + kRangeEps) {
+        emit.emit("feat-range", loc,
+                  "value " + std::to_string(v) + " outside [0, 1]");
+        continue;
+      }
+      // Column 3 is the tier-level location code {0, 0.5, 1}; columns 5/6
+      // are binary flags (graph/features.cc).
+      if (c == 3 && !is_code(v, 0.0f) && !is_code(v, 0.5f) &&
+          !is_code(v, 1.0f)) {
+        emit.emit("feat-onehot", loc,
+                  "value " + std::to_string(v) + " is not a tier code "
+                  "(0 = bottom, 0.5 = MIV, 1 = top)");
+      } else if ((c == 5 || c == 6) && !is_code(v, 0.0f) &&
+                 !is_code(v, 1.0f)) {
+        emit.emit("feat-onehot", loc,
+                  "value " + std::to_string(v) + " is not a 0/1 flag");
+      }
+    }
+  }
+}
+
+namespace {
+
+// Mirrors the historical serve::validate_failure_log phrasing ("... out of
+// range [0, N)"), which serving clients and tests key on.
+std::string range_msg(const char* what, std::int32_t got, std::int32_t bound) {
+  return std::string(what) + " " + std::to_string(got) +
+         " out of range [0, " + std::to_string(bound) + ")";
+}
+
+void check_log_ranges(const Subject& subject, const FailureLog& log,
+                      Emitter& emit) {
+  const Netlist& nl = *subject.netlist;
+  const std::int32_t num_patterns = subject.num_patterns;
+  const std::int32_t num_flops =
+      subject.scan != nullptr ? subject.scan->num_flops() : -1;
+  const std::int32_t num_channels =
+      subject.compactor != nullptr ? subject.compactor->num_channels() : -1;
+  const std::int32_t max_position =
+      subject.scan != nullptr ? subject.scan->max_chain_length() : -1;
+  const auto num_pos =
+      static_cast<std::int32_t>(nl.primary_outputs().size());
+  const auto fail = [&](std::int32_t index, const std::string& msg) {
+    emit.emit("log-range", "record " + std::to_string(index), msg);
+  };
+  for (std::size_t i = 0; i < log.scan_fails.size(); ++i) {
+    const Observation& o = log.scan_fails[i];
+    const auto idx = static_cast<std::int32_t>(i);
+    if (num_patterns >= 0 && (o.pattern < 0 || o.pattern >= num_patterns)) {
+      fail(idx, range_msg("scan record pattern", o.pattern, num_patterns));
+    }
+    if (num_flops >= 0 && (o.index < 0 || o.index >= num_flops)) {
+      fail(idx, range_msg("scan record flop index", o.index, num_flops));
+    }
+  }
+  for (std::size_t i = 0; i < log.channel_fails.size(); ++i) {
+    const ChannelFail& c = log.channel_fails[i];
+    const auto idx = static_cast<std::int32_t>(i);
+    if (num_patterns >= 0 && (c.pattern < 0 || c.pattern >= num_patterns)) {
+      fail(idx, range_msg("chan record pattern", c.pattern, num_patterns));
+      continue;
+    }
+    if (num_channels >= 0 && (c.channel < 0 || c.channel >= num_channels)) {
+      fail(idx, range_msg("chan record channel", c.channel, num_channels));
+      continue;
+    }
+    if (max_position >= 0 && (c.position < 0 || c.position >= max_position)) {
+      fail(idx, range_msg("chan record position", c.position, max_position));
+      continue;
+    }
+    // In range, but the bit may still alias no scan cell: channels cover
+    // chains of different lengths, so positions beyond every member chain's
+    // end observe nothing.  Historically accepted, then failed deep inside
+    // back-tracing — the gap this check closes.
+    if (subject.scan != nullptr && subject.compactor != nullptr &&
+        subject.compactor->cells_at(*subject.scan, c.channel, c.position)
+            .empty()) {
+      emit.emit("log-obs-missing", "record " + std::to_string(idx),
+                "channel " + std::to_string(c.channel) + " position " +
+                    std::to_string(c.position) +
+                    " aliases no scan cell in this design");
+    }
+  }
+  for (std::size_t i = 0; i < log.po_fails.size(); ++i) {
+    const Observation& o = log.po_fails[i];
+    const auto idx = static_cast<std::int32_t>(i);
+    if (num_patterns >= 0 && (o.pattern < 0 || o.pattern >= num_patterns)) {
+      fail(idx, range_msg("po record pattern", o.pattern, num_patterns));
+    }
+    if (o.index < 0 || o.index >= num_pos) {
+      fail(idx, range_msg("po record output index", o.index, num_pos));
+    }
+  }
+}
+
+void check_log_duplicates(const FailureLog& log, Emitter& emit) {
+  std::set<Observation> scan_seen, po_seen;
+  std::set<ChannelFail> chan_seen;
+  for (std::size_t i = 0; i < log.scan_fails.size(); ++i) {
+    if (!scan_seen.insert(log.scan_fails[i]).second) {
+      emit.emit("log-duplicate", "record " + std::to_string(i),
+                "duplicate failing scan bit (pattern " +
+                    std::to_string(log.scan_fails[i].pattern) + ", flop " +
+                    std::to_string(log.scan_fails[i].index) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < log.channel_fails.size(); ++i) {
+    if (!chan_seen.insert(log.channel_fails[i]).second) {
+      emit.emit("log-duplicate", "record " + std::to_string(i),
+                "duplicate failing channel bit (pattern " +
+                    std::to_string(log.channel_fails[i].pattern) +
+                    ", channel " +
+                    std::to_string(log.channel_fails[i].channel) +
+                    ", position " +
+                    std::to_string(log.channel_fails[i].position) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < log.po_fails.size(); ++i) {
+    if (!po_seen.insert(log.po_fails[i]).second) {
+      emit.emit("log-duplicate", "record " + std::to_string(i),
+                "duplicate failing PO bit (pattern " +
+                    std::to_string(log.po_fails[i].pattern) + ", output " +
+                    std::to_string(log.po_fails[i].index) + ")");
+    }
+  }
+}
+
+}  // namespace
+
+void run_failure_log_checks(const Subject& subject, Report& report) {
+  if (subject.log == nullptr || subject.netlist == nullptr) return;
+  const FailureLog& log = *subject.log;
+  Emitter emit(report);
+  if (log.empty()) {
+    emit.emit("log-empty", "failure log",
+              "empty failure log (no failing bits)");
+    return;
+  }
+  if (log.pattern_limit < 0) {
+    emit.emit("log-limit", "failure log",
+              "negative pattern limit " + std::to_string(log.pattern_limit));
+  }
+  if (log.compacted && !log.scan_fails.empty()) {
+    emit.emit("log-mode-mismatch", "failure log",
+              "scan records present in compacted mode");
+  } else if (!log.compacted && !log.channel_fails.empty()) {
+    emit.emit("log-mode-mismatch", "failure log",
+              "channel records present in bypass mode");
+  }
+  check_log_ranges(subject, log, emit);
+  check_log_duplicates(log, emit);
+}
+
+void run_model_checks(const Subject& subject, Report& report) {
+  if (subject.model == nullptr) return;
+  const DiagnosisFramework& model = *subject.model;
+  Emitter emit(report);
+  if (!model.trained()) {
+    emit.emit("model-untrained", "framework",
+              "framework has not been trained");
+    return;  // the untrained heads carry meaningless dimensions
+  }
+  const GcnModelConfig& tier_cfg = model.tier_predictor().config();
+  const GcnModelConfig& miv_cfg = model.miv_pinpointer().config();
+  if (tier_cfg.in_dim != kNumNodeFeatures) {
+    emit.emit("model-feat-width", "tier predictor",
+              "input width " + std::to_string(tier_cfg.in_dim) +
+                  ", feature contract is " +
+                  std::to_string(kNumNodeFeatures));
+  }
+  if (miv_cfg.in_dim != kNumNodeFeatures) {
+    emit.emit("model-feat-width", "MIV pinpointer",
+              "input width " + std::to_string(miv_cfg.in_dim) +
+                  ", feature contract is " +
+                  std::to_string(kNumNodeFeatures));
+  }
+  if (tier_cfg.classes != 2) {
+    emit.emit("model-layer-dims", "tier predictor",
+              std::to_string(tier_cfg.classes) +
+                  " output class(es); two-tier prediction needs 2");
+  }
+  if (miv_cfg.classes != 2) {
+    emit.emit("model-layer-dims", "MIV pinpointer",
+              std::to_string(miv_cfg.classes) +
+                  " output class(es); defective/healthy needs 2");
+  }
+  if (tier_cfg.hidden <= 0 || tier_cfg.num_layers <= 0) {
+    emit.emit("model-layer-dims", "tier predictor",
+              "degenerate stack (hidden " + std::to_string(tier_cfg.hidden) +
+                  ", layers " + std::to_string(tier_cfg.num_layers) + ")");
+  }
+  if (miv_cfg.hidden != tier_cfg.hidden ||
+      miv_cfg.num_layers != tier_cfg.num_layers) {
+    emit.emit("model-layer-dims", "framework",
+              "MIV pinpointer stack (hidden " +
+                  std::to_string(miv_cfg.hidden) + ", layers " +
+                  std::to_string(miv_cfg.num_layers) +
+                  ") differs from the tier predictor (hidden " +
+                  std::to_string(tier_cfg.hidden) + ", layers " +
+                  std::to_string(tier_cfg.num_layers) +
+                  "); transfer learning requires matching widths");
+  }
+  const double tp = model.tp_threshold();
+  if (!(tp >= 0.0 && tp <= 1.0)) {
+    emit.emit("model-layer-dims", "framework",
+              "confidence threshold T_P " + std::to_string(tp) +
+                  " outside [0, 1]");
+  }
+  if (subject.mivs != nullptr && subject.mivs->num_mivs() == 0) {
+    emit.emit("model-miv-head", "design",
+              "design has 0 MIVs; the MIV-pinpointer head has nothing to "
+              "classify");
+  }
+}
+
+}  // namespace m3dfl::lint

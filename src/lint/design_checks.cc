@@ -1,0 +1,329 @@
+// Design-artifact checks (lint passes 2-4): M3D tiers & MIVs, scan/DfT,
+// and the heterogeneous-graph cross-check.
+//
+// These passes run only on finalized netlists that passed the structural
+// pass (run_checks gates them), so netlist queries are safe to call.  The
+// graph cross-check additionally requires a clean M3D pass: it rebuilds a
+// reference HeteroGraph from (netlist, tiers, mivs) and diffing against a
+// broken tier assignment would crash before it could diagnose anything.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lint/checks.h"
+
+namespace m3dfl::lint {
+
+namespace {
+
+std::string gate_loc(const Netlist& nl, GateId g) {
+  std::string loc = "gate " + std::to_string(g);
+  if (!nl.gate(g).name.empty()) loc += " (" + nl.gate(g).name + ")";
+  return loc;
+}
+
+std::string miv_loc(MivId id, const Miv& miv) {
+  return "MIV " + std::to_string(id) + " (net " + std::to_string(miv.net) +
+         ")";
+}
+
+// True when every tier value is a legal tier; emits tier-invalid otherwise.
+bool check_tier_values(const Netlist& nl, const TierAssignment& tiers,
+                       Emitter& emit) {
+  bool ok = true;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const int tier = tiers.tier_of(g);
+    if (tier != kBottomTier && tier != kTopTier) {
+      ok = false;
+      if (!emit.emit("tier-invalid", gate_loc(nl, g),
+                     "tier " + std::to_string(tier) + " is not 0 or 1")) {
+        break;
+      }
+    }
+  }
+  return ok;
+}
+
+void check_mivs(const Netlist& nl, const TierAssignment& tiers,
+                const MivMap& mivs, Emitter& emit) {
+  if (mivs.num_mivs() != tiers.cut_size(nl)) {
+    emit.emit("miv-count-mismatch", "design",
+              std::to_string(mivs.num_mivs()) + " MIV(s) for a partition "
+              "cut of " + std::to_string(tiers.cut_size(nl)) + " net(s)");
+  }
+  for (MivId id = 0; id < mivs.num_mivs(); ++id) {
+    const Miv& miv = mivs.miv(id);
+    if (miv.net < 0 || miv.net >= nl.num_nets()) {
+      emit.emit("miv-orphan", "MIV " + std::to_string(id),
+                "net " + std::to_string(miv.net) + " does not exist");
+      continue;
+    }
+    const GateId driver = nl.net(miv.net).driver;
+    if (tiers.tier_of(driver) != miv.driver_tier) {
+      emit.emit("miv-orphan", miv_loc(id, miv),
+                "recorded driver tier " + std::to_string(miv.driver_tier) +
+                    " but " + gate_loc(nl, driver) + " sits on tier " +
+                    std::to_string(tiers.tier_of(driver)));
+    }
+    if (miv.far_sinks.empty()) {
+      emit.emit("miv-orphan", miv_loc(id, miv),
+                "no far-tier sinks: the net crosses no tier boundary");
+      continue;
+    }
+    for (const PinRef& sink : miv.far_sinks) {
+      if (sink.gate < 0 || sink.gate >= nl.num_gates() || sink.is_output() ||
+          sink.input >= static_cast<std::int32_t>(
+                            nl.gate(sink.gate).fanin.size())) {
+        emit.emit("miv-orphan", miv_loc(id, miv),
+                  "far sink cites a pin that does not exist (gate " +
+                      std::to_string(sink.gate) + ", input " +
+                      std::to_string(sink.input) + ")");
+        continue;
+      }
+      if (tiers.tier_of(sink.gate) == miv.driver_tier) {
+        emit.emit("miv-same-tier", miv_loc(id, miv),
+                  "far sink " + gate_loc(nl, sink.gate) +
+                      " sits on the driver's tier " +
+                      std::to_string(miv.driver_tier));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_m3d_checks(const Subject& subject, Report& report) {
+  if (subject.netlist == nullptr || subject.tiers == nullptr) return;
+  const Netlist& nl = *subject.netlist;
+  const TierAssignment& tiers = *subject.tiers;
+  Emitter emit(report);
+  if (static_cast<std::int32_t>(tiers.size()) != nl.num_gates()) {
+    emit.emit("tier-unassigned", "design",
+              "tier assignment covers " + std::to_string(tiers.size()) +
+                  " gate(s), netlist has " + std::to_string(nl.num_gates()));
+    return;  // tier_of would assert on the uncovered gates
+  }
+  if (!check_tier_values(nl, tiers, emit)) return;  // cut_size would misindex
+  if (subject.mivs != nullptr) check_mivs(nl, tiers, *subject.mivs, emit);
+}
+
+namespace {
+
+void check_chain_coverage(const Netlist& nl, const ScanChains& scan,
+                          Emitter& emit) {
+  const auto num_flops = static_cast<std::int32_t>(nl.flops().size());
+  if (scan.num_flops() != num_flops) {
+    emit.emit("scan-off-chain", "design",
+              "scan architecture stitches " +
+                  std::to_string(scan.num_flops()) + " flop(s), netlist has " +
+                  std::to_string(num_flops));
+  }
+  std::vector<std::int32_t> seen(static_cast<std::size_t>(num_flops), 0);
+  for (std::int32_t c = 0; c < scan.num_chains(); ++c) {
+    const auto& chain = scan.chain(c);
+    for (std::size_t pos = 0; pos < chain.size(); ++pos) {
+      const std::int32_t flop = chain[pos];
+      const std::string loc =
+          "chain " + std::to_string(c) + "[" + std::to_string(pos) + "]";
+      if (flop < 0 || flop >= num_flops) {
+        emit.emit("scan-off-chain", loc,
+                  "cites flop index " + std::to_string(flop) +
+                      " outside [0, " + std::to_string(num_flops) + ")");
+        continue;
+      }
+      if (++seen[static_cast<std::size_t>(flop)] == 2) {
+        emit.emit("scan-duplicate-cell", loc,
+                  "flop " + std::to_string(flop) +
+                      " appears in more than one chain position");
+      }
+    }
+  }
+  for (std::int32_t f = 0; f < num_flops; ++f) {
+    if (seen[static_cast<std::size_t>(f)] == 0) {
+      emit.emit("scan-off-chain", "flop " + std::to_string(f),
+                "flop is not stitched into any scan chain");
+    }
+  }
+}
+
+void check_compactor(const ScanChains& scan, const XorCompactor& compactor,
+                     Emitter& emit) {
+  std::vector<std::int32_t> covered(
+      static_cast<std::size_t>(scan.num_chains()), 0);
+  for (std::int32_t ch = 0; ch < compactor.num_channels(); ++ch) {
+    const auto& chains = compactor.channel_chains(ch);
+    const std::string loc = "channel " + std::to_string(ch);
+    if (static_cast<std::int32_t>(chains.size()) >
+        compactor.chains_per_channel()) {
+      emit.emit("dft-compactor-fanin", loc,
+                std::to_string(chains.size()) + " chain(s) exceed the " +
+                    std::to_string(compactor.chains_per_channel()) +
+                    ":1 compaction ratio");
+    }
+    for (const std::int32_t chain : chains) {
+      if (chain < 0 || chain >= scan.num_chains()) {
+        emit.emit("dft-compactor-fanin", loc,
+                  "cites chain " + std::to_string(chain) + " outside [0, " +
+                      std::to_string(scan.num_chains()) + ")");
+        continue;
+      }
+      ++covered[static_cast<std::size_t>(chain)];
+    }
+  }
+  for (std::int32_t c = 0; c < scan.num_chains(); ++c) {
+    const std::int32_t n = covered[static_cast<std::size_t>(c)];
+    if (n != 1) {
+      emit.emit("dft-compactor-fanin", "chain " + std::to_string(c),
+                n == 0 ? std::string("chain feeds no output channel")
+                       : "chain feeds " + std::to_string(n) + " channels");
+    }
+  }
+}
+
+// Observation points of the graph's top level must anchor on real scan-flop
+// D inputs and PO input pins — the contract back-tracing relies on.
+void check_observation_points(const Netlist& nl, const HeteroGraph& graph,
+                              Emitter& emit) {
+  const auto& topnodes = graph.topnodes();
+  const auto num_flops = static_cast<std::size_t>(nl.flops().size());
+  const std::size_t expected = num_flops + nl.primary_outputs().size();
+  if (topnodes.size() != expected) {
+    emit.emit("dft-obs-unmapped", "graph",
+              std::to_string(topnodes.size()) + " observation point(s), "
+              "design has " + std::to_string(expected) +
+                  " (flop D inputs + POs)");
+    return;
+  }
+  for (std::size_t i = 0; i < topnodes.size(); ++i) {
+    const GateId anchor = i < num_flops
+                              ? nl.flops()[i]
+                              : nl.primary_outputs()[i - num_flops];
+    const PinId want = nl.input_pin(anchor, 0);
+    if (topnodes[i] != want) {
+      emit.emit("dft-obs-unmapped", "topnode " + std::to_string(i),
+                "anchored at node " + std::to_string(topnodes[i]) +
+                    ", expected D-input pin " + std::to_string(want) +
+                    " of " + gate_loc(nl, anchor));
+    }
+  }
+}
+
+}  // namespace
+
+void run_scan_checks(const Subject& subject, Report& report) {
+  if (subject.netlist == nullptr) return;
+  const Netlist& nl = *subject.netlist;
+  Emitter emit(report);
+  if (subject.scan != nullptr) {
+    check_chain_coverage(nl, *subject.scan, emit);
+    if (subject.compactor != nullptr) {
+      check_compactor(*subject.scan, *subject.compactor, emit);
+    }
+  }
+  if (subject.graph != nullptr) check_observation_points(nl, *subject.graph, emit);
+}
+
+namespace {
+
+bool same_adjacency(std::span<const NodeId> a, std::span<const NodeId> b) {
+  if (a.size() != b.size()) return false;
+  // Construction order is deterministic, but compare as sets so the check
+  // pins semantics, not an incidental ordering.
+  std::vector<NodeId> sa(a.begin(), a.end());
+  std::vector<NodeId> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+bool near(float a, float b) { return std::fabs(a - b) <= 1e-3f; }
+
+}  // namespace
+
+void run_graph_checks(const Subject& subject, Report& report) {
+  if (subject.netlist == nullptr || subject.tiers == nullptr ||
+      subject.mivs == nullptr || subject.graph == nullptr) {
+    return;
+  }
+  const Netlist& nl = *subject.netlist;
+  const HeteroGraph& graph = *subject.graph;
+  Emitter emit(report);
+
+  bool counts_ok = true;
+  if (graph.num_pins() != nl.num_pins()) {
+    counts_ok = false;
+    emit.emit("graph-node-count", "graph",
+              std::to_string(graph.num_pins()) + " pin node(s), netlist has " +
+                  std::to_string(nl.num_pins()) + " pins");
+  }
+  if (graph.num_mivs() != subject.mivs->num_mivs()) {
+    counts_ok = false;
+    emit.emit("graph-node-count", "graph",
+              std::to_string(graph.num_mivs()) + " MIV node(s), MIV map has " +
+                  std::to_string(subject.mivs->num_mivs()));
+  }
+
+  // Reference checks dereference per-node arrays; only safe on matching ids.
+  for (NodeId n = 0; counts_ok && n < graph.num_nodes(); ++n) {
+    const NetId net = graph.node_net(n);
+    if (net < 0 || net >= nl.num_nets()) {
+      emit.emit("graph-dangling-ref", "node " + std::to_string(n),
+                "observes net " + std::to_string(net) + " outside [0, " +
+                    std::to_string(nl.num_nets()) + ")");
+    }
+    for (const NodeId s : graph.successors(n)) {
+      if (s < 0 || s >= graph.num_nodes()) {
+        emit.emit("graph-dangling-ref", "node " + std::to_string(n),
+                  "successor " + std::to_string(s) + " outside [0, " +
+                      std::to_string(graph.num_nodes()) + ")");
+      }
+    }
+  }
+  for (const NodeId t : graph.topnodes()) {
+    if (t < 0 || t >= graph.num_nodes()) {
+      emit.emit("graph-dangling-ref", "topnode",
+                "anchor node " + std::to_string(t) + " outside [0, " +
+                    std::to_string(graph.num_nodes()) + ")");
+      counts_ok = false;
+    }
+  }
+  if (!counts_ok || report.has_errors()) return;
+
+  // Cross-check: rebuild the graph from the current artifacts and diff the
+  // adjacency and the Topedge BFS aggregates node by node.  Any difference
+  // means `graph` was built from stale artifacts.
+  const HeteroGraph ref(nl, *subject.tiers, *subject.mivs);
+  if (graph.num_edges() != ref.num_edges()) {
+    emit.emit("graph-edge-mismatch", "graph",
+              std::to_string(graph.num_edges()) + " edge(s), " +
+                  "reconstruction has " + std::to_string(ref.num_edges()));
+  }
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (!same_adjacency(graph.successors(n), ref.successors(n)) ||
+        !same_adjacency(graph.predecessors(n), ref.predecessors(n))) {
+      if (!emit.emit("graph-edge-mismatch", "node " + std::to_string(n),
+                     "adjacency differs from reconstruction")) {
+        break;
+      }
+    }
+  }
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (graph.n_top(n) != ref.n_top(n) ||
+        !near(graph.dist_mean(n), ref.dist_mean(n)) ||
+        !near(graph.dist_std(n), ref.dist_std(n)) ||
+        !near(graph.miv_mean(n), ref.miv_mean(n)) ||
+        !near(graph.miv_std(n), ref.miv_std(n))) {
+      if (!emit.emit(
+              "graph-top-stale", "node " + std::to_string(n),
+              "Topedge aggregates (n_top " + std::to_string(graph.n_top(n)) +
+                  ", dist_mean " + std::to_string(graph.dist_mean(n)) +
+                  ") differ from recomputation (n_top " +
+                  std::to_string(ref.n_top(n)) + ", dist_mean " +
+                  std::to_string(ref.dist_mean(n)) + ")")) {
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace m3dfl::lint

@@ -1,0 +1,88 @@
+// Lint diagnostics: the output vocabulary of the m3dfl static-analysis
+// engine (docs/LINT.md).
+//
+// Every finding is a Diagnostic: a stable check id (e.g. "net-multi-driver"),
+// a severity, the artifact kind it was found in, a cited location (gate /
+// pin / net / MIV / node id, or file:line for file-sourced artifacts), a
+// one-line message, and a one-line remediation hint.  Checks never throw —
+// the engine's contract is "report everything, reject nothing", so a single
+// run surfaces every defect in an artifact instead of the first one, and the
+// callers (CLI, train preflight, serve admission) decide what severity is
+// fatal for them.
+#ifndef M3DFL_LINT_DIAGNOSTIC_H_
+#define M3DFL_LINT_DIAGNOSTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace m3dfl::lint {
+
+enum class Severity : std::uint8_t { kNote = 0, kWarn = 1, kError = 2 };
+
+// Pipeline artifact a diagnostic was found in, in pipeline order (Fig. 2):
+// netlist -> M3D partition/MIVs -> scan/DfT -> heterogeneous graph ->
+// feature matrix -> failure log -> trained model.
+enum class ArtifactKind : std::uint8_t {
+  kNetlist = 0,
+  kM3d = 1,
+  kScan = 2,
+  kGraph = 3,
+  kFeatures = 4,
+  kFailureLog = 5,
+  kModel = 6,
+};
+
+inline constexpr int kNumArtifactKinds = 7;
+
+const char* severity_name(Severity severity);
+const char* artifact_name(ArtifactKind kind);
+
+struct Diagnostic {
+  std::string check_id;     // stable id, e.g. "net-multi-driver"
+  Severity severity = Severity::kError;
+  ArtifactKind artifact = ArtifactKind::kNetlist;
+  std::string location;     // "gate 42 (u123)" / "net 7" / "file.mnl:12"
+  std::string message;      // what is wrong, with expected-vs-found
+  std::string hint;         // one-line remediation
+
+  // "error[net-multi-driver] at net 7: ... (hint: ...)"
+  std::string to_string() const;
+};
+
+// Ordered collection of findings from one engine run.
+class Report {
+ public:
+  void add(Diagnostic diagnostic);
+  void merge(Report&& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  std::size_t size() const { return diags_.size(); }
+
+  std::int32_t count(Severity severity) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+  // Worst severity present; kNote for an empty report.
+  Severity worst() const;
+
+  // First diagnostic with the given check id, or nullptr.
+  const Diagnostic* find(std::string_view check_id) const;
+  bool contains(std::string_view check_id) const {
+    return find(check_id) != nullptr;
+  }
+
+  // "2 errors, 1 warning" (or "clean").
+  std::string summary() const;
+  // One to_string() line per diagnostic plus the summary.
+  std::string to_string() const;
+  // JSON array of {check, severity, artifact, location, message, hint}.
+  std::string to_json() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace m3dfl::lint
+
+#endif  // M3DFL_LINT_DIAGNOSTIC_H_

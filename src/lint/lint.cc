@@ -1,0 +1,67 @@
+#include "lint/lint.h"
+
+#include "core/framework.h"
+
+namespace m3dfl::lint {
+
+namespace {
+
+Subject design_subject(const Design& design) {
+  Subject subject;
+  subject.netlist = &design.netlist();
+  subject.tiers = &design.tiers();
+  subject.mivs = &design.mivs();
+  subject.scan = &design.scan();
+  subject.compactor = &design.compactor();
+  subject.graph = &design.graph();
+  return subject;
+}
+
+}  // namespace
+
+Report lint_design(const Design& design) {
+  return run_checks(design_subject(design));
+}
+
+Report lint_failure_log(const Design& design, const FailureLog& log) {
+  Subject subject = design_subject(design);
+  subject.log = &log;
+  subject.num_patterns = design.patterns().num_patterns;
+  return run_checks(subject);
+}
+
+Report lint_model(const DiagnosisFramework& model, const Design* design) {
+  Subject subject;
+  if (design != nullptr) subject = design_subject(*design);
+  subject.model = &model;
+  return run_checks(subject);
+}
+
+Report lint_subgraph(const Subgraph& subgraph, std::string scope) {
+  Subject subject;
+  subject.subgraph = &subgraph;
+  subject.feature_scope = std::move(scope);
+  Report report;
+  run_feature_checks(subject, report);
+  return report;
+}
+
+Report lint_training_set(std::span<const Subgraph> graphs) {
+  Report report;
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    report.merge(lint_subgraph(graphs[i],
+                               "sample " + std::to_string(i) + ", "));
+  }
+  return report;
+}
+
+Report lint_mnl(const std::string& text, const std::string& source) {
+  Report report;
+  const NetlistFacts facts = NetlistFacts::from_mnl(text, source, report);
+  Subject subject;
+  subject.facts = &facts;
+  run_netlist_checks(subject, report);
+  return report;
+}
+
+}  // namespace m3dfl::lint

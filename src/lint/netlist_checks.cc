@@ -1,0 +1,202 @@
+// Netlist structural checks (lint pass 1).
+//
+// These run on NetlistFacts so they can diagnose netlists that Netlist
+// itself refuses to hold (multi-driver nets, bad arity) — e.g. from a
+// leniently scanned MNL file — as well as in-memory netlists that have not
+// been finalized yet.  On any netlist that finalize() accepted, every check
+// here is clean by construction except none: the generator/TPI flows cannot
+// produce findings, which is exactly what the clean-design corpus test pins.
+#include <algorithm>
+#include <vector>
+
+#include "lint/checks.h"
+
+namespace m3dfl::lint {
+
+namespace {
+
+void check_arity(const NetlistFacts& facts, Emitter& emit) {
+  for (std::int32_t g = 0; g < facts.num_gates(); ++g) {
+    const FactsGate& gate = facts.gates[static_cast<std::size_t>(g)];
+    const int fanin = static_cast<int>(gate.fanin.size());
+    const int lo = min_fanin(gate.type);
+    const int hi = max_fanin(gate.type);
+    if (fanin < lo || fanin > hi) {
+      emit.emit("net-arity", facts.gate_loc(g),
+                std::string(gate_type_name(gate.type)) + " has " +
+                    std::to_string(fanin) + " input(s), expected " +
+                    std::to_string(lo) +
+                    (lo == hi ? "" : ".." + std::to_string(hi)));
+    }
+    if (!has_output(gate.type) && gate.fanout >= 0) {
+      emit.emit("net-arity", facts.gate_loc(g),
+                std::string(gate_type_name(gate.type)) +
+                    " declares an output net but its type has no output "
+                    "pin");
+    }
+  }
+}
+
+void check_floating_pins(const NetlistFacts& facts, Emitter& emit) {
+  for (std::int32_t g = 0; g < facts.num_gates(); ++g) {
+    const FactsGate& gate = facts.gates[static_cast<std::size_t>(g)];
+    if (has_output(gate.type) && gate.fanout < 0) {
+      emit.emit("net-floating-pin", facts.gate_loc(g),
+                std::string(gate_type_name(gate.type)) +
+                    " output pin drives no net");
+    }
+  }
+}
+
+void check_drivers(const NetlistFacts& facts, Emitter& emit) {
+  // A net needs exactly one driver; readers make an undriven net an error.
+  std::vector<char> read(static_cast<std::size_t>(facts.num_nets), 0);
+  for (const FactsGate& gate : facts.gates) {
+    for (const std::int32_t net : gate.fanin) {
+      read[static_cast<std::size_t>(net)] = 1;
+    }
+  }
+  for (std::int32_t n = 0; n < facts.num_nets; ++n) {
+    const auto& drivers = facts.net_drivers[static_cast<std::size_t>(n)];
+    if (drivers.size() > 1) {
+      std::string who;
+      for (std::size_t i = 0; i < drivers.size(); ++i) {
+        who += (i ? ", " : "") + facts.gate_loc(drivers[i]);
+      }
+      emit.emit("net-multi-driver", facts.net_loc(n),
+                std::to_string(drivers.size()) + " drivers (" + who + ")");
+    } else if (drivers.empty() && read[static_cast<std::size_t>(n)]) {
+      emit.emit("net-undriven", facts.net_loc(n),
+                "net is read but no gate drives it");
+    }
+  }
+}
+
+// Combinational cycle detection: iterative 3-color DFS over comb gates,
+// following fanout-net -> reader edges.  Flops and ports break paths (their
+// outputs are launch sources, not traversals).
+void check_loops(const NetlistFacts& facts, Emitter& emit) {
+  const std::size_t n = static_cast<std::size_t>(facts.num_gates());
+  // Reader lists per net (combinational readers only).
+  std::vector<std::vector<std::int32_t>> readers(
+      static_cast<std::size_t>(facts.num_nets));
+  for (std::int32_t g = 0; g < facts.num_gates(); ++g) {
+    const FactsGate& gate = facts.gates[static_cast<std::size_t>(g)];
+    if (!is_combinational(gate.type)) continue;
+    for (const std::int32_t net : gate.fanin) {
+      readers[static_cast<std::size_t>(net)].push_back(g);
+    }
+  }
+  std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 on stack, 2 done
+  std::vector<std::pair<std::int32_t, std::size_t>> stack;
+  for (std::int32_t root = 0; root < facts.num_gates(); ++root) {
+    if (color[static_cast<std::size_t>(root)] != 0 ||
+        !is_combinational(facts.gates[static_cast<std::size_t>(root)].type)) {
+      continue;
+    }
+    stack.emplace_back(root, 0);
+    color[static_cast<std::size_t>(root)] = 1;
+    static const std::vector<std::int32_t> kNoReaders;
+    while (!stack.empty()) {
+      auto& [g, next] = stack.back();
+      const FactsGate& gate = facts.gates[static_cast<std::size_t>(g)];
+      // A floating-output comb gate (net-floating-pin) has no successors.
+      const auto& succ = gate.fanout >= 0
+                             ? readers[static_cast<std::size_t>(gate.fanout)]
+                             : kNoReaders;
+      bool descended = false;
+      while (next < succ.size()) {
+        const std::int32_t s = succ[next++];
+        const std::uint8_t c = color[static_cast<std::size_t>(s)];
+        if (c == 1) {
+          emit.emit("net-comb-loop", facts.gate_loc(s),
+                    "combinational cycle through " +
+                        std::string(gate_type_name(
+                            facts.gates[static_cast<std::size_t>(s)].type)) +
+                        " (reached from " + facts.gate_loc(g) + ")");
+          continue;
+        }
+        if (c == 0) {
+          color[static_cast<std::size_t>(s)] = 1;
+          stack.emplace_back(s, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && (stack.empty() || stack.back().first == g)) {
+        color[static_cast<std::size_t>(g)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+// Forward reachability from sources (PIs and flop outputs) through driven
+// nets; a combinational gate no source can reach is dead logic.
+void check_reachability(const NetlistFacts& facts, Emitter& emit) {
+  std::vector<char> net_live(static_cast<std::size_t>(facts.num_nets), 0);
+  std::vector<char> gate_live(static_cast<std::size_t>(facts.num_gates()), 0);
+  std::vector<std::int32_t> frontier;
+  for (std::int32_t g = 0; g < facts.num_gates(); ++g) {
+    const FactsGate& gate = facts.gates[static_cast<std::size_t>(g)];
+    if (!is_combinational(gate.type)) {
+      gate_live[static_cast<std::size_t>(g)] = 1;
+      if (gate.fanout >= 0 &&
+          !net_live[static_cast<std::size_t>(gate.fanout)]) {
+        net_live[static_cast<std::size_t>(gate.fanout)] = 1;
+        frontier.push_back(gate.fanout);
+      }
+    }
+  }
+  // Net -> reading comb gates (recomputed here; cheap relative to clarity).
+  std::vector<std::vector<std::int32_t>> readers(
+      static_cast<std::size_t>(facts.num_nets));
+  for (std::int32_t g = 0; g < facts.num_gates(); ++g) {
+    const FactsGate& gate = facts.gates[static_cast<std::size_t>(g)];
+    if (!is_combinational(gate.type)) continue;
+    for (const std::int32_t net : gate.fanin) {
+      readers[static_cast<std::size_t>(net)].push_back(g);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::int32_t net = frontier.back();
+    frontier.pop_back();
+    for (const std::int32_t g : readers[static_cast<std::size_t>(net)]) {
+      if (gate_live[static_cast<std::size_t>(g)]) continue;
+      gate_live[static_cast<std::size_t>(g)] = 1;
+      const FactsGate& gate = facts.gates[static_cast<std::size_t>(g)];
+      if (gate.fanout >= 0 &&
+          !net_live[static_cast<std::size_t>(gate.fanout)]) {
+        net_live[static_cast<std::size_t>(gate.fanout)] = 1;
+        frontier.push_back(gate.fanout);
+      }
+    }
+  }
+  for (std::int32_t g = 0; g < facts.num_gates(); ++g) {
+    if (gate_live[static_cast<std::size_t>(g)]) continue;
+    emit.emit("net-unreachable", facts.gate_loc(g),
+              std::string(gate_type_name(
+                  facts.gates[static_cast<std::size_t>(g)].type)) +
+                  " is unreachable from every primary input and flop");
+  }
+}
+
+}  // namespace
+
+void run_netlist_checks(const Subject& subject, Report& report) {
+  NetlistFacts local;
+  const NetlistFacts* facts = subject.facts;
+  if (facts == nullptr) {
+    if (subject.netlist == nullptr) return;
+    local = NetlistFacts::from_netlist(*subject.netlist);
+    facts = &local;
+  }
+  Emitter emit(report);
+  check_arity(*facts, emit);
+  check_floating_pins(*facts, emit);
+  check_drivers(*facts, emit);
+  check_loops(*facts, emit);
+  check_reachability(*facts, emit);
+}
+
+}  // namespace m3dfl::lint

@@ -9,6 +9,7 @@ const char* seam_name(Seam seam) {
     case Seam::kCacheInsert: return "cache-insert";
     case Seam::kModelPredict: return "model-predict";
     case Seam::kFrameworkLoad: return "framework-load";
+    case Seam::kAdmissionLint: return "admission-lint";
   }
   return "unknown";
 }

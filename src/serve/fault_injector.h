@@ -27,9 +27,11 @@ enum class Seam : int {
   kCacheInsert = 2,   // cache fill after the leader computes
   kModelPredict = 3,  // GNN inference
   kFrameworkLoad = 4, // deserializing the model at construction
+  kAdmissionLint = 5, // design-lint admission gate (simulates a design that
+                      // failed static analysis at registration)
 };
 
-inline constexpr int kNumSeams = 5;
+inline constexpr int kNumSeams = 6;
 
 const char* seam_name(Seam seam);
 

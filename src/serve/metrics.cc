@@ -128,6 +128,8 @@ std::string Metrics::report() const {
   counters.add_row({"load shed", std::to_string(load_shed.load())});
   counters.add_row({"breaker rejections",
                     std::to_string(breaker_rejections.load())});
+  counters.add_row({"lint rejections",
+                    std::to_string(lint_rejections.load())});
   counters.add_row({"aborted requests",
                     std::to_string(aborted_requests.load())});
 

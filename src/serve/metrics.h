@@ -65,6 +65,7 @@ struct Metrics {
   std::atomic<std::int64_t> breaker_rejections{0};  // open-breaker fast fails
   std::atomic<std::int64_t> deadline_expirations{0};
   std::atomic<std::int64_t> aborted_requests{0};    // failed by abort-shutdown
+  std::atomic<std::int64_t> lint_rejections{0};     // lint-failed design gates
 
   LatencyHistogram queue_wait;   // submit -> worker pickup
   LatencyHistogram backtrace;    // back-trace + subgraph + adjacency

@@ -9,6 +9,7 @@
 #include "core/pipeline.h"
 #include "diag/report.h"
 #include "graph/backtrace.h"
+#include "lint/lint.h"
 
 namespace m3dfl::serve {
 
@@ -33,49 +34,20 @@ double next_backoff_ms(Rng& rng, double base_ms, double cap_ms,
 }
 
 std::string validate_failure_log(const Design& design, const FailureLog& log) {
-  const auto fmt = [](const char* what, std::int32_t got, std::int32_t bound) {
-    return std::string(what) + " " + std::to_string(got) +
-           " out of range [0, " + std::to_string(bound) + ")";
-  };
-  if (log.empty()) return "empty failure log (no failing bits)";
-  if (log.pattern_limit < 0) {
-    return "negative pattern limit " + std::to_string(log.pattern_limit);
-  }
-  if (log.compacted && !log.scan_fails.empty()) {
-    return "scan records present in compacted mode";
-  }
-  const std::int32_t num_patterns = design.patterns().num_patterns;
-  const std::int32_t num_flops = design.scan().num_flops();
-  const std::int32_t num_channels = design.compactor().num_channels();
-  const std::int32_t max_position = design.scan().max_chain_length();
-  const std::int32_t num_pos =
-      static_cast<std::int32_t>(design.netlist().primary_outputs().size());
-  for (const Observation& o : log.scan_fails) {
-    if (o.pattern < 0 || o.pattern >= num_patterns) {
-      return fmt("scan record pattern", o.pattern, num_patterns);
-    }
-    if (o.index < 0 || o.index >= num_flops) {
-      return fmt("scan record flop index", o.index, num_flops);
-    }
-  }
-  for (const ChannelFail& c : log.channel_fails) {
-    if (c.pattern < 0 || c.pattern >= num_patterns) {
-      return fmt("chan record pattern", c.pattern, num_patterns);
-    }
-    if (c.channel < 0 || c.channel >= num_channels) {
-      return fmt("chan record channel", c.channel, num_channels);
-    }
-    if (c.position < 0 || c.position >= max_position) {
-      return fmt("chan record position", c.position, max_position);
-    }
-  }
-  for (const Observation& o : log.po_fails) {
-    if (o.pattern < 0 || o.pattern >= num_patterns) {
-      return fmt("po record pattern", o.pattern, num_patterns);
-    }
-    if (o.index < 0 || o.index >= num_pos) {
-      return fmt("po record output index", o.index, num_pos);
-    }
+  // Thin wrapper over the lint engine's failure-log pass (lint/checks.h).
+  // Only that one pass runs — this sits on the per-request path, where the
+  // design-level passes (graph rebuild etc.) would be prohibitive; those run
+  // once at register_design() instead.
+  lint::Subject subject;
+  subject.netlist = &design.netlist();
+  subject.scan = &design.scan();
+  subject.compactor = &design.compactor();
+  subject.log = &log;
+  subject.num_patterns = design.patterns().num_patterns;
+  lint::Report report;
+  lint::run_failure_log_checks(subject, report);
+  for (const lint::Diagnostic& d : report.diagnostics()) {
+    if (d.severity == lint::Severity::kError) return d.message;
   }
   return std::string();
 }
@@ -144,10 +116,36 @@ void DiagnosisService::resume() {
 std::int32_t DiagnosisService::register_design(
     std::shared_ptr<const Design> design) {
   M3DFL_REQUIRE(design != nullptr, "cannot register a null design");
+  // Static analysis runs here, outside designs_mu_ and once per design —
+  // never on the request path.
+  std::string lint_error;
+  if (options_.lint_admission) {
+    const lint::Report report = lint::lint_design(*design);
+    if (report.has_errors()) {
+      const lint::Diagnostic* first = nullptr;
+      for (const lint::Diagnostic& d : report.diagnostics()) {
+        if (d.severity == lint::Severity::kError) {
+          first = &d;
+          break;
+        }
+      }
+      lint_error = "design '" + design->name() + "' failed lint (" +
+                   report.summary() + "); first: " + first->to_string();
+    }
+  }
   std::lock_guard<std::mutex> lock(designs_mu_);
   designs_.push_back(std::move(design));
   breakers_.push_back(std::make_unique<CircuitBreaker>(options_.breaker));
+  lint_errors_.push_back(std::move(lint_error));
   return static_cast<std::int32_t>(designs_.size()) - 1;
+}
+
+std::string DiagnosisService::design_lint_error(std::int32_t design_id) const {
+  std::lock_guard<std::mutex> lock(designs_mu_);
+  M3DFL_REQUIRE(design_id >= 0 &&
+                    design_id < static_cast<std::int32_t>(lint_errors_.size()),
+                "unknown design id " + std::to_string(design_id));
+  return lint_errors_[static_cast<std::size_t>(design_id)];
 }
 
 std::int32_t DiagnosisService::num_designs() const {
@@ -223,7 +221,21 @@ std::future<DiagnosisResult> DiagnosisService::submit(
 
   // Admission control.  Everything rejected here resolves immediately with
   // a status — the caller's future never blocks on a request the service
-  // has already decided not to run.
+  // has already decided not to run.  The design-lint gate comes first: a
+  // design that failed static analysis can never serve a correct diagnosis,
+  // so no per-log validation result could rescue the request.
+  FaultInjector* injector = options_.fault_injector.get();
+  std::string lint_error = design_lint_error(design_id);
+  if (lint_error.empty() && injector != nullptr &&
+      injector->should_fail(Seam::kAdmissionLint)) {
+    lint_error = "injected lint-admission fault for design '" +
+                 design->name() + "'";
+  }
+  if (!lint_error.empty()) {
+    metrics_.lint_rejections.fetch_add(1, std::memory_order_relaxed);
+    return reject(std::move(request), std::move(future), *design,
+                  StatusCode::kLintRejected, std::move(lint_error));
+  }
   const std::string invalid = validate_failure_log(*design, request.log);
   if (!invalid.empty()) {
     return reject(std::move(request), std::move(future), *design,
@@ -253,7 +265,6 @@ std::future<DiagnosisResult> DiagnosisService::submit(
     return reject(std::move(request), std::move(future), *design,
                   StatusCode::kOverloaded, std::move(message));
   };
-  FaultInjector* injector = options_.fault_injector.get();
   if (injector != nullptr && injector->should_fail(Seam::kQueueAdmit)) {
     return shed("injected queue admission fault");
   }

@@ -96,6 +96,11 @@ struct ServiceOptions {
   // unpruned ATPG-only candidate ranking (result.degraded = true) instead
   // of failing them.
   bool degraded_fallback = false;
+  // When true, register_design() runs the m3dfl::lint design passes and
+  // submit() rejects every request against a design that failed them with
+  // kLintRejected (the design can never produce a correct diagnosis).
+  // Lint runs once per registration, never per request.
+  bool lint_admission = true;
   // When true, workers idle until resume(); lets tests stage a queue
   // deterministically (admission control, abort-shutdown).
   bool start_paused = false;
@@ -158,8 +163,14 @@ class DiagnosisService {
   DiagnosisService& operator=(const DiagnosisService&) = delete;
 
   // Registers a design for serving; returns its design id.  The service
-  // shares ownership, so the caller may drop its reference.
+  // shares ownership, so the caller may drop its reference.  With
+  // options.lint_admission the design is statically analysed here (once);
+  // a design with lint errors stays registered but every submit() against
+  // it fails fast with kLintRejected.
   std::int32_t register_design(std::shared_ptr<const Design> design);
+  // Lint-admission verdict for a registered design: empty when the design
+  // passed (or lint_admission is off), else the stored rejection message.
+  std::string design_lint_error(std::int32_t design_id) const;
   std::int32_t num_designs() const;
   const Design& design(std::int32_t design_id) const;
 
@@ -257,6 +268,9 @@ class DiagnosisService {
   mutable std::mutex designs_mu_;
   std::vector<std::shared_ptr<const Design>> designs_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  // Per design: empty = admitted; else the lint rejection message submit()
+  // fails with (computed once at register_design).
+  std::vector<std::string> lint_errors_;
 
   // Single-flight: keys a worker is currently computing.  A concurrent miss
   // on the same key waits on the leader's future instead of recomputing.
@@ -281,9 +295,11 @@ class DiagnosisService {
   bool shut_down_ = false;
 };
 
-// Boundary validation: checks every observation in `log` against the
-// design's pattern count, scan architecture, compactor, and primary
-// outputs.  Returns an empty string when valid, else a caller-facing
+// Boundary validation: runs the m3dfl::lint failure-log pass over `log`
+// against the design's pattern count, scan architecture, compactor, and
+// primary outputs — including the observation-point existence check
+// (log-obs-missing) that the pre-lint validator missed.  Returns an empty
+// string when no error-severity diagnostic fires, else the first error's
 // message (the service maps it to kInvalidInput).
 std::string validate_failure_log(const Design& design, const FailureLog& log);
 

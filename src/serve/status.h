@@ -13,6 +13,9 @@
 //   kModelUnavailable  degrade  — fall back to ATPG-only ranking
 //   kShuttingDown      fail     — the service is going away
 //   kInternal          page     — a bug; nothing the caller can do
+//   kLintRejected      reject   — the *design* failed static analysis at
+//                                 registration; no log against it can be
+//                                 diagnosed until the design is fixed
 //
 // The typed exceptions below are how stages *inside* a worker signal a
 // classified failure to the retry/degrade machinery in service.cc; they are
@@ -35,9 +38,10 @@ enum class StatusCode : int {
   kModelUnavailable = 5,
   kShuttingDown = 6,
   kInternal = 7,
+  kLintRejected = 8,
 };
 
-inline constexpr int kNumStatusCodes = 8;
+inline constexpr int kNumStatusCodes = 9;
 
 inline const char* status_name(StatusCode code) {
   switch (code) {
@@ -49,6 +53,7 @@ inline const char* status_name(StatusCode code) {
     case StatusCode::kModelUnavailable: return "MODEL_UNAVAILABLE";
     case StatusCode::kShuttingDown: return "SHUTTING_DOWN";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kLintRejected: return "LINT_REJECTED";
   }
   return "UNKNOWN";
 }

@@ -556,6 +556,35 @@ TEST_F(ServeTest, InvalidLogRejectedAtTheServiceBoundary) {
   EXPECT_EQ(service.metrics().requests_completed.load(), 1);
 }
 
+TEST_F(ServeTest, LintAdmissionGateRejectsBeforeTheQueue) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  auto injector = std::make_shared<serve::FaultInjector>();
+  injector->arm(serve::Seam::kAdmissionLint, 1.0);
+  options.fault_injector = injector;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+
+  // The generator-produced design itself lints clean at registration; only
+  // the injected seam simulates a broken one.
+  EXPECT_TRUE(service.design_lint_error(design_id).empty());
+
+  const serve::DiagnosisResult result =
+      service.diagnose(design_id, logs_->front());
+  EXPECT_EQ(result.status, serve::StatusCode::kLintRejected);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status_message.find("lint"), std::string::npos)
+      << result.status_message;
+
+  service.shutdown();
+  EXPECT_EQ(service.metrics().lint_rejections.load(), 1);
+  EXPECT_EQ(service.metrics().status_count(serve::StatusCode::kLintRejected),
+            1);
+  EXPECT_EQ(service.metrics().requests_failed.load(), 1);
+  EXPECT_NE(service.metrics().report().find("LINT_REJECTED"),
+            std::string::npos);
+}
+
 TEST_F(ServeTest, DeadlineExceededSurfacesAsStatus) {
   serve::ServiceOptions options;
   options.num_threads = 1;

@@ -34,7 +34,11 @@ Subgraph toy_graph(Rng& rng, int label) {
     for (std::int32_t j = 0; j < kNumNodeFeatures; ++j) {
       sg.features.at(i, j) = static_cast<float>(rng.next_double());
     }
-    sg.features.at(i, 3) = label == 1 ? 0.9f : 0.1f;
+    // Columns 3/5/6 are exclusive-coded (tier code, binary flags); keep
+    // them on-contract so the training preflight lint accepts the set.
+    sg.features.at(i, 3) = label == 1 ? 1.0f : 0.0f;
+    sg.features.at(i, 5) = rng.next_double() < 0.5 ? 0.0f : 1.0f;
+    sg.features.at(i, 6) = rng.next_double() < 0.5 ? 0.0f : 1.0f;
     if (i > 0) {
       sg.edge_u.push_back(i - 1);
       sg.edge_v.push_back(i);

@@ -6,6 +6,10 @@
 //   m3dfl_tool train     <profile> <model.m3dfl>    train + persist a framework
 //                        [--checkpoint-dir=D] [--checkpoint-interval=N]
 //                        [--resume] [--train-config=F]
+//   m3dfl_tool lint      <profile|file.mnl> [config] static analysis of a
+//                        [--log=F] [--model=F]       design, netlist file,
+//                        [--json]                    failure log, and/or
+//                        [--fail-on=warn|error]      trained model
 //   m3dfl_tool diagnose  <profile> <model.m3dfl> <die.flog> [config]
 //                                                   diagnose one failure log
 //   m3dfl_tool inject    <profile> <out.flog>       make a demo failure log
@@ -39,6 +43,7 @@
 #include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "diag/log_io.h"
+#include "lint/lint.h"
 #include "netlist/verilog_io.h"
 #include "serve/service.h"
 #include "util/atomic_file.h"
@@ -151,6 +156,18 @@ int cmd_train(const std::string& profile, const std::string& path,
         read_train_options(is, options.training, flags.train_config);
   }
   const auto design = Design::build(p, DesignConfig::kSyn1);
+  // Mandatory design preflight: reject a design the lint engine can fault
+  // before the expensive dataset build (the Trainer separately lints every
+  // generated feature matrix).
+  {
+    const lint::Report report = lint::lint_design(*design);
+    if (report.has_errors()) {
+      std::cerr << report.to_string();
+      throw Error("design '" + design->name() +
+                  "' failed lint preflight (" + report.summary() +
+                  "); fix the design before training");
+    }
+  }
   std::cout << "generating training data (Syn-1 + 2 random partitions)...\n";
   const LabeledDataset train =
       build_transfer_training_set(p, *design, TransferTrainOptions{});
@@ -178,6 +195,90 @@ int cmd_train(const std::string& profile, const std::string& path,
   std::cout << "saved trained framework (T_P = " << framework.tp_threshold()
             << ") to " << path << "\n";
   return 0;
+}
+
+// Flags accepted by `lint`.
+struct LintFlags {
+  std::string log_path;    // failure log to lint against the design
+  std::string model_path;  // trained framework to lint against the design
+  bool json = false;
+  lint::Severity fail_on = lint::Severity::kError;
+};
+
+LintFlags parse_lint_flags(const std::vector<std::string>& flags) {
+  LintFlags parsed;
+  for (const std::string& flag : flags) {
+    const auto eq = flag.find('=');
+    const std::string key = flag.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : flag.substr(eq + 1);
+    if (key == "--log") {
+      parsed.log_path = value;
+    } else if (key == "--model") {
+      parsed.model_path = value;
+    } else if (key == "--json") {
+      parsed.json = true;
+    } else if (key == "--fail-on") {
+      if (value == "warn") {
+        parsed.fail_on = lint::Severity::kWarn;
+      } else if (value == "error") {
+        parsed.fail_on = lint::Severity::kError;
+      } else {
+        throw Error("bad --fail-on value '" + value +
+                    "' (expected warn|error)");
+      }
+    } else {
+      throw Error("unknown lint flag '" + flag + "'");
+    }
+  }
+  return parsed;
+}
+
+// `m3dfl_tool lint <design> [config] [--log=F] [--model=F] [--json]
+//                  [--fail-on=warn|error]`
+// <design> is a benchmark profile (aes|tate|netcard|leon3mp) or a path to an
+// MNL netlist file.  Exit 0 when no diagnostic at/above the --fail-on
+// severity fired, 1 otherwise.
+int cmd_lint(const std::string& target, const std::string& config,
+             const LintFlags& flags) {
+  lint::Report report;
+  std::unique_ptr<Design> design;
+  if (std::filesystem::is_regular_file(target)) {
+    M3DFL_REQUIRE(flags.log_path.empty() && flags.model_path.empty(),
+                  "--log/--model need a built design; lint a profile, not "
+                  "an .mnl file, to use them");
+    std::ostringstream text;
+    text << open_in(target).rdbuf();
+    report = lint::lint_mnl(text.str(), target);
+  } else if (target.size() > 4 &&
+             target.compare(target.size() - 4, 4, ".mnl") == 0) {
+    // Looks like a netlist path, not a profile; don't let the missing file
+    // fall through to an "unknown profile" message.
+    throw Error("cannot open netlist file '" + target + "'");
+  } else {
+    design = Design::build(parse_profile(target), parse_config(config));
+    report = lint::lint_design(*design);
+    if (!flags.model_path.empty()) {
+      DiagnosisFramework framework;
+      auto is = open_in(flags.model_path);
+      framework.load(is, flags.model_path);
+      report.merge(lint::lint_model(framework, design.get()));
+    }
+    if (!flags.log_path.empty()) {
+      auto is = open_in(flags.log_path);
+      report.merge(lint::lint_failure_log(*design, read_failure_log(is)));
+    }
+  }
+  if (flags.json) {
+    std::cout << report.to_json() << "\n";
+  } else {
+    std::cout << report.to_string();
+  }
+  const bool fail =
+      flags.fail_on == lint::Severity::kWarn
+          ? report.worst() >= lint::Severity::kWarn && !report.empty()
+          : report.has_errors();
+  return fail ? 1 : 0;
 }
 
 int cmd_inject(const std::string& profile, const std::string& path) {
@@ -375,6 +476,9 @@ int usage() {
                "                      [--checkpoint-dir=D] "
                "[--checkpoint-interval=N]\n"
                "                      [--resume] [--train-config=F]\n"
+               "  m3dfl_tool lint     <profile|file.mnl> [config]\n"
+               "                      [--log=F] [--model=F] [--json] "
+               "[--fail-on=warn|error]\n"
                "  m3dfl_tool inject   <profile> <out.flog>\n"
                "  m3dfl_tool diagnose <profile> <model.m3dfl> <die.flog> "
                "[config]\n"
@@ -409,9 +513,14 @@ int main(int argc, char** argv) {
       return cmd_train(positional[1], positional[2],
                        parse_train_flags(flags));
     }
+    if (cmd == "lint" && (positional.size() == 2 || positional.size() == 3)) {
+      return cmd_lint(positional[1],
+                      positional.size() == 3 ? positional[2] : "syn1",
+                      parse_lint_flags(flags));
+    }
     if (!flags.empty()) {
-      throw Error("flags are only accepted by the 'serve' and 'train' "
-                  "commands");
+      throw Error("flags are only accepted by the 'serve', 'train', and "
+                  "'lint' commands");
     }
     const std::size_t n = positional.size();
     if (cmd == "generate" && n == 3) {

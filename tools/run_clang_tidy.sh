@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the m3dfl sources using the checks in .clang-tidy.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+# Degrades gracefully: exits 0 with a notice when clang-tidy is not
+# installed, so the script is safe to call unconditionally from CI images
+# that lack LLVM.  Exits non-zero when clang-tidy runs and reports any
+# diagnostic.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tidy}"
+
+tidy_bin="$(command -v clang-tidy || true)"
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (not a failure)."
+  exit 0
+fi
+
+# clang-tidy needs a compilation database; configure a dedicated tree so
+# we never perturb the primary build directory.
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t sources < <(cd "${repo_root}" && find src -name '*.cc' | sort)
+echo "run_clang_tidy: ${tidy_bin} over ${#sources[@]} sources" \
+     "(database: ${build_dir})"
+
+status=0
+for src in "${sources[@]}"; do
+  if ! "${tidy_bin}" -p "${build_dir}" --quiet "${repo_root}/${src}"; then
+    status=1
+  fi
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "run_clang_tidy: diagnostics reported (see above)."
+fi
+exit ${status}
