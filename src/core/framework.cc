@@ -97,7 +97,7 @@ FrameworkPrediction DiagnosisFramework::predict(
     const Subgraph& sg, const NormalizedAdjacency& adj) const {
   M3DFL_REQUIRE(trained_, "framework must be trained before prediction");
   FrameworkPrediction p;
-  p.tier = tier_predictor_->predicted_tier(sg, adj, &p.confidence);
+  p.tier = tier_predictor_->predicted_tier(sg, adj, &p.confidence, &p.margin);
   p.high_confidence = p.confidence >= tp_threshold_;
   p.faulty_mivs =
       miv_pinpointer_->predict_faulty(sg, adj, options_.miv_threshold);
@@ -105,6 +105,15 @@ FrameworkPrediction DiagnosisFramework::predict(
     p.prune_prob = classifier_->predict_prune_prob(sg, adj);
   }
   return p;
+}
+
+DiagnosisConfidence DiagnosisFramework::diagnosis_confidence(
+    const BacktraceResult& backtrace,
+    const FrameworkPrediction* prediction) const {
+  return calibrate_confidence(
+      backtrace.min_support(), backtrace.relaxed,
+      static_cast<std::int32_t>(backtrace.quarantined.size()),
+      prediction != nullptr ? prediction->margin : -1.0, tp_threshold_);
 }
 
 std::vector<Candidate> DiagnosisFramework::refine_report(

@@ -94,6 +94,7 @@ class Design {
 struct FrameworkPrediction {
   int tier = 0;                  // predicted faulty tier
   double confidence = 0.5;       // max(p_bottom, p_top)
+  double margin = 0.0;           // |p_top - p_bottom| softmax margin
   bool high_confidence = false;  // confidence >= T_P
   std::vector<MivId> faulty_mivs;
   double prune_prob = 0.0;       // Classifier output (high-confidence only)
@@ -130,6 +131,17 @@ class DiagnosisFramework {
   // (served inference caches adjacencies; results are identical).
   FrameworkPrediction predict(const Subgraph& subgraph,
                               const NormalizedAdjacency& adjacency) const;
+
+  // Calibrated end-to-end confidence for one diagnosis: back-trace evidence
+  // quality × Tier-predictor softmax margin, cut at this framework's T_P
+  // (diag/report.h explains the formula).  `prediction` may be null when no
+  // GNN verdict exists (degraded serving, empty subgraph) — the back-trace
+  // evidence then carries the confidence alone.  Works on untrained
+  // frameworks (T_P defaults to 1.0: anything short of perfect evidence is
+  // low-confidence).
+  DiagnosisConfidence diagnosis_confidence(
+      const BacktraceResult& backtrace,
+      const FrameworkPrediction* prediction) const;
 
   // The candidate pruning & reordering policy (paper Fig. 7/8): refines the
   // ATPG report in place using `prediction`; pruned candidates are returned

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "sim/fault_sim.h"
+#include "util/thinning.h"
 
 namespace m3dfl {
 namespace {
@@ -310,19 +311,7 @@ DiagnosisReport diagnose_atpg(const DesignContext& design,
 
   // ---- Effect-cause: suspect nets -----------------------------------------
   std::vector<Response> responses = collect_responses(design, log);
-  const std::size_t total = responses.size();
-  if (total > static_cast<std::size_t>(options.max_traced_responses)) {
-    // Deterministic thinning: keep a uniform stride so early and late
-    // patterns both contribute.
-    std::vector<Response> thinned;
-    const double stride = static_cast<double>(total) /
-                          static_cast<double>(options.max_traced_responses);
-    for (std::int32_t i = 0; i < options.max_traced_responses; ++i) {
-      thinned.push_back(
-          responses[static_cast<std::size_t>(std::floor(i * stride))]);
-    }
-    responses = std::move(thinned);
-  }
+  thin_uniform_stride(responses, options.max_traced_responses);
   const auto n_traced = static_cast<std::int32_t>(responses.size());
   const std::vector<std::int32_t> count = count_suspects(
       design, responses, !options.include_stuck_at_candidates);

@@ -1,0 +1,335 @@
+#include "diag/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "util/error.h"
+
+namespace m3dfl {
+namespace {
+
+constexpr int kMaxDrawRetries = 16;
+
+// Arms the injector seam matching `kind` with the per-response rate.
+void arm_for_kind(FaultInjector& injector, NoiseKind kind, double rate) {
+  switch (kind) {
+    case NoiseKind::kDropResponse:
+      injector.arm(0, rate);
+      break;
+    case NoiseKind::kSpuriousResponse:
+      injector.arm(1, rate);
+      break;
+    case NoiseKind::kFlipBit:
+      injector.arm(2, rate);
+      break;
+    case NoiseKind::kNone:
+    case NoiseKind::kTruncateStore:
+      // kTruncateStore is deterministic given the depth; no seam to arm.
+      break;
+  }
+}
+
+}  // namespace
+
+const char* noise_kind_name(NoiseKind kind) {
+  switch (kind) {
+    case NoiseKind::kNone:
+      return "none";
+    case NoiseKind::kDropResponse:
+      return "drop";
+    case NoiseKind::kSpuriousResponse:
+      return "spurious";
+    case NoiseKind::kFlipBit:
+      return "flip";
+    case NoiseKind::kTruncateStore:
+      return "truncate";
+  }
+  return "none";
+}
+
+NoiseKind parse_noise_kind(std::string_view text) {
+  if (text == "none") return NoiseKind::kNone;
+  if (text == "drop") return NoiseKind::kDropResponse;
+  if (text == "spurious") return NoiseKind::kSpuriousResponse;
+  if (text == "flip") return NoiseKind::kFlipBit;
+  if (text == "truncate") return NoiseKind::kTruncateStore;
+  throw Error("m3dfl: unknown noise kind '" + std::string(text) +
+              "' (expected none|drop|spurious|flip|truncate)");
+}
+
+LogNoiseModel::LogNoiseModel(const DesignContext& design,
+                             const NoiseOptions& options)
+    : design_(design),
+      options_(options),
+      injector_(kNumSeams, options.seed),
+      value_rng_(options.seed ^ 0x9E3779B97F4A7C15ull) {
+  M3DFL_REQUIRE(options.rate >= 0.0 && options.rate <= 1.0,
+                "noise rate must be in [0, 1]");
+  M3DFL_REQUIRE(options.store_depth >= 0,
+                "noise store depth must be non-negative");
+  arm_for_kind(injector_, options_.kind, options_.rate);
+}
+
+std::int32_t LogNoiseModel::draw_below(std::int32_t n) {
+  M3DFL_ASSERT(n > 0);
+  return static_cast<std::int32_t>(
+      value_rng_.next_below(static_cast<std::uint64_t>(n)));
+}
+
+bool LogNoiseModel::quiet() const {
+  if (options_.kind == NoiseKind::kNone) return true;
+  if (options_.kind == NoiseKind::kTruncateStore) {
+    return options_.rate <= 0.0 && options_.store_depth <= 0;
+  }
+  return options_.rate <= 0.0;
+}
+
+FailureLog LogNoiseModel::perturb(const FailureLog& log) {
+  // Byte-identical fast path: the armed-but-quiet noise layer must never
+  // change a diagnosis (asserted by the chaos harness).
+  if (quiet()) return log;
+  switch (options_.kind) {
+    case NoiseKind::kDropResponse:
+      return drop_responses(log);
+    case NoiseKind::kSpuriousResponse:
+      return inject_spurious(log);
+    case NoiseKind::kFlipBit:
+      return flip_bits(log);
+    case NoiseKind::kTruncateStore:
+      return truncate_store(log);
+    case NoiseKind::kNone:
+      break;
+  }
+  return log;
+}
+
+// Responses are always visited in log order (scan_fails, channel_fails,
+// po_fails) so the i-th seam draw maps to the i-th response — the same
+// convention backtrace_with_support() uses for response indices, which is
+// what lets the chaos test predict exactly which positions get hit.
+
+FailureLog LogNoiseModel::drop_responses(const FailureLog& log) {
+  FailureLog out;
+  out.compacted = log.compacted;
+  out.pattern_limit = log.pattern_limit;
+  for (const Observation& o : log.scan_fails) {
+    if (injector_.should_fail(kDropSeam)) {
+      ++summary_.dropped;
+    } else {
+      out.scan_fails.push_back(o);
+    }
+  }
+  for (const ChannelFail& c : log.channel_fails) {
+    if (injector_.should_fail(kDropSeam)) {
+      ++summary_.dropped;
+    } else {
+      out.channel_fails.push_back(c);
+    }
+  }
+  for (const Observation& o : log.po_fails) {
+    if (injector_.should_fail(kDropSeam)) {
+      ++summary_.dropped;
+    } else {
+      out.po_fails.push_back(o);
+    }
+  }
+  return out;
+}
+
+FailureLog LogNoiseModel::inject_spurious(const FailureLog& log) {
+  // Spurious bits stay at valid observation points of the same mode and the
+  // same failing pattern as the response whose record they corrupt: the
+  // result must survive input validation (lint range checks) so the noise
+  // reaches the back-trace, where it belongs to the quarantine's problem.
+  std::set<Observation> scan_seen(log.scan_fails.begin(),
+                                  log.scan_fails.end());
+  std::set<ChannelFail> chan_seen(log.channel_fails.begin(),
+                                  log.channel_fails.end());
+  std::set<Observation> po_seen(log.po_fails.begin(), log.po_fails.end());
+  FailureLog out;
+  out.compacted = log.compacted;
+  out.pattern_limit = log.pattern_limit;
+  for (const Observation& o : log.scan_fails) {
+    out.scan_fails.push_back(o);
+    if (!injector_.should_fail(kSpuriousSeam)) continue;
+    M3DFL_REQUIRE(design_.scan != nullptr, "spurious noise needs scan chains");
+    for (int tries = 0; tries < kMaxDrawRetries; ++tries) {
+      Observation s{o.pattern, /*at_po=*/false,
+                    draw_below(design_.scan->num_flops())};
+      if (!scan_seen.insert(s).second) continue;
+      out.scan_fails.push_back(s);
+      ++summary_.injected;
+      break;
+    }
+  }
+  for (const ChannelFail& c : log.channel_fails) {
+    out.channel_fails.push_back(c);
+    if (!injector_.should_fail(kSpuriousSeam)) continue;
+    M3DFL_REQUIRE(design_.scan != nullptr && design_.compactor != nullptr,
+                  "spurious noise on a compacted log needs the compactor");
+    for (int tries = 0; tries < kMaxDrawRetries; ++tries) {
+      ChannelFail s{c.pattern,
+                    draw_below(design_.compactor->num_channels()),
+                    draw_below(design_.scan->max_chain_length())};
+      if (design_.compactor->cells_at(*design_.scan, s.channel, s.position)
+              .empty()) {
+        continue;  // past the end of every chain in the channel
+      }
+      if (!chan_seen.insert(s).second) continue;
+      out.channel_fails.push_back(s);
+      ++summary_.injected;
+      break;
+    }
+  }
+  for (const Observation& o : log.po_fails) {
+    out.po_fails.push_back(o);
+    if (!injector_.should_fail(kSpuriousSeam)) continue;
+    M3DFL_REQUIRE(design_.netlist != nullptr,
+                  "spurious PO noise needs the netlist");
+    const auto num_pos =
+        static_cast<std::int32_t>(design_.netlist->primary_outputs().size());
+    if (num_pos <= 0) continue;
+    for (int tries = 0; tries < kMaxDrawRetries; ++tries) {
+      Observation s{o.pattern, /*at_po=*/true, draw_below(num_pos)};
+      if (!po_seen.insert(s).second) continue;
+      out.po_fails.push_back(s);
+      ++summary_.injected;
+      break;
+    }
+  }
+  return out;
+}
+
+FailureLog LogNoiseModel::flip_bits(const FailureLog& log) {
+  // Occupied observation points (original + already-moved): a flipped bit
+  // must not land on another failing bit — real fail memories hold one
+  // record per address, and the log reader rejects duplicates.
+  std::set<Observation> scan_used(log.scan_fails.begin(),
+                                  log.scan_fails.end());
+  std::set<ChannelFail> chan_used(log.channel_fails.begin(),
+                                  log.channel_fails.end());
+  std::set<Observation> po_used(log.po_fails.begin(), log.po_fails.end());
+  FailureLog out;
+  out.compacted = log.compacted;
+  out.pattern_limit = log.pattern_limit;
+  for (const Observation& o : log.scan_fails) {
+    Observation moved = o;
+    if (injector_.should_fail(kFlipSeam)) {
+      M3DFL_REQUIRE(design_.scan != nullptr, "flip noise needs scan chains");
+      for (int tries = 0;
+           tries < kMaxDrawRetries && design_.scan->num_flops() > 1; ++tries) {
+        const Observation candidate{o.pattern, /*at_po=*/false,
+                                    draw_below(design_.scan->num_flops())};
+        if (scan_used.count(candidate) != 0) continue;
+        moved = candidate;
+        scan_used.insert(candidate);
+        ++summary_.flipped;
+        break;
+      }
+    }
+    out.scan_fails.push_back(moved);
+  }
+  for (const ChannelFail& c : log.channel_fails) {
+    ChannelFail moved = c;
+    if (injector_.should_fail(kFlipSeam)) {
+      M3DFL_REQUIRE(design_.scan != nullptr && design_.compactor != nullptr,
+                    "flip noise on a compacted log needs the compactor");
+      for (int tries = 0; tries < kMaxDrawRetries; ++tries) {
+        const ChannelFail candidate{
+            c.pattern, c.channel,
+            draw_below(design_.scan->max_chain_length())};
+        if (chan_used.count(candidate) != 0) continue;
+        if (design_.compactor
+                ->cells_at(*design_.scan, candidate.channel,
+                           candidate.position)
+                .empty()) {
+          continue;
+        }
+        moved = candidate;
+        chan_used.insert(candidate);
+        ++summary_.flipped;
+        break;
+      }
+    }
+    out.channel_fails.push_back(moved);
+  }
+  for (const Observation& o : log.po_fails) {
+    Observation moved = o;
+    if (injector_.should_fail(kFlipSeam)) {
+      M3DFL_REQUIRE(design_.netlist != nullptr, "flip PO noise needs netlist");
+      const auto num_pos =
+          static_cast<std::int32_t>(design_.netlist->primary_outputs().size());
+      for (int tries = 0; tries < kMaxDrawRetries && num_pos > 1; ++tries) {
+        const Observation candidate{o.pattern, /*at_po=*/true,
+                                    draw_below(num_pos)};
+        if (po_used.count(candidate) != 0) continue;
+        moved = candidate;
+        po_used.insert(candidate);
+        ++summary_.flipped;
+        break;
+      }
+    }
+    out.po_fails.push_back(moved);
+  }
+  return out;
+}
+
+FailureLog LogNoiseModel::truncate_store(const FailureLog& log) {
+  // Per-pattern failing-bit counts, to size the derived depth.
+  std::map<std::int32_t, std::int32_t> per_pattern;
+  for (const Observation& o : log.scan_fails) ++per_pattern[o.pattern];
+  for (const ChannelFail& c : log.channel_fails) ++per_pattern[c.pattern];
+  for (const Observation& o : log.po_fails) ++per_pattern[o.pattern];
+  std::int32_t max_bits = 0;
+  for (const auto& [pattern, bits] : per_pattern) {
+    max_bits = std::max(max_bits, bits);
+  }
+  std::int32_t depth = options_.store_depth;
+  if (depth <= 0) {
+    depth = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(
+               std::ceil((1.0 - options_.rate) * max_bits)));
+  }
+  if (depth >= max_bits) return log;  // the store never filled up
+
+  // The tester stores bits in scan-out order; we clip each pattern's list in
+  // log order (scan, then channel, then PO bits).
+  std::map<std::int32_t, std::int32_t> stored;
+  const auto keep = [&](std::int32_t pattern) {
+    if (stored[pattern] < depth) {
+      ++stored[pattern];
+      return true;
+    }
+    ++summary_.truncated;
+    return false;
+  };
+  FailureLog out;
+  out.compacted = log.compacted;
+  out.pattern_limit = log.pattern_limit;
+  for (const Observation& o : log.scan_fails) {
+    if (keep(o.pattern)) out.scan_fails.push_back(o);
+  }
+  for (const ChannelFail& c : log.channel_fails) {
+    if (keep(c.pattern)) out.channel_fails.push_back(c);
+  }
+  for (const Observation& o : log.po_fails) {
+    if (keep(o.pattern)) out.po_fails.push_back(o);
+  }
+  return out;
+}
+
+FailureLog perturb_failure_log(const FailureLog& log,
+                               const DesignContext& design,
+                               const NoiseOptions& options,
+                               NoiseSummary* summary) {
+  LogNoiseModel model(design, options);
+  FailureLog out = model.perturb(log);
+  if (summary != nullptr) *summary = model.summary();
+  return out;
+}
+
+}  // namespace m3dfl

@@ -69,4 +69,23 @@ std::string report_to_string(const Netlist& netlist,
   return os.str();
 }
 
+DiagnosisConfidence calibrate_confidence(double backtrace_support,
+                                         bool relaxed,
+                                         std::int32_t quarantined,
+                                         double model_margin,
+                                         double tp_threshold) {
+  DiagnosisConfidence c;
+  c.backtrace_support = std::clamp(backtrace_support, 0.0, 1.0);
+  c.model_margin = model_margin;
+  c.relaxed = relaxed;
+  c.quarantined = quarantined;
+  c.noisy_log = relaxed || quarantined > 0;
+  const double margin =
+      model_margin >= 0.0 ? std::clamp(model_margin, 0.0, 1.0) : 1.0;
+  c.combined = c.backtrace_support * margin;
+  const double cut = std::clamp(2.0 * tp_threshold - 1.0, 0.0, 1.0);
+  c.low_confidence = c.combined < cut;
+  return c;
+}
+
 }  // namespace m3dfl

@@ -46,6 +46,48 @@ std::string report_to_string(const Netlist& netlist,
                              const DiagnosisReport& report,
                              std::size_t max_lines = 16);
 
+// Calibrated end-to-end diagnosis confidence.
+//
+// A diagnosis is only as good as the evidence behind it, and the evidence
+// degrades in two independent places: the back-trace (noisy tester logs —
+// quarantined responses, majority relaxation, sub-unit support) and the GNN
+// read-out (a soft tier verdict near 0.5).  The calibrated confidence
+// multiplies the two so that either weakness alone pulls the result down:
+//
+//   combined = backtrace_support × model_margin
+//
+// where backtrace_support is the minimum support fraction among the
+// surviving candidates (1.0 when the strict intersection held) and
+// model_margin = |P(top) - P(bottom)| is the Tier-predictor softmax margin
+// (1.0 when no trained model contributed, e.g. degraded serving).  The
+// low-confidence cut reuses the framework's PR-selected T_P threshold
+// (probability space) mapped to margin space:
+//
+//   low_confidence  ⇔  combined < clamp(2·T_P − 1, 0, 1)
+//
+// so a clean back-trace with a model verdict right at T_P sits exactly at
+// the boundary, and any evidence loss beyond that flags the result.
+struct DiagnosisConfidence {
+  double backtrace_support = 1.0;  // min candidate support fraction
+  double model_margin = -1.0;      // softmax margin; < 0 = no GNN verdict
+  double combined = 1.0;           // support × margin (see above)
+  std::int32_t quarantined = 0;    // tester responses excluded as outliers
+  bool relaxed = false;            // back-trace used the majority relaxation
+  bool noisy_log = false;          // quarantined > 0 || relaxed
+  bool low_confidence = false;     // combined below the T_P-derived cut
+};
+
+// Computes the calibrated confidence.  `model_margin` < 0 means no GNN
+// verdict exists (untrained framework, degraded serving) and only the
+// back-trace evidence counts.  `tp_threshold` is the framework's T_P in
+// [0.5, 1] (1.0 when untrained: everything short of perfect evidence is
+// low-confidence then).
+DiagnosisConfidence calibrate_confidence(double backtrace_support,
+                                         bool relaxed,
+                                         std::int32_t quarantined,
+                                         double model_margin,
+                                         double tp_threshold);
+
 }  // namespace m3dfl
 
 #endif  // M3DFL_DIAG_REPORT_H_

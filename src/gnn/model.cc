@@ -144,23 +144,29 @@ std::array<double, 2> TierPredictor::predict(
           static_cast<double>(probs.at(0, 1))};
 }
 
-int TierPredictor::predicted_tier(const Subgraph& sg,
-                                  double* confidence) const {
+int TierPredictor::predicted_tier(const Subgraph& sg, double* confidence,
+                                  double* margin) const {
   const auto p = predict(sg);
   const int tier = p[1] > p[0] ? 1 : 0;
   if (confidence != nullptr) {
     *confidence = std::max(p[0], p[1]);
+  }
+  if (margin != nullptr) {
+    *margin = std::abs(p[1] - p[0]);
   }
   return tier;
 }
 
 int TierPredictor::predicted_tier(const Subgraph& sg,
                                   const NormalizedAdjacency& adj,
-                                  double* confidence) const {
+                                  double* confidence, double* margin) const {
   const auto p = predict(sg, adj);
   const int tier = p[1] > p[0] ? 1 : 0;
   if (confidence != nullptr) {
     *confidence = std::max(p[0], p[1]);
+  }
+  if (margin != nullptr) {
+    *margin = std::abs(p[1] - p[0]);
   }
   return tier;
 }

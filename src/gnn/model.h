@@ -74,9 +74,15 @@ class TierPredictor {
   std::array<double, 2> predict(const Subgraph& sg,
                                 const NormalizedAdjacency& adj) const;
   // Predicted tier and its probability (the paper's confidence score).
-  int predicted_tier(const Subgraph& sg, double* confidence = nullptr) const;
+  // `margin`, when non-null, receives the softmax margin |P(top) - P(bottom)|
+  // in [0, 1] — 0 means the model is indifferent between tiers, 1 means a
+  // certain verdict.  The margin feeds the calibrated diagnosis confidence
+  // (diag/report.h): unlike the raw max-probability it is 0-based, so it can
+  // be multiplied with the back-trace support fraction.
+  int predicted_tier(const Subgraph& sg, double* confidence = nullptr,
+                     double* margin = nullptr) const;
   int predicted_tier(const Subgraph& sg, const NormalizedAdjacency& adj,
-                     double* confidence) const;
+                     double* confidence, double* margin = nullptr) const;
 
   // One forward/backward pass on a labeled subgraph (label: tier 0/1);
   // returns the cross-entropy loss.  Pass a prebuilt adjacency when looping

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thinning.h"
+
 namespace m3dfl {
 namespace {
 
 struct TopResponse {
   std::int32_t pattern = 0;
+  // Position in log order (scan_fails, channel_fails, po_fails) before any
+  // thinning; cited by quarantine reports.
+  std::int32_t response_index = 0;
   std::vector<NodeId> topnodes;
 };
 
@@ -15,13 +20,15 @@ std::vector<TopResponse> collect(const HeteroGraph& graph,
                                  const DesignContext& design,
                                  const FailureLog& log) {
   std::vector<TopResponse> responses;
+  std::int32_t index = 0;
   for (const Observation& o : log.scan_fails) {
     responses.push_back(
-        TopResponse{o.pattern, {graph.topnode_of_flop(o.index)}});
+        TopResponse{o.pattern, index++, {graph.topnode_of_flop(o.index)}});
   }
   for (const ChannelFail& c : log.channel_fails) {
     TopResponse r;
     r.pattern = c.pattern;
+    r.response_index = index++;
     for (std::int32_t flop :
          design.compactor->cells_at(*design.scan, c.channel, c.position)) {
       r.topnodes.push_back(graph.topnode_of_flop(flop));
@@ -29,90 +36,216 @@ std::vector<TopResponse> collect(const HeteroGraph& graph,
     responses.push_back(std::move(r));
   }
   for (const Observation& o : log.po_fails) {
-    responses.push_back(TopResponse{o.pattern, {graph.topnode_of_po(o.index)}});
+    responses.push_back(
+        TopResponse{o.pattern, index++, {graph.topnode_of_po(o.index)}});
   }
   return responses;
 }
 
+// Scratch for the per-response cone walks (stamped visited marks, so the
+// arrays are cleared in O(1) between responses).
+struct TraceScratch {
+  std::vector<std::uint32_t> seen;
+  std::uint32_t stamp = 0;
+  std::vector<NodeId> stack;
+};
+
+// Suspect set of one response: the union over its failing Topnodes of the
+// fan-in-cone nodes that transition under the failing pattern (lines 2-12 of
+// the paper's pseudocode).  Sorted ascending.
+std::vector<NodeId> suspect_set(const HeteroGraph& graph,
+                                const LocSimulator& good,
+                                const TopResponse& r, TraceScratch& scratch) {
+  std::vector<NodeId> suspects;
+  ++scratch.stamp;
+  for (NodeId t : r.topnodes) {
+    if (scratch.seen[static_cast<std::size_t>(t)] != scratch.stamp) {
+      scratch.seen[static_cast<std::size_t>(t)] = scratch.stamp;
+      scratch.stack.push_back(t);
+    }
+  }
+  while (!scratch.stack.empty()) {
+    const NodeId u = scratch.stack.back();
+    scratch.stack.pop_back();
+    const NetId net = graph.node_net(u);
+    if (net != kNullNet && good.has_transition(net, r.pattern)) {
+      suspects.push_back(u);
+    }
+    for (NodeId v : graph.predecessors(u)) {
+      if (scratch.seen[static_cast<std::size_t>(v)] != scratch.stamp) {
+        scratch.seen[static_cast<std::size_t>(v)] = scratch.stamp;
+        scratch.stack.push_back(v);
+      }
+    }
+  }
+  std::sort(suspects.begin(), suspects.end());
+  return suspects;
+}
+
+// In how many of the `kept` suspect sets each node appears.
+std::vector<std::int32_t> count_support(
+    const std::vector<std::vector<NodeId>>& suspects,
+    const std::vector<char>& kept, std::size_t n_nodes) {
+  std::vector<std::int32_t> count(n_nodes, 0);
+  for (std::size_t r = 0; r < suspects.size(); ++r) {
+    if (!kept[r]) continue;
+    for (NodeId n : suspects[r]) ++count[static_cast<std::size_t>(n)];
+  }
+  return count;
+}
+
+// Jaccard-style overlap coefficient |a ∩ b| / min(|a|, |b|) for sorted
+// vectors; 0 when either is empty (an empty suspect set agrees with
+// nothing).
+double overlap_coefficient(const std::vector<NodeId>& a,
+                           const std::vector<NodeId>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t both = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++both;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return static_cast<double>(both) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+// Fills result.candidates/support from the kept-response counts: strict
+// intersection first; majority relaxation, then best-count fallback, when it
+// is empty.
+void select_candidates(const std::vector<std::int32_t>& count,
+                       std::int32_t n_kept, const BacktraceOptions& options,
+                       BacktraceResult& result) {
+  const auto n_nodes = static_cast<NodeId>(count.size());
+  const auto emit_at_least = [&](std::int32_t threshold) {
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      if (count[static_cast<std::size_t>(n)] >= threshold) {
+        result.candidates.push_back(n);
+        result.support.push_back(
+            static_cast<double>(count[static_cast<std::size_t>(n)]) /
+            static_cast<double>(n_kept));
+      }
+    }
+  };
+  emit_at_least(n_kept);  // strict intersection
+  if (!result.candidates.empty()) return;
+  result.relaxed = true;
+  emit_at_least(static_cast<std::int32_t>(
+      std::ceil(options.relaxed_fraction * n_kept)));
+  if (!result.candidates.empty()) return;
+  std::int32_t best = 0;
+  for (std::int32_t c : count) best = std::max(best, c);
+  if (best == 0) return;
+  emit_at_least(best);
+}
+
 }  // namespace
+
+double BacktraceResult::min_support() const {
+  if (support.empty()) return 0.0;
+  return *std::min_element(support.begin(), support.end());
+}
+
+BacktraceResult backtrace_with_support(const HeteroGraph& graph,
+                                       const DesignContext& design,
+                                       const FailureLog& log,
+                                       const BacktraceOptions& options) {
+  M3DFL_REQUIRE(design.good != nullptr, "design context missing simulation");
+  M3DFL_REQUIRE(!log.compacted || design.compactor != nullptr,
+                "compacted log requires a compactor");
+  BacktraceResult result;
+  if (log.empty()) return result;
+
+  std::vector<TopResponse> responses = collect(graph, design, log);
+  thin_uniform_stride(responses, options.max_traced_responses);
+  const auto n_responses = static_cast<std::int32_t>(responses.size());
+  result.num_responses = n_responses;
+
+  TraceScratch scratch;
+  scratch.seen.assign(static_cast<std::size_t>(graph.num_nodes()), 0);
+  std::vector<std::vector<NodeId>> suspects;
+  suspects.reserve(responses.size());
+  for (const TopResponse& r : responses) {
+    suspects.push_back(suspect_set(graph, *design.good, r, scratch));
+  }
+
+  const auto n_nodes = static_cast<std::size_t>(graph.num_nodes());
+  std::vector<char> kept(responses.size(), 1);
+  std::vector<std::int32_t> count = count_support(suspects, kept, n_nodes);
+
+  // Strict intersection across every response: the clean-log fast path,
+  // bit-identical to the historical behaviour (with unit support).
+  bool strict_empty = true;
+  for (std::int32_t c : count) {
+    if (c == n_responses) {
+      strict_empty = false;
+      break;
+    }
+  }
+
+  // The intersection died — before falling back to the majority relaxation
+  // (which silently absorbs spurious responses), try to identify and
+  // quarantine the outliers.  The consensus core is the best-supported node
+  // set: with a lone corrupted response among n the true site still sits in
+  // n-1 cones, so the best-count nodes are exactly what the strict
+  // intersection would recover once the outlier is excluded.  A genuine
+  // response's cone contains the site and therefore most of the core; a
+  // spurious response at a random observation point shares almost nothing
+  // with it.  (A broader majority-threshold core blurs into the union of
+  // cones on small dense designs and stops separating the two.)
+  std::int32_t best = 0;
+  for (std::int32_t c : count) best = std::max(best, c);
+  if (strict_empty && best > 0 && options.quarantine_overlap > 0.0 &&
+      n_responses >= options.min_responses_for_quarantine) {
+    std::vector<NodeId> core;
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      if (count[static_cast<std::size_t>(n)] >= best) {
+        core.push_back(n);
+      }
+    }
+    std::vector<std::size_t> outliers;
+    std::vector<double> overlaps(responses.size(), 0.0);
+    for (std::size_t r = 0; r < responses.size(); ++r) {
+      overlaps[r] = overlap_coefficient(suspects[r], core);
+      if (overlaps[r] < options.quarantine_overlap) outliers.push_back(r);
+    }
+    const auto max_quarantined = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(options.max_quarantine_fraction * n_responses)));
+    // A minority of outliers against a clear consensus: exclude them.  More
+    // than that means there is no consensus to trust (multi-fault dies split
+    // their responses between cones), so the detector backs off and the
+    // plain relaxation below handles the log as before.
+    if (!outliers.empty() && outliers.size() <= max_quarantined &&
+        outliers.size() < responses.size()) {
+      for (std::size_t r : outliers) {
+        kept[r] = 0;
+        result.quarantined.push_back(QuarantinedResponse{
+            responses[r].response_index, responses[r].pattern, overlaps[r]});
+      }
+      count = count_support(suspects, kept, n_nodes);
+    }
+  }
+
+  const auto n_kept = static_cast<std::int32_t>(
+      n_responses - static_cast<std::int32_t>(result.quarantined.size()));
+  select_candidates(count, n_kept, options, result);
+  return result;
+}
 
 std::vector<NodeId> backtrace_candidates(const HeteroGraph& graph,
                                          const DesignContext& design,
                                          const FailureLog& log,
                                          const BacktraceOptions& options) {
-  M3DFL_REQUIRE(design.good != nullptr, "design context missing simulation");
-  M3DFL_REQUIRE(!log.compacted || design.compactor != nullptr,
-                "compacted log requires a compactor");
-  std::vector<NodeId> out;
-  if (log.empty()) return out;
-
-  std::vector<TopResponse> responses = collect(graph, design, log);
-  if (static_cast<std::int32_t>(responses.size()) >
-      options.max_traced_responses) {
-    std::vector<TopResponse> thinned;
-    const double stride = static_cast<double>(responses.size()) /
-                          static_cast<double>(options.max_traced_responses);
-    for (std::int32_t i = 0; i < options.max_traced_responses; ++i) {
-      thinned.push_back(
-          responses[static_cast<std::size_t>(std::floor(i * stride))]);
-    }
-    responses = std::move(thinned);
-  }
-
-  const LocSimulator& good = *design.good;
-  const auto n_nodes = static_cast<std::size_t>(graph.num_nodes());
-  std::vector<std::int32_t> count(n_nodes, 0);
-  std::vector<std::uint32_t> seen(n_nodes, 0);
-  std::uint32_t stamp = 0;
-  std::vector<NodeId> stack;
-
-  // Lines 2-12 of the paper's pseudocode: per response, union over the
-  // failing Topnodes of the transitioning fan-in-cone nodes; counted here so
-  // the intersection (and its relaxation) falls out of the counts.
-  for (const TopResponse& r : responses) {
-    ++stamp;
-    for (NodeId t : r.topnodes) {
-      if (seen[static_cast<std::size_t>(t)] != stamp) {
-        seen[static_cast<std::size_t>(t)] = stamp;
-        stack.push_back(t);
-      }
-    }
-    while (!stack.empty()) {
-      const NodeId u = stack.back();
-      stack.pop_back();
-      const NetId net = graph.node_net(u);
-      if (net != kNullNet && good.has_transition(net, r.pattern)) {
-        ++count[static_cast<std::size_t>(u)];
-      }
-      for (NodeId v : graph.predecessors(u)) {
-        if (seen[static_cast<std::size_t>(v)] != stamp) {
-          seen[static_cast<std::size_t>(v)] = stamp;
-          stack.push_back(v);
-        }
-      }
-    }
-  }
-
-  const auto n_responses = static_cast<std::int32_t>(responses.size());
-  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
-    if (count[static_cast<std::size_t>(n)] == n_responses) out.push_back(n);
-  }
-  if (out.empty()) {
-    const auto threshold = static_cast<std::int32_t>(
-        std::ceil(options.relaxed_fraction * n_responses));
-    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
-      if (count[static_cast<std::size_t>(n)] >= threshold) out.push_back(n);
-    }
-  }
-  if (out.empty()) {
-    std::int32_t best = 0;
-    for (std::int32_t c : count) best = std::max(best, c);
-    if (best == 0) return out;
-    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
-      if (count[static_cast<std::size_t>(n)] == best) out.push_back(n);
-    }
-  }
-  return out;
+  return backtrace_with_support(graph, design, log, options).candidates;
 }
 
 }  // namespace m3dfl

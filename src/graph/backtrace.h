@@ -1,6 +1,6 @@
-// Back-tracing (paper Fig. 3).
+// Back-tracing (paper Fig. 3), hardened against semantically noisy logs.
 //
-// For every erroneous tester response, the fan-in cone of the failing
+// For every erroneous tester response, the fan-in cone of the transitioning
 // Topnode(s) is traversed and nodes that transition under the failing
 // pattern form the response's suspect set; the intersection across all
 // responses is the candidate list handed to the GNN models as a subgraph.
@@ -10,6 +10,20 @@
 // FailedTopnode(r) set.  When the strict intersection is empty (multi-fault
 // dies), a majority relaxation keeps the best-supported nodes so diagnosis
 // can still proceed.
+//
+// Real tester logs are not clean: intermittent delay faults near threshold
+// drop failing patterns, flipped fail-memory bits invent responses at
+// observation points the defect never reached, and store-depth truncation
+// clips the evidence (diag/noise.h models exactly these).  A single spurious
+// response used to silently wreck the strict intersection — the fall-back
+// relaxation then kept whatever cleared a majority, with no record of which
+// response poisoned the list.  backtrace_with_support() therefore returns a
+// BacktraceResult carrying per-node support fractions and an outlier
+// quarantine: when the strict intersection dies, responses whose suspect
+// set has near-zero overlap with the support-weighted consensus core are
+// detected, excluded from the intersection, and reported, so downstream
+// layers can distinguish "clean localization" from "best effort under
+// suspect data".
 #ifndef M3DFL_GRAPH_BACKTRACE_H_
 #define M3DFL_GRAPH_BACKTRACE_H_
 
@@ -28,9 +42,63 @@ struct BacktraceOptions {
   // Responses beyond this cap are thinned with a uniform stride (the
   // intersection converges after a handful of responses).
   std::int32_t max_traced_responses = 60;
+  // Outlier quarantine (runs only when the strict intersection is empty,
+  // where the relaxation used to kick in — a non-empty strict intersection
+  // is untouched, which keeps clean logs byte-identical to the pre-noise
+  // path).  A response whose suspect set covers less than this fraction of
+  // the support-weighted consensus core (Jaccard-style overlap coefficient:
+  // |S_r ∩ core| / min(|S_r|, |core|)) is quarantined.  <= 0 disables.
+  double quarantine_overlap = 0.35;
+  // Quarantine needs a consensus to measure against: with fewer traced
+  // responses than this, the detector stays off.
+  std::int32_t min_responses_for_quarantine = 3;
+  // At most this fraction of the traced responses may be quarantined; a log
+  // where "most responses are outliers" has no consensus to trust, so the
+  // detector backs off to the plain relaxation instead.
+  double max_quarantine_fraction = 0.34;
 };
 
-// Candidate heterogeneous-graph nodes for one failure log, sorted ascending.
+// One quarantined tester response.
+struct QuarantinedResponse {
+  // Index of the response in log order (scan_fails, then channel_fails,
+  // then po_fails), before thinning.
+  std::int32_t response_index = 0;
+  std::int32_t pattern = 0;
+  // Overlap coefficient against the consensus core that condemned it.
+  double overlap = 0.0;
+};
+
+// Candidate list plus the evidence quality behind it.
+struct BacktraceResult {
+  // Candidate heterogeneous-graph nodes, sorted ascending.
+  std::vector<NodeId> candidates;
+  // Per-candidate support: fraction of the kept (non-quarantined) traced
+  // responses whose suspect set contains the candidate.  Parallel to
+  // `candidates`; 1.0 everywhere when the strict intersection held.
+  std::vector<double> support;
+  // Responses traced after thinning.
+  std::int32_t num_responses = 0;
+  // Outliers excluded from the intersection (empty on clean logs).
+  std::vector<QuarantinedResponse> quarantined;
+  // The strict intersection over the kept responses was empty and the
+  // majority relaxation (or last-resort best-count fallback) produced the
+  // candidates.
+  bool relaxed = false;
+
+  // Minimum support among the candidates (1.0 when strict; 0.0 when empty).
+  double min_support() const;
+  // Evidence was suspect: responses were quarantined or the relaxation ran.
+  bool noisy() const { return relaxed || !quarantined.empty(); }
+};
+
+// Full back-trace: candidates + support + quarantine.
+BacktraceResult backtrace_with_support(const HeteroGraph& graph,
+                                       const DesignContext& design,
+                                       const FailureLog& log,
+                                       const BacktraceOptions& options = {});
+
+// Candidate nodes only (the historical interface; same candidate list as
+// backtrace_with_support).
 std::vector<NodeId> backtrace_candidates(const HeteroGraph& graph,
                                          const DesignContext& design,
                                          const FailureLog& log,

@@ -129,7 +129,12 @@ constexpr std::array<CheckInfo, 32> kCatalog = {{
 
 // Checks that did not fit in the primary table (std::array needs the exact
 // count; keeping two tables avoids miscounting churn as the catalog grows).
-constexpr std::array<CheckInfo, 2> kCatalogTail = {{
+constexpr std::array<CheckInfo, 3> kCatalogTail = {{
+    {"log-store-truncated", ArtifactKind::kFailureLog, Severity::kWarn,
+     "per-pattern failing-bit counts sit exactly at a common cap; the log "
+     "looks clipped by the tester's fail-store depth",
+     "truncated evidence weakens the back-trace intersection; see "
+     "docs/ROBUSTNESS.md for the noise model and confidence impact"},
     {"model-layer-dims", ArtifactKind::kModel, Severity::kError,
      "model layer dimensions are inconsistent (classes/hidden/layers)",
      "tier and prune heads need 2 classes; transfer requires matching "

@@ -1,6 +1,7 @@
 // Data-artifact checks (lint passes 5-7): feature matrices, failure logs,
 // and model/design compatibility.
 #include <cmath>
+#include <map>
 #include <set>
 
 #include "core/framework.h"
@@ -172,6 +173,41 @@ void check_log_duplicates(const FailureLog& log, Emitter& emit) {
   }
 }
 
+// Heuristic tester-store-depth detector.  A fail store with per-pattern
+// depth D clips every heavy pattern's failing-bit list to exactly D, so a
+// truncated log shows many distinct patterns sitting exactly at the common
+// maximum and none above it.  Organic logs spread their per-pattern counts;
+// the triple gate (cap >= kMinStoreCap, >= kMinPatternsAtCap patterns
+// exactly at the cap, and at least half of all failing patterns at the cap)
+// keeps clean generated logs quiet (see diag/noise.h kTruncateStore, which
+// produces exactly this signature).
+constexpr std::int32_t kMinStoreCap = 4;
+constexpr std::int32_t kMinPatternsAtCap = 3;
+
+void check_log_store_truncation(const FailureLog& log, Emitter& emit) {
+  std::map<std::int32_t, std::int32_t> per_pattern;
+  for (const Observation& o : log.scan_fails) ++per_pattern[o.pattern];
+  for (const ChannelFail& c : log.channel_fails) ++per_pattern[c.pattern];
+  for (const Observation& o : log.po_fails) ++per_pattern[o.pattern];
+  std::int32_t cap = 0;
+  for (const auto& [pattern, bits] : per_pattern) {
+    cap = std::max(cap, bits);
+  }
+  if (cap < kMinStoreCap) return;
+  std::int32_t at_cap = 0;
+  for (const auto& [pattern, bits] : per_pattern) {
+    if (bits == cap) ++at_cap;
+  }
+  const auto num_patterns = static_cast<std::int32_t>(per_pattern.size());
+  if (at_cap < kMinPatternsAtCap || 2 * at_cap < num_patterns) return;
+  emit.emit("log-store-truncated", "failure log",
+            std::to_string(at_cap) + " of " + std::to_string(num_patterns) +
+                " failing pattern(s) carry exactly " + std::to_string(cap) +
+                " failing bit(s); the log looks clipped at a fail-store "
+                "depth of " +
+                std::to_string(cap));
+}
+
 }  // namespace
 
 void run_failure_log_checks(const Subject& subject, Report& report) {
@@ -196,6 +232,7 @@ void run_failure_log_checks(const Subject& subject, Report& report) {
   }
   check_log_ranges(subject, log, emit);
   check_log_duplicates(log, emit);
+  check_log_store_truncation(log, emit);
 }
 
 void run_model_checks(const Subject& subject, Report& report) {

@@ -26,6 +26,7 @@
 #include "diag/atpg_diagnosis.h"
 #include "diag/failure_log.h"
 #include "gnn/csr.h"
+#include "graph/backtrace.h"
 #include "graph/subgraph.h"
 #include "serve/metrics.h"
 
@@ -33,6 +34,10 @@ namespace m3dfl::serve {
 
 // The cached, reusable prefix of one log's diagnosis.
 struct CachedDiagnosis {
+  // Full back-trace outcome: candidates plus support fractions, quarantined
+  // responses, and the relaxation flag — the evidence-quality inputs of the
+  // calibrated confidence (a pure function of (design, log), so cacheable).
+  BacktraceResult backtrace;
   Subgraph subgraph;             // back-traced candidate subgraph + features
   NormalizedAdjacency adjacency; // its normalized adjacency (Eq. 1 input)
   DiagnosisReport base_report;   // ATPG report before GNN refinement

@@ -132,6 +132,12 @@ std::string Metrics::report() const {
                     std::to_string(lint_rejections.load())});
   counters.add_row({"aborted requests",
                     std::to_string(aborted_requests.load())});
+  counters.add_row({"noisy-log results",
+                    std::to_string(noisy_log_results.load())});
+  counters.add_row({"low-confidence results",
+                    std::to_string(low_confidence_results.load())});
+  counters.add_row({"quarantined responses",
+                    std::to_string(quarantined_responses.load())});
 
   TablePrinter statuses({"status", "count"});
   for (int code = 0; code < kNumStatusCodes; ++code) {

@@ -67,6 +67,14 @@ struct Metrics {
   std::atomic<std::int64_t> aborted_requests{0};    // failed by abort-shutdown
   std::atomic<std::int64_t> lint_rejections{0};     // lint-failed design gates
 
+  // Noise-robustness accounting (diag/noise.h, graph/backtrace.h): kOk
+  // results whose back-trace saw suspect evidence (quarantine or majority
+  // relaxation), results below the calibrated confidence cut, and the total
+  // tester responses excluded as outliers.
+  std::atomic<std::int64_t> noisy_log_results{0};
+  std::atomic<std::int64_t> low_confidence_results{0};
+  std::atomic<std::int64_t> quarantined_responses{0};
+
   LatencyHistogram queue_wait;   // submit -> worker pickup
   LatencyHistogram backtrace;    // back-trace + subgraph + adjacency
   LatencyHistogram atpg;         // ATPG base diagnosis (cache misses only)

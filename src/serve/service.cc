@@ -360,6 +360,18 @@ void DiagnosisService::complete(Request& request, DiagnosisResult&& result,
   if (status == StatusCode::kOk && result.degraded) {
     metrics_.degraded_results.fetch_add(1, std::memory_order_relaxed);
   }
+  if (status == StatusCode::kOk) {
+    if (result.confidence.noisy_log) {
+      metrics_.noisy_log_results.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (result.confidence.low_confidence) {
+      metrics_.low_confidence_results.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (result.confidence.quarantined > 0) {
+      metrics_.quarantined_responses.fetch_add(result.confidence.quarantined,
+                                               std::memory_order_relaxed);
+    }
+  }
   if (status == StatusCode::kShuttingDown) {
     metrics_.aborted_requests.fetch_add(1, std::memory_order_relaxed);
   }
@@ -455,6 +467,7 @@ StatusCode DiagnosisService::attempt_once(Request& request,
   result.degraded = false;
   result.pruned.clear();
   result.prediction = FrameworkPrediction{};
+  result.confidence = DiagnosisConfidence{};
   breaker_exempt = false;
   try {
     if (abort_.load(std::memory_order_relaxed)) {
@@ -509,9 +522,10 @@ StatusCode DiagnosisService::attempt_once(Request& request,
               throw DeadlineError("deadline exceeded before back-trace");
             }
             const Clock::time_point t_bt = Clock::now();
-            const std::vector<NodeId> nodes =
-                backtrace_candidates(design.graph(), ctx, request.log);
-            fresh->subgraph = extract_subgraph(design.graph(), nodes);
+            fresh->backtrace =
+                backtrace_with_support(design.graph(), ctx, request.log);
+            fresh->subgraph =
+                extract_subgraph(design.graph(), fresh->backtrace.candidates);
             fresh->adjacency = subgraph_adjacency(fresh->subgraph);
             result.backtrace_seconds = seconds_since(t_bt);
             metrics_.backtrace.record(result.backtrace_seconds);
@@ -596,6 +610,8 @@ StatusCode DiagnosisService::attempt_once(Request& request,
     result.report = entry->base_report;
     result.pruned = framework_.diagnose(ctx, entry->subgraph, entry->adjacency,
                                         result.report, &result.prediction);
+    result.confidence =
+        framework_.diagnosis_confidence(entry->backtrace, &result.prediction);
     result.inference_seconds = seconds_since(t_inf);
     metrics_.inference.record(result.inference_seconds);
     return StatusCode::kOk;
@@ -606,6 +622,10 @@ StatusCode DiagnosisService::attempt_once(Request& request,
       result.report = entry->base_report;
       result.pruned.clear();
       result.prediction = FrameworkPrediction{};
+      // The back-trace evidence survived; only the model margin is missing
+      // (margin treated as 1.0, so support alone carries the confidence).
+      result.confidence =
+          framework_.diagnosis_confidence(entry->backtrace, nullptr);
       result.degraded = true;
       return StatusCode::kOk;
     }
@@ -650,6 +670,15 @@ std::string result_to_string(const Netlist& netlist,
        << (result.prediction.high_confidence ? "high" : "low")
        << "), MIVs flagged: " << result.prediction.faulty_mivs.size() << ", "
        << (result.prediction.pruned ? "pruned" : "reordered") << "\n";
+    os << "calibrated confidence: " << result.confidence.combined
+       << " (support " << result.confidence.backtrace_support << ", margin "
+       << result.confidence.model_margin << ", "
+       << (result.confidence.low_confidence ? "LOW" : "ok") << ")\n";
+  }
+  if (result.confidence.noisy_log) {
+    os << "noisy log: " << result.confidence.quarantined
+       << " response(s) quarantined"
+       << (result.confidence.relaxed ? ", relaxed intersection" : "") << "\n";
   }
   os << report_to_string(netlist, result.report);
   return os.str();

@@ -123,6 +123,12 @@ struct DiagnosisResult {
   std::string status_message;        // empty on kOk
   bool degraded = false;             // ATPG-only fallback (status == kOk)
   std::int32_t attempts = 1;         // attempts consumed (retries + 1)
+  // Calibrated end-to-end confidence (diag/report.h): back-trace support ×
+  // GNN softmax margin, with the noisy_log / low_confidence flags callers
+  // use to distinguish clean localization from best-effort-under-suspect-
+  // data.  Default-initialized for failed or service-wide-degraded requests
+  // (no back-trace ran there).
+  DiagnosisConfidence confidence;
   FrameworkPrediction prediction;
   DiagnosisReport report;            // refined (pruned/reordered) report
   std::vector<Candidate> pruned;     // for the backup dictionary

@@ -1,9 +1,12 @@
 #include <algorithm>
+#include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "graph/backtrace.h"
 #include "test_helpers.h"
+#include "util/thinning.h"
 
 namespace m3dfl {
 namespace {
@@ -119,6 +122,245 @@ TEST(BacktraceTest, OutputSortedAndUnique) {
     EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
     EXPECT_TRUE(std::adjacent_find(nodes.begin(), nodes.end()) ==
                 nodes.end());
+  }
+}
+
+// ---- support / quarantine (backtrace_with_support) --------------------------
+
+// Suspect set of a single scan observation: the strict intersection over one
+// response is exactly its suspect set.
+std::vector<NodeId> one_response_suspects(const BacktraceSetup& s,
+                                          const Observation& o) {
+  FailureLog log;
+  log.scan_fails = {o};
+  return backtrace_candidates(s.graph, s.d.context(), log);
+}
+
+bool disjoint_sorted(const std::vector<NodeId>& a,
+                     const std::vector<NodeId>& b) {
+  std::vector<NodeId> both;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(both));
+  return both.empty();
+}
+
+// A scan observation absent from `log` whose non-empty suspect set is
+// disjoint from the clean candidates — appending it kills the strict
+// intersection (no node can appear in every response once one response
+// shares nothing with the clean core).
+Observation find_disjoint_observation(const BacktraceSetup& s,
+                                      const FailureLog& log,
+                                      const std::vector<NodeId>& clean) {
+  const std::set<Observation> used(log.scan_fails.begin(),
+                                   log.scan_fails.end());
+  const std::int32_t num_patterns = s.d.sim.num_patterns();
+  for (std::int32_t flop = 0; flop < s.d.scan.num_flops(); ++flop) {
+    for (std::int32_t pattern = 0; pattern < num_patterns; ++pattern) {
+      const Observation o{pattern, false, flop};
+      if (used.count(o) != 0) continue;
+      const std::vector<NodeId> suspects = one_response_suspects(s, o);
+      if (!suspects.empty() && disjoint_sorted(suspects, clean)) return o;
+    }
+  }
+  ADD_FAILURE() << "no disjoint spurious observation exists in this design";
+  return Observation{};
+}
+
+TEST(BacktraceSupportTest, StrictIntersectionHasUnitSupportAndNoQuarantine) {
+  BacktraceSetup s;
+  DataGenOptions opt;
+  opt.num_samples = 10;
+  opt.max_failing_patterns = 0;
+  opt.seed = 41;
+  const auto samples = generate_samples(s.d.context(), opt);
+  for (const Sample& sample : samples) {
+    const BacktraceResult result =
+        backtrace_with_support(s.graph, s.d.context(), sample.log);
+    const std::vector<NodeId> legacy =
+        backtrace_candidates(s.graph, s.d.context(), sample.log);
+    EXPECT_EQ(result.candidates, legacy);
+    ASSERT_EQ(result.support.size(), result.candidates.size());
+    ASSERT_FALSE(result.relaxed);  // clean single-fault logs stay strict
+    EXPECT_TRUE(result.quarantined.empty());
+    EXPECT_FALSE(result.noisy());
+    EXPECT_DOUBLE_EQ(result.min_support(), 1.0);
+    for (double sup : result.support) EXPECT_DOUBLE_EQ(sup, 1.0);
+  }
+}
+
+TEST(BacktraceSupportTest, EmptyLogYieldsEmptyResult) {
+  BacktraceSetup s;
+  const BacktraceResult result =
+      backtrace_with_support(s.graph, s.d.context(), FailureLog{});
+  EXPECT_TRUE(result.candidates.empty());
+  EXPECT_TRUE(result.support.empty());
+  EXPECT_EQ(result.num_responses, 0);
+  EXPECT_FALSE(result.noisy());
+  EXPECT_DOUBLE_EQ(result.min_support(), 0.0);
+}
+
+// A log whose strict intersection is provably empty: one clean sample plus
+// one spurious observation with a disjoint suspect cone.
+struct PoisonedLog {
+  FailureLog log;
+  std::vector<NodeId> clean_candidates;
+  Observation spurious;
+
+  explicit PoisonedLog(const BacktraceSetup& s, std::uint64_t sample_seed) {
+    DataGenOptions opt;
+    opt.num_samples = 1;
+    opt.max_failing_patterns = 0;
+    opt.seed = sample_seed;
+    const auto samples = generate_samples(s.d.context(), opt);
+    log = samples.at(0).log;
+    BacktraceOptions all;
+    all.max_traced_responses = 1 << 20;  // no thinning in these tests
+    clean_candidates =
+        backtrace_candidates(s.graph, s.d.context(), log, all);
+    spurious = find_disjoint_observation(s, log, clean_candidates);
+    log.scan_fails.push_back(spurious);
+  }
+};
+
+TEST(BacktraceSupportTest, RelaxedFractionZeroEmitsEveryNode) {
+  BacktraceSetup s;
+  const PoisonedLog p(s, 43);
+  BacktraceOptions options;
+  options.max_traced_responses = 1 << 20;
+  options.quarantine_overlap = 0.0;  // isolate the relaxation path
+  options.relaxed_fraction = 0.0;    // ceil(0 * n) = 0: everything passes
+  const BacktraceResult result =
+      backtrace_with_support(s.graph, s.d.context(), p.log, options);
+  EXPECT_TRUE(result.relaxed);
+  EXPECT_EQ(static_cast<std::int32_t>(result.candidates.size()),
+            s.graph.num_nodes());
+}
+
+TEST(BacktraceSupportTest, RelaxedFractionOneFallsBackToBestCount) {
+  BacktraceSetup s;
+  const PoisonedLog p(s, 43);
+  BacktraceOptions options;
+  options.max_traced_responses = 1 << 20;
+  options.quarantine_overlap = 0.0;
+  options.relaxed_fraction = 1.0;  // same threshold as strict: must fall
+                                   // back to the best-supported nodes
+  const BacktraceResult result =
+      backtrace_with_support(s.graph, s.d.context(), p.log, options);
+  EXPECT_TRUE(result.relaxed);
+  ASSERT_FALSE(result.candidates.empty());
+  const double best = *std::max_element(result.support.begin(),
+                                        result.support.end());
+  EXPECT_LT(best, 1.0);  // the strict intersection really was empty
+  for (double sup : result.support) EXPECT_DOUBLE_EQ(sup, best);
+}
+
+TEST(BacktraceSupportTest, SingleSpuriousResponseIsQuarantinedNotAbsorbed) {
+  BacktraceSetup s;
+  DataGenOptions opt;
+  opt.num_samples = 6;
+  opt.max_failing_patterns = 0;
+  opt.seed = 45;
+  const auto samples = generate_samples(s.d.context(), opt);
+  BacktraceOptions options;
+  options.max_traced_responses = 1 << 20;
+  const std::int32_t num_patterns = s.d.sim.num_patterns();
+  bool found = false;
+  for (const Sample& sample : samples) {
+    const FailureLog& clean_log = sample.log;
+    const std::vector<NodeId> clean =
+        backtrace_candidates(s.graph, s.d.context(), clean_log, options);
+    const std::set<Observation> used(clean_log.scan_fails.begin(),
+                                     clean_log.scan_fails.end());
+    for (std::int32_t flop = 0; flop < s.d.scan.num_flops() && !found;
+         ++flop) {
+      for (std::int32_t pattern = 0; pattern < num_patterns && !found;
+           ++pattern) {
+        const Observation o{pattern, false, flop};
+        if (used.count(o) != 0) continue;
+        const std::vector<NodeId> suspects = one_response_suspects(s, o);
+        // A disjoint cone kills the strict intersection; whether the
+        // response is also condemned by the overlap test depends on how
+        // many "popular" nodes its cone shares with the consensus core,
+        // so keep searching until one actually quarantines.
+        if (suspects.empty() || !disjoint_sorted(suspects, clean)) continue;
+        FailureLog noisy = clean_log;
+        noisy.scan_fails.push_back(o);
+        const BacktraceResult result =
+            backtrace_with_support(s.graph, s.d.context(), noisy, options);
+        if (result.quarantined.size() != 1u) continue;
+        found = true;
+        // The outlier is excluded and cited; the surviving intersection is
+        // the clean one, with full support and no relaxation.
+        EXPECT_EQ(result.quarantined[0].response_index,
+                  static_cast<std::int32_t>(noisy.scan_fails.size()) - 1);
+        EXPECT_EQ(result.quarantined[0].pattern, o.pattern);
+        EXPECT_LT(result.quarantined[0].overlap,
+                  options.quarantine_overlap);
+        EXPECT_EQ(result.candidates, clean);
+        EXPECT_FALSE(result.relaxed);
+        EXPECT_TRUE(result.noisy());
+        EXPECT_DOUBLE_EQ(result.min_support(), 1.0);  // over kept responses
+      }
+    }
+    if (found) break;
+  }
+  EXPECT_TRUE(found)
+      << "no spurious observation quarantined on any of the sample logs";
+}
+
+TEST(BacktraceSupportTest, QuarantineDisabledFallsBackToRelaxation) {
+  BacktraceSetup s;
+  const PoisonedLog p(s, 45);
+  BacktraceOptions options;
+  options.max_traced_responses = 1 << 20;
+  options.quarantine_overlap = 0.0;
+  const BacktraceResult result =
+      backtrace_with_support(s.graph, s.d.context(), p.log, options);
+  EXPECT_TRUE(result.quarantined.empty());
+  EXPECT_TRUE(result.relaxed);
+  EXPECT_TRUE(result.noisy());
+  EXPECT_LT(result.min_support(), 1.0);
+}
+
+TEST(BacktraceSupportTest, ThinningStrideIsDeterministicAndMatchesManual) {
+  BacktraceSetup s;
+  DataGenOptions opt;
+  opt.num_samples = 8;
+  opt.max_failing_patterns = 0;
+  opt.seed = 47;
+  const auto samples = generate_samples(s.d.context(), opt);
+  BacktraceOptions thin;
+  thin.max_traced_responses = 5;
+  for (const Sample& sample : samples) {
+    const FailureLog& log = sample.log;
+    const std::size_t total = log.scan_fails.size() + log.po_fails.size();
+    if (total <= 5) continue;
+    const BacktraceResult a =
+        backtrace_with_support(s.graph, s.d.context(), log, thin);
+    const BacktraceResult b =
+        backtrace_with_support(s.graph, s.d.context(), log, thin);
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(a.support, b.support);
+    EXPECT_EQ(a.num_responses, 5);
+    // The stride-selected responses, traced without a cap, give the same
+    // answer: thinning is a pure function of (size, cap).
+    const std::vector<std::size_t> kept = uniform_stride_indices(total, 5);
+    FailureLog manual;
+    manual.compacted = log.compacted;
+    manual.pattern_limit = log.pattern_limit;
+    for (std::size_t i : kept) {
+      if (i < log.scan_fails.size()) {
+        manual.scan_fails.push_back(log.scan_fails[i]);
+      } else {
+        manual.po_fails.push_back(log.po_fails[i - log.scan_fails.size()]);
+      }
+    }
+    BacktraceOptions full;
+    full.max_traced_responses = 1 << 20;
+    const BacktraceResult c =
+        backtrace_with_support(s.graph, s.d.context(), manual, full);
+    EXPECT_EQ(a.candidates, c.candidates);
+    EXPECT_EQ(a.support, c.support);
   }
 }
 

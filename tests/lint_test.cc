@@ -630,6 +630,45 @@ TEST_F(LintLogTest, DuplicateBitsAreWarned) {
   EXPECT_FALSE(report.has_errors());
 }
 
+TEST_F(LintLogTest, StoreTruncationSignatureIsWarned) {
+  // Every failing pattern clipped at exactly 4 bits (3 flops + 1 PO): the
+  // tester fail-store signature diag/noise.h's kTruncateStore produces.
+  FailureLog log;
+  for (std::int32_t p = 0; p < 4; ++p) {
+    for (std::int32_t f = 0; f < 3; ++f) log.scan_fails.push_back({p, false, f});
+    log.po_fails.push_back({p, true, 0});
+  }
+  const Report report = run(log);
+  const lint::Diagnostic* d = report.find("log-store-truncated");
+  ASSERT_NE(d, nullptr) << report.to_string();
+  EXPECT_EQ(d->severity, Severity::kWarn);
+  EXPECT_NE(d->message.find("fail-store depth of 4"), std::string::npos)
+      << d->message;
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST_F(LintLogTest, OrganicBitCountsDoNotTripStoreTruncation) {
+  // The cap of 4 is reached by a single pattern: ordinary fan-out variance,
+  // not a store limit.
+  FailureLog log;
+  for (std::int32_t f = 0; f < 3; ++f) log.scan_fails.push_back({0, false, f});
+  log.po_fails.push_back({0, true, 0});
+  log.scan_fails.push_back({1, false, 0});
+  log.scan_fails.push_back({1, false, 1});
+  log.scan_fails.push_back({2, false, 2});
+  EXPECT_TRUE(run(log).empty()) << run(log).to_string();
+
+  // A uniform bit count below the minimum store depth never fires either:
+  // small designs legitimately fail every observable bit.
+  FailureLog small;
+  for (std::int32_t p = 0; p < 4; ++p) {
+    for (std::int32_t f = 0; f < 3; ++f) {
+      small.scan_fails.push_back({p, false, f});
+    }
+  }
+  EXPECT_TRUE(run(small).empty()) << run(small).to_string();
+}
+
 // ---- model pass -------------------------------------------------------------
 
 // Tiny synthetic training set: enough labeled samples for all three phases

@@ -8,6 +8,8 @@
 
 #include "core/pipeline.h"
 #include "diag/atpg_diagnosis.h"
+#include "graph/backtrace.h"
+#include "graph/subgraph.h"
 #include "serve/breaker.h"
 #include "serve/cache.h"
 #include "serve/fault_injector.h"
@@ -79,6 +81,24 @@ class ServeTest : public ::testing::Test {
 std::shared_ptr<const Design> ServeTest::design_;
 DiagnosisFramework* ServeTest::framework_ = nullptr;
 std::vector<FailureLog>* ServeTest::logs_ = nullptr;
+
+// The raw serial reference path: replicates the service pipeline (ATPG
+// report, support-weighted back-trace, subgraph extraction, GNN diagnosis,
+// calibrated confidence) with no queue, cache, or worker threads.
+serve::DiagnosisResult serial_reference(const Design& design,
+                                        const DesignContext& ctx,
+                                        const DiagnosisFramework& framework,
+                                        const FailureLog& log) {
+  serve::DiagnosisResult r;
+  r.design = design.name();
+  r.report = diagnose_atpg(ctx, log);
+  const BacktraceResult backtrace =
+      backtrace_with_support(design.graph(), ctx, log);
+  const Subgraph sg = extract_subgraph(design.graph(), backtrace.candidates);
+  r.pruned = framework.diagnose(ctx, sg, r.report, &r.prediction);
+  r.confidence = framework.diagnosis_confidence(backtrace, &r.prediction);
+  return r;
+}
 
 // ---- component tests --------------------------------------------------------
 
@@ -211,13 +231,8 @@ TEST_F(ServeTest, ConcurrentMatchesSerialByteForByte) {
   const DesignContext ctx = design_->context();
   std::vector<std::string> serial_texts;
   for (const FailureLog& log : requests) {
-    serve::DiagnosisResult r;
-    r.design = design_->name();
-    r.report = diagnose_atpg(ctx, log);
-    const Subgraph sg = subgraph_for_log(*design_, log);
-    r.pruned = framework_->diagnose(ctx, sg, r.report, &r.prediction);
-    serial_texts.push_back(
-        serve::result_to_string(design_->netlist(), r));
+    serial_texts.push_back(serve::result_to_string(
+        design_->netlist(), serial_reference(*design_, ctx, *framework_, log)));
   }
 
   const auto run = [&](std::int32_t threads) {
@@ -306,12 +321,8 @@ TEST_F(ServeTest, FrameworkRoundTripsThroughServiceLoadPath) {
   // Loaded framework behaves identically to the in-memory original.
   const DesignContext ctx = design_->context();
   for (const FailureLog& log : *logs_) {
-    serve::DiagnosisResult expected;
-    expected.design = design_->name();
-    expected.report = diagnose_atpg(ctx, log);
-    const Subgraph sg = subgraph_for_log(*design_, log);
-    expected.pruned =
-        framework_->diagnose(ctx, sg, expected.report, &expected.prediction);
+    const serve::DiagnosisResult expected =
+        serial_reference(*design_, ctx, *framework_, log);
     const serve::DiagnosisResult got = service.diagnose(design_id, log);
     EXPECT_EQ(serve::result_to_string(design_->netlist(), got),
               serve::result_to_string(design_->netlist(), expected));

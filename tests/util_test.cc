@@ -9,6 +9,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thinning.h"
 
 namespace m3dfl {
 namespace {
@@ -195,6 +196,55 @@ TEST(TableTest, Formatting) {
   EXPECT_EQ(TablePrinter::pct(0.983, 1), "98.3%");
   EXPECT_EQ(TablePrinter::delta_pct(0.329, 1), "(+32.9%)");
   EXPECT_EQ(TablePrinter::delta_pct(-0.008, 1), "(-0.8%)");
+}
+
+TEST(ThinningTest, IdentityWhenUnderCap) {
+  for (std::size_t size : {0u, 1u, 5u, 60u}) {
+    const std::vector<std::size_t> kept = uniform_stride_indices(size, 60);
+    ASSERT_EQ(kept.size(), size);
+    for (std::size_t i = 0; i < size; ++i) EXPECT_EQ(kept[i], i);
+  }
+  // A non-positive cap means "no thinning".
+  const std::vector<std::size_t> uncapped = uniform_stride_indices(100, 0);
+  EXPECT_EQ(uncapped.size(), 100u);
+}
+
+TEST(ThinningTest, StrideSelectionIsAscendingUniqueAndSpansRange) {
+  for (std::size_t size : {61u, 100u, 997u, 5000u}) {
+    for (std::int32_t cap : {1, 2, 7, 60}) {
+      const std::vector<std::size_t> kept = uniform_stride_indices(size, cap);
+      ASSERT_EQ(kept.size(), static_cast<std::size_t>(cap))
+          << "size=" << size << " cap=" << cap;
+      EXPECT_EQ(kept.front(), 0u);
+      EXPECT_LT(kept.back(), size);
+      for (std::size_t i = 1; i < kept.size(); ++i) {
+        EXPECT_LT(kept[i - 1], kept[i]);
+      }
+    }
+  }
+}
+
+TEST(ThinningTest, DeterministicForSameSizeAndCap) {
+  const std::vector<std::size_t> a = uniform_stride_indices(997, 60);
+  const std::vector<std::size_t> b = uniform_stride_indices(997, 60);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThinningTest, ThinInPlaceKeepsSelectedElementsAndReportsIndices) {
+  std::vector<int> items;
+  for (int i = 0; i < 100; ++i) items.push_back(i * 10);
+  std::vector<int> original = items;
+  const std::vector<std::size_t> kept = thin_uniform_stride(items, 7);
+  ASSERT_EQ(items.size(), 7u);
+  ASSERT_EQ(kept.size(), 7u);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(items[i], original[kept[i]]);
+  }
+  // Under the cap: untouched, identity index map.
+  std::vector<int> small = {4, 5, 6};
+  const std::vector<std::size_t> ident = thin_uniform_stride(small, 60);
+  EXPECT_EQ(small, (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(ident, (std::vector<std::size_t>{0, 1, 2}));
 }
 
 TEST(ErrorTest, AssertMacroThrows) {

@@ -43,6 +43,8 @@
 #include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "diag/log_io.h"
+#include "diag/noise.h"
+#include "graph/backtrace.h"
 #include "lint/lint.h"
 #include "netlist/verilog_io.h"
 #include "serve/service.h"
@@ -297,8 +299,60 @@ int cmd_inject(const std::string& profile, const std::string& path) {
   return 0;
 }
 
+// Flags accepted by `diagnose` and `perturb-log` (diag/noise.h): a seeded
+// tester-noise perturbation applied to the input log, so noisy runs are
+// reproducible from the recorded (kind, rate, seed) triple.
+struct NoiseFlags {
+  NoiseOptions noise;
+};
+
+NoiseFlags parse_noise_flags(const std::vector<std::string>& flags) {
+  NoiseFlags parsed;
+  for (const std::string& flag : flags) {
+    const auto eq = flag.find('=');
+    const std::string key = flag.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : flag.substr(eq + 1);
+    try {
+      if (key == "--noise-kind") {
+        parsed.noise.kind = parse_noise_kind(value);
+      } else if (key == "--noise-rate") {
+        parsed.noise.rate = std::stod(value);
+      } else if (key == "--noise-seed") {
+        parsed.noise.seed = std::stoull(value);
+      } else if (key == "--noise-depth") {
+        parsed.noise.store_depth = std::stoi(value);
+      } else {
+        throw Error("unknown noise flag '" + flag + "'");
+      }
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      throw Error("bad value in noise flag '" + flag + "'");
+    }
+  }
+  return parsed;
+}
+
+// Applies the flagged perturbation (if any) and narrates what it did.
+FailureLog apply_noise(const DesignContext& ctx, const FailureLog& log,
+                       const NoiseOptions& noise) {
+  if (noise.kind == NoiseKind::kNone) return log;
+  NoiseSummary summary;
+  FailureLog noisy = perturb_failure_log(log, ctx, noise, &summary);
+  std::cout << "noise: kind=" << noise_kind_name(noise.kind)
+            << " rate=" << noise.rate << " seed=" << noise.seed
+            << " -> dropped " << summary.dropped << ", injected "
+            << summary.injected << ", flipped " << summary.flipped
+            << ", truncated " << summary.truncated << " ("
+            << log.num_failing_bits() << " -> " << noisy.num_failing_bits()
+            << " failing bits)\n";
+  return noisy;
+}
+
 int cmd_diagnose(const std::string& profile, const std::string& model_path,
-                 const std::string& log_path, const std::string& config) {
+                 const std::string& log_path, const std::string& config,
+                 const NoiseFlags& flags) {
   const auto design =
       Design::build(parse_profile(profile), parse_config(config));
   DiagnosisFramework framework;
@@ -313,18 +367,54 @@ int cmd_diagnose(const std::string& profile, const std::string& model_path,
   }
 
   const DesignContext ctx = design->context();
+  log = apply_noise(ctx, log, flags.noise);
   DiagnosisReport report = diagnose_atpg(ctx, log);
   std::cout << "ATPG " << report_to_string(design->netlist(), report);
 
-  const Subgraph sg = subgraph_for_log(*design, log);
+  const BacktraceResult backtrace =
+      backtrace_with_support(design->graph(), ctx, log);
+  const Subgraph sg = extract_subgraph(design->graph(), backtrace.candidates);
   FrameworkPrediction prediction;
   framework.diagnose(ctx, sg, report, &prediction);
+  const DiagnosisConfidence confidence =
+      framework.diagnosis_confidence(backtrace, &prediction);
   std::cout << "\nGNN verdict: tier " << prediction.tier << " (confidence "
             << prediction.confidence << ", "
             << (prediction.high_confidence ? "high" : "low")
             << "), MIVs flagged: " << prediction.faulty_mivs.size() << ", "
-            << (prediction.pruned ? "pruned" : "reordered") << "\n\n";
-  std::cout << "refined " << report_to_string(design->netlist(), report);
+            << (prediction.pruned ? "pruned" : "reordered") << "\n";
+  std::cout << "calibrated confidence: " << confidence.combined
+            << " (support " << confidence.backtrace_support << ", margin "
+            << confidence.model_margin << ", "
+            << (confidence.low_confidence ? "LOW" : "ok") << ")\n";
+  if (confidence.noisy_log) {
+    std::cout << "noisy log: " << confidence.quarantined
+              << " response(s) quarantined"
+              << (confidence.relaxed ? ", relaxed intersection" : "") << "\n";
+  }
+  std::cout << "\nrefined " << report_to_string(design->netlist(), report);
+  return 0;
+}
+
+// Writes a seeded perturbation of a failure log (via the atomic-write path,
+// so a crash never leaves a half-written log behind).
+int cmd_perturb_log(const std::string& profile, const std::string& in_path,
+                    const std::string& out_path, const std::string& config,
+                    const NoiseFlags& flags) {
+  M3DFL_REQUIRE(flags.noise.kind != NoiseKind::kNone,
+                "perturb-log needs --noise-kind=drop|spurious|flip|truncate");
+  const auto design =
+      Design::build(parse_profile(profile), parse_config(config));
+  FailureLog log;
+  {
+    auto is = open_in(in_path);
+    log = read_failure_log(is);
+  }
+  const DesignContext ctx = design->context();
+  const FailureLog noisy = apply_noise(ctx, log, flags.noise);
+  write_file_atomic(out_path, failure_log_to_string(noisy));
+  std::cout << "wrote " << noisy.num_failing_bits() << " failing bits to "
+            << out_path << "\n";
   return 0;
 }
 
@@ -482,6 +572,13 @@ int usage() {
                "  m3dfl_tool inject   <profile> <out.flog>\n"
                "  m3dfl_tool diagnose <profile> <model.m3dfl> <die.flog> "
                "[config]\n"
+               "                      [--noise-kind=K] [--noise-rate=R] "
+               "[--noise-seed=S] [--noise-depth=D]\n"
+               "  m3dfl_tool perturb-log <profile> <in.flog> <out.flog> "
+               "[config]\n"
+               "                      --noise-kind=drop|spurious|flip|"
+               "truncate [--noise-rate=R]\n"
+               "                      [--noise-seed=S] [--noise-depth=D]\n"
                "  m3dfl_tool serve    <profile> <model.m3dfl> "
                "<logdir|manifest> [config] [threads]\n"
                "                      [--deadline-ms=N] [--max-retries=N] "
@@ -518,9 +615,21 @@ int main(int argc, char** argv) {
                       positional.size() == 3 ? positional[2] : "syn1",
                       parse_lint_flags(flags));
     }
+    if (cmd == "diagnose" && (positional.size() == 4 ||
+                              positional.size() == 5)) {
+      return cmd_diagnose(positional[1], positional[2], positional[3],
+                          positional.size() == 5 ? positional[4] : "syn1",
+                          parse_noise_flags(flags));
+    }
+    if (cmd == "perturb-log" && (positional.size() == 4 ||
+                                 positional.size() == 5)) {
+      return cmd_perturb_log(positional[1], positional[2], positional[3],
+                             positional.size() == 5 ? positional[4] : "syn1",
+                             parse_noise_flags(flags));
+    }
     if (!flags.empty()) {
-      throw Error("flags are only accepted by the 'serve', 'train', and "
-                  "'lint' commands");
+      throw Error("flags are only accepted by the 'serve', 'train', 'lint', "
+                  "'diagnose', and 'perturb-log' commands");
     }
     const std::size_t n = positional.size();
     if (cmd == "generate" && n == 3) {
@@ -534,10 +643,6 @@ int main(int argc, char** argv) {
     }
     if (cmd == "inject" && n == 3) {
       return cmd_inject(positional[1], positional[2]);
-    }
-    if (cmd == "diagnose" && (n == 4 || n == 5)) {
-      return cmd_diagnose(positional[1], positional[2], positional[3],
-                          n == 5 ? positional[4] : "syn1");
     }
     return usage();
   } catch (const std::exception& e) {
