@@ -1,0 +1,374 @@
+// Fleet serving under Zipf multi-tenant load: latency/throughput curves for
+// serve::FleetService routing over a registry::ModelRegistry.
+//
+// Production diagnosis traffic is many designs wide and heavily skewed — a
+// handful of hot designs (a volume part in retest) dominate while a long
+// tail stays warm.  This harness models that: 8 tenants (4 benchmark
+// profiles x {Syn-1, Syn-2}), design popularity drawn from a Zipf
+// distribution at two skews, and two load shapes:
+//
+//   * open loop: requests arrive on a fixed schedule regardless of
+//     completions (the tester floor does not wait for the diagnosis
+//     service), swept across an offered-QPS ladder; the latency curve shows
+//     where queueing sets in;
+//   * closed loop: N users submit-and-wait in a tight loop — the capacity
+//     measurement an open sweep brackets.
+//
+// Per-request latency is the service-measured submit -> result time
+// (DiagnosisResult::total_seconds, queue wait included).  Results go to
+// stdout tables and BENCH_fleet_load.json (util/bench_json.h): one row per
+// (skew, offered QPS) point with achieved QPS and p50/p95/p99 latency.
+//
+// `--smoke` runs a reduced shape (2 tenants, short ladder) for CI tier-1;
+// it exercises every code path and still writes the JSON file.
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "registry/registry.h"
+#include "serve/fleet.h"
+#include "util/atomic_file.h"
+#include "util/bench_json.h"
+#include "util/rng.h"
+
+using namespace m3dfl;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchConfig {
+  bool smoke = false;
+  std::vector<std::pair<Profile, DesignConfig>> designs;
+  std::vector<double> skews;
+  std::vector<double> offered_qps;
+  double seconds_per_point = 2.0;   // open-loop dispatch window per point
+  std::int32_t unique_logs = 4;     // unique failure signatures per tenant
+  std::int32_t shard_threads = 2;   // workers per tenant shard
+  std::int32_t closed_users = 8;    // closed-loop user threads
+  std::int32_t closed_requests = 25;  // requests per closed-loop user
+};
+
+BenchConfig make_config(bool smoke) {
+  BenchConfig config;
+  config.smoke = smoke;
+  if (smoke) {
+    config.designs = {{Profile::kAes, DesignConfig::kSyn1},
+                      {Profile::kTate, DesignConfig::kSyn1}};
+    config.skews = {0.9, 1.4};
+    config.offered_qps = {20.0, 60.0};
+    config.seconds_per_point = 0.5;
+    config.unique_logs = 2;
+    config.shard_threads = 1;
+    config.closed_users = 2;
+    config.closed_requests = 4;
+  } else {
+    config.designs = {{Profile::kAes, DesignConfig::kSyn1},
+                      {Profile::kAes, DesignConfig::kSyn2},
+                      {Profile::kTate, DesignConfig::kSyn1},
+                      {Profile::kTate, DesignConfig::kSyn2},
+                      {Profile::kNetcard, DesignConfig::kSyn1},
+                      {Profile::kNetcard, DesignConfig::kSyn2},
+                      {Profile::kLeon3mp, DesignConfig::kSyn1},
+                      {Profile::kLeon3mp, DesignConfig::kSyn2}};
+    config.skews = {0.9, 1.4};
+    config.offered_qps = {25.0, 50.0, 100.0, 200.0, 400.0};
+  }
+  return config;
+}
+
+// Zipf popularity over tenant ranks: P(rank i) ~ 1 / (i+1)^skew, sampled
+// through a precomputed CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct Tenant {
+  std::int32_t id = 0;
+  std::string model;
+  std::vector<FailureLog> logs;
+};
+
+struct LoadPoint {
+  std::size_t dispatched = 0;
+  std::int64_t ok = 0;
+  std::int64_t failed = 0;
+  double wall_seconds = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+void fill_latencies(std::vector<double>& ms, LoadPoint& point) {
+  if (ms.empty()) return;
+  std::sort(ms.begin(), ms.end());
+  const auto at = [&ms](double q) {
+    const std::size_t rank = std::min(
+        ms.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(ms.size())));
+    return ms[rank];
+  };
+  point.p50_ms = at(0.50);
+  point.p95_ms = at(0.95);
+  point.p99_ms = at(0.99);
+  point.max_ms = ms.back();
+}
+
+// Open loop: dispatch on a fixed schedule, then resolve everything.
+LoadPoint run_open_loop(serve::FleetService& fleet,
+                        const std::vector<Tenant>& tenants,
+                        const ZipfSampler& zipf, double offered_qps,
+                        double seconds, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto n = static_cast<std::size_t>(offered_qps * seconds);
+  std::vector<std::future<serve::DiagnosisResult>> futures;
+  futures.reserve(n);
+  const Clock::time_point t0 = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(static_cast<double>(i) /
+                                               offered_qps)));
+    const Tenant& tenant = tenants[zipf.sample(rng)];
+    futures.push_back(
+        fleet.submit(tenant.id, tenant.logs[rng.next_below(
+                                    tenant.logs.size())]));
+  }
+  LoadPoint point;
+  point.dispatched = n;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(n);
+  for (auto& f : futures) {
+    const serve::DiagnosisResult result = f.get();
+    (result.ok() ? point.ok : point.failed)++;
+    latencies_ms.push_back(result.total_seconds * 1e3);
+  }
+  point.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  fill_latencies(latencies_ms, point);
+  return point;
+}
+
+// Closed loop: `users` threads submit-and-wait back to back.
+LoadPoint run_closed_loop(serve::FleetService& fleet,
+                          const std::vector<Tenant>& tenants,
+                          const ZipfSampler& zipf, std::int32_t users,
+                          std::int32_t requests_per_user, std::uint64_t seed) {
+  std::vector<std::vector<double>> per_user_ms(
+      static_cast<std::size_t>(users));
+  std::vector<std::int64_t> per_user_ok(static_cast<std::size_t>(users), 0);
+  std::vector<std::thread> threads;
+  const Clock::time_point t0 = Clock::now();
+  for (std::int32_t u = 0; u < users; ++u) {
+    threads.emplace_back([&, u] {
+      Rng rng(seed + static_cast<std::uint64_t>(u) * 0x9E37u);
+      auto& ms = per_user_ms[static_cast<std::size_t>(u)];
+      for (std::int32_t r = 0; r < requests_per_user; ++r) {
+        const Tenant& tenant = tenants[zipf.sample(rng)];
+        const serve::DiagnosisResult result = fleet.diagnose(
+            tenant.id,
+            tenant.logs[rng.next_below(tenant.logs.size())]);
+        ms.push_back(result.total_seconds * 1e3);
+        per_user_ok[static_cast<std::size_t>(u)] += result.ok() ? 1 : 0;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadPoint point;
+  point.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  std::vector<double> all_ms;
+  for (const auto& ms : per_user_ms) {
+    all_ms.insert(all_ms.end(), ms.begin(), ms.end());
+  }
+  point.dispatched = all_ms.size();
+  for (const auto ok : per_user_ok) point.ok += ok;
+  point.failed = static_cast<std::int64_t>(point.dispatched) - point.ok;
+  fill_latencies(all_ms, point);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  const BenchConfig config = make_config(smoke);
+  bench::print_banner(
+      std::string("Fleet load: Zipf multi-tenant serving over a model "
+                  "registry") +
+      (smoke ? " [smoke]" : ""));
+
+  // One cheaply trained framework published under every tenant's registry
+  // name: this measures *serving* capacity (routing, registry, shards),
+  // where model accuracy is irrelevant — only inference cost matters, and
+  // that is architecture- not weight-dependent.
+  std::cout << "training shared framework (AES/Syn-1)...\n";
+  std::shared_ptr<const Design> aes =
+      Design::build(Profile::kAes, DesignConfig::kSyn1);
+  TransferTrainOptions train;
+  train.samples_syn1 = 40;
+  train.samples_per_random = 20;
+  const LabeledDataset data =
+      build_transfer_training_set(Profile::kAes, *aes, train);
+  FrameworkOptions fw_options;
+  fw_options.training.epochs = 40;
+  DiagnosisFramework framework(fw_options);
+  framework.train(data.graphs);
+  std::string artifact;
+  {
+    std::ostringstream os;
+    framework.save(os);
+    artifact = os.str();
+  }
+
+  // Publish the registry: <model>@1 for every design (plus a @2 copy for
+  // the first, so `latest` resolution is exercised past version 1).
+  const std::string registry_dir = "bench_fleet_registry.tmp";
+  std::filesystem::remove_all(registry_dir);
+  std::filesystem::create_directory(registry_dir);
+  std::cout << "building " << config.designs.size()
+            << " tenant designs + registry...\n";
+  std::vector<Tenant> tenants;
+  std::vector<std::shared_ptr<const Design>> designs;
+  for (std::size_t i = 0; i < config.designs.size(); ++i) {
+    const auto& [profile, cfg] = config.designs[i];
+    std::shared_ptr<const Design> design =
+        (profile == Profile::kAes && cfg == DesignConfig::kSyn1)
+            ? aes
+            : std::shared_ptr<const Design>(Design::build(profile, cfg));
+    Tenant tenant;
+    tenant.model = registry::sanitize_model_name(design->name());
+    write_file_atomic(registry_dir + "/" +
+                          registry::ModelRegistry::artifact_filename(
+                              tenant.model, 1),
+                      artifact);
+    if (i == 0) {
+      write_file_atomic(registry_dir + "/" +
+                            registry::ModelRegistry::artifact_filename(
+                                tenant.model, 2),
+                        artifact);
+    }
+    DataGenOptions gen;
+    gen.num_samples = config.unique_logs;
+    gen.seed = 0xF1EE7 + static_cast<std::uint64_t>(i);
+    for (const Sample& s : generate_samples(design->context(), gen)) {
+      tenant.logs.push_back(s.log);
+    }
+    designs.push_back(design);
+    tenants.push_back(std::move(tenant));
+  }
+
+  registry::ModelRegistry registry(registry_dir);
+  serve::FleetOptions fleet_options;
+  fleet_options.service_defaults.num_threads = config.shard_threads;
+  serve::FleetService fleet(registry, fleet_options);
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    serve::TenantOptions tenant = fleet.tenant_defaults();
+    tenant.model = tenants[i].model;
+    tenants[i].id = fleet.add_tenant(designs[i], std::move(tenant));
+  }
+
+  BenchJson json("fleet_load");
+  json.meta("designs", config.designs.size())
+      .meta("unique_logs_per_tenant", config.unique_logs)
+      .meta("shard_threads", config.shard_threads)
+      .meta("zipf_skews", config.skews.size())
+      .meta("smoke", config.smoke);
+
+  TablePrinter table({"mode", "skew", "offered qps", "achieved qps", "n",
+                      "ok", "failed", "p50 ms", "p95 ms", "p99 ms"});
+  for (const double skew : config.skews) {
+    const ZipfSampler zipf(tenants.size(), skew);
+    for (const double qps : config.offered_qps) {
+      const LoadPoint point = run_open_loop(
+          fleet, tenants, zipf, qps, config.seconds_per_point,
+          0xBEEF ^ static_cast<std::uint64_t>(qps * 131.0 + skew * 17.0));
+      const double achieved =
+          static_cast<double>(point.dispatched) / point.wall_seconds;
+      table.add_row({"open", bench::fmt2(skew), bench::fmt1(qps),
+                     bench::fmt1(achieved), std::to_string(point.dispatched),
+                     std::to_string(point.ok), std::to_string(point.failed),
+                     bench::fmt2(point.p50_ms), bench::fmt2(point.p95_ms),
+                     bench::fmt2(point.p99_ms)});
+      json.add_row()
+          .set("mode", "open")
+          .set("zipf_skew", skew)
+          .set("offered_qps", qps)
+          .set("achieved_qps", achieved)
+          .set("requests", point.dispatched)
+          .set("ok", point.ok)
+          .set("failed", point.failed)
+          .set("p50_ms", point.p50_ms)
+          .set("p95_ms", point.p95_ms)
+          .set("p99_ms", point.p99_ms)
+          .set("max_ms", point.max_ms);
+    }
+    table.add_separator();
+  }
+
+  // Closed-loop capacity at the middle skew.
+  const ZipfSampler zipf(tenants.size(), config.skews.front());
+  const LoadPoint closed =
+      run_closed_loop(fleet, tenants, zipf, config.closed_users,
+                      config.closed_requests, 0xCAFE);
+  const double capacity =
+      static_cast<double>(closed.dispatched) / closed.wall_seconds;
+  table.add_row({"closed", bench::fmt2(config.skews.front()),
+                 std::to_string(config.closed_users) + " users",
+                 bench::fmt1(capacity), std::to_string(closed.dispatched),
+                 std::to_string(closed.ok), std::to_string(closed.failed),
+                 bench::fmt2(closed.p50_ms), bench::fmt2(closed.p95_ms),
+                 bench::fmt2(closed.p99_ms)});
+  table.print();
+  json.add_row()
+      .set("mode", "closed")
+      .set("zipf_skew", config.skews.front())
+      .set("users", config.closed_users)
+      .set("achieved_qps", capacity)
+      .set("requests", closed.dispatched)
+      .set("ok", closed.ok)
+      .set("failed", closed.failed)
+      .set("p50_ms", closed.p50_ms)
+      .set("p95_ms", closed.p95_ms)
+      .set("p99_ms", closed.p99_ms)
+      .set("max_ms", closed.max_ms);
+
+  fleet.shutdown();
+  std::cout << "\n" << fleet.report();
+  json.write("BENCH_fleet_load.json");
+  std::cout << "\nwrote BENCH_fleet_load.json\n";
+
+  std::filesystem::remove_all(registry_dir);
+  const bool all_ok = closed.failed == 0;
+  return all_ok ? 0 : 1;
+}

@@ -19,6 +19,7 @@
 #include "core/pipeline.h"
 #include "diag/atpg_diagnosis.h"
 #include "serve/service.h"
+#include "util/bench_json.h"
 #include "util/rng.h"
 
 using namespace m3dfl;
@@ -129,11 +130,23 @@ int main() {
             << " unique signatures x " << kRepeatsPerLog << "), design "
             << design->name() << "\n\n";
 
+  BenchJson json("serve_throughput");
+  json.meta("design", design->name())
+      .meta("unique_logs", kUniqueLogs)
+      .meta("repeats_per_log", kRepeatsPerLog)
+      .meta("requests", requests.size());
+
   TablePrinter table({"mode", "wall (s)", "logs/sec", "speedup",
                       "cache hit rate", "mean batch", "ok/failed"});
   const double serial_s = run_serial_baseline(*design, framework, requests);
   table.add_row({"serial baseline", bench::fmt2(serial_s),
                  bench::fmt2(num_logs / serial_s), "1.00", "-", "-", "-"});
+  json.add_row()
+      .set("mode", "serial")
+      .set("threads", 0)
+      .set("wall_seconds", serial_s)
+      .set("logs_per_second", num_logs / serial_s)
+      .set("speedup", 1.0);
   table.add_separator();
   for (const std::int32_t threads : {1, 2, 4, 8}) {
     const ServiceRun run = run_service(design, framework, requests, threads);
@@ -144,8 +157,20 @@ int main() {
                    bench::fmt2(run.mean_batch),
                    std::to_string(run.num_ok) + "/" +
                        std::to_string(run.num_failed)});
+    json.add_row()
+        .set("mode", "service")
+        .set("threads", threads)
+        .set("wall_seconds", run.seconds)
+        .set("logs_per_second", num_logs / run.seconds)
+        .set("speedup", serial_s / run.seconds)
+        .set("cache_hit_rate", run.hit_rate)
+        .set("mean_batch", run.mean_batch)
+        .set("ok", run.num_ok)
+        .set("failed", run.num_failed);
   }
   table.print();
+  json.write("BENCH_serve_throughput.json");
+  std::cout << "\nwrote BENCH_serve_throughput.json\n";
 
   std::cout << "\nRepeated failure signatures resolve from the LRU cache "
                "(back-trace + ATPG base report amortized away); worker "

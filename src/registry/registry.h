@@ -1,0 +1,203 @@
+// Multi-tenant model registry over the checksummed artifact container.
+//
+// The paper deploys one pretrained framework per design; production means a
+// fleet of designs × model versions, far more than fit in memory at once.
+// ModelRegistry turns a directory of format-2 framework artifacts
+// (util/artifact.h) into a demand-loaded model store:
+//
+//   registry-dir/
+//     AES-Syn-1@1.m3dfl        <design>@<version>.m3dfl, version a positive
+//     AES-Syn-1@2.m3dfl        integer; each file one "framework" artifact
+//     netcard-Syn-1@1.m3dfl    container (m3dfl_tool train writes these;
+//     ...                      migrate format-1 files with
+//                              `m3dfl_tool migrate-artifact`)
+//
+// Semantics:
+//
+//   * Lazy load.  Construction only indexes filenames; an artifact is read,
+//     checksum-verified, and parsed on the first acquire() that needs it
+//     (mmap-backed read on POSIX — the multi-MB container is never
+//     double-buffered through iostreams).
+//   * Versioned lookup.  acquire(design) serves the highest version in the
+//     index; acquire(design, v) pins one.  New version *files* enter the
+//     index at construction or rescan(); *replacement* of an indexed file
+//     is picked up automatically (below).
+//   * LRU eviction by resident bytes.  When max_resident_bytes > 0, loading
+//     past the watermark evicts least-recently-acquired models from the
+//     resident map.  Eviction is epoch-style: in-flight readers hold a
+//     shared_ptr, so an evicted model stays valid until the last reader
+//     drops it — eviction bounds *registry-owned* memory, it never
+//     invalidates a served request.
+//   * Atomic hot reload.  Every acquire of a resident model cheaply stats
+//     its file; when the (size, mtime) stamp changed — an atomic
+//     rename-replace by a trainer — the registry reloads and hands out the
+//     new model under a bumped generation, while in-flight requests finish
+//     on the old shared_ptr.  A corrupt or truncated replacement is
+//     *rejected* (the container checksum path throws) and the old
+//     generation keeps serving; reload_failures counts the rejections.
+//
+// Generations are registry-global and strictly increasing: every successful
+// load or reload allocates the next one, so a result tagged with a
+// generation (serve::DiagnosisResult::model_generation) names exactly one
+// artifact load event.  Thread-safe; one mutex over index + resident map
+// (loads parse outside any per-request hot path — the fleet layer acquires
+// once per routing decision, not per inference).
+#ifndef M3DFL_REGISTRY_REGISTRY_H_
+#define M3DFL_REGISTRY_REGISTRY_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/framework.h"
+#include "util/fault_injector.h"
+
+namespace m3dfl::registry {
+
+// Fault-injection seams (util/fault_injector.h); the fleet chaos harness
+// arms these to simulate I/O failures distinct from on-disk corruption.
+enum class RegistrySeam : int {
+  kLoad = 0,  // artifact read/parse on (re)load
+  kStat = 1,  // the per-acquire freshness stat
+};
+inline constexpr int kNumRegistrySeams = 2;
+
+struct RegistryOptions {
+  // Resident-bytes watermark for LRU eviction; 0 = never evict.  Bytes are
+  // accounted as artifact file size — a faithful proxy, since the parsed
+  // weight matrices are within a small constant of the hex-float text.
+  std::size_t max_resident_bytes = 0;
+  // When true (default), every acquire of a resident model stats its file
+  // and hot-reloads on an atomic replacement.  Off = a model is immutable
+  // once loaded (cheapest; version bumps still work via rescan()).
+  bool reload_check = true;
+  // When true, a loaded model must also pass lint::lint_model (shape/
+  // finiteness checks) or the load is rejected like a corrupt artifact.
+  bool lint_models = false;
+  // Deterministic chaos for tests; null costs one pointer check per seam.
+  std::shared_ptr<FaultInjector> fault_injector;
+};
+
+// One loaded model version; immutable after load, shared with every
+// in-flight reader.
+struct LoadedModel {
+  std::string design;
+  std::int32_t version = 0;
+  std::string path;
+  // Registry-global load event id (strictly increasing across all designs).
+  std::uint64_t generation = 0;
+  std::size_t resident_bytes = 0;
+  DiagnosisFramework framework;
+};
+
+class ModelRegistry {
+ public:
+  // acquire() version selector: serve the highest indexed version.
+  static constexpr std::int32_t kLatest = 0;
+
+  // Indexes `dir` (which must exist) without loading anything.  Throws
+  // m3dfl::Error when dir is not a directory.
+  explicit ModelRegistry(std::string dir, RegistryOptions options = {});
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // `<design>@<version>.m3dfl`.  parse returns false for filenames that are
+  // not registry artifacts (they are ignored by the index scan).
+  static std::string artifact_filename(const std::string& design,
+                                       std::int32_t version);
+  static bool parse_artifact_filename(const std::string& filename,
+                                      std::string* design,
+                                      std::int32_t* version);
+
+  // Returns the model, loading it on first use.  Throws m3dfl::Error when
+  // the design/version is unknown (after one implicit rescan) or when a
+  // *first* load fails (missing file, bad checksum, format-1 stream, lint
+  // rejection).  A failed *re*load of an already resident model never
+  // throws: the old model keeps serving and reload_failures increments.
+  std::shared_ptr<const LoadedModel> acquire(const std::string& design,
+                                             std::int32_t version = kLatest);
+
+  // Re-scans the directory for added or removed artifact files.  Resident
+  // models whose files vanished stay resident (in-flight epochs must not
+  // die because a file was unlinked) but leave the index.
+  void rescan();
+
+  // Index introspection.
+  std::vector<std::string> designs() const;
+  std::vector<std::int32_t> versions(const std::string& design) const;
+  bool has(const std::string& design, std::int32_t version = kLatest) const;
+
+  const std::string& dir() const { return dir_; }
+  const RegistryOptions& options() const { return options_; }
+
+  // Counters (monotonic): cold loads, resident-map hits, LRU evictions,
+  // successful hot reloads, rejected hot reloads, and the last allocated
+  // generation (0 = nothing loaded yet).
+  std::int64_t loads() const;
+  std::int64_t hits() const;
+  std::int64_t evictions() const;
+  std::int64_t reloads() const;
+  std::int64_t reload_failures() const;
+  std::uint64_t generation() const;
+  // Bytes and entry count currently held by the resident map (excludes
+  // evicted models kept alive by readers).
+  std::size_t resident_bytes() const;
+  std::size_t resident_count() const;
+
+ private:
+  // (size, mtime) freshness stamp of an artifact file.
+  struct FileStamp {
+    std::uint64_t size = 0;
+    std::int64_t mtime_ns = 0;
+    bool operator==(const FileStamp&) const = default;
+  };
+  struct Resident {
+    std::shared_ptr<const LoadedModel> model;
+    FileStamp stamp;
+    std::list<std::string>::iterator lru_it;  // position in lru_
+  };
+
+  void rescan_locked();
+  FileStamp stat_locked(const std::string& path) const;
+  // Reads + parses one artifact; throws on any integrity violation.
+  std::shared_ptr<const LoadedModel> load_locked(const std::string& design,
+                                                 std::int32_t version,
+                                                 const std::string& path);
+  // Moves `key` to the MRU position (inserting if new).
+  void touch_locked(const std::string& key, Resident& entry);
+  // Evicts LRU residents past the byte watermark; never evicts `keep_key`.
+  void evict_locked(const std::string& keep_key);
+
+  const std::string dir_;
+  const RegistryOptions options_;
+
+  mutable std::mutex mu_;
+  // design -> version -> file path.
+  std::map<std::string, std::map<std::int32_t, std::string>> index_;
+  // "design@version" -> resident model.
+  std::unordered_map<std::string, Resident> resident_;
+  std::list<std::string> lru_;  // front = most recently acquired
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t next_generation_ = 0;
+  std::int64_t loads_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t reloads_ = 0;
+  std::int64_t reload_failures_ = 0;
+};
+
+// Maps an arbitrary design name onto the registry filename alphabet:
+// characters outside [A-Za-z0-9._-] (e.g. the '/' in "AES/Syn-1") become
+// '-'.  Used by the fleet CLI and benches to derive model names from
+// Design::name().
+std::string sanitize_model_name(const std::string& name);
+
+}  // namespace m3dfl::registry
+
+#endif  // M3DFL_REGISTRY_REGISTRY_H_

@@ -1,0 +1,163 @@
+// Multi-tenant fleet serving: one front door over many design shards.
+//
+// A production tester floor diagnoses many designs at once, each with its own
+// trained model, traffic profile, and fairness requirements.  FleetService is
+// that front door: it routes every request to a per-tenant shard — a
+// DiagnosisService built from the tenant's current registry model — and adds
+// the two policies a shared fleet needs on top of the single-design runtime:
+//
+//   * Hot-reload epochs.  Each submit cheaply re-acquires the tenant's model
+//     from the ModelRegistry.  When the registry hands back a new generation
+//     (a trainer atomically replaced the artifact, or a higher version
+//     appeared under `latest`), the shard swaps to a fresh DiagnosisService
+//     sharing the new framework; the old epoch is retired, keeps running its
+//     in-flight requests to completion on the old model, and is reaped once
+//     its pending count hits zero.  A *corrupt* replacement never makes an
+//     epoch: the registry rejects it and the old epoch keeps serving.  Every
+//     result is stamped with the generation of the epoch that produced it
+//     (DiagnosisResult::model_generation), which is how the chaos harness
+//     proves no request was served by a retired or corrupt artifact.
+//
+//   * Per-tenant admission quotas.  A tenant with max_inflight > 0 is shed
+//     with kQuotaExceeded once that many of its requests are in flight —
+//     extending the single-service overload controls (shed_watermark,
+//     circuit breaker) with the *fairness* dimension: one tenant's retest
+//     storm cannot queue out the others, because each tenant owns its shard's
+//     queue and workers outright.
+//
+// Metrics: each tenant owns one serve::Metrics spanning all of its epochs
+// (ServiceOptions::external_metrics), so latency histograms and counters
+// survive hot reloads; report() aggregates the per-tenant tables with the
+// registry's load/eviction/reload counters.  Exercised end to end by
+// tests/fleet_test.cc, the reload-under-fire harness in
+// tests/fleet_chaos_test.cc, and bench/bench_fleet_load.cc.
+#ifndef M3DFL_SERVE_FLEET_H_
+#define M3DFL_SERVE_FLEET_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "registry/registry.h"
+#include "serve/service.h"
+
+namespace m3dfl::serve {
+
+struct TenantOptions {
+  // Registry model name (the filename alphabet — derive from a Design name
+  // with registry::sanitize_model_name) and version pin;
+  // kLatest tracks the highest version in the registry.
+  std::string model;
+  std::int32_t version = registry::ModelRegistry::kLatest;
+  // Admission quota: maximum requests in flight for this tenant; one more is
+  // shed with kQuotaExceeded.  0 = unlimited.
+  std::uint64_t max_inflight = 0;
+  // Options for this tenant's shard services (every epoch reuses them).
+  // model_generation and external_metrics are overwritten by the fleet.
+  ServiceOptions service;
+};
+
+struct FleetOptions {
+  // Seed for TenantOptions::service handed out by tenant_defaults().
+  ServiceOptions service_defaults;
+};
+
+class FleetService {
+ public:
+  // The registry must outlive the fleet.
+  explicit FleetService(registry::ModelRegistry& registry,
+                        FleetOptions options = {});
+  ~FleetService();
+
+  FleetService(const FleetService&) = delete;
+  FleetService& operator=(const FleetService&) = delete;
+
+  // A TenantOptions pre-seeded with FleetOptions::service_defaults.
+  TenantOptions tenant_defaults() const;
+
+  // Registers a tenant serving `design` with the model options.model; returns
+  // its tenant id.  The first epoch is built eagerly when the registry can
+  // load the model; otherwise (model not published yet) the tenant starts
+  // epoch-less and submissions fail with kModelUnavailable until a later
+  // submit finds the model.  Throws m3dfl::Error for an empty model name.
+  std::int32_t add_tenant(std::shared_ptr<const Design> design,
+                          TenantOptions options);
+  std::int32_t num_tenants() const;
+
+  // Routes one failure log to the tenant's shard.  Resolution order:
+  //   1. epoch refresh (registry acquire; swap + retire on generation change)
+  //   2. quota gate (kQuotaExceeded, resolved immediately)
+  //   3. shard submit (all single-service admission control applies)
+  // Like DiagnosisService::submit, the future never carries an exception.
+  std::future<DiagnosisResult> submit(std::int32_t tenant_id, FailureLog log,
+                                      const SubmitOptions& submit_options = {});
+  DiagnosisResult diagnose(std::int32_t tenant_id, FailureLog log,
+                           const SubmitOptions& submit_options = {});
+
+  // Releases the tenant's shard workers when its ServiceOptions had
+  // start_paused set (tests stage a queue, then release); idempotent.
+  void resume(std::int32_t tenant_id);
+
+  // Blocks until every submitted request across all tenants (including
+  // retired epochs) resolved, and reaps quiesced retired epochs.
+  void drain();
+  // Shuts down every epoch of every tenant; further submits throw.
+  void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  // Generation of the tenant's current epoch (0 = no epoch yet).
+  std::uint64_t tenant_generation(std::int32_t tenant_id) const;
+  // Retired-but-unreaped epochs (in-flight on an old model) right now.
+  std::size_t tenant_retired_epochs(std::int32_t tenant_id) const;
+  std::int64_t quota_rejections(std::int32_t tenant_id) const;
+  // The tenant's epoch-spanning metrics (valid until the fleet dies).
+  const Metrics& tenant_metrics(std::int32_t tenant_id) const;
+  const registry::ModelRegistry& registry() const { return registry_; }
+
+  // Per-tenant serving table + registry counters.
+  std::string report() const;
+
+ private:
+  // One (model generation, shard service) pairing.  The service holds the
+  // framework via the aliasing shared_ptr, which keeps the whole registry
+  // LoadedModel alive even after eviction or further reloads.
+  struct Epoch {
+    std::shared_ptr<const registry::LoadedModel> model;
+    std::unique_ptr<DiagnosisService> service;
+    std::int32_t design_id = 0;
+  };
+  struct Tenant {
+    std::shared_ptr<const Design> design;
+    TenantOptions options;
+    std::unique_ptr<Metrics> metrics;  // spans epochs; stable address
+    mutable std::mutex mu;             // guards epoch/retired swaps
+    std::unique_ptr<Epoch> epoch;
+    std::vector<std::unique_ptr<Epoch>> retired;
+    bool shut_down = false;
+  };
+
+  Tenant& tenant_at(std::int32_t tenant_id) const;
+  // Builds a shard service for the tenant's current registry model.
+  std::unique_ptr<Epoch> make_epoch(
+      Tenant& tenant, std::shared_ptr<const registry::LoadedModel> model) const;
+  // Re-acquires the model, swapping epochs on a generation change; reaps
+  // quiesced retired epochs.  Returns false when no model is loadable and no
+  // epoch exists.  Caller holds tenant.mu.
+  bool refresh_epoch_locked(Tenant& tenant);
+  // Immediately resolved rejection, counted in the tenant's metrics.
+  static std::future<DiagnosisResult> reject_now(Tenant& tenant,
+                                                 StatusCode status,
+                                                 std::string message);
+
+  registry::ModelRegistry& registry_;
+  const FleetOptions options_;
+
+  mutable std::mutex tenants_mu_;  // guards the vector, not the tenants
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace m3dfl::serve
+
+#endif  // M3DFL_SERVE_FLEET_H_

@@ -130,6 +130,9 @@ std::string Metrics::report() const {
                     std::to_string(breaker_rejections.load())});
   counters.add_row({"lint rejections",
                     std::to_string(lint_rejections.load())});
+  counters.add_row({"quota rejections",
+                    std::to_string(quota_rejections.load())});
+  counters.add_row({"model reloads", std::to_string(model_reloads.load())});
   counters.add_row({"aborted requests",
                     std::to_string(aborted_requests.load())});
   counters.add_row({"noisy-log results",

@@ -66,6 +66,11 @@ struct Metrics {
   std::atomic<std::int64_t> deadline_expirations{0};
   std::atomic<std::int64_t> aborted_requests{0};    // failed by abort-shutdown
   std::atomic<std::int64_t> lint_rejections{0};     // lint-failed design gates
+  std::atomic<std::int64_t> quota_rejections{0};    // fleet tenant-quota sheds
+  // Fleet accounting (serve/fleet.h): hot-reload epoch swaps this tenant's
+  // shard went through.  A tenant's Metrics instance is owned by the fleet
+  // and spans epochs, so counters and histograms accumulate across reloads.
+  std::atomic<std::int64_t> model_reloads{0};
 
   // Noise-robustness accounting (diag/noise.h, graph/backtrace.h): kOk
   // results whose back-trace saw suspect evidence (quarantine or majority

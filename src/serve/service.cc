@@ -60,18 +60,30 @@ DiagnosisService::LoadedFramework DiagnosisService::load_framework(
       options.fault_injector->maybe_throw(Seam::kFrameworkLoad,
                                           "injected framework-load fault");
     }
-    loaded.framework.load(is);
+    auto framework = std::make_shared<DiagnosisFramework>();
+    framework->load(is);
+    loaded.framework = std::move(framework);
   } catch (const std::exception& e) {
     if (!options.degraded_fallback) throw;
     loaded.degraded = true;
     loaded.why = e.what();
-    loaded.framework = DiagnosisFramework();
+    loaded.framework = std::make_shared<DiagnosisFramework>();
   }
   return loaded;
 }
 
 DiagnosisService::DiagnosisService(DiagnosisFramework framework,
                                    const ServiceOptions& options)
+    : DiagnosisService(
+          LoadedFramework{
+              std::make_shared<const DiagnosisFramework>(std::move(framework)),
+              false,
+              {}},
+          options) {}
+
+DiagnosisService::DiagnosisService(
+    std::shared_ptr<const DiagnosisFramework> framework,
+    const ServiceOptions& options)
     : DiagnosisService(LoadedFramework{std::move(framework), false, {}},
                        options) {}
 
@@ -84,10 +96,14 @@ DiagnosisService::DiagnosisService(LoadedFramework loaded,
     : options_(options),
       framework_(std::move(loaded.framework)),
       degraded_(loaded.degraded),
-      cache_(options.cache_capacity, &metrics_),
+      metrics_(options.external_metrics != nullptr ? options.external_metrics
+                                                   : &own_metrics_),
+      cache_(options.cache_capacity, metrics_),
       queue_(options.queue_capacity),
       paused_(options.start_paused) {
-  M3DFL_REQUIRE(degraded_ || framework_.trained(),
+  M3DFL_REQUIRE(framework_ != nullptr,
+                "diagnosis service needs a non-null framework");
+  M3DFL_REQUIRE(degraded_ || framework_->trained(),
                 "diagnosis service needs a trained framework");
   M3DFL_REQUIRE(options_.num_threads > 0,
                 "diagnosis service needs at least one worker thread");
@@ -216,7 +232,7 @@ std::future<DiagnosisResult> DiagnosisService::submit(
     M3DFL_REQUIRE(!shut_down_, "diagnosis service is shut down");
     request.sequence = submitted_++;
   }
-  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_->requests_submitted.fetch_add(1, std::memory_order_relaxed);
   std::future<DiagnosisResult> future = request.promise.get_future();
 
   // Admission control.  Everything rejected here resolves immediately with
@@ -232,7 +248,7 @@ std::future<DiagnosisResult> DiagnosisService::submit(
                  design->name() + "'";
   }
   if (!lint_error.empty()) {
-    metrics_.lint_rejections.fetch_add(1, std::memory_order_relaxed);
+    metrics_->lint_rejections.fetch_add(1, std::memory_order_relaxed);
     return reject(std::move(request), std::move(future), *design,
                   StatusCode::kLintRejected, std::move(lint_error));
   }
@@ -244,7 +260,7 @@ std::future<DiagnosisResult> DiagnosisService::submit(
   CircuitBreaker* breaker = breaker_for(design_id);
   switch (breaker->admit(request.enqueued)) {
     case CircuitBreaker::Decision::kReject:
-      metrics_.breaker_rejections.fetch_add(1, std::memory_order_relaxed);
+      metrics_->breaker_rejections.fetch_add(1, std::memory_order_relaxed);
       return reject(std::move(request), std::move(future), *design,
                     StatusCode::kOverloaded,
                     "circuit breaker open for design '" + design->name() +
@@ -260,7 +276,7 @@ std::future<DiagnosisResult> DiagnosisService::submit(
       break;
   }
   const auto shed = [&](std::string message) {
-    metrics_.load_shed.fetch_add(1, std::memory_order_relaxed);
+    metrics_->load_shed.fetch_add(1, std::memory_order_relaxed);
     if (request.probe) breaker->abandon_probe(Clock::now());
     return reject(std::move(request), std::move(future), *design,
                   StatusCode::kOverloaded, std::move(message));
@@ -309,6 +325,11 @@ void DiagnosisService::drain() {
   drain_cv_.wait(lock, [this] { return finished_ == submitted_; });
 }
 
+std::uint64_t DiagnosisService::pending() const {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  return submitted_ - finished_;
+}
+
 void DiagnosisService::shutdown(ShutdownMode mode) {
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
@@ -337,8 +358,8 @@ void DiagnosisService::worker_loop() {
         options_.max_batch,
         [](const Request& r) { return r.design_id; });
     if (batch.empty()) return;  // queue closed and drained
-    metrics_.batches.fetch_add(1, std::memory_order_relaxed);
-    metrics_.batched_requests.fetch_add(
+    metrics_->batches.fetch_add(1, std::memory_order_relaxed);
+    metrics_->batched_requests.fetch_add(
         static_cast<std::int64_t>(batch.size()), std::memory_order_relaxed);
     for (Request& request : batch) {
       process(request);
@@ -355,27 +376,28 @@ void DiagnosisService::worker_loop() {
 
 void DiagnosisService::complete(Request& request, DiagnosisResult&& result,
                                 StatusCode status, std::string message) {
+  result.model_generation = options_.model_generation;
   result.status = status;
   result.status_message = std::move(message);
   if (status == StatusCode::kOk && result.degraded) {
-    metrics_.degraded_results.fetch_add(1, std::memory_order_relaxed);
+    metrics_->degraded_results.fetch_add(1, std::memory_order_relaxed);
   }
   if (status == StatusCode::kOk) {
     if (result.confidence.noisy_log) {
-      metrics_.noisy_log_results.fetch_add(1, std::memory_order_relaxed);
+      metrics_->noisy_log_results.fetch_add(1, std::memory_order_relaxed);
     }
     if (result.confidence.low_confidence) {
-      metrics_.low_confidence_results.fetch_add(1, std::memory_order_relaxed);
+      metrics_->low_confidence_results.fetch_add(1, std::memory_order_relaxed);
     }
     if (result.confidence.quarantined > 0) {
-      metrics_.quarantined_responses.fetch_add(result.confidence.quarantined,
+      metrics_->quarantined_responses.fetch_add(result.confidence.quarantined,
                                                std::memory_order_relaxed);
     }
   }
   if (status == StatusCode::kShuttingDown) {
-    metrics_.aborted_requests.fetch_add(1, std::memory_order_relaxed);
+    metrics_->aborted_requests.fetch_add(1, std::memory_order_relaxed);
   }
-  metrics_.record_status(status);
+  metrics_->record_status(status);
   request.promise.set_value(std::move(result));
 }
 
@@ -390,7 +412,7 @@ void DiagnosisService::process(Request& request) {
   result.queue_seconds = std::chrono::duration<double>(
                              picked_up - request.enqueued)
                              .count();
-  metrics_.queue_wait.record(result.queue_seconds);
+  metrics_->queue_wait.record(result.queue_seconds);
 
   // Retry loop: only kTransient outcomes re-run, with decorrelated-jitter
   // backoff whose stream is a pure function of (retry_seed, sequence) —
@@ -426,7 +448,7 @@ void DiagnosisService::process(Request& request) {
       }
       nap_ms = std::min(nap_ms, remaining_ms);
     }
-    metrics_.retries.fetch_add(1, std::memory_order_relaxed);
+    metrics_->retries.fetch_add(1, std::memory_order_relaxed);
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(nap_ms));
   }
@@ -435,7 +457,7 @@ void DiagnosisService::process(Request& request) {
     result.total_seconds = std::chrono::duration<double>(
                                Clock::now() - request.enqueued)
                                .count();
-    metrics_.end_to_end.record(result.total_seconds);
+    metrics_->end_to_end.record(result.total_seconds);
   }
   CircuitBreaker* breaker = breaker_for(request.design_id);
   const bool failure_class = status == StatusCode::kTransient ||
@@ -528,7 +550,7 @@ StatusCode DiagnosisService::attempt_once(Request& request,
                 extract_subgraph(design.graph(), fresh->backtrace.candidates);
             fresh->adjacency = subgraph_adjacency(fresh->subgraph);
             result.backtrace_seconds = seconds_since(t_bt);
-            metrics_.backtrace.record(result.backtrace_seconds);
+            metrics_->backtrace.record(result.backtrace_seconds);
           }
 
           if (deadline_passed(request.deadline)) {
@@ -538,7 +560,7 @@ StatusCode DiagnosisService::attempt_once(Request& request,
           fresh->base_report =
               diagnose_atpg(ctx, request.log, options_.diagnosis);
           result.atpg_seconds = seconds_since(t_atpg);
-          metrics_.atpg.record(result.atpg_seconds);
+          metrics_->atpg.record(result.atpg_seconds);
 
           if (injector != nullptr) {
             injector->maybe_throw(Seam::kCacheInsert,
@@ -566,7 +588,7 @@ StatusCode DiagnosisService::attempt_once(Request& request,
         // The failure is the leader's, already fed to the breaker by the
         // leader's own request; N coalesced waiters must not multiply one
         // fault into N consecutive-failure increments.
-        metrics_.cache_coalesced.fetch_add(1, std::memory_order_relaxed);
+        metrics_->cache_coalesced.fetch_add(1, std::memory_order_relaxed);
         try {
           entry = follow.get();
         } catch (const std::exception& e) {
@@ -608,12 +630,12 @@ StatusCode DiagnosisService::attempt_once(Request& request,
       injector->maybe_throw(Seam::kModelPredict, "injected model fault");
     }
     result.report = entry->base_report;
-    result.pruned = framework_.diagnose(ctx, entry->subgraph, entry->adjacency,
+    result.pruned = framework_->diagnose(ctx, entry->subgraph, entry->adjacency,
                                         result.report, &result.prediction);
     result.confidence =
-        framework_.diagnosis_confidence(entry->backtrace, &result.prediction);
+        framework_->diagnosis_confidence(entry->backtrace, &result.prediction);
     result.inference_seconds = seconds_since(t_inf);
-    metrics_.inference.record(result.inference_seconds);
+    metrics_->inference.record(result.inference_seconds);
     return StatusCode::kOk;
   } catch (const ModelUnavailableError& e) {
     if (options_.degraded_fallback && entry != nullptr) {
@@ -625,7 +647,7 @@ StatusCode DiagnosisService::attempt_once(Request& request,
       // The back-trace evidence survived; only the model margin is missing
       // (margin treated as 1.0, so support alone carries the confidence).
       result.confidence =
-          framework_.diagnosis_confidence(entry->backtrace, nullptr);
+          framework_->diagnosis_confidence(entry->backtrace, nullptr);
       result.degraded = true;
       return StatusCode::kOk;
     }

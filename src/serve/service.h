@@ -104,6 +104,16 @@ struct ServiceOptions {
   // When true, workers idle until resume(); lets tests stage a queue
   // deterministically (admission control, abort-shutdown).
   bool start_paused = false;
+  // Model generation this service instance serves, stamped into every
+  // result's `model_generation`.  The fleet layer (serve/fleet.h) builds one
+  // service per registry generation, so a result's tag proves which artifact
+  // produced it — the reload-under-fire chaos test keys on this.
+  std::uint64_t model_generation = 0;
+  // When non-null, the service records into this externally owned Metrics
+  // instead of its own.  The fleet layer points every hot-reload epoch of a
+  // tenant's shard at one per-tenant instance, so counters and latency
+  // histograms accumulate across reloads.  Must outlive the service.
+  Metrics* external_metrics = nullptr;
   // Deterministic chaos for tests; null (production) costs one pointer
   // check per seam.
   std::shared_ptr<FaultInjector> fault_injector;
@@ -119,6 +129,9 @@ struct SubmitOptions {
 struct DiagnosisResult {
   std::uint64_t sequence = 0;        // submission order, from 0
   std::string design;                // registered design name
+  // ServiceOptions::model_generation of the service that produced this
+  // result (0 outside fleet serving).
+  std::uint64_t model_generation = 0;
   StatusCode status = StatusCode::kOk;
   std::string status_message;        // empty on kOk
   bool degraded = false;             // ATPG-only fallback (status == kOk)
@@ -156,6 +169,11 @@ class DiagnosisService {
  public:
   // Takes ownership of an already trained framework.
   explicit DiagnosisService(DiagnosisFramework framework,
+                            const ServiceOptions& options = {});
+  // Shares an already trained framework (fleet serving: many shard services
+  // over registry-resident models; the registry entry must stay alive via
+  // this shared_ptr, which the service holds until destruction).
+  explicit DiagnosisService(std::shared_ptr<const DiagnosisFramework> framework,
                             const ServiceOptions& options = {});
   // Loads the framework from a serialized model stream (the asset written
   // by DiagnosisFramework::save / `m3dfl_tool train`).  Throws m3dfl::Error
@@ -197,6 +215,9 @@ class DiagnosisService {
 
   // Blocks until every submitted request has completed or failed.
   void drain();
+  // Requests submitted but not yet resolved (the fleet quota gate and epoch
+  // reaper poll this; non-blocking).
+  std::uint64_t pending() const;
   // kDrain: drains, closes the queue, joins the workers.  kAbort: fails
   // every queued-but-unstarted request with kShuttingDown deterministically,
   // then closes and joins.  Idempotent; further submit() calls throw.
@@ -206,9 +227,9 @@ class DiagnosisService {
   // fell back under degraded_fallback); every result is ATPG-only.
   bool degraded() const { return degraded_; }
 
-  const Metrics& metrics() const { return metrics_; }
+  const Metrics& metrics() const { return *metrics_; }
   const DiagnosisCache& cache() const { return cache_; }
-  const DiagnosisFramework& framework() const { return framework_; }
+  const DiagnosisFramework& framework() const { return *framework_; }
   const ServiceOptions& options() const { return options_; }
   // Breaker state for a registered design (for tests/introspection).
   CircuitBreaker::State breaker_state(std::int32_t design_id) const;
@@ -229,7 +250,7 @@ class DiagnosisService {
   };
 
   struct LoadedFramework {
-    DiagnosisFramework framework;
+    std::shared_ptr<const DiagnosisFramework> framework;
     bool degraded = false;
     std::string why;  // what went wrong when degraded
   };
@@ -264,9 +285,10 @@ class DiagnosisService {
   CircuitBreaker* breaker_for(std::int32_t design_id) const;
 
   const ServiceOptions options_;
-  DiagnosisFramework framework_;
+  std::shared_ptr<const DiagnosisFramework> framework_;
   bool degraded_ = false;
-  Metrics metrics_;
+  Metrics own_metrics_;
+  Metrics* metrics_;  // &own_metrics_ or options.external_metrics
   DiagnosisCache cache_;
   RequestQueue<Request> queue_;
   WorkerPool pool_;
@@ -294,7 +316,7 @@ class DiagnosisService {
   std::atomic<bool> abort_{false};
 
   // drain() bookkeeping: submitted vs finished (completed or failed).
-  std::mutex drain_mu_;
+  mutable std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   std::uint64_t submitted_ = 0;
   std::uint64_t finished_ = 0;

@@ -16,6 +16,9 @@
 //   kLintRejected      reject   — the *design* failed static analysis at
 //                                 registration; no log against it can be
 //                                 diagnosed until the design is fixed
+//   kQuotaExceeded     shed     — this *tenant* is over its fleet admission
+//                                 quota; other tenants keep serving (see
+//                                 serve/fleet.h)
 //
 // The typed exceptions below are how stages *inside* a worker signal a
 // classified failure to the retry/degrade machinery in service.cc; they are
@@ -39,9 +42,10 @@ enum class StatusCode : int {
   kShuttingDown = 6,
   kInternal = 7,
   kLintRejected = 8,
+  kQuotaExceeded = 9,
 };
 
-inline constexpr int kNumStatusCodes = 9;
+inline constexpr int kNumStatusCodes = 10;
 
 inline const char* status_name(StatusCode code) {
   switch (code) {
@@ -54,6 +58,7 @@ inline const char* status_name(StatusCode code) {
     case StatusCode::kShuttingDown: return "SHUTTING_DOWN";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kLintRejected: return "LINT_REJECTED";
+    case StatusCode::kQuotaExceeded: return "QUOTA_EXCEEDED";
   }
   return "UNKNOWN";
 }

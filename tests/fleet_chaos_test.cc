@@ -1,0 +1,293 @@
+// Reload-under-fire: hot reloads, corrupt replacements, and registry
+// eviction while 8 shard workers serve mixed-tenant traffic.
+//
+// The accounting is exact, in the spirit of tests/chaos_test.cc: every
+// submitted future resolves exactly once, the per-tenant status counts
+// partition the submissions, and every successful result carries the
+// generation of a *successfully loaded* artifact — corrupt replacements
+// never allocate a generation, so a result stamped with a registry
+// generation can only have come from a model that passed the container
+// CRC (and a post-quiesce probe proves no request is served by a retired
+// epoch once a newer generation is visible).  Run under TSan by the CI
+// serve job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "registry/registry.h"
+#include "serve/fleet.h"
+#include "util/artifact.h"
+#include "util/atomic_file.h"
+#include "util/rng.h"
+
+namespace m3dfl {
+namespace {
+
+namespace fs = std::filesystem;
+using registry::ModelRegistry;
+using serve::FleetService;
+using serve::StatusCode;
+using serve::TenantOptions;
+
+constexpr std::int32_t kNumTenants = 4;   // x 2 shard threads = 8 workers
+constexpr std::int32_t kNumSubmitters = 4;
+constexpr std::int32_t kRequestsPerSubmitter = 24;
+constexpr std::int32_t kChaosRounds = 12;
+
+class FleetChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new std::shared_ptr<const Design>(
+        Design::build(Profile::kAes, DesignConfig::kSyn1));
+    TransferTrainOptions train;
+    train.samples_syn1 = 12;
+    train.samples_per_random = 6;
+    const LabeledDataset data =
+        build_transfer_training_set(Profile::kAes, **design_, train);
+    FrameworkOptions options;
+    options.training.epochs = 5;
+    DiagnosisFramework framework(options);
+    framework.train(data.graphs);
+    std::ostringstream os;
+    framework.save(os);
+
+    // Three valid artifact variants with pairwise-distinct byte sizes
+    // (hexfloats of different text length), so every replacement below is
+    // guaranteed to change the registry's (size, mtime) freshness stamp
+    // even on filesystems with coarse mtime granularity.
+    variants_ = new std::vector<std::string>();
+    for (const double threshold : {0.5, 0.75, 0.765625}) {
+      std::string payload =
+          read_artifact(os.str(), kFrameworkKind, "<test>");
+      const std::size_t at = payload.find("tp_threshold ");
+      const std::size_t eol = payload.find('\n', at);
+      std::ostringstream value;
+      value << std::hexfloat << threshold;
+      payload =
+          payload.substr(0, at + 13) + value.str() + payload.substr(eol);
+      variants_->push_back(artifact_to_string(kFrameworkKind, payload));
+    }
+    ASSERT_NE((*variants_)[0].size(), (*variants_)[1].size());
+    ASSERT_NE((*variants_)[1].size(), (*variants_)[2].size());
+    ASSERT_NE((*variants_)[0].size(), (*variants_)[2].size());
+
+    DataGenOptions gen;
+    gen.num_samples = 8;
+    gen.miv_fault_prob = 0.3;
+    gen.seed = 0xC4A05;
+    logs_ = new std::vector<FailureLog>();
+    for (const Sample& s : generate_samples((*design_)->context(), gen)) {
+      logs_->push_back(s.log);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete logs_;
+    delete variants_;
+    delete design_;
+    logs_ = nullptr;
+    variants_ = nullptr;
+    design_ = nullptr;
+  }
+
+  static std::string model_name(std::int32_t tenant) {
+    return "chaos-" + std::to_string(tenant);
+  }
+
+  // Valid variant `which`, or it with one payload byte flipped (the CRC
+  // recorded in the container then mismatches, so the registry must reject
+  // the replacement without allocating a generation).
+  static std::string artifact(std::int32_t which, bool corrupt) {
+    std::string bytes = (*variants_)[static_cast<std::size_t>(which) %
+                                     variants_->size()];
+    if (corrupt) bytes[bytes.find("tp_threshold")] = 'T';
+    return bytes;
+  }
+
+  static std::shared_ptr<const Design>* design_;
+  static std::vector<std::string>* variants_;
+  static std::vector<FailureLog>* logs_;
+};
+
+std::shared_ptr<const Design>* FleetChaosTest::design_ = nullptr;
+std::vector<std::string>* FleetChaosTest::variants_ = nullptr;
+std::vector<FailureLog>* FleetChaosTest::logs_ = nullptr;
+
+TEST_F(FleetChaosTest, ReloadUnderFireWithExactAccounting) {
+  const fs::path dir =
+      fs::temp_directory_path() / "m3dfl_fleet_chaos_registry";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto publish = [&](std::int32_t tenant, const std::string& bytes) {
+    write_file_atomic(
+        (dir / ModelRegistry::artifact_filename(model_name(tenant), 1))
+            .string(),
+        bytes);
+  };
+  for (std::int32_t t = 0; t < kNumTenants; ++t) {
+    publish(t, artifact(0, /*corrupt=*/false));
+  }
+
+  // Room for between two and three of the four tenant models: acquiring
+  // all four must evict, and evicted-but-in-epoch models must keep serving
+  // through their shared_ptr.
+  registry::RegistryOptions reg_options;
+  reg_options.max_resident_bytes = (*variants_)[2].size() * 5 / 2;
+  ModelRegistry registry(dir.string(), reg_options);
+
+  FleetService fleet(registry);
+  std::vector<std::int32_t> tenants;
+  for (std::int32_t t = 0; t < kNumTenants; ++t) {
+    TenantOptions options = fleet.tenant_defaults();
+    options.model = model_name(t);
+    options.service.num_threads = 2;
+    // Two tenants run with a tight admission quota so shedding interleaves
+    // with reloads (the shed count lands in the status partition below).
+    if (t >= 2) options.max_inflight = 4;
+    tenants.push_back(fleet.add_tenant(*design_, options));
+  }
+
+  // The storm: submitters drive mixed-tenant traffic while the chaos
+  // thread keeps replacing every tenant's artifact — alternating valid
+  // variants (hot reload) and corrupt bytes (rejected reload).
+  std::vector<std::pair<std::int32_t, std::future<serve::DiagnosisResult>>>
+      futures(static_cast<std::size_t>(kNumSubmitters) *
+              kRequestsPerSubmitter);
+  std::vector<std::thread> submitters;
+  for (std::int32_t s = 0; s < kNumSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      Rng rng(0x9A1B + static_cast<std::uint64_t>(s));
+      for (std::int32_t i = 0; i < kRequestsPerSubmitter; ++i) {
+        const std::int32_t tenant =
+            tenants[rng.next_below(static_cast<std::uint64_t>(kNumTenants))];
+        const FailureLog& log =
+            (*logs_)[rng.next_below(logs_->size())];
+        futures[static_cast<std::size_t>(s) * kRequestsPerSubmitter +
+                static_cast<std::size_t>(i)] = {tenant,
+                                                fleet.submit(tenant, log)};
+      }
+    });
+  }
+  std::thread chaos([&] {
+    Rng rng(0xD1CE);
+    for (std::int32_t round = 0; round < kChaosRounds; ++round) {
+      for (std::int32_t t = 0; t < kNumTenants; ++t) {
+        // A corrupt write always uses a different variant than the next
+        // valid write, so consecutive publishes always change the size.
+        const bool corrupt = (round + t) % 3 == 2;
+        publish(t, artifact(corrupt ? round + 1 : round, corrupt));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          1 + static_cast<std::int64_t>(rng.next_below(5))));
+    }
+  });
+  for (auto& s : submitters) s.join();
+  chaos.join();
+
+  // Deterministic tail: whatever the storm's interleaving hit, walking all
+  // three size-distinct valid variants forces at least two hot reloads per
+  // tenant (at most one variant can match the current freshness stamp),
+  // and a corrupt write of a differently-sized variant forces at least one
+  // rejected reload per tenant.  A submit alone triggers the refresh — the
+  // epoch swap happens on the submission path, before queueing.
+  for (std::int32_t t = 0; t < kNumTenants; ++t) {
+    const std::size_t tenant = static_cast<std::size_t>(t);
+    for (std::int32_t which = 0; which < 3; ++which) {
+      publish(t, artifact(which, /*corrupt=*/false));
+      futures.push_back({tenants[tenant],
+                         fleet.submit(tenants[tenant], (*logs_)[which])});
+    }
+    // Stamp is now variant 2's size; corrupt variant 0 differs for sure.
+    publish(t, artifact(0, /*corrupt=*/true));
+    futures.push_back(
+        {tenants[tenant], fleet.submit(tenants[tenant], (*logs_)[3])});
+  }
+  fleet.drain();
+
+  // Exact accounting: every future resolves exactly once, nothing lost.
+  std::vector<std::int64_t> ok_per_tenant(kNumTenants, 0);
+  std::int64_t total_ok = 0;
+  std::int64_t total_other = 0;
+  const std::uint64_t max_generation = registry.generation();
+  for (auto& [tenant, future] : futures) {
+    ASSERT_TRUE(future.valid());
+    const serve::DiagnosisResult result = future.get();
+    if (result.ok()) {
+      ++ok_per_tenant[static_cast<std::size_t>(tenant)];
+      ++total_ok;
+      // Zero served from a corrupt or unseen artifact: a corrupt
+      // replacement never allocates a generation, so every ok result's
+      // stamp must be a generation the registry actually handed out.
+      EXPECT_GE(result.model_generation, 1u);
+      EXPECT_LE(result.model_generation, max_generation);
+      EXPECT_EQ(result.design, (*design_)->name());
+    } else {
+      EXPECT_TRUE(result.status == StatusCode::kQuotaExceeded ||
+                  result.status == StatusCode::kModelUnavailable)
+          << static_cast<int>(result.status) << ": "
+          << result.status_message;
+      ++total_other;
+    }
+  }
+  const std::int64_t total =
+      static_cast<std::int64_t>(futures.size());
+  EXPECT_EQ(total_ok + total_other, total);  // statuses partition the total
+
+  // Zero duplicated / zero dropped, per tenant: submitted == resolved.
+  std::int64_t submitted = 0;
+  for (std::int32_t t = 0; t < kNumTenants; ++t) {
+    const serve::Metrics& m = fleet.tenant_metrics(tenants[
+        static_cast<std::size_t>(t)]);
+    std::int64_t statuses = 0;
+    for (std::int32_t code = 0; code < serve::kNumStatusCodes; ++code) {
+      statuses += m.status_count(static_cast<StatusCode>(code));
+    }
+    EXPECT_EQ(statuses, m.requests_submitted.load());
+    EXPECT_EQ(m.status_count(StatusCode::kOk),
+              ok_per_tenant[static_cast<std::size_t>(t)]);
+    submitted += m.requests_submitted.load();
+  }
+  EXPECT_EQ(submitted, total);
+
+  // The chaos actually happened: hot reloads, rejected corrupt reloads,
+  // and byte-watermark evictions all fired while traffic was in flight.
+  EXPECT_GE(registry.reloads(), 2 * kNumTenants);
+  EXPECT_GE(registry.reload_failures(), kNumTenants);
+  EXPECT_GE(registry.evictions(), 1);
+  EXPECT_EQ(registry.generation(),
+            static_cast<std::uint64_t>(registry.loads() + registry.reloads()));
+
+  // Post-quiesce probe: publish a final valid artifact, and the next
+  // result must carry the *current* generation — no request is served by
+  // a retired epoch once a newer generation is visible.
+  for (std::int32_t t = 0; t < kNumTenants; ++t) {
+    // The stamp after the tail is variant 2 for every tenant; variants 0
+    // and 1 are size-different for sure, so this always hot-reloads.
+    publish(t, artifact(t % 2, /*corrupt=*/false));
+    const serve::DiagnosisResult result =
+        fleet.diagnose(tenants[static_cast<std::size_t>(t)], (*logs_)[2]);
+    ASSERT_TRUE(result.ok()) << result.status_message;
+    EXPECT_EQ(result.model_generation,
+              fleet.tenant_generation(tenants[static_cast<std::size_t>(t)]));
+    EXPECT_GT(result.model_generation, max_generation);
+    EXPECT_EQ(fleet.tenant_retired_epochs(tenants[
+                  static_cast<std::size_t>(t)]),
+              0u);
+  }
+
+  fleet.shutdown();
+  EXPECT_THROW(fleet.submit(tenants[0], (*logs_)[0]), Error);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace m3dfl

@@ -1,0 +1,259 @@
+// serve::FleetService: tenant routing, deterministic quota shedding, epoch
+// swap on hot reload (no stale-generation results), corrupt-replacement
+// survival, and model-unavailable recovery.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "registry/registry.h"
+#include "serve/fleet.h"
+#include "util/artifact.h"
+#include "util/atomic_file.h"
+#include "util/error.h"
+
+namespace m3dfl {
+namespace {
+
+namespace fs = std::filesystem;
+using registry::ModelRegistry;
+using serve::FleetService;
+using serve::StatusCode;
+using serve::TenantOptions;
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    design_ = new std::shared_ptr<const Design>(
+        Design::build(Profile::kAes, DesignConfig::kSyn1));
+    TransferTrainOptions train;
+    train.samples_syn1 = 12;
+    train.samples_per_random = 6;
+    const LabeledDataset data =
+        build_transfer_training_set(Profile::kAes, **design_, train);
+    FrameworkOptions options;
+    options.training.epochs = 5;
+    DiagnosisFramework framework(options);
+    framework.train(data.graphs);
+    std::ostringstream os;
+    framework.save(os);
+    artifact_ = new std::string(os.str());
+
+    DataGenOptions gen;
+    gen.num_samples = 6;
+    gen.miv_fault_prob = 0.3;
+    gen.seed = 0xF1EE7;
+    logs_ = new std::vector<FailureLog>();
+    for (const Sample& s : generate_samples((*design_)->context(), gen)) {
+      logs_->push_back(s.log);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete logs_;
+    delete artifact_;
+    delete design_;
+    logs_ = nullptr;
+    artifact_ = nullptr;
+    design_ = nullptr;
+  }
+
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("m3dfl_fleet_test_" + std::string(::testing::UnitTest::GetInstance()
+                                                  ->current_test_info()
+                                                  ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void publish(const std::string& model, std::int32_t version,
+               const std::string& bytes) const {
+    write_file_atomic(
+        (dir_ / ModelRegistry::artifact_filename(model, version)).string(),
+        bytes);
+  }
+
+  // Same trick as registry_test: a valid replacement whose file size differs
+  // (longer tp_threshold hexfloat), so the registry's (size, mtime) freshness
+  // stamp always changes.
+  static std::string variant_artifact(double threshold) {
+    std::string payload = read_artifact(*artifact_, kFrameworkKind, "<test>");
+    const std::size_t at = payload.find("tp_threshold ");
+    const std::size_t eol = payload.find('\n', at);
+    std::ostringstream value;
+    value << std::hexfloat << threshold;
+    payload = payload.substr(0, at + 13) + value.str() + payload.substr(eol);
+    return artifact_to_string(kFrameworkKind, payload);
+  }
+
+  static std::shared_ptr<const Design>* design_;
+  static std::string* artifact_;
+  static std::vector<FailureLog>* logs_;
+  fs::path dir_;
+};
+
+std::shared_ptr<const Design>* FleetTest::design_ = nullptr;
+std::string* FleetTest::artifact_ = nullptr;
+std::vector<FailureLog>* FleetTest::logs_ = nullptr;
+
+TEST_F(FleetTest, RoutesTenantsToTheirOwnModels) {
+  publish("aes-a", 1, *artifact_);
+  publish("aes-b", 1, *artifact_);
+  ModelRegistry registry(dir_.string());
+  FleetService fleet(registry);
+
+  TenantOptions a = fleet.tenant_defaults();
+  a.model = "aes-a";
+  a.service.num_threads = 1;
+  TenantOptions b = a;
+  b.model = "aes-b";
+  const std::int32_t ta = fleet.add_tenant(*design_, a);
+  const std::int32_t tb = fleet.add_tenant(*design_, b);
+  ASSERT_EQ(fleet.num_tenants(), 2);
+  // Two distinct cold loads: tenants never share a generation.
+  EXPECT_EQ(fleet.tenant_generation(ta), 1u);
+  EXPECT_EQ(fleet.tenant_generation(tb), 2u);
+
+  const serve::DiagnosisResult ra = fleet.diagnose(ta, (*logs_)[0]);
+  const serve::DiagnosisResult rb = fleet.diagnose(tb, (*logs_)[1]);
+  ASSERT_TRUE(ra.ok()) << ra.status_message;
+  ASSERT_TRUE(rb.ok()) << rb.status_message;
+  EXPECT_EQ(ra.model_generation, fleet.tenant_generation(ta));
+  EXPECT_EQ(rb.model_generation, fleet.tenant_generation(tb));
+  EXPECT_EQ(fleet.tenant_metrics(ta).requests_submitted.load(), 1);
+  EXPECT_EQ(fleet.tenant_metrics(tb).requests_submitted.load(), 1);
+  EXPECT_THROW(fleet.submit(2, (*logs_)[0]), Error);  // unknown tenant
+}
+
+TEST_F(FleetTest, QuotaShedsDeterministically) {
+  publish("aes", 1, *artifact_);
+  ModelRegistry registry(dir_.string());
+  FleetService fleet(registry);
+
+  TenantOptions options = fleet.tenant_defaults();
+  options.model = "aes";
+  options.max_inflight = 1;
+  options.service.num_threads = 1;
+  options.service.start_paused = true;  // stage a queue deterministically
+  const std::int32_t tenant = fleet.add_tenant(*design_, options);
+
+  auto first = fleet.submit(tenant, (*logs_)[0]);  // occupies the quota
+  auto second = fleet.submit(tenant, (*logs_)[1]);
+  const serve::DiagnosisResult shed = second.get();  // resolved immediately
+  EXPECT_EQ(shed.status, StatusCode::kQuotaExceeded);
+  EXPECT_NE(shed.status_message.find("max_inflight"), std::string::npos);
+  EXPECT_EQ(fleet.quota_rejections(tenant), 1);
+
+  fleet.resume(tenant);
+  EXPECT_TRUE(first.get().ok());
+  fleet.drain();  // quota counts pending work, which trails the future
+  // Quota frees as requests resolve.
+  const serve::DiagnosisResult third = fleet.diagnose(tenant, (*logs_)[1]);
+  EXPECT_TRUE(third.ok()) << third.status_message;
+  EXPECT_EQ(fleet.quota_rejections(tenant), 1);
+  EXPECT_EQ(fleet.tenant_metrics(tenant).status_count(StatusCode::kOk), 2);
+}
+
+TEST_F(FleetTest, HotReloadSwapsEpochsWithoutStaleGenerations) {
+  publish("aes", 1, *artifact_);
+  ModelRegistry registry(dir_.string());
+  FleetService fleet(registry);
+  TenantOptions options = fleet.tenant_defaults();
+  options.model = "aes";
+  options.service.num_threads = 1;
+  const std::int32_t tenant = fleet.add_tenant(*design_, options);
+
+  const serve::DiagnosisResult before = fleet.diagnose(tenant, (*logs_)[0]);
+  ASSERT_TRUE(before.ok());
+  const std::uint64_t g1 = before.model_generation;
+  ASSERT_EQ(g1, 1u);
+
+  publish("aes", 1, variant_artifact(0.75));  // atomic replace
+  const serve::DiagnosisResult after = fleet.diagnose(tenant, (*logs_)[0]);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after.model_generation, g1);  // never a stale generation
+  EXPECT_EQ(after.model_generation, fleet.tenant_generation(tenant));
+  EXPECT_EQ(fleet.tenant_metrics(tenant).model_reloads.load(), 1);
+  EXPECT_EQ(registry.reloads(), 1);
+
+  // The epoch-spanning metrics kept counting across the swap.
+  EXPECT_EQ(fleet.tenant_metrics(tenant).status_count(StatusCode::kOk), 2);
+  // The retired epoch quiesced (drain in diagnose) and is reaped by the
+  // next refresh.
+  fleet.drain();
+  EXPECT_EQ(fleet.tenant_retired_epochs(tenant), 0u);
+}
+
+TEST_F(FleetTest, CorruptReplacementKeepsOldEpochServing) {
+  publish("aes", 1, *artifact_);
+  ModelRegistry registry(dir_.string());
+  FleetService fleet(registry);
+  TenantOptions options = fleet.tenant_defaults();
+  options.model = "aes";
+  options.service.num_threads = 1;
+  const std::int32_t tenant = fleet.add_tenant(*design_, options);
+  ASSERT_TRUE(fleet.diagnose(tenant, (*logs_)[0]).ok());
+
+  std::string bad = variant_artifact(0.75);
+  bad[bad.find("tp_threshold")] = 'T';  // payload flip; CRC now mismatches
+  publish("aes", 1, bad);
+
+  const serve::DiagnosisResult result = fleet.diagnose(tenant, (*logs_)[1]);
+  ASSERT_TRUE(result.ok()) << result.status_message;
+  EXPECT_EQ(result.model_generation, 1u);  // old epoch kept serving
+  EXPECT_GE(registry.reload_failures(), 1);
+  EXPECT_EQ(fleet.tenant_metrics(tenant).model_reloads.load(), 0);
+}
+
+TEST_F(FleetTest, UnpublishedModelShedsThenRecovers) {
+  ModelRegistry registry(dir_.string());
+  FleetService fleet(registry);
+  TenantOptions options = fleet.tenant_defaults();
+  options.model = "aes";
+  options.service.num_threads = 1;
+  const std::int32_t tenant = fleet.add_tenant(*design_, options);
+  EXPECT_EQ(fleet.tenant_generation(tenant), 0u);  // epoch-less
+
+  const serve::DiagnosisResult shed = fleet.diagnose(tenant, (*logs_)[0]);
+  EXPECT_EQ(shed.status, StatusCode::kModelUnavailable);
+
+  publish("aes", 1, *artifact_);  // trainer publishes; next submit recovers
+  const serve::DiagnosisResult ok = fleet.diagnose(tenant, (*logs_)[0]);
+  ASSERT_TRUE(ok.ok()) << ok.status_message;
+  EXPECT_EQ(ok.model_generation, 1u);
+  EXPECT_EQ(fleet.tenant_metrics(tenant).requests_submitted.load(), 2);
+}
+
+TEST_F(FleetTest, PinnedVersionIgnoresNewerPublishes) {
+  publish("aes", 1, *artifact_);
+  ModelRegistry registry(dir_.string());
+  FleetService fleet(registry);
+  TenantOptions pinned = fleet.tenant_defaults();
+  pinned.model = "aes";
+  pinned.version = 1;
+  pinned.service.num_threads = 1;
+  TenantOptions latest = pinned;
+  latest.version = ModelRegistry::kLatest;
+  const std::int32_t tp = fleet.add_tenant(*design_, pinned);
+  const std::int32_t tl = fleet.add_tenant(*design_, latest);
+
+  publish("aes", 2, variant_artifact(0.75));
+  // A *new version file* (vs an in-place replacement) enters the index via
+  // rescan; every subsequent submit then refreshes against it.
+  registry.rescan();
+  const serve::DiagnosisResult rp = fleet.diagnose(tp, (*logs_)[0]);
+  const serve::DiagnosisResult rl = fleet.diagnose(tl, (*logs_)[0]);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_EQ(rp.model_generation, 1u);          // stays on the pin
+  EXPECT_GT(rl.model_generation, 1u);          // latest followed v2
+  EXPECT_EQ(registry.acquire("aes")->version, 2);
+}
+
+}  // namespace
+}  // namespace m3dfl

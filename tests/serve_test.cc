@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <sstream>
@@ -179,6 +180,55 @@ TEST(DiagnosisCacheTest, KeyIsExactOverDesignAndLog) {
             serve::DiagnosisCache::make_key(1, log));
   EXPECT_NE(serve::DiagnosisCache::make_key(0, log),
             serve::DiagnosisCache::make_key(0, other));
+}
+
+// Epoch-style ownership under fire: writers churn a tiny cache far past its
+// capacity while every thread holds shared_ptrs from earlier lookups — an
+// eviction must never invalidate an entry an in-flight reader still holds,
+// and a hit must never surface another key's entry.  (Run under TSan by the
+// CI serve job; this is the cache half of the fleet reload-under-fire
+// harness in fleet_chaos_test.cc.)
+TEST(DiagnosisCacheTest, EvictionNeverInvalidatesInFlightReaders) {
+  serve::DiagnosisCache cache(4);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::atomic<int> mismatches{0};
+  // Entries each thread still holds after eviction: (expected id, entry).
+  std::vector<std::vector<
+      std::pair<int, std::shared_ptr<const serve::CachedDiagnosis>>>>
+      held(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int id = t * kPerThread + i;
+        auto entry = std::make_shared<serve::CachedDiagnosis>();
+        entry->backtrace.num_responses = id;  // identity tag
+        const std::string key = "log-" + std::to_string(id);
+        cache.insert(key, std::move(entry));
+        if (const auto hit = cache.lookup(key)) {
+          if (hit->backtrace.num_responses != id) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (i % 16 == 0) held[t].push_back({id, hit});
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(cache.size(), 4u);
+  // 1000 inserts through 4 slots: nearly everything held was evicted...
+  EXPECT_GE(cache.evictions(), static_cast<std::int64_t>(
+                                   kThreads * kPerThread - 8));
+  // ...yet every held entry is still alive and byte-for-byte intact.
+  for (int t = 0; t < kThreads; ++t) {
+    for (const auto& [id, entry] : held[t]) {
+      ASSERT_NE(entry, nullptr);
+      EXPECT_EQ(entry->backtrace.num_responses, id);
+    }
+  }
 }
 
 // ---- service tests ----------------------------------------------------------

@@ -19,6 +19,14 @@
 //                                                   (or manifest) of logs
 //                                                   through the concurrent
 //                                                   serving runtime
+//   m3dfl_tool fleet     <registry-dir> <manifest>  multi-tenant serving: route
+//                        [--threads=N]              manifest requests to per-
+//                        [--max-inflight=N]         design shards over a model
+//                        [--version=N]              registry (docs/REGISTRY.md)
+//                        [--max-resident-mb=N]
+//   m3dfl_tool migrate-artifact <in> <out>          legacy format-1 stream ->
+//                                                   checksummed format-2
+//                                                   registry artifact
 //
 // Profiles: aes | tate | netcard | leon3mp.  Configs: syn1|tpi|syn2|par.
 //
@@ -36,6 +44,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,10 +53,14 @@
 #include "core/experiment.h"
 #include "diag/log_io.h"
 #include "diag/noise.h"
+#include "gnn/serialize.h"
 #include "graph/backtrace.h"
 #include "lint/lint.h"
 #include "netlist/verilog_io.h"
+#include "registry/registry.h"
+#include "serve/fleet.h"
 #include "serve/service.h"
+#include "util/artifact.h"
 #include "util/atomic_file.h"
 #include "util/table.h"
 
@@ -557,6 +570,217 @@ int cmd_serve(const std::string& profile, const std::string& model_path,
   return num_failed == 0 ? 0 : 1;
 }
 
+// `m3dfl_tool migrate-artifact <in> <out>`: converts a legacy format-1
+// stream (bare "m3dfl-framework 1" or "m3dfl-model 1 <kind>") into the
+// checksummed format-2 container the model registry ingests.  A file that is
+// already a container is validated end-to-end (structure, CRC, payload
+// parse) and copied through.  Always writes atomically.
+int cmd_migrate_artifact(const std::string& in_path,
+                         const std::string& out_path) {
+  std::string bytes;
+  {
+    auto is = open_in(in_path);
+    bytes = slurp_stream(is);
+  }
+  if (is_artifact(bytes)) {
+    // Header: "m3dfl-artifact 2 <kind>".  Validate under the declared kind
+    // so a torn or bit-rotted container is rejected here, not at serve time.
+    const std::size_t eol = bytes.find('\n');
+    const std::string header = bytes.substr(0, eol);
+    const std::size_t kind_at = header.rfind(' ');
+    M3DFL_REQUIRE(kind_at != std::string::npos,
+                  "malformed artifact header in '" + in_path + "'");
+    const std::string kind = header.substr(kind_at + 1);
+    const std::string payload = read_artifact(bytes, kind, in_path);
+    std::istringstream ps(payload);
+    if (kind == kFrameworkKind) {
+      DiagnosisFramework framework;
+      framework.load(ps, in_path);
+    } else if (kind == kTierPredictorKind) {
+      read_tier_predictor_payload(ps, in_path);
+    } else if (kind == kMivPinpointerKind) {
+      // A bare pinpointer payload parses standalone; the prune classifier
+      // needs its host encoder, so only its container CRC is checked.
+      read_miv_pinpointer_payload(ps, in_path);
+    }
+    write_file_atomic(out_path, bytes);
+    std::cout << "'" << in_path << "' is already a format-"
+              << kArtifactVersion << " " << kind
+              << " artifact; validated and copied to " << out_path << "\n";
+    return 0;
+  }
+  std::istringstream is(bytes);
+  std::ostringstream os;
+  if (bytes.rfind("m3dfl-framework", 0) == 0) {
+    DiagnosisFramework framework;
+    framework.load(is, in_path);  // legacy shim accepts the bare stream
+    framework.save(os);           // save() always writes format-2
+    write_file_atomic(out_path, os.str());
+    std::cout << "migrated legacy framework stream to format-"
+              << kArtifactVersion << " container: " << out_path << "\n";
+    return 0;
+  }
+  if (bytes.rfind("m3dfl-model", 0) == 0) {
+    // "m3dfl-model 1 <kind>"
+    const std::size_t eol = bytes.find('\n');
+    const std::string header = bytes.substr(0, eol);
+    const std::size_t kind_at = header.rfind(' ');
+    const std::string kind =
+        kind_at == std::string::npos ? "" : header.substr(kind_at + 1);
+    if (kind == kTierPredictorKind) {
+      save_model(os, read_tier_predictor_payload(is, in_path));
+    } else if (kind == kMivPinpointerKind) {
+      save_model(os, read_miv_pinpointer_payload(is, in_path));
+    } else if (kind == kPruneClassifierKind) {
+      throw Error("a bare prune-classifier stream cannot be migrated "
+                  "standalone (it needs its host encoder); migrate the "
+                  "enclosing framework artifact instead");
+    } else {
+      throw Error("unknown legacy model kind '" + kind + "' in '" + in_path +
+                  "'");
+    }
+    write_file_atomic(out_path, os.str());
+    std::cout << "migrated legacy " << kind << " stream to format-"
+              << kArtifactVersion << " container: " << out_path << "\n";
+    return 0;
+  }
+  throw Error("'" + in_path +
+              "' is neither a format-2 artifact nor a recognized legacy "
+              "stream (expected m3dfl-framework or m3dfl-model magic)");
+}
+
+// Flags accepted by `fleet`.
+struct FleetFlags {
+  std::int32_t threads = 2;        // worker threads per tenant shard
+  std::uint64_t max_inflight = 0;  // per-tenant quota; 0 = unlimited
+  std::int32_t version = registry::ModelRegistry::kLatest;
+  std::size_t max_resident_mb = 0;  // registry eviction watermark
+};
+
+FleetFlags parse_fleet_flags(const std::vector<std::string>& flags) {
+  FleetFlags parsed;
+  for (const std::string& flag : flags) {
+    const auto eq = flag.find('=');
+    const std::string key = flag.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : flag.substr(eq + 1);
+    try {
+      if (key == "--threads") {
+        parsed.threads = std::stoi(value);
+      } else if (key == "--max-inflight") {
+        parsed.max_inflight = std::stoull(value);
+      } else if (key == "--version") {
+        parsed.version = std::stoi(value);
+      } else if (key == "--max-resident-mb") {
+        parsed.max_resident_mb = std::stoull(value);
+      } else {
+        throw Error("unknown fleet flag '" + flag + "'");
+      }
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      throw Error("bad value in fleet flag '" + flag + "'");
+    }
+  }
+  return parsed;
+}
+
+// `m3dfl_tool fleet <registry-dir> <manifest> [flags]`: multi-tenant batch
+// serving.  The manifest has one request per line:
+//
+//   <profile> <die.flog> [config]       # e.g.  aes logs/die1.flog syn1
+//
+// Each distinct (profile, config) becomes one fleet tenant; its registry
+// model name is the sanitized design name (e.g. "AES-Syn-1"), resolved
+// `latest` unless --version pins one.  Models must already be published in
+// the registry as <model>@<version>.m3dfl (train + migrate-artifact).
+int cmd_fleet(const std::string& registry_dir, const std::string& manifest,
+              const FleetFlags& flags) {
+  registry::RegistryOptions reg_options;
+  reg_options.max_resident_bytes = flags.max_resident_mb << 20;
+  registry::ModelRegistry registry(registry_dir, reg_options);
+
+  serve::FleetOptions fleet_options;
+  fleet_options.service_defaults.num_threads = flags.threads;
+  serve::FleetService fleet(registry, fleet_options);
+
+  // tenant key "<profile>/<config>" -> tenant id
+  std::map<std::string, std::int32_t> tenants;
+  struct Slot {
+    std::string log_name;
+    std::int32_t tenant_id = 0;
+  };
+  std::vector<Slot> slots;
+  std::vector<std::future<serve::DiagnosisResult>> futures;
+
+  auto is = open_in(manifest);
+  const std::filesystem::path base =
+      std::filesystem::path(manifest).parent_path();
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string profile, log_path, config;
+    ls >> profile >> log_path >> config;
+    M3DFL_REQUIRE(!log_path.empty(),
+                  "fleet manifest line needs '<profile> <log.flog> "
+                  "[config]': '" + line + "'");
+    if (config.empty()) config = "syn1";
+    const std::string key = profile + "/" + config;
+    auto it = tenants.find(key);
+    if (it == tenants.end()) {
+      std::shared_ptr<const Design> design =
+          Design::build(parse_profile(profile), parse_config(config));
+      serve::TenantOptions tenant = fleet.tenant_defaults();
+      tenant.model = registry::sanitize_model_name(design->name());
+      tenant.version = flags.version;
+      tenant.max_inflight = flags.max_inflight;
+      const std::string model = tenant.model;
+      const std::int32_t id =
+          fleet.add_tenant(std::move(design), std::move(tenant));
+      it = tenants.emplace(key, id).first;
+      std::cerr << "tenant " << id << ": " << key << " -> model '" << model
+                << "'\n";
+    }
+    std::filesystem::path p(log_path);
+    if (!p.is_absolute()) p = base / p;
+    Slot slot;
+    slot.log_name = p.filename().string();
+    slot.tenant_id = it->second;
+    try {
+      auto log_is = open_in(p.string());
+      futures.push_back(fleet.submit(it->second, read_failure_log(log_is)));
+    } catch (const Error& e) {
+      std::promise<serve::DiagnosisResult> failed;
+      serve::DiagnosisResult result;
+      result.status = serve::StatusCode::kInvalidInput;
+      result.status_message = e.what();
+      failed.set_value(std::move(result));
+      futures.push_back(failed.get_future());
+    }
+    slots.push_back(std::move(slot));
+  }
+  M3DFL_REQUIRE(!slots.empty(), "fleet manifest '" + manifest +
+                                    "' contains no requests");
+
+  std::size_t num_ok = 0;
+  TablePrinter table({"tenant", "log", "status", "gen", "ms"});
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::DiagnosisResult result = futures[i].get();
+    num_ok += result.ok() ? 1 : 0;
+    table.add_row({std::to_string(slots[i].tenant_id), slots[i].log_name,
+                   serve::status_name(result.status),
+                   std::to_string(result.model_generation),
+                   TablePrinter::fmt(result.total_seconds * 1e3, 2)});
+  }
+  fleet.shutdown();
+  table.print();
+  std::cout << "\n" << fleet.report();
+  std::cout << "==== " << num_ok << " ok of " << futures.size()
+            << " requests across " << tenants.size() << " tenant(s) ====\n";
+  return num_ok == futures.size() ? 0 : 1;
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  m3dfl_tool generate <profile> <out.mnl>\n"
@@ -582,7 +806,12 @@ int usage() {
                "  m3dfl_tool serve    <profile> <model.m3dfl> "
                "<logdir|manifest> [config] [threads]\n"
                "                      [--deadline-ms=N] [--max-retries=N] "
-               "[--no-degraded]\n";
+               "[--no-degraded]\n"
+               "  m3dfl_tool fleet    <registry-dir> <manifest>\n"
+               "                      [--threads=N] [--max-inflight=N] "
+               "[--version=N]\n"
+               "                      [--max-resident-mb=N]\n"
+               "  m3dfl_tool migrate-artifact <in> <out>\n";
   return 2;
 }
 
@@ -627,9 +856,16 @@ int main(int argc, char** argv) {
                              positional.size() == 5 ? positional[4] : "syn1",
                              parse_noise_flags(flags));
     }
+    if (cmd == "fleet" && positional.size() == 3) {
+      return cmd_fleet(positional[1], positional[2],
+                       parse_fleet_flags(flags));
+    }
     if (!flags.empty()) {
       throw Error("flags are only accepted by the 'serve', 'train', 'lint', "
-                  "'diagnose', and 'perturb-log' commands");
+                  "'diagnose', 'perturb-log', and 'fleet' commands");
+    }
+    if (cmd == "migrate-artifact" && positional.size() == 3) {
+      return cmd_migrate_artifact(positional[1], positional[2]);
     }
     const std::size_t n = positional.size();
     if (cmd == "generate" && n == 3) {
