@@ -12,77 +12,13 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "atpg/tdf_atpg.h"
 #include "diag/atpg_diagnosis.h"
-#include "diag/datagen.h"
 #include "diag/noise.h"
-#include "dft/compactor.h"
-#include "dft/scan.h"
 #include "graph/backtrace.h"
-#include "graph/hetero_graph.h"
-#include "m3d/miv.h"
-#include "m3d/partition.h"
-#include "netlist/generator.h"
-#include "sim/simulator.h"
+#include "util/bench_json.h"
 
 namespace m3dfl::bench {
 namespace {
-
-// A self-contained generated scan design (tiers, MIVs, scan, compactor,
-// patterns, good-machine simulation) at a configurable size.
-struct BenchDesign {
-  std::string name;
-  Netlist netlist;
-  TierAssignment tiers;
-  MivMap mivs;
-  ScanChains scan;
-  XorCompactor compactor;
-  AtpgResult atpg;
-  LocSimulator sim;
-  HeteroGraph graph;
-
-  BenchDesign(std::string label, std::int32_t num_gates, std::uint64_t seed)
-      : name(std::move(label)),
-        netlist([&] {
-          GeneratorConfig config;
-          config.name = name;
-          config.num_gates = num_gates;
-          config.num_pis = 12;
-          config.num_pos = 10;
-          config.num_flops = 32;
-          config.target_depth = 10;
-          config.seed = seed;
-          return generate_netlist(config);
-        }()),
-        tiers(partition_tiers(netlist, {})),
-        mivs(netlist, tiers),
-        scan(netlist, 8, seed ^ 0x5CA4),
-        compactor(scan, 4),
-        atpg([&] {
-          AtpgOptions opt;
-          opt.max_patterns = 96;
-          opt.seed = seed ^ 0xA7B6;
-          return generate_tdf_patterns(netlist, opt);
-        }()),
-        sim(netlist),
-        graph([&] {
-          sim.run(atpg.patterns);
-          return HeteroGraph(netlist, tiers, mivs);
-        }()) {}
-
-  DesignContext context() const {
-    DesignContext ctx;
-    ctx.netlist = &netlist;
-    ctx.tiers = &tiers;
-    ctx.mivs = &mivs;
-    ctx.scan = &scan;
-    ctx.compactor = &compactor;
-    ctx.patterns = &atpg.patterns;
-    ctx.good = &sim;
-    ctx.fail_memory_patterns = 0;
-    return ctx;
-  }
-};
 
 struct Cell {
   std::int32_t evaluated = 0;
@@ -137,16 +73,38 @@ std::string ratio(std::int32_t hits, std::int32_t total) {
   return pct(static_cast<double>(hits) / total);
 }
 
-void run() {
+// Appends one JSON row per (design, noise kind, rate) cell.
+void add_json_row(BenchJson& json, const std::string& design, NoiseKind kind,
+                  double rate, const Cell& cell) {
+  JsonObject& row = json.add_row();
+  row.set("design", design);
+  row.set("noise", std::string(noise_kind_name(kind)));
+  row.set("rate", rate);
+  row.set("evaluated", cell.evaluated);
+  row.set("emptied", cell.emptied);
+  const std::int32_t n = std::max(1, cell.evaluated);
+  row.set("diag_hit_rate", static_cast<double>(cell.diag_hits) / n);
+  row.set("site_kept_rate", static_cast<double>(cell.site_kept) / n);
+  row.set("flagged_rate", static_cast<double>(cell.flagged) / n);
+  row.set("quarantined_per_log", static_cast<double>(cell.quarantined) / n);
+}
+
+void run(bool smoke) {
   print_banner("Noise robustness: localization vs tester-noise rate");
-  const std::vector<BenchDesign> designs = [] {
+  const std::vector<BenchDesign> designs = [&] {
     std::vector<BenchDesign> d;
     d.reserve(2);
     d.emplace_back("gen-300", 300, 5);
-    d.emplace_back("gen-600", 600, 11);
+    if (!smoke) d.emplace_back("gen-600", 600, 11);
     return d;
   }();
-  const double rates[] = {0.05, 0.15, 0.30};
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.15} : std::vector<double>{0.05, 0.15, 0.30};
+  const std::int32_t num_samples = smoke ? 8 : 25;
+
+  BenchJson json("noise_robustness");
+  json.meta("smoke", smoke);
+  json.meta("samples_per_design", num_samples);
 
   TablePrinter table({"Design", "Noise", "Rate", "Diag hit", "Site kept",
                       "Flagged noisy", "Quar./log", "Logs"});
@@ -155,13 +113,14 @@ void run() {
     if (!first) table.add_separator();
     first = false;
     DataGenOptions gen;
-    gen.num_samples = 25;
+    gen.num_samples = num_samples;
     gen.max_failing_patterns = 0;
     gen.seed = 0x5EED;
     const std::vector<Sample> samples =
         generate_samples(design.context(), gen);
 
     const Cell base = evaluate(design, samples, NoiseKind::kNone, 0.0);
+    add_json_row(json, design.name, NoiseKind::kNone, 0.0, base);
     table.add_row({design.name, "none", "0.00",
                    ratio(base.diag_hits, base.evaluated),
                    ratio(base.site_kept, base.evaluated),
@@ -173,6 +132,7 @@ void run() {
       if (kind == NoiseKind::kNone) continue;
       for (double rate : rates) {
         const Cell cell = evaluate(design, samples, kind, rate);
+        add_json_row(json, design.name, kind, rate, cell);
         table.add_row({design.name, noise_kind_name(kind), fmt2(rate),
                        ratio(cell.diag_hits, cell.evaluated),
                        ratio(cell.site_kept, cell.evaluated),
@@ -193,12 +153,18 @@ void run() {
                "noisy': the result carries the noisy-log bit (relaxed "
                "intersection or quarantined responses).  '(-n)' logs were "
                "emptied outright by the noise and skipped.\n";
+  json.write("BENCH_noise_robustness.json");
+  std::cout << "wrote BENCH_noise_robustness.json\n";
 }
 
 }  // namespace
 }  // namespace m3dfl::bench
 
-int main() {
-  m3dfl::bench::run();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  m3dfl::bench::run(smoke);
   return 0;
 }

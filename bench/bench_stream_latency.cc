@@ -1,0 +1,202 @@
+// Stream latency: first-answer and stable-answer latency versus log length.
+//
+// For each generated design, every sample's failure log is replayed twice:
+// once through the batch back-trace (which needs the complete log before it
+// produces anything, so its answer latency is the full-log cost) and once
+// record-by-record through diag::StreamingBacktrace, recording when the
+// first snapshot lands and when the candidate set turns stable (the
+// early-exit point a live session would stop at).  Rows are per sample so
+// the latency-vs-log-length shape is visible: batch cost grows with record
+// count while the streaming first answer is a single cone trace.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "diag/log_io.h"
+#include "diag/stream_backtrace.h"
+#include "graph/backtrace.h"
+#include "util/bench_json.h"
+
+namespace m3dfl::bench {
+namespace {
+
+using BenchClock = std::chrono::steady_clock;
+
+double ms_since(BenchClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(BenchClock::now() - t0)
+      .count();
+}
+
+// The sample's log as the record sequence a tester feed would carry
+// (canonical serialization order; diagnosis is order-independent).
+std::vector<StreamRecord> to_records(const FailureLog& log) {
+  std::vector<StreamRecord> recs;
+  StreamRecord mode;
+  mode.kind = StreamRecord::Kind::kMode;
+  mode.compacted = log.compacted;
+  recs.push_back(mode);
+  if (log.pattern_limit > 0) {
+    StreamRecord limit;
+    limit.kind = StreamRecord::Kind::kLimit;
+    limit.pattern_limit = log.pattern_limit;
+    recs.push_back(limit);
+  }
+  for (const Observation& o : log.scan_fails) {
+    StreamRecord r;
+    r.kind = StreamRecord::Kind::kScan;
+    r.observation = o;
+    recs.push_back(r);
+  }
+  for (const ChannelFail& c : log.channel_fails) {
+    StreamRecord r;
+    r.kind = StreamRecord::Kind::kChan;
+    r.channel = c;
+    recs.push_back(r);
+  }
+  for (const Observation& o : log.po_fails) {
+    StreamRecord r;
+    r.kind = StreamRecord::Kind::kPo;
+    r.observation = o;
+    recs.push_back(r);
+  }
+  StreamRecord end;
+  end.kind = StreamRecord::Kind::kEnd;
+  recs.push_back(end);
+  return recs;
+}
+
+struct StreamTiming {
+  double first_ms = 0.0;   // first accepted response scored
+  double stable_ms = 0.0;  // candidate set stable (= full feed if never)
+  double total_ms = 0.0;   // full feed consumed + finalize()
+  std::int32_t early_exit_at = -1;
+  bool stable = false;
+};
+
+StreamTiming time_stream(const BenchDesign& design, const DesignContext& ctx,
+                         const std::vector<StreamRecord>& recs,
+                         const StreamingOptions& opt) {
+  StreamTiming t;
+  const BenchClock::time_point t0 = BenchClock::now();
+  StreamingBacktrace stream(design.graph, ctx, opt);
+  double first = -1.0;
+  double stable = -1.0;
+  for (const StreamRecord& r : recs) {
+    if (stream.add(r) != StreamAccept::kAccepted) continue;
+    if (first < 0.0) first = ms_since(t0);
+    if (stable < 0.0 && stream.snapshot().stable) stable = ms_since(t0);
+  }
+  const BacktraceResult final_result = stream.finalize();
+  (void)final_result;
+  t.total_ms = ms_since(t0);
+  t.first_ms = first < 0.0 ? t.total_ms : first;
+  t.stable_ms = stable < 0.0 ? t.total_ms : stable;
+  t.early_exit_at = stream.snapshot().early_exit_at;
+  t.stable = stable >= 0.0;
+  return t;
+}
+
+void run(bool smoke) {
+  print_banner("Stream latency: first/stable answer vs log length");
+  const std::vector<BenchDesign> designs = [&] {
+    std::vector<BenchDesign> d;
+    d.reserve(2);
+    d.emplace_back("gen-300", 300, 5);
+    if (!smoke) d.emplace_back("gen-600", 600, 11);
+    return d;
+  }();
+  const std::int32_t num_samples = smoke ? 6 : 20;
+  const int repeats = smoke ? 1 : 5;
+
+  StreamingOptions stream_opt;
+  // A trained framework's T_P sits near the paper's operating point; the
+  // bench pins it so the early-exit cut does not depend on a checkpoint.
+  stream_opt.tp_threshold = 0.7;
+
+  BenchJson json("stream_latency");
+  json.meta("smoke", smoke);
+  json.meta("samples_per_design", num_samples);
+  json.meta("repeats", repeats);
+  json.meta("tp_threshold", stream_opt.tp_threshold);
+  json.meta("stability_window", stream_opt.stability_window);
+
+  TablePrinter table({"Design", "Records", "Batch ms", "First ms",
+                      "Stable ms", "Full-stream ms", "Early exit"});
+  bool first_design = true;
+  for (const BenchDesign& design : designs) {
+    if (!first_design) table.add_separator();
+    first_design = false;
+    const DesignContext ctx = design.context();
+    DataGenOptions gen;
+    gen.num_samples = num_samples;
+    gen.max_failing_patterns = 0;
+    gen.seed = 0x57A7;
+    std::vector<Sample> samples = generate_samples(ctx, gen);
+    // Row order = log length, so the sweep reads as a latency curve.
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample& a, const Sample& b) {
+                return a.log.num_failing_bits() < b.log.num_failing_bits();
+              });
+
+    for (const Sample& sample : samples) {
+      if (sample.log.empty()) continue;
+      const std::vector<StreamRecord> recs = to_records(sample.log);
+      const std::int64_t records = sample.log.num_failing_bits();
+
+      double batch_ms = -1.0;
+      StreamTiming best;
+      for (int rep = 0; rep < repeats; ++rep) {
+        const BenchClock::time_point t0 = BenchClock::now();
+        const BacktraceResult batch =
+            backtrace_with_support(design.graph, ctx, sample.log);
+        (void)batch;
+        const double b = ms_since(t0);
+        if (batch_ms < 0.0 || b < batch_ms) batch_ms = b;
+        const StreamTiming t = time_stream(design, ctx, recs, stream_opt);
+        if (rep == 0 || t.stable_ms < best.stable_ms) best = t;
+      }
+
+      JsonObject& row = json.add_row();
+      row.set("design", design.name);
+      row.set("records", records);
+      row.set("batch_ms", batch_ms);
+      row.set("stream_first_ms", best.first_ms);
+      row.set("stream_stable_ms", best.stable_ms);
+      row.set("stream_total_ms", best.total_ms);
+      row.set("early_exit_at", best.early_exit_at);
+      row.set("stable", best.stable);
+
+      table.add_row(
+          {design.name, std::to_string(records), fmt2(batch_ms),
+           fmt2(best.first_ms), fmt2(best.stable_ms), fmt2(best.total_ms),
+           best.early_exit_at >= 0
+               ? std::to_string(best.early_exit_at) + "/" +
+                     std::to_string(records)
+               : "-"});
+    }
+  }
+  table.print();
+  std::cout << "\n'Batch ms': backtrace_with_support over the complete log "
+               "(nothing is available earlier).  'First ms': streaming "
+               "latency to the first scored snapshot.  'Stable ms': latency "
+               "until the candidate set turns stable (the early-exit point; "
+               "= full stream when it never stabilizes).  'Early exit': "
+               "accepted responses consumed at stability / total records.\n";
+  json.write("BENCH_stream_latency.json");
+  std::cout << "wrote BENCH_stream_latency.json\n";
+}
+
+}  // namespace
+}  // namespace m3dfl::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  m3dfl::bench::run(smoke);
+  return 0;
+}

@@ -69,6 +69,64 @@ void require_nonnegative(int line_no, const char* what, std::int32_t value) {
 
 }  // namespace
 
+StreamRecord parse_stream_record(const std::string& line, int line_no) {
+  StreamRecord record;
+  std::string body = line;
+  const auto hash = body.find('#');
+  if (hash != std::string::npos) body.resize(hash);
+  std::istringstream ls(body);
+  std::string kind;
+  if (!(ls >> kind)) return record;  // blank / comment-only line
+  if (kind == "end") {
+    record.kind = StreamRecord::Kind::kEnd;
+    return record;
+  }
+  if (kind == "mode") {
+    std::string mode;
+    ls >> mode;
+    if (mode != "bypass" && mode != "compacted") {
+      parse_fail(line_no, "bad mode '" + mode + "'");
+    }
+    record.kind = StreamRecord::Kind::kMode;
+    record.compacted = mode == "compacted";
+    return record;
+  }
+  if (kind == "limit") {
+    record.kind = StreamRecord::Kind::kLimit;
+    read_fields(ls, line_no, "limit", {&record.pattern_limit});
+    require_nonnegative(line_no, "pattern limit", record.pattern_limit);
+    return record;
+  }
+  if (kind == "scan") {
+    record.kind = StreamRecord::Kind::kScan;
+    read_fields(ls, line_no, "scan",
+                {&record.observation.pattern, &record.observation.index});
+    require_nonnegative(line_no, "scan pattern", record.observation.pattern);
+    require_nonnegative(line_no, "scan flop index", record.observation.index);
+    return record;
+  }
+  if (kind == "chan") {
+    record.kind = StreamRecord::Kind::kChan;
+    read_fields(ls, line_no, "chan",
+                {&record.channel.pattern, &record.channel.channel,
+                 &record.channel.position});
+    require_nonnegative(line_no, "chan pattern", record.channel.pattern);
+    require_nonnegative(line_no, "chan channel", record.channel.channel);
+    require_nonnegative(line_no, "chan position", record.channel.position);
+    return record;
+  }
+  if (kind == "po") {
+    record.kind = StreamRecord::Kind::kPo;
+    record.observation.at_po = true;
+    read_fields(ls, line_no, "po",
+                {&record.observation.pattern, &record.observation.index});
+    require_nonnegative(line_no, "po pattern", record.observation.pattern);
+    require_nonnegative(line_no, "po output index", record.observation.index);
+    return record;
+  }
+  parse_fail(line_no, "unknown record '" + kind + "'");
+}
+
 FailureLog read_failure_log(std::istream& is) {
   std::string line;
   int line_no = 1;
@@ -76,6 +134,11 @@ FailureLog read_failure_log(std::istream& is) {
                 "failure log line 1: missing 'm3dfl-faillog 1' header");
   FailureLog log;
   bool saw_end = false;
+  // Whether the most recently read line ended at EOF with no trailing
+  // newline: a tail-follower's snapshot of a live feed ends that way, and —
+  // provided the line itself parsed as a well-formed record — is accepted
+  // without the 'end' trailer below.
+  bool last_line_unterminated = is.eof();
   // Duplicate observations would double-count tester evidence in the
   // candidate match scores downstream, so they are rejected here rather
   // than silently skewing the diagnosis.
@@ -84,74 +147,62 @@ FailureLog read_failure_log(std::istream& is) {
   std::set<std::pair<std::int32_t, std::int32_t>> seen_po;
   while (std::getline(is, line)) {
     ++line_no;
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    std::string kind;
-    if (!(ls >> kind)) continue;
-    if (kind == "end") {
+    last_line_unterminated = is.eof();
+    const StreamRecord record = parse_stream_record(line, line_no);
+    if (record.kind == StreamRecord::Kind::kEnd) {
       saw_end = true;
       break;
     }
-    if (kind == "mode") {
-      std::string mode;
-      ls >> mode;
-      if (mode != "bypass" && mode != "compacted") {
-        parse_fail(line_no, "bad mode '" + mode + "'");
+    switch (record.kind) {
+      case StreamRecord::Kind::kNone:
+        break;
+      case StreamRecord::Kind::kMode:
+        log.compacted = record.compacted;
+        break;
+      case StreamRecord::Kind::kLimit:
+        log.pattern_limit = record.pattern_limit;
+        break;
+      case StreamRecord::Kind::kScan: {
+        const Observation& o = record.observation;
+        if (!seen_scan.emplace(o.pattern, o.index).second) {
+          parse_fail(line_no, "duplicate scan observation (pattern " +
+                                  std::to_string(o.pattern) + ", flop " +
+                                  std::to_string(o.index) + ")");
+        }
+        log.scan_fails.push_back(o);
+        break;
       }
-      log.compacted = mode == "compacted";
-      continue;
-    }
-    if (kind == "limit") {
-      read_fields(ls, line_no, "limit", {&log.pattern_limit});
-      require_nonnegative(line_no, "pattern limit", log.pattern_limit);
-      continue;
-    }
-    if (kind == "scan") {
-      Observation o;
-      read_fields(ls, line_no, "scan", {&o.pattern, &o.index});
-      require_nonnegative(line_no, "scan pattern", o.pattern);
-      require_nonnegative(line_no, "scan flop index", o.index);
-      if (!seen_scan.emplace(o.pattern, o.index).second) {
-        parse_fail(line_no, "duplicate scan observation (pattern " +
-                                std::to_string(o.pattern) + ", flop " +
-                                std::to_string(o.index) + ")");
+      case StreamRecord::Kind::kChan: {
+        const ChannelFail& c = record.channel;
+        if (!seen_chan.emplace(c.pattern, c.channel, c.position).second) {
+          parse_fail(line_no, "duplicate chan observation (pattern " +
+                                  std::to_string(c.pattern) + ", channel " +
+                                  std::to_string(c.channel) + ", position " +
+                                  std::to_string(c.position) + ")");
+        }
+        log.channel_fails.push_back(c);
+        break;
       }
-      log.scan_fails.push_back(o);
-      continue;
-    }
-    if (kind == "chan") {
-      ChannelFail c;
-      read_fields(ls, line_no, "chan", {&c.pattern, &c.channel, &c.position});
-      require_nonnegative(line_no, "chan pattern", c.pattern);
-      require_nonnegative(line_no, "chan channel", c.channel);
-      require_nonnegative(line_no, "chan position", c.position);
-      if (!seen_chan.emplace(c.pattern, c.channel, c.position).second) {
-        parse_fail(line_no, "duplicate chan observation (pattern " +
-                                std::to_string(c.pattern) + ", channel " +
-                                std::to_string(c.channel) + ", position " +
-                                std::to_string(c.position) + ")");
+      case StreamRecord::Kind::kPo: {
+        const Observation& o = record.observation;
+        if (!seen_po.emplace(o.pattern, o.index).second) {
+          parse_fail(line_no, "duplicate po observation (pattern " +
+                                  std::to_string(o.pattern) + ", output " +
+                                  std::to_string(o.index) + ")");
+        }
+        log.po_fails.push_back(o);
+        break;
       }
-      log.channel_fails.push_back(c);
-      continue;
+      case StreamRecord::Kind::kEnd:
+        break;  // handled above
     }
-    if (kind == "po") {
-      Observation o;
-      o.at_po = true;
-      read_fields(ls, line_no, "po", {&o.pattern, &o.index});
-      require_nonnegative(line_no, "po pattern", o.pattern);
-      require_nonnegative(line_no, "po output index", o.index);
-      if (!seen_po.emplace(o.pattern, o.index).second) {
-        parse_fail(line_no, "duplicate po observation (pattern " +
-                                std::to_string(o.pattern) + ", output " +
-                                std::to_string(o.index) + ")");
-      }
-      log.po_fails.push_back(o);
-      continue;
-    }
-    parse_fail(line_no, "unknown record '" + kind + "'");
   }
-  M3DFL_REQUIRE(saw_end,
+  // A newline-terminated log without 'end' is a truncation: the writer
+  // completed its last line and then died mid-log.  An *unterminated* final
+  // line that nevertheless parsed cleanly is a live feed caught mid-append
+  // (tail-following), which must be accepted or no tail-follower could ever
+  // read a feed the tester is still writing.
+  M3DFL_REQUIRE(saw_end || last_line_unterminated,
                 "failure log: truncated (missing 'end' after line " +
                     std::to_string(line_no) + ")");
   M3DFL_REQUIRE(!log.compacted || log.scan_fails.empty(),

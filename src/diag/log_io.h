@@ -18,6 +18,14 @@
 // rejected with an m3dfl::Error citing the offending line — a malformed log
 // fails loudly at the boundary instead of propagating garbage into
 // back-trace (the serving layer maps these to kInvalidInput).
+//
+// One tail-following concession: a log whose final line is a *well-formed*
+// record but carries no trailing newline is accepted without the 'end'
+// trailer.  A live feed snapshotted mid-append ends exactly like that, and
+// rejecting it would make every tail-follower wait for a trailer the tester
+// has not written yet.  A newline-terminated log without 'end' is still a
+// truncation (the writer finished a line and then died), and a partial
+// final record still fails its own parse.
 #ifndef M3DFL_DIAG_LOG_IO_H_
 #define M3DFL_DIAG_LOG_IO_H_
 
@@ -34,6 +42,33 @@ std::string failure_log_to_string(const FailureLog& log);
 // Throws m3dfl::Error on malformed input.
 FailureLog read_failure_log(std::istream& is);
 FailureLog failure_log_from_string(const std::string& text);
+
+// One line of the faillog body, parsed for incremental consumption: the
+// serving session layer and `m3dfl_tool diagnose --stream` read live tester
+// feeds record-by-record instead of waiting for the complete log.  Same
+// grammar and same line-cited diagnostics as read_failure_log; duplicate and
+// ordering policy is the *caller's* (a batch reader rejects duplicates over
+// the whole log, a session rejects them against its accumulated state).
+struct StreamRecord {
+  enum class Kind {
+    kNone,   // blank line or comment
+    kMode,   // "mode bypass|compacted"
+    kLimit,  // "limit N"
+    kScan,   // "scan <pattern> <flop_index>"
+    kChan,   // "chan <pattern> <channel> <position>"
+    kPo,     // "po <pattern> <po_index>"
+    kEnd,    // "end" trailer
+  };
+  Kind kind = Kind::kNone;
+  bool compacted = false;          // kMode
+  std::int32_t pattern_limit = 0;  // kLimit
+  Observation observation;         // kScan / kPo (at_po set for kPo)
+  ChannelFail channel;             // kChan
+};
+
+// Parses one body line (anything after the "m3dfl-faillog 1" header).
+// Throws m3dfl::Error citing `line_no` on malformed input.
+StreamRecord parse_stream_record(const std::string& line, int line_no);
 
 }  // namespace m3dfl
 

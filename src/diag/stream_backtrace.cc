@@ -1,0 +1,274 @@
+#include "diag/stream_backtrace.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/thinning.h"
+
+namespace m3dfl {
+namespace {
+
+// In-place intersection of two sorted ascending vectors.
+void intersect_sorted(std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  std::size_t out = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      a[out++] = a[i];
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  a.resize(out);
+}
+
+}  // namespace
+
+StreamingBacktrace::StreamingBacktrace(const HeteroGraph& graph,
+                                       const DesignContext& design,
+                                       StreamingOptions options)
+    : graph_(&graph), design_(&design), options_(options) {
+  M3DFL_REQUIRE(design.good != nullptr, "design context missing simulation");
+  seen_.assign(static_cast<std::size_t>(graph.num_nodes()), 0);
+  // Empty-evidence confidence: nothing supports anything yet.
+  snapshot_.confidence =
+      calibrate_confidence(0.0, false, 0, -1.0, options_.tp_threshold);
+}
+
+const std::vector<NodeId>& StreamingBacktrace::cone(NodeId topnode) {
+  auto it = cone_cache_.find(topnode);
+  if (it != cone_cache_.end()) return it->second;
+  // Backward DFS over the full fan-in cone, pattern-independent — computed
+  // once per observation point and reused for every later response.
+  std::vector<NodeId> nodes;
+  ++stamp_;
+  seen_[static_cast<std::size_t>(topnode)] = stamp_;
+  stack_.push_back(topnode);
+  while (!stack_.empty()) {
+    const NodeId u = stack_.back();
+    stack_.pop_back();
+    nodes.push_back(u);
+    for (NodeId v : graph_->predecessors(u)) {
+      if (seen_[static_cast<std::size_t>(v)] != stamp_) {
+        seen_[static_cast<std::size_t>(v)] = stamp_;
+        stack_.push_back(v);
+      }
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return cone_cache_.emplace(topnode, std::move(nodes)).first->second;
+}
+
+std::vector<NodeId> StreamingBacktrace::suspects_for(
+    const std::vector<NodeId>& topnodes, std::int32_t pattern) {
+  // Resolve the cones first: cone() uses the shared stamp scratch, so the
+  // union pass below needs all of them materialized before taking a stamp
+  // of its own.  (unordered_map never moves elements, so the references
+  // stay valid across later insertions.)
+  std::vector<const std::vector<NodeId>*> cones;
+  cones.reserve(topnodes.size());
+  for (NodeId t : topnodes) cones.push_back(&cone(t));
+
+  const LocSimulator& good = *design_->good;
+  std::vector<NodeId> suspects;
+  if (cones.size() == 1) {
+    // Single cone is already sorted and duplicate-free.
+    for (NodeId u : *cones[0]) {
+      const NetId net = graph_->node_net(u);
+      if (net != kNullNet && good.has_transition(net, pattern)) {
+        suspects.push_back(u);
+      }
+    }
+    return suspects;
+  }
+  ++stamp_;
+  for (const std::vector<NodeId>* c : cones) {
+    for (NodeId u : *c) {
+      if (seen_[static_cast<std::size_t>(u)] == stamp_) continue;
+      seen_[static_cast<std::size_t>(u)] = stamp_;
+      const NetId net = graph_->node_net(u);
+      if (net != kNullNet && good.has_transition(net, pattern)) {
+        suspects.push_back(u);
+      }
+    }
+  }
+  std::sort(suspects.begin(), suspects.end());
+  return suspects;
+}
+
+StreamAccept StreamingBacktrace::add(const StreamRecord& record) {
+  switch (record.kind) {
+    case StreamRecord::Kind::kNone:
+      return StreamAccept::kMeta;
+    case StreamRecord::Kind::kEnd:
+      return StreamAccept::kEndOfStream;
+    case StreamRecord::Kind::kMode:
+      M3DFL_REQUIRE(!record.compacted || log_.scan_fails.empty(),
+                    "failure log: scan records in compacted mode");
+      log_.compacted = record.compacted;
+      return StreamAccept::kMeta;
+    case StreamRecord::Kind::kLimit:
+      log_.pattern_limit = record.pattern_limit;
+      return StreamAccept::kMeta;
+    case StreamRecord::Kind::kScan: {
+      const Observation& o = record.observation;
+      M3DFL_REQUIRE(!log_.compacted,
+                    "failure log: scan records in compacted mode");
+      if (!seen_scan_.emplace(o.pattern, o.index).second) {
+        return StreamAccept::kDuplicate;
+      }
+      log_.scan_fails.push_back(o);
+      scan_suspects_.push_back(
+          suspects_for({graph_->topnode_of_flop(o.index)}, o.pattern));
+      update(scan_suspects_.back());
+      return StreamAccept::kAccepted;
+    }
+    case StreamRecord::Kind::kChan: {
+      const ChannelFail& c = record.channel;
+      M3DFL_REQUIRE(design_->compactor != nullptr,
+                    "compacted log requires a compactor");
+      if (!seen_chan_.emplace(c.pattern, c.channel, c.position).second) {
+        return StreamAccept::kDuplicate;
+      }
+      std::vector<NodeId> topnodes;
+      for (std::int32_t flop : design_->compactor->cells_at(
+               *design_->scan, c.channel, c.position)) {
+        topnodes.push_back(graph_->topnode_of_flop(flop));
+      }
+      log_.channel_fails.push_back(c);
+      chan_suspects_.push_back(suspects_for(topnodes, c.pattern));
+      update(chan_suspects_.back());
+      return StreamAccept::kAccepted;
+    }
+    case StreamRecord::Kind::kPo: {
+      const Observation& o = record.observation;
+      if (!seen_po_.emplace(o.pattern, o.index).second) {
+        return StreamAccept::kDuplicate;
+      }
+      log_.po_fails.push_back(o);
+      po_suspects_.push_back(
+          suspects_for({graph_->topnode_of_po(o.index)}, o.pattern));
+      update(po_suspects_.back());
+      return StreamAccept::kAccepted;
+    }
+  }
+  return StreamAccept::kMeta;  // unreachable
+}
+
+std::vector<TracedResponse> StreamingBacktrace::canonical_responses(
+    std::vector<RecordKey>* keys) const {
+  std::vector<TracedResponse> responses;
+  responses.reserve(static_cast<std::size_t>(n_accepted_));
+  if (keys != nullptr) keys->reserve(static_cast<std::size_t>(n_accepted_));
+  std::int32_t index = 0;
+  for (std::size_t i = 0; i < log_.scan_fails.size(); ++i) {
+    responses.push_back(TracedResponse{log_.scan_fails[i].pattern, index++,
+                                       &scan_suspects_[i]});
+    if (keys != nullptr) keys->push_back(RecordKey{0, i});
+  }
+  for (std::size_t i = 0; i < log_.channel_fails.size(); ++i) {
+    responses.push_back(TracedResponse{log_.channel_fails[i].pattern, index++,
+                                       &chan_suspects_[i]});
+    if (keys != nullptr) keys->push_back(RecordKey{1, i});
+  }
+  for (std::size_t i = 0; i < log_.po_fails.size(); ++i) {
+    responses.push_back(
+        TracedResponse{log_.po_fails[i].pattern, index++, &po_suspects_[i]});
+    if (keys != nullptr) keys->push_back(RecordKey{2, i});
+  }
+  return responses;
+}
+
+void StreamingBacktrace::update(const std::vector<NodeId>& added_suspects) {
+  ++n_accepted_;
+  const bool within_cap =
+      n_accepted_ <= options_.backtrace.max_traced_responses;
+
+  // Monotone narrowing: while no thinning is in effect the strict
+  // intersection only shrinks, so one sorted-merge pass per response keeps
+  // it current.  Once it dies (or the cap engages) the shared decision
+  // layer takes over below.
+  if (within_cap) {
+    if (n_accepted_ == 1) {
+      intersection_ = added_suspects;
+    } else {
+      intersect_sorted(intersection_, added_suspects);
+    }
+  }
+
+  BacktraceResult result;
+  std::set<RecordKey> now_quarantined;
+  if (within_cap && !intersection_.empty()) {
+    // Exactly what select_backtrace_candidates emits when the strict
+    // intersection holds: the intersection with unit support, nothing
+    // relaxed, nothing quarantined.
+    result.num_responses = n_accepted_;
+    result.candidates = intersection_;
+    result.support.assign(intersection_.size(), 1.0);
+  } else {
+    std::vector<RecordKey> keys;
+    std::vector<TracedResponse> all = canonical_responses(&keys);
+    const std::vector<std::size_t> kept = uniform_stride_indices(
+        all.size(), options_.backtrace.max_traced_responses);
+    std::vector<TracedResponse> thinned;
+    thinned.reserve(kept.size());
+    for (std::size_t i : kept) thinned.push_back(all[i]);
+    std::vector<std::size_t> quarantined_positions;
+    result = select_backtrace_candidates(
+        thinned, static_cast<std::size_t>(graph_->num_nodes()),
+        options_.backtrace, &quarantined_positions);
+    for (std::size_t p : quarantined_positions) {
+      now_quarantined.insert(keys[kept[p]]);
+    }
+  }
+
+  // Online-quarantine churn: condemned = newly quarantined this update,
+  // rehabilitated = quarantined before but cleared by the new consensus.
+  for (const RecordKey& k : now_quarantined) {
+    if (quarantined_keys_.count(k) == 0) ++snapshot_.condemnations;
+  }
+  for (const RecordKey& k : quarantined_keys_) {
+    if (now_quarantined.count(k) == 0) ++snapshot_.rehabilitations;
+  }
+  quarantined_keys_ = std::move(now_quarantined);
+
+  if (result.candidates == snapshot_.backtrace.candidates &&
+      n_accepted_ > 1) {
+    ++same_candidates_streak_;
+  } else {
+    same_candidates_streak_ = 1;
+  }
+
+  snapshot_.confidence = calibrate_confidence(
+      result.min_support(), result.relaxed,
+      static_cast<std::int32_t>(result.quarantined.size()), -1.0,
+      options_.tp_threshold);
+  snapshot_.backtrace = std::move(result);
+  snapshot_.stable =
+      !snapshot_.backtrace.candidates.empty() &&
+      same_candidates_streak_ >= options_.stability_window &&
+      n_accepted_ >= options_.min_responses_for_stability &&
+      !snapshot_.confidence.low_confidence;
+  if (snapshot_.stable && snapshot_.early_exit_at < 0) {
+    snapshot_.early_exit_at = n_accepted_;
+  }
+}
+
+BacktraceResult StreamingBacktrace::finalize() const {
+  std::vector<TracedResponse> all = canonical_responses(nullptr);
+  const std::vector<std::size_t> kept = uniform_stride_indices(
+      all.size(), options_.backtrace.max_traced_responses);
+  std::vector<TracedResponse> thinned;
+  thinned.reserve(kept.size());
+  for (std::size_t i : kept) thinned.push_back(all[i]);
+  return select_backtrace_candidates(
+      thinned, static_cast<std::size_t>(graph_->num_nodes()),
+      options_.backtrace);
+}
+
+}  // namespace m3dfl

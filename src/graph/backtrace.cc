@@ -84,12 +84,12 @@ std::vector<NodeId> suspect_set(const HeteroGraph& graph,
 
 // In how many of the `kept` suspect sets each node appears.
 std::vector<std::int32_t> count_support(
-    const std::vector<std::vector<NodeId>>& suspects,
+    std::span<const TracedResponse> responses,
     const std::vector<char>& kept, std::size_t n_nodes) {
   std::vector<std::int32_t> count(n_nodes, 0);
-  for (std::size_t r = 0; r < suspects.size(); ++r) {
+  for (std::size_t r = 0; r < responses.size(); ++r) {
     if (!kept[r]) continue;
-    for (NodeId n : suspects[r]) ++count[static_cast<std::size_t>(n)];
+    for (NodeId n : *responses[r].suspects) ++count[static_cast<std::size_t>(n)];
   }
   return count;
 }
@@ -154,32 +154,17 @@ double BacktraceResult::min_support() const {
   return *std::min_element(support.begin(), support.end());
 }
 
-BacktraceResult backtrace_with_support(const HeteroGraph& graph,
-                                       const DesignContext& design,
-                                       const FailureLog& log,
-                                       const BacktraceOptions& options) {
-  M3DFL_REQUIRE(design.good != nullptr, "design context missing simulation");
-  M3DFL_REQUIRE(!log.compacted || design.compactor != nullptr,
-                "compacted log requires a compactor");
+BacktraceResult select_backtrace_candidates(
+    std::span<const TracedResponse> responses, std::size_t num_nodes,
+    const BacktraceOptions& options,
+    std::vector<std::size_t>* quarantined_positions) {
   BacktraceResult result;
-  if (log.empty()) return result;
-
-  std::vector<TopResponse> responses = collect(graph, design, log);
-  thin_uniform_stride(responses, options.max_traced_responses);
   const auto n_responses = static_cast<std::int32_t>(responses.size());
   result.num_responses = n_responses;
+  if (responses.empty()) return result;
 
-  TraceScratch scratch;
-  scratch.seen.assign(static_cast<std::size_t>(graph.num_nodes()), 0);
-  std::vector<std::vector<NodeId>> suspects;
-  suspects.reserve(responses.size());
-  for (const TopResponse& r : responses) {
-    suspects.push_back(suspect_set(graph, *design.good, r, scratch));
-  }
-
-  const auto n_nodes = static_cast<std::size_t>(graph.num_nodes());
   std::vector<char> kept(responses.size(), 1);
-  std::vector<std::int32_t> count = count_support(suspects, kept, n_nodes);
+  std::vector<std::int32_t> count = count_support(responses, kept, num_nodes);
 
   // Strict intersection across every response: the clean-log fast path,
   // bit-identical to the historical behaviour (with unit support).
@@ -206,15 +191,15 @@ BacktraceResult backtrace_with_support(const HeteroGraph& graph,
   if (strict_empty && best > 0 && options.quarantine_overlap > 0.0 &&
       n_responses >= options.min_responses_for_quarantine) {
     std::vector<NodeId> core;
-    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
-      if (count[static_cast<std::size_t>(n)] >= best) {
-        core.push_back(n);
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      if (count[n] >= best) {
+        core.push_back(static_cast<NodeId>(n));
       }
     }
     std::vector<std::size_t> outliers;
     std::vector<double> overlaps(responses.size(), 0.0);
     for (std::size_t r = 0; r < responses.size(); ++r) {
-      overlaps[r] = overlap_coefficient(suspects[r], core);
+      overlaps[r] = overlap_coefficient(*responses[r].suspects, core);
       if (overlaps[r] < options.quarantine_overlap) outliers.push_back(r);
     }
     const auto max_quarantined = std::max<std::size_t>(
@@ -230,8 +215,11 @@ BacktraceResult backtrace_with_support(const HeteroGraph& graph,
         kept[r] = 0;
         result.quarantined.push_back(QuarantinedResponse{
             responses[r].response_index, responses[r].pattern, overlaps[r]});
+        if (quarantined_positions != nullptr) {
+          quarantined_positions->push_back(r);
+        }
       }
-      count = count_support(suspects, kept, n_nodes);
+      count = count_support(responses, kept, num_nodes);
     }
   }
 
@@ -239,6 +227,37 @@ BacktraceResult backtrace_with_support(const HeteroGraph& graph,
       n_responses - static_cast<std::int32_t>(result.quarantined.size()));
   select_candidates(count, n_kept, options, result);
   return result;
+}
+
+BacktraceResult backtrace_with_support(const HeteroGraph& graph,
+                                       const DesignContext& design,
+                                       const FailureLog& log,
+                                       const BacktraceOptions& options) {
+  M3DFL_REQUIRE(design.good != nullptr, "design context missing simulation");
+  M3DFL_REQUIRE(!log.compacted || design.compactor != nullptr,
+                "compacted log requires a compactor");
+  BacktraceResult result;
+  if (log.empty()) return result;
+
+  std::vector<TopResponse> responses = collect(graph, design, log);
+  thin_uniform_stride(responses, options.max_traced_responses);
+
+  TraceScratch scratch;
+  scratch.seen.assign(static_cast<std::size_t>(graph.num_nodes()), 0);
+  std::vector<std::vector<NodeId>> suspects;
+  suspects.reserve(responses.size());
+  for (const TopResponse& r : responses) {
+    suspects.push_back(suspect_set(graph, *design.good, r, scratch));
+  }
+  std::vector<TracedResponse> traced;
+  traced.reserve(responses.size());
+  for (std::size_t r = 0; r < responses.size(); ++r) {
+    traced.push_back(TracedResponse{responses[r].pattern,
+                                    responses[r].response_index,
+                                    &suspects[r]});
+  }
+  return select_backtrace_candidates(
+      traced, static_cast<std::size_t>(graph.num_nodes()), options);
 }
 
 std::vector<NodeId> backtrace_candidates(const HeteroGraph& graph,

@@ -28,6 +28,7 @@
 #define M3DFL_GRAPH_BACKTRACE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "diag/datagen.h"
@@ -90,6 +91,28 @@ struct BacktraceResult {
   // Evidence was suspect: responses were quarantined or the relaxation ran.
   bool noisy() const { return relaxed || !quarantined.empty(); }
 };
+
+// One traced response after thinning: its failing pattern, its pre-thinning
+// position in canonical log order (scan_fails, then channel_fails, then
+// po_fails — cited by quarantine reports), and a view of its suspect set.
+struct TracedResponse {
+  std::int32_t pattern = 0;
+  std::int32_t response_index = 0;
+  const std::vector<NodeId>* suspects = nullptr;  // sorted ascending
+};
+
+// Candidate selection + outlier quarantine over already-extracted suspect
+// sets (post-thinning): strict intersection, then — when it is empty — the
+// quarantine detector and the majority relaxation / best-count fallback.
+// This is the entire decision layer of backtrace_with_support, shared with
+// diag::StreamingBacktrace so the batch and incremental paths can never
+// drift.  When `quarantined_positions` is non-null it receives the index
+// into `responses` of each quarantined entry (parallel to
+// result.quarantined).
+BacktraceResult select_backtrace_candidates(
+    std::span<const TracedResponse> responses, std::size_t num_nodes,
+    const BacktraceOptions& options,
+    std::vector<std::size_t>* quarantined_positions = nullptr);
 
 // Full back-trace: candidates + support + quarantine.
 BacktraceResult backtrace_with_support(const HeteroGraph& graph,

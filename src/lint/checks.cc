@@ -129,7 +129,7 @@ constexpr std::array<CheckInfo, 32> kCatalog = {{
 
 // Checks that did not fit in the primary table (std::array needs the exact
 // count; keeping two tables avoids miscounting churn as the catalog grows).
-constexpr std::array<CheckInfo, 3> kCatalogTail = {{
+constexpr std::array<CheckInfo, 4> kCatalogTail = {{
     {"log-store-truncated", ArtifactKind::kFailureLog, Severity::kWarn,
      "per-pattern failing-bit counts sit exactly at a common cap; the log "
      "looks clipped by the tester's fail-store depth",
@@ -143,6 +143,12 @@ constexpr std::array<CheckInfo, 3> kCatalogTail = {{
      "design has no MIVs for the MIV-pinpointer head to classify",
      "check the tier assignment; an M3D design without MIVs defeats the "
      "MIV diagnosis path"},
+    {"log-out-of-order", ArtifactKind::kFailureLog, Severity::kWarn,
+     "pattern indices regress within a record kind; testers emit failing "
+     "patterns monotonically, so the log was reordered or stitched",
+     "diagnosis is order-independent so the result stands, but a streaming "
+     "session would have rejected these records (serve/session.h); check "
+     "the feed path that produced the log"},
 }};
 
 }  // namespace

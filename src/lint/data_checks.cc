@@ -208,6 +208,35 @@ void check_log_store_truncation(const FailureLog& log, Emitter& emit) {
                 std::to_string(cap));
 }
 
+// Streaming feeds (serve/session.h) reject records whose pattern index
+// regresses within a record kind; the batch reader accepts them (diagnosis
+// is order-independent), so an archived log that would have been rejected
+// live is flagged here instead.
+void check_log_pattern_order(const FailureLog& log, Emitter& emit) {
+  const auto check_kind = [&](const char* kind, auto&& patterns) {
+    std::int32_t last = -1;
+    std::int32_t index = 0;
+    for (std::int32_t pattern : patterns) {
+      if (pattern < last) {
+        emit.emit("log-out-of-order",
+                  std::string(kind) + " record " + std::to_string(index),
+                  std::string("pattern ") + std::to_string(pattern) +
+                      " after pattern " + std::to_string(last) +
+                      " in the " + kind + " records");
+      }
+      last = std::max(last, pattern);
+      ++index;
+    }
+  };
+  std::vector<std::int32_t> scan, chan, po;
+  for (const Observation& o : log.scan_fails) scan.push_back(o.pattern);
+  for (const ChannelFail& c : log.channel_fails) chan.push_back(c.pattern);
+  for (const Observation& o : log.po_fails) po.push_back(o.pattern);
+  check_kind("scan", scan);
+  check_kind("chan", chan);
+  check_kind("po", po);
+}
+
 }  // namespace
 
 void run_failure_log_checks(const Subject& subject, Report& report) {
@@ -233,6 +262,7 @@ void run_failure_log_checks(const Subject& subject, Report& report) {
   check_log_ranges(subject, log, emit);
   check_log_duplicates(log, emit);
   check_log_store_truncation(log, emit);
+  check_log_pattern_order(log, emit);
 }
 
 void run_model_checks(const Subject& subject, Report& report) {

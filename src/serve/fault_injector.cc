@@ -10,6 +10,10 @@ const char* seam_name(Seam seam) {
     case Seam::kModelPredict: return "model-predict";
     case Seam::kFrameworkLoad: return "framework-load";
     case Seam::kAdmissionLint: return "admission-lint";
+    case Seam::kStreamStall: return "stream-stall";
+    case Seam::kStreamGarble: return "stream-garble";
+    case Seam::kStreamReorder: return "stream-reorder";
+    case Seam::kStreamDisconnect: return "stream-disconnect";
   }
   return "unknown";
 }

@@ -29,9 +29,16 @@ enum class Seam : int {
   kFrameworkLoad = 4, // deserializing the model at construction
   kAdmissionLint = 5, // design-lint admission gate (simulates a design that
                       // failed static analysis at registration)
+  // Streaming-session seams (serve/session.h).  These do not throw typed
+  // errors; the session layer consults should_fail() and maps a trigger to
+  // the corresponding stream failure deterministically:
+  kStreamStall = 6,      // feed stalls past the idle deadline -> expiry
+  kStreamGarble = 7,     // record arrives garbled -> line-cited rejection
+  kStreamReorder = 8,    // record arrives out of order -> line-cited rejection
+  kStreamDisconnect = 9, // tester drops the connection -> session teardown
 };
 
-inline constexpr int kNumSeams = 6;
+inline constexpr int kNumSeams = 10;
 
 const char* seam_name(Seam seam);
 

@@ -141,6 +141,20 @@ std::string Metrics::report() const {
                     std::to_string(low_confidence_results.load())});
   counters.add_row({"quarantined responses",
                     std::to_string(quarantined_responses.load())});
+  counters.add_row({"sessions opened", std::to_string(sessions_opened.load())});
+  counters.add_row({"sessions finalized",
+                    std::to_string(sessions_finalized.load())});
+  counters.add_row({"sessions expired",
+                    std::to_string(sessions_expired.load())});
+  counters.add_row({"sessions evicted",
+                    std::to_string(sessions_evicted.load())});
+  counters.add_row({"sessions shed", std::to_string(sessions_shed.load())});
+  counters.add_row({"session early exits",
+                    std::to_string(session_early_exits.load())});
+  counters.add_row({"session rehabilitations",
+                    std::to_string(session_rehabilitations.load())});
+  counters.add_row({"stream records rejected",
+                    std::to_string(stream_records_rejected.load())});
 
   TablePrinter statuses({"status", "count"});
   for (int code = 0; code < kNumStatusCodes; ++code) {

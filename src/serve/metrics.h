@@ -80,6 +80,18 @@ struct Metrics {
   std::atomic<std::int64_t> low_confidence_results{0};
   std::atomic<std::int64_t> quarantined_responses{0};
 
+  // Streaming-session accounting (serve/session.h).  Every opened session
+  // resolves exactly once: finalized + expired + evicted == opened once the
+  // table is quiesced (the stream-chaos test reconciles this partition).
+  std::atomic<std::int64_t> sessions_opened{0};
+  std::atomic<std::int64_t> sessions_finalized{0};
+  std::atomic<std::int64_t> sessions_expired{0};    // idle/stall/disconnect
+  std::atomic<std::int64_t> sessions_evicted{0};    // LRU table pressure
+  std::atomic<std::int64_t> sessions_shed{0};       // begin() refused, table full
+  std::atomic<std::int64_t> session_early_exits{0}; // finalized while stable
+  std::atomic<std::int64_t> session_rehabilitations{0};
+  std::atomic<std::int64_t> stream_records_rejected{0};
+
   LatencyHistogram queue_wait;   // submit -> worker pickup
   LatencyHistogram backtrace;    // back-trace + subgraph + adjacency
   LatencyHistogram atpg;         // ATPG base diagnosis (cache misses only)

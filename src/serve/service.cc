@@ -217,6 +217,7 @@ std::future<DiagnosisResult> DiagnosisService::submit(
   Request request;
   request.design_id = design_id;
   request.log = std::move(log);
+  request.precomputed_backtrace = submit_options.precomputed_backtrace;
   request.enqueued = Clock::now();
   const double deadline_ms = submit_options.deadline_ms > 0.0
                                  ? submit_options.deadline_ms
@@ -544,8 +545,15 @@ StatusCode DiagnosisService::attempt_once(Request& request,
               throw DeadlineError("deadline exceeded before back-trace");
             }
             const Clock::time_point t_bt = Clock::now();
-            fresh->backtrace =
-                backtrace_with_support(design.graph(), ctx, request.log);
+            // A streaming finalize arrives with the back-trace the session
+            // maintained incrementally (byte-identical to recomputing, by
+            // StreamingBacktrace's construction); reuse it.
+            if (request.precomputed_backtrace != nullptr) {
+              fresh->backtrace = *request.precomputed_backtrace;
+            } else {
+              fresh->backtrace =
+                  backtrace_with_support(design.graph(), ctx, request.log);
+            }
             fresh->subgraph =
                 extract_subgraph(design.graph(), fresh->backtrace.candidates);
             fresh->adjacency = subgraph_adjacency(fresh->subgraph);

@@ -123,6 +123,12 @@ struct ServiceOptions {
 struct SubmitOptions {
   // Milliseconds from submission; 0 = use ServiceOptions::default_deadline_ms.
   double deadline_ms = 0.0;
+  // Streaming finalize (serve/session.h): the session already maintained
+  // this back-trace incrementally, byte-identical to what
+  // backtrace_with_support would compute over the submitted log — the
+  // worker reuses it instead of recomputing, and the cache entry it fills
+  // is exactly what a batch request for the same log would produce.
+  std::shared_ptr<const BacktraceResult> precomputed_backtrace;
 };
 
 // Everything the service produces for one failure log.
@@ -165,8 +171,11 @@ enum class ShutdownMode {
   kAbort,  // fail queued (unstarted) requests with kShuttingDown, then stop
 };
 
+class SessionManager;  // serve/session.h: streaming session mode
+
 class DiagnosisService {
  public:
+  using Clock = std::chrono::steady_clock;
   // Takes ownership of an already trained framework.
   explicit DiagnosisService(DiagnosisFramework framework,
                             const ServiceOptions& options = {});
@@ -235,7 +244,9 @@ class DiagnosisService {
   CircuitBreaker::State breaker_state(std::int32_t design_id) const;
 
  private:
-  using Clock = std::chrono::steady_clock;
+  // The streaming session layer records its metrics next to the request
+  // counters and reuses the admission helpers.
+  friend class SessionManager;
 
   struct Request {
     std::uint64_t sequence = 0;
@@ -246,6 +257,8 @@ class DiagnosisService {
     // This request is the circuit breaker's half-open probe: its terminal
     // status must always resolve the probe (success/failure/abandon).
     bool probe = false;
+    // See SubmitOptions::precomputed_backtrace.
+    std::shared_ptr<const BacktraceResult> precomputed_backtrace;
     std::promise<DiagnosisResult> promise;
   };
 

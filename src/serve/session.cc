@@ -1,0 +1,362 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "diag/log_io.h"
+
+namespace m3dfl::serve {
+
+namespace {
+
+const char* kind_word(StreamRecord::Kind kind) {
+  switch (kind) {
+    case StreamRecord::Kind::kScan: return "scan";
+    case StreamRecord::Kind::kChan: return "chan";
+    case StreamRecord::Kind::kPo: return "po";
+    default: return "record";
+  }
+}
+
+// Index into Session::last_pattern for a failing-response kind; -1 for meta.
+int kind_slot(StreamRecord::Kind kind) {
+  switch (kind) {
+    case StreamRecord::Kind::kScan: return 0;
+    case StreamRecord::Kind::kChan: return 1;
+    case StreamRecord::Kind::kPo: return 2;
+    default: return -1;
+  }
+}
+
+std::int32_t record_pattern(const StreamRecord& record) {
+  return record.kind == StreamRecord::Kind::kChan ? record.channel.pattern
+                                                  : record.observation.pattern;
+}
+
+double ms_between(SessionManager::Clock::time_point from,
+                  SessionManager::Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+SessionManager::SessionManager(DiagnosisService& service,
+                               const SessionManagerOptions& options)
+    : service_(service),
+      options_(options),
+      metrics_(*service.metrics_),
+      injector_(service.options().fault_injector.get()) {
+  M3DFL_REQUIRE(options_.max_sessions > 0,
+                "session table needs room for at least one session");
+  M3DFL_REQUIRE(options_.stability_window > 0,
+                "stability_window must be positive");
+}
+
+SessionTicket SessionManager::begin_diagnosis(std::int32_t design_id,
+                                              const SessionOptions& options) {
+  return begin_diagnosis(design_id, options, Clock::now());
+}
+
+SessionTicket SessionManager::begin_diagnosis(std::int32_t design_id,
+                                              const SessionOptions& options,
+                                              Clock::time_point now) {
+  SessionTicket ticket;
+  // Same admission order as submit(): a design that failed static analysis
+  // can never produce a correct diagnosis, so no record it could stream
+  // would rescue the session.
+  std::shared_ptr<const Design> design = service_.design_ref(design_id);
+  const std::string lint_error = service_.design_lint_error(design_id);
+  if (!lint_error.empty()) {
+    metrics_.lint_rejections.fetch_add(1, std::memory_order_relaxed);
+    ticket.status = StatusCode::kLintRejected;
+    ticket.message = lint_error;
+    return ticket;
+  }
+
+  auto session = std::make_unique<Session>();
+  session->design_id = design_id;
+  session->design = std::move(design);
+  session->ctx = session->design->context();
+  StreamingOptions stream_options;
+  stream_options.tp_threshold = service_.degraded()
+                                    ? 1.0
+                                    : service_.framework().tp_threshold();
+  stream_options.stability_window = options_.stability_window;
+  stream_options.min_responses_for_stability =
+      options_.min_responses_for_stability;
+  session->stream = std::make_unique<StreamingBacktrace>(
+      session->design->graph(), session->ctx, stream_options);
+  session->opened = now;
+  session->last_activity = now;
+  session->idle_deadline_ms = options.idle_deadline_ms > 0.0
+                                  ? options.idle_deadline_ms
+                                  : options_.idle_deadline_ms;
+  session->max_lifetime_ms = options.max_lifetime_ms > 0.0
+                                 ? options.max_lifetime_ms
+                                 : options_.max_lifetime_ms;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= options_.max_sessions) {
+    if (!options_.evict_lru) {
+      metrics_.sessions_shed.fetch_add(1, std::memory_order_relaxed);
+      ticket.status = StatusCode::kOverloaded;
+      ticket.message = "session table full (" +
+                       std::to_string(options_.max_sessions) +
+                       " live sessions)";
+      return ticket;
+    }
+    // Evict the least-recently-active session to admit the new one.
+    auto lru = sessions_.begin();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second->last_activity < lru->second->last_activity) lru = it;
+    }
+    sessions_.erase(lru);
+    metrics_.sessions_evicted.fetch_add(1, std::memory_order_relaxed);
+  }
+  session->id = next_id_++;
+  ticket.session_id = session->id;
+  sessions_.emplace(session->id, std::move(session));
+  metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  return ticket;
+}
+
+bool SessionManager::expired(const Session& s, Clock::time_point now) {
+  if (s.idle_deadline_ms > 0.0 &&
+      ms_between(s.last_activity, now) > s.idle_deadline_ms) {
+    return true;
+  }
+  return s.max_lifetime_ms > 0.0 &&
+         ms_between(s.opened, now) > s.max_lifetime_ms;
+}
+
+void SessionManager::expire_locked(std::uint64_t id, const std::string&) {
+  sessions_.erase(id);
+  metrics_.sessions_expired.fetch_add(1, std::memory_order_relaxed);
+}
+
+SessionUpdate SessionManager::dead_session(std::uint64_t session_id) const {
+  SessionUpdate update;
+  update.status = StatusCode::kSessionExpired;
+  update.message = "session " + std::to_string(session_id) +
+                   " is not live (expired, evicted, disconnected, or never "
+                   "opened); begin a new session and re-feed";
+  return update;
+}
+
+SessionUpdate SessionManager::add_response(std::uint64_t session_id,
+                                           const std::string& line) {
+  return add_response(session_id, line, Clock::now());
+}
+
+SessionUpdate SessionManager::add_response(std::uint64_t session_id,
+                                           const std::string& line,
+                                           Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return dead_session(session_id);
+  Session& s = *it->second;
+
+  // Real deadlines first, then the injected ones: kStreamStall models a
+  // feed that stalled past its idle deadline, kStreamDisconnect a tester
+  // that dropped the connection.  Both resolve the session as expired —
+  // deterministically, with no wall-clock involved.
+  if (expired(s, now)) {
+    expire_locked(session_id, "deadline");
+    SessionUpdate update = dead_session(session_id);
+    update.message = "session " + std::to_string(session_id) +
+                     " expired (idle/lifetime deadline passed)";
+    return update;
+  }
+  if (injector_ != nullptr && injector_->should_fail(Seam::kStreamStall)) {
+    expire_locked(session_id, "stall");
+    SessionUpdate update = dead_session(session_id);
+    update.message = "session " + std::to_string(session_id) +
+                     " expired (injected stream stall past idle deadline)";
+    return update;
+  }
+  if (injector_ != nullptr &&
+      injector_->should_fail(Seam::kStreamDisconnect)) {
+    expire_locked(session_id, "disconnect");
+    SessionUpdate update = dead_session(session_id);
+    update.message = "session " + std::to_string(session_id) +
+                     " torn down (injected stream disconnect)";
+    return update;
+  }
+
+  ++s.line_no;
+  s.last_activity = now;
+  SessionUpdate update;
+  const auto reject_record = [&](std::string message) {
+    metrics_.stream_records_rejected.fetch_add(1, std::memory_order_relaxed);
+    update.status = StatusCode::kInvalidInput;
+    update.message = std::move(message);
+  };
+  const auto fill_snapshot = [&] {
+    const StreamSnapshot& snap = s.stream->snapshot();
+    update.num_responses = s.stream->num_responses();
+    update.num_candidates =
+        static_cast<std::int32_t>(snap.backtrace.candidates.size());
+    update.confidence = snap.confidence.combined;
+    update.stable = snap.stable;
+    update.early_exit_at = snap.early_exit_at;
+    update.quarantined =
+        static_cast<std::int32_t>(snap.backtrace.quarantined.size());
+    update.condemnations = snap.condemnations;
+    update.rehabilitations = snap.rehabilitations;
+    // Report rehabilitation deltas to the shared metrics exactly once.
+    const std::int64_t fresh =
+        snap.rehabilitations - s.rehabilitations_reported;
+    if (fresh > 0) {
+      metrics_.session_rehabilitations.fetch_add(fresh,
+                                                 std::memory_order_relaxed);
+      s.rehabilitations_reported = snap.rehabilitations;
+    }
+  };
+
+  // Injected record corruption: the seams reject deterministically with the
+  // same line-cited shape real garble/reorder rejections use; the session
+  // stays live.
+  if (injector_ != nullptr && injector_->should_fail(Seam::kStreamGarble)) {
+    reject_record("stream line " + std::to_string(s.line_no) +
+                  ": injected garbled record");
+    fill_snapshot();
+    return update;
+  }
+  if (injector_ != nullptr && injector_->should_fail(Seam::kStreamReorder)) {
+    reject_record("stream line " + std::to_string(s.line_no) +
+                  ": injected out-of-order record");
+    fill_snapshot();
+    return update;
+  }
+
+  StreamRecord record;
+  try {
+    record = parse_stream_record(line, s.line_no);
+  } catch (const Error& e) {
+    reject_record(e.what());
+    fill_snapshot();
+    return update;
+  }
+
+  // Out-of-order rejection: within each record kind testers emit pattern
+  // indices monotonically; a regressing pattern means the feed reordered
+  // (or replayed) and the record cannot be trusted.
+  const int slot = kind_slot(record.kind);
+  if (slot >= 0) {
+    const std::int32_t pattern = record_pattern(record);
+    if (pattern < s.last_pattern[slot]) {
+      reject_record("stream line " + std::to_string(s.line_no) +
+                    ": out-of-order " + kind_word(record.kind) +
+                    " record (pattern " + std::to_string(pattern) +
+                    " after pattern " +
+                    std::to_string(s.last_pattern[slot]) + ")");
+      fill_snapshot();
+      return update;
+    }
+  }
+
+  StreamAccept accept;
+  try {
+    accept = s.stream->add(record);
+  } catch (const Error& e) {
+    reject_record("stream line " + std::to_string(s.line_no) + ": " +
+                  e.what());
+    fill_snapshot();
+    return update;
+  }
+  switch (accept) {
+    case StreamAccept::kAccepted:
+      update.accepted = true;
+      s.last_pattern[slot] = record_pattern(record);
+      break;
+    case StreamAccept::kDuplicate:
+      reject_record("stream line " + std::to_string(s.line_no) +
+                    ": duplicate " + kind_word(record.kind) +
+                    " observation (pattern " +
+                    std::to_string(record_pattern(record)) + ")");
+      break;
+    case StreamAccept::kMeta:
+      break;
+    case StreamAccept::kEndOfStream:
+      update.end_of_stream = true;
+      break;
+  }
+  fill_snapshot();
+  return update;
+}
+
+std::future<DiagnosisResult> SessionManager::finalize(
+    std::uint64_t session_id) {
+  return finalize(session_id, Clock::now());
+}
+
+std::future<DiagnosisResult> SessionManager::finalize(
+    std::uint64_t session_id, Clock::time_point now) {
+  std::unique_ptr<Session> session;
+  bool was_stable = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(session_id);
+    if (it != sessions_.end() && expired(*it->second, now)) {
+      expire_locked(session_id, "deadline");
+    }
+    const auto again = sessions_.find(session_id);
+    if (again == sessions_.end()) {
+      // Already resolved (expired/evicted/disconnected) or never opened:
+      // report it without touching the service's request accounting.
+      std::promise<DiagnosisResult> promise;
+      DiagnosisResult result;
+      result.status = StatusCode::kSessionExpired;
+      result.status_message = dead_session(session_id).message;
+      promise.set_value(std::move(result));
+      return promise.get_future();
+    }
+    session = std::move(again->second);
+    sessions_.erase(again);
+    metrics_.sessions_finalized.fetch_add(1, std::memory_order_relaxed);
+    was_stable = session->stream->snapshot().stable;
+    if (was_stable) {
+      metrics_.session_early_exits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Off the session lock: the heavy work runs on the service's workers.
+  SubmitOptions submit_options;
+  submit_options.precomputed_backtrace =
+      std::make_shared<BacktraceResult>(session->stream->finalize());
+  return service_.submit(session->design_id, session->stream->log(),
+                         submit_options);
+}
+
+std::size_t SessionManager::sweep(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t swept = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (expired(*it->second, now)) {
+      it = sessions_.erase(it);
+      metrics_.sessions_expired.fetch_add(1, std::memory_order_relaxed);
+      ++swept;
+    } else {
+      ++it;
+    }
+  }
+  return swept;
+}
+
+std::size_t SessionManager::live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+bool SessionManager::contains(std::uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.count(session_id) != 0;
+}
+
+const StreamSnapshot* SessionManager::snapshot(
+    std::uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : &it->second->stream->snapshot();
+}
+
+}  // namespace m3dfl::serve

@@ -19,6 +19,10 @@
 //   kQuotaExceeded     shed     — this *tenant* is over its fleet admission
 //                                 quota; other tenants keep serving (see
 //                                 serve/fleet.h)
+//   kSessionExpired    reopen   — the streaming session is gone (idle/stall
+//                                 deadline, LRU eviction, disconnect, or an
+//                                 unknown id); begin a new session and
+//                                 re-feed (see serve/session.h)
 //
 // The typed exceptions below are how stages *inside* a worker signal a
 // classified failure to the retry/degrade machinery in service.cc; they are
@@ -43,9 +47,10 @@ enum class StatusCode : int {
   kInternal = 7,
   kLintRejected = 8,
   kQuotaExceeded = 9,
+  kSessionExpired = 10,
 };
 
-inline constexpr int kNumStatusCodes = 10;
+inline constexpr int kNumStatusCodes = 11;
 
 inline const char* status_name(StatusCode code) {
   switch (code) {
@@ -59,6 +64,7 @@ inline const char* status_name(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kLintRejected: return "LINT_REJECTED";
     case StatusCode::kQuotaExceeded: return "QUOTA_EXCEEDED";
+    case StatusCode::kSessionExpired: return "SESSION_EXPIRED";
   }
   return "UNKNOWN";
 }

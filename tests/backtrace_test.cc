@@ -1,9 +1,11 @@
 #include <algorithm>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "diag/log_io.h"
 #include "graph/backtrace.h"
 #include "test_helpers.h"
 #include "util/thinning.h"
@@ -362,6 +364,85 @@ TEST(BacktraceSupportTest, ThinningStrideIsDeterministicAndMatchesManual) {
     EXPECT_EQ(a.candidates, c.candidates);
     EXPECT_EQ(a.support, c.support);
   }
+}
+
+// Below the thinning cap, the decision layer scores a *set* of responses:
+// permuting the record order within each kind must not change the verdict
+// (a streaming session can replay an archived log in any arrival order and
+// land on the batch answer).
+TEST(BacktraceSupportTest, ResponseOrderDoesNotChangeTheVerdict) {
+  BacktraceSetup s;
+  DataGenOptions opt;
+  opt.num_samples = 12;
+  opt.max_failing_patterns = 0;
+  opt.seed = 67;
+  const auto samples = generate_samples(s.d.context(), opt);
+  std::uint64_t state = 0x2545F4914F6CDD1Dull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  BacktraceOptions uncapped;
+  uncapped.max_traced_responses = 1 << 20;  // keep thinning out of the way
+  int permuted_logs = 0;
+  for (const Sample& sample : samples) {
+    const BacktraceResult want =
+        backtrace_with_support(s.graph, s.d.context(), sample.log, uncapped);
+    for (int round = 0; round < 3; ++round) {
+      FailureLog shuffled = sample.log;
+      const auto permute = [&](auto& records) {
+        for (std::size_t i = records.size(); i > 1; --i) {
+          std::swap(records[i - 1], records[next() % i]);
+        }
+      };
+      permute(shuffled.scan_fails);
+      permute(shuffled.channel_fails);
+      permute(shuffled.po_fails);
+      if (failure_log_to_string(shuffled) == failure_log_to_string(sample.log))
+        continue;
+      ++permuted_logs;
+      const BacktraceResult got =
+          backtrace_with_support(s.graph, s.d.context(), shuffled, uncapped);
+      EXPECT_EQ(got.candidates, want.candidates);
+      EXPECT_EQ(got.support, want.support);
+      EXPECT_EQ(got.relaxed, want.relaxed);
+      EXPECT_EQ(got.num_responses, want.num_responses);
+      // Quarantine verdicts follow the responses, not their positions:
+      // compare the (pattern, overlap) multiset.
+      std::multiset<std::pair<std::int32_t, double>> q_want, q_got;
+      for (const QuarantinedResponse& q : want.quarantined) {
+        q_want.insert({q.pattern, q.overlap});
+      }
+      for (const QuarantinedResponse& q : got.quarantined) {
+        q_got.insert({q.pattern, q.overlap});
+      }
+      EXPECT_EQ(q_got, q_want);
+    }
+  }
+  EXPECT_GT(permuted_logs, 0);
+}
+
+// The same property on a noisy log where quarantine actually engages.
+TEST(BacktraceSupportTest, QuarantineVerdictIsOrderIndependent) {
+  BacktraceSetup s;
+  const PoisonedLog p(s, 71);
+  BacktraceOptions options;
+  options.max_traced_responses = 1 << 20;
+  const BacktraceResult want =
+      backtrace_with_support(s.graph, s.d.context(), p.log, options);
+  if (want.quarantined.empty()) {
+    GTEST_SKIP() << "seed produced no quarantine; property vacuous";
+  }
+  FailureLog reversed = p.log;
+  std::reverse(reversed.scan_fails.begin(), reversed.scan_fails.end());
+  std::reverse(reversed.po_fails.begin(), reversed.po_fails.end());
+  const BacktraceResult got =
+      backtrace_with_support(s.graph, s.d.context(), reversed, options);
+  EXPECT_EQ(got.candidates, want.candidates);
+  EXPECT_EQ(got.support, want.support);
+  EXPECT_EQ(got.quarantined.size(), want.quarantined.size());
 }
 
 }  // namespace

@@ -669,6 +669,43 @@ TEST_F(LintLogTest, OrganicBitCountsDoNotTripStoreTruncation) {
   EXPECT_TRUE(run(small).empty()) << run(small).to_string();
 }
 
+TEST_F(LintLogTest, PatternRegressionIsWarnedPerKind) {
+  // Testers emit failing patterns monotonically; a regression within a
+  // record kind means the log was reordered or stitched.
+  FailureLog log;
+  log.scan_fails = {{2, false, 0}, {0, false, 1}, {3, false, 2}};
+  log.po_fails = {{1, true, 0}};
+  const Report report = run(log);
+  const lint::Diagnostic* d = report.find("log-out-of-order");
+  ASSERT_NE(d, nullptr) << report.to_string();
+  EXPECT_EQ(d->severity, Severity::kWarn);
+  EXPECT_NE(d->message.find("pattern 0 after pattern 2"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->location.find("scan record 1"), std::string::npos)
+      << d->location;
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST_F(LintLogTest, RegressionsAreJudgedAgainstTheWatermark) {
+  // The watermark holds at the max pattern seen, so every record sitting
+  // below the peak is cited (each is one a live session would have
+  // rejected), while a fresh max is never a finding.
+  FailureLog log;
+  log.scan_fails = {{3, false, 0}, {0, false, 1}, {1, false, 2}, {2, false, 0}};
+  const Report report = run(log);
+  std::int32_t out_of_order = 0;
+  for (const lint::Diagnostic& d : report.diagnostics()) {
+    if (d.check_id == "log-out-of-order") ++out_of_order;
+  }
+  EXPECT_EQ(out_of_order, 3) << report.to_string();
+  // A fresh max after the dip is fine: monotone logs stay clean.
+  FailureLog clean;
+  clean.scan_fails = {{0, false, 0}, {0, false, 1}, {2, false, 2}};
+  clean.po_fails = {{1, true, 0}};  // kinds are checked independently
+  EXPECT_FALSE(run(clean).contains("log-out-of-order"))
+      << run(clean).to_string();
+}
+
 // ---- model pass -------------------------------------------------------------
 
 // Tiny synthetic training set: enough labeled samples for all three phases

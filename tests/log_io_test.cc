@@ -129,6 +129,61 @@ TEST(LogIoTest, MalformedCorpusRejectedWithLineNumbers) {
   }
 }
 
+// Tail-following concession: a live feed snapshotted mid-append ends with a
+// well-formed final record and no trailing newline — that (and only that)
+// shape is accepted without the 'end' trailer.
+TEST(LogIoTest, UnterminatedWellFormedTailAcceptedWithoutEnd) {
+  const FailureLog log = failure_log_from_string(
+      "m3dfl-faillog 1\nscan 1 2\nscan 3 4");
+  EXPECT_EQ(log.scan_fails.size(), 2u);
+  EXPECT_EQ(log.scan_fails[1].pattern, 3);
+  EXPECT_EQ(log.scan_fails[1].index, 4);
+
+  // Meta records get the same treatment: "mode bypass" with no newline is a
+  // snapshot taken right after the header was appended.
+  EXPECT_TRUE(failure_log_from_string("m3dfl-faillog 1\nmode bypass").empty());
+}
+
+TEST(LogIoTest, UnterminatedTailStillRejectsItsOwnDefects) {
+  // A *malformed* unterminated tail is a partial write, not a snapshot —
+  // its own parse failure stands.
+  EXPECT_THROW(failure_log_from_string("m3dfl-faillog 1\nscan 1"), Error);
+  // And a newline-terminated log without 'end' remains a truncation (the
+  // writer finished its last line and then died): the corpus case above
+  // ("m3dfl-faillog 1\nscan 1 2\n") must stay rejected.
+  EXPECT_THROW(failure_log_from_string("m3dfl-faillog 1\nscan 1 2\n"), Error);
+  // A duplicate in the unterminated tail is still a duplicate.
+  EXPECT_THROW(
+      failure_log_from_string("m3dfl-faillog 1\nscan 1 2\nscan 1 2"), Error);
+}
+
+TEST(LogIoTest, ParseStreamRecordMatchesReaderGrammar) {
+  const StreamRecord scan = parse_stream_record("scan 5 7", 2);
+  EXPECT_EQ(scan.kind, StreamRecord::Kind::kScan);
+  EXPECT_EQ(scan.observation.pattern, 5);
+  EXPECT_EQ(scan.observation.index, 7);
+  EXPECT_FALSE(scan.observation.at_po);
+
+  const StreamRecord chan = parse_stream_record("chan 1 2 3", 3);
+  EXPECT_EQ(chan.kind, StreamRecord::Kind::kChan);
+  EXPECT_EQ(chan.channel.pattern, 1);
+  EXPECT_EQ(chan.channel.channel, 2);
+  EXPECT_EQ(chan.channel.position, 3);
+
+  EXPECT_EQ(parse_stream_record("# comment", 4).kind,
+            StreamRecord::Kind::kNone);
+  EXPECT_EQ(parse_stream_record("", 5).kind, StreamRecord::Kind::kNone);
+  EXPECT_EQ(parse_stream_record("end", 6).kind, StreamRecord::Kind::kEnd);
+
+  try {
+    parse_stream_record("scan 1", 42);
+    FAIL() << "expected m3dfl::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 42"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(LogIoTest, DuplicatesAcrossKindsAreAllowed) {
   // A po and a scan fail may legitimately share (pattern, index) — they are
   // different observation points.

@@ -53,6 +53,7 @@
 #include "core/experiment.h"
 #include "diag/log_io.h"
 #include "diag/noise.h"
+#include "diag/stream_backtrace.h"
 #include "gnn/serialize.h"
 #include "graph/backtrace.h"
 #include "lint/lint.h"
@@ -363,9 +364,32 @@ FailureLog apply_noise(const DesignContext& ctx, const FailureLog& log,
   return noisy;
 }
 
+// Flags accepted by `diagnose`: the noise perturbation plus --stream, which
+// replays the (possibly perturbed) log record-by-record through
+// diag::StreamingBacktrace, printing the confidence trajectory and stopping
+// at the early-exit point instead of waiting for the complete log.
+struct DiagnoseFlags {
+  NoiseOptions noise;
+  bool stream = false;
+};
+
+DiagnoseFlags parse_diagnose_flags(const std::vector<std::string>& flags) {
+  DiagnoseFlags parsed;
+  std::vector<std::string> noise_flags;
+  for (const std::string& flag : flags) {
+    if (flag == "--stream") {
+      parsed.stream = true;
+    } else {
+      noise_flags.push_back(flag);
+    }
+  }
+  parsed.noise = parse_noise_flags(noise_flags).noise;
+  return parsed;
+}
+
 int cmd_diagnose(const std::string& profile, const std::string& model_path,
                  const std::string& log_path, const std::string& config,
-                 const NoiseFlags& flags) {
+                 const DiagnoseFlags& flags) {
   const auto design =
       Design::build(parse_profile(profile), parse_config(config));
   DiagnosisFramework framework;
@@ -381,11 +405,62 @@ int cmd_diagnose(const std::string& profile, const std::string& model_path,
 
   const DesignContext ctx = design->context();
   log = apply_noise(ctx, log, flags.noise);
+
+  BacktraceResult backtrace;
+  if (flags.stream) {
+    // Replay the log as a live feed: one record per line, trajectory after
+    // each accepted response, early exit once the candidate set is stable
+    // and the confidence clears the T_P-derived cut.  Everything downstream
+    // then diagnoses the prefix actually consumed.
+    StreamingOptions stream_options;
+    stream_options.tp_threshold = framework.tp_threshold();
+    StreamingBacktrace stream(design->graph(), ctx, stream_options);
+    std::istringstream feed(failure_log_to_string(log));
+    std::string line;
+    std::getline(feed, line);  // "m3dfl-faillog 1" header
+    int line_no = 1;
+    bool early_exit = false;
+    std::cout << "streaming " << log.num_failing_bits()
+              << " failing bits as a live feed:\n";
+    while (std::getline(feed, line)) {
+      ++line_no;
+      const StreamRecord record = parse_stream_record(line, line_no);
+      if (stream.add(record) != StreamAccept::kAccepted) continue;
+      const StreamSnapshot& snap = stream.snapshot();
+      std::cout << "  response " << stream.num_responses() << ": candidates="
+                << snap.backtrace.candidates.size() << " confidence="
+                << snap.confidence.combined;
+      if (!snap.backtrace.quarantined.empty()) {
+        std::cout << " quarantined=" << snap.backtrace.quarantined.size();
+      }
+      if (snap.rehabilitations > 0) {
+        std::cout << " rehabilitated=" << snap.rehabilitations;
+      }
+      if (snap.stable) std::cout << " [stable]";
+      std::cout << "\n";
+      if (snap.stable) {
+        early_exit = true;
+        break;
+      }
+    }
+    if (early_exit) {
+      std::cout << "early exit after "
+                << stream.snapshot().early_exit_at << " of "
+                << log.num_failing_bits()
+                << " responses (stable candidate set)\n";
+    } else {
+      std::cout << "no early exit: consumed the full feed ("
+                << stream.num_responses() << " responses)\n";
+    }
+    backtrace = stream.finalize();
+    log = stream.log();
+  } else {
+    backtrace = backtrace_with_support(design->graph(), ctx, log);
+  }
+
   DiagnosisReport report = diagnose_atpg(ctx, log);
   std::cout << "ATPG " << report_to_string(design->netlist(), report);
 
-  const BacktraceResult backtrace =
-      backtrace_with_support(design->graph(), ctx, log);
   const Subgraph sg = extract_subgraph(design->graph(), backtrace.candidates);
   FrameworkPrediction prediction;
   framework.diagnose(ctx, sg, report, &prediction);
@@ -796,8 +871,8 @@ int usage() {
                "  m3dfl_tool inject   <profile> <out.flog>\n"
                "  m3dfl_tool diagnose <profile> <model.m3dfl> <die.flog> "
                "[config]\n"
-               "                      [--noise-kind=K] [--noise-rate=R] "
-               "[--noise-seed=S] [--noise-depth=D]\n"
+               "                      [--stream] [--noise-kind=K] "
+               "[--noise-rate=R] [--noise-seed=S] [--noise-depth=D]\n"
                "  m3dfl_tool perturb-log <profile> <in.flog> <out.flog> "
                "[config]\n"
                "                      --noise-kind=drop|spurious|flip|"
@@ -848,7 +923,7 @@ int main(int argc, char** argv) {
                               positional.size() == 5)) {
       return cmd_diagnose(positional[1], positional[2], positional[3],
                           positional.size() == 5 ? positional[4] : "syn1",
-                          parse_noise_flags(flags));
+                          parse_diagnose_flags(flags));
     }
     if (cmd == "perturb-log" && (positional.size() == 4 ||
                                  positional.size() == 5)) {
