@@ -1,14 +1,27 @@
-// Google-benchmark microkernels for the performance-critical primitives:
-// bit-parallel good-machine simulation, event-driven fault simulation,
-// back-tracing, subgraph extraction, and GCN inference.
-#include <benchmark/benchmark.h>
+// Microkernels for the performance-critical primitives: bit-parallel
+// good-machine simulation, event-driven fault simulation, back-tracing,
+// subgraph extraction, GCN inference, ATPG diagnosis, and heterogeneous
+// graph construction.
+//
+// Hand-rolled timing loop (steady_clock, repeats, best-of like the other
+// benches) emitting the machine-readable BENCH_micro_kernels.json trace;
+// --smoke shrinks the fixture and iteration counts for CI.
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "atpg/tdf_atpg.h"
+#include "bench_common.h"
 #include "core/pipeline.h"
 #include "graph/backtrace.h"
+#include "util/bench_json.h"
 
-namespace m3dfl {
+namespace m3dfl::bench {
 namespace {
+
+using BenchClock = std::chrono::steady_clock;
 
 // Shared fixture state, built once.
 struct BenchState {
@@ -16,101 +29,131 @@ struct BenchState {
   LabeledDataset data;
   std::unique_ptr<DiagnosisFramework> framework;
 
-  BenchState() {
+  explicit BenchState(bool smoke) {
     design = Design::build(Profile::kAes, DesignConfig::kSyn1);
     DataGenOptions gen;
-    gen.num_samples = 16;
+    gen.num_samples = smoke ? 6 : 16;
     gen.seed = 9090;
     data = build_dataset(*design, gen);
     FrameworkOptions options;
-    options.training.epochs = 30;  // weights don't matter for timing
+    options.training.epochs = smoke ? 8 : 30;  // weights don't matter here
     framework = std::make_unique<DiagnosisFramework>(options);
     framework->train(data.graphs);
   }
-
-  static BenchState& instance() {
-    static BenchState state;
-    return state;
-  }
 };
 
-void BM_GoodMachineSimulation(benchmark::State& state) {
-  BenchState& s = BenchState::instance();
-  LocSimulator sim(s.design->netlist());
-  for (auto _ : state) {
-    sim.run(s.design->patterns());
-    benchmark::DoNotOptimize(sim.v2(0, 0));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          s.design->patterns().num_patterns *
-                          s.design->netlist().num_gates());
-}
-BENCHMARK(BM_GoodMachineSimulation)->Unit(benchmark::kMillisecond);
+struct Kernel {
+  std::string name;
+  // Work items one iteration covers (0 = unreported); items/sec lands in
+  // the JSON so throughput regressions are visible, not just latency.
+  std::int64_t items_per_iter = 0;
+  std::function<void()> iter;
+};
 
-void BM_FaultSimulationPerFault(benchmark::State& state) {
-  BenchState& s = BenchState::instance();
+void run(bool smoke) {
+  print_banner("Microkernels: per-primitive latency");
+  BenchState s(smoke);
+  const DesignContext ctx = s.design->context();
+
+  LocSimulator sim(s.design->netlist());
   FaultSimulator fsim(s.design->netlist(), s.design->good_sim(),
                       &s.design->mivs());
   PinId pin = 0;
-  for (auto _ : state) {
-    pin = (pin + 37) % s.design->netlist().num_pins();
-    benchmark::DoNotOptimize(fsim.simulate(Fault::slow_to_rise(pin)));
-  }
-}
-BENCHMARK(BM_FaultSimulationPerFault)->Unit(benchmark::kMicrosecond);
+  std::size_t log_i = 0;
+  std::size_t graph_i = 0;
+  const auto next_log = [&]() -> const FailureLog& {
+    return s.data.samples[log_i++ % s.data.size()].log;
+  };
 
-void BM_Backtrace(benchmark::State& state) {
-  BenchState& s = BenchState::instance();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const FailureLog& log = s.data.samples[i++ % s.data.size()].log;
-    benchmark::DoNotOptimize(
-        backtrace_candidates(s.design->graph(), s.design->context(), log));
-  }
-}
-BENCHMARK(BM_Backtrace)->Unit(benchmark::kMicrosecond);
+  const std::vector<Kernel> kernels = {
+      {"good_machine_simulation",
+       static_cast<std::int64_t>(s.design->patterns().num_patterns) *
+           s.design->netlist().num_gates(),
+       [&] { sim.run(s.design->patterns()); }},
+      {"fault_simulation_per_fault", 1,
+       [&] {
+         pin = (pin + 37) % s.design->netlist().num_pins();
+         fsim.simulate(Fault::slow_to_rise(pin));
+       }},
+      {"backtrace", 1,
+       [&] {
+         backtrace_candidates(s.design->graph(), s.design->context(),
+                              next_log());
+       }},
+      {"subgraph_extraction", 1,
+       [&] { subgraph_for_log(*s.design, next_log()); }},
+      {"gnn_inference", 1,
+       [&] { s.framework->predict(s.data.graphs[graph_i++ % s.data.size()]); }},
+      {"atpg_diagnosis", 1,
+       [&] { diagnose_atpg(s.design->context(), next_log()); }},
+      {"hetero_graph_construction", 1,
+       [&] {
+         HeteroGraph graph(s.design->netlist(), s.design->tiers(),
+                           s.design->mivs());
+       }},
+  };
 
-void BM_SubgraphExtraction(benchmark::State& state) {
-  BenchState& s = BenchState::instance();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const FailureLog& log = s.data.samples[i++ % s.data.size()].log;
-    benchmark::DoNotOptimize(subgraph_for_log(*s.design, log));
-  }
-}
-BENCHMARK(BM_SubgraphExtraction)->Unit(benchmark::kMicrosecond);
+  const int repeats = smoke ? 1 : 3;
 
-void BM_GnnInference(benchmark::State& state) {
-  BenchState& s = BenchState::instance();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        s.framework->predict(s.data.graphs[i++ % s.data.size()]));
-  }
-}
-BENCHMARK(BM_GnnInference)->Unit(benchmark::kMicrosecond);
+  BenchJson json("micro_kernels");
+  json.meta("smoke", smoke);
+  json.meta("design", s.design->name());
+  json.meta("repeats", repeats);
 
-void BM_AtpgDiagnosis(benchmark::State& state) {
-  BenchState& s = BenchState::instance();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    const FailureLog& log = s.data.samples[i++ % s.data.size()].log;
-    benchmark::DoNotOptimize(diagnose_atpg(s.design->context(), log));
-  }
-}
-BENCHMARK(BM_AtpgDiagnosis)->Unit(benchmark::kMillisecond);
+  TablePrinter table({"Kernel", "Iters", "Mean ms", "Items/s"});
+  for (const Kernel& kernel : kernels) {
+    kernel.iter();  // warm-up: caches, lazy allocations
+    double best_mean_ms = -1.0;
+    std::int64_t iters_used = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      // Iterate until the sample is long enough to time (smoke: a fixed
+      // handful — CI wants the trace, not statistics).
+      const double min_seconds = smoke ? 0.0 : 0.2;
+      const std::int64_t max_iters = smoke ? 3 : 200;
+      std::int64_t iters = 0;
+      const BenchClock::time_point t0 = BenchClock::now();
+      double elapsed_s = 0.0;
+      while (iters < max_iters && (iters == 0 || elapsed_s < min_seconds)) {
+        kernel.iter();
+        ++iters;
+        elapsed_s =
+            std::chrono::duration<double>(BenchClock::now() - t0).count();
+      }
+      const double mean_ms = elapsed_s * 1e3 / static_cast<double>(iters);
+      if (best_mean_ms < 0.0 || mean_ms < best_mean_ms) {
+        best_mean_ms = mean_ms;
+        iters_used = iters;
+      }
+    }
+    const double items_per_s =
+        kernel.items_per_iter > 0 && best_mean_ms > 0.0
+            ? static_cast<double>(kernel.items_per_iter) /
+                  (best_mean_ms * 1e-3)
+            : 0.0;
 
-void BM_HeteroGraphConstruction(benchmark::State& state) {
-  BenchState& s = BenchState::instance();
-  for (auto _ : state) {
-    HeteroGraph graph(s.design->netlist(), s.design->tiers(),
-                      s.design->mivs());
-    benchmark::DoNotOptimize(graph.num_edges());
+    JsonObject& row = json.add_row();
+    row.set("kernel", kernel.name);
+    row.set("iterations", iters_used);
+    row.set("mean_ms", best_mean_ms);
+    row.set("items_per_second", items_per_s);
+
+    table.add_row({kernel.name, std::to_string(iters_used),
+                   fmt2(best_mean_ms),
+                   items_per_s > 0.0 ? fmt2(items_per_s) : "-"});
   }
+  table.print();
+  json.write("BENCH_micro_kernels.json");
+  std::cout << "wrote BENCH_micro_kernels.json\n";
 }
-BENCHMARK(BM_HeteroGraphConstruction)->Unit(benchmark::kMillisecond);
 
 }  // namespace
-}  // namespace m3dfl
+}  // namespace m3dfl::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  m3dfl::bench::run(smoke);
+  return 0;
+}

@@ -1,27 +1,57 @@
 // Regenerates paper Table IX: runtime of the proposed framework — training
 // phase (feature construction, GNN training) and deployment (T_ATPG, T_GNN,
 // T_update) over the Syn-2 test sets.
+//
+// --smoke: one profile at a reduced training/test scale, for CI — the point
+// is the machine-readable BENCH_table9_runtime.json trace, not the numbers.
+#include <string>
+
 #include "bench_common.h"
+#include "util/bench_json.h"
 
-using namespace m3dfl;
+namespace m3dfl::bench {
+namespace {
 
-int main() {
-  bench::print_banner("Table IX: runtime analysis (seconds)");
+void run(bool smoke) {
+  print_banner("Table IX: runtime analysis (seconds)");
   TablePrinter table({"Design", "Feature constr.", "Datagen", "GNN training",
                       "T_ATPG", "T_GNN", "T_update"});
-  const ExperimentOptions opt = bench::standard_options(/*compacted=*/false);
-  for (Profile profile : all_profiles()) {
+  ExperimentOptions opt = standard_options(/*compacted=*/false);
+  if (smoke) {
+    opt.test_samples = 6;
+    opt.train.samples_syn1 = 40;
+    opt.train.samples_per_random = 20;
+    opt.framework.training.epochs = 20;
+  }
+  const std::vector<Profile> profiles =
+      smoke ? std::vector<Profile>{Profile::kAes} : all_profiles();
+
+  BenchJson json("table9_runtime");
+  json.meta("smoke", smoke);
+  json.meta("test_samples", opt.test_samples);
+  json.meta("profiles", static_cast<std::int64_t>(profiles.size()));
+
+  for (Profile profile : profiles) {
     const ProfileExperiment experiment(profile, opt);
     const ConfigResult r = experiment.evaluate(DesignConfig::kSyn2);
+    const double feature_s = experiment.syn1().feature_construction_seconds();
     table.add_row({
         profile_name(profile),
-        bench::fmt2(experiment.syn1().feature_construction_seconds()),
-        bench::fmt2(experiment.datagen_seconds()),
-        bench::fmt2(experiment.training_seconds()),
-        bench::fmt2(r.t_atpg),
-        bench::fmt2(r.t_gnn),
-        bench::fmt2(r.t_update),
+        fmt2(feature_s),
+        fmt2(experiment.datagen_seconds()),
+        fmt2(experiment.training_seconds()),
+        fmt2(r.t_atpg),
+        fmt2(r.t_gnn),
+        fmt2(r.t_update),
     });
+    JsonObject& row = json.add_row();
+    row.set("design", profile_name(profile));
+    row.set("feature_construction_s", feature_s);
+    row.set("datagen_s", experiment.datagen_seconds());
+    row.set("training_s", experiment.training_seconds());
+    row.set("t_atpg_s", r.t_atpg);
+    row.set("t_gnn_s", r.t_gnn);
+    row.set("t_update_s", r.t_update);
   }
   table.print();
   std::cout << "\nDeployment columns are totals over the "
@@ -29,5 +59,18 @@ int main() {
             << "-die Syn-2 test set; GNN inference runs alongside ATPG "
                "diagnosis, so the added deployment latency is T_update "
                "only (paper Fig. 9).\n";
+  json.write("BENCH_table9_runtime.json");
+  std::cout << "wrote BENCH_table9_runtime.json\n";
+}
+
+}  // namespace
+}  // namespace m3dfl::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  m3dfl::bench::run(smoke);
   return 0;
 }

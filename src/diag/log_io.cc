@@ -67,11 +67,20 @@ void require_nonnegative(int line_no, const char* what, std::int32_t value) {
   }
 }
 
+// Drops one trailing '\r' so CRLF logs (testers on Windows, logs that
+// crossed an FTP/SMB hop in text mode) parse byte-identical to LF logs.
+// Only the line terminator is normalized; a '\r' anywhere else is still
+// record garbage.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 }  // namespace
 
 StreamRecord parse_stream_record(const std::string& line, int line_no) {
   StreamRecord record;
   std::string body = line;
+  strip_cr(body);
   const auto hash = body.find('#');
   if (hash != std::string::npos) body.resize(hash);
   std::istringstream ls(body);
@@ -130,7 +139,9 @@ StreamRecord parse_stream_record(const std::string& line, int line_no) {
 FailureLog read_failure_log(std::istream& is) {
   std::string line;
   int line_no = 1;
-  M3DFL_REQUIRE(std::getline(is, line) && line == "m3dfl-faillog 1",
+  const bool have_header = static_cast<bool>(std::getline(is, line));
+  strip_cr(line);
+  M3DFL_REQUIRE(have_header && line == "m3dfl-faillog 1",
                 "failure log line 1: missing 'm3dfl-faillog 1' header");
   FailureLog log;
   bool saw_end = false;

@@ -12,6 +12,10 @@
 //   end
 //
 // Line order within a record kind is preserved; '#' starts a comment.
+// Lines may end in LF or CRLF (testers on Windows, text-mode transfer
+// hops): one trailing '\r' per line is stripped in both the batch and the
+// streaming parser, so a CRLF log parses byte-identical to its LF twin.  A
+// '\r' anywhere else is still record garbage.
 //
 // The reader is strict: truncated or non-numeric records, trailing garbage,
 // negative pattern/flop/channel indices, and duplicate observations are all

@@ -129,7 +129,7 @@ constexpr std::array<CheckInfo, 32> kCatalog = {{
 
 // Checks that did not fit in the primary table (std::array needs the exact
 // count; keeping two tables avoids miscounting churn as the catalog grows).
-constexpr std::array<CheckInfo, 4> kCatalogTail = {{
+constexpr std::array<CheckInfo, 5> kCatalogTail = {{
     {"log-store-truncated", ArtifactKind::kFailureLog, Severity::kWarn,
      "per-pattern failing-bit counts sit exactly at a common cap; the log "
      "looks clipped by the tester's fail-store depth",
@@ -149,6 +149,11 @@ constexpr std::array<CheckInfo, 4> kCatalogTail = {{
      "diagnosis is order-independent so the result stands, but a streaming "
      "session would have rejected these records (serve/session.h); check "
      "the feed path that produced the log"},
+    {"session-journal-stale", ArtifactKind::kJournal, Severity::kWarn,
+     "journal segment's newest record is older than the session lifetime "
+     "deadline; every session still open in it will expire on recovery",
+     "the segment is dead weight: run `m3dfl_tool journal <dir> --compact` "
+     "(or let recovery tombstone the sessions) to reclaim it"},
 }};
 
 }  // namespace
@@ -241,6 +246,7 @@ Report run_checks(const Subject& subject) {
   run_feature_checks(subject, report);
   if (deep) run_failure_log_checks(subject, report);
   run_model_checks(subject, report);
+  run_journal_checks(subject, report);
   return report;
 }
 

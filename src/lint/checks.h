@@ -37,6 +37,24 @@ class DiagnosisFramework;  // core/framework.h; full type needed only in .cc
 
 namespace m3dfl::lint {
 
+// Pre-extracted facts about one serving-session journal segment
+// (serve/journal.h scans produce these; lint itself never reads serve
+// state, keeping the dependency arrow serve -> lint).
+struct JournalSegmentFacts {
+  std::string path;
+  std::size_t records = 0;            // valid frames in the segment
+  std::int64_t newest_wall_ms = -1;   // newest record timestamp; -1 = none
+  std::size_t newest_offset = 0;      // byte offset of that record's frame
+};
+
+struct JournalFacts {
+  std::vector<JournalSegmentFacts> segments;
+  // Session lifetime deadline the serving layer runs with; 0 = none
+  // configured (the staleness check stays quiet).
+  double session_lifetime_ms = 0.0;
+  std::int64_t now_wall_ms = 0;
+};
+
 // Static metadata of one check.
 struct CheckInfo {
   const char* id;            // stable, kebab-case
@@ -89,6 +107,9 @@ struct Subject {
   // Trained model, checked for internal consistency and (when the design
   // artifacts are present) design compatibility.
   const DiagnosisFramework* model = nullptr;
+
+  // Serving-session journal facts (crash-safe serving, docs/SERVING.md).
+  const JournalFacts* journal = nullptr;
 };
 
 // Emits diagnostics with catalog-backed severity/artifact/hint, capping the
@@ -129,6 +150,7 @@ void run_graph_checks(const Subject& subject, Report& report);
 void run_feature_checks(const Subject& subject, Report& report);
 void run_failure_log_checks(const Subject& subject, Report& report);
 void run_model_checks(const Subject& subject, Report& report);
+void run_journal_checks(const Subject& subject, Report& report);
 
 // Runs every applicable pass in pipeline order with inter-pass gating.
 Report run_checks(const Subject& subject);

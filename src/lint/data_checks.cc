@@ -327,4 +327,29 @@ void run_model_checks(const Subject& subject, Report& report) {
   }
 }
 
+void run_journal_checks(const Subject& subject, Report& report) {
+  if (subject.journal == nullptr) return;
+  const JournalFacts& facts = *subject.journal;
+  // No lifetime deadline configured: sessions never age out, so no segment
+  // can be declared stale.
+  if (facts.session_lifetime_ms <= 0.0) return;
+  Emitter emit(report);
+  for (const JournalSegmentFacts& segment : facts.segments) {
+    if (segment.records == 0 || segment.newest_wall_ms < 0) continue;
+    const double age_ms =
+        static_cast<double>(facts.now_wall_ms - segment.newest_wall_ms);
+    if (age_ms <= facts.session_lifetime_ms) continue;
+    emit.emit("session-journal-stale",
+              segment.path + " offset " +
+                  std::to_string(segment.newest_offset),
+              "newest of " + std::to_string(segment.records) +
+                  " record(s) is " +
+                  std::to_string(static_cast<long long>(age_ms)) +
+                  " ms old, past the " +
+                  std::to_string(
+                      static_cast<long long>(facts.session_lifetime_ms)) +
+                  " ms session lifetime");
+  }
+}
+
 }  // namespace m3dfl::lint

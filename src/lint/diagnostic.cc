@@ -23,6 +23,7 @@ const char* artifact_name(ArtifactKind kind) {
     case ArtifactKind::kFeatures: return "features";
     case ArtifactKind::kFailureLog: return "failure-log";
     case ArtifactKind::kModel: return "model";
+    case ArtifactKind::kJournal: return "journal";
   }
   return "unknown";
 }

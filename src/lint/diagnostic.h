@@ -23,7 +23,7 @@ enum class Severity : std::uint8_t { kNote = 0, kWarn = 1, kError = 2 };
 
 // Pipeline artifact a diagnostic was found in, in pipeline order (Fig. 2):
 // netlist -> M3D partition/MIVs -> scan/DfT -> heterogeneous graph ->
-// feature matrix -> failure log -> trained model.
+// feature matrix -> failure log -> trained model -> serving session journal.
 enum class ArtifactKind : std::uint8_t {
   kNetlist = 0,
   kM3d = 1,
@@ -32,9 +32,10 @@ enum class ArtifactKind : std::uint8_t {
   kFeatures = 4,
   kFailureLog = 5,
   kModel = 6,
+  kJournal = 7,
 };
 
-inline constexpr int kNumArtifactKinds = 7;
+inline constexpr int kNumArtifactKinds = 8;
 
 const char* severity_name(Severity severity);
 const char* artifact_name(ArtifactKind kind);

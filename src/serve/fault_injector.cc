@@ -14,6 +14,9 @@ const char* seam_name(Seam seam) {
     case Seam::kStreamGarble: return "stream-garble";
     case Seam::kStreamReorder: return "stream-reorder";
     case Seam::kStreamDisconnect: return "stream-disconnect";
+    case Seam::kJournalTornWrite: return "journal-torn-write";
+    case Seam::kJournalFsync: return "journal-fsync";
+    case Seam::kJournalCorrupt: return "journal-corrupt";
   }
   return "unknown";
 }

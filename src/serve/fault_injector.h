@@ -36,9 +36,16 @@ enum class Seam : int {
   kStreamGarble = 7,     // record arrives garbled -> line-cited rejection
   kStreamReorder = 8,    // record arrives out of order -> line-cited rejection
   kStreamDisconnect = 9, // tester drops the connection -> session teardown
+  // Session-journal seams (serve/journal.h).  Like the stream seams these
+  // never throw; the journal maps a trigger to the corresponding storage
+  // failure deterministically and the serving request always succeeds:
+  kJournalTornWrite = 10, // crash/full disk mid-frame -> prefix on disk,
+                          // event counted lost, segment sealed
+  kJournalFsync = 11,     // fsync fails -> degrade to non-durable
+  kJournalCorrupt = 12,   // silent media bit-flip -> CRC mismatch at scan
 };
 
-inline constexpr int kNumSeams = 10;
+inline constexpr int kNumSeams = 13;
 
 const char* seam_name(Seam seam);
 

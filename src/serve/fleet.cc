@@ -199,6 +199,12 @@ void FleetService::shutdown(ShutdownMode mode) {
   }
 }
 
+DiagnosisService* FleetService::tenant_service(std::int32_t tenant_id) const {
+  Tenant& tenant = tenant_at(tenant_id);
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  return tenant.epoch == nullptr ? nullptr : tenant.epoch->service.get();
+}
+
 std::uint64_t FleetService::tenant_generation(std::int32_t tenant_id) const {
   Tenant& tenant = tenant_at(tenant_id);
   std::lock_guard<std::mutex> lock(tenant.mu);

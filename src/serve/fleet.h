@@ -107,6 +107,12 @@ class FleetService {
   // Shuts down every epoch of every tenant; further submits throw.
   void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
 
+  // The tenant's current shard service (nullptr before the first epoch).
+  // The pointer is invalidated by the next epoch swap, so it suits
+  // single-owner wiring — e.g. the CLI layering journaled sessions
+  // (serve/session.h) over a tenant's shard — not concurrent use against
+  // live model reloads.
+  DiagnosisService* tenant_service(std::int32_t tenant_id) const;
   // Generation of the tenant's current epoch (0 = no epoch yet).
   std::uint64_t tenant_generation(std::int32_t tenant_id) const;
   // Retired-but-unreaped epochs (in-flight on an old model) right now.

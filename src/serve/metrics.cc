@@ -155,6 +155,19 @@ std::string Metrics::report() const {
                     std::to_string(session_rehabilitations.load())});
   counters.add_row({"stream records rejected",
                     std::to_string(stream_records_rejected.load())});
+  counters.add_row({"journal appends", std::to_string(journal_appends.load())});
+  counters.add_row({"journal append failures",
+                    std::to_string(journal_append_failures.load())});
+  counters.add_row({"journal rotations",
+                    std::to_string(journal_rotations.load())});
+  counters.add_row({"journal records replayed",
+                    std::to_string(journal_records_replayed.load())});
+  counters.add_row({"sessions recovered",
+                    std::to_string(sessions_recovered.load())});
+  counters.add_row({"sessions expired on recovery",
+                    std::to_string(sessions_expired_on_recovery.load())});
+  counters.add_row({"sessions discarded on recovery",
+                    std::to_string(sessions_discarded_on_recovery.load())});
 
   TablePrinter statuses({"status", "count"});
   for (int code = 0; code < kNumStatusCodes; ++code) {

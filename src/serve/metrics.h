@@ -92,6 +92,19 @@ struct Metrics {
   std::atomic<std::int64_t> session_rehabilitations{0};
   std::atomic<std::int64_t> stream_records_rejected{0};
 
+  // Session-journal accounting (serve/journal.h).  Appends that failed to
+  // reach disk (torn write, fsync failure, unopenable segment) degrade the
+  // journal to non-durable instead of failing the request; the recovery
+  // counters partition what SessionManager::recover() found on disk into
+  // rebuilt-live, dead-on-arrival, and unmappable sessions.
+  std::atomic<std::int64_t> journal_appends{0};
+  std::atomic<std::int64_t> journal_append_failures{0};
+  std::atomic<std::int64_t> journal_rotations{0};
+  std::atomic<std::int64_t> journal_records_replayed{0};
+  std::atomic<std::int64_t> sessions_recovered{0};
+  std::atomic<std::int64_t> sessions_expired_on_recovery{0};
+  std::atomic<std::int64_t> sessions_discarded_on_recovery{0};
+
   LatencyHistogram queue_wait;   // submit -> worker pickup
   LatencyHistogram backtrace;    // back-trace + subgraph + adjacency
   LatencyHistogram atpg;         // ATPG base diagnosis (cache misses only)

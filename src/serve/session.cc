@@ -50,6 +50,40 @@ SessionManager::SessionManager(DiagnosisService& service,
                 "session table needs room for at least one session");
   M3DFL_REQUIRE(options_.stability_window > 0,
                 "stability_window must be positive");
+  if (!options_.journal_dir.empty()) {
+    JournalOptions journal_options;
+    journal_options.max_segment_bytes = options_.journal_max_segment_bytes;
+    journal_options.wall_ms = options_.journal_wall_ms;
+    journal_options.injector = injector_;
+    journal_options.metrics = &metrics_;
+    journal_ = std::make_unique<SessionJournal>(options_.journal_dir,
+                                                std::move(journal_options));
+  }
+}
+
+std::unique_ptr<SessionManager::Session> SessionManager::make_session(
+    std::int32_t design_id, double idle_deadline_ms, double max_lifetime_ms,
+    Clock::time_point now) const {
+  auto session = std::make_unique<Session>();
+  session->design_id = design_id;
+  session->design = service_.design_ref(design_id);
+  session->ctx = session->design->context();
+  StreamingOptions stream_options;
+  stream_options.tp_threshold = service_.degraded()
+                                    ? 1.0
+                                    : service_.framework().tp_threshold();
+  stream_options.stability_window = options_.stability_window;
+  stream_options.min_responses_for_stability =
+      options_.min_responses_for_stability;
+  session->stream = std::make_unique<StreamingBacktrace>(
+      session->design->graph(), session->ctx, stream_options);
+  session->opened = now;
+  session->last_activity = now;
+  session->idle_deadline_ms =
+      idle_deadline_ms > 0.0 ? idle_deadline_ms : options_.idle_deadline_ms;
+  session->max_lifetime_ms =
+      max_lifetime_ms > 0.0 ? max_lifetime_ms : options_.max_lifetime_ms;
+  return session;
 }
 
 SessionTicket SessionManager::begin_diagnosis(std::int32_t design_id,
@@ -73,27 +107,9 @@ SessionTicket SessionManager::begin_diagnosis(std::int32_t design_id,
     return ticket;
   }
 
-  auto session = std::make_unique<Session>();
-  session->design_id = design_id;
-  session->design = std::move(design);
-  session->ctx = session->design->context();
-  StreamingOptions stream_options;
-  stream_options.tp_threshold = service_.degraded()
-                                    ? 1.0
-                                    : service_.framework().tp_threshold();
-  stream_options.stability_window = options_.stability_window;
-  stream_options.min_responses_for_stability =
-      options_.min_responses_for_stability;
-  session->stream = std::make_unique<StreamingBacktrace>(
-      session->design->graph(), session->ctx, stream_options);
-  session->opened = now;
-  session->last_activity = now;
-  session->idle_deadline_ms = options.idle_deadline_ms > 0.0
-                                  ? options.idle_deadline_ms
-                                  : options_.idle_deadline_ms;
-  session->max_lifetime_ms = options.max_lifetime_ms > 0.0
-                                 ? options.max_lifetime_ms
-                                 : options_.max_lifetime_ms;
+  design.reset();
+  auto session = make_session(design_id, options.idle_deadline_ms,
+                              options.max_lifetime_ms, now);
 
   std::lock_guard<std::mutex> lock(mu_);
   if (sessions_.size() >= options_.max_sessions) {
@@ -110,13 +126,22 @@ SessionTicket SessionManager::begin_diagnosis(std::int32_t design_id,
     for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
       if (it->second->last_activity < lru->second->last_activity) lru = it;
     }
+    const std::uint64_t evicted_id = lru->first;
     sessions_.erase(lru);
     metrics_.sessions_evicted.fetch_add(1, std::memory_order_relaxed);
+    if (journal_ != nullptr) journal_->append_close(evicted_id, "evicted");
   }
   session->id = next_id_++;
   ticket.session_id = session->id;
+  const std::string& design_name = session->design->name();
+  const double idle_ms = session->idle_deadline_ms;
+  const double life_ms = session->max_lifetime_ms;
   sessions_.emplace(session->id, std::move(session));
   metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+  // Append-before-ack: the open is on disk before the ticket exists.
+  if (journal_ != nullptr) {
+    journal_->append_open(ticket.session_id, design_name, idle_ms, life_ms);
+  }
   return ticket;
 }
 
@@ -132,6 +157,7 @@ bool SessionManager::expired(const Session& s, Clock::time_point now) {
 void SessionManager::expire_locked(std::uint64_t id, const std::string&) {
   sessions_.erase(id);
   metrics_.sessions_expired.fetch_add(1, std::memory_order_relaxed);
+  if (journal_ != nullptr) journal_->append_close(id, "expired");
 }
 
 SessionUpdate SessionManager::dead_session(std::uint64_t session_id) const {
@@ -281,6 +307,13 @@ SessionUpdate SessionManager::add_response(std::uint64_t session_id,
       update.end_of_stream = true;
       break;
   }
+  // Append-before-ack: every line that mutated session state (accepted
+  // responses, meta records, the end trailer) is journaled verbatim before
+  // the caller learns it was taken.  Rejected lines mutate nothing a replay
+  // needs, so they stay out of the journal.
+  if (journal_ != nullptr && update.status == StatusCode::kOk) {
+    journal_->append_record(session_id, line);
+  }
   fill_snapshot();
   return update;
 }
@@ -318,6 +351,7 @@ std::future<DiagnosisResult> SessionManager::finalize(
     if (was_stable) {
       metrics_.session_early_exits.fetch_add(1, std::memory_order_relaxed);
     }
+    if (journal_ != nullptr) journal_->append_close(session_id, "finalized");
   }
   // Off the session lock: the heavy work runs on the service's workers.
   SubmitOptions submit_options;
@@ -332,14 +366,111 @@ std::size_t SessionManager::sweep(Clock::time_point now) {
   std::size_t swept = 0;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (expired(*it->second, now)) {
+      const std::uint64_t id = it->first;
       it = sessions_.erase(it);
       metrics_.sessions_expired.fetch_add(1, std::memory_order_relaxed);
+      if (journal_ != nullptr) journal_->append_close(id, "expired");
       ++swept;
     } else {
       ++it;
     }
   }
   return swept;
+}
+
+RecoveryStats SessionManager::recover() { return recover(Clock::now()); }
+
+RecoveryStats SessionManager::recover(Clock::time_point now) {
+  RecoveryStats stats;
+  if (journal_ == nullptr) return stats;
+  const JournalReplay replay = SessionJournal::replay(options_.journal_dir);
+  stats.segments = replay.segments.size();
+  stats.records_scanned = replay.records;
+  stats.diagnostics = replay.diagnostics;
+  const std::int64_t now_wall = journal_->wall_ms();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const JournalReplay::LiveSession& journaled : replay.live) {
+    if (sessions_.count(journaled.id) != 0) continue;  // recover() re-run
+
+    // Map the journaled design name back to a registered design.  A restart
+    // that dropped (or failed to re-lint) the design cannot replay these
+    // sessions — tombstone them so the next recovery is clean.
+    std::int32_t design_id = -1;
+    for (std::int32_t i = 0; i < service_.num_designs(); ++i) {
+      if (service_.design(i).name() == journaled.design_name) {
+        design_id = i;
+        break;
+      }
+    }
+    if (design_id < 0 || !service_.design_lint_error(design_id).empty()) {
+      ++stats.discarded;
+      metrics_.sessions_discarded_on_recovery.fetch_add(
+          1, std::memory_order_relaxed);
+      journal_->append_close(journaled.id, "evicted");
+      continue;
+    }
+
+    // Deadlines crossed the crash: a session idle (or alive) longer than
+    // its budget — including the downtime — is dead on arrival.
+    const bool past_idle =
+        journaled.idle_deadline_ms > 0.0 &&
+        static_cast<double>(now_wall - journaled.last_wall_ms) >
+            journaled.idle_deadline_ms;
+    const bool past_life =
+        journaled.max_lifetime_ms > 0.0 &&
+        static_cast<double>(now_wall - journaled.opened_wall_ms) >
+            journaled.max_lifetime_ms;
+    if (past_idle || past_life) {
+      ++stats.expired;
+      metrics_.sessions_expired_on_recovery.fetch_add(
+          1, std::memory_order_relaxed);
+      journal_->append_close(journaled.id, "expired");
+      continue;
+    }
+
+    auto session = make_session(design_id, journaled.idle_deadline_ms,
+                                journaled.max_lifetime_ms, now);
+    session->id = journaled.id;
+    // Restore the remaining deadline budget: the steady-clock anchors are
+    // set so (now - anchor) equals the journaled wall-clock age.
+    session->opened =
+        now - std::chrono::milliseconds(now_wall - journaled.opened_wall_ms);
+    session->last_activity =
+        now - std::chrono::milliseconds(now_wall - journaled.last_wall_ms);
+
+    // Replay the accepted lines through the fresh stream state.  Every
+    // journaled line was accepted by the original session, so replay takes
+    // exactly the same path — finalize() is then byte-identical to the
+    // uninterrupted run by StreamingBacktrace's finalize-equals-batch
+    // contract.
+    for (const std::string& line : journaled.lines) {
+      ++session->line_no;
+      StreamRecord record;
+      try {
+        record = parse_stream_record(line, session->line_no);
+        if (session->stream->add(record) == StreamAccept::kAccepted) {
+          const int slot = kind_slot(record.kind);
+          if (slot >= 0) session->last_pattern[slot] = record_pattern(record);
+        }
+      } catch (const Error&) {
+        // Journaled lines were accepted once; a line that no longer parses
+        // means the segment was hand-edited.  Skip it — the remaining
+        // evidence still recovers.
+        continue;
+      }
+      ++stats.lines_replayed;
+      metrics_.journal_records_replayed.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+
+    next_id_ = std::max(next_id_, journaled.id + 1);
+    sessions_.emplace(journaled.id, std::move(session));
+    ++stats.recovered;
+    stats.recovered_ids.push_back(journaled.id);
+    metrics_.sessions_recovered.fetch_add(1, std::memory_order_relaxed);
+  }
+  return stats;
 }
 
 std::size_t SessionManager::live() const {

@@ -41,8 +41,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "diag/stream_backtrace.h"
+#include "serve/journal.h"
 #include "serve/service.h"
 #include "serve/status.h"
 
@@ -62,6 +64,36 @@ struct SessionManagerOptions {
   // Stability knobs forwarded to diag::StreamingBacktrace.
   std::int32_t stability_window = 4;
   std::int32_t min_responses_for_stability = 3;
+  // Crash-safe serving (serve/journal.h, docs/SERVING.md "Crash recovery").
+  // Non-empty: every session open, accepted record, and resolution is
+  // appended (and fsync'd) to a write-ahead journal in this directory
+  // *before* the call acknowledges, and recover() can rebuild in-flight
+  // sessions after a restart.  Empty: sessions stay memory-only (the
+  // pre-journal behaviour, zero I/O on the session path).
+  std::string journal_dir;
+  // Rotation / wall-clock knobs for the journal; the manager wires the
+  // service's injector and metrics in itself.
+  std::size_t journal_max_segment_bytes = 64 * 1024;
+  WallClock journal_wall_ms;  // tests inject a fake wall clock
+};
+
+// What SessionManager::recover() found in the journal.  Every journaled
+// in-flight session lands in exactly one bucket: rebuilt live (recovered),
+// past its deadlines at recovery time (expired), or unmappable — unknown or
+// lint-rejected design (discarded).
+struct RecoveryStats {
+  std::size_t recovered = 0;
+  std::size_t expired = 0;
+  std::size_t discarded = 0;
+  std::size_t segments = 0;          // journal segments scanned
+  std::size_t records_scanned = 0;   // valid frames across all segments
+  std::size_t lines_replayed = 0;    // stream records fed into rebuilt sessions
+  // Session ids of the rebuilt (recovered) sessions, in journal order; the
+  // CLI finalizes these to deliver results a crashed run never produced.
+  std::vector<std::uint64_t> recovered_ids;
+  // Torn-tail / corrupt-frame / semantic findings, each citing the segment
+  // path and byte offset (serve/journal.h scan semantics).
+  std::vector<std::string> diagnostics;
 };
 
 // Per-session overrides.
@@ -143,6 +175,23 @@ class SessionManager {
   // `now`; returns how many.  Tests fabricate `now` to drive expiry.
   std::size_t sweep(Clock::time_point now);
 
+  // Rebuilds in-flight sessions from the journal directory (call once, at
+  // startup, before traffic).  Every surviving segment is scanned for its
+  // longest valid frame prefix; sessions with an open and no tombstone are
+  // replayed through a fresh StreamingBacktrace — so a recovered session
+  // finalizes byte-identical to the uninterrupted run — with their
+  // remaining idle/lifetime budget restored from the journaled wall-clock
+  // timestamps.  Sessions past a deadline are tombstoned as expired;
+  // sessions whose design is not registered (or is lint-rejected) are
+  // tombstoned as discarded.  A no-op without a journal_dir.
+  RecoveryStats recover();
+  RecoveryStats recover(Clock::time_point now);
+
+  // The write-ahead journal, or nullptr when journal_dir is empty.  False
+  // durable() means at least one append failed to reach disk and a crash
+  // may lose events (serving continues regardless).
+  const SessionJournal* journal() const { return journal_.get(); }
+
   std::size_t live() const;
   bool contains(std::uint64_t session_id) const;
   // Streaming snapshot of a live session (nullptr when dead) — for tests
@@ -176,10 +225,18 @@ class SessionManager {
   void expire_locked(std::uint64_t id, const std::string& why);
   SessionUpdate dead_session(std::uint64_t session_id) const;
 
+  // Builds the Session shell (design refs, stream state, deadlines) shared
+  // by begin_diagnosis and recover().
+  std::unique_ptr<Session> make_session(std::int32_t design_id,
+                                        double idle_deadline_ms,
+                                        double max_lifetime_ms,
+                                        Clock::time_point now) const;
+
   DiagnosisService& service_;
   const SessionManagerOptions options_;
   Metrics& metrics_;
   FaultInjector* injector_;  // service's injector; may be null
+  std::unique_ptr<SessionJournal> journal_;  // null when journaling is off
 
   mutable std::mutex mu_;
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;

@@ -860,5 +860,49 @@ TEST(LintEndToEndTest, LintMnlRoundTripOfCleanCorpus) {
   EXPECT_EQ(report.summary(), "clean");
 }
 
+// ---- session-journal checks -------------------------------------------------
+
+TEST(LintJournalTest, SessionJournalStaleIsInTheCatalog) {
+  const lint::CheckInfo& info = lint::check_info("session-journal-stale");
+  EXPECT_EQ(info.severity, Severity::kWarn);
+  EXPECT_EQ(info.artifact, lint::ArtifactKind::kJournal);
+  EXPECT_STRNE(info.summary, "");
+  EXPECT_STRNE(info.hint, "");
+}
+
+TEST(LintJournalTest, StaleSegmentWarnsWithSegmentPathAndOffset) {
+  lint::JournalFacts facts;
+  facts.session_lifetime_ms = 500.0;
+  facts.now_wall_ms = 10000;
+  lint::JournalSegmentFacts seg;
+  seg.path = "/journal/seg-000001.m3dflj";
+  seg.records = 3;
+  seg.newest_wall_ms = 1500;  // 8500 ms old against a 500 ms lifetime
+  seg.newest_offset = 57;
+  facts.segments.push_back(seg);
+  lint::Subject subject;
+  subject.journal = &facts;
+  const Report report = lint::run_checks(subject);
+  ASSERT_EQ(report.size(), 1u);
+  const lint::Diagnostic& d = report.diagnostics().front();
+  EXPECT_EQ(d.check_id, "session-journal-stale");
+  EXPECT_EQ(d.severity, Severity::kWarn);
+  EXPECT_NE(d.location.find("seg-000001.m3dflj"), std::string::npos);
+  EXPECT_NE(d.location.find("offset 57"), std::string::npos) << d.location;
+  EXPECT_NE(d.message.find("8500 ms old"), std::string::npos) << d.message;
+
+  // Within the lifetime, or with no lifetime deadline: quiet.  Empty
+  // segments never fire (no newest record to age).
+  facts.now_wall_ms = 1600;
+  EXPECT_TRUE(lint::run_checks(subject).empty());
+  facts.now_wall_ms = 10000;
+  facts.session_lifetime_ms = 0.0;
+  EXPECT_TRUE(lint::run_checks(subject).empty());
+  facts.session_lifetime_ms = 500.0;
+  facts.segments[0].records = 0;
+  facts.segments[0].newest_wall_ms = -1;
+  EXPECT_TRUE(lint::run_checks(subject).empty());
+}
+
 }  // namespace
 }  // namespace m3dfl

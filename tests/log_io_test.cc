@@ -57,6 +57,44 @@ TEST(LogIoTest, CommentsAndBlankLinesIgnored) {
   EXPECT_EQ(log.scan_fails[0].pattern, 3);
 }
 
+// CRLF acceptance: a log whose lines end "\r\n" (Windows tester, text-mode
+// transfer hop) must parse byte-identical to its LF twin — pinned by
+// re-serializing both and comparing the bytes.
+TEST(LogIoTest, CrlfLogParsesByteIdenticalToLfTwin) {
+  const std::string lf =
+      "m3dfl-faillog 1\n"
+      "mode bypass\n"
+      "limit 4\n"
+      "scan 3 1\n"
+      "po 3 0  # trailing comment\n"
+      "end\n";
+  std::string crlf;
+  for (const char c : lf) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const FailureLog from_lf = failure_log_from_string(lf);
+  const FailureLog from_crlf = failure_log_from_string(crlf);
+  EXPECT_EQ(failure_log_to_string(from_crlf), failure_log_to_string(from_lf));
+  ASSERT_EQ(from_crlf.scan_fails.size(), 1u);
+  EXPECT_EQ(from_crlf.pattern_limit, 4);
+}
+
+TEST(LogIoTest, CrlfStreamRecordsParseIdenticalToLf) {
+  // The streaming parser (session feeds) must treat "scan 3 1\r" exactly
+  // like "scan 3 1": same kind, same fields.
+  const StreamRecord lf = parse_stream_record("scan 3 1", 2);
+  const StreamRecord crlf = parse_stream_record("scan 3 1\r", 2);
+  EXPECT_EQ(crlf.kind, StreamRecord::Kind::kScan);
+  EXPECT_EQ(crlf.observation.pattern, lf.observation.pattern);
+  EXPECT_EQ(crlf.observation.index, lf.observation.index);
+  EXPECT_EQ(parse_stream_record("end\r", 3).kind, StreamRecord::Kind::kEnd);
+  EXPECT_EQ(parse_stream_record("mode compacted\r", 2).compacted, true);
+  // Only the terminator is normalized: a '\r' splitting a keyword leaves an
+  // unknown record behind.
+  EXPECT_THROW(parse_stream_record("sc\ran 3 1", 2), Error);
+}
+
 TEST(LogIoTest, RejectsMalformedInput) {
   EXPECT_THROW(failure_log_from_string("nope"), Error);
   EXPECT_THROW(failure_log_from_string("m3dfl-faillog 1\nscan 1 2\n"), Error);

@@ -15,15 +15,21 @@
 //   m3dfl_tool inject    <profile> <out.flog>       make a demo failure log
 //   m3dfl_tool serve     <profile> <model.m3dfl> <logs> [config] [threads]
 //                        [--deadline-ms=N] [--max-retries=N] [--no-degraded]
-//                                                   batch-diagnose a directory
+//                        [--journal-dir=D]           batch-diagnose a directory
 //                                                   (or manifest) of logs
 //                                                   through the concurrent
-//                                                   serving runtime
+//                                                   serving runtime; with a
+//                                                   journal dir, requests are
+//                                                   crash-safe sessions
 //   m3dfl_tool fleet     <registry-dir> <manifest>  multi-tenant serving: route
 //                        [--threads=N]              manifest requests to per-
 //                        [--max-inflight=N]         design shards over a model
 //                        [--version=N]              registry (docs/REGISTRY.md)
 //                        [--max-resident-mb=N]
+//                        [--journal-dir=D]
+//   m3dfl_tool journal   <dir> [--verify|--compact] inspect / verify / compact
+//                        [--lifetime-ms=N]          a write-ahead session
+//                                                   journal (docs/SERVING.md)
 //   m3dfl_tool migrate-artifact <in> <out>          legacy format-1 stream ->
 //                                                   checksummed format-2
 //                                                   registry artifact
@@ -58,9 +64,11 @@
 #include "graph/backtrace.h"
 #include "lint/lint.h"
 #include "netlist/verilog_io.h"
+#include "lint/checks.h"
 #include "registry/registry.h"
 #include "serve/fleet.h"
 #include "serve/service.h"
+#include "serve/session.h"
 #include "util/artifact.h"
 #include "util/atomic_file.h"
 #include "util/table.h"
@@ -539,6 +547,10 @@ struct ServeFlags {
   double deadline_ms = 0.0;
   std::int32_t max_retries = 2;
   bool degraded_fallback = true;
+  // Non-empty: route every log through a journaled streaming session
+  // (write-ahead journal in this directory; docs/SERVING.md "Crash
+  // recovery") and recover sessions a previous killed run left behind.
+  std::string journal_dir;
 };
 
 ServeFlags parse_serve_flags(const std::vector<std::string>& flags) {
@@ -555,6 +567,9 @@ ServeFlags parse_serve_flags(const std::vector<std::string>& flags) {
         parsed.max_retries = std::stoi(value);
       } else if (key == "--no-degraded") {
         parsed.degraded_fallback = false;
+      } else if (key == "--journal-dir") {
+        M3DFL_REQUIRE(!value.empty(), "--journal-dir needs a directory");
+        parsed.journal_dir = value;
       } else {
         throw Error("unknown serve flag '" + flag + "'");
       }
@@ -565,6 +580,53 @@ ServeFlags parse_serve_flags(const std::vector<std::string>& flags) {
     }
   }
   return parsed;
+}
+
+// --journal-dir plumbing shared by `serve` and `fleet`: report what
+// recover() rebuilt from a previous killed run, then finalize the rebuilt
+// sessions (a batch CLI has no live feed to resume them) so their results
+// — byte-identical to what the uninterrupted run would have printed — are
+// delivered instead of lost.
+void report_recovery(serve::SessionManager& manager, const Netlist& netlist,
+                     const serve::RecoveryStats& stats) {
+  if (stats.segments > 0) {
+    std::cerr << "journal recovery: " << stats.recovered << " recovered, "
+              << stats.expired << " expired, " << stats.discarded
+              << " discarded (" << stats.records_scanned << " record(s) in "
+              << stats.segments << " segment(s), " << stats.lines_replayed
+              << " line(s) replayed)\n";
+    for (const std::string& d : stats.diagnostics) {
+      std::cerr << "  " << d << "\n";
+    }
+  }
+  for (const std::uint64_t id : stats.recovered_ids) {
+    const serve::DiagnosisResult result = manager.finalize(id).get();
+    std::cout << "==== recovered session " << id << "\n"
+              << result_to_string(netlist, result) << "\n";
+  }
+}
+
+// Feeds one failure log through a journaled streaming session: every
+// accepted record reaches the write-ahead journal before the call returns,
+// so a kill mid-file is recoverable up to the last acknowledged line.
+std::future<serve::DiagnosisResult> submit_via_session(
+    serve::SessionManager& manager, std::int32_t design_id,
+    std::istream& is) {
+  const serve::SessionTicket ticket = manager.begin_diagnosis(design_id);
+  if (!ticket.admitted()) {
+    std::promise<serve::DiagnosisResult> shed;
+    serve::DiagnosisResult result;
+    result.status = ticket.status;
+    result.status_message = ticket.message;
+    shed.set_value(std::move(result));
+    return shed.get_future();
+  }
+  std::string line;
+  std::getline(is, line);  // "m3dfl-faillog 1" header; sessions take the body
+  while (std::getline(is, line)) {
+    manager.add_response(ticket.session_id, line);
+  }
+  return manager.finalize(ticket.session_id);
 }
 
 int cmd_serve(const std::string& profile, const std::string& model_path,
@@ -590,6 +652,17 @@ int cmd_serve(const std::string& profile, const std::string& model_path,
   }
   const std::int32_t design_id = service.register_design(design);
 
+  // Journaled mode: logs flow through streaming sessions so every accepted
+  // record is durable before it is acknowledged, and sessions a previous
+  // killed run left in the journal are recovered and finalized first.
+  std::unique_ptr<serve::SessionManager> manager;
+  if (!flags.journal_dir.empty()) {
+    serve::SessionManagerOptions mgr_options;
+    mgr_options.journal_dir = flags.journal_dir;
+    manager = std::make_unique<serve::SessionManager>(service, mgr_options);
+    report_recovery(*manager, design->netlist(), manager->recover());
+  }
+
   const auto paths = collect_log_paths(logs_arg);
   std::cerr << "serving " << paths.size() << " failure logs on "
             << design->name() << " with " << options.num_threads
@@ -604,7 +677,9 @@ int cmd_serve(const std::string& profile, const std::string& model_path,
   for (const auto& path : paths) {
     try {
       auto is = open_in(path.string());
-      futures.push_back(service.submit(design_id, read_failure_log(is)));
+      futures.push_back(manager != nullptr
+                            ? submit_via_session(*manager, design_id, is)
+                            : service.submit(design_id, read_failure_log(is)));
     } catch (const Error& e) {
       parse_failures[futures.size()] = e.what();
       futures.emplace_back();  // invalid slot, reported below
@@ -638,6 +713,11 @@ int cmd_serve(const std::string& profile, const std::string& model_path,
     std::cout << "\n" << result_to_string(design->netlist(), result) << "\n";
   }
   service.shutdown();
+  if (manager != nullptr && manager->journal() != nullptr &&
+      !manager->journal()->durable()) {
+    std::cerr << "warning: journal degraded to non-durable (append "
+                 "failure); a crash may lose events\n";
+  }
   std::cout << "==== serving metrics ====\n" << service.metrics().report();
   std::cout << "==== " << num_ok << " ok (" << num_degraded << " degraded), "
             << num_failed << " failed of " << futures.size()
@@ -730,6 +810,9 @@ struct FleetFlags {
   std::uint64_t max_inflight = 0;  // per-tenant quota; 0 = unlimited
   std::int32_t version = registry::ModelRegistry::kLatest;
   std::size_t max_resident_mb = 0;  // registry eviction watermark
+  // Non-empty: per-tenant write-ahead journals under <dir>/<model-name>,
+  // with startup recovery (docs/SERVING.md "Crash recovery").
+  std::string journal_dir;
 };
 
 FleetFlags parse_fleet_flags(const std::vector<std::string>& flags) {
@@ -748,6 +831,9 @@ FleetFlags parse_fleet_flags(const std::vector<std::string>& flags) {
         parsed.version = std::stoi(value);
       } else if (key == "--max-resident-mb") {
         parsed.max_resident_mb = std::stoull(value);
+      } else if (key == "--journal-dir") {
+        M3DFL_REQUIRE(!value.empty(), "--journal-dir needs a directory");
+        parsed.journal_dir = value;
       } else {
         throw Error("unknown fleet flag '" + flag + "'");
       }
@@ -781,6 +867,12 @@ int cmd_fleet(const std::string& registry_dir, const std::string& manifest,
 
   // tenant key "<profile>/<config>" -> tenant id
   std::map<std::string, std::int32_t> tenants;
+  // Journaled mode: one SessionManager (and journal subdirectory, keyed by
+  // the stable model name rather than the manifest-order tenant id) per
+  // tenant, layered over the tenant's current shard service.  Declared
+  // after `fleet` so the managers die before the services they reference.
+  std::map<std::int32_t, std::unique_ptr<serve::SessionManager>> managers;
+  std::map<std::int32_t, std::shared_ptr<const Design>> tenant_designs;
   struct Slot {
     std::string log_name;
     std::int32_t tenant_id = 0;
@@ -811,11 +903,32 @@ int cmd_fleet(const std::string& registry_dir, const std::string& manifest,
       tenant.version = flags.version;
       tenant.max_inflight = flags.max_inflight;
       const std::string model = tenant.model;
+      std::shared_ptr<const Design> design_ref = design;
       const std::int32_t id =
           fleet.add_tenant(std::move(design), std::move(tenant));
       it = tenants.emplace(key, id).first;
       std::cerr << "tenant " << id << ": " << key << " -> model '" << model
                 << "'\n";
+      if (!flags.journal_dir.empty()) {
+        // Journal per tenant, recovered before this tenant takes traffic.
+        // tenant_service is null until a model is published; those tenants
+        // fall back to the non-durable batch path below.
+        serve::DiagnosisService* shard = fleet.tenant_service(id);
+        if (shard == nullptr) {
+          std::cerr << "warning: tenant " << id << " has no epoch yet; "
+                       "serving it without a journal\n";
+        } else {
+          serve::SessionManagerOptions mgr_options;
+          mgr_options.journal_dir =
+              (std::filesystem::path(flags.journal_dir) / model).string();
+          auto manager =
+              std::make_unique<serve::SessionManager>(*shard, mgr_options);
+          report_recovery(*manager, design_ref->netlist(),
+                          manager->recover());
+          managers.emplace(id, std::move(manager));
+          tenant_designs.emplace(id, std::move(design_ref));
+        }
+      }
     }
     std::filesystem::path p(log_path);
     if (!p.is_absolute()) p = base / p;
@@ -824,7 +937,13 @@ int cmd_fleet(const std::string& registry_dir, const std::string& manifest,
     slot.tenant_id = it->second;
     try {
       auto log_is = open_in(p.string());
-      futures.push_back(fleet.submit(it->second, read_failure_log(log_is)));
+      const auto mgr = managers.find(it->second);
+      // Each fleet epoch registers exactly one design, so the shard-local
+      // design id is always 0.
+      futures.push_back(mgr != managers.end()
+                            ? submit_via_session(*mgr->second, 0, log_is)
+                            : fleet.submit(it->second,
+                                           read_failure_log(log_is)));
     } catch (const Error& e) {
       std::promise<serve::DiagnosisResult> failed;
       serve::DiagnosisResult result;
@@ -849,11 +968,92 @@ int cmd_fleet(const std::string& registry_dir, const std::string& manifest,
                    TablePrinter::fmt(result.total_seconds * 1e3, 2)});
   }
   fleet.shutdown();
+  for (const auto& [tenant_id, manager] : managers) {
+    if (manager->journal() != nullptr && !manager->journal()->durable()) {
+      std::cerr << "warning: tenant " << tenant_id
+                << " journal degraded to non-durable (append failure)\n";
+    }
+  }
   table.print();
   std::cout << "\n" << fleet.report();
   std::cout << "==== " << num_ok << " ok of " << futures.size()
             << " requests across " << tenants.size() << " tenant(s) ====\n";
   return num_ok == futures.size() ? 0 : 1;
+}
+
+// `m3dfl_tool journal <dir> [--verify|--compact] [--lifetime-ms=N]`:
+// inspects a write-ahead session journal (docs/SERVING.md "Crash
+// recovery").  Default: per-segment table + live/closed sessions +
+// offset-cited diagnostics.  --verify exits 1 if any segment is torn or
+// corrupt; --compact removes sealed fully-tombstoned segments;
+// --lifetime-ms additionally runs the session-journal-stale lint check
+// against the given session-lifetime deadline.
+int cmd_journal(const std::string& dir,
+                const std::vector<std::string>& flags) {
+  bool verify = false;
+  bool compact = false;
+  double lifetime_ms = 0.0;
+  for (const std::string& flag : flags) {
+    const auto eq = flag.find('=');
+    const std::string key = flag.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : flag.substr(eq + 1);
+    if (key == "--verify") {
+      verify = true;
+    } else if (key == "--compact") {
+      compact = true;
+    } else if (key == "--lifetime-ms") {
+      try {
+        lifetime_ms = std::stod(value);
+      } catch (const std::exception&) {
+        throw Error("bad value in journal flag '" + flag + "'");
+      }
+    } else {
+      throw Error("unknown journal flag '" + flag + "'");
+    }
+  }
+
+  const serve::JournalReplay replay = serve::SessionJournal::replay(dir);
+  if (replay.segments.empty()) {
+    std::cout << "no journal segments in '" << dir << "'\n";
+    return 0;
+  }
+  TablePrinter table({"segment", "records", "valid bytes", "total bytes",
+                      "status"});
+  for (const serve::SegmentScan& seg : replay.segments) {
+    table.add_row({std::filesystem::path(seg.path).filename().string(),
+                   std::to_string(seg.records.size()),
+                   std::to_string(seg.valid_bytes),
+                   std::to_string(seg.total_bytes),
+                   seg.diagnostic.empty() ? "ok" : "torn"});
+  }
+  table.print();
+  std::cout << replay.records << " record(s), " << replay.live.size()
+            << " live session(s), " << replay.closed_sessions
+            << " closed session(s)\n";
+  for (const auto& live : replay.live) {
+    std::cout << "  live session " << live.id << ": design '"
+              << live.design_name << "', " << live.lines.size()
+              << " accepted record(s)\n";
+  }
+  for (const std::string& d : replay.diagnostics) {
+    std::cout << "  " << d << "\n";
+  }
+
+  if (lifetime_ms > 0.0) {
+    const lint::JournalFacts facts =
+        serve::journal_lint_facts(dir, lifetime_ms, serve::system_wall_ms());
+    lint::Subject subject;
+    subject.journal = &facts;
+    lint::Report report;
+    lint::run_journal_checks(subject, report);
+    std::cout << report.to_string();
+  }
+  if (compact) {
+    const std::size_t removed = serve::SessionJournal::compact(dir);
+    std::cout << "compacted " << removed << " segment(s)\n";
+  }
+  return verify && !replay.diagnostics.empty() ? 1 : 0;
 }
 
 int usage() {
@@ -882,10 +1082,14 @@ int usage() {
                "<logdir|manifest> [config] [threads]\n"
                "                      [--deadline-ms=N] [--max-retries=N] "
                "[--no-degraded]\n"
+               "                      [--journal-dir=D]\n"
                "  m3dfl_tool fleet    <registry-dir> <manifest>\n"
                "                      [--threads=N] [--max-inflight=N] "
                "[--version=N]\n"
-               "                      [--max-resident-mb=N]\n"
+               "                      [--max-resident-mb=N] "
+               "[--journal-dir=D]\n"
+               "  m3dfl_tool journal  <dir> [--verify|--compact] "
+               "[--lifetime-ms=N]\n"
                "  m3dfl_tool migrate-artifact <in> <out>\n";
   return 2;
 }
@@ -935,9 +1139,13 @@ int main(int argc, char** argv) {
       return cmd_fleet(positional[1], positional[2],
                        parse_fleet_flags(flags));
     }
+    if (cmd == "journal" && positional.size() == 2) {
+      return cmd_journal(positional[1], flags);
+    }
     if (!flags.empty()) {
       throw Error("flags are only accepted by the 'serve', 'train', 'lint', "
-                  "'diagnose', 'perturb-log', and 'fleet' commands");
+                  "'diagnose', 'perturb-log', 'fleet', and 'journal' "
+                  "commands");
     }
     if (cmd == "migrate-artifact" && positional.size() == 3) {
       return cmd_migrate_artifact(positional[1], positional[2]);
