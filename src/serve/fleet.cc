@@ -147,19 +147,37 @@ std::future<DiagnosisResult> FleetService::submit(
                       "no registry model '" + tenant.options.model +
                           "' is loadable yet");
   }
-  if (tenant.options.max_inflight > 0) {
-    // Quota counts this tenant's in-flight work across the current and all
-    // retired epochs — a reload must not double a tenant's effective quota.
-    std::uint64_t inflight = tenant.epoch->service->pending();
-    for (const auto& old : tenant.retired) inflight += old->service->pending();
-    if (inflight >= tenant.options.max_inflight) {
-      return reject_now(tenant, StatusCode::kQuotaExceeded,
-                        "tenant over max_inflight quota (" +
-                            std::to_string(tenant.options.max_inflight) + ")");
-    }
+  if (over_quota_locked(tenant)) {
+    return reject_now(tenant, StatusCode::kQuotaExceeded,
+                      "tenant over max_inflight quota (" +
+                          std::to_string(tenant.options.max_inflight) + ")");
   }
   return tenant.epoch->service->submit(tenant.epoch->design_id, std::move(log),
                                        submit_options);
+}
+
+bool FleetService::over_quota_locked(const Tenant& tenant) {
+  if (tenant.options.max_inflight == 0 || tenant.epoch == nullptr) {
+    return false;
+  }
+  // Quota counts this tenant's in-flight work across the current and all
+  // retired epochs — a reload must not double a tenant's effective quota.
+  std::uint64_t inflight = tenant.epoch->service->pending();
+  for (const auto& old : tenant.retired) inflight += old->service->pending();
+  return inflight >= tenant.options.max_inflight;
+}
+
+std::optional<std::future<DiagnosisResult>> FleetService::admit(
+    std::int32_t tenant_id) {
+  Tenant& tenant = tenant_at(tenant_id);
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  M3DFL_REQUIRE(!tenant.shut_down,
+                "fleet admit after shutdown (tenant " +
+                    std::to_string(tenant_id) + ")");
+  if (!over_quota_locked(tenant)) return std::nullopt;
+  return reject_now(tenant, StatusCode::kQuotaExceeded,
+                    "tenant over max_inflight quota (" +
+                        std::to_string(tenant.options.max_inflight) + ")");
 }
 
 DiagnosisResult FleetService::diagnose(std::int32_t tenant_id, FailureLog log,

@@ -38,6 +38,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,14 @@ class FleetService {
   DiagnosisResult diagnose(std::int32_t tenant_id, FailureLog log,
                            const SubmitOptions& submit_options = {});
 
+  // Quota gate for callers that bypass submit() by layering sessions over
+  // tenant_service() (the CLI's journaled path): applies the same
+  // max_inflight check as submit(), recording a rejection in the tenant's
+  // metrics exactly as submit() would.  Returns an already-resolved
+  // kQuotaExceeded future when the tenant is over quota, or an optional
+  // with no value when the request is admitted.
+  std::optional<std::future<DiagnosisResult>> admit(std::int32_t tenant_id);
+
   // Releases the tenant's shard workers when its ServiceOptions had
   // start_paused set (tests stage a queue, then release); idempotent.
   void resume(std::int32_t tenant_id);
@@ -152,6 +161,9 @@ class FleetService {
   // quiesced retired epochs.  Returns false when no model is loadable and no
   // epoch exists.  Caller holds tenant.mu.
   bool refresh_epoch_locked(Tenant& tenant);
+  // True when the tenant's in-flight work (current + retired epochs) has
+  // reached its max_inflight quota.  Caller holds tenant.mu.
+  static bool over_quota_locked(const Tenant& tenant);
   // Immediately resolved rejection, counted in the tenant's metrics.
   static std::future<DiagnosisResult> reject_now(Tenant& tenant,
                                                  StatusCode status,

@@ -242,9 +242,10 @@ void SessionJournal::open_next_segment() {
       (std::filesystem::path(dir_) / segment_name(segment_index_)).string();
   segment_bytes_ = 0;
   rotate_before_next_ = false;
+  // Failures here leave fd_ < 0 and are counted (once per lost event) by
+  // append_payload, the only caller that actually loses an event.
   fd_ = ::open(segment_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
-    count(options_.metrics, &Metrics::journal_append_failures);
     durable_ = false;
     return;
   }
@@ -255,7 +256,6 @@ void SessionJournal::open_next_segment() {
         ::write(fd_, header.data() + written, header.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      count(options_.metrics, &Metrics::journal_append_failures);
       durable_ = false;
       ::close(fd_);
       fd_ = -1;
@@ -484,10 +484,21 @@ JournalReplay SessionJournal::replay(const std::string& dir) {
     if (!scan.diagnostic.empty()) result.diagnostics.push_back(scan.diagnostic);
     result.records += scan.records.size();
     for (JournalRecord& record : scan.records) {
+      result.max_session_id = std::max(result.max_session_id,
+                                       record.session_id);
       switch (record.type) {
         case JournalRecord::Type::kOpen: {
-          if (live.count(record.session_id) != 0 ||
-              closed.count(record.session_id) != 0) {
+          if (closed.count(record.session_id) != 0) {
+            // Nothing is "kept" here: the tombstone wins and this open is
+            // dropped outright — the signature of a restarted manager
+            // reissuing a journaled id.
+            result.diagnostics.push_back(scan_diag(
+                path, record.offset,
+                "open for already-closed session " +
+                    std::to_string(record.session_id) + "; dropped"));
+            break;
+          }
+          if (live.count(record.session_id) != 0) {
             result.diagnostics.push_back(scan_diag(
                 path, record.offset,
                 "duplicate open for session " +

@@ -124,6 +124,13 @@ struct JournalReplay {
   std::vector<std::string> diagnostics;
   std::size_t records = 0;         // valid frames across all segments
   std::size_t closed_sessions = 0; // sessions with a tombstone
+  // Highest session id referenced by any valid frame — opens, records, and
+  // closes alike, including tombstones whose open was compacted away.
+  // recover() seeds the manager's id counter past this so a restarted
+  // manager never reissues a journaled id (a reused id's `open` would be
+  // rejected as a duplicate of the existing tombstone on the *next*
+  // recovery, silently losing every post-restart session).
+  std::uint64_t max_session_id = 0;
 };
 
 // Append-side writer.  NOT thread-safe: SessionManager serializes appends

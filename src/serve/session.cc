@@ -390,6 +390,12 @@ RecoveryStats SessionManager::recover(Clock::time_point now) {
   const std::int64_t now_wall = journal_->wall_ms();
 
   std::lock_guard<std::mutex> lock(mu_);
+  // Never reissue a journaled id — not even one whose session is closed.  A
+  // reused id's `open` would collide with the existing tombstone at the
+  // *next* recovery (dropped as a duplicate, its records dropped as
+  // belonging to a closed session), silently losing every session opened
+  // after this restart.
+  next_id_ = std::max(next_id_, replay.max_session_id + 1);
   for (const JournalReplay::LiveSession& journaled : replay.live) {
     if (sessions_.count(journaled.id) != 0) continue;  // recover() re-run
 
@@ -464,7 +470,6 @@ RecoveryStats SessionManager::recover(Clock::time_point now) {
                                                   std::memory_order_relaxed);
     }
 
-    next_id_ = std::max(next_id_, journaled.id + 1);
     sessions_.emplace(journaled.id, std::move(session));
     ++stats.recovered;
     stats.recovered_ids.push_back(journaled.id);

@@ -86,6 +86,9 @@ TEST(JournalTest, WriterRoundTripsThroughReplay) {
   EXPECT_EQ(replay.closed_sessions, 1u);
   EXPECT_TRUE(replay.live.empty());
   EXPECT_TRUE(replay.diagnostics.empty());
+  // Closed sessions count toward the id high-water mark: recover() must
+  // seed the manager's counter past ids that only tombstones mention.
+  EXPECT_EQ(replay.max_session_id, 7u);
 
   const SegmentScan scan = SessionJournal::scan_segment(journal.active_segment());
   ASSERT_EQ(scan.records.size(), 4u);
@@ -275,6 +278,68 @@ TEST(JournalCorpusTest, DuplicateTombstoneIsIgnoredWithItsOffset) {
                 "ignored"),
             std::string::npos)
       << replay.diagnostics[0];
+}
+
+// An `open` that reuses a tombstoned id is dropped outright — the
+// diagnostic must say so rather than claim any prior open was "kept", and
+// the session's records go with it.  (The writer-side guard is
+// SessionManager::recover() seeding next_id_ past replay.max_session_id;
+// this pins what a journal looks like when that guard is missing.)
+TEST(JournalTest, OpenForAlreadyClosedSessionIsDropped) {
+  const std::string dir = scratch_dir("reused_id");
+  write_segment(dir, "seg-000001.m3dflj",
+                {"open 7 100 0 0 D", "close 7 200 finalized",
+                 "open 7 300 0 0 D", "rec 7 350 scan 0 1"});
+  const JournalReplay replay = SessionJournal::replay(dir);
+  EXPECT_TRUE(replay.live.empty());
+  EXPECT_EQ(replay.closed_sessions, 1u);
+  EXPECT_EQ(replay.max_session_id, 7u);
+  ASSERT_EQ(replay.diagnostics.size(), 2u);
+  EXPECT_NE(replay.diagnostics[0].find(
+                "open for already-closed session 7; dropped"),
+            std::string::npos)
+      << replay.diagnostics[0];
+  EXPECT_NE(replay.diagnostics[1].find("record for closed session 7"),
+            std::string::npos)
+      << replay.diagnostics[1];
+}
+
+// A duplicate open for a session that is still live keeps the first open
+// (the second is presumed a replayed/garbled frame, not a fresh session).
+TEST(JournalTest, DuplicateOpenForLiveSessionKeepsTheFirst) {
+  const std::string dir = scratch_dir("dup_open");
+  write_segment(dir, "seg-000001.m3dflj",
+                {"open 7 100 0 0 First", "open 7 200 0 0 Second"});
+  const JournalReplay replay = SessionJournal::replay(dir);
+  ASSERT_EQ(replay.live.size(), 1u);
+  EXPECT_EQ(replay.live[0].design_name, "First");
+  ASSERT_EQ(replay.diagnostics.size(), 1u);
+  EXPECT_NE(replay.diagnostics[0].find(
+                "duplicate open for session 7; keeping the first"),
+            std::string::npos)
+      << replay.diagnostics[0];
+}
+
+// A failed rotation loses exactly one event and must count exactly one
+// append failure (not one for the failed ::open plus one for the dead fd).
+TEST(JournalTest, FailedRotationCountsEachLostEventOnce) {
+  const std::string dir = scratch_dir("rotate_fail");
+  Metrics metrics;
+  JournalOptions options;
+  options.max_segment_bytes = 1;  // every append wants a fresh segment
+  options.metrics = &metrics;
+  SessionJournal journal(dir, options);
+  journal.append_open(1, "D", 0.0, 0.0);
+  EXPECT_EQ(metrics.journal_appends.load(), 1);
+  // Yank the directory out from under the writer: the next rotation's
+  // ::open fails with ENOENT and that event is lost.
+  fs::remove_all(dir);
+  journal.append_record(1, "scan 0 1");
+  EXPECT_FALSE(journal.durable());
+  EXPECT_EQ(metrics.journal_append_failures.load(), 1);
+  journal.append_record(1, "scan 0 2");
+  EXPECT_EQ(metrics.journal_append_failures.load(), 2);
+  EXPECT_EQ(metrics.journal_appends.load(), 1);
 }
 
 // ---- compaction ------------------------------------------------------------

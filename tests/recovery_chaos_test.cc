@@ -382,6 +382,74 @@ TEST_F(RecoveryChaosTest, UnknownDesignIsDiscardedOnRecovery) {
   EXPECT_TRUE(serve::SessionJournal::replay(dir).live.empty());
 }
 
+// Regression: a restarted manager must never reissue a journaled session
+// id.  next_id_ restarts at 1, so without seeding it past the journal's id
+// high-water mark the first post-restart session reuses a tombstoned id;
+// its `open` is then dropped at the *next* recovery as a duplicate of the
+// surviving tombstone and its records are dropped as belonging to a closed
+// session — every session opened after a restart silently unrecoverable
+// after a second crash.
+TEST_F(RecoveryChaosTest, RestartNeverReusesJournaledSessionIds) {
+  const std::string dir = scratch_dir("id_reuse");
+  serve::SessionManagerOptions mgr;
+  mgr.journal_dir = dir;
+  const std::vector<std::string> lines = feed_lines((*logs_)[0]);
+  const std::size_t k = lines.size() / 2;
+  const Outcome expected = clean_reference(lines, lines.size());
+
+  std::uint64_t first_id = 0;
+  {
+    // Run one session to completion: its tombstone stays in the journal
+    // (compaction is manual-only in the default serve flow).
+    serve::ServiceOptions options;
+    options.num_threads = 1;
+    serve::DiagnosisService service = make_service(options);
+    const std::int32_t design_id = service.register_design(design_);
+    serve::SessionManager manager(service, mgr);
+    EXPECT_EQ(manager.recover().recovered, 0u);
+    const serve::SessionTicket ticket = manager.begin_diagnosis(design_id);
+    ASSERT_TRUE(ticket.admitted());
+    first_id = ticket.session_id;
+    const Outcome outcome = finish(manager, first_id, lines, 0);
+    ASSERT_EQ(outcome.status, serve::StatusCode::kOk);
+  }
+
+  std::uint64_t second_id = 0;
+  {
+    // Restart, open a fresh session over the same journal, feed half, crash.
+    serve::ServiceOptions options;
+    options.num_threads = 1;
+    serve::DiagnosisService service = make_service(options);
+    const std::int32_t design_id = service.register_design(design_);
+    serve::SessionManager manager(service, mgr);
+    EXPECT_EQ(manager.recover().recovered, 0u);
+    const serve::SessionTicket ticket = manager.begin_diagnosis(design_id);
+    ASSERT_TRUE(ticket.admitted());
+    second_id = ticket.session_id;
+    EXPECT_NE(second_id, first_id);
+    for (std::size_t i = 0; i < k; ++i) {
+      manager.add_response(second_id, lines[i]);
+    }
+  }
+
+  // Second crash: the post-restart session must recover cleanly, not vanish
+  // as a duplicate of the first session's tombstone.
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  serve::DiagnosisService service = make_service(options);
+  service.register_design(design_);
+  serve::SessionManager manager(service, mgr);
+  const serve::RecoveryStats stats = manager.recover();
+  ASSERT_EQ(stats.recovered, 1u);
+  EXPECT_EQ(stats.lines_replayed, k);
+  EXPECT_TRUE(stats.diagnostics.empty())
+      << (stats.diagnostics.empty() ? "" : stats.diagnostics[0]);
+  ASSERT_EQ(stats.recovered_ids.at(0), second_id);
+  const Outcome outcome = finish(manager, second_id, lines, k);
+  EXPECT_EQ(outcome.status, serve::StatusCode::kOk);
+  EXPECT_EQ(outcome.text, expected.text);
+}
+
 // Concurrency (the TSan job runs this): parallel feeds through one
 // journaled manager keep the accounting partition, and the journal they
 // leave behind replays with every session closed and no diagnostics.

@@ -612,6 +612,14 @@ void report_recovery(serve::SessionManager& manager, const Netlist& netlist,
 std::future<serve::DiagnosisResult> submit_via_session(
     serve::SessionManager& manager, std::int32_t design_id,
     std::istream& is) {
+  // Same header gate as read_failure_log, *before* a session exists: a
+  // headerless or garbage file must report as a parse failure, not open a
+  // session, swallow its first body line, and print a bogus diagnosis.
+  std::string line;
+  const bool have_header = static_cast<bool>(std::getline(is, line));
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  M3DFL_REQUIRE(have_header && line == "m3dfl-faillog 1",
+                "failure log line 1: missing 'm3dfl-faillog 1' header");
   const serve::SessionTicket ticket = manager.begin_diagnosis(design_id);
   if (!ticket.admitted()) {
     std::promise<serve::DiagnosisResult> shed;
@@ -621,8 +629,6 @@ std::future<serve::DiagnosisResult> submit_via_session(
     shed.set_value(std::move(result));
     return shed.get_future();
   }
-  std::string line;
-  std::getline(is, line);  // "m3dfl-faillog 1" header; sessions take the body
   while (std::getline(is, line)) {
     manager.add_response(ticket.session_id, line);
   }
@@ -938,12 +944,19 @@ int cmd_fleet(const std::string& registry_dir, const std::string& manifest,
     try {
       auto log_is = open_in(p.string());
       const auto mgr = managers.find(it->second);
-      // Each fleet epoch registers exactly one design, so the shard-local
-      // design id is always 0.
-      futures.push_back(mgr != managers.end()
-                            ? submit_via_session(*mgr->second, 0, log_is)
-                            : fleet.submit(it->second,
-                                           read_failure_log(log_is)));
+      if (mgr != managers.end()) {
+        // The session path bypasses fleet.submit, so apply the tenant's
+        // max_inflight gate here — a journaled tenant gets the same quota
+        // (and the same kQuotaExceeded accounting) as a batch one.  Each
+        // fleet epoch registers exactly one design, so the shard-local
+        // design id is always 0.
+        auto shed = fleet.admit(it->second);
+        futures.push_back(shed.has_value()
+                              ? std::move(*shed)
+                              : submit_via_session(*mgr->second, 0, log_is));
+      } else {
+        futures.push_back(fleet.submit(it->second, read_failure_log(log_is)));
+      }
     } catch (const Error& e) {
       std::promise<serve::DiagnosisResult> failed;
       serve::DiagnosisResult result;
