@@ -19,6 +19,11 @@ struct CoverageOptions {
   // this many faults.
   std::int32_t sample_faults = 0;
   std::uint64_t seed = 7;
+  // Simulate one member per structural equivalence class
+  // (sta::collapse_tdf_faults) and reuse its verdict for the rest.
+  // Equivalent faults have identical observations, so the graded result is
+  // byte-identical to the full run — only cheaper.
+  bool collapse_faults = false;
 };
 
 struct CoverageResult {

@@ -8,9 +8,12 @@
 #include <limits>
 #include <sstream>
 
+#include <unordered_map>
+
 #include "gnn/oversample.h"
 #include "gnn/serialize.h"
 #include "lint/lint.h"
+#include "sta/collapse.h"
 #include "util/artifact.h"
 #include "util/atomic_file.h"
 
@@ -18,6 +21,59 @@ namespace m3dfl {
 namespace {
 
 constexpr int kDonePhase = 3;
+
+// STA preflight: reject labeled samples whose ground-truth faults are
+// untestable (see TrainerOptions::sta_design).  Throws citing each offending
+// (sample, fault site) pair, capped so a systematically poisoned dataset
+// still produces a readable error.
+void sta_preflight(const DesignContext& design,
+                   std::span<const Sample> samples,
+                   const sta::StaOptions& sta_options) {
+  const Netlist& nl = *design.netlist;
+  const sta::TimingAnalysis analysis(nl, design.tiers, design.mivs,
+                                     sta_options);
+  const std::vector<sta::UntestableFault> untestable =
+      analysis.untestable_faults();
+  if (untestable.empty()) return;
+
+  // Key: TDF index (2*pin + dir) for pin faults, offset by the pin universe
+  // for MIVs; static faults are outside the delay-fault universe.
+  const auto key_of = [&](const Fault& f) -> std::int64_t {
+    if (f.is_miv()) return 2LL * nl.num_pins() + f.miv;
+    if (f.is_static()) return -1;
+    return sta::tdf_fault_index(f);
+  };
+  std::unordered_map<std::int64_t, const sta::UntestableFault*> by_key;
+  by_key.reserve(untestable.size());
+  for (const sta::UntestableFault& u : untestable) {
+    by_key.emplace(key_of(u.fault), &u);
+  }
+
+  std::string cited;
+  std::int32_t hits = 0;
+  constexpr std::int32_t kMaxCited = 8;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    for (const Fault& f : samples[i].faults) {
+      const std::int64_t key = key_of(f);
+      if (key < 0) continue;
+      const auto it = by_key.find(key);
+      if (it == by_key.end()) continue;
+      ++hits;
+      if (hits <= kMaxCited) {
+        if (!cited.empty()) cited += "; ";
+        cited += "sample " + std::to_string(i) + ": " +
+                 fault_to_string(nl, f) + " (" +
+                 sta::untestable_reason_name(it->second->reason) + ")";
+      }
+    }
+  }
+  if (hits == 0) return;
+  if (hits > kMaxCited) {
+    cited += "; and " + std::to_string(hits - kMaxCited) + " more";
+  }
+  throw Error("training preflight failed: " + std::to_string(hits) +
+              " label(s) reference untestable delay faults: " + cited);
+}
 
 std::string adam_to_string(const Adam& adam) {
   std::ostringstream os;
@@ -276,6 +332,10 @@ bool Trainer::resume() {
 void Trainer::train(std::span<const Subgraph> graphs) {
   M3DFL_REQUIRE(!graphs.empty(), "cannot train on an empty dataset");
   if (options_.preflight && phase_ == 0) {
+    if (options_.sta_design != nullptr && !options_.sta_samples.empty()) {
+      sta_preflight(*options_.sta_design, options_.sta_samples,
+                    options_.sta_options);
+    }
     const lint::Report report = lint::lint_training_set(graphs);
     if (report.has_errors()) {
       throw Error("training preflight failed: " + report.summary() +

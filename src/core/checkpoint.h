@@ -34,6 +34,8 @@
 #include <string>
 
 #include "core/framework.h"
+#include "diag/datagen.h"
+#include "sta/sta.h"
 #include "util/fault_injector.h"
 
 namespace m3dfl {
@@ -74,6 +76,16 @@ struct TrainerOptions {
   // The check is one pass over the features — far cheaper than discovering
   // a poisoned sample as NaN weights after hours of training.
   bool preflight = true;
+  // STA preflight (runs under the same `preflight` switch): when the design
+  // and the labeled samples behind `graphs` are supplied, a static timing &
+  // testability analysis rejects samples whose ground-truth faults are
+  // untestable (unobservable cones, slack margin beyond sta_options.
+  // max_defect_ps) before epoch 0, citing the fault sites.  An untestable
+  // label can never match its failure log, so it would train the model on
+  // contradictory evidence.  Both non-owning; null/empty skips the check.
+  const DesignContext* sta_design = nullptr;
+  std::span<const Sample> sta_samples;
+  sta::StaOptions sta_options;
 };
 
 // Drives DiagnosisFramework training with checkpoint/resume and guard

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_set>
 
 #include "sim/fault_sim.h"
+#include "sta/collapse.h"
 #include "util/thinning.h"
 
 namespace m3dfl {
@@ -141,6 +143,44 @@ std::vector<std::int32_t> count_suspects(const DesignContext& design,
   return count;
 }
 
+// Per-equivalence-class observation cache for the opt-in collapsed
+// candidate simulation (DiagnosisOptions::collapse_equivalent_candidates).
+// The first TDF seen from a class is simulated; later members reuse its
+// observation list, which structural equivalence guarantees is identical.
+// Observations depend only on (netlist, good simulation), so one cache
+// serves every FaultSimulator instance of a diagnosis run.
+class ObservationCache {
+ public:
+  ObservationCache(const Netlist& netlist, bool enabled) {
+    if (!enabled) return;
+    collapsed_ = sta::collapse_tdf_faults(netlist);
+    cache_.resize(static_cast<std::size_t>(collapsed_->num_classes()));
+    filled_.assign(cache_.size(), 0);
+  }
+
+  const std::vector<Observation>& simulate(FaultSimulator& fsim,
+                                           const Fault& fault) {
+    if (!collapsed_ || fault.is_miv() || fault.is_static()) {
+      scratch_ = fsim.simulate(fault);
+      return scratch_;
+    }
+    const auto cls = static_cast<std::size_t>(
+        collapsed_->class_of[static_cast<std::size_t>(
+            sta::tdf_fault_index(fault))]);
+    if (!filled_[cls]) {
+      cache_[cls] = fsim.simulate(fault);
+      filled_[cls] = 1;
+    }
+    return cache_[cls];
+  }
+
+ private:
+  std::optional<sta::CollapsedFaults> collapsed_;
+  std::vector<std::vector<Observation>> cache_;
+  std::vector<char> filled_;
+  std::vector<Observation> scratch_;
+};
+
 // Candidate faults on a suspect net (stem + branch pins, both directions,
 // optional static candidates, plus the MIV if the net crosses tiers).
 std::vector<Fault> enumerate_candidates(const DesignContext& design,
@@ -178,7 +218,8 @@ std::vector<Fault> enumerate_candidates(const DesignContext& design,
 DiagnosisReport diagnose_cover(const DesignContext& design,
                                const FailureLog& log,
                                const DiagnosisOptions& options,
-                               const std::vector<Response>& responses) {
+                               const std::vector<Response>& responses,
+                               ObservationCache& obs_cache) {
   const Netlist& nl = *design.netlist;
   FaultSimulator fsim(nl, *design.good, design.mivs);
   const XorCompactor* compactor = log.compacted ? design.compactor : nullptr;
@@ -222,7 +263,7 @@ DiagnosisReport diagnose_cover(const DesignContext& design,
     };
     std::vector<Scored> scored;
     for (const Fault& f : enumerate_candidates(design, suspects, options)) {
-      const std::vector<Observation> raw = fsim.simulate(f);
+      const std::vector<Observation>& raw = obs_cache.simulate(fsim, f);
       if (raw.empty()) continue;
       const FailureLog predicted_log = truncate_failure_log(
           make_failure_log(raw, *design.scan, compactor), log.pattern_limit);
@@ -308,6 +349,7 @@ DiagnosisReport diagnose_atpg(const DesignContext& design,
   DiagnosisReport report;
   if (log.empty()) return report;
   const Netlist& nl = *design.netlist;
+  ObservationCache obs_cache(nl, options.collapse_equivalent_candidates);
 
   // ---- Effect-cause: suspect nets -----------------------------------------
   std::vector<Response> responses = collect_responses(design, log);
@@ -329,7 +371,7 @@ DiagnosisReport diagnose_atpg(const DesignContext& design,
     // Multi-fault dies rarely share a common cone across all responses; the
     // standard remedy is iterative covering: diagnose the strongest
     // remaining fault, subtract the responses it explains, repeat.
-    return diagnose_cover(design, log, options, responses);
+    return diagnose_cover(design, log, options, responses, obs_cache);
   }
 
   // ---- Cause-effect: candidate enumeration and simulation -----------------
@@ -343,7 +385,7 @@ DiagnosisReport diagnose_atpg(const DesignContext& design,
 
   std::vector<Candidate> scored;
   for (const Fault& f : candidates) {
-    const std::vector<Observation> raw = fsim.simulate(f);
+    const std::vector<Observation>& raw = obs_cache.simulate(fsim, f);
     if (raw.empty()) continue;
     // Candidate predictions see the same tester fail-memory truncation as
     // the observed log, so the comparison stays apples-to-apples.
@@ -372,7 +414,7 @@ DiagnosisReport diagnose_atpg(const DesignContext& design,
   for (const Candidate& c : scored) have_perfect |= c.perfect();
   if (scored.empty() ||
       (options.include_stuck_at_candidates && !have_perfect)) {
-    return diagnose_cover(design, log, options, responses);
+    return diagnose_cover(design, log, options, responses, obs_cache);
   }
 
   // Rank by pattern-level score; within a tie the candidates are behaviour-

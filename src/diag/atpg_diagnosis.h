@@ -86,6 +86,14 @@ struct DiagnosisOptions {
   // Also enumerate static stuck-at candidates on the suspect nets (the
   // static-diagnosis extension; off for the paper's TDF-only flow).
   bool include_stuck_at_candidates = false;
+  // Simulate one member per structural TDF equivalence class
+  // (sta::collapse_tdf_faults) and reuse the cached observation list for
+  // the rest of the class.  Equivalent faults produce identical
+  // observations, so every candidate's match counts — and therefore the
+  // ranked report — are byte-identical to the uncollapsed run; candidate
+  // enumeration itself is untouched.  MIV and stuck-at candidates bypass
+  // the cache (the TDF collapsing rules do not apply to them).
+  bool collapse_equivalent_candidates = false;
 };
 
 // Runs the full diagnosis flow on one failure log.

@@ -129,7 +129,7 @@ constexpr std::array<CheckInfo, 32> kCatalog = {{
 
 // Checks that did not fit in the primary table (std::array needs the exact
 // count; keeping two tables avoids miscounting churn as the catalog grows).
-constexpr std::array<CheckInfo, 5> kCatalogTail = {{
+constexpr std::array<CheckInfo, 9> kCatalogTail = {{
     {"log-store-truncated", ArtifactKind::kFailureLog, Severity::kWarn,
      "per-pattern failing-bit counts sit exactly at a common cap; the log "
      "looks clipped by the tester's fail-store depth",
@@ -154,6 +154,28 @@ constexpr std::array<CheckInfo, 5> kCatalogTail = {{
      "deadline; every session still open in it will expire on recovery",
      "the segment is dead weight: run `m3dfl_tool journal <dir> --compact` "
      "(or let recovery tombstone the sessions) to reclaim it"},
+
+    // -- timing pass (sta/, docs/ANALYSIS.md) --------------------------------
+    {"negative-slack-path", ArtifactKind::kTiming, Severity::kError,
+     "capture endpoint arrives after the clock edge (negative slack); the "
+     "design fails timing before any defect is injected",
+     "raise --clock-ps or re-close timing; delay-fault diagnosis assumes a "
+     "design that meets its clock"},
+    {"untestable-delay-fault", ArtifactKind::kTiming, Severity::kWarn,
+     "delay-fault site no test can detect (unobservable cone or slack "
+     "margin beyond the defect size bound)",
+     "exclude the fault from ATPG/training targets, or add an observation "
+     "test point; see docs/ANALYSIS.md untestability criteria"},
+    {"miv-zero-slack-margin", ArtifactKind::kTiming, Severity::kWarn,
+     "MIV far-tier branch has slack within the via's own nominal delay; "
+     "ordinary process variation on the via will fail the path",
+     "re-partition to shorten the path or widen the capture clock; "
+     "marginal MIVs dominate M3D delay-defect escapes"},
+    {"collapsed-class-orphan", ArtifactKind::kTiming, Severity::kError,
+     "collapsed fault list is inconsistent (fault without a class, class id "
+     "out of range, or representative outside its own class)",
+     "rebuild the collapsed list with sta::collapse_tdf_faults after any "
+     "netlist edit; a stale mapping silently drops fault coverage"},
 }};
 
 }  // namespace
@@ -247,6 +269,7 @@ Report run_checks(const Subject& subject) {
   if (deep) run_failure_log_checks(subject, report);
   run_model_checks(subject, report);
   run_journal_checks(subject, report);
+  run_timing_checks(subject, report);
   return report;
 }
 

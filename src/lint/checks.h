@@ -55,6 +55,48 @@ struct JournalFacts {
   std::int64_t now_wall_ms = 0;
 };
 
+// Pre-extracted facts from a static timing & testability analysis
+// (sta/lint_bridge.h produces these; lint never runs STA itself, keeping
+// the dependency arrow sta -> lint).
+struct TimingFacts {
+  double clock_ps = 0.0;
+  double wns_ps = 0.0;
+  double tns_ps = 0.0;
+
+  // Capture endpoints that miss the clock, worst first.
+  struct NegativeSlackPath {
+    std::string location;  // endpoint pin name, e.g. "ff12.A0"
+    double slack_ps = 0.0;
+    double delay_ps = 0.0;  // arrival at the endpoint
+  };
+  std::vector<NegativeSlackPath> negative_slack;
+
+  // Delay-fault sites no test can detect.
+  struct Untestable {
+    std::string location;  // pin name or "miv 3 (net n42)"
+    std::string why;       // reason name from sta::untestable_reason_name
+    double slack_ps = 0.0;
+  };
+  std::vector<Untestable> untestable;
+
+  // MIV far branches whose slack is inside the margin threshold.
+  struct MivMargin {
+    std::string location;  // "miv 3 (net n42) -> u7.A1"
+    double slack_ps = 0.0;
+  };
+  std::vector<MivMargin> tight_mivs;
+  double miv_margin_threshold_ps = 0.0;
+
+  // Inconsistencies found in a CollapsedFaults mapping.
+  struct CollapseOrphan {
+    std::string location;  // "fault 12 (u3.Y slow-to-rise)" / "class 4"
+    std::string what;      // which invariant is broken
+  };
+  std::vector<CollapseOrphan> collapse_orphans;
+  std::int64_t collapse_faults = 0;
+  std::int64_t collapse_classes = 0;
+};
+
 // Static metadata of one check.
 struct CheckInfo {
   const char* id;            // stable, kebab-case
@@ -110,6 +152,9 @@ struct Subject {
 
   // Serving-session journal facts (crash-safe serving, docs/SERVING.md).
   const JournalFacts* journal = nullptr;
+
+  // Timing/testability facts (sta/lint_bridge.h, docs/ANALYSIS.md).
+  const TimingFacts* timing = nullptr;
 };
 
 // Emits diagnostics with catalog-backed severity/artifact/hint, capping the
@@ -151,6 +196,7 @@ void run_feature_checks(const Subject& subject, Report& report);
 void run_failure_log_checks(const Subject& subject, Report& report);
 void run_model_checks(const Subject& subject, Report& report);
 void run_journal_checks(const Subject& subject, Report& report);
+void run_timing_checks(const Subject& subject, Report& report);
 
 // Runs every applicable pass in pipeline order with inter-pass gating.
 Report run_checks(const Subject& subject);

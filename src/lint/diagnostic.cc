@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "util/error.h"
+
 namespace m3dfl::lint {
 
 const char* severity_name(Severity severity) {
@@ -24,8 +26,21 @@ const char* artifact_name(ArtifactKind kind) {
     case ArtifactKind::kFailureLog: return "failure-log";
     case ArtifactKind::kModel: return "model";
     case ArtifactKind::kJournal: return "journal";
+    case ArtifactKind::kTiming: return "timing";
   }
   return "unknown";
+}
+
+Severity parse_severity(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "note") return Severity::kNote;
+  if (lower == "warn" || lower == "warning") return Severity::kWarn;
+  if (lower == "error") return Severity::kError;
+  throw Error("unknown severity '" + std::string(name) +
+              "' (expected note, warn, or error)");
 }
 
 std::string Diagnostic::to_string() const {

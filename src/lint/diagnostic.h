@@ -23,7 +23,8 @@ enum class Severity : std::uint8_t { kNote = 0, kWarn = 1, kError = 2 };
 
 // Pipeline artifact a diagnostic was found in, in pipeline order (Fig. 2):
 // netlist -> M3D partition/MIVs -> scan/DfT -> heterogeneous graph ->
-// feature matrix -> failure log -> trained model -> serving session journal.
+// feature matrix -> failure log -> trained model -> serving session journal
+// -> static timing/testability analysis.
 enum class ArtifactKind : std::uint8_t {
   kNetlist = 0,
   kM3d = 1,
@@ -33,12 +34,16 @@ enum class ArtifactKind : std::uint8_t {
   kFailureLog = 5,
   kModel = 6,
   kJournal = 7,
+  kTiming = 8,
 };
 
-inline constexpr int kNumArtifactKinds = 8;
+inline constexpr int kNumArtifactKinds = 9;
 
 const char* severity_name(Severity severity);
 const char* artifact_name(ArtifactKind kind);
+// Case-insensitive inverse of severity_name ("warning" also accepted for
+// kWarn); throws m3dfl::Error citing the unknown name.
+Severity parse_severity(std::string_view name);
 
 struct Diagnostic {
   std::string check_id;     // stable id, e.g. "net-multi-driver"

@@ -1,0 +1,65 @@
+// Timing/testability pass: checks over pre-extracted sta facts
+// (lint::TimingFacts, produced by sta/lint_bridge.h).  Like the journal
+// pass, lint only consumes plain data here — it never runs an analysis —
+// so the dependency arrow stays sta -> lint.
+#include <cstdio>
+
+#include "lint/checks.h"
+
+namespace m3dfl::lint {
+namespace {
+
+std::string format_ps(double ps) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f ps", ps);
+  return buf;
+}
+
+}  // namespace
+
+void run_timing_checks(const Subject& subject, Report& report) {
+  if (subject.timing == nullptr) return;
+  const TimingFacts& facts = *subject.timing;
+  Emitter emit(report);
+
+  for (const TimingFacts::NegativeSlackPath& p : facts.negative_slack) {
+    if (!emit.emit("negative-slack-path", p.location,
+                   "endpoint arrives at " + format_ps(p.delay_ps) +
+                       " against a " + format_ps(facts.clock_ps) +
+                       " clock (slack " + format_ps(p.slack_ps) + ")")) {
+      break;
+    }
+  }
+
+  for (const TimingFacts::Untestable& u : facts.untestable) {
+    std::string message = "no test can detect this delay fault (" + u.why;
+    if (u.why == "slack-margin") {
+      message += ", slack " + format_ps(u.slack_ps);
+    }
+    message += ")";
+    if (!emit.emit("untestable-delay-fault", u.location, std::move(message))) {
+      break;
+    }
+  }
+
+  for (const TimingFacts::MivMargin& m : facts.tight_mivs) {
+    if (!emit.emit("miv-zero-slack-margin", m.location,
+                   "far-branch slack " + format_ps(m.slack_ps) +
+                       " is within the " +
+                       format_ps(facts.miv_margin_threshold_ps) +
+                       " margin threshold")) {
+      break;
+    }
+  }
+
+  for (const TimingFacts::CollapseOrphan& o : facts.collapse_orphans) {
+    if (!emit.emit("collapsed-class-orphan", o.location,
+                   o.what + " (" + std::to_string(facts.collapse_faults) +
+                       " faults, " + std::to_string(facts.collapse_classes) +
+                       " classes)")) {
+      break;
+    }
+  }
+}
+
+}  // namespace m3dfl::lint

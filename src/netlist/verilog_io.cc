@@ -76,20 +76,31 @@ std::int32_t parse_i32(const std::string& s, int line_no, const char* what) {
 
 Netlist read_mnl(std::istream& is) {
   std::string line;
-  int line_no = 1;
+  int line_no = 0;
   // Header, with expected-vs-found so a file of the wrong kind (or a future
   // format version) is reported as such instead of as a generic failure.
-  M3DFL_REQUIRE(std::getline(is, line),
-                "MNL line 1: empty input (expected 'mnl 1' header)");
+  // Comment/blank lines may precede it ('#' comments are part of the
+  // grammar, and the corpus fixtures lead with a description).
   {
-    const auto toks = split_ws(line);
-    if (toks.empty() || toks[0] != "mnl") {
-      parse_fail(1, "not an MNL stream: expected 'mnl 1' header, found '" +
-                        line + "'");
+    std::vector<std::string> toks;
+    while (toks.empty()) {
+      M3DFL_REQUIRE(std::getline(is, line),
+                    "MNL line " + std::to_string(line_no + 1) +
+                        ": empty input (expected 'mnl 1' header)");
+      ++line_no;
+      const auto hash = line.find('#');
+      std::string stripped = line;
+      if (hash != std::string::npos) stripped.resize(hash);
+      toks = split_ws(stripped);
+    }
+    if (toks[0] != "mnl") {
+      parse_fail(line_no,
+                 "not an MNL stream: expected 'mnl 1' header, found '" +
+                     line + "'");
     }
     if (toks.size() != 2 || toks[1] != "1") {
-      parse_fail(1, "unsupported MNL version: expected 1, found '" +
-                        (toks.size() > 1 ? toks[1] : "") + "'");
+      parse_fail(line_no, "unsupported MNL version: expected 1, found '" +
+                              (toks.size() > 1 ? toks[1] : "") + "'");
     }
   }
 

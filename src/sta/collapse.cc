@@ -1,0 +1,142 @@
+#include "sta/collapse.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace m3dfl::sta {
+namespace {
+
+// Minimal union-find over fault indices; path-halving, union by lower root
+// so the class representative falls out of the structure.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      parent_[i] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  std::int32_t find(std::int32_t x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void unite(std::int32_t a, std::int32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent_[static_cast<std::size_t>(b)] = a;
+  }
+
+ private:
+  std::vector<std::int32_t> parent_;
+};
+
+constexpr std::int32_t kRise = 0;
+constexpr std::int32_t kFall = 1;
+
+std::int32_t index_of(PinId pin, std::int32_t dir) { return 2 * pin + dir; }
+
+}  // namespace
+
+std::int32_t CollapsedFaults::num_dominated() const {
+  return static_cast<std::int32_t>(
+      std::count_if(dominated_by.begin(), dominated_by.end(),
+                    [](std::int32_t d) { return d >= 0; }));
+}
+
+CollapsedFaults collapse_tdf_faults(const Netlist& netlist) {
+  M3DFL_REQUIRE(netlist.finalized(),
+                "fault collapsing requires a finalized netlist");
+  CollapsedFaults out;
+  const std::size_t num_faults =
+      2 * static_cast<std::size_t>(netlist.num_pins());
+  out.full.reserve(num_faults);
+  for (PinId p = 0; p < netlist.num_pins(); ++p) {
+    out.full.push_back(Fault::slow_to_rise(p));
+    out.full.push_back(Fault::slow_to_fall(p));
+  }
+
+  UnionFind uf(num_faults);
+
+  // Rule (a): a single-sink net carries the same transition at both ends.
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    const Net& net = netlist.net(n);
+    if (net.sinks.size() != 1) continue;
+    const PinId out_pin = netlist.output_pin(net.driver);
+    const PinId sink_pin = netlist.pin_id(net.sinks.front());
+    uf.unite(index_of(out_pin, kRise), index_of(sink_pin, kRise));
+    uf.unite(index_of(out_pin, kFall), index_of(sink_pin, kFall));
+  }
+
+  // Rules (b)/(c): buffers pass the transition through, inverters flip it.
+  for (GateId g : netlist.topo_order()) {
+    const GateType type = netlist.gate(g).type;
+    if (type != GateType::kBuf && type != GateType::kInv) continue;
+    const PinId in = netlist.input_pin(g, 0);
+    const PinId gout = netlist.output_pin(g);
+    if (type == GateType::kBuf) {
+      uf.unite(index_of(in, kRise), index_of(gout, kRise));
+      uf.unite(index_of(in, kFall), index_of(gout, kFall));
+    } else {
+      uf.unite(index_of(in, kRise), index_of(gout, kFall));
+      uf.unite(index_of(in, kFall), index_of(gout, kRise));
+    }
+  }
+
+  // Dense class ids in first-appearance order; union-by-lower-root makes
+  // each root the lowest index of its class, i.e. the representative.
+  out.class_of.assign(num_faults, -1);
+  std::unordered_map<std::int32_t, std::int32_t> root_to_class;
+  root_to_class.reserve(num_faults);
+  for (std::size_t i = 0; i < num_faults; ++i) {
+    const std::int32_t root = uf.find(static_cast<std::int32_t>(i));
+    const auto [it, inserted] = root_to_class.try_emplace(
+        root, static_cast<std::int32_t>(out.class_representative.size()));
+    if (inserted) out.class_representative.push_back(root);
+    out.class_of[i] = it->second;
+  }
+
+  // Dominance: for a controlling-value gate, any test that propagates an
+  // input transition necessarily propagates the resulting output transition
+  // — the output fault's test set is a superset.  Non-inverting gates keep
+  // the direction, inverting gates flip it; XOR/XNOR/MUX have no such
+  // superset relation and are skipped.
+  out.dominated_by.assign(num_faults, -1);
+  for (GateId g : netlist.topo_order()) {
+    const Gate& gate = netlist.gate(g);
+    bool invert = false;
+    switch (gate.type) {
+      case GateType::kAnd:
+      case GateType::kOr:
+        invert = false;
+        break;
+      case GateType::kNand:
+      case GateType::kNor:
+        invert = true;
+        break;
+      default:
+        continue;
+    }
+    if (gate.fanin.size() < 2) continue;
+    const PinId gout = netlist.output_pin(g);
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      const PinId in = netlist.input_pin(g, static_cast<std::int32_t>(i));
+      for (std::int32_t dir = kRise; dir <= kFall; ++dir) {
+        out.dominated_by[static_cast<std::size_t>(index_of(in, dir))] =
+            index_of(gout, invert ? (1 - dir) : dir);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace m3dfl::sta

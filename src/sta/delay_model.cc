@@ -1,0 +1,28 @@
+#include "sta/delay_model.h"
+
+namespace m3dfl::sta {
+
+DelayModel DelayModel::defaults() {
+  DelayModel m;
+  const auto set = [&](GateType type, double ps) {
+    m.gate_delay_ps[static_cast<std::size_t>(type)] = ps;
+  };
+  set(GateType::kPrimaryInput, 0.0);
+  set(GateType::kPrimaryOutput, 0.0);
+  set(GateType::kBuf, 30.0);
+  set(GateType::kInv, 20.0);
+  set(GateType::kAnd, 40.0);
+  set(GateType::kNand, 30.0);
+  set(GateType::kOr, 40.0);
+  set(GateType::kNor, 30.0);
+  set(GateType::kXor, 60.0);
+  set(GateType::kXnor, 60.0);
+  set(GateType::kMux, 50.0);
+  set(GateType::kScanFlop, 50.0);  // clock-to-Q
+  m.tier_factor = {1.0, 1.08};
+  m.net_delay_ps = 2.0;
+  m.miv_penalty_ps = 12.0;
+  return m;
+}
+
+}  // namespace m3dfl::sta

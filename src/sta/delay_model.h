@@ -1,0 +1,52 @@
+// Configurable gate-level delay model for static timing analysis.
+//
+// The repo's simulators are gross-delay (a delayed transition misses the
+// capture edge, period) — they deliberately carry no notion of *how much*
+// slack a path has.  The STA engine closes that gap with the simplest model
+// that captures the M3D-specific effects the paper cares about:
+//
+//   pin-to-pin gate delay   = gate_delay_ps[type] * tier_factor[tier(gate)]
+//   net hop (driver->sink)  = net_delay_ps
+//   inter-tier branch       = + miv_penalty_ps on an MIV's far-tier sinks
+//
+// The per-tier derating models the top tier's degraded transistors
+// (sequential monolithic integration processes the top tier at low
+// temperature), and the MIV penalty models via resistance — the two knobs
+// that make M3D timing different from 2D.  Values are nominal picoseconds in
+// the spirit of a 45nm library; their ratios, not absolutes, drive every
+// consumer (slack signs, path ranking, collapsing is delay-independent).
+#ifndef M3DFL_STA_DELAY_MODEL_H_
+#define M3DFL_STA_DELAY_MODEL_H_
+
+#include <array>
+
+#include "m3d/partition.h"
+#include "netlist/cell.h"
+
+namespace m3dfl::sta {
+
+struct DelayModel {
+  // Intrinsic pin-to-output delay per gate type, indexed by GateType.
+  // Ports are 0; the kScanFlop entry is the clock-to-Q delay of a source.
+  std::array<double, kNumGateTypes> gate_delay_ps{};
+  // Multiplier applied to a gate's intrinsic delay by its tier.
+  std::array<double, kNumTiers> tier_factor{1.0, 1.0};
+  // Interconnect delay of one net hop (driver output -> sink input).
+  double net_delay_ps = 2.0;
+  // Extra delay on an MIV's far-tier branches (via resistance).
+  double miv_penalty_ps = 12.0;
+
+  double gate_delay(GateType type) const {
+    return gate_delay_ps[static_cast<std::size_t>(type)];
+  }
+  double tier_derate(int tier) const {
+    return tier_factor[static_cast<std::size_t>(tier)];
+  }
+
+  // Nominal 45nm-flavoured defaults with an 8% top-tier derating.
+  static DelayModel defaults();
+};
+
+}  // namespace m3dfl::sta
+
+#endif  // M3DFL_STA_DELAY_MODEL_H_

@@ -1,0 +1,136 @@
+#include "sta/lint_bridge.h"
+
+#include <algorithm>
+
+namespace m3dfl::sta {
+namespace {
+
+std::string miv_location(const Netlist& netlist, const MivMap& mivs,
+                         MivId id) {
+  const Miv& miv = mivs.miv(id);
+  const std::string net_name = netlist.net(miv.net).name.empty()
+                                   ? "net " + std::to_string(miv.net)
+                                   : netlist.net(miv.net).name;
+  return "miv " + std::to_string(id) + " (" + net_name + ")";
+}
+
+}  // namespace
+
+lint::TimingFacts timing_lint_facts(const Netlist& netlist,
+                                    const TimingAnalysis& analysis,
+                                    const MivMap* mivs,
+                                    const CollapsedFaults* collapsed) {
+  lint::TimingFacts facts;
+  facts.clock_ps = analysis.clock_ps();
+  facts.wns_ps = analysis.wns_ps();
+  facts.tns_ps = analysis.tns_ps();
+
+  for (PinId e : analysis.endpoints()) {
+    const double slack = analysis.slack_ps(e);
+    if (slack >= 0.0) continue;
+    lint::TimingFacts::NegativeSlackPath p;
+    p.location = netlist.pin_name(e);
+    p.slack_ps = slack;
+    p.delay_ps = analysis.arrival_ps(e);
+    facts.negative_slack.push_back(std::move(p));
+  }
+  std::stable_sort(facts.negative_slack.begin(), facts.negative_slack.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.slack_ps < b.slack_ps;
+                   });
+
+  for (const UntestableFault& u : analysis.untestable_faults()) {
+    lint::TimingFacts::Untestable entry;
+    entry.location = u.fault.is_miv() && mivs != nullptr
+                         ? miv_location(netlist, *mivs, u.fault.miv)
+                         : fault_to_string(netlist, u.fault);
+    entry.why = untestable_reason_name(u.reason);
+    entry.slack_ps = u.slack_ps;
+    facts.untestable.push_back(std::move(entry));
+  }
+
+  if (mivs != nullptr) {
+    const double threshold =
+        analysis.options().miv_margin_ps > 0.0
+            ? analysis.options().miv_margin_ps
+            : analysis.options().model.miv_penalty_ps;
+    facts.miv_margin_threshold_ps = threshold;
+    for (MivId m = 0; m < mivs->num_mivs(); ++m) {
+      for (const PinRef& sink : mivs->miv(m).far_sinks) {
+        const PinId pin = netlist.pin_id(sink);
+        const double slack = analysis.slack_ps(pin);
+        if (slack >= threshold || slack >= kUnconstrainedPs / 2) continue;
+        lint::TimingFacts::MivMargin entry;
+        entry.location = miv_location(netlist, *mivs, m) + " -> " +
+                         netlist.pin_name(pin);
+        entry.slack_ps = slack;
+        facts.tight_mivs.push_back(std::move(entry));
+      }
+    }
+  }
+
+  if (collapsed != nullptr) {
+    collapse_lint_facts(netlist, *collapsed, facts);
+  }
+  return facts;
+}
+
+void collapse_lint_facts(const Netlist& netlist,
+                         const CollapsedFaults& collapsed,
+                         lint::TimingFacts& facts) {
+  facts.collapse_faults = static_cast<std::int64_t>(collapsed.full.size());
+  facts.collapse_classes = collapsed.num_classes();
+  const auto orphan = [&](std::string location, std::string what) {
+    facts.collapse_orphans.push_back(
+        lint::TimingFacts::CollapseOrphan{std::move(location),
+                                          std::move(what)});
+  };
+
+  const std::size_t expected =
+      2 * static_cast<std::size_t>(netlist.num_pins());
+  if (collapsed.full.size() != expected) {
+    orphan("fault list",
+           "holds " + std::to_string(collapsed.full.size()) +
+               " faults but the netlist's TDF universe has " +
+               std::to_string(expected));
+  }
+  if (collapsed.class_of.size() != collapsed.full.size()) {
+    orphan("class map", "class_of covers " +
+                            std::to_string(collapsed.class_of.size()) +
+                            " of " + std::to_string(collapsed.full.size()) +
+                            " faults");
+    return;  // per-fault audit below would index out of bounds
+  }
+
+  const auto num_classes = collapsed.num_classes();
+  for (std::size_t i = 0; i < collapsed.class_of.size(); ++i) {
+    const std::int32_t cls = collapsed.class_of[i];
+    if (cls >= 0 && cls < num_classes) continue;
+    orphan("fault " + std::to_string(i) + " (" +
+               fault_to_string(netlist, collapsed.full[i]) + ")",
+           "class id " + std::to_string(cls) + " outside [0, " +
+               std::to_string(num_classes) + ")");
+  }
+  for (std::int32_t cls = 0; cls < num_classes; ++cls) {
+    const std::int32_t rep =
+        collapsed.class_representative[static_cast<std::size_t>(cls)];
+    if (rep < 0 ||
+        rep >= static_cast<std::int32_t>(collapsed.class_of.size())) {
+      orphan("class " + std::to_string(cls),
+             "representative index " + std::to_string(rep) +
+                 " outside the fault list");
+      continue;
+    }
+    if (collapsed.class_of[static_cast<std::size_t>(rep)] != cls) {
+      orphan("class " + std::to_string(cls),
+             "representative " +
+                 fault_to_string(netlist,
+                                 collapsed.full[static_cast<std::size_t>(rep)]) +
+                 " belongs to class " +
+                 std::to_string(
+                     collapsed.class_of[static_cast<std::size_t>(rep)]));
+    }
+  }
+}
+
+}  // namespace m3dfl::sta

@@ -1,0 +1,35 @@
+// Bridge from sta analyses to lint::TimingFacts.
+//
+// lint/ never runs timing analysis itself (it only consumes plain data), so
+// the fact extraction lives on the sta side of the dependency arrow, mirror
+// of the serve -> lint JournalFacts bridge.
+#ifndef M3DFL_STA_LINT_BRIDGE_H_
+#define M3DFL_STA_LINT_BRIDGE_H_
+
+#include "lint/checks.h"
+#include "sta/collapse.h"
+#include "sta/sta.h"
+
+namespace m3dfl::sta {
+
+// Extracts the timing-pass facts: negative-slack endpoints (worst first),
+// untestable delay-fault sites, and MIV far branches whose slack is within
+// the margin threshold (options().miv_margin_ps, or the model's own MIV
+// penalty when 0).  `mivs` may be null; `collapsed`, when given, is
+// validated via collapse_lint_facts().
+lint::TimingFacts timing_lint_facts(const Netlist& netlist,
+                                    const TimingAnalysis& analysis,
+                                    const MivMap* mivs,
+                                    const CollapsedFaults* collapsed);
+
+// Validates a CollapsedFaults mapping against the netlist's fault universe
+// and appends any inconsistency to `facts.collapse_orphans` (plus the
+// fault/class totals).  Split out so a consumer holding a deserialized or
+// cached mapping can audit it without re-running the timing analysis.
+void collapse_lint_facts(const Netlist& netlist,
+                         const CollapsedFaults& collapsed,
+                         lint::TimingFacts& facts);
+
+}  // namespace m3dfl::sta
+
+#endif  // M3DFL_STA_LINT_BRIDGE_H_

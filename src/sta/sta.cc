@@ -1,0 +1,478 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace m3dfl::sta {
+namespace {
+
+// Safety valve for the best-first path enumerations: the heuristic is exact,
+// so each emitted path costs at most O(path length) pops, but a pathological
+// k on a wide design should degrade to "fewer paths", not an OOM.
+constexpr std::size_t kMaxExpansions = 2'000'000;
+
+// Parent-arena node for best-first search: paths are reconstructed by
+// walking parent links, so enqueueing a state is O(1) instead of copying the
+// partial path.
+struct SearchNode {
+  PinId pin = kNullPin;
+  std::int32_t parent = -1;
+  double delay = 0.0;  // accumulated path delay at `pin`
+};
+
+struct QueueEntry {
+  double priority = 0.0;  // delay so far + exact remaining-path bound
+  std::int32_t node = -1;
+
+  bool operator<(const QueueEntry& other) const {
+    // std::priority_queue is a max-heap; ties broken on node id for
+    // deterministic ordering across platforms.
+    if (priority != other.priority) return priority < other.priority;
+    return node > other.node;
+  }
+};
+
+std::vector<PinId> reconstruct(const std::vector<SearchNode>& arena,
+                               std::int32_t tail) {
+  std::vector<PinId> pins;
+  for (std::int32_t at = tail; at != -1; at = arena[static_cast<std::size_t>(at)].parent) {
+    pins.push_back(arena[static_cast<std::size_t>(at)].pin);
+  }
+  std::reverse(pins.begin(), pins.end());
+  return pins;
+}
+
+}  // namespace
+
+const char* untestable_reason_name(UntestableReason reason) {
+  switch (reason) {
+    case UntestableReason::kSlackMargin:
+      return "slack-margin";
+    case UntestableReason::kUnobservable:
+      return "unobservable";
+    case UntestableReason::kUncontrollable:
+      return "uncontrollable";
+  }
+  return "unknown";
+}
+
+TimingAnalysis::TimingAnalysis(const Netlist& netlist,
+                               const TierAssignment* tiers, const MivMap* mivs,
+                               const StaOptions& options)
+    : nl_(netlist), tiers_(tiers), mivs_(mivs), options_(options) {
+  M3DFL_REQUIRE(nl_.finalized(), "STA requires a finalized netlist");
+  M3DFL_REQUIRE((tiers_ == nullptr) == (mivs_ == nullptr),
+                "STA needs tiers and MIVs together (or neither)");
+  const auto n = static_cast<std::size_t>(nl_.num_pins());
+  far_branch_.assign(n, 0);
+  endpoint_flag_.assign(n, 0);
+  arrival_.assign(n, -1.0);
+  required_.assign(n, kUnconstrainedPs);
+  suffix_.assign(n, -1.0);
+
+  build_penalties();
+
+  // Capture endpoints: every input pin of a primary output or scan flop.
+  for (GateId g : nl_.primary_outputs()) {
+    for (std::size_t i = 0; i < nl_.gate(g).fanin.size(); ++i) {
+      endpoints_.push_back(nl_.input_pin(g, static_cast<std::int32_t>(i)));
+    }
+  }
+  for (GateId g : nl_.flops()) {
+    for (std::size_t i = 0; i < nl_.gate(g).fanin.size(); ++i) {
+      endpoints_.push_back(nl_.input_pin(g, static_cast<std::int32_t>(i)));
+    }
+  }
+  std::sort(endpoints_.begin(), endpoints_.end());
+  for (PinId e : endpoints_) {
+    endpoint_flag_[static_cast<std::size_t>(e)] = 1;
+  }
+
+  propagate_arrival();
+
+  critical_delay_ps_ = 0.0;
+  for (PinId e : endpoints_) {
+    critical_delay_ps_ = std::max(critical_delay_ps_, arrival_ps(e));
+  }
+  clock_ps_ = options_.clock_ps > 0.0
+                  ? options_.clock_ps
+                  : options_.clock_guard * critical_delay_ps_;
+
+  propagate_required();
+
+  wns_ps_ = endpoints_.empty() ? 0.0 : kUnconstrainedPs;
+  tns_ps_ = 0.0;
+  for (PinId e : endpoints_) {
+    const double s = slack_ps(e);
+    wns_ps_ = std::min(wns_ps_, s);
+    if (s < 0.0) tns_ps_ += s;
+  }
+}
+
+double TimingAnalysis::gate_delay(GateId gate) const {
+  const double base = options_.model.gate_delay(nl_.gate(gate).type);
+  if (tiers_ == nullptr) return base;
+  return base * options_.model.tier_derate(tiers_->tier_of(gate));
+}
+
+double TimingAnalysis::net_slack_ps(NetId net) const {
+  return slack_ps(nl_.output_pin(nl_.net(net).driver));
+}
+
+void TimingAnalysis::build_penalties() {
+  if (mivs_ == nullptr) return;
+  for (const Miv& miv : mivs_->mivs()) {
+    for (const PinRef& sink : miv.far_sinks) {
+      far_branch_[static_cast<std::size_t>(nl_.pin_id(sink))] = 1;
+    }
+  }
+}
+
+void TimingAnalysis::propagate_arrival() {
+  // Launch sources: PI outputs at their (zero) port delay, flop Q outputs at
+  // clock-to-Q.
+  for (GateId g : nl_.primary_inputs()) {
+    arrival_[static_cast<std::size_t>(nl_.output_pin(g))] = gate_delay(g);
+  }
+  for (GateId g : nl_.flops()) {
+    arrival_[static_cast<std::size_t>(nl_.output_pin(g))] = gate_delay(g);
+  }
+
+  const auto input_arrival = [&](PinId pin) {
+    const GateId driver = nl_.net(nl_.pin_net(pin)).driver;
+    return arrival_ps(nl_.output_pin(driver)) + hop_delay(pin);
+  };
+
+  for (GateId g : nl_.topo_order()) {
+    const Gate& gate = nl_.gate(g);
+    double worst_in = 0.0;
+    for (std::size_t i = 0; i < gate.fanin.size(); ++i) {
+      const PinId pin = nl_.input_pin(g, static_cast<std::int32_t>(i));
+      const double at = input_arrival(pin);
+      arrival_[static_cast<std::size_t>(pin)] = at;
+      worst_in = std::max(worst_in, at);
+    }
+    arrival_[static_cast<std::size_t>(nl_.output_pin(g))] =
+        worst_in + gate_delay(g);
+  }
+
+  // Capture endpoints read their driver like any other sink.
+  for (PinId e : endpoints_) {
+    arrival_[static_cast<std::size_t>(e)] = input_arrival(e);
+  }
+}
+
+void TimingAnalysis::propagate_required() {
+  for (PinId e : endpoints_) {
+    required_[static_cast<std::size_t>(e)] = clock_ps_;
+    suffix_[static_cast<std::size_t>(e)] = 0.0;
+  }
+
+  // Required time and longest-suffix DP share the same backward sweep: an
+  // output pin is constrained by the tightest sink, and its longest suffix
+  // is the slowest sink's.
+  const auto relax_output = [&](GateId g) {
+    const PinId out = nl_.output_pin(g);
+    double req = kUnconstrainedPs;
+    double suf = -1.0;
+    for (const PinRef& sink_ref : nl_.net(nl_.gate(g).fanout).sinks) {
+      const PinId sink = nl_.pin_id(sink_ref);
+      const double hop = hop_delay(sink);
+      req = std::min(req, required_ps(sink) - hop);
+      if (suffix_[static_cast<std::size_t>(sink)] >= 0.0) {
+        suf = std::max(suf, suffix_[static_cast<std::size_t>(sink)] + hop);
+      }
+    }
+    required_[static_cast<std::size_t>(out)] = req;
+    suffix_[static_cast<std::size_t>(out)] = suf;
+  };
+
+  const auto& topo = nl_.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId g = *it;
+    relax_output(g);
+    const PinId out = nl_.output_pin(g);
+    const double delay = gate_delay(g);
+    for (std::size_t i = 0; i < nl_.gate(g).fanin.size(); ++i) {
+      const PinId pin = nl_.input_pin(g, static_cast<std::int32_t>(i));
+      const double out_req = required_ps(out);
+      required_[static_cast<std::size_t>(pin)] =
+          out_req >= kUnconstrainedPs ? kUnconstrainedPs : out_req - delay;
+      const double out_suf = suffix_[static_cast<std::size_t>(out)];
+      suffix_[static_cast<std::size_t>(pin)] =
+          out_suf >= 0.0 ? out_suf + delay : -1.0;
+    }
+  }
+  for (GateId g : nl_.primary_inputs()) relax_output(g);
+  for (GateId g : nl_.flops()) relax_output(g);
+}
+
+std::vector<TimingPath> TimingAnalysis::k_longest_paths(std::int32_t k) const {
+  std::vector<TimingPath> out;
+  if (k <= 0) return out;
+  std::vector<SearchNode> arena;
+  std::priority_queue<QueueEntry> queue;
+
+  const auto push = [&](PinId pin, std::int32_t parent, double delay) {
+    const double suf = suffix_[static_cast<std::size_t>(pin)];
+    if (suf < 0.0) return;  // pin reaches no endpoint
+    arena.push_back(SearchNode{pin, parent, delay});
+    queue.push(
+        QueueEntry{delay + suf, static_cast<std::int32_t>(arena.size()) - 1});
+  };
+
+  for (GateId g : nl_.primary_inputs()) {
+    const PinId p = nl_.output_pin(g);
+    push(p, -1, arrival_ps(p));
+  }
+  for (GateId g : nl_.flops()) {
+    const PinId p = nl_.output_pin(g);
+    push(p, -1, arrival_ps(p));
+  }
+
+  std::size_t expansions = 0;
+  while (!queue.empty() && out.size() < static_cast<std::size_t>(k) &&
+         ++expansions <= kMaxExpansions) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const SearchNode node = arena[static_cast<std::size_t>(top.node)];
+    if (is_endpoint(node.pin)) {
+      TimingPath path;
+      path.pins = reconstruct(arena, top.node);
+      path.delay_ps = node.delay;
+      path.slack_ps = clock_ps_ - node.delay;
+      out.push_back(std::move(path));
+      continue;
+    }
+    const PinRef ref = nl_.pin_ref(node.pin);
+    if (ref.is_output()) {
+      for (const PinRef& sink_ref : nl_.net(nl_.pin_net(node.pin)).sinks) {
+        const PinId sink = nl_.pin_id(sink_ref);
+        push(sink, top.node, node.delay + hop_delay(sink));
+      }
+    } else {
+      // Input pin of a combinational gate: the only successor is its output.
+      push(nl_.output_pin(ref.gate), top.node,
+           node.delay + gate_delay(ref.gate));
+    }
+  }
+  return out;
+}
+
+TimingPath TimingAnalysis::critical_path() const {
+  auto paths = k_longest_paths(1);
+  return paths.empty() ? TimingPath{} : std::move(paths.front());
+}
+
+std::vector<TimingPath> TimingAnalysis::longest_suffixes(
+    PinId pin, std::int32_t k) const {
+  std::vector<TimingPath> out;
+  if (k <= 0) return out;
+  std::vector<SearchNode> arena;
+  std::priority_queue<QueueEntry> queue;
+
+  const auto push = [&](PinId p, std::int32_t parent, double delay) {
+    const double suf = suffix_[static_cast<std::size_t>(p)];
+    if (suf < 0.0) return;
+    arena.push_back(SearchNode{p, parent, delay});
+    queue.push(
+        QueueEntry{delay + suf, static_cast<std::int32_t>(arena.size()) - 1});
+  };
+
+  push(pin, -1, 0.0);
+  std::size_t expansions = 0;
+  while (!queue.empty() && out.size() < static_cast<std::size_t>(k) &&
+         ++expansions <= kMaxExpansions) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const SearchNode node = arena[static_cast<std::size_t>(top.node)];
+    if (is_endpoint(node.pin)) {
+      TimingPath path;
+      path.pins = reconstruct(arena, top.node);
+      path.delay_ps = node.delay;
+      out.push_back(std::move(path));
+      continue;
+    }
+    const PinRef ref = nl_.pin_ref(node.pin);
+    if (ref.is_output()) {
+      for (const PinRef& sink_ref : nl_.net(nl_.pin_net(node.pin)).sinks) {
+        const PinId sink = nl_.pin_id(sink_ref);
+        push(sink, top.node, node.delay + hop_delay(sink));
+      }
+    } else {
+      push(nl_.output_pin(ref.gate), top.node,
+           node.delay + gate_delay(ref.gate));
+    }
+  }
+  return out;
+}
+
+std::vector<TimingPath> TimingAnalysis::longest_prefixes(
+    PinId pin, std::int32_t k) const {
+  std::vector<TimingPath> out;
+  if (k <= 0) return out;
+  std::vector<SearchNode> arena;
+  std::priority_queue<QueueEntry> queue;
+
+  // Backward search toward the launch sources; arrival[] is the exact
+  // longest-remaining bound in this direction.
+  const auto push = [&](PinId p, std::int32_t parent, double delay) {
+    if (arrival_ps(p) < 0.0) return;
+    arena.push_back(SearchNode{p, parent, delay});
+    queue.push(QueueEntry{delay + arrival_ps(p),
+                          static_cast<std::int32_t>(arena.size()) - 1});
+  };
+
+  const auto is_source_output = [&](const PinRef& ref) {
+    if (!ref.is_output()) return false;
+    const GateType type = nl_.gate(ref.gate).type;
+    return type == GateType::kPrimaryInput || type == GateType::kScanFlop;
+  };
+
+  push(pin, -1, 0.0);
+  std::size_t expansions = 0;
+  while (!queue.empty() && out.size() < static_cast<std::size_t>(k) &&
+         ++expansions <= kMaxExpansions) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const SearchNode node = arena[static_cast<std::size_t>(top.node)];
+    const PinRef ref = nl_.pin_ref(node.pin);
+    if (is_source_output(ref)) {
+      TimingPath path;
+      // Pins were collected endpoint-first along the backward walk, so the
+      // arena order is already source->pin after reversal inside
+      // reconstruct(); here the walk runs pin->source, giving source->pin
+      // directly without the reverse.
+      for (std::int32_t at = top.node; at != -1;
+           at = arena[static_cast<std::size_t>(at)].parent) {
+        path.pins.push_back(arena[static_cast<std::size_t>(at)].pin);
+      }
+      path.delay_ps = node.delay + arrival_ps(node.pin);  // + source delay
+      out.push_back(std::move(path));
+      continue;
+    }
+    if (ref.is_output()) {
+      // Output pin of a combinational gate: predecessors are its inputs.
+      const double delay = gate_delay(ref.gate);
+      for (std::size_t i = 0; i < nl_.gate(ref.gate).fanin.size(); ++i) {
+        push(nl_.input_pin(ref.gate, static_cast<std::int32_t>(i)), top.node,
+             node.delay + delay);
+      }
+    } else {
+      const GateId driver = nl_.net(nl_.pin_net(node.pin)).driver;
+      push(nl_.output_pin(driver), top.node,
+           node.delay + hop_delay(node.pin));
+    }
+  }
+  return out;
+}
+
+std::vector<TimingPath> TimingAnalysis::k_longest_paths_through_pin(
+    PinId pin, std::int32_t k) const {
+  std::vector<TimingPath> out;
+  if (k <= 0) return out;
+  const auto prefixes = longest_prefixes(pin, k);
+  const auto suffixes = longest_suffixes(pin, k);
+  // Prefix delay ends *at* the pin and suffix delay starts *leaving* it, so
+  // the pin's own position is counted once; k*k <= a few thousand pairs.
+  for (const TimingPath& pre : prefixes) {
+    for (const TimingPath& suf : suffixes) {
+      TimingPath path;
+      path.pins = pre.pins;
+      path.pins.insert(path.pins.end(), suf.pins.begin() + 1, suf.pins.end());
+      path.delay_ps = pre.delay_ps + suf.delay_ps;
+      path.slack_ps = clock_ps_ - path.delay_ps;
+      out.push_back(std::move(path));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TimingPath& a, const TimingPath& b) {
+                     return a.delay_ps > b.delay_ps;
+                   });
+  if (out.size() > static_cast<std::size_t>(k)) out.resize(static_cast<std::size_t>(k));
+  return out;
+}
+
+std::vector<TimingPath> TimingAnalysis::k_longest_paths_through_miv(
+    MivId miv, std::int32_t k) const {
+  std::vector<TimingPath> out;
+  M3DFL_REQUIRE(mivs_ != nullptr, "through-MIV query requires a MivMap");
+  if (k <= 0) return out;
+  // A complete path enters exactly one sink pin of the MIV's net, so the
+  // per-far-sink enumerations are disjoint and merging needs no dedup.
+  for (const PinRef& sink : mivs_->miv(miv).far_sinks) {
+    auto paths = k_longest_paths_through_pin(nl_.pin_id(sink), k);
+    out.insert(out.end(), std::make_move_iterator(paths.begin()),
+               std::make_move_iterator(paths.end()));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TimingPath& a, const TimingPath& b) {
+                     return a.delay_ps > b.delay_ps;
+                   });
+  if (out.size() > static_cast<std::size_t>(k)) out.resize(static_cast<std::size_t>(k));
+  return out;
+}
+
+std::vector<UntestableFault> TimingAnalysis::untestable_faults() const {
+  std::vector<UntestableFault> out;
+  const bool margin = options_.max_defect_ps > 0.0;
+  const auto classify = [&](PinId pin, UntestableFault& u) {
+    if (arrival_ps(pin) < 0.0) {
+      // Defensive: finalize() rejects undriven logic, so launch-side
+      // blockage should be impossible on a valid netlist.
+      u.reason = UntestableReason::kUncontrollable;
+      u.slack_ps = kUnconstrainedPs;
+      return true;
+    }
+    if (suffix_[static_cast<std::size_t>(pin)] < 0.0) {
+      u.reason = UntestableReason::kUnobservable;
+      u.slack_ps = kUnconstrainedPs;
+      return true;
+    }
+    if (margin && slack_ps(pin) > options_.max_defect_ps) {
+      u.reason = UntestableReason::kSlackMargin;
+      u.slack_ps = slack_ps(pin);
+      return true;
+    }
+    return false;
+  };
+
+  for (PinId p = 0; p < nl_.num_pins(); ++p) {
+    UntestableFault u;
+    if (!classify(p, u)) continue;
+    u.fault = Fault::slow_to_rise(p);
+    out.push_back(u);
+    u.fault = Fault::slow_to_fall(p);
+    out.push_back(u);
+  }
+  if (mivs_ != nullptr) {
+    for (MivId m = 0; m < mivs_->num_mivs(); ++m) {
+      // An MIV defect is testable iff some far branch can both observe it
+      // and has slack within the defect size bound.
+      bool any_observable = false;
+      double min_slack = kUnconstrainedPs;
+      for (const PinRef& sink : mivs_->miv(m).far_sinks) {
+        const PinId pin = nl_.pin_id(sink);
+        if (suffix_[static_cast<std::size_t>(pin)] < 0.0) continue;
+        any_observable = true;
+        min_slack = std::min(min_slack, slack_ps(pin));
+      }
+      UntestableFault u;
+      u.fault = Fault::miv_delay(m);
+      if (!any_observable) {
+        u.reason = UntestableReason::kUnobservable;
+        u.slack_ps = kUnconstrainedPs;
+        out.push_back(u);
+      } else if (margin && min_slack > options_.max_defect_ps) {
+        u.reason = UntestableReason::kSlackMargin;
+        u.slack_ps = min_slack;
+        out.push_back(u);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace m3dfl::sta

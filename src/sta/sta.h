@@ -1,0 +1,180 @@
+// Static timing & testability analysis over a finalized netlist.
+//
+// The timing graph's nodes are the netlist's pins (the same global PinId
+// space the fault models and the diagnosis graph use).  Arrival times
+// propagate forward from sources (primary inputs at 0, flop Q outputs at
+// clock-to-Q) in the existing topological order; required times propagate
+// backward from endpoints (primary-output inputs and flop D inputs, both due
+// at the capture clock).  slack(pin) = required - arrival; the worst
+// endpoint slack is the WNS and the sum of negative endpoint slacks the TNS.
+//
+// On top of the per-pin times the engine answers the structural queries the
+// rest of the pipeline needs:
+//
+//  * critical_path() / k_longest_paths(k) — the K longest source->endpoint
+//    paths, enumerated in non-increasing delay order by best-first search
+//    with the exact longest-suffix heuristic (an A* whose heuristic is the
+//    DP the arrival pass already computed, so the first K pops are the K
+//    longest paths with no post-filtering).
+//  * k_longest_paths_through_pin(pin, k) — the sensitization-margin query
+//    diagnosis cannot ask today (diag/atpg_diagnosis.h concedes the capture
+//    edge "depends on path slack the tool cannot see"): top prefixes into
+//    the pin crossed with top suffixes out of it.
+//  * k_longest_paths_through_miv(miv, k) — the same through an MIV's
+//    far-tier branches.
+//  * untestable_faults() — delay-fault sites that cannot produce a capture
+//    failure: no structural path to any observation point (scan-blocked),
+//    no path from any launch source (defensive; finalize() rejects these),
+//    or slack margin beyond the capture window (slack > max_defect_ps, the
+//    gross-delay defect size bound; 0 disables the margin criterion).
+//
+// Delay-fault collapsing lives in sta/collapse.h; the lint bridge that
+// turns an analysis into lint::TimingFacts lives in sta/lint_bridge.h.
+#ifndef M3DFL_STA_STA_H_
+#define M3DFL_STA_STA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "m3d/miv.h"
+#include "m3d/partition.h"
+#include "netlist/netlist.h"
+#include "sim/fault.h"
+#include "sta/delay_model.h"
+
+namespace m3dfl::sta {
+
+// Sentinel for "no constraint": required time of a pin whose fan-out cone
+// reaches no endpoint (and the slack of such pins).
+inline constexpr double kUnconstrainedPs = 1e18;
+
+struct StaOptions {
+  DelayModel model = DelayModel::defaults();
+  // Capture clock period.  0 = auto: clock_guard * critical path delay
+  // (a freshly closed design with a thin guard band).
+  double clock_ps = 0.0;
+  double clock_guard = 1.10;
+  // Gross-delay defect size bound for the slack-margin untestability
+  // criterion: a fault whose every path has slack > max_defect_ps cannot
+  // miss the capture edge.  0 disables the criterion (no size assumption).
+  double max_defect_ps = 0.0;
+  // Slack threshold under which an MIV's far-tier branch counts as having
+  // "zero margin" for the miv-zero-slack-margin lint check.  0 = auto
+  // (the model's own miv_penalty_ps: a via whose slack is inside its own
+  // nominal delay fails on normal process variation).
+  double miv_margin_ps = 0.0;
+};
+
+// One source->endpoint timing path (or a path segment for through-queries):
+// alternating output/input pins from a launch source to a capture endpoint.
+struct TimingPath {
+  std::vector<PinId> pins;
+  double delay_ps = 0.0;
+  double slack_ps = 0.0;
+};
+
+enum class UntestableReason : std::uint8_t {
+  kSlackMargin = 0,    // slack > max_defect_ps: defect cannot reach capture
+  kUnobservable = 1,   // no structural path to any observation point
+  kUncontrollable = 2, // no structural path from any launch source
+};
+const char* untestable_reason_name(UntestableReason reason);
+
+struct UntestableFault {
+  Fault fault;
+  UntestableReason reason = UntestableReason::kUnobservable;
+  // Site slack (min over the MIV's far branches for MIV faults);
+  // kUnconstrainedPs for unobservable sites.
+  double slack_ps = 0.0;
+};
+
+class TimingAnalysis {
+ public:
+  // `tiers` and `mivs` may be null (no tier derating / MIV penalties, e.g.
+  // for a bare .mnl netlist); when one is given both must be.
+  TimingAnalysis(const Netlist& netlist, const TierAssignment* tiers,
+                 const MivMap* mivs, const StaOptions& options = {});
+
+  const StaOptions& options() const { return options_; }
+  double clock_ps() const { return clock_ps_; }
+  // Longest source->endpoint arrival (the critical path delay).
+  double critical_delay_ps() const { return critical_delay_ps_; }
+
+  double arrival_ps(PinId pin) const {
+    return arrival_[static_cast<std::size_t>(pin)];
+  }
+  double required_ps(PinId pin) const {
+    return required_[static_cast<std::size_t>(pin)];
+  }
+  double slack_ps(PinId pin) const {
+    return required_ps(pin) - arrival_ps(pin);
+  }
+  // Slack observed on a net (at its driver's output pin).
+  double net_slack_ps(NetId net) const;
+
+  // Worst / total negative slack over the capture endpoints.
+  double wns_ps() const { return wns_ps_; }
+  double tns_ps() const { return tns_ps_; }
+  // Capture endpoints (PO input pins and flop D input pins), in pin order.
+  const std::vector<PinId>& endpoints() const { return endpoints_; }
+
+  TimingPath critical_path() const;
+  // The k longest source->endpoint paths, non-increasing delay.
+  std::vector<TimingPath> k_longest_paths(std::int32_t k) const;
+  // The k longest complete paths through `pin` / through any far-tier
+  // branch of `miv` (requires a MivMap).
+  std::vector<TimingPath> k_longest_paths_through_pin(PinId pin,
+                                                      std::int32_t k) const;
+  std::vector<TimingPath> k_longest_paths_through_miv(MivId miv,
+                                                      std::int32_t k) const;
+
+  // Untestable delay faults over the TDF universe (both directions at every
+  // pin, plus every MIV), ordered by fault site.
+  std::vector<UntestableFault> untestable_faults() const;
+
+ private:
+  // Edge weight of the net hop into input pin `pin` (net + MIV penalty).
+  double hop_delay(PinId pin) const {
+    return options_.model.net_delay_ps +
+           (far_branch_[static_cast<std::size_t>(pin)]
+                ? options_.model.miv_penalty_ps
+                : 0.0);
+  }
+  double gate_delay(GateId gate) const;
+  bool is_endpoint(PinId pin) const {
+    return endpoint_flag_[static_cast<std::size_t>(pin)];
+  }
+
+  void build_penalties();
+  void propagate_arrival();
+  void propagate_required();
+
+  // Best-first enumeration of the k longest suffixes (pin -> endpoint) /
+  // prefixes (source -> pin) starting from `pin`.  Suffix paths include
+  // `pin` itself; suffix delay excludes the arrival at `pin`.  Prefix paths
+  // end at `pin`; prefix delay is the arrival along that specific path.
+  std::vector<TimingPath> longest_suffixes(PinId pin, std::int32_t k) const;
+  std::vector<TimingPath> longest_prefixes(PinId pin, std::int32_t k) const;
+
+  const Netlist& nl_;
+  const TierAssignment* tiers_;
+  const MivMap* mivs_;
+  StaOptions options_;
+
+  std::vector<char> far_branch_;     // input pin sits on an MIV far branch
+  std::vector<char> endpoint_flag_;  // pin is a capture endpoint
+  std::vector<PinId> endpoints_;
+  std::vector<double> arrival_;
+  std::vector<double> required_;
+  // Longest suffix delay from each pin to any endpoint; -1 when the pin
+  // reaches no endpoint (unobservable).
+  std::vector<double> suffix_;
+  double clock_ps_ = 0.0;
+  double critical_delay_ps_ = 0.0;
+  double wns_ps_ = 0.0;
+  double tns_ps_ = 0.0;
+};
+
+}  // namespace m3dfl::sta
+
+#endif  // M3DFL_STA_STA_H_

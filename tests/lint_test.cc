@@ -12,6 +12,7 @@
 //    serve admission gate and train preflight rely on).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -902,6 +903,73 @@ TEST(LintJournalTest, StaleSegmentWarnsWithSegmentPathAndOffset) {
   facts.segments[0].records = 0;
   facts.segments[0].newest_wall_ms = -1;
   EXPECT_TRUE(lint::run_checks(subject).empty());
+}
+
+// ---- Severity parsing -------------------------------------------------------
+
+TEST(SeverityTest, ParseIsCaseInsensitive) {
+  EXPECT_EQ(lint::parse_severity("note"), Severity::kNote);
+  EXPECT_EQ(lint::parse_severity("WARN"), Severity::kWarn);
+  EXPECT_EQ(lint::parse_severity("Warning"), Severity::kWarn);
+  EXPECT_EQ(lint::parse_severity("Error"), Severity::kError);
+  EXPECT_EQ(lint::parse_severity("eRrOr"), Severity::kError);
+}
+
+TEST(SeverityTest, ParseRejectsUnknownNameCitingIt) {
+  try {
+    lint::parse_severity("fatal");
+    FAIL() << "expected parse_severity to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'fatal'"), std::string::npos) << what;
+  }
+}
+
+// ---- Catalog <-> docs/LINT.md drift -----------------------------------------
+
+#ifndef M3DFL_LINT_DOC_PATH
+#error "build must define M3DFL_LINT_DOC_PATH"
+#endif
+
+// Ids documented in the LINT.md catalog table (rows of the form
+// "| `check-id` | ...").
+std::vector<std::string> documented_check_ids() {
+  std::ifstream is(M3DFL_LINT_DOC_PATH);
+  EXPECT_TRUE(is.good()) << "missing " << M3DFL_LINT_DOC_PATH;
+  std::vector<std::string> ids;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("| `", 0) != 0) continue;
+    const std::size_t end = line.find('`', 3);
+    if (end == std::string::npos) continue;
+    ids.push_back(line.substr(3, end - 3));
+  }
+  return ids;
+}
+
+// The check catalog is the single source of truth rendered into docs/LINT.md;
+// this test fails when either side drifts (a check added without a doc row,
+// or a doc row whose check no longer exists).
+TEST(CatalogDocTest, EveryCatalogCheckIsDocumentedAndViceVersa) {
+  const std::vector<std::string> documented = documented_check_ids();
+  ASSERT_FALSE(documented.empty());
+
+  std::vector<std::string> registered;
+  for (const lint::CheckInfo& info : lint::check_catalog()) {
+    registered.push_back(info.id);
+  }
+  for (const std::string& id : registered) {
+    EXPECT_NE(std::find(documented.begin(), documented.end(), id),
+              documented.end())
+        << "check '" << id << "' is registered but has no docs/LINT.md row";
+  }
+  for (const std::string& id : documented) {
+    EXPECT_NE(std::find(registered.begin(), registered.end(), id),
+              registered.end())
+        << "docs/LINT.md documents '" << id
+        << "' but no such check is registered";
+  }
+  EXPECT_EQ(documented.size(), registered.size());
 }
 
 }  // namespace

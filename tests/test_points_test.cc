@@ -31,6 +31,90 @@ TEST(ScoapTest, TinyCircuitHandValues) {
   EXPECT_EQ(s.co[static_cast<std::size_t>(c.n_pi0)], 3.0);
 }
 
+// Smallest possible combinational design: pi -> BUF -> po.  The buffer is
+// transparent to SCOAP, so every measure is a source/sink boundary value.
+TEST(ScoapTest, SingleGateBoundary) {
+  Netlist nl("single");
+  const GateId pi = nl.add_gate(GateType::kPrimaryInput, "pi");
+  const GateId u0 = nl.add_gate(GateType::kBuf, "u0");
+  const GateId po = nl.add_gate(GateType::kPrimaryOutput, "po");
+  const NetId n0 = nl.add_net("n0");
+  const NetId n1 = nl.add_net("n1");
+  nl.set_output(pi, n0);
+  nl.set_output(u0, n1);
+  nl.connect_input(u0, n0);
+  nl.connect_input(po, n1);
+  nl.finalize();
+
+  const Scoap s = compute_scoap(nl);
+  EXPECT_EQ(s.cc0[static_cast<std::size_t>(n0)], 1.0);
+  EXPECT_EQ(s.cc1[static_cast<std::size_t>(n0)], 1.0);
+  // BUF adds one controllability unit, nothing to observability.
+  EXPECT_EQ(s.cc0[static_cast<std::size_t>(n1)], 2.0);
+  EXPECT_EQ(s.cc1[static_cast<std::size_t>(n1)], 2.0);
+  EXPECT_EQ(s.co[static_cast<std::size_t>(n1)], 0.0);  // PO input
+  EXPECT_EQ(s.co[static_cast<std::size_t>(n0)], 1.0);  // through the BUF
+}
+
+// All-flop pipeline: pi -> ff0 -> ff1 -> po.  In a full-scan design every
+// flop boundary resets both measures (Q scan-controllable, D
+// scan-observable), so no net accumulates any cost.
+TEST(ScoapTest, AllFlopPipelineIsFullyTestable) {
+  Netlist nl("flops");
+  const GateId pi = nl.add_gate(GateType::kPrimaryInput, "pi");
+  const GateId ff0 = nl.add_gate(GateType::kScanFlop, "ff0");
+  const GateId ff1 = nl.add_gate(GateType::kScanFlop, "ff1");
+  const GateId po = nl.add_gate(GateType::kPrimaryOutput, "po");
+  const NetId n0 = nl.add_net();
+  const NetId n1 = nl.add_net();
+  const NetId n2 = nl.add_net();
+  nl.set_output(pi, n0);
+  nl.set_output(ff0, n1);
+  nl.set_output(ff1, n2);
+  nl.connect_input(ff0, n0);
+  nl.connect_input(ff1, n1);
+  nl.connect_input(po, n2);
+  nl.finalize();
+
+  const Scoap s = compute_scoap(nl);
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    EXPECT_EQ(s.cc0[static_cast<std::size_t>(n)], 1.0) << "net " << n;
+    EXPECT_EQ(s.cc1[static_cast<std::size_t>(n)], 1.0) << "net " << n;
+    EXPECT_EQ(s.co[static_cast<std::size_t>(n)], 0.0) << "net " << n;
+  }
+}
+
+// Along a fanout-free buffer chain both controllability and observability
+// are strictly monotone: each buffer costs one CC unit going forward and
+// one CO unit going backward.
+TEST(ScoapTest, BufferChainMonotonicity) {
+  constexpr int kDepth = 6;
+  Netlist nl("bufchain");
+  const GateId pi = nl.add_gate(GateType::kPrimaryInput, "pi");
+  NetId prev = nl.add_net();
+  nl.set_output(pi, prev);
+  std::vector<NetId> chain{prev};
+  for (int i = 0; i < kDepth; ++i) {
+    const GateId buf = nl.add_gate(GateType::kBuf);
+    const NetId out = nl.add_net();
+    nl.connect_input(buf, prev);
+    nl.set_output(buf, out);
+    chain.push_back(out);
+    prev = out;
+  }
+  const GateId po = nl.add_gate(GateType::kPrimaryOutput, "po");
+  nl.connect_input(po, prev);
+  nl.finalize();
+
+  const Scoap s = compute_scoap(nl);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const auto n = static_cast<std::size_t>(chain[i]);
+    EXPECT_EQ(s.cc0[n], static_cast<double>(i + 1));
+    EXPECT_EQ(s.cc1[n], static_cast<double>(i + 1));
+    EXPECT_EQ(s.co[n], static_cast<double>(chain.size() - 1 - i));
+  }
+}
+
 TEST(ScoapTest, DeeperLogicIsHarder) {
   const Netlist nl = testing::small_netlist(3);
   const Scoap s = compute_scoap(nl);

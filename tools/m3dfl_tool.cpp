@@ -10,6 +10,12 @@
 //                        [--log=F] [--model=F]       design, netlist file,
 //                        [--json]                    failure log, and/or
 //                        [--fail-on=warn|error]      trained model
+//   m3dfl_tool analyze   <profile|file.mnl> [config] static timing &
+//                        [--json] [--clock-ps=P]     testability analysis:
+//                        [--k-paths=N]               slack/WNS/TNS, K longest
+//                        [--max-defect-ps=D]         paths, untestable delay
+//                                                   faults, fault collapsing,
+//                                                   and the timing lint pass
 //   m3dfl_tool diagnose  <profile> <model.m3dfl> <die.flog> [config]
 //                                                   diagnose one failure log
 //   m3dfl_tool inject    <profile> <out.flog>       make a demo failure log
@@ -69,8 +75,12 @@
 #include "serve/fleet.h"
 #include "serve/service.h"
 #include "serve/session.h"
+#include "sta/collapse.h"
+#include "sta/lint_bridge.h"
+#include "sta/sta.h"
 #include "util/artifact.h"
 #include "util/atomic_file.h"
+#include "util/bench_json.h"
 #include "util/table.h"
 
 using namespace m3dfl;
@@ -201,6 +211,12 @@ int cmd_train(const std::string& profile, const std::string& path,
   TrainerOptions trainer_options;
   trainer_options.checkpoint_dir = flags.checkpoint_dir;
   trainer_options.checkpoint_interval = flags.checkpoint_interval;
+  // STA preflight: reject labels on untestable delay-fault sites before
+  // epoch 0 (the transfer set's random partitions share this netlist, and
+  // structural untestability is tier-independent).
+  const DesignContext ctx = design->context();
+  trainer_options.sta_design = &ctx;
+  trainer_options.sta_samples = train.samples;
   Trainer trainer(framework, trainer_options);
   if (flags.resume) {
     if (trainer.resume()) {
@@ -243,13 +259,11 @@ LintFlags parse_lint_flags(const std::vector<std::string>& flags) {
     } else if (key == "--json") {
       parsed.json = true;
     } else if (key == "--fail-on") {
-      if (value == "warn") {
-        parsed.fail_on = lint::Severity::kWarn;
-      } else if (value == "error") {
-        parsed.fail_on = lint::Severity::kError;
-      } else {
-        throw Error("bad --fail-on value '" + value +
-                    "' (expected warn|error)");
+      try {
+        parsed.fail_on = lint::parse_severity(value);
+      } catch (const Error& e) {
+        // Cite the flag as written so a typo in a CI pipeline is findable.
+        throw Error("in '" + flag + "': " + e.what());
       }
     } else {
       throw Error("unknown lint flag '" + flag + "'");
@@ -298,11 +312,186 @@ int cmd_lint(const std::string& target, const std::string& config,
   } else {
     std::cout << report.to_string();
   }
-  const bool fail =
-      flags.fail_on == lint::Severity::kWarn
-          ? report.worst() >= lint::Severity::kWarn && !report.empty()
-          : report.has_errors();
+  const bool fail = !report.empty() && report.worst() >= flags.fail_on;
   return fail ? 1 : 0;
+}
+
+// Flags accepted by `analyze`.
+struct AnalyzeFlags {
+  bool json = false;
+  double clock_ps = 0.0;       // 0 = auto (guard band over the critical path)
+  std::int32_t k_paths = 5;
+  double max_defect_ps = 0.0;  // 0 = no slack-margin untestability
+};
+
+AnalyzeFlags parse_analyze_flags(const std::vector<std::string>& flags) {
+  AnalyzeFlags parsed;
+  for (const std::string& flag : flags) {
+    const auto eq = flag.find('=');
+    const std::string key = flag.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : flag.substr(eq + 1);
+    try {
+      if (key == "--json") {
+        parsed.json = true;
+      } else if (key == "--clock-ps") {
+        parsed.clock_ps = std::stod(value);
+      } else if (key == "--k-paths") {
+        parsed.k_paths = std::stoi(value);
+      } else if (key == "--max-defect-ps") {
+        parsed.max_defect_ps = std::stod(value);
+      } else {
+        throw Error("unknown analyze flag '" + flag + "'");
+      }
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      throw Error("bad value in analyze flag '" + flag + "'");
+    }
+  }
+  return parsed;
+}
+
+// Pin chain of a timing path; long paths keep both ends and elide the middle.
+std::string path_to_string(const Netlist& nl, const sta::TimingPath& path) {
+  constexpr std::size_t kHead = 6;
+  constexpr std::size_t kTail = 6;
+  std::string out;
+  const std::size_t n = path.pins.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (n > kHead + kTail + 1 && i == kHead) {
+      out += " -> ...(" + std::to_string(n - kHead - kTail) + " pins)...";
+      i = n - kTail - 1;
+      continue;
+    }
+    if (!out.empty()) out += " -> ";
+    out += nl.pin_name(path.pins[i]);
+  }
+  return out;
+}
+
+// `m3dfl_tool analyze <design> [config] [--json] [--clock-ps=P]
+//                     [--k-paths=N] [--max-defect-ps=D]`
+// Static timing & testability analysis (docs/ANALYSIS.md): slack/WNS/TNS,
+// the K longest paths, untestable delay faults, fault collapsing, and the
+// timing lint pass.  <design> is a benchmark profile or an MNL netlist file
+// (a bare netlist carries no tier assignment, so MIV effects are off).
+// Exit 0 when the timing lint pass finds no errors, 1 otherwise.
+int cmd_analyze(const std::string& target, const std::string& config,
+                const AnalyzeFlags& flags) {
+  std::unique_ptr<Design> design;
+  Netlist file_netlist;
+  const Netlist* nl = nullptr;
+  const TierAssignment* tiers = nullptr;
+  const MivMap* mivs = nullptr;
+  if (std::filesystem::is_regular_file(target)) {
+    std::ostringstream text;
+    text << open_in(target).rdbuf();
+    file_netlist = from_mnl(text.str());
+    nl = &file_netlist;
+  } else {
+    design = Design::build(parse_profile(target), parse_config(config));
+    nl = &design->netlist();
+    tiers = &design->tiers();
+    mivs = &design->mivs();
+  }
+
+  sta::StaOptions sta_options;
+  sta_options.clock_ps = flags.clock_ps;
+  sta_options.max_defect_ps = flags.max_defect_ps;
+  const sta::TimingAnalysis analysis(*nl, tiers, mivs, sta_options);
+  const sta::CollapsedFaults collapsed = sta::collapse_tdf_faults(*nl);
+  const std::vector<sta::TimingPath> paths =
+      analysis.k_longest_paths(flags.k_paths);
+  const std::vector<sta::UntestableFault> untestable =
+      analysis.untestable_faults();
+  std::int64_t n_unobservable = 0;
+  std::int64_t n_slack_margin = 0;
+  for (const sta::UntestableFault& u : untestable) {
+    if (u.reason == sta::UntestableReason::kSlackMargin) {
+      ++n_slack_margin;
+    } else {
+      ++n_unobservable;
+    }
+  }
+
+  const lint::TimingFacts facts =
+      sta::timing_lint_facts(*nl, analysis, mivs, &collapsed);
+  lint::Subject subject;
+  subject.timing = &facts;
+  lint::Report report;
+  lint::run_timing_checks(subject, report);
+
+  if (flags.json) {
+    std::string out = "{\n  \"design\": " + json_escape(nl->name()) +
+                      ",\n  \"clock_ps\": " +
+                      TablePrinter::fmt(analysis.clock_ps(), 3) +
+                      ",\n  \"critical_delay_ps\": " +
+                      TablePrinter::fmt(analysis.critical_delay_ps(), 3) +
+                      ",\n  \"wns_ps\": " +
+                      TablePrinter::fmt(analysis.wns_ps(), 3) +
+                      ",\n  \"tns_ps\": " +
+                      TablePrinter::fmt(analysis.tns_ps(), 3) +
+                      ",\n  \"endpoints\": " +
+                      std::to_string(analysis.endpoints().size()) +
+                      ",\n  \"untestable_unobservable\": " +
+                      std::to_string(n_unobservable) +
+                      ",\n  \"untestable_slack_margin\": " +
+                      std::to_string(n_slack_margin) +
+                      ",\n  \"collapse_faults\": " +
+                      std::to_string(collapsed.full.size()) +
+                      ",\n  \"collapse_classes\": " +
+                      std::to_string(collapsed.num_classes()) +
+                      ",\n  \"collapse_dominated\": " +
+                      std::to_string(collapsed.num_dominated()) +
+                      ",\n  \"paths\": [";
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      out += i == 0 ? "\n" : ",\n";
+      out += "    {\"delay_ps\": " + TablePrinter::fmt(paths[i].delay_ps, 3) +
+             ", \"slack_ps\": " + TablePrinter::fmt(paths[i].slack_ps, 3) +
+             ", \"pins\": [";
+      for (std::size_t j = 0; j < paths[i].pins.size(); ++j) {
+        if (j > 0) out += ", ";
+        out += json_escape(nl->pin_name(paths[i].pins[j]));
+      }
+      out += "]}";
+    }
+    out += "\n  ],\n  \"lint\": " + report.to_json() + "}\n";
+    std::cout << out;
+  } else {
+    TablePrinter table({"metric", "value"});
+    table.add_row({"design", nl->name()});
+    table.add_row({"clock (ps)", TablePrinter::fmt(analysis.clock_ps(), 1)});
+    table.add_row({"critical delay (ps)",
+                   TablePrinter::fmt(analysis.critical_delay_ps(), 1)});
+    table.add_row({"WNS (ps)", TablePrinter::fmt(analysis.wns_ps(), 1)});
+    table.add_row({"TNS (ps)", TablePrinter::fmt(analysis.tns_ps(), 1)});
+    table.add_row({"capture endpoints",
+                   std::to_string(analysis.endpoints().size())});
+    table.add_row({"untestable TDFs (unobservable)",
+                   std::to_string(n_unobservable)});
+    table.add_row({"untestable TDFs (slack margin)",
+                   std::to_string(n_slack_margin)});
+    table.add_row({"TDF faults", std::to_string(collapsed.full.size())});
+    table.add_row({"collapsed classes",
+                   std::to_string(collapsed.num_classes())});
+    table.add_row({"collapse ratio",
+                   TablePrinter::fmt(collapsed.collapse_ratio(), 2)});
+    table.add_row({"dominated faults",
+                   std::to_string(collapsed.num_dominated())});
+    if (mivs != nullptr) {
+      table.add_row({"MIVs", std::to_string(mivs->num_mivs())});
+    }
+    table.print();
+    std::cout << "\n" << paths.size() << " longest path(s):\n";
+    for (const sta::TimingPath& p : paths) {
+      std::cout << "  " << TablePrinter::fmt(p.delay_ps, 1) << " ps (slack "
+                << TablePrinter::fmt(p.slack_ps, 1) << "): "
+                << path_to_string(*nl, p) << "\n";
+    }
+    std::cout << "\n" << report.to_string();
+  }
+  return report.has_errors() ? 1 : 0;
 }
 
 int cmd_inject(const std::string& profile, const std::string& path) {
@@ -1081,6 +1270,9 @@ int usage() {
                "  m3dfl_tool lint     <profile|file.mnl> [config]\n"
                "                      [--log=F] [--model=F] [--json] "
                "[--fail-on=warn|error]\n"
+               "  m3dfl_tool analyze  <profile|file.mnl> [config]\n"
+               "                      [--json] [--clock-ps=P] [--k-paths=N] "
+               "[--max-defect-ps=D]\n"
                "  m3dfl_tool inject   <profile> <out.flog>\n"
                "  m3dfl_tool diagnose <profile> <model.m3dfl> <die.flog> "
                "[config]\n"
@@ -1131,6 +1323,12 @@ int main(int argc, char** argv) {
       return cmd_train(positional[1], positional[2],
                        parse_train_flags(flags));
     }
+    if (cmd == "analyze" &&
+        (positional.size() == 2 || positional.size() == 3)) {
+      return cmd_analyze(positional[1],
+                         positional.size() == 3 ? positional[2] : "syn1",
+                         parse_analyze_flags(flags));
+    }
     if (cmd == "lint" && (positional.size() == 2 || positional.size() == 3)) {
       return cmd_lint(positional[1],
                       positional.size() == 3 ? positional[2] : "syn1",
@@ -1157,8 +1355,8 @@ int main(int argc, char** argv) {
     }
     if (!flags.empty()) {
       throw Error("flags are only accepted by the 'serve', 'train', 'lint', "
-                  "'diagnose', 'perturb-log', 'fleet', and 'journal' "
-                  "commands");
+                  "'analyze', 'diagnose', 'perturb-log', 'fleet', and "
+                  "'journal' commands");
     }
     if (cmd == "migrate-artifact" && positional.size() == 3) {
       return cmd_migrate_artifact(positional[1], positional[2]);

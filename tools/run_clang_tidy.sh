@@ -25,7 +25,9 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
         -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
 
-mapfile -t sources < <(cd "${repo_root}" && find src -name '*.cc' | sort)
+mapfile -t sources < <(cd "${repo_root}" &&
+                       { find src -name '*.cc'; find tools -name '*.cpp'; } |
+                       sort)
 echo "run_clang_tidy: ${tidy_bin} over ${#sources[@]} sources" \
      "(database: ${build_dir})"
 
