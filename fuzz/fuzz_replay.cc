@@ -1,0 +1,446 @@
+// Deterministic corpus-replay fuzzer: the CI gate of the fuzzing subsystem.
+//
+// Unlike the libFuzzer harnesses (Clang-only, coverage-guided, unbounded),
+// this driver needs nothing but the library and a fixed seed: it loads the
+// checked-in corpora (fuzz/corpus plus the lint and journal test corpora),
+// synthesizes the binary-ish seeds that carry CRCs (artifact containers,
+// journal segments), expands every seed with structured mutators driven by
+// util/rng — truncate-at-every-byte, huge declared lengths, NUL/CRLF
+// injection, duplicated sections, byte flips, over-limit lines, token spam —
+// and replays every case through run_surface(), asserting the hardening
+// contract:
+//
+//   * no crash and no exception other than m3dfl::Error;
+//   * no hang (per-case wall budget);
+//   * every rejection carries a diagnostic, with the surface's citation
+//     (line / byte offset) wherever the surface guarantees one — and on
+//     every "limit exceeded" rejection unconditionally;
+//   * allocations stay policy-bounded (enforced indirectly: the run is wired
+//     into CI under ASan and UBSan, where an allocation proportional to a
+//     declared length either trips the allocator or times out the case).
+//
+// On a failing case the raw bytes are dumped to fuzz_crash_<surface>_<n>.bin
+// in the working directory (CI uploads them as artifacts) and the run exits
+// nonzero.  The whole run is reproducible: same build, same corpus, same
+// cases, same verdicts.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/surfaces.h"
+#include "util/checksum.h"
+#include "util/limits.h"
+#include "util/rng.h"
+
+namespace m3dfl::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kSeed = 0xF0220ADBEEFull;
+constexpr int kMutantsPerSeed = 64;
+constexpr std::size_t kMaxTruncationSeedBytes = 4096;
+constexpr double kCaseWallBudgetSec = 2.0;
+constexpr std::size_t kMinCasesPerSurface = 200;
+
+struct Seed {
+  std::string label;
+  std::string data;
+};
+
+struct Failure {
+  Surface surface;
+  std::string label;
+  std::string reason;
+  std::string data;
+};
+
+struct Stats {
+  std::size_t cases = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+// Every regular file of `dir` whose name ends in `suffix` ("" = all),
+// sorted by name so the case sequence is machine-independent.
+std::vector<Seed> seeds_from_dir(const std::string& dir,
+                                 const std::string& suffix) {
+  std::vector<Seed> seeds;
+  std::error_code ec;
+  for (const auto& entry : fs::recursive_directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!suffix.empty()) {
+      if (name.size() < suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+    }
+    seeds.push_back({entry.path().string(), read_file(entry.path())});
+  }
+  std::sort(seeds.begin(), seeds.end(),
+            [](const Seed& a, const Seed& b) { return a.label < b.label; });
+  return seeds;
+}
+
+std::string hex8(std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", value);
+  return buf;
+}
+
+// A journal frame exactly as serve/journal.cc writes one.
+std::string journal_frame(const std::string& payload) {
+  return "r " + hex8(crc32(payload)) + " " + std::to_string(payload.size()) +
+         " " + payload + "\n";
+}
+
+std::string artifact_envelope(const std::string& kind,
+                              const std::string& payload) {
+  return std::string("m3dfl-artifact 2 ") + kind + "\n" +
+         "payload-bytes " + std::to_string(payload.size()) + "\n" + payload +
+         "\n" + "crc32 " + hex8(crc32(payload)) + "\n" +
+         "m3dfl-artifact-end\n";
+}
+
+// ---- structured mutators ----------------------------------------------------
+
+// Replaces one digit run (chosen by `rng`) with an adversarial number —
+// the "huge declared length" mutator, and the one that most often walks a
+// parser into its limit_exceeded paths.
+std::string mutate_number(const std::string& in, Rng& rng) {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;  // offset, length
+  for (std::size_t i = 0; i < in.size();) {
+    if (in[i] >= '0' && in[i] <= '9') {
+      std::size_t j = i;
+      while (j < in.size() && in[j] >= '0' && in[j] <= '9') ++j;
+      runs.emplace_back(i, j - i);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (runs.empty()) return in;
+  const auto [offset, length] = runs[rng.next_below(runs.size())];
+  static const char* kNumbers[] = {"18446744073709551615",
+                                   "99999999999999999999", "2147483648",
+                                   "2147483647", "4294967295", "-1"};
+  const char* replacement = kNumbers[rng.next_below(6)];
+  return in.substr(0, offset) + replacement + in.substr(offset + length);
+}
+
+std::string duplicate_line(const std::string& in, Rng& rng) {
+  std::vector<std::pair<std::size_t, std::size_t>> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= in.size(); ++i) {
+    if (i == in.size() || in[i] == '\n') {
+      lines.emplace_back(start, i - start + (i < in.size() ? 1 : 0));
+      start = i + 1;
+    }
+  }
+  if (lines.empty()) return in;
+  const auto [offset, length] = lines[rng.next_below(lines.size())];
+  return in.substr(0, offset + length) + in.substr(offset, length) +
+         in.substr(offset + length);
+}
+
+std::string mutate(const std::string& in, Rng& rng) {
+  std::string out = in;
+  switch (rng.next_below(8)) {
+    case 0: {  // byte flip
+      if (out.empty()) break;
+      out[rng.next_below(out.size())] ^=
+          static_cast<char>(1u << rng.next_below(8));
+      break;
+    }
+    case 1:  // NUL injection
+      out.insert(out.empty() ? 0 : rng.next_below(out.size() + 1), 1, '\0');
+      break;
+    case 2:  // CRLF injection
+      out.insert(out.empty() ? 0 : rng.next_below(out.size() + 1), "\r\n");
+      break;
+    case 3:  // duplicated section: one line
+      out = duplicate_line(out, rng);
+      break;
+    case 4:  // duplicated section: the whole image
+      out += out;
+      break;
+    case 5:  // huge / wrapping / negative numeric field
+      out = mutate_number(out, rng);
+      break;
+    case 6: {  // random splice: move a chunk elsewhere
+      if (out.size() < 4) break;
+      const std::size_t from = rng.next_below(out.size() - 1);
+      const std::size_t len =
+          1 + rng.next_below(std::min<std::size_t>(out.size() - from, 64));
+      const std::string chunk = out.substr(from, len);
+      out.erase(from, len);
+      out.insert(out.empty() ? 0 : rng.next_below(out.size() + 1), chunk);
+      break;
+    }
+    case 7: {  // garbage tail
+      const std::size_t n = 1 + rng.next_below(32);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<char>(rng.next_below(256)));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+// ---- the driver -------------------------------------------------------------
+
+class Driver {
+ public:
+  void run_case(Surface surface, const std::string& label,
+                const std::string& data) {
+    Stats& st = stats_[static_cast<std::size_t>(surface)];
+    ++st.cases;
+    const auto t0 = std::chrono::steady_clock::now();
+    SurfaceOutcome outcome;
+    try {
+      outcome = run_surface(surface, data);
+    } catch (const std::exception& e) {
+      fail(surface, label, data,
+           std::string("non-Error exception escaped: ") + e.what());
+      return;
+    } catch (...) {
+      fail(surface, label, data, "unknown exception escaped");
+      return;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (elapsed > kCaseWallBudgetSec) {
+      fail(surface, label, data,
+           "case exceeded the wall budget (" + std::to_string(elapsed) +
+               "s > " + std::to_string(kCaseWallBudgetSec) + "s)");
+      return;
+    }
+    if (outcome.accepted) {
+      ++st.accepted;
+      return;
+    }
+    ++st.rejected;
+    if (outcome.diagnostic.empty()) {
+      fail(surface, label, data, "rejection with an empty diagnostic");
+      return;
+    }
+    const std::string citation = surface_citation(surface);
+    const bool cited = citation.empty() ||
+                       outcome.diagnostic.find(citation) != std::string::npos;
+    if (citation_always_required(surface) && !cited) {
+      fail(surface, label, data,
+           "rejection without the '" + citation +
+               "' citation: " + outcome.diagnostic);
+      return;
+    }
+    if (!cited &&
+        outcome.diagnostic.find("limit exceeded") != std::string::npos) {
+      fail(surface, label, data,
+           "limit rejection without the '" + citation +
+               "' citation: " + outcome.diagnostic);
+    }
+  }
+
+  // One seed -> truncations at every byte, rng mutants, fixed adversarial
+  // shapes.  The rng is forked per seed from the surface stream so adding a
+  // seed never perturbs another seed's mutants.
+  void run_seed(Surface surface, Rng& surface_rng, const Seed& seed) {
+    run_case(surface, seed.label, seed.data);
+    const std::size_t n =
+        std::min(seed.data.size(), kMaxTruncationSeedBytes);
+    for (std::size_t i = 0; i < n; ++i) {
+      run_case(surface, seed.label + " [truncated at byte " +
+                            std::to_string(i) + "]",
+               seed.data.substr(0, i));
+    }
+    Rng rng = surface_rng.fork();
+    for (int i = 0; i < kMutantsPerSeed; ++i) {
+      // Stack 1-3 mutations so cases reach past single-defect shapes.
+      std::string data = seed.data;
+      const int stack = 1 + static_cast<int>(rng.next_below(3));
+      for (int s = 0; s < stack; ++s) data = mutate(data, rng);
+      run_case(surface, seed.label + " [mutant " + std::to_string(i) + "]",
+               data);
+    }
+  }
+
+  void run_surface_seeds(Surface surface, const std::vector<Seed>& seeds) {
+    Rng surface_rng(kSeed ^ static_cast<std::uint64_t>(surface) * 0x9E37ull);
+    for (const Seed& seed : seeds) run_seed(surface, surface_rng, seed);
+    // Fixed adversarial shapes, independent of any seed: an over-limit
+    // line and a token-spam line must reject with a cited limit message on
+    // every line-oriented surface (and must at least not crash the rest).
+    const ParseLimits& limits = ParseLimits::defaults();
+    run_case(surface, "[over-limit line]",
+             std::string(limits.max_line_bytes + 16, 'A'));
+    std::string spam;
+    for (std::size_t i = 0; i < limits.max_tokens_per_line + 64; ++i) {
+      spam += "x ";
+    }
+    run_case(surface, "[token spam]", spam);
+    run_case(surface, "[empty]", "");
+    run_case(surface, "[all NUL]", std::string(256, '\0'));
+  }
+
+  void fail(Surface surface, const std::string& label,
+            const std::string& data, const std::string& reason) {
+    const std::string dump = "fuzz_crash_" +
+                             std::string(surface_name(surface)) + "_" +
+                             std::to_string(failures_.size()) + ".bin";
+    std::ofstream os(dump, std::ios::binary);
+    os.write(data.data(), static_cast<std::streamsize>(data.size()));
+    failures_.push_back({surface, label, reason, data});
+    std::cerr << "FAIL [" << surface_name(surface) << "] " << label << ": "
+              << reason << "\n  case bytes dumped to " << dump << "\n";
+  }
+
+  int summarize() const {
+    bool ok = failures_.empty();
+    std::size_t total = 0;
+    for (Surface surface : kAllSurfaces) {
+      const Stats& st = stats_[static_cast<std::size_t>(surface)];
+      total += st.cases;
+      std::cout << "  " << surface_name(surface) << ": " << st.cases
+                << " cases (" << st.accepted << " accepted, " << st.rejected
+                << " rejected)\n";
+      if (st.cases < kMinCasesPerSurface) {
+        std::cerr << "FAIL [" << surface_name(surface) << "] only "
+                  << st.cases << " cases (corpus floor is "
+                  << kMinCasesPerSurface << " per surface)\n";
+        ok = false;
+      }
+    }
+    if (!ok) {
+      std::cerr << "fuzz_replay: FAIL (" << failures_.size()
+                << " failing case(s))\n";
+      return 1;
+    }
+    std::cout << "fuzz_replay: PASS (" << total << " cases, 7 surfaces)\n";
+    return 0;
+  }
+
+ private:
+  Stats stats_[kAllSurfaces.size()];
+  std::vector<Failure> failures_;
+};
+
+std::vector<Seed> stream_record_seeds(const std::vector<Seed>& faillogs) {
+  // Every line of every faillog seed is itself a stream-record seed, plus a
+  // hand-picked set covering each record kind.
+  std::vector<Seed> seeds = {
+      {"<builtin> scan", "scan 3 17"},
+      {"<builtin> chan", "chan 2 4 9"},
+      {"<builtin> po", "po 1 5"},
+      {"<builtin> mode", "mode compacted"},
+      {"<builtin> limit", "limit 128"},
+      {"<builtin> end", "end"},
+      {"<builtin> comment", "# tester comment"},
+      {"<builtin> crlf", "scan 1 2\r"},
+  };
+  for (const Seed& log : faillogs) {
+    std::istringstream is(log.data);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+      ++line_no;
+      seeds.push_back(
+          {log.label + ":" + std::to_string(line_no), line});
+    }
+  }
+  return seeds;
+}
+
+int run() {
+  Driver driver;
+
+  // MNL: the lint corpus (every fixture, defective ones included — they all
+  // *parse*) plus anything under fuzz/corpus/mnl.
+  std::vector<Seed> mnl = seeds_from_dir(M3DFL_LINT_CORPUS_DIR, ".mnl");
+  for (Seed& s : seeds_from_dir(M3DFL_FUZZ_CORPUS_DIR "/mnl", "")) {
+    mnl.push_back(std::move(s));
+  }
+  driver.run_surface_seeds(Surface::kMnl, mnl);
+
+  // Failure logs: checked-in seeds.
+  const std::vector<Seed> faillogs =
+      seeds_from_dir(M3DFL_FUZZ_CORPUS_DIR "/faillog", "");
+  driver.run_surface_seeds(Surface::kFaillogBatch, faillogs);
+  driver.run_surface_seeds(Surface::kStreamRecord,
+                           stream_record_seeds(faillogs));
+
+  // Artifacts carry CRCs, so valid seeds are synthesized rather than
+  // checked in (a hand-edited seed would never checksum).
+  std::vector<Seed> artifacts;
+  artifacts.push_back(
+      {"<synth> empty payload", artifact_envelope("fuzz-blob", "")});
+  artifacts.push_back({"<synth> text payload",
+                       artifact_envelope("fuzz-blob", "hello artifact\n")});
+  artifacts.push_back(
+      {"<synth> kind mismatch", artifact_envelope("other-kind", "payload")});
+  std::string binary_payload;
+  Rng payload_rng(kSeed);
+  for (int i = 0; i < 1024; ++i) {
+    binary_payload.push_back(static_cast<char>(payload_rng.next_below(256)));
+  }
+  artifacts.push_back({"<synth> binary payload",
+                       artifact_envelope("fuzz-blob", binary_payload)});
+  driver.run_surface_seeds(Surface::kArtifact, artifacts);
+
+  // Journal segments: the checked-in torn/corrupt corpus plus synthesized
+  // valid segments (same CRC reasoning as artifacts).
+  std::vector<Seed> journals =
+      seeds_from_dir(M3DFL_JOURNAL_CORPUS_DIR, ".m3dflj");
+  journals.push_back(
+      {"<synth> open+rec+close",
+       "m3dfl-journal 1\n" +
+           journal_frame("open 7 1000 30000 600000 aes") +
+           journal_frame("rec 7 1001 scan 0 3") +
+           journal_frame("rec 7 1002 chan 1 2 4") +
+           journal_frame("close 7 1003 finalized")});
+  journals.push_back({"<synth> header only", "m3dfl-journal 1\n"});
+  driver.run_surface_seeds(Surface::kJournal, journals);
+
+  // Train config.
+  driver.run_surface_seeds(Surface::kConfig,
+                           seeds_from_dir(M3DFL_FUZZ_CORPUS_DIR "/config",
+                                          ""));
+
+  // Registry artifact filenames.
+  const std::vector<Seed> names = {
+      {"<builtin> simple", "aes@3.m3dfl"},
+      {"<builtin> dotted", "net.card_v2@17.m3dfl"},
+      {"<builtin> version 1", "leon3mp@1.m3dfl"},
+      {"<builtin> at in name", "a@b@2.m3dfl"},
+      {"<builtin> no version", "aes.m3dfl"},
+      {"<builtin> traversal", "../../etc/passwd@1.m3dfl"},
+      {"<builtin> overlong",
+       std::string(300, 'a') + "@1.m3dfl"},
+      {"<builtin> huge version", "aes@99999999999999999999.m3dfl"},
+  };
+  driver.run_surface_seeds(Surface::kRegistryName, names);
+
+  return driver.summarize();
+}
+
+}  // namespace
+}  // namespace m3dfl::fuzz
+
+int main() { return m3dfl::fuzz::run(); }

@@ -1,0 +1,30 @@
+// libFuzzer entry point, one binary per surface (Clang-only, M3DFL_FUZZ=ON).
+//
+// The surface is baked in at compile time: fuzz/CMakeLists.txt builds this
+// file seven times with -DM3DFL_FUZZ_SURFACE=<Surface enumerator>, each
+// linked with -fsanitize=fuzzer,address.  run_surface() treats m3dfl::Error
+// as a correct rejection; any other escape (crash, other exception type,
+// sanitizer finding, OOM, timeout) is a libFuzzer crash and lands in a
+// crash-* file — replay it through fuzz_replay's surface for a
+// sanitizer-free diagnosis, e.g.:
+//
+//   cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ -DM3DFL_FUZZ=ON
+//   cmake --build build-fuzz -j --target fuzz_mnl
+//   ./build-fuzz/fuzz/fuzz_mnl -max_total_time=60 fuzz/corpus/mnl
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fuzz/surfaces.h"
+
+#ifndef M3DFL_FUZZ_SURFACE
+#error "build via fuzz/CMakeLists.txt, which defines M3DFL_FUZZ_SURFACE"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  (void)m3dfl::fuzz::run_surface(m3dfl::fuzz::Surface::M3DFL_FUZZ_SURFACE,
+                                 input);
+  return 0;
+}

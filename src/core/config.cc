@@ -70,13 +70,25 @@ namespace {
 }  // namespace
 
 TrainOptions read_train_options(std::istream& is, const TrainOptions& defaults,
-                                const std::string& source) {
+                                const std::string& source,
+                                const ParseLimits& limits) {
   TrainOptions out = defaults;
   std::set<std::string> seen;
   std::string line;
   int line_no = 0;
-  while (std::getline(is, line)) {
+  for (;;) {
+    const BoundedLine bl = bounded_getline(is, line, limits.max_line_bytes);
+    if (bl.too_long()) {
+      cfg_fail(source, line_no + 1,
+               limit_exceeded_over("line bytes", limits.max_line_bytes));
+    }
+    if (!bl.ok()) break;
     ++line_no;
+    if (static_cast<std::size_t>(line_no) > limits.max_config_lines) {
+      cfg_fail(source, line_no,
+               limit_exceeded("config lines", static_cast<unsigned>(line_no),
+                              limits.max_config_lines));
+    }
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream ls(line);

@@ -26,6 +26,7 @@
 #include "gnn/trainer.h"
 #include "m3d/partition.h"
 #include "netlist/generator.h"
+#include "util/limits.h"
 
 namespace m3dfl {
 
@@ -58,10 +59,13 @@ DesignConfig parse_config(const std::string& name);
 // Unlisted keys keep the values of `defaults`.  Unknown keys, duplicate
 // keys, missing/non-numeric values, trailing garbage, and out-of-range
 // values are rejected with an m3dfl::Error citing `source` and the 1-based
-// line (same hardening contract as diag/log_io).
+// line (same hardening contract as diag/log_io).  `limits` bounds line
+// length and total line count (util/limits.h), so a config file is never a
+// vehicle for unbounded reads.
 TrainOptions read_train_options(std::istream& is,
                                 const TrainOptions& defaults = {},
-                                const std::string& source = "<stream>");
+                                const std::string& source = "<stream>",
+                                const ParseLimits& limits = {});
 
 // Build parameters for one benchmark profile.
 struct ProfileSpec {

@@ -67,6 +67,29 @@ void require_nonnegative(int line_no, const char* what, std::int32_t value) {
   }
 }
 
+// Non-negativity plus the policy cap: a pattern index of 2^31-1 is
+// grammatically fine but adversarial — downstream it would size per-pattern
+// tables, so it is rejected at the boundary like every other limit.
+void require_in_range(int line_no, const char* what, std::int32_t value,
+                      std::int32_t cap) {
+  require_nonnegative(line_no, what, value);
+  if (value > cap) {
+    parse_fail(line_no,
+               limit_exceeded(what, static_cast<unsigned long long>(value),
+                              static_cast<unsigned long long>(cap)));
+  }
+}
+
+// No token may follow a complete record: "end garbage" or "mode bypass x"
+// would silently drop bytes an adversarial feed smuggled onto a valid line.
+void reject_trailing(std::istringstream& ls, int line_no, const char* kind) {
+  std::string extra;
+  if (ls >> extra) {
+    parse_fail(line_no, std::string("trailing garbage '") + extra +
+                            "' after '" + kind + "' record");
+  }
+}
+
 // Drops one trailing '\r' so CRLF logs (testers on Windows, logs that
 // crossed an FTP/SMB hop in text mode) parse byte-identical to LF logs.
 // Only the line terminator is normalized; a '\r' anywhere else is still
@@ -77,8 +100,16 @@ void strip_cr(std::string& line) {
 
 }  // namespace
 
-StreamRecord parse_stream_record(const std::string& line, int line_no) {
+StreamRecord parse_stream_record(const std::string& line, int line_no,
+                                 const ParseLimits& limits) {
   StreamRecord record;
+  // The byte bound applies to lines handed in whole (the session layer
+  // receives them from the network); lines read through bounded_getline
+  // were already capped at the read.
+  if (line.size() > limits.max_line_bytes) {
+    parse_fail(line_no, limit_exceeded("line bytes", line.size(),
+                                       limits.max_line_bytes));
+  }
   std::string body = line;
   strip_cr(body);
   const auto hash = body.find('#');
@@ -88,6 +119,7 @@ StreamRecord parse_stream_record(const std::string& line, int line_no) {
   if (!(ls >> kind)) return record;  // blank / comment-only line
   if (kind == "end") {
     record.kind = StreamRecord::Kind::kEnd;
+    reject_trailing(ls, line_no, "end");
     return record;
   }
   if (kind == "mode") {
@@ -98,20 +130,24 @@ StreamRecord parse_stream_record(const std::string& line, int line_no) {
     }
     record.kind = StreamRecord::Kind::kMode;
     record.compacted = mode == "compacted";
+    reject_trailing(ls, line_no, "mode");
     return record;
   }
   if (kind == "limit") {
     record.kind = StreamRecord::Kind::kLimit;
     read_fields(ls, line_no, "limit", {&record.pattern_limit});
-    require_nonnegative(line_no, "pattern limit", record.pattern_limit);
+    require_in_range(line_no, "pattern limit", record.pattern_limit,
+                     limits.max_patterns);
     return record;
   }
   if (kind == "scan") {
     record.kind = StreamRecord::Kind::kScan;
     read_fields(ls, line_no, "scan",
                 {&record.observation.pattern, &record.observation.index});
-    require_nonnegative(line_no, "scan pattern", record.observation.pattern);
-    require_nonnegative(line_no, "scan flop index", record.observation.index);
+    require_in_range(line_no, "scan pattern", record.observation.pattern,
+                     limits.max_patterns);
+    require_in_range(line_no, "scan flop index", record.observation.index,
+                     limits.max_log_index);
     return record;
   }
   if (kind == "chan") {
@@ -119,9 +155,12 @@ StreamRecord parse_stream_record(const std::string& line, int line_no) {
     read_fields(ls, line_no, "chan",
                 {&record.channel.pattern, &record.channel.channel,
                  &record.channel.position});
-    require_nonnegative(line_no, "chan pattern", record.channel.pattern);
-    require_nonnegative(line_no, "chan channel", record.channel.channel);
-    require_nonnegative(line_no, "chan position", record.channel.position);
+    require_in_range(line_no, "chan pattern", record.channel.pattern,
+                     limits.max_patterns);
+    require_in_range(line_no, "chan channel", record.channel.channel,
+                     limits.max_log_index);
+    require_in_range(line_no, "chan position", record.channel.position,
+                     limits.max_log_index);
     return record;
   }
   if (kind == "po") {
@@ -129,19 +168,24 @@ StreamRecord parse_stream_record(const std::string& line, int line_no) {
     record.observation.at_po = true;
     read_fields(ls, line_no, "po",
                 {&record.observation.pattern, &record.observation.index});
-    require_nonnegative(line_no, "po pattern", record.observation.pattern);
-    require_nonnegative(line_no, "po output index", record.observation.index);
+    require_in_range(line_no, "po pattern", record.observation.pattern,
+                     limits.max_patterns);
+    require_in_range(line_no, "po output index", record.observation.index,
+                     limits.max_log_index);
     return record;
   }
   parse_fail(line_no, "unknown record '" + kind + "'");
 }
 
-FailureLog read_failure_log(std::istream& is) {
+FailureLog read_failure_log(std::istream& is, const ParseLimits& limits) {
   std::string line;
   int line_no = 1;
-  const bool have_header = static_cast<bool>(std::getline(is, line));
+  const BoundedLine header = bounded_getline(is, line, limits.max_line_bytes);
+  if (header.too_long()) {
+    parse_fail(1, limit_exceeded_over("line bytes", limits.max_line_bytes));
+  }
   strip_cr(line);
-  M3DFL_REQUIRE(have_header && line == "m3dfl-faillog 1",
+  M3DFL_REQUIRE(header.ok() && line == "m3dfl-faillog 1",
                 "failure log line 1: missing 'm3dfl-faillog 1' header");
   FailureLog log;
   bool saw_end = false;
@@ -149,17 +193,33 @@ FailureLog read_failure_log(std::istream& is) {
   // newline: a tail-follower's snapshot of a live feed ends that way, and —
   // provided the line itself parsed as a well-formed record — is accepted
   // without the 'end' trailer below.
-  bool last_line_unterminated = is.eof();
+  bool last_line_unterminated = header.unterminated;
   // Duplicate observations would double-count tester evidence in the
   // candidate match scores downstream, so they are rejected here rather
   // than silently skewing the diagnosis.
   std::set<std::pair<std::int32_t, std::int32_t>> seen_scan;
   std::set<std::tuple<std::int32_t, std::int32_t, std::int32_t>> seen_chan;
   std::set<std::pair<std::int32_t, std::int32_t>> seen_po;
-  while (std::getline(is, line)) {
+  // Running observation total, capped so a log can never grow the three
+  // observation vectors (and the dedup sets shadowing them) without bound.
+  std::size_t observations = 0;
+  const auto count_observation = [&] {
+    ++observations;
+    if (observations > limits.max_observations) {
+      parse_fail(line_no, limit_exceeded("observations", observations,
+                                         limits.max_observations));
+    }
+  };
+  for (;;) {
+    const BoundedLine bl = bounded_getline(is, line, limits.max_line_bytes);
+    if (bl.too_long()) {
+      parse_fail(line_no + 1,
+                 limit_exceeded_over("line bytes", limits.max_line_bytes));
+    }
+    if (!bl.ok()) break;
     ++line_no;
-    last_line_unterminated = is.eof();
-    const StreamRecord record = parse_stream_record(line, line_no);
+    last_line_unterminated = bl.unterminated;
+    const StreamRecord record = parse_stream_record(line, line_no, limits);
     if (record.kind == StreamRecord::Kind::kEnd) {
       saw_end = true;
       break;
@@ -180,6 +240,7 @@ FailureLog read_failure_log(std::istream& is) {
                                   std::to_string(o.pattern) + ", flop " +
                                   std::to_string(o.index) + ")");
         }
+        count_observation();
         log.scan_fails.push_back(o);
         break;
       }
@@ -191,6 +252,7 @@ FailureLog read_failure_log(std::istream& is) {
                                   std::to_string(c.channel) + ", position " +
                                   std::to_string(c.position) + ")");
         }
+        count_observation();
         log.channel_fails.push_back(c);
         break;
       }
@@ -201,6 +263,7 @@ FailureLog read_failure_log(std::istream& is) {
                                   std::to_string(o.pattern) + ", output " +
                                   std::to_string(o.index) + ")");
         }
+        count_observation();
         log.po_fails.push_back(o);
         break;
       }
@@ -221,9 +284,10 @@ FailureLog read_failure_log(std::istream& is) {
   return log;
 }
 
-FailureLog failure_log_from_string(const std::string& text) {
+FailureLog failure_log_from_string(const std::string& text,
+                                   const ParseLimits& limits) {
   std::istringstream is(text);
-  return read_failure_log(is);
+  return read_failure_log(is, limits);
 }
 
 }  // namespace m3dfl

@@ -37,15 +37,21 @@
 #include <string>
 
 #include "diag/failure_log.h"
+#include "util/limits.h"
 
 namespace m3dfl {
 
 void write_failure_log(const FailureLog& log, std::ostream& os);
 std::string failure_log_to_string(const FailureLog& log);
 
-// Throws m3dfl::Error on malformed input.
-FailureLog read_failure_log(std::istream& is);
-FailureLog failure_log_from_string(const std::string& text);
+// Throws m3dfl::Error on malformed input.  `limits` bounds adversarial
+// input (util/limits.h): line bytes — including an unterminated tail-follow
+// line, which must reject at the cap instead of accumulating without limit —
+// pattern/index magnitudes, and the total observation count, each rejected
+// with a line-cited "limit exceeded" diagnostic.
+FailureLog read_failure_log(std::istream& is, const ParseLimits& limits = {});
+FailureLog failure_log_from_string(const std::string& text,
+                                   const ParseLimits& limits = {});
 
 // One line of the faillog body, parsed for incremental consumption: the
 // serving session layer and `m3dfl_tool diagnose --stream` read live tester
@@ -71,8 +77,12 @@ struct StreamRecord {
 };
 
 // Parses one body line (anything after the "m3dfl-faillog 1" header).
-// Throws m3dfl::Error citing `line_no` on malformed input.
-StreamRecord parse_stream_record(const std::string& line, int line_no);
+// Throws m3dfl::Error citing `line_no` on malformed input.  Enforces
+// `limits` on the line itself (byte length, pattern/index caps) so callers
+// that receive lines from untrusted feeds — SessionManager::add_response
+// foremost — inherit the guardrails without their own checks.
+StreamRecord parse_stream_record(const std::string& line, int line_no,
+                                 const ParseLimits& limits = {});
 
 }  // namespace m3dfl
 

@@ -7,6 +7,7 @@
 
 #include "util/artifact.h"
 #include "util/error.h"
+#include "util/limits.h"
 
 namespace m3dfl {
 namespace {
@@ -53,6 +54,18 @@ Matrix load_matrix(std::istream& is) {
   is >> rows >> cols;
   M3DFL_REQUIRE(is.good() && rows >= 0 && cols >= 0,
                 "model stream: bad matrix shape");
+  // The declared shape sizes the allocation below, so it is validated
+  // against the policy cap first: "matrix 60000 60000" is 14 GB of floats.
+  const std::int64_t cells =
+      static_cast<std::int64_t>(rows) * static_cast<std::int64_t>(cols);
+  const std::int64_t cap = ParseLimits::defaults().max_matrix_cells;
+  if (cells > cap) {
+    throw Error("model stream: matrix shape " + std::to_string(rows) + " x " +
+                std::to_string(cols) + ": " +
+                limit_exceeded("matrix cells",
+                               static_cast<unsigned long long>(cells),
+                               static_cast<unsigned long long>(cap)));
+  }
   Matrix m(rows, cols);
   is >> std::hexfloat;
   for (std::int32_t i = 0; i < rows; ++i) {

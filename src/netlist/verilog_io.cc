@@ -1,5 +1,6 @@
 #include "netlist/verilog_io.h"
 
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -47,34 +48,58 @@ std::string to_mnl(const Netlist& netlist) {
 
 namespace {
 
-std::vector<std::string> split_ws(const std::string& line) {
-  std::vector<std::string> out;
-  std::istringstream is(line);
-  std::string tok;
-  while (is >> tok) out.push_back(tok);
-  return out;
-}
-
 // All parse diagnostics cite the 1-based line, so a malformed netlist file
 // is debuggable from the message alone (same contract as diag/log_io).
 [[noreturn]] void parse_fail(int line_no, const std::string& what) {
   throw Error("MNL line " + std::to_string(line_no) + ": " + what);
 }
 
+std::vector<std::string> split_ws(const std::string& line, int line_no,
+                                  const ParseLimits& limits) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (out.size() >= limits.max_tokens_per_line) {
+      parse_fail(line_no, limit_exceeded("tokens on one line", out.size() + 1,
+                                        limits.max_tokens_per_line));
+    }
+    out.push_back(tok);
+  }
+  return out;
+}
+
 std::int32_t parse_i32(const std::string& s, int line_no, const char* what) {
   try {
     std::size_t pos = 0;
-    const long v = std::stol(s, &pos);
+    const long long v = std::stoll(s, &pos);
     if (pos != s.size()) throw std::invalid_argument(s);
+    // An id past int32 must reject, not wrap: a silently truncated net id
+    // would alias an unrelated net and parse garbage into a "valid" netlist.
+    if (v < std::numeric_limits<std::int32_t>::min() ||
+        v > std::numeric_limits<std::int32_t>::max()) {
+      throw std::out_of_range(s);
+    }
     return static_cast<std::int32_t>(v);
   } catch (const std::exception&) {
     parse_fail(line_no, std::string("bad ") + what + " '" + s + "'");
   }
 }
 
+// bounded_getline + the MNL citation for an over-long line.
+bool read_line(std::istream& is, std::string& line, int line_no,
+               const ParseLimits& limits) {
+  const BoundedLine bl = bounded_getline(is, line, limits.max_line_bytes);
+  if (bl.too_long()) {
+    parse_fail(line_no + 1,
+               limit_exceeded_over("line bytes", limits.max_line_bytes));
+  }
+  return bl.ok();
+}
+
 }  // namespace
 
-Netlist read_mnl(std::istream& is) {
+Netlist read_mnl(std::istream& is, const ParseLimits& limits) {
   std::string line;
   int line_no = 0;
   // Header, with expected-vs-found so a file of the wrong kind (or a future
@@ -84,14 +109,14 @@ Netlist read_mnl(std::istream& is) {
   {
     std::vector<std::string> toks;
     while (toks.empty()) {
-      M3DFL_REQUIRE(std::getline(is, line),
+      M3DFL_REQUIRE(read_line(is, line, line_no, limits),
                     "MNL line " + std::to_string(line_no + 1) +
                         ": empty input (expected 'mnl 1' header)");
       ++line_no;
       const auto hash = line.find('#');
       std::string stripped = line;
       if (hash != std::string::npos) stripped.resize(hash);
-      toks = split_ws(stripped);
+      toks = split_ws(stripped, line_no, limits);
     }
     if (toks[0] != "mnl") {
       parse_fail(line_no,
@@ -121,11 +146,11 @@ Netlist read_mnl(std::istream& is) {
   bool saw_design = false;
 
   bool saw_end = false;
-  while (std::getline(is, line)) {
+  while (read_line(is, line, line_no, limits)) {
     ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    const auto toks = split_ws(line);
+    const auto toks = split_ws(line, line_no, limits);
     if (toks.empty()) continue;
     if (toks[0] == "design") {
       if (toks.size() != 2) {
@@ -153,6 +178,13 @@ Netlist read_mnl(std::istream& is) {
                               std::to_string(recs.size()) + ", found " +
                               std::to_string(id));
     }
+    if (static_cast<std::int32_t>(recs.size()) >= limits.max_gates) {
+      parse_fail(line_no,
+                 limit_exceeded("gate count",
+                                static_cast<unsigned long long>(recs.size()) + 1,
+                                static_cast<unsigned long long>(
+                                    limits.max_gates)));
+    }
     GateRec rec;
     try {
       rec.type = parse_gate_type(toks[2]);
@@ -168,6 +200,16 @@ Netlist read_mnl(std::istream& is) {
     if (rec.out != kNullNet) {
       if (rec.out < 0) {
         parse_fail(line_no, "out-of-range net id " + std::to_string(rec.out));
+      }
+      // Validate against the policy cap BEFORE the id sizes driver_line (or,
+      // later, the net table): one record naming net 2^31-1 must reject
+      // here, not allocate a 2-billion-entry vector.
+      if (rec.out >= limits.max_nets) {
+        parse_fail(line_no,
+                   limit_exceeded("net id",
+                                  static_cast<unsigned long long>(rec.out),
+                                  static_cast<unsigned long long>(
+                                      limits.max_nets)));
       }
       max_net = std::max(max_net, rec.out);
       if (static_cast<std::size_t>(rec.out) >= driver_line.size()) {
@@ -190,6 +232,17 @@ Netlist read_mnl(std::istream& is) {
         if (n < 0) {
           parse_fail(line_no, "out-of-range net id " + std::to_string(n));
         }
+        if (n >= limits.max_nets) {
+          parse_fail(line_no,
+                     limit_exceeded("net id",
+                                    static_cast<unsigned long long>(n),
+                                    static_cast<unsigned long long>(
+                                        limits.max_nets)));
+        }
+        if (rec.in.size() >= limits.max_fanin) {
+          parse_fail(line_no, limit_exceeded("gate fanin", rec.in.size() + 1,
+                                             limits.max_fanin));
+        }
         rec.in.push_back(n);
         max_net = std::max(max_net, n);
       }
@@ -209,9 +262,9 @@ Netlist read_mnl(std::istream& is) {
   return nl;
 }
 
-Netlist from_mnl(const std::string& text) {
+Netlist from_mnl(const std::string& text, const ParseLimits& limits) {
   std::istringstream is(text);
-  return read_mnl(is);
+  return read_mnl(is, limits);
 }
 
 void write_verilog(const Netlist& netlist, std::ostream& os) {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "netlist/netlist.h"
+#include "util/limits.h"
 
 namespace m3dfl {
 
@@ -21,9 +22,12 @@ void write_mnl(const Netlist& netlist, std::ostream& os);
 std::string to_mnl(const Netlist& netlist);
 
 // Parses MNL text back into a finalized netlist; throws m3dfl::Error on
-// malformed input.
-Netlist read_mnl(std::istream& is);
-Netlist from_mnl(const std::string& text);
+// malformed input.  `limits` bounds adversarial-but-well-formed input:
+// line length, tokens per line, gate/net counts, and per-gate fanin are
+// all enforced with line-cited "limit exceeded" diagnostics, and a net id
+// is validated against max_nets *before* any table is sized by it.
+Netlist read_mnl(std::istream& is, const ParseLimits& limits = {});
+Netlist from_mnl(const std::string& text, const ParseLimits& limits = {});
 
 // Exports a finalized netlist as structural Verilog.
 void write_verilog(const Netlist& netlist, std::ostream& os);

@@ -12,6 +12,7 @@
 #include "lint/lint.h"
 #include "util/artifact.h"
 #include "util/error.h"
+#include "util/limits.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define M3DFL_REGISTRY_HAVE_MMAP 1
@@ -77,6 +78,11 @@ std::string read_file_bytes(const std::string& path) {
 
 std::string sanitize_model_name(const std::string& name) {
   std::string out = name;
+  // Sanitize never rejects, so the length policy truncates instead: the
+  // result must stay usable inside artifact_filename's 255-byte budget
+  // (with room for the "@<version>.m3dfl" tail it gains there).
+  const std::size_t cap = ParseLimits::defaults().max_filename_bytes / 2;
+  if (out.size() > cap) out.resize(cap);
   for (char& c : out) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
@@ -92,12 +98,25 @@ std::string ModelRegistry::artifact_filename(const std::string& design,
                 "registry design name must be non-empty [A-Za-z0-9._-]: '" +
                     design + "'");
   M3DFL_REQUIRE(version > 0, "registry artifact version must be positive");
-  return design + "@" + std::to_string(version) + kArtifactSuffix;
+  std::string filename =
+      design + "@" + std::to_string(version) + kArtifactSuffix;
+  const std::size_t cap = ParseLimits::defaults().max_filename_bytes;
+  if (filename.size() > cap) {
+    throw Error("registry artifact filename: " +
+                limit_exceeded("filename bytes", filename.size(), cap));
+  }
+  return filename;
 }
 
 bool ModelRegistry::parse_artifact_filename(const std::string& filename,
                                             std::string* design,
                                             std::int32_t* version) {
+  // Oversized names are not artifact filenames (the writer cannot produce
+  // them: artifact_filename enforces the same cap).  Bool surface: callers
+  // skip the entry, they do not diagnose it.
+  if (filename.size() > ParseLimits::defaults().max_filename_bytes) {
+    return false;
+  }
   const std::size_t suffix_len = std::strlen(kArtifactSuffix);
   if (filename.size() <= suffix_len ||
       filename.compare(filename.size() - suffix_len, suffix_len,

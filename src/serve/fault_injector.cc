@@ -17,6 +17,7 @@ const char* seam_name(Seam seam) {
     case Seam::kJournalTornWrite: return "journal-torn-write";
     case Seam::kJournalFsync: return "journal-fsync";
     case Seam::kJournalCorrupt: return "journal-corrupt";
+    case Seam::kStreamMalformedBytes: return "stream-malformed-bytes";
   }
   return "unknown";
 }

@@ -43,9 +43,15 @@ enum class Seam : int {
                           // event counted lost, segment sealed
   kJournalFsync = 11,     // fsync fails -> degrade to non-durable
   kJournalCorrupt = 12,   // silent media bit-flip -> CRC mismatch at scan
+  // Adversarial-input seam: the incoming line is replaced with deterministic
+  // malformed bytes (NUL injection, trailing garbage, an over-limit line, a
+  // huge numeric field) *before* parsing, so chaos runs exercise the real
+  // parser/limit rejection paths — unlike kStreamGarble, which models a
+  // record that fails parse in one fixed way.
+  kStreamMalformedBytes = 13,
 };
 
-inline constexpr int kNumSeams = 13;
+inline constexpr int kNumSeams = 14;
 
 const char* seam_name(Seam seam);
 

@@ -378,18 +378,32 @@ std::vector<std::string> SessionJournal::list_segments(const std::string& dir) {
   return segments;
 }
 
-SegmentScan SessionJournal::scan_segment(const std::string& path) {
-  SegmentScan scan;
-  scan.path = path;
+SegmentScan SessionJournal::scan_segment(const std::string& path,
+                                         const ParseLimits& limits) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
+    SegmentScan scan;
+    scan.path = path;
     scan.diagnostic = scan_diag(path, 0, "cannot open segment");
     return scan;
   }
   std::ostringstream buf;
   buf << is.rdbuf();
-  const std::string text = buf.str();
+  return scan_segment_text(path, buf.str(), limits);
+}
+
+SegmentScan SessionJournal::scan_segment_text(const std::string& path,
+                                              const std::string& text,
+                                              const ParseLimits& limits) {
+  SegmentScan scan;
+  scan.path = path;
   scan.total_bytes = text.size();
+  if (text.size() > limits.max_file_bytes) {
+    scan.diagnostic = scan_diag(
+        path, 0,
+        limit_exceeded("segment bytes", text.size(), limits.max_file_bytes));
+    return scan;
+  }
 
   // Header line.
   const std::string header = std::string(kHeader) + "\n";
@@ -442,6 +456,15 @@ SegmentScan SessionJournal::scan_segment(const std::string& path) {
     const std::size_t payload_size =
         std::strtoull(text.c_str() + offset, nullptr, 10);
     offset = len_end + 1;
+    // Cap the declared length before the truncation arithmetic below: a
+    // declared ULLONG_MAX (strtoull saturates there for any longer digit
+    // string) would wrap `offset + payload_size + 1` into passing.
+    if (payload_size > limits.max_record_bytes) {
+      torn(frame_offset,
+           limit_exceeded("declared frame payload bytes", payload_size,
+                          limits.max_record_bytes));
+      return scan;
+    }
     if (offset + payload_size + 1 > text.size()) {
       torn(frame_offset, "truncated frame payload (need " +
                              std::to_string(payload_size + 1) +
@@ -475,12 +498,13 @@ SegmentScan SessionJournal::scan_segment(const std::string& path) {
   return scan;
 }
 
-JournalReplay SessionJournal::replay(const std::string& dir) {
+JournalReplay SessionJournal::replay(const std::string& dir,
+                                     const ParseLimits& limits) {
   JournalReplay result;
   std::map<std::uint64_t, JournalReplay::LiveSession> live;
   std::set<std::uint64_t> closed;
   for (const std::string& path : list_segments(dir)) {
-    SegmentScan scan = scan_segment(path);
+    SegmentScan scan = scan_segment(path, limits);
     if (!scan.diagnostic.empty()) result.diagnostics.push_back(scan.diagnostic);
     result.records += scan.records.size();
     for (JournalRecord& record : scan.records) {

@@ -51,6 +51,7 @@
 
 #include "serve/fault_injector.h"
 #include "serve/metrics.h"
+#include "util/limits.h"
 
 namespace m3dfl::lint {
 struct JournalFacts;  // lint/checks.h; callers of journal_lint_facts include it
@@ -167,10 +168,23 @@ class SessionJournal {
   // ---- static readers (no live writer required) ---------------------------
   // Segment paths of `dir`, in replay order; empty for a missing directory.
   static std::vector<std::string> list_segments(const std::string& dir);
-  // Decodes one segment, accepting the longest valid prefix.
-  static SegmentScan scan_segment(const std::string& path);
+  // Decodes one segment, accepting the longest valid prefix.  `limits`
+  // (util/limits.h) bounds the segment size and each frame's declared
+  // payload length; a frame declaring more than max_record_bytes — or a
+  // length so large it would wrap the truncation arithmetic — is reported
+  // as torn with a "limit exceeded" diagnostic, before the length is used
+  // for anything.
+  static SegmentScan scan_segment(const std::string& path,
+                                  const ParseLimits& limits = {});
+  // Same decoder over an in-memory segment image; `path_label` names the
+  // buffer in diagnostics.  This is the seam fuzz/ drives: segment bytes in,
+  // longest-valid-prefix decision out, no filesystem involved.
+  static SegmentScan scan_segment_text(const std::string& path_label,
+                                       const std::string& text,
+                                       const ParseLimits& limits = {});
   // Scans every segment and reassembles live sessions.
-  static JournalReplay replay(const std::string& dir);
+  static JournalReplay replay(const std::string& dir,
+                              const ParseLimits& limits = {});
   // Removes sealed fully-tombstoned segments (never the newest segment,
   // which a live writer may own); returns how many were deleted.
   static std::size_t compact(const std::string& dir);

@@ -255,9 +255,35 @@ SessionUpdate SessionManager::add_response(std::uint64_t session_id,
     return update;
   }
 
+  // Adversarial-input seam: replace the line with deterministic malformed
+  // bytes and let the REAL parser and limit guardrails reject it — every
+  // shape below is invalid by construction, so triggered() must equal the
+  // kInvalidInput rejections this seam produces.  The shape cycles with the
+  // seam's call count so one chaos run crosses all four rejection paths.
+  std::string effective_line = line;
+  if (injector_ != nullptr &&
+      injector_->should_fail(Seam::kStreamMalformedBytes)) {
+    const ParseLimits& limits = ParseLimits::defaults();
+    switch (injector_->calls(Seam::kStreamMalformedBytes) % 4) {
+      case 0:  // NUL-injected unknown record kind
+        effective_line = std::string("scan\0scan 1 2", 13);
+        break;
+      case 1:  // trailing garbage smuggled onto a complete record
+        effective_line = "end smuggled-bytes";
+        break;
+      case 2:  // line past the byte cap
+        effective_line.assign(limits.max_line_bytes + 1, 'A');
+        break;
+      case 3:  // huge numeric field past the pattern cap
+        effective_line =
+            "scan " + std::to_string(limits.max_patterns + 1) + " 0";
+        break;
+    }
+  }
+
   StreamRecord record;
   try {
-    record = parse_stream_record(line, s.line_no);
+    record = parse_stream_record(effective_line, s.line_no);
   } catch (const Error& e) {
     reject_record(e.what());
     fill_snapshot();

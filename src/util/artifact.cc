@@ -74,7 +74,13 @@ std::string slurp_stream(std::istream& is) {
 }
 
 std::string read_artifact(std::string_view text, const std::string& kind,
-                          const std::string& source) {
+                          const std::string& source,
+                          const ParseLimits& limits) {
+  if (text.size() > limits.max_file_bytes) {
+    artifact_fail(source, 0,
+                  limit_exceeded("container bytes", text.size(),
+                                 limits.max_file_bytes));
+  }
   Cursor cur{text, 0, source};
 
   // Header: "m3dfl-artifact <version> <kind>".
@@ -132,6 +138,14 @@ std::string read_artifact(std::string_view text, const std::string& kind,
         result.ptr != digits.data() + digits.size()) {
       artifact_fail(source, length_offset,
                     "bad payload length '" + std::string(digits) + "'");
+    }
+    // Cap the declared length before it is compared against (or added to)
+    // anything: a declared SIZE_MAX would wrap the `payload_size + 1`
+    // truncation check below into accepting, then wrap the cursor.
+    if (payload_size > limits.max_declared_payload_bytes) {
+      artifact_fail(source, length_offset,
+                    limit_exceeded("declared payload bytes", payload_size,
+                                   limits.max_declared_payload_bytes));
     }
   }
 

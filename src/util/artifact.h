@@ -28,6 +28,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/limits.h"
+
 namespace m3dfl {
 
 inline constexpr int kArtifactVersion = 2;
@@ -42,9 +44,14 @@ std::string artifact_to_string(const std::string& kind,
 // Parses a full container from `text` and returns its payload.  `source`
 // names the stream in diagnostics (a file path, or "<stream>").  Throws
 // m3dfl::Error on any structural or integrity violation; every message
-// cites `source` and the offending byte offset.
+// cites `source` and the offending byte offset.  `limits` bounds the
+// container size and the declared payload length; the declared length is
+// validated against both the cap and the remaining input bytes before any
+// use, so "payload-bytes 10^18" rejects with a cited diagnostic instead of
+// wrapping offsets or touching memory.
 std::string read_artifact(std::string_view text, const std::string& kind,
-                          const std::string& source);
+                          const std::string& source,
+                          const ParseLimits& limits = {});
 
 // True when `text` starts with the container magic (i.e. is a version >= 2
 // artifact rather than a bare legacy stream).  Used by the legacy shims to

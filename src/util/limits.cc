@@ -1,0 +1,61 @@
+#include "util/limits.h"
+
+#include <istream>
+
+namespace m3dfl {
+
+const ParseLimits& ParseLimits::defaults() {
+  static const ParseLimits kDefaults;
+  return kDefaults;
+}
+
+std::string limit_exceeded(const std::string& what, unsigned long long value,
+                           unsigned long long cap) {
+  return "limit exceeded: " + what + " " + std::to_string(value) +
+         " (limit " + std::to_string(cap) + ")";
+}
+
+std::string limit_exceeded_over(const std::string& what,
+                                unsigned long long cap) {
+  return "limit exceeded: " + what + " exceeds limit " + std::to_string(cap);
+}
+
+BoundedLine bounded_getline(std::istream& is, std::string& line,
+                            std::size_t max_bytes) {
+  line.clear();
+  BoundedLine result;
+  std::streambuf* buf = is.rdbuf();
+  if (buf == nullptr) {
+    is.setstate(std::ios::failbit);
+    return result;
+  }
+  for (;;) {
+    const int c = buf->sbumpc();
+    if (c == std::streambuf::traits_type::eof()) {
+      is.setstate(std::ios::eofbit);
+      if (line.empty()) {
+        // Nothing extracted: mirror std::getline's failbit-at-EOF so
+        // `while (bounded_getline(is, ...).ok())` terminates like
+        // `while (std::getline(is, ...))`.
+        is.setstate(std::ios::failbit);
+        return result;  // kEof
+      }
+      result.status = BoundedLine::Status::kOk;
+      result.unterminated = true;
+      return result;
+    }
+    if (c == '\n') {
+      result.status = BoundedLine::Status::kOk;
+      return result;
+    }
+    if (line.size() >= max_bytes) {
+      // The caller rejects with its own citation; the stream is left
+      // mid-line on purpose (the surface is aborting anyway).
+      result.status = BoundedLine::Status::kTooLong;
+      return result;
+    }
+    line.push_back(static_cast<char>(c));
+  }
+}
+
+}  // namespace m3dfl

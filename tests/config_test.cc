@@ -192,5 +192,44 @@ TEST(ConfigTest, TrainOptionsRejectsOutOfRangeValues) {
             std::string::npos);
 }
 
+// ---- read_train_options: ParseLimits guardrails -----------------------------
+
+std::string opts_error_with(const std::string& text,
+                            const ParseLimits& limits) {
+  std::istringstream is(text);
+  try {
+    read_train_options(is, {}, "train.cfg", limits);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "adversarial train config accepted:\n" << text;
+  return {};
+}
+
+TEST(ConfigLimitsTest, OverlongLineCited) {
+  ParseLimits limits;
+  limits.max_line_bytes = 32;
+  const std::string msg = opts_error_with(
+      "epochs 5\n# " + std::string(200, 'x') + "\n", limits);
+  EXPECT_NE(msg.find("train.cfg line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("limit exceeded: line bytes"), std::string::npos) << msg;
+}
+
+TEST(ConfigLimitsTest, LineCountCapCited) {
+  ParseLimits limits;
+  limits.max_config_lines = 3;
+  const std::string msg =
+      opts_error_with("# a\n# b\n# c\n# d\n", limits);
+  EXPECT_NE(msg.find("train.cfg line 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("limit exceeded: config lines"), std::string::npos)
+      << msg;
+}
+
+TEST(ConfigLimitsTest, DefaultsClearRealConfigs) {
+  // The defaults are a DoS guardrail, not a policy on legitimate files: a
+  // full config with comments must pass untouched.
+  EXPECT_EQ(read_opts("# comment\nepochs 9\nlr 0.5\n").epochs, 9);
+}
+
 }  // namespace
 }  // namespace m3dfl

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -438,6 +439,64 @@ TEST(JournalTest, StaleSegmentLintCiteSegmentAndOffset) {
   lint::Report quiet;
   lint::run_journal_checks(subject, quiet);
   EXPECT_EQ(quiet.size(), 0u);
+}
+
+// ---- ParseLimits guardrails (util/limits.h) ---------------------------------
+
+// A declared frame length is adversarial input: strtoull saturates any
+// over-long digit string at ULLONG_MAX, and ULLONG_MAX would wrap
+// `offset + payload_size + 1` into passing the truncation check.  The cap
+// must fire before that arithmetic, keeping the valid prefix.
+TEST(JournalLimitsTest, HugeDeclaredFrameLengthIsTornAtTheCap) {
+  for (const char* declared :
+       {"4294967296", "99999999999999999999", "18446744073709551615"}) {
+    const std::string text = "m3dfl-journal 1\n" +
+                             frame("open 1 1000 0 0 D") + "r deadbeef " +
+                             declared + " x\n";
+    const SegmentScan scan =
+        SessionJournal::scan_segment_text("<mem>", text);
+    ASSERT_EQ(scan.records.size(), 1u) << declared;
+    EXPECT_EQ(scan.records[0].type, JournalRecord::Type::kOpen);
+    EXPECT_NE(scan.diagnostic.find("journal byte "), std::string::npos)
+        << scan.diagnostic;
+    EXPECT_NE(
+        scan.diagnostic.find("limit exceeded: declared frame payload bytes"),
+        std::string::npos)
+        << scan.diagnostic;
+    EXPECT_NE(scan.diagnostic.find("accepting the valid prefix (1 record(s)"),
+              std::string::npos)
+        << scan.diagnostic;
+  }
+}
+
+TEST(JournalLimitsTest, SegmentByteCapCited) {
+  ParseLimits limits;
+  limits.max_file_bytes = 8;
+  const SegmentScan scan = SessionJournal::scan_segment_text(
+      "<mem>", "m3dfl-journal 1\n" + frame("open 1 1000 0 0 D"), limits);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_NE(scan.diagnostic.find("journal byte 0"), std::string::npos)
+      << scan.diagnostic;
+  EXPECT_NE(scan.diagnostic.find("limit exceeded: segment bytes"),
+            std::string::npos)
+      << scan.diagnostic;
+}
+
+// The in-memory seam fuzz/ drives must agree with the on-disk scan.
+TEST(JournalLimitsTest, ScanSegmentTextMatchesOnDiskScan) {
+  const std::string dir = scratch_dir("text_vs_disk");
+  write_segment(dir, "seg-000001.m3dflj",
+                {"open 1 1000 0 0 D", "rec 1 1001 scan 0 1", "GARBAGE"});
+  const std::string path = (fs::path(dir) / "seg-000001.m3dflj").string();
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const SegmentScan disk = SessionJournal::scan_segment(path);
+  const SegmentScan mem =
+      SessionJournal::scan_segment_text(path, buf.str());
+  EXPECT_EQ(disk.records.size(), mem.records.size());
+  EXPECT_EQ(disk.valid_bytes, mem.valid_bytes);
+  EXPECT_EQ(disk.diagnostic, mem.diagnostic);
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+// util/limits: the uniform parse-limit policy and the bounded line reader
+// every line-oriented surface is built on.
+#include "util/limits.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace m3dfl {
+namespace {
+
+TEST(LimitsTest, DefaultsClearLegitimateTraffic) {
+  const ParseLimits& limits = ParseLimits::defaults();
+  // The roadmap's largest target (Table III full scale) is ~338K gates;
+  // every structural cap must clear it with an order of magnitude to spare.
+  EXPECT_GE(limits.max_gates, 10 * 338'000);
+  EXPECT_GT(limits.max_nets, limits.max_gates);
+  EXPECT_GE(limits.max_line_bytes, std::size_t{16 * 1024});
+  EXPECT_GE(limits.max_patterns, 1'000'000);
+}
+
+TEST(LimitsTest, LimitExceededMessageShape) {
+  // One greppable tail for every guardrail rejection in a fleet log.
+  EXPECT_EQ(limit_exceeded("net id", 9000000, 8388608),
+            "limit exceeded: net id 9000000 (limit 8388608)");
+  EXPECT_EQ(limit_exceeded_over("line bytes", 65536),
+            "limit exceeded: line bytes exceeds limit 65536");
+}
+
+TEST(LimitsTest, BoundedGetlineMirrorsStdGetline) {
+  std::istringstream is("alpha\nbeta\n");
+  std::string line;
+  BoundedLine bl = bounded_getline(is, line, 100);
+  EXPECT_TRUE(bl.ok());
+  EXPECT_FALSE(bl.unterminated);
+  EXPECT_EQ(line, "alpha");
+  bl = bounded_getline(is, line, 100);
+  EXPECT_TRUE(bl.ok());
+  EXPECT_EQ(line, "beta");
+  bl = bounded_getline(is, line, 100);
+  EXPECT_EQ(bl.status, BoundedLine::Status::kEof);
+  // std::getline contract at EOF with nothing extracted: failbit set, so
+  // `while (bounded_getline(...).ok())` loops terminate identically.
+  EXPECT_TRUE(is.fail());
+  EXPECT_TRUE(is.eof());
+}
+
+TEST(LimitsTest, BoundedGetlineFlagsUnterminatedFinalLine) {
+  std::istringstream is("header\ntail without newline");
+  std::string line;
+  BoundedLine bl = bounded_getline(is, line, 100);
+  EXPECT_TRUE(bl.ok());
+  EXPECT_FALSE(bl.unterminated);
+  bl = bounded_getline(is, line, 100);
+  EXPECT_TRUE(bl.ok());
+  EXPECT_TRUE(bl.unterminated);
+  EXPECT_EQ(line, "tail without newline");
+}
+
+TEST(LimitsTest, BoundedGetlineStopsAtTheCap) {
+  // The reader must stop *at* the cap — not accumulate the whole line and
+  // measure afterwards: this is what bounds tail-follow memory growth.
+  std::istringstream is(std::string(1000, 'x'));  // unterminated, over cap
+  std::string line;
+  const BoundedLine bl = bounded_getline(is, line, 16);
+  EXPECT_TRUE(bl.too_long());
+  EXPECT_EQ(line.size(), 16u);
+  EXPECT_EQ(line, std::string(16, 'x'));
+}
+
+TEST(LimitsTest, BoundedGetlineExactCapIsNotTooLong) {
+  std::istringstream is(std::string(16, 'x') + "\nrest\n");
+  std::string line;
+  const BoundedLine bl = bounded_getline(is, line, 16);
+  EXPECT_TRUE(bl.ok());
+  EXPECT_EQ(line.size(), 16u);
+  std::string next;
+  EXPECT_TRUE(bounded_getline(is, next, 16).ok());
+  EXPECT_EQ(next, "rest");
+}
+
+TEST(LimitsTest, BoundedGetlineEmptyLines) {
+  std::istringstream is("\n\nx\n");
+  std::string line;
+  EXPECT_TRUE(bounded_getline(is, line, 8).ok());
+  EXPECT_TRUE(line.empty());
+  EXPECT_TRUE(bounded_getline(is, line, 8).ok());
+  EXPECT_TRUE(line.empty());
+  EXPECT_TRUE(bounded_getline(is, line, 8).ok());
+  EXPECT_EQ(line, "x");
+  EXPECT_EQ(bounded_getline(is, line, 8).status, BoundedLine::Status::kEof);
+}
+
+}  // namespace
+}  // namespace m3dfl

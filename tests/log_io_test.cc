@@ -237,5 +237,110 @@ TEST(LogIoTest, EmptyLogRoundTrip) {
   EXPECT_TRUE(back.empty());
 }
 
+// ---- ParseLimits guardrails (util/limits.h) ---------------------------------
+
+std::string faillog_error(const std::string& text,
+                          const ParseLimits& limits = {}) {
+  try {
+    failure_log_from_string(text, limits);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "adversarial failure log accepted:\n" << text;
+  return {};
+}
+
+TEST(LogIoLimitsTest, OversizedUnterminatedLineRejectsAtTheCap) {
+  // The tail-follow hardening: a live feed's unterminated final "line" that
+  // keeps growing must reject once it passes the byte cap — the reader
+  // stops *at* the cap, it does not slurp first and measure later.
+  ParseLimits limits;
+  limits.max_line_bytes = 32;
+  const std::string msg = faillog_error(
+      "m3dfl-faillog 1\nscan 0 1\nscan " + std::string(100, '1'), limits);
+  EXPECT_NE(msg.find("failure log line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("limit exceeded: line bytes"), std::string::npos) << msg;
+}
+
+TEST(LogIoLimitsTest, OversizedHeaderLineRejects) {
+  ParseLimits limits;
+  limits.max_line_bytes = 16;
+  const std::string msg =
+      faillog_error(std::string(100, 'x') + "\nend\n", limits);
+  EXPECT_NE(msg.find("failure log line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("limit exceeded"), std::string::npos) << msg;
+}
+
+TEST(LogIoLimitsTest, ObservationCountCapCited) {
+  ParseLimits limits;
+  limits.max_observations = 3;
+  // Cap counts scan + chan + po together.
+  const std::string msg = faillog_error(
+      "m3dfl-faillog 1\nscan 0 1\nscan 0 2\nchan 1 0 1\npo 2 3\nend\n",
+      limits);
+  EXPECT_NE(msg.find("failure log line 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("limit exceeded: observations"), std::string::npos)
+      << msg;
+}
+
+TEST(LogIoLimitsTest, PatternAndIndexCapsCited) {
+  const std::string over_pattern =
+      "m3dfl-faillog 1\nscan 16777216 0\nend\n";  // max_patterns + 1
+  std::string msg = faillog_error(over_pattern);
+  EXPECT_NE(msg.find("limit exceeded: scan pattern"), std::string::npos)
+      << msg;
+
+  const std::string over_index = "m3dfl-faillog 1\npo 0 16777216\nend\n";
+  msg = faillog_error(over_index);
+  EXPECT_NE(msg.find("limit exceeded: po output index"), std::string::npos)
+      << msg;
+
+  const std::string over_limit_field =
+      "m3dfl-faillog 1\nlimit 16777216\nend\n";
+  msg = faillog_error(over_limit_field);
+  EXPECT_NE(msg.find("limit exceeded: pattern limit"), std::string::npos)
+      << msg;
+}
+
+TEST(LogIoLimitsTest, StreamRecordEnforcesLineCap) {
+  ParseLimits limits;
+  limits.max_line_bytes = 8;
+  try {
+    parse_stream_record(std::string(100, 'x'), 7, limits);
+    ADD_FAILURE() << "over-limit stream line accepted";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("failure log line 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("limit exceeded: line bytes"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(LogIoLimitsTest, EndAndModeRejectTrailingGarbage) {
+  // "end garbage" / "mode bypass x" would silently drop smuggled bytes on
+  // an otherwise-valid line.
+  std::string msg = faillog_error("m3dfl-faillog 1\nend smuggled\n");
+  EXPECT_NE(msg.find("trailing garbage 'smuggled'"), std::string::npos)
+      << msg;
+  msg = faillog_error("m3dfl-faillog 1\nmode bypass x\nend\n");
+  EXPECT_NE(msg.find("trailing garbage 'x'"), std::string::npos) << msg;
+}
+
+TEST(LogIoLimitsTest, TruncationAtEveryByteNeverCrashes) {
+  const std::string text =
+      "m3dfl-faillog 1\nmode bypass\nlimit 64\nscan 0 1\nscan 1 2\n"
+      "chan 2 0 3\npo 3 4\nend\n";
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    try {
+      (void)failure_log_from_string(text.substr(0, i));
+      // Tail-follow contract: a prefix whose final (unterminated) line is a
+      // well-formed record parses; anything else must have thrown.
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("failure log"), std::string::npos)
+          << "byte " << i << ": " << e.what();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace m3dfl

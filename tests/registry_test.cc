@@ -14,6 +14,7 @@
 
 #include "core/pipeline.h"
 #include "registry/registry.h"
+#include "util/limits.h"
 #include "util/artifact.h"
 #include "util/atomic_file.h"
 #include "util/error.h"
@@ -120,6 +121,40 @@ TEST_F(RegistryTest, FilenameRoundTripsAndRejectsGarbage) {
   EXPECT_THROW(ModelRegistry::artifact_filename("has/slash", 1), Error);
   EXPECT_EQ(registry::sanitize_model_name("AES/Syn-1"), "AES-Syn-1");
   EXPECT_EQ(registry::sanitize_model_name("ok_name.v2"), "ok_name.v2");
+}
+
+// ParseLimits guardrails: registry filenames come from directory listings
+// (untrusted once an attacker can drop files in the registry dir) and from
+// design names (untrusted via the serving API).  Both directions are capped
+// at max_filename_bytes so no filesystem ever sees an over-long name.
+TEST_F(RegistryTest, FilenameLimitsAreEnforcedBothWays) {
+  const std::size_t cap = ParseLimits::defaults().max_filename_bytes;
+  // Listing direction: a filename over the cap is filtered, not parsed.
+  const std::string overlong = std::string(cap, 'a') + "@1.m3dfl";
+  EXPECT_FALSE(
+      ModelRegistry::parse_artifact_filename(overlong, nullptr, nullptr));
+  // Composing direction: a design name that cannot fit with "@V.m3dfl"
+  // attached throws a cited Error instead of emitting a bad filename.
+  try {
+    ModelRegistry::artifact_filename(std::string(cap, 'a'), 1);
+    FAIL() << "over-long design name accepted";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("registry artifact filename"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("limit exceeded: filename bytes"), std::string::npos)
+        << msg;
+  }
+  // sanitize_model_name bounds its output so sanitized names always compose.
+  const std::string sanitized =
+      registry::sanitize_model_name(std::string(1000, 'x'));
+  EXPECT_LE(sanitized.size(), cap / 2);
+  EXPECT_EQ(ModelRegistry::artifact_filename(sanitized, 1),
+            sanitized + "@1.m3dfl");
+  // Path separators never survive into a filename, so a traversal attempt
+  // stays a flat (if ugly) name inside the registry directory.
+  EXPECT_EQ(registry::sanitize_model_name("../../etc/passwd"),
+            "..-..-etc-passwd");
 }
 
 TEST_F(RegistryTest, LazyLoadThenResidentHits) {

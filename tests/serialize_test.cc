@@ -337,5 +337,91 @@ TEST(SerializeTest, ErrorsCiteSourceAndVersions) {
   }
 }
 
+// ---- ParseLimits guardrails (util/limits.h) ---------------------------------
+
+std::string artifact_error(std::string_view text, const std::string& kind,
+                           const ParseLimits& limits = {}) {
+  try {
+    read_artifact(text, kind, "<test>", limits);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "adversarial artifact accepted";
+  return {};
+}
+
+// A declared matrix shape is adversarial input: "matrix 60000 60000" is
+// 14 GB of floats.  The loader must reject at the policy cap before sizing
+// the Matrix — under ASan in CI an accidental revert OOMs instead of failing
+// this string match.
+TEST(SerializeLimitsTest, MatrixShapeBombRejectsBeforeAllocating) {
+  TierPredictor model(small_config());
+  std::string bare =
+      read_artifact(tier_predictor_to_string(model), kTierPredictorKind,
+                    "<test>");
+  const auto pos = bare.find("matrix ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = bare.find('\n', pos);
+  bare.replace(pos, eol - pos, "matrix 60000 60000");
+  try {
+    tier_predictor_from_string(bare);
+    FAIL() << "matrix shape bomb accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("matrix shape 60000 x 60000"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("limit exceeded: matrix cells"), std::string::npos)
+        << what;
+  }
+}
+
+// The container reader must validate the declared payload length against the
+// cap and the remaining bytes *before* using it in any offset arithmetic —
+// 2^64-1 would otherwise wrap `payload_size + 1` to zero and pass the
+// bounds check it was supposed to fail.
+TEST(SerializeLimitsTest, DeclaredPayloadBytesCapCited) {
+  for (const char* declared :
+       {"999999999999999999", "18446744073709551615"}) {
+    std::string text = artifact_to_string("fuzz-blob", "hello");
+    const auto pos = text.find("payload-bytes 5");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, std::string("payload-bytes 5").size(),
+                 std::string("payload-bytes ") + declared);
+    const std::string msg = artifact_error(text, "fuzz-blob");
+    EXPECT_NE(msg.find("<test>: artifact byte"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("limit exceeded: declared payload bytes"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(SerializeLimitsTest, ContainerByteCapCited) {
+  ParseLimits limits;
+  limits.max_file_bytes = 16;
+  const std::string text = artifact_to_string("fuzz-blob", "payload payload");
+  ASSERT_GT(text.size(), limits.max_file_bytes);
+  const std::string msg = artifact_error(text, "fuzz-blob", limits);
+  EXPECT_NE(msg.find("<test>: artifact byte 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("limit exceeded: container bytes"), std::string::npos)
+      << msg;
+}
+
+// Satellite of the fuzzing subsystem: every truncation of a well-formed
+// container must reject with an offset-cited Error — never crash, read out
+// of bounds, or fail through any other exception type.
+TEST(SerializeLimitsTest, ArtifactTruncationAtEveryByteIsCited) {
+  const std::string good = artifact_to_string("fuzz-blob", "the payload");
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    try {
+      read_artifact(good.substr(0, len), "fuzz-blob", "<test>");
+      ADD_FAILURE() << "truncation to " << len << " bytes accepted";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("<test>: artifact byte"), std::string::npos)
+          << "truncation to " << len << " bytes: " << msg;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace m3dfl

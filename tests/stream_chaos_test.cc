@@ -85,6 +85,7 @@ class StreamChaosTest : public ::testing::Test {
     injector.arm(serve::Seam::kStreamGarble, 0.05);
     injector.arm(serve::Seam::kStreamReorder, 0.05);
     injector.arm(serve::Seam::kStreamDisconnect, 0.01);
+    injector.arm(serve::Seam::kStreamMalformedBytes, 0.05);
   }
 
   static std::vector<std::string> feed_lines(const FailureLog& log) {
@@ -190,10 +191,13 @@ TEST_F(StreamChaosTest, ConcurrentSessionsResolveExactlyOnceWithExactCounts) {
   EXPECT_EQ(m.sessions_expired.load(),
             injector->triggered(serve::Seam::kStreamStall) +
                 injector->triggered(serve::Seam::kStreamDisconnect));
-  // Rejections only come from injected garbles/reorders (feeds are clean).
+  // Rejections only come from injected garbles/reorders/malformed bytes
+  // (feeds are clean, and every malformed-bytes shape is invalid by
+  // construction, so its trigger count contributes exactly).
   EXPECT_EQ(m.stream_records_rejected.load(),
             injector->triggered(serve::Seam::kStreamGarble) +
-                injector->triggered(serve::Seam::kStreamReorder));
+                injector->triggered(serve::Seam::kStreamReorder) +
+                injector->triggered(serve::Seam::kStreamMalformedBytes));
 
   // Status partition + byte-identity of every kOk result against the clean
   // batch reference over exactly the accepted records.
@@ -249,10 +253,12 @@ TEST_F(StreamChaosTest, SingleThreadedRerunReproducesCountsExactly) {
                                      .stream_records_rejected.load());
     transcript += " expired=" +
                   std::to_string(service.metrics().sessions_expired.load());
-    for (int seam = 6; seam <= 9; ++seam) {
-      transcript += " t" + std::to_string(seam) + "=" +
-                    std::to_string(injector->triggered(
-                        static_cast<serve::Seam>(seam)));
+    for (const serve::Seam seam :
+         {serve::Seam::kStreamStall, serve::Seam::kStreamGarble,
+          serve::Seam::kStreamReorder, serve::Seam::kStreamDisconnect,
+          serve::Seam::kStreamMalformedBytes}) {
+      transcript += " t" + std::to_string(static_cast<int>(seam)) + "=" +
+                    std::to_string(injector->triggered(seam));
     }
     service.shutdown();
     return transcript;
@@ -260,6 +266,63 @@ TEST_F(StreamChaosTest, SingleThreadedRerunReproducesCountsExactly) {
   const std::string first = run();
   const std::string second = run();
   EXPECT_EQ(first, second);
+}
+
+// The adversarial-input seam: each trigger swaps the tester's line for
+// deterministic malformed bytes (NUL-injected kind, trailing garbage after
+// 'end', a line past the byte cap, a pattern past the numeric cap — the
+// shape cycles with the call count, so four triggers cross all four).  The
+// contract: every trigger resolves as a line-cited kInvalidInput rejection
+// through the REAL parser and limit guardrails, accounting is exact, and
+// the session survives to finalize.
+TEST_F(StreamChaosTest, MalformedBytesSeamRejectsAllShapesThroughRealParsers) {
+  auto injector = std::make_shared<serve::FaultInjector>(0xFEEDB17E);
+  injector->arm_nth(serve::Seam::kStreamMalformedBytes, {1, 2, 3, 4});
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.fault_injector = injector;
+  serve::DiagnosisService service = make_service(options);
+  const std::int32_t design_id = service.register_design(design_);
+  serve::SessionManager sessions(service);
+
+  // A feed with at least five lines: the first four are replaced (one per
+  // shape) and the tail — including the real 'end' — arrives clean.
+  const FailureLog* log = nullptr;
+  for (const FailureLog& candidate : *logs_) {
+    if (feed_lines(candidate).size() >= 5) {
+      log = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(log, nullptr);
+
+  const serve::SessionTicket ticket = sessions.begin_diagnosis(design_id);
+  ASSERT_TRUE(ticket.admitted());
+  std::int64_t rejected = 0;
+  for (const std::string& line : feed_lines(*log)) {
+    const serve::SessionUpdate update =
+        sessions.add_response(ticket.session_id, line);
+    ASSERT_NE(update.status, serve::StatusCode::kSessionExpired);
+    if (update.status == serve::StatusCode::kInvalidInput) {
+      ++rejected;
+      // The rejection came from the real record parser, line-cited.
+      EXPECT_NE(update.message.find("failure log line"), std::string::npos)
+          << update.message;
+    } else {
+      EXPECT_EQ(update.status, serve::StatusCode::kOk) << update.message;
+    }
+  }
+  // Exact accounting: triggers == kInvalidInput rejections == the metric.
+  EXPECT_EQ(injector->triggered(serve::Seam::kStreamMalformedBytes), 4);
+  EXPECT_EQ(rejected, 4);
+  EXPECT_EQ(service.metrics().stream_records_rejected.load(), 4);
+  // The session survives the garbage and resolves exactly once.
+  const serve::DiagnosisResult result =
+      sessions.finalize(ticket.session_id).get();
+  EXPECT_NE(result.status, serve::StatusCode::kSessionExpired);
+  EXPECT_EQ(sessions.live(), 0u);
+  EXPECT_EQ(service.metrics().sessions_finalized.load(), 1);
+  service.shutdown();
 }
 
 }  // namespace

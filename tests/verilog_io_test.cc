@@ -174,5 +174,103 @@ TEST(VerilogTest, RequiresFinalizedNetlist) {
   EXPECT_THROW(to_mnl(nl), Error);
 }
 
+// ---- ParseLimits guardrails (util/limits.h) ---------------------------------
+
+std::string mnl_error_with(const std::string& text, const ParseLimits& limits) {
+  try {
+    from_mnl(text, limits);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "adversarial MNL accepted:\n" << text;
+  return {};
+}
+
+TEST(MnlLimitsTest, HugeNetIdRejectsBeforeAllocating) {
+  // One record naming net 2^31-1 must reject at the policy cap, not size a
+  // 2-billion-entry driver table.  Under the default cap this line is the
+  // allocation-bomb regression; with ASan in CI an accidental revert OOMs.
+  const std::string msg =
+      mnl_error("mnl 1\ngate 0 PI pi0 out=2147483647 in=-\nend\n");
+  EXPECT_NE(msg.find("MNL line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("limit exceeded: net id"), std::string::npos) << msg;
+}
+
+TEST(MnlLimitsTest, HugeFaninNetIdRejects) {
+  const std::string msg =
+      mnl_error("mnl 1\ngate 0 AND g out=0 in=1,2000000000\nend\n");
+  EXPECT_NE(msg.find("limit exceeded: net id"), std::string::npos) << msg;
+}
+
+TEST(MnlLimitsTest, Int32WrappingIdRejectsInsteadOfAliasing) {
+  // 2^32 + 3 wraps to 3 through an unchecked 64->32 narrowing; a wrapped id
+  // would silently alias another net.
+  const std::string msg =
+      mnl_error("mnl 1\ngate 0 PI pi0 out=4294967299 in=-\nend\n");
+  EXPECT_NE(msg.find("bad net id"), std::string::npos) << msg;
+}
+
+TEST(MnlLimitsTest, GateCountCapCited) {
+  ParseLimits limits;
+  limits.max_gates = 2;
+  const std::string msg = mnl_error_with(
+      "mnl 1\ngate 0 PI a out=0 in=-\ngate 1 PI b out=1 in=-\n"
+      "gate 2 PI c out=2 in=-\nend\n",
+      limits);
+  EXPECT_NE(msg.find("MNL line 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("limit exceeded: gate count"), std::string::npos) << msg;
+}
+
+TEST(MnlLimitsTest, FaninCapCited) {
+  ParseLimits limits;
+  limits.max_fanin = 2;
+  const std::string msg =
+      mnl_error_with("mnl 1\ngate 0 AND g out=0 in=1,2,3\nend\n", limits);
+  EXPECT_NE(msg.find("limit exceeded: gate fanin"), std::string::npos) << msg;
+}
+
+TEST(MnlLimitsTest, OverlongLineCited) {
+  ParseLimits limits;
+  limits.max_line_bytes = 64;
+  const std::string msg = mnl_error_with(
+      "mnl 1\n# " + std::string(200, 'x') + "\nend\n", limits);
+  EXPECT_NE(msg.find("MNL line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("limit exceeded: line bytes"), std::string::npos) << msg;
+}
+
+TEST(MnlLimitsTest, TokenSpamCited) {
+  ParseLimits limits;
+  limits.max_tokens_per_line = 4;
+  const std::string msg =
+      mnl_error_with("mnl 1\na b c d e f\nend\n", limits);
+  EXPECT_NE(msg.find("limit exceeded: tokens on one line"), std::string::npos)
+      << msg;
+}
+
+// Satellite of the fuzzing subsystem: every truncation of a valid netlist
+// must either parse (only the prefix ending exactly at the 'end' record
+// qualifies) or reject with an MNL-cited Error — never crash, hang, or fail
+// through any other exception type.
+TEST(MnlLimitsTest, TruncationAtEveryByteNeverCrashes) {
+  testing::TinyCircuit c;
+  const std::string text = to_mnl(c.netlist);
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const std::string prefix = text.substr(0, i);
+    try {
+      from_mnl(prefix);
+      ++accepted;
+      // Only a prefix whose last record is a complete 'end' may parse.
+      EXPECT_EQ(prefix.substr(prefix.size() - 3), "end")
+          << "truncation at byte " << i << " accepted";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("MNL"), std::string::npos)
+          << "byte " << i << ": " << msg;
+    }
+  }
+  EXPECT_LE(accepted, 1u);
+}
+
 }  // namespace
 }  // namespace m3dfl

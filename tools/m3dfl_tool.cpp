@@ -804,10 +804,14 @@ std::future<serve::DiagnosisResult> submit_via_session(
   // Same header gate as read_failure_log, *before* a session exists: a
   // headerless or garbage file must report as a parse failure, not open a
   // session, swallow its first body line, and print a bogus diagnosis.
+  // Bounded reads throughout: an adversarial unterminated line must reject
+  // at the cap (util/limits.h), not accumulate here before the session
+  // layer ever sees it.
+  const ParseLimits& limits = ParseLimits::defaults();
   std::string line;
-  const bool have_header = static_cast<bool>(std::getline(is, line));
+  const BoundedLine header = bounded_getline(is, line, limits.max_line_bytes);
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  M3DFL_REQUIRE(have_header && line == "m3dfl-faillog 1",
+  M3DFL_REQUIRE(header.ok() && line == "m3dfl-faillog 1",
                 "failure log line 1: missing 'm3dfl-faillog 1' header");
   const serve::SessionTicket ticket = manager.begin_diagnosis(design_id);
   if (!ticket.admitted()) {
@@ -818,7 +822,19 @@ std::future<serve::DiagnosisResult> submit_via_session(
     shed.set_value(std::move(result));
     return shed.get_future();
   }
-  while (std::getline(is, line)) {
+  int line_no = 1;
+  for (;;) {
+    const BoundedLine bl = bounded_getline(is, line, limits.max_line_bytes);
+    if (bl.too_long()) {
+      // The session survives this file's abort and is finalized on what it
+      // accepted so far, same as any mid-feed disconnect.
+      std::cerr << "failure log line " << (line_no + 1) << ": "
+                << limit_exceeded_over("line bytes", limits.max_line_bytes)
+                << "; abandoning the feed\n";
+      break;
+    }
+    if (!bl.ok()) break;
+    ++line_no;
     manager.add_response(ticket.session_id, line);
   }
   return manager.finalize(ticket.session_id);
